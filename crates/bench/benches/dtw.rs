@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the time-warping distance kernel (paper §3):
+//! full table vs. Theorem-1 early abandoning vs. Sakoe–Chiba banding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use warptree_core::dtw::{dtw, dtw_early_abandon, dtw_windowed};
+use warptree_data::{artificial_corpus, ArtificialConfig};
+
+fn inputs(len: usize) -> (Vec<f64>, Vec<f64>) {
+    let store = artificial_corpus(&ArtificialConfig {
+        sequences: 2,
+        len,
+        seed: 42,
+        ..Default::default()
+    });
+    let a = store
+        .get(warptree_core::sequence::SeqId(0))
+        .values()
+        .to_vec();
+    let b = store
+        .get(warptree_core::sequence::SeqId(1))
+        .values()
+        .to_vec();
+    (a, b)
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dtw");
+    for len in [32usize, 128, 512] {
+        let (a, b) = inputs(len);
+        g.bench_with_input(BenchmarkId::new("full", len), &len, |bch, _| {
+            bch.iter(|| black_box(dtw(black_box(&a), black_box(&b))))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("early_abandon_tight", len),
+            &len,
+            |bch, _| {
+                // A tight ε abandons almost immediately.
+                bch.iter(|| black_box(dtw_early_abandon(black_box(&a), black_box(&b), 1.0)))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("windowed_w8", len), &len, |bch, _| {
+            bch.iter(|| black_box(dtw_windowed(black_box(&a), black_box(&b), 8)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Index construction benchmarks (Table 1's build side): Ukkonen vs.
+//! naive insertion, sparse construction, and disk serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use warptree_bench::{build_index, IndexKind, Method};
+use warptree_core::categorize::Alphabet;
+use warptree_data::{stock_corpus, StockConfig};
+use warptree_suffix::{build_full, build_full_naive, build_sparse};
+
+fn bench_build(c: &mut Criterion) {
+    let store = stock_corpus(&StockConfig {
+        sequences: 60,
+        mean_len: 80,
+        ..Default::default()
+    });
+    let alphabet = Alphabet::max_entropy(&store, 20).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+
+    let mut g = c.benchmark_group("build");
+    g.sample_size(20);
+    g.bench_function("ukkonen_full", |b| {
+        b.iter(|| black_box(build_full(cat.clone())))
+    });
+    g.bench_function("naive_full", |b| {
+        b.iter(|| black_box(build_full_naive(cat.clone())))
+    });
+    g.bench_function("sparse", |b| {
+        b.iter(|| black_box(build_sparse(cat.clone())))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("categorize");
+    for cats in [10usize, 80] {
+        g.bench_with_input(BenchmarkId::new("equal_length", cats), &cats, |b, &cats| {
+            b.iter(|| black_box(Alphabet::equal_length(&store, cats).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("max_entropy", cats), &cats, |b, &cats| {
+            b.iter(|| black_box(Alphabet::max_entropy(&store, cats).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("serialize");
+    g.sample_size(20);
+    let built = build_index(&store, IndexKind::Sparse, Method::Me, 20);
+    let path = std::env::temp_dir().join(format!("warptree-bench-ser-{}.wt", std::process::id()));
+    g.bench_function("write_tree", |b| {
+        b.iter(|| black_box(warptree_disk::write_tree(&built.tree, &path).unwrap()))
+    });
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Query benchmarks covering Tables 2–3 in micro form: SeqScan vs. the
+//! three SimSearch variants at two thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use warptree_bench::{build_index, IndexKind, Method};
+use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
+
+fn bench_query(c: &mut Criterion) {
+    let store = stock_corpus(&StockConfig {
+        sequences: 60,
+        mean_len: 80,
+        ..Default::default()
+    });
+    let queries = QueryWorkload::draw(
+        &store,
+        &QueryConfig {
+            count: 1,
+            mean_len: 16,
+            len_jitter: 0,
+            noise_std: 0.5,
+            ..Default::default()
+        },
+    );
+    let q = &queries.queries()[0].values;
+
+    let exact = build_index(&store, IndexKind::Exact, Method::El, 0);
+    let full = build_index(&store, IndexKind::Full, Method::Me, 40);
+    let sparse = build_index(&store, IndexKind::Sparse, Method::Me, 40);
+
+    for eps in [5.0f64, 20.0] {
+        let params = SearchParams::with_epsilon(eps);
+        let mut g = c.benchmark_group(format!("query_eps{eps}"));
+        g.sample_size(20);
+        g.bench_with_input(
+            BenchmarkId::new("seqscan_full", eps as u64),
+            &eps,
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = SearchStats::default();
+                    black_box(seq_scan(
+                        &store,
+                        black_box(q),
+                        &params,
+                        SeqScanMode::Full,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("seqscan_early_abandon", eps as u64),
+            &eps,
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = SearchStats::default();
+                    black_box(seq_scan(
+                        &store,
+                        black_box(q),
+                        &params,
+                        SeqScanMode::EarlyAbandon,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+        for (name, built) in [
+            ("simsearch_st", &exact),
+            ("simsearch_st_c", &full),
+            ("simsearch_sst_c", &sparse),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, eps as u64), &eps, |b, _| {
+                b.iter(|| {
+                    black_box(sim_search(
+                        &built.tree,
+                        &built.alphabet,
+                        &store,
+                        black_box(q),
+                        &params,
+                    ))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Scalability benchmarks in micro form (Figures 4 and 5): query cost
+//! vs. sequence length and vs. number of sequences, SeqScan against the
+//! sparse index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use warptree_bench::{build_index, IndexKind, Method};
+use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+use warptree_data::{artificial_corpus, ArtificialConfig, QueryConfig, QueryWorkload};
+
+fn setup(
+    sequences: usize,
+    len: usize,
+) -> (
+    warptree_core::sequence::SequenceStore,
+    Vec<f64>,
+    warptree_bench::BuiltIndex,
+) {
+    let store = artificial_corpus(&ArtificialConfig {
+        sequences,
+        len,
+        seed: 0xBE4C4 + (sequences * 31 + len) as u64,
+        ..Default::default()
+    });
+    let queries = QueryWorkload::draw(
+        &store,
+        &QueryConfig {
+            count: 1,
+            mean_len: 12,
+            len_jitter: 0,
+            noise_std: 0.5,
+            bands: None,
+            ..Default::default()
+        },
+    );
+    let q = queries.queries()[0].values.clone();
+    let built = build_index(&store, IndexKind::Sparse, Method::Me, 16);
+    (store, q, built)
+}
+
+fn bench_scale_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_length_fig4");
+    g.sample_size(10);
+    for len in [50usize, 100, 200] {
+        let (store, q, built) = setup(20, len);
+        let params = SearchParams::with_epsilon(6.0);
+        g.bench_with_input(BenchmarkId::new("seqscan", len), &len, |b, _| {
+            b.iter(|| {
+                let mut stats = SearchStats::default();
+                black_box(seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sst_c", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(sim_search(
+                    &built.tree,
+                    &built.alphabet,
+                    &store,
+                    &q,
+                    &params,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scale_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_count_fig5");
+    g.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let (store, q, built) = setup(n, 80);
+        let params = SearchParams::with_epsilon(6.0);
+        g.bench_with_input(BenchmarkId::new("seqscan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut stats = SearchStats::default();
+                black_box(seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sst_c", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(sim_search(
+                    &built.tree,
+                    &built.alphabet,
+                    &store,
+                    &q,
+                    &params,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale_length, bench_scale_count);
+criterion_main!(benches);

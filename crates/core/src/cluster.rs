@@ -1,0 +1,213 @@
+//! Clustering of retrieved subsequences (paper §8: the search results
+//! "can be used for predictions, hypothesis testing, **clustering** and
+//! rule discovery").
+//!
+//! [`cluster_matches`] groups a set of matched subsequences by mutual
+//! time-warping distance with k-medoids (PAM-style alternation):
+//! medoids are real subsequences, so each cluster has an interpretable
+//! exemplar, and the distance is the same `D_tw` the search used —
+//! different-length members cluster together naturally.
+//!
+//! Cost is `O(n²)` DTW computations; condense the input first (e.g.
+//! [`AnswerSet::non_overlapping`](crate::search::AnswerSet::non_overlapping))
+//! for large answer sets.
+
+use crate::dtw::dtw;
+use crate::search::answers::Match;
+use crate::sequence::SequenceStore;
+
+/// One cluster: its medoid (an actual matched subsequence) and member
+/// indices into the input slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Index of the medoid in the input `matches`.
+    pub medoid: usize,
+    /// Indices of all members (medoid included), ascending.
+    pub members: Vec<usize>,
+    /// Sum of member-to-medoid time-warping distances.
+    pub cost: f64,
+}
+
+/// Groups `matches` into at most `k` clusters by time-warping distance.
+///
+/// Deterministic: medoids are seeded by farthest-first traversal from
+/// the first match, then refined by assign/update alternation until a
+/// fixed point or `max_iters`. Returns fewer than `k` clusters when
+/// there are fewer matches.
+pub fn cluster_matches(
+    store: &SequenceStore,
+    matches: &[Match],
+    k: usize,
+    max_iters: usize,
+) -> Vec<Cluster> {
+    assert!(k >= 1, "k must be positive");
+    let n = matches.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    // Pairwise distance matrix (symmetric; DTW is symmetric for the
+    // city-block base).
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let a = store.occurrence_values(matches[i].occ);
+            let b = store.occurrence_values(matches[j].occ);
+            let dist = dtw(a, b);
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    // Farthest-first seeding.
+    let mut medoids = vec![0usize];
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids
+                    .iter()
+                    .map(|&m| d[a * n + m])
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| d[b * n + m])
+                    .fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("candidates remain");
+        medoids.push(next);
+    }
+    // Alternate assignment and medoid update.
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iters.max(1) {
+        // Assign to nearest medoid.
+        for i in 0..n {
+            assignment[i] = (0..k)
+                .min_by(|&a, &b| {
+                    d[i * n + medoids[a]]
+                        .partial_cmp(&d[i * n + medoids[b]])
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+        }
+        // Update each medoid to the member minimizing total distance.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ca: f64 = members.iter().map(|&m| d[a * n + m]).sum();
+                    let cb: f64 = members.iter().map(|&m| d[b * n + m]).sum();
+                    ca.partial_cmp(&cb).expect("finite distances")
+                })
+                .expect("non-empty");
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final assignment and cluster materialization.
+    for i in 0..n {
+        assignment[i] = (0..k)
+            .min_by(|&a, &b| {
+                d[i * n + medoids[a]]
+                    .partial_cmp(&d[i * n + medoids[b]])
+                    .expect("finite distances")
+            })
+            .expect("k >= 1");
+    }
+    let mut clusters: Vec<Cluster> = Vec::with_capacity(k);
+    for c in 0..k {
+        let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cost = members.iter().map(|&m| d[medoids[c] * n + m]).sum();
+        clusters.push(Cluster {
+            medoid: medoids[c],
+            members,
+            cost,
+        });
+    }
+    clusters.sort_by_key(|c| c.medoid);
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{Occurrence, SeqId};
+
+    fn setup() -> (SequenceStore, Vec<Match>) {
+        // Two obvious families: flat-low shapes and spike shapes, with
+        // varying lengths inside each family.
+        let store = SequenceStore::from_values(vec![
+            vec![1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![1.0, 1.2, 1.0],
+            vec![0.0, 10.0, 0.0],
+            vec![0.0, 0.0, 10.0, 10.0, 0.0, 0.0],
+        ]);
+        let matches: Vec<Match> = (0..4u32)
+            .map(|i| Match {
+                occ: Occurrence::new(SeqId(i), 0, store.get(SeqId(i)).len() as u32),
+                dist: 0.0,
+            })
+            .collect();
+        (store, matches)
+    }
+
+    #[test]
+    fn separates_obvious_families() {
+        let (store, matches) = setup();
+        let clusters = cluster_matches(&store, &matches, 2, 20);
+        assert_eq!(clusters.len(), 2);
+        let families: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+        assert!(families.contains(&vec![0, 1]));
+        assert!(families.contains(&vec![2, 3]));
+        // Every member's medoid is one of its own cluster.
+        for c in &clusters {
+            assert!(c.members.contains(&c.medoid));
+        }
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let (store, matches) = setup();
+        let clusters = cluster_matches(&store, &matches, 1, 10);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k_exceeding_n_caps_at_n() {
+        let (store, matches) = setup();
+        let clusters = cluster_matches(&store, &matches[..2], 10, 10);
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            assert_eq!(c.members.len(), 1);
+            assert_eq!(c.cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let store = SequenceStore::from_values(vec![vec![1.0]]);
+        assert!(cluster_matches(&store, &[], 3, 10).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (store, matches) = setup();
+        let a = cluster_matches(&store, &matches, 2, 20);
+        let b = cluster_matches(&store, &matches, 2, 20);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,475 @@
+//! The time-warping distance `D_tw` (paper §3) and the incremental
+//! cumulative-distance-table machinery shared by every search algorithm.
+//!
+//! # Definitions
+//!
+//! For non-null sequences `S_i`, `S_j` (Definition 1):
+//!
+//! ```text
+//! D_tw(S_i, S_j) = D_base(S_i[1], S_j[1]) + min { D_tw(S_i, S_j[2:-]),
+//!                                                 D_tw(S_i[2:-], S_j),
+//!                                                 D_tw(S_i[2:-], S_j[2:-]) }
+//! D_base(a, b)   = |a - b|
+//! ```
+//!
+//! computed by dynamic programming over the cumulative table `γ(x, y)`
+//! (Definition 2). We orient the table with the **query along the x-axis
+//! (columns)** and the data path along the y-axis (rows): the last column
+//! of row `r` is then the distance between the query and the length-`r`
+//! prefix of the data — exactly what the suffix-tree traversal inspects,
+//! one row per edge symbol.
+//!
+//! # Theorem 1 (branch pruning)
+//!
+//! > If all columns of the last row of the cumulative distance table have
+//! > values greater than ε, adding more rows cannot yield values ≤ ε.
+//!
+//! This holds because each cell adds a non-negative base distance to the
+//! minimum of its three predecessors, so the row minimum is non-decreasing
+//! as rows are appended. [`WarpTable::push_row_with`] reports the row
+//! minimum (`mDist`) so callers can cut off traversal/scanning.
+//!
+//! # Warping window (paper §8)
+//!
+//! An optional Sakoe–Chiba band of width `w` restricts the table to cells
+//! with `|x − y| ≤ w`. Besides the usual DTW robustness benefits, the paper
+//! notes it bounds answer lengths to `|Q| ± w`, which lets the index skip
+//! suffixes/depths outside that range.
+
+use crate::sequence::Value;
+
+/// Result of appending one row to a [`WarpTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowStat {
+    /// `γ(|Q|, r)`: distance between the full query and the data prefix of
+    /// length `r` (the paper's `dist`).
+    pub dist: f64,
+    /// Minimum over the row's (in-band) columns (the paper's `mDist`);
+    /// by Theorem 1 traversal may stop once `min > ε`.
+    pub min: f64,
+}
+
+impl RowStat {
+    /// `true` when, by Theorem 1, no deeper row can reach `epsilon`.
+    #[inline]
+    pub fn prunes(&self, epsilon: f64) -> bool {
+        self.min > epsilon
+    }
+}
+
+/// An incrementally grown cumulative time-warping distance table.
+///
+/// The query is fixed at construction; data rows are appended with
+/// [`push_row_with`](Self::push_row_with) and removed with
+/// [`truncate`](Self::truncate), which is what lets a depth-first
+/// suffix-tree traversal share table prefixes across all suffixes with a
+/// common prefix (the paper's `R_d` reduction factor).
+#[derive(Debug, Clone)]
+pub struct WarpTable {
+    query: Vec<Value>,
+    /// Row-major cells, stride `query.len() + 1`; row 0 is the boundary
+    /// row `[0, ∞, ∞, …]`.
+    cells: Vec<f64>,
+    stats: Vec<RowStat>,
+    window: Option<u32>,
+    /// Total cells computed over this table's lifetime (monotonic; used to
+    /// report the machine-independent cost model of §4.3/§5.5).
+    cells_computed: u64,
+}
+
+impl WarpTable {
+    /// Creates a table for `query` with an optional Sakoe–Chiba band.
+    ///
+    /// # Panics
+    /// Panics if the query is empty.
+    pub fn new(query: &[Value], window: Option<u32>) -> Self {
+        assert!(!query.is_empty(), "query must be non-empty");
+        let stride = query.len() + 1;
+        let mut cells = Vec::with_capacity(stride * 16);
+        cells.push(0.0);
+        cells.extend(std::iter::repeat_n(f64::INFINITY, query.len()));
+        Self {
+            query: query.to_vec(),
+            cells,
+            stats: Vec::with_capacity(16),
+            window,
+            cells_computed: 0,
+        }
+    }
+
+    /// The query this table was built for.
+    #[inline]
+    pub fn query(&self) -> &[Value] {
+        &self.query
+    }
+
+    /// Number of data rows currently in the table (excluding the boundary
+    /// row).
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.stats.len() as u32
+    }
+
+    /// The stats of row `r` (1-based, `1..=depth`).
+    #[inline]
+    pub fn row_stat(&self, r: u32) -> RowStat {
+        self.stats[(r - 1) as usize]
+    }
+
+    /// Total cells computed so far (cost counter).
+    #[inline]
+    pub fn cells_computed(&self) -> u64 {
+        self.cells_computed
+    }
+
+    /// `true` when a band is configured and every cell of the next row
+    /// would fall outside it (row index > |Q| + w), i.e. descending
+    /// further cannot produce any finite value.
+    #[inline]
+    pub fn next_row_out_of_band(&self) -> bool {
+        match self.window {
+            Some(w) => self.depth() as u64 + 1 > self.query.len() as u64 + w as u64,
+            None => false,
+        }
+    }
+
+    /// Appends a data row whose base distances against the query elements
+    /// are produced by `base` (`base(q)` = base distance between query
+    /// element `q` and the new data element).
+    ///
+    /// Passing `|q| (q - v).abs()` gives the exact `D_tw`; passing
+    /// `|q| alphabet.base_lb(q, sym)` gives the lower bound `D_tw-lb`
+    /// (Definition 3) — the recurrence is identical, only the base
+    /// distance changes.
+    pub fn push_row_with(&mut self, base: impl Fn(Value) -> f64) -> RowStat {
+        let stride = self.query.len() + 1;
+        let r = self.stats.len() + 1; // 1-based row index being added
+        let prev_start = (r - 1) * stride;
+        self.cells.push(f64::INFINITY); // column 0 boundary
+        let mut min = f64::INFINITY;
+        let Some((lo, hi)) = self.band(r) else {
+            // Entire row outside the band: all-infinite row.
+            self.cells
+                .extend(std::iter::repeat_n(f64::INFINITY, self.query.len()));
+            let stat = RowStat {
+                dist: f64::INFINITY,
+                min: f64::INFINITY,
+            };
+            self.stats.push(stat);
+            return stat;
+        };
+        let mut diag = self.cells[prev_start + lo - 1]; // γ(x-1, r-1)
+        let mut left = f64::INFINITY; // γ(x-1, r)
+                                      // Columns before the band are out of range.
+        for _ in 1..lo {
+            self.cells.push(f64::INFINITY);
+        }
+        for x in lo..=hi {
+            let up = self.cells[prev_start + x]; // γ(x, r-1)
+            let best = diag.min(up).min(left);
+            let cell = if best.is_finite() {
+                base(self.query[x - 1]) + best
+            } else {
+                f64::INFINITY
+            };
+            self.cells.push(cell);
+            if cell < min {
+                min = cell;
+            }
+            diag = up;
+            left = cell;
+        }
+        for _ in hi + 1..stride {
+            self.cells.push(f64::INFINITY);
+        }
+        self.cells_computed += (hi - lo + 1) as u64;
+        let dist = self.cells[r * stride + self.query.len()];
+        let stat = RowStat { dist, min };
+        self.stats.push(stat);
+        stat
+    }
+
+    /// Appends a row for an exact numeric data element.
+    #[inline]
+    pub fn push_value(&mut self, v: Value) -> RowStat {
+        self.push_row_with(|q| (q - v).abs())
+    }
+
+    /// Shrinks the table back to `depth` rows (used when the depth-first
+    /// traversal backtracks).
+    pub fn truncate(&mut self, depth: u32) {
+        let depth = depth as usize;
+        debug_assert!(depth <= self.stats.len());
+        self.stats.truncate(depth);
+        self.cells.truncate((depth + 1) * (self.query.len() + 1));
+    }
+
+    /// Clears all data rows, keeping the query (reuse across suffixes in
+    /// `SeqScan`).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Inclusive column range `[lo, hi]` (1-based) of in-band cells for row
+    /// `r`, or `None` when the whole row falls outside the band. Without a
+    /// window this is `[1, |Q|]`.
+    #[inline]
+    fn band(&self, r: usize) -> Option<(usize, usize)> {
+        match self.window {
+            None => Some((1, self.query.len())),
+            Some(w) => {
+                let w = w as i64;
+                let r = r as i64;
+                let lo = (r - w).max(1) as usize;
+                let hi = (r + w).min(self.query.len() as i64).max(0) as usize;
+                if hi < lo {
+                    None
+                } else {
+                    Some((lo, hi))
+                }
+            }
+        }
+    }
+}
+
+/// Exact time-warping distance `D_tw(a, b)` (Definition 1/2).
+///
+/// ```
+/// use warptree_core::dtw::dtw;
+/// // The paper's intro: one series sampled twice as often — identical
+/// // under time warping.
+/// let daily = [20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0];
+/// let alternate = [20.0, 21.0, 20.0, 23.0];
+/// assert_eq!(dtw(&daily, &alternate), 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if either sequence is empty (the paper defines `D_tw` for
+/// non-null sequences only).
+pub fn dtw(a: &[Value], b: &[Value]) -> f64 {
+    assert!(!b.is_empty(), "D_tw is defined for non-null sequences");
+    let mut t = WarpTable::new(a, None);
+    let mut last = RowStat {
+        dist: f64::INFINITY,
+        min: f64::INFINITY,
+    };
+    for &v in b {
+        last = t.push_value(v);
+    }
+    last.dist
+}
+
+/// `D_tw` with a Sakoe–Chiba band of width `w`; cells outside the band are
+/// forbidden. Returns `f64::INFINITY` when no warping path fits the band
+/// (e.g. the lengths differ by more than `w`).
+pub fn dtw_windowed(a: &[Value], b: &[Value], w: u32) -> f64 {
+    assert!(!b.is_empty(), "D_tw is defined for non-null sequences");
+    let mut t = WarpTable::new(a, Some(w));
+    let mut last = RowStat {
+        dist: f64::INFINITY,
+        min: f64::INFINITY,
+    };
+    for &v in b {
+        last = t.push_value(v);
+    }
+    last.dist
+}
+
+/// Exact `D_tw(a, b)` with Theorem-1 early abandoning: returns `None` as
+/// soon as the distance provably exceeds `epsilon`, otherwise
+/// `Some(distance)`.
+///
+/// ```
+/// use warptree_core::dtw::dtw_early_abandon;
+/// assert_eq!(dtw_early_abandon(&[1.0, 2.0], &[1.0, 2.0], 0.5), Some(0.0));
+/// assert_eq!(dtw_early_abandon(&[1.0, 2.0], &[9.0, 9.0], 0.5), None);
+/// ```
+pub fn dtw_early_abandon(a: &[Value], b: &[Value], epsilon: f64) -> Option<f64> {
+    assert!(!b.is_empty(), "D_tw is defined for non-null sequences");
+    let mut t = WarpTable::new(a, None);
+    let mut last = RowStat {
+        dist: f64::INFINITY,
+        min: f64::INFINITY,
+    };
+    for &v in b {
+        last = t.push_value(v);
+        if last.prunes(epsilon) {
+            return None;
+        }
+    }
+    if last.dist <= epsilon {
+        Some(last.dist)
+    } else {
+        None
+    }
+}
+
+/// Reference implementation of Definition 1 by direct recursion.
+///
+/// Exponential time — only for verifying the DP implementation on tiny
+/// inputs in tests.
+pub fn dtw_naive_recursive(a: &[Value], b: &[Value]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty());
+    let base = (a[0] - b[0]).abs();
+    let rest = match (a.len(), b.len()) {
+        (1, 1) => 0.0,
+        (1, _) => dtw_naive_recursive(a, &b[1..]),
+        (_, 1) => dtw_naive_recursive(&a[1..], b),
+        _ => dtw_naive_recursive(a, &b[1..])
+            .min(dtw_naive_recursive(&a[1..], b))
+            .min(dtw_naive_recursive(&a[1..], &b[1..])),
+    };
+    base + rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure1_example() {
+        // S3 = <3,4,3>, S4 = <4,5,6,7,6,6>. The paper reads
+        // D_tw(S3, S4[1:4]) = 8 off the last column of row 4.
+        let s3 = [3.0, 4.0, 3.0];
+        let s4 = [4.0, 5.0, 6.0, 7.0, 6.0, 6.0];
+        assert_eq!(dtw(&s3, &s4), 12.0);
+        let mut t = WarpTable::new(&s3, None);
+        let mut dists = Vec::new();
+        for &v in &s4 {
+            dists.push(t.push_value(v).dist);
+        }
+        // Prefix distances D_tw(S3, S4[1:q]) for q = 1..6 (hand-computed;
+        // q = 4 matches the paper's worked example).
+        assert_eq!(dists, vec![2.0, 3.0, 5.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn paper_intro_example_warping_matches_resampled() {
+        // S1 daily, S2 every other day: identical under time warping.
+        let s1 = [20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0];
+        let s2 = [20.0, 21.0, 20.0, 23.0];
+        assert_eq!(dtw(&s1, &s2), 0.0);
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_zero_on_identity() {
+        let a = [1.0, 5.0, 2.0, 8.0];
+        let b = [2.0, 2.0, 9.0];
+        assert_eq!(dtw(&a, &b), dtw(&b, &a));
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dp_matches_naive_recursion() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.0], &[2.0]),
+            (&[1.0, 2.0], &[2.0]),
+            (&[3.0, 4.0, 3.0], &[4.0, 5.0, 6.0, 7.0]),
+            (&[0.0, 10.0, 0.0, 10.0], &[10.0, 0.0, 10.0]),
+            (&[1.5, 1.5, 1.5], &[1.5, 1.5]),
+        ];
+        for (a, b) in cases {
+            assert_eq!(dtw(a, b), dtw_naive_recursive(a, b), "case {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn theorem1_row_minimum_is_non_decreasing() {
+        let q = [5.0, 1.0, 7.0, 3.0];
+        let data = [2.0, 9.0, 4.0, 4.0, 0.0, 6.0, 8.0];
+        let mut t = WarpTable::new(&q, None);
+        let mut prev = 0.0;
+        for &v in &data {
+            let s = t.push_value(v);
+            assert!(s.min >= prev, "row minimum decreased");
+            prev = s.min;
+        }
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_full_dtw() {
+        let q = [3.0, 4.0, 3.0];
+        let s = [4.0, 5.0, 6.0, 7.0, 6.0, 6.0]; // D_tw = 12
+        assert_eq!(dtw_early_abandon(&q, &s, 12.0), Some(12.0));
+        assert_eq!(dtw_early_abandon(&q, &s, 11.9), None);
+        // The paper's example: with ε = 3 the scan may stop after row 3.
+        let mut t = WarpTable::new(&q, None);
+        t.push_value(s[0]);
+        t.push_value(s[1]);
+        let s3 = t.push_value(s[2]);
+        assert!(s3.prunes(3.0));
+    }
+
+    #[test]
+    fn truncate_restores_previous_rows() {
+        let q = [1.0, 2.0];
+        let mut t = WarpTable::new(&q, None);
+        let s1 = t.push_value(1.0);
+        let s2 = t.push_value(5.0);
+        t.truncate(1);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.row_stat(1), s1);
+        // Re-pushing yields identical stats (table state fully restored).
+        let s2b = t.push_value(5.0);
+        assert_eq!(s2, s2b);
+        t.reset();
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn windowed_dtw_restricts_paths() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [0.0];
+        // Unconstrained: b's single element maps to all of a -> 0.
+        assert_eq!(dtw(&a, &b), 0.0);
+        // Band w=1: |x-y| <= 1 forbids matching a[4] (x=4) to b[1] (y=1).
+        assert_eq!(dtw_windowed(&a, &b, 1), f64::INFINITY);
+        // Band wide enough recovers the exact distance.
+        assert_eq!(dtw_windowed(&a, &b, 3), 0.0);
+        // Windowed distance upper-bounds the unconstrained distance.
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let y = [1.0, 2.0, 2.0, 6.0, 4.0];
+        assert!(dtw_windowed(&x, &y, 1) >= dtw(&x, &y));
+    }
+
+    #[test]
+    fn window_out_of_band_detection() {
+        let q = [1.0, 2.0];
+        let mut t = WarpTable::new(&q, Some(1));
+        assert!(!t.next_row_out_of_band());
+        t.push_value(0.0);
+        t.push_value(0.0);
+        t.push_value(0.0); // row 3 = |Q| + w, still allowed
+        assert!(t.next_row_out_of_band()); // row 4 would be fully outside
+    }
+
+    #[test]
+    fn cells_computed_counts_band_only() {
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let mut full = WarpTable::new(&q, None);
+        full.push_value(0.0);
+        assert_eq!(full.cells_computed(), 4);
+        let mut banded = WarpTable::new(&q, Some(1));
+        banded.push_value(0.0);
+        assert_eq!(banded.cells_computed(), 2); // columns 1..=2
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_query_panics() {
+        let _ = WarpTable::new(&[], None);
+    }
+
+    #[test]
+    fn prefix_distance_row_semantics() {
+        // Row r's dist must equal dtw(query, data[..r]).
+        let q = [2.0, 7.0, 1.0];
+        let data = [3.0, 3.0, 8.0, 0.0, 2.0];
+        let mut t = WarpTable::new(&q, None);
+        for r in 1..=data.len() {
+            let stat = t.push_value(data[r - 1]);
+            assert_eq!(stat.dist, dtw(&q, &data[..r]), "prefix {r}");
+        }
+    }
+}

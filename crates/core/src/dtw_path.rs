@@ -1,0 +1,218 @@
+//! Warping-path extraction: the element mapping behind a time-warping
+//! distance (paper Figure 1(b)).
+//!
+//! The cumulative table gives the *distance*; tracing back from the
+//! final cell through the minimal predecessors recovers *which elements
+//! matched which* — the alignment users need to visualize or post-process
+//! a match (e.g. transferring annotations between a query beat and a
+//! matched beat).
+
+use crate::sequence::Value;
+
+/// One matched pair of element positions (0-based): `(i, j)` means
+/// `a[i]` was aligned with `b[j]`.
+pub type Step = (usize, usize);
+
+/// The result of [`dtw_with_path`]: the distance plus the full warping
+/// path from `(0, 0)` to `(|a|−1, |b|−1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    /// The time-warping distance.
+    pub dist: f64,
+    /// Matched element pairs in order; every consecutive pair advances
+    /// `i`, `j`, or both by exactly one.
+    pub path: Vec<Step>,
+}
+
+impl Alignment {
+    /// For each element of `a`, the (inclusive) range of `b` positions
+    /// it was matched to.
+    pub fn ranges_for_a(&self, a_len: usize) -> Vec<(usize, usize)> {
+        let mut ranges = vec![(usize::MAX, 0usize); a_len];
+        for &(i, j) in &self.path {
+            let r = &mut ranges[i];
+            r.0 = r.0.min(j);
+            r.1 = r.1.max(j);
+        }
+        ranges
+    }
+}
+
+/// Computes `D_tw(a, b)` and the optimal warping path.
+///
+/// Ties between predecessors are broken preferring the diagonal (fewest
+/// matched pairs), then the upward step.
+///
+/// ```
+/// use warptree_core::dtw_path::dtw_with_path;
+/// let al = dtw_with_path(&[1.0, 9.0], &[1.0, 1.0, 9.0]);
+/// assert_eq!(al.dist, 0.0);
+/// // The duplicated 1.0 maps onto the same query element.
+/// assert_eq!(al.path, vec![(0, 0), (0, 1), (1, 2)]);
+/// ```
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn dtw_with_path(a: &[Value], b: &[Value]) -> Alignment {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "D_tw is defined for non-null sequences"
+    );
+    let (n, m) = (a.len(), b.len());
+    // Full table (row-major over b) — path extraction needs all cells.
+    let mut cells = vec![f64::INFINITY; n * m];
+    for j in 0..m {
+        for i in 0..n {
+            let base = (a[i] - b[j]).abs();
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if j > 0 {
+                    cells[(j - 1) * n + i]
+                } else {
+                    f64::INFINITY
+                };
+                let left = if i > 0 {
+                    cells[j * n + i - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let diag = if i > 0 && j > 0 {
+                    cells[(j - 1) * n + i - 1]
+                } else {
+                    f64::INFINITY
+                };
+                diag.min(up).min(left)
+            };
+            cells[j * n + i] = base + best;
+        }
+    }
+    // Trace back.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n - 1, m - 1);
+    loop {
+        path.push((i, j));
+        if i == 0 && j == 0 {
+            break;
+        }
+        let up = if j > 0 {
+            cells[(j - 1) * n + i]
+        } else {
+            f64::INFINITY
+        };
+        let left = if i > 0 {
+            cells[j * n + i - 1]
+        } else {
+            f64::INFINITY
+        };
+        let diag = if i > 0 && j > 0 {
+            cells[(j - 1) * n + i - 1]
+        } else {
+            f64::INFINITY
+        };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            j -= 1;
+        } else {
+            i -= 1;
+        }
+    }
+    path.reverse();
+    Alignment {
+        dist: cells[n * m - 1],
+        path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw;
+
+    fn check_path_valid(a: &[f64], b: &[f64], al: &Alignment) {
+        // Boundary conditions.
+        assert_eq!(al.path.first(), Some(&(0, 0)));
+        assert_eq!(al.path.last(), Some(&(a.len() - 1, b.len() - 1)));
+        // Monotone unit steps.
+        for w in al.path.windows(2) {
+            let (di, dj) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            assert!(di <= 1 && dj <= 1 && di + dj >= 1, "bad step {w:?}");
+        }
+        // Path cost equals the reported (and independent) distance.
+        let cost: f64 = al.path.iter().map(|&(i, j)| (a[i] - b[j]).abs()).sum();
+        assert!((cost - al.dist).abs() < 1e-9, "cost {cost} != {}", al.dist);
+        assert!((al.dist - dtw(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure1_mapping() {
+        let s3 = [3.0, 4.0, 3.0];
+        let s4 = [4.0, 5.0, 6.0, 7.0, 6.0, 6.0];
+        let al = dtw_with_path(&s3, &s4);
+        check_path_valid(&s3, &s4, &al);
+        assert_eq!(al.dist, 12.0);
+        // Every element of the longer sequence appears in the path.
+        let bs: std::collections::HashSet<usize> = al.path.iter().map(|&(_, j)| j).collect();
+        assert_eq!(bs.len(), 6);
+    }
+
+    #[test]
+    fn identical_sequences_align_diagonally() {
+        let a = [1.0, 5.0, 2.0, 8.0];
+        let al = dtw_with_path(&a, &a);
+        assert_eq!(al.dist, 0.0);
+        assert_eq!(al.path, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn stretched_sequence_maps_many_to_one() {
+        // The paper's intro example: every element of S2 duplicates.
+        let s1 = [20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0];
+        let s2 = [20.0, 21.0, 20.0, 23.0];
+        let al = dtw_with_path(&s1, &s2);
+        check_path_valid(&s1, &s2, &al);
+        assert_eq!(al.dist, 0.0);
+        // Each s2 element covers exactly two s1 elements.
+        let mut counts = [0usize; 4];
+        for &(_, j) in &al.path {
+            counts[j] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn ranges_for_a() {
+        let a = [1.0, 9.0];
+        let b = [1.0, 1.0, 9.0];
+        let al = dtw_with_path(&a, &b);
+        let ranges = al.ranges_for_a(2);
+        assert_eq!(ranges[0], (0, 1)); // a[0] covers b[0..=1]
+        assert_eq!(ranges[1], (2, 2));
+    }
+
+    #[test]
+    fn random_paths_always_valid() {
+        // Deterministic pseudo-random sweep.
+        let mut x = 12345u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) % 17) as f64
+        };
+        for trial in 0..50 {
+            let la = 1 + (trial % 7);
+            let lb = 1 + (trial % 5);
+            let a: Vec<f64> = (0..la).map(|_| next()).collect();
+            let b: Vec<f64> = (0..lb).map(|_| next()).collect();
+            let al = dtw_with_path(&a, &b);
+            check_path_valid(&a, &b, &al);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-null")]
+    fn empty_input_panics() {
+        let _ = dtw_with_path(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the core algorithms.
+
+use std::fmt;
+
+/// Errors raised while constructing alphabets or running searches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A categorization was requested with zero categories.
+    ZeroCategories,
+    /// A categorization was requested over an empty database.
+    EmptyDatabase,
+    /// A query sequence was empty.
+    EmptyQuery,
+    /// The distance threshold was negative or not finite.
+    BadThreshold,
+    /// A symbol outside the alphabet was encountered.
+    UnknownSymbol(u32),
+    /// The query contained a NaN or infinite value.
+    NonFiniteQuery,
+    /// The search's answer-length bound exceeds a truncated index's
+    /// stored depth (paper §8), or is missing entirely.
+    DepthLimitExceeded {
+        /// The index's stored depth limit.
+        limit: u32,
+        /// The search's effective maximum answer length, when bounded.
+        requested: Option<u32>,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ZeroCategories => {
+                write!(f, "categorization requires at least one category")
+            }
+            CoreError::EmptyDatabase => {
+                write!(f, "cannot categorize an empty sequence database")
+            }
+            CoreError::EmptyQuery => write!(f, "query sequence is empty"),
+            CoreError::BadThreshold => {
+                write!(f, "distance threshold must be finite and non-negative")
+            }
+            CoreError::UnknownSymbol(s) => {
+                write!(f, "symbol {s} is not part of the alphabet")
+            }
+            CoreError::NonFiniteQuery => {
+                write!(f, "query values must be finite")
+            }
+            CoreError::DepthLimitExceeded { limit, requested } => match requested {
+                Some(r) => write!(
+                    f,
+                    "answer-length bound {r} exceeds the truncated index's                      depth limit {limit}"
+                ),
+                None => write!(
+                    f,
+                    "a truncated index (depth limit {limit}) requires a                      bounded answer length (window or length range)"
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::ZeroCategories.to_string().contains("category"));
+        assert!(CoreError::EmptyDatabase.to_string().contains("empty"));
+        assert!(CoreError::EmptyQuery.to_string().contains("query"));
+        assert!(CoreError::BadThreshold.to_string().contains("threshold"));
+        assert!(CoreError::UnknownSymbol(7).to_string().contains('7'));
+        assert!(CoreError::NonFiniteQuery.to_string().contains("finite"));
+        let e = CoreError::DepthLimitExceeded {
+            limit: 4,
+            requested: Some(9),
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e2 = CoreError::DepthLimitExceeded {
+            limit: 4,
+            requested: None,
+        };
+        assert!(e2.to_string().contains("bounded"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Normal-form preprocessing for shape-based matching.
+//!
+//! `D_tw` on raw values conflates *level* with *shape*: a $20 stock and a
+//! $200 stock tracing the same pattern are far apart. The paper's
+//! related work (Goldin & Kanellakis [11]) matches *normal forms* that
+//! are invariant to shifting and scaling; these helpers produce such
+//! forms so the index can be built over shape rather than level.
+//!
+//! All transforms are per-sequence. Apply the same transform to queries
+//! (for z-normalization, normalize the query against *its own* moments —
+//! the standard convention for shape matching).
+
+use crate::sequence::{Sequence, SequenceStore, Value};
+
+/// Subtracts the sequence mean: offset-invariant form.
+pub fn mean_shift(values: &[Value]) -> Vec<Value> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| v - mean).collect()
+}
+
+/// Z-normalization: zero mean, unit variance. Constant sequences map to
+/// all-zero (their variance is 0).
+///
+/// ```
+/// use warptree_core::normalize::z_normalize;
+/// use warptree_core::dtw::dtw;
+/// // A $20 stock and a $200 stock tracing the same shape become
+/// // identical after z-normalization.
+/// let low: Vec<f64> = vec![20.0, 22.0, 21.0, 24.0];
+/// let high: Vec<f64> = low.iter().map(|v| v * 10.0).collect();
+/// assert!(dtw(&z_normalize(&low), &z_normalize(&high)) < 1e-9);
+/// ```
+pub fn z_normalize(values: &[Value]) -> Vec<Value> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let n = values.len() as f64;
+    let mean: f64 = values.iter().sum::<f64>() / n;
+    let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - mean) / std).collect()
+}
+
+/// Min-max scaling into `[0, 1]`. Constant sequences map to all-zero.
+pub fn min_max(values: &[Value]) -> Vec<Value> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let span = hi - lo;
+    if span < 1e-12 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - lo) / span).collect()
+}
+
+/// First differences: `d[i] = v[i+1] − v[i]` (length shrinks by one).
+/// Matching differences compares *movements*, the form the paper's
+/// artificial data is generated in.
+pub fn first_differences(values: &[Value]) -> Vec<Value> {
+    values.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Applies a per-sequence transform to a whole store, skipping sequences
+/// the transform empties (e.g. single-element sequences under
+/// [`first_differences`]).
+pub fn normalize_store(
+    store: &SequenceStore,
+    transform: impl Fn(&[Value]) -> Vec<Value>,
+) -> SequenceStore {
+    let mut out = SequenceStore::new();
+    for (_, s) in store.iter() {
+        let t = transform(s.values());
+        if !t.is_empty() {
+            out.push(Sequence::new(t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw;
+
+    #[test]
+    fn z_normalize_moments() {
+        let v = [3.0, 7.0, 5.0, 9.0, 1.0];
+        let z = z_normalize(&v);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_is_shift_scale_invariant() {
+        let v = [3.0, 7.0, 5.0, 9.0, 1.0];
+        let shifted_scaled: Vec<f64> = v.iter().map(|x| x * 13.0 + 200.0).collect();
+        let (a, b) = (z_normalize(&v), z_normalize(&shifted_scaled));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // So shapes at different levels become DTW-identical.
+        assert!(dtw(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn constant_sequences_do_not_explode() {
+        assert_eq!(z_normalize(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        assert_eq!(min_max(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        let v = [2.0, 10.0, 6.0];
+        let m = min_max(&v);
+        assert_eq!(m[0], 0.0);
+        assert_eq!(m[1], 1.0);
+        assert!((m[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_shift_centers() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(mean_shift(&v), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn first_differences_shape() {
+        let v = [1.0, 4.0, 2.0, 2.0];
+        assert_eq!(first_differences(&v), vec![3.0, -2.0, 0.0]);
+        assert!(first_differences(&[7.0]).is_empty());
+    }
+
+    #[test]
+    fn normalize_store_applies_and_skips_empty() {
+        let store = crate::sequence::SequenceStore::from_values(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![9.0], // drops under first_differences
+        ]);
+        let out = normalize_store(&store, first_differences);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.get(crate::sequence::SeqId(0)).values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(z_normalize(&[]).is_empty());
+        assert!(min_max(&[]).is_empty());
+        assert!(mean_shift(&[]).is_empty());
+    }
+}

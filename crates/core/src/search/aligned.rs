@@ -1,0 +1,155 @@
+//! Segment-aligned subsequence matching — the approach of the paper's
+//! reference [14] (Park, Lee, Chu: *Fast Retrieval of Similar
+//! Subsequences in Long Sequence Databases*, KDEX 1999), implemented as
+//! a comparator.
+//!
+//! Aligned matching divides every sequence into fixed-length segments
+//! and considers only subsequences that start *and* end at segment
+//! boundaries. That makes indexes small and scans fast, but — as the
+//! paper points out in §2 — *"subsequences not starting or ending at
+//! segment boundaries cannot be found"*: it is not free of false
+//! dismissals. This module exists to demonstrate and measure that gap
+//! against the suffix-tree search (see `exp_ablation`).
+
+use crate::dtw::WarpTable;
+use crate::search::answers::{AnswerSet, Match, SearchParams, SearchStats};
+use crate::sequence::{Occurrence, SequenceStore, Value};
+
+/// Exact scan over segment-aligned subsequences only: answers satisfy
+/// `start % seg_len == 0` and `len % seg_len == 0` in addition to the
+/// distance threshold.
+///
+/// The answer set is always a subset of [`seq_scan`]'s
+/// (`crate::search::seq_scan`); equality holds only when every true
+/// answer happens to be aligned.
+///
+/// # Panics
+/// Panics if `seg_len == 0` or the parameters are invalid.
+pub fn aligned_scan(
+    store: &SequenceStore,
+    query: &[Value],
+    params: &SearchParams,
+    seg_len: u32,
+    stats: &mut SearchStats,
+) -> AnswerSet {
+    assert!(seg_len >= 1, "segment length must be positive");
+    params
+        .validate(query.len())
+        .expect("invalid search parameters");
+    let epsilon = params.epsilon;
+    let max_len = params.effective_max_len(query.len());
+    let min_len = params.effective_min_len(query.len());
+    let mut answers = AnswerSet::new();
+    let mut table = WarpTable::new(query, params.window);
+    for (id, seq) in store.iter() {
+        let values = seq.values();
+        let mut start = 0usize;
+        while start < values.len() {
+            table.reset();
+            for (row, &v) in values[start..].iter().enumerate() {
+                let len = (row + 1) as u32;
+                if let Some(m) = max_len {
+                    if len > m {
+                        break;
+                    }
+                }
+                if table.next_row_out_of_band() {
+                    break;
+                }
+                let stat = table.push_value(v);
+                stats.rows_pushed += 1;
+                if len.is_multiple_of(seg_len) && stat.dist <= epsilon && len >= min_len {
+                    answers.push(Match {
+                        occ: Occurrence::new(id, start as u32, len),
+                        dist: stat.dist,
+                    });
+                }
+                if stat.prunes(epsilon) {
+                    break;
+                }
+            }
+            start += seg_len as usize;
+        }
+    }
+    stats.filter_cells += table.cells_computed();
+    stats.answers = answers.len() as u64;
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{seq_scan, SeqScanMode};
+
+    fn store(vals: &[&[f64]]) -> SequenceStore {
+        SequenceStore::from_values(vals.iter().map(|v| v.to_vec()))
+    }
+
+    #[test]
+    fn aligned_answers_are_aligned_and_a_subset() {
+        let st = store(&[&[1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0]]);
+        let q = [1.0, 2.0];
+        let params = SearchParams::with_epsilon(0.5);
+        let seg = 2;
+        let mut s1 = SearchStats::default();
+        let aligned = aligned_scan(&st, &q, &params, seg, &mut s1);
+        let mut s2 = SearchStats::default();
+        let full = seq_scan(&st, &q, &params, SeqScanMode::Full, &mut s2);
+        let full_occs = full.occurrence_set();
+        for m in aligned.matches() {
+            assert_eq!(m.occ.start % seg, 0);
+            assert_eq!(m.occ.len % seg, 0);
+            assert!(full_occs.binary_search(&m.occ).is_ok());
+        }
+        assert!(aligned.len() <= full.len());
+        assert!(!aligned.is_empty());
+    }
+
+    #[test]
+    fn misaligned_answers_are_dismissed() {
+        // The only exact match starts at offset 1: aligned matching with
+        // segment 2 must miss it — the paper's §2 critique in one test.
+        let st = store(&[&[9.0, 1.0, 2.0, 9.0]]);
+        let q = [1.0, 2.0];
+        let params = SearchParams::with_epsilon(0.0);
+        let mut s1 = SearchStats::default();
+        let aligned = aligned_scan(&st, &q, &params, 2, &mut s1);
+        assert!(aligned.is_empty(), "aligned scan must miss the match");
+        let mut s2 = SearchStats::default();
+        let full = seq_scan(&st, &q, &params, SeqScanMode::Full, &mut s2);
+        assert_eq!(full.len(), 1, "the match exists");
+    }
+
+    #[test]
+    fn segment_one_equals_full_scan() {
+        let st = store(&[&[3.0, 1.0, 4.0, 1.0, 5.0], &[2.0, 6.0]]);
+        let q = [1.0, 4.0];
+        let params = SearchParams::with_epsilon(1.5);
+        let mut s1 = SearchStats::default();
+        let aligned = aligned_scan(&st, &q, &params, 1, &mut s1);
+        let mut s2 = SearchStats::default();
+        let full = seq_scan(&st, &q, &params, SeqScanMode::Full, &mut s2);
+        assert_eq!(aligned.occurrence_set(), full.occurrence_set());
+    }
+
+    #[test]
+    fn aligned_scan_is_cheaper() {
+        let st = store(&[&[1.0; 64]]);
+        let q = [1.0, 1.0, 1.0];
+        let params = SearchParams::with_epsilon(0.0);
+        let mut s1 = SearchStats::default();
+        let _ = aligned_scan(&st, &q, &params, 8, &mut s1);
+        let mut s2 = SearchStats::default();
+        let _ = seq_scan(&st, &q, &params, SeqScanMode::Full, &mut s2);
+        assert!(s1.rows_pushed < s2.rows_pushed);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length")]
+    fn zero_segment_rejected() {
+        let st = store(&[&[1.0]]);
+        let params = SearchParams::with_epsilon(1.0);
+        let mut stats = SearchStats::default();
+        let _ = aligned_scan(&st, &[1.0], &params, 0, &mut stats);
+    }
+}

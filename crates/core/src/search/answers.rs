@@ -1,0 +1,373 @@
+//! Answer, candidate and statistics types shared by all search
+//! algorithms.
+
+use crate::error::CoreError;
+use crate::sequence::Occurrence;
+
+/// A candidate produced by the lower-bound filter: an occurrence plus the
+/// lower bound on its exact time-warping distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Where the candidate subsequence lies.
+    pub occ: Occurrence,
+    /// Lower bound (`D_tw-lb` or `D_tw-lb2`) on the exact distance.
+    pub lower_bound: f64,
+}
+
+/// A verified answer: an occurrence plus its exact time-warping distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Where the answer subsequence lies.
+    pub occ: Occurrence,
+    /// Exact `D_tw(query, subsequence)`, guaranteed `≤ ε`.
+    pub dist: f64,
+}
+
+/// The result set of a similarity search.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerSet {
+    matches: Vec<Match>,
+}
+
+impl AnswerSet {
+    /// Creates an empty answer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an answer.
+    pub fn push(&mut self, m: Match) {
+        self.matches.push(m);
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// `true` when no answers were found.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// All matches in unspecified order.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Sorts by `(seq, start, len)` for deterministic output and set
+    /// comparisons.
+    pub fn sort(&mut self) {
+        self.matches.sort_by_key(|m| m.occ);
+    }
+
+    /// The canonical sorted list of occurrences (distances dropped) —
+    /// used to compare algorithms for exact answer-set equality.
+    pub fn occurrence_set(&self) -> Vec<Occurrence> {
+        let mut occs: Vec<Occurrence> = self.matches.iter().map(|m| m.occ).collect();
+        occs.sort();
+        occs.dedup();
+        occs
+    }
+
+    /// The `k` matches with the smallest distances (ties broken by
+    /// occurrence order).
+    pub fn top_k(&self, k: usize) -> Vec<Match> {
+        let mut v = self.matches.clone();
+        v.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then(a.occ.cmp(&b.occ))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// The single best (smallest-distance) match per sequence, ordered
+    /// by ascending distance — the "screener" view: one hit per series.
+    pub fn best_per_sequence(&self) -> Vec<Match> {
+        let mut best: std::collections::HashMap<crate::sequence::SeqId, Match> =
+            std::collections::HashMap::new();
+        for m in &self.matches {
+            best.entry(m.occ.seq)
+                .and_modify(|b| {
+                    if (m.dist, m.occ) < (b.dist, b.occ) {
+                        *b = *m;
+                    }
+                })
+                .or_insert(*m);
+        }
+        let mut v: Vec<Match> = best.into_values().collect();
+        v.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then(a.occ.cmp(&b.occ))
+        });
+        v
+    }
+
+    /// Greedy non-overlapping selection: walks matches in ascending
+    /// distance order and keeps each match that does not overlap an
+    /// already-kept match in the same sequence. Collapses the nested and
+    /// shifted variants a subsequence search naturally produces into
+    /// distinct regions.
+    pub fn non_overlapping(&self) -> Vec<Match> {
+        let mut sorted = self.matches.clone();
+        sorted.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then(a.occ.cmp(&b.occ))
+        });
+        let mut picked: Vec<Match> = Vec::new();
+        for m in sorted {
+            if !picked.iter().any(|p| p.occ.overlaps(&m.occ)) {
+                picked.push(m);
+            }
+        }
+        picked
+    }
+}
+
+impl IntoIterator for AnswerSet {
+    type Item = Match;
+    type IntoIter = std::vec::IntoIter<Match>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.matches.into_iter()
+    }
+}
+
+/// Parameters of a similarity search.
+#[derive(Debug, Clone)]
+pub struct SearchParams {
+    /// The distance threshold ε: answers satisfy `D_tw ≤ ε`.
+    pub epsilon: f64,
+    /// Optional Sakoe–Chiba warping-window width (paper §8). Constrains
+    /// both the distance computation and — because answers then have
+    /// length within `|Q| ± w` — the traversal depth.
+    pub window: Option<u32>,
+    /// Hard cap on answer length (tree traversal depth). Derived from
+    /// `window` automatically when unset.
+    pub max_len: Option<u32>,
+    /// Minimum answer length. Answers shorter than this are skipped (and,
+    /// with a window, lengths below `|Q| − w` are impossible anyway).
+    pub min_len: u32,
+}
+
+impl SearchParams {
+    /// Plain threshold search, unconstrained warping.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            window: None,
+            max_len: None,
+            min_len: 1,
+        }
+    }
+
+    /// Adds a Sakoe–Chiba band of width `w`.
+    pub fn windowed(mut self, w: u32) -> Self {
+        self.window = Some(w);
+        self
+    }
+
+    /// Restricts answer lengths to `[min_len, max_len]`.
+    pub fn length_range(mut self, min_len: u32, max_len: u32) -> Self {
+        self.min_len = min_len;
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Validates the parameters against a query of length `qlen`.
+    pub fn validate(&self, qlen: usize) -> Result<(), CoreError> {
+        if qlen == 0 {
+            return Err(CoreError::EmptyQuery);
+        }
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(CoreError::BadThreshold);
+        }
+        Ok(())
+    }
+
+    /// The effective traversal depth limit for a query of length `qlen`:
+    /// the tighter of `max_len` and the window-implied bound `|Q| + w`.
+    pub fn effective_max_len(&self, qlen: usize) -> Option<u32> {
+        let from_window = self.window.map(|w| qlen as u32 + w);
+        match (self.max_len, from_window) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// The effective minimum answer length: the larger of `min_len` and
+    /// the window-implied bound `|Q| − w`.
+    pub fn effective_min_len(&self, qlen: usize) -> u32 {
+        let from_window = self
+            .window
+            .map(|w| (qlen as u32).saturating_sub(w))
+            .unwrap_or(1);
+        self.min_len.max(from_window).max(1)
+    }
+}
+
+/// Cost counters reported by the search algorithms. All counters are
+/// machine-independent, so they reproduce the paper's complexity analysis
+/// (§4.3, §5.5, §6.4) regardless of hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Cumulative-distance-table cells computed during filtering.
+    pub filter_cells: u64,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+    /// Edge symbols consumed (rows pushed) during traversal.
+    pub rows_pushed: u64,
+    /// Subtrees pruned by Theorem 1.
+    pub branches_pruned: u64,
+    /// Candidates emitted by the filter (the paper's `n` plus exact hits).
+    pub candidates: u64,
+    /// Candidates whose exact distance was computed in post-processing.
+    pub postprocessed: u64,
+    /// Cells computed during post-processing.
+    pub postprocess_cells: u64,
+    /// Candidates rejected by post-processing (false alarms).
+    pub false_alarms: u64,
+    /// Final answers.
+    pub answers: u64,
+}
+
+impl SearchStats {
+    /// Total table cells computed (filter + post-processing) — the
+    /// dominant cost in the paper's complexity model.
+    pub fn total_cells(&self) -> u64 {
+        self.filter_cells + self.postprocess_cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::SeqId;
+
+    fn occ(s: u32, p: u32, l: u32) -> Occurrence {
+        Occurrence::new(SeqId(s), p, l)
+    }
+
+    #[test]
+    fn answer_set_sort_and_occurrences() {
+        let mut a = AnswerSet::new();
+        a.push(Match {
+            occ: occ(1, 0, 3),
+            dist: 2.0,
+        });
+        a.push(Match {
+            occ: occ(0, 5, 2),
+            dist: 1.0,
+        });
+        a.push(Match {
+            occ: occ(0, 5, 2),
+            dist: 1.0,
+        });
+        a.sort();
+        assert_eq!(a.matches()[0].occ, occ(0, 5, 2));
+        assert_eq!(a.occurrence_set(), vec![occ(0, 5, 2), occ(1, 0, 3)]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn top_k_orders_by_distance() {
+        let mut a = AnswerSet::new();
+        for (i, d) in [(0u32, 5.0), (1, 1.0), (2, 3.0)] {
+            a.push(Match {
+                occ: occ(0, i, 1),
+                dist: d,
+            });
+        }
+        let top = a.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].dist, 1.0);
+        assert_eq!(top[1].dist, 3.0);
+    }
+
+    #[test]
+    fn best_per_sequence_picks_minimum() {
+        let mut a = AnswerSet::new();
+        for (seq, start, d) in [(0u32, 0u32, 3.0), (0, 4, 1.0), (1, 2, 2.0), (0, 9, 1.0)] {
+            a.push(Match {
+                occ: occ(seq, start, 2),
+                dist: d,
+            });
+        }
+        let best = a.best_per_sequence();
+        assert_eq!(best.len(), 2);
+        // Sequence 0's tie at dist 1.0 resolves to the earlier start.
+        assert_eq!(best[0].occ, occ(0, 4, 2));
+        assert_eq!(best[1].occ, occ(1, 2, 2));
+    }
+
+    #[test]
+    fn non_overlapping_keeps_best_regions() {
+        let mut a = AnswerSet::new();
+        // Three nested variants of one region plus one distant region.
+        for (start, len, d) in [(5u32, 4u32, 0.5), (5, 5, 1.0), (6, 3, 2.0)] {
+            a.push(Match {
+                occ: occ(0, start, len),
+                dist: d,
+            });
+        }
+        a.push(Match {
+            occ: occ(0, 20, 3),
+            dist: 1.5,
+        });
+        let picked = a.non_overlapping();
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].occ, occ(0, 5, 4));
+        assert_eq!(picked[1].occ, occ(0, 20, 3));
+        // Adjacent (non-overlapping) regions both survive.
+        let mut b = AnswerSet::new();
+        b.push(Match {
+            occ: occ(0, 0, 3),
+            dist: 1.0,
+        });
+        b.push(Match {
+            occ: occ(0, 3, 3),
+            dist: 2.0,
+        });
+        assert_eq!(b.non_overlapping().len(), 2);
+    }
+
+    #[test]
+    fn params_validation() {
+        let p = SearchParams::with_epsilon(1.0);
+        assert!(p.validate(5).is_ok());
+        assert_eq!(p.validate(0), Err(CoreError::EmptyQuery));
+        let bad = SearchParams::with_epsilon(-1.0);
+        assert_eq!(bad.validate(5), Err(CoreError::BadThreshold));
+        let nan = SearchParams::with_epsilon(f64::NAN);
+        assert_eq!(nan.validate(5), Err(CoreError::BadThreshold));
+    }
+
+    #[test]
+    fn effective_length_bounds() {
+        let p = SearchParams::with_epsilon(1.0);
+        assert_eq!(p.effective_max_len(10), None);
+        assert_eq!(p.effective_min_len(10), 1);
+
+        let w = SearchParams::with_epsilon(1.0).windowed(3);
+        assert_eq!(w.effective_max_len(10), Some(13));
+        assert_eq!(w.effective_min_len(10), 7);
+
+        let both = SearchParams::with_epsilon(1.0)
+            .windowed(3)
+            .length_range(2, 11);
+        assert_eq!(both.effective_max_len(10), Some(11));
+        assert_eq!(both.effective_min_len(10), 7);
+
+        // Window wider than the query: min length floors at 1.
+        let wide = SearchParams::with_epsilon(1.0).windowed(50);
+        assert_eq!(wide.effective_min_len(10), 1);
+    }
+}

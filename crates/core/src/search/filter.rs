@@ -1,0 +1,554 @@
+//! The unified suffix-tree filter (`Filter-ST` / `Filter-ST_C` /
+//! `Filter-SST_C`, paper Algorithms 2, 3 and §6.3).
+//!
+//! One traversal serves all three indexes:
+//!
+//! * With a **singleton alphabet**, `D_base-lb` is the exact city-block
+//!   distance, so the filter computes exact `D_tw` — the paper's
+//!   `Filter-ST` over the plain suffix tree.
+//! * With a real categorization, the filter computes `D_tw-lb`
+//!   (Definition 3) — `Filter-ST_C`.
+//! * When the index reports itself sparse, the filter additionally emits
+//!   candidates for the *non-stored* suffixes via `D_tw-lb2`
+//!   (Definition 4) and relaxes Theorem-1 pruning accordingly —
+//!   `Filter-SST_C`.
+//!
+//! The traversal shares one incrementally grown [`WarpTable`] across all
+//! suffixes with a common prefix (the paper's `R_d` saving) and prunes
+//! subtrees by Theorem 1 (the `R_p` saving).
+
+use crate::categorize::{Alphabet, Symbol};
+use crate::dtw::WarpTable;
+use crate::search::answers::{Candidate, SearchParams, SearchStats};
+use crate::sequence::{Occurrence, SeqId, Value};
+
+/// Read-only view of a (possibly disk-resident, possibly sparse)
+/// generalized suffix tree over categorized sequences.
+///
+/// The filter drives any implementation of this trait; `warptree-suffix`
+/// provides the in-memory tree and `warptree-disk` the paged on-disk tree.
+///
+/// # Contract
+///
+/// * The concatenated edge labels from the root to any node spell the
+///   longest common prefix of the stored suffixes below it.
+/// * [`for_each_suffix_below`](Self::for_each_suffix_below) visits every
+///   stored suffix at or below the node, reporting its sequence id,
+///   0-based start offset, and the length of the run of equal symbols at
+///   its start (`N` in Definition 4).
+/// * [`max_lead_run`](Self::max_lead_run) is the maximum such run length
+///   below the node (used only by sparse search; dense trees may return 1).
+pub trait SuffixTreeIndex {
+    /// Opaque node handle.
+    type Node: Copy;
+
+    /// The root node (empty path).
+    fn root(&self) -> Self::Node;
+
+    /// Invokes `f` for every child of `n`, in deterministic order.
+    fn for_each_child(&self, n: Self::Node, f: &mut dyn FnMut(Self::Node));
+
+    /// Appends the label of the edge *entering* `n` to `out`.
+    ///
+    /// Undefined for the root (which has no incoming edge).
+    fn edge_label(&self, n: Self::Node, out: &mut Vec<Symbol>);
+
+    /// Invokes `f(seq, start, lead_run)` for every stored suffix at or
+    /// below `n`.
+    fn for_each_suffix_below(&self, n: Self::Node, f: &mut dyn FnMut(SeqId, u32, u32));
+
+    /// Maximum leading-run length among stored suffixes at or below `n`.
+    fn max_lead_run(&self, n: Self::Node) -> u32;
+
+    /// `true` when this index stores only the paper's §6.1 suffix subset
+    /// (first symbol differs from its predecessor).
+    fn is_sparse(&self) -> bool;
+
+    /// Number of stored suffixes (leaf labels) in the whole tree.
+    fn suffix_count(&self) -> u64;
+
+    /// Answer-length cap of a §8-truncated index. `None` (the default)
+    /// means the index supports unbounded answer lengths.
+    fn depth_limit(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// State carried down the traversal that must be restored on backtrack —
+/// cheap to copy, so recursion restores it for free.
+#[derive(Clone, Copy)]
+struct PathState {
+    /// Current depth == rows in the table.
+    depth: u32,
+    /// First symbol of the path (valid when `depth > 0`).
+    first: Symbol,
+    /// `D_base-lb(Q[1], first)`, the `d₁` of Definition 4.
+    dbase1: f64,
+    /// Length of the leading run of the path label.
+    lead: u32,
+    /// `true` while the whole path is still one run (`lead == depth`).
+    in_run: bool,
+}
+
+struct FilterCtx<'a, T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64> {
+    tree: &'a T,
+    /// Base lower-bound distance between a query element (as stored in
+    /// the table's query row) and a data symbol.
+    base: &'a B,
+    params: &'a SearchParams,
+    sparse: bool,
+    max_len: Option<u32>,
+    min_len: u32,
+    table: WarpTable,
+    out: Vec<Candidate>,
+    stats: &'a mut SearchStats,
+}
+
+/// Runs the lower-bound filter over the index, returning every candidate
+/// occurrence whose lower-bound distance to `query` is `≤ ε`.
+///
+/// Candidates must be verified by
+/// [`postprocess`](crate::search::postprocess::postprocess) unless the
+/// alphabet is singleton (exact).
+///
+/// # Panics
+/// Panics if the query is empty or ε is invalid (use
+/// [`SearchParams::validate`] to pre-check).
+pub fn filter_tree<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    query: &[Value],
+    params: &SearchParams,
+    stats: &mut SearchStats,
+) -> Vec<Candidate> {
+    filter_tree_with(
+        tree,
+        &|q, sym| alphabet.base_lb(q, sym),
+        query,
+        params,
+        stats,
+    )
+}
+
+/// Generalized filter: like [`filter_tree`] but with an arbitrary base
+/// lower-bound function over `(query element, symbol)` pairs.
+///
+/// This is the hook the multivariate extension uses: its "query" is a
+/// sequence of point *indices* and `base` resolves them against grid
+/// cells. Any `base` that lower-bounds the true base distance yields a
+/// filter with no false dismissals (Theorem 2's argument is agnostic to
+/// where the bound comes from).
+pub fn filter_tree_with<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+    tree: &T,
+    base: &B,
+    query: &[Value],
+    params: &SearchParams,
+    stats: &mut SearchStats,
+) -> Vec<Candidate> {
+    params
+        .validate(query.len())
+        .expect("invalid search parameters");
+    if let Some(limit) = tree.depth_limit() {
+        // A truncated index (paper §8) only holds suffix prefixes: the
+        // query must bound its answer length within the stored depth.
+        let max = params
+            .effective_max_len(query.len())
+            .expect("truncated index requires a bounded answer length");
+        assert!(
+            max <= limit,
+            "answer-length bound {max} exceeds the index's depth limit              {limit}"
+        );
+    }
+    let sparse = tree.is_sparse();
+    // Sparse trees traverse with an *unwindowed* table even when a
+    // warping window is requested: the shifted (non-stored) suffixes of
+    // Definition 4 live at table rows beyond |Q| + w, where a windowed
+    // table is all-infinite. The unconstrained lower bound remains valid
+    // (banding a table can only raise distances), and the window is
+    // enforced exactly during post-processing.
+    let table_window = if sparse { None } else { params.window };
+    let mut ctx = FilterCtx {
+        tree,
+        base,
+        params,
+        sparse,
+        max_len: params.effective_max_len(query.len()),
+        min_len: params.effective_min_len(query.len()),
+        table: WarpTable::new(query, table_window),
+        out: Vec::new(),
+        stats,
+    };
+    let root = tree.root();
+    let state = PathState {
+        depth: 0,
+        first: 0,
+        dbase1: 0.0,
+        lead: 0,
+        in_run: true,
+    };
+    descend(&mut ctx, root, state);
+    ctx.stats.filter_cells += ctx.table.cells_computed();
+    ctx.stats.candidates = ctx.out.len() as u64;
+    ctx.out
+}
+
+fn descend<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+    ctx: &mut FilterCtx<'_, T, B>,
+    node: T::Node,
+    state: PathState,
+) {
+    let mut children = Vec::new();
+    ctx.tree.for_each_child(node, &mut |c| children.push(c));
+    let mut label = Vec::new();
+    for child in children {
+        ctx.stats.nodes_visited += 1;
+        label.clear();
+        ctx.tree.edge_label(child, &mut label);
+        if let Some(next) = walk_edge(ctx, child, state, &label) {
+            descend(ctx, child, next);
+        }
+        // Backtrack: drop this edge's rows.
+        ctx.table.truncate(state.depth);
+    }
+}
+
+/// Consumes the edge label into `child` one symbol at a time, emitting
+/// candidates and applying Theorem-1 pruning. Returns the state at the
+/// child when traversal should continue below it, `None` when pruned.
+fn walk_edge<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+    ctx: &mut FilterCtx<'_, T, B>,
+    child: T::Node,
+    mut state: PathState,
+    label: &[Symbol],
+) -> Option<PathState> {
+    let epsilon = ctx.params.epsilon;
+    // Suffixes below `child`, fetched lazily on the first qualifying row
+    // and reused for every further row of this edge (adjacent rows often
+    // both qualify, and re-walking the subtree per row is the dominant
+    // cost at large ε).
+    let mut leaves: Option<Vec<(SeqId, u32, u32)>> = None;
+    // Cap on the run shift below this edge while the path is still one
+    // run: the longest stored-suffix leading run below (Definition 4's
+    // p−1 bound can grow up to it). Once the run ends, the cap drops to
+    // the now-frozen `lead − 1` (recomputed per symbol below).
+    let run_cap = if ctx.sparse {
+        ctx.tree.max_lead_run(child)
+    } else {
+        0
+    };
+    // A sparse tree may usefully descend past the answer-length cap: a
+    // row at depth r still yields shifted candidates of length r − k.
+    let depth_allowance = if ctx.sparse {
+        run_cap.saturating_sub(1)
+    } else {
+        0
+    };
+    for &sym in label {
+        if let Some(m) = ctx.max_len {
+            if state.depth as u64 >= m as u64 + depth_allowance as u64 {
+                // Deeper rows cannot yield any in-range answer length.
+                ctx.stats.branches_pruned += 1;
+                return None;
+            }
+        }
+        if ctx.table.next_row_out_of_band() {
+            ctx.stats.branches_pruned += 1;
+            return None;
+        }
+        if state.depth == 0 {
+            state.first = sym;
+            state.dbase1 = (ctx.base)(ctx.table.query()[0], sym);
+            state.lead = 1;
+            state.in_run = true;
+        } else if state.in_run && sym == state.first {
+            state.lead += 1;
+        } else {
+            state.in_run = false;
+        }
+        let base = ctx.base;
+        let stat = ctx.table.push_row_with(|q| base(q, sym));
+        state.depth += 1;
+        ctx.stats.rows_pushed += 1;
+        let r = state.depth;
+
+        let (min_len, max_len) = (ctx.min_len, ctx.max_len);
+        let len_ok = move |len: u32| len >= min_len && max_len.is_none_or(|m| len <= m);
+        // Candidate emission: stored suffixes (D_tw-lb)...
+        if stat.dist <= epsilon && len_ok(r) {
+            emit(ctx, child, &mut leaves, 0, r, stat.dist);
+        }
+        // ...and, for sparse trees, non-stored suffixes (D_tw-lb2).
+        if ctx.sparse {
+            let max_k = state.lead.saturating_sub(1).min(r - 1);
+            for k in 1..=max_k {
+                let lb2 = stat.dist - k as f64 * state.dbase1;
+                if lb2 <= epsilon && len_ok(r - k) {
+                    emit(ctx, child, &mut leaves, k, r, lb2);
+                }
+            }
+        }
+
+        // Theorem-1 pruning, relaxed by the largest possible run shift
+        // below (Theorem 3 keeps this free of false dismissals).
+        let max_shift_below = if !ctx.sparse {
+            0
+        } else if state.in_run {
+            run_cap.saturating_sub(1)
+        } else {
+            state.lead.saturating_sub(1)
+        };
+        let relax = max_shift_below as f64 * state.dbase1;
+        if stat.min - relax > epsilon {
+            ctx.stats.branches_pruned += 1;
+            return None;
+        }
+    }
+    Some(state)
+}
+
+/// Emits one candidate per stored suffix below `child`, shifted `k`
+/// symbols into its leading run (`k == 0` for the stored suffix itself).
+/// The suffix list is materialized once per edge into `leaves`.
+fn emit<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+    ctx: &mut FilterCtx<'_, T, B>,
+    child: T::Node,
+    leaves: &mut Option<Vec<(SeqId, u32, u32)>>,
+    k: u32,
+    r: u32,
+    lower_bound: f64,
+) {
+    let list = leaves.get_or_insert_with(|| {
+        let mut v = Vec::new();
+        ctx.tree
+            .for_each_suffix_below(child, &mut |seq, start, run| v.push((seq, start, run)));
+        v
+    });
+    for &(seq, start, run) in list.iter() {
+        // `k < run` always holds by the run-structure argument (see
+        // DESIGN.md §5); assert it in debug builds.
+        debug_assert!(k == 0 || k < run);
+        let _ = run;
+        ctx.out.push(Candidate {
+            occ: Occurrence::new(seq, start + k, r - k),
+            lower_bound,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::CatStore;
+
+    /// A tiny hand-built tree for unit-testing the filter without the
+    /// `warptree-suffix` crate (which depends on this one).
+    type ToyNode = (Vec<Symbol>, Vec<usize>, Vec<(SeqId, u32, u32)>);
+
+    struct ToyTree {
+        /// node -> (edge label, children, suffix labels (seq, start, run))
+        nodes: Vec<ToyNode>,
+        sparse: bool,
+    }
+
+    impl ToyTree {
+        /// Builds a naive tree holding the given suffixes of `cs`.
+        fn build(cs: &CatStore, suffixes: &[(u32, u32)], sparse: bool) -> Self {
+            let mut t = ToyTree {
+                nodes: vec![(Vec::new(), Vec::new(), Vec::new())],
+                sparse,
+            };
+            for &(seq, start) in suffixes {
+                let id = SeqId(seq);
+                let symbols: Vec<Symbol> = cs.seq(id)[start as usize..].to_vec();
+                let run = cs.run_len(id, start);
+                t.insert(&symbols, (id, start, run));
+            }
+            t
+        }
+
+        /// Inserts one suffix, creating single-symbol edges (a trie, which
+        /// is a valid if uncompacted suffix tree for the trait contract).
+        fn insert(&mut self, symbols: &[Symbol], label: (SeqId, u32, u32)) {
+            let mut node = 0usize;
+            for &s in symbols {
+                let found = self.nodes[node]
+                    .1
+                    .iter()
+                    .copied()
+                    .find(|&c| self.nodes[c].0 == [s]);
+                node = match found {
+                    Some(c) => c,
+                    None => {
+                        let c = self.nodes.len();
+                        self.nodes.push((vec![s], Vec::new(), Vec::new()));
+                        self.nodes[node].1.push(c);
+                        c
+                    }
+                };
+            }
+            self.nodes[node].2.push(label);
+        }
+    }
+
+    impl SuffixTreeIndex for ToyTree {
+        type Node = usize;
+        fn root(&self) -> usize {
+            0
+        }
+        fn for_each_child(&self, n: usize, f: &mut dyn FnMut(usize)) {
+            for &c in &self.nodes[n].1 {
+                f(c);
+            }
+        }
+        fn edge_label(&self, n: usize, out: &mut Vec<Symbol>) {
+            out.extend_from_slice(&self.nodes[n].0);
+        }
+        fn for_each_suffix_below(&self, n: usize, f: &mut dyn FnMut(SeqId, u32, u32)) {
+            for &(s, p, r) in &self.nodes[n].2 {
+                f(s, p, r);
+            }
+            for &c in &self.nodes[n].1 {
+                self.for_each_suffix_below(c, f);
+            }
+        }
+        fn max_lead_run(&self, n: usize) -> u32 {
+            let mut m = 0;
+            self.for_each_suffix_below(n, &mut |_, _, r| m = m.max(r));
+            m
+        }
+        fn is_sparse(&self) -> bool {
+            self.sparse
+        }
+        fn suffix_count(&self) -> u64 {
+            let mut n = 0;
+            self.for_each_suffix_below(0, &mut |_, _, _| n += 1);
+            n
+        }
+    }
+
+    fn singleton_setup(
+        values: Vec<Vec<f64>>,
+    ) -> (crate::sequence::SequenceStore, Alphabet, CatStore) {
+        let store = crate::sequence::SequenceStore::from_values(values);
+        let a = Alphabet::singleton(&store).unwrap();
+        let cs = a.encode_store(&store);
+        (store, a, cs)
+    }
+
+    #[test]
+    fn exact_filter_finds_exact_matches() {
+        let (_store, a, cs) = singleton_setup(vec![vec![1.0, 2.0, 3.0, 2.0]]);
+        let suffixes: Vec<(u32, u32)> = (0..4).map(|p| (0, p)).collect();
+        let tree = ToyTree::build(&cs, &suffixes, false);
+        assert_eq!(tree.suffix_count(), 4);
+        let mut stats = SearchStats::default();
+        let params = SearchParams::with_epsilon(0.0);
+        let q = [2.0, 3.0];
+        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        // With ε = 0 and exact base distances, only true warped matches
+        // survive: S[2:3] = <2,3> and its warped extensions <2,3,?>... none
+        // here; prefix matches: <2>, no (dist 1 > 0). Expect the exact
+        // occurrence (0, 1, 2) plus any zero-distance warpings.
+        let occs: Vec<Occurrence> = cands.iter().map(|c| c.occ).collect();
+        assert!(occs.contains(&Occurrence::new(SeqId(0), 1, 2)));
+        for c in &cands {
+            assert_eq!(c.lower_bound, 0.0);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_rows() {
+        let (_store, a, cs) = singleton_setup(vec![vec![1.0, 100.0, 100.0, 100.0, 100.0]]);
+        let suffixes: Vec<(u32, u32)> = (0..5).map(|p| (0, p)).collect();
+        let tree = ToyTree::build(&cs, &suffixes, false);
+        let mut stats = SearchStats::default();
+        let params = SearchParams::with_epsilon(0.5);
+        let q = [1.0, 1.0];
+        let _ = filter_tree(&tree, &a, &q, &params, &mut stats);
+        // The 100-branches must be cut immediately (first row min = 99).
+        assert!(stats.branches_pruned >= 1);
+        assert!(stats.rows_pushed < 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let (_store, a, cs) = singleton_setup(vec![vec![5.0; 10]]);
+        let suffixes: Vec<(u32, u32)> = (0..10).map(|p| (0, p)).collect();
+        let tree = ToyTree::build(&cs, &suffixes, false);
+        let mut stats = SearchStats::default();
+        let params = SearchParams::with_epsilon(1e9).length_range(1, 3);
+        let q = [5.0, 5.0];
+        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        assert!(cands.iter().all(|c| c.occ.len <= 3));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn min_len_skips_short_answers() {
+        let (_store, a, cs) = singleton_setup(vec![vec![5.0; 6]]);
+        let suffixes: Vec<(u32, u32)> = (0..6).map(|p| (0, p)).collect();
+        let tree = ToyTree::build(&cs, &suffixes, false);
+        let mut stats = SearchStats::default();
+        let mut params = SearchParams::with_epsilon(1e9);
+        params.min_len = 4;
+        let q = [5.0, 5.0];
+        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        assert!(cands.iter().all(|c| c.occ.len >= 4));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn sparse_filter_reaches_non_stored_suffixes() {
+        // One sequence of five equal values: the sparse tree stores only
+        // the first suffix, yet all shifted subsequences must surface.
+        let (_store, a, cs) = singleton_setup(vec![vec![7.0; 5]]);
+        let tree = ToyTree::build(&cs, &[(0, 0)], true);
+        assert_eq!(tree.suffix_count(), 1);
+        let mut stats = SearchStats::default();
+        let params = SearchParams::with_epsilon(0.0);
+        let q = [7.0, 7.0];
+        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let mut occs: Vec<Occurrence> = cands.iter().map(|c| c.occ).collect();
+        occs.sort();
+        occs.dedup();
+        // Every subsequence of <7,7,7,7,7> warps onto <7,7> at distance 0:
+        // 5 + 4 + 3 + 2 + 1 = 15 occurrences.
+        assert_eq!(occs.len(), 15);
+        assert!(occs.contains(&Occurrence::new(SeqId(0), 3, 2)));
+        assert!(occs.contains(&Occurrence::new(SeqId(0), 4, 1)));
+    }
+
+    #[test]
+    fn sparse_shift_uses_lb2_slack() {
+        // Category bounds make d₁ > 0; a shifted suffix can qualify even
+        // when the stored path distance exceeds ε.
+        let store = crate::sequence::SequenceStore::from_values(vec![vec![0.0, 0.0, 10.0]]);
+        let a = Alphabet::equal_length(&store, 2).unwrap();
+        let cs = a.encode_store(&store);
+        assert_eq!(cs.seq(SeqId(0)), &[0, 0, 1]);
+        let tree = ToyTree::build(&cs, &[(0, 0), (0, 2)], true);
+        // d₁ = D_base-lb(3, C0) = 3 (C0 observed = [0, 0]). The stored
+        // path <C0, C0> has lb 3 (warping absorbs the second 0 against
+        // q[2] = 0), so at ε = 0 no stored candidate is emitted at depth
+        // 2 — but the k = 1 shift gives lb2 = 3 − 3 = 0 ≤ ε, surfacing the
+        // non-stored suffix's subsequence (0, 1, 1).
+        let q = [3.0, 0.0];
+        let mut stats = SearchStats::default();
+        let params = SearchParams::with_epsilon(0.0);
+        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let occs: Vec<Occurrence> = cands.iter().map(|c| c.occ).collect();
+        assert!(occs.contains(&Occurrence::new(SeqId(0), 1, 1)));
+        assert!(!occs.contains(&Occurrence::new(SeqId(0), 0, 1)));
+        assert!(!occs.contains(&Occurrence::new(SeqId(0), 0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid search parameters")]
+    fn invalid_params_panic() {
+        let (_store, a, cs) = singleton_setup(vec![vec![1.0]]);
+        let tree = ToyTree::build(&cs, &[(0, 0)], false);
+        let mut stats = SearchStats::default();
+        let params = SearchParams::with_epsilon(-1.0);
+        let _ = filter_tree(&tree, &a, &[1.0], &params, &mut stats);
+    }
+}

@@ -1,0 +1,85 @@
+//! Similarity search algorithms (paper §4–§6).
+//!
+//! * [`seqscan`] — the sequential-scanning baseline (§4.3).
+//! * [`aligned`] — the segment-aligned comparator of the paper's
+//!   reference [14] (misses unaligned answers — kept for measurement).
+//! * [`filter`] — the unified suffix-tree filter implementing
+//!   `Filter-ST`, `Filter-ST_C` and `Filter-SST_C` over any
+//!   [`SuffixTreeIndex`].
+//! * [`postprocess`](mod@postprocess) — exact `D_tw` verification of
+//!   candidates (§5.4).
+//! * [`knn`] — exact k-nearest-neighbour search by ε expansion (an
+//!   extension beyond the paper's threshold queries).
+//! * [`answers`] — answer/candidate types, statistics, parameters.
+//!
+//! The top-level entry point is [`sim_search`], the paper's
+//! `SimSearch-ST(_C)` / `SimSearch-SST_C` depending on the index it is
+//! given.
+
+pub mod aligned;
+pub mod answers;
+pub mod filter;
+pub mod knn;
+pub mod postprocess;
+pub mod seqscan;
+
+pub use aligned::aligned_scan;
+pub use answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
+pub use filter::{filter_tree, filter_tree_with, SuffixTreeIndex};
+pub use knn::{knn_search, KnnParams};
+pub use postprocess::postprocess;
+pub use seqscan::{seq_scan, SeqScanMode};
+
+#[cfg(test)]
+mod checked_tests;
+
+use crate::categorize::Alphabet;
+use crate::sequence::{SequenceStore, Value};
+
+/// Runs a complete similarity search over a suffix-tree index:
+/// lower-bound filtering followed by exact post-processing.
+///
+/// This is the paper's `SimSearch-ST_C` (Algorithm 3); with a singleton
+/// alphabet it degenerates to `SimSearch-ST` (Algorithm 1: the lower bound
+/// is exact, post-processing only recomputes exact distances for
+/// reporting); over a sparse index it is `SimSearch-SST_C`.
+///
+/// Returns every subsequence occurrence whose exact time-warping distance
+/// from `query` is `≤ params.epsilon` — no false dismissals, no false
+/// alarms.
+pub fn sim_search<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &SearchParams,
+) -> (AnswerSet, SearchStats) {
+    let mut stats = SearchStats::default();
+    let candidates = filter_tree(tree, alphabet, query, params, &mut stats);
+    let answers = postprocess(store, query, &candidates, params, &mut stats);
+    (answers, stats)
+}
+
+/// Like [`sim_search`], but validating the query/parameters up front and
+/// returning an error instead of panicking — the right entry point when
+/// queries come from untrusted input (e.g. a network request).
+pub fn sim_search_checked<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &SearchParams,
+) -> Result<(AnswerSet, SearchStats), crate::error::CoreError> {
+    params.validate(query.len())?;
+    if query.iter().any(|v| !v.is_finite()) {
+        return Err(crate::error::CoreError::NonFiniteQuery);
+    }
+    if let Some(limit) = tree.depth_limit() {
+        let requested = params.effective_max_len(query.len());
+        match requested {
+            Some(m) if m <= limit => {}
+            _ => return Err(crate::error::CoreError::DepthLimitExceeded { limit, requested }),
+        }
+    }
+    Ok(sim_search(tree, alphabet, store, query, params))
+}

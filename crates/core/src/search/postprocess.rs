@@ -1,0 +1,178 @@
+//! Post-processing: exact verification of filter candidates (paper §5.4).
+//!
+//! The categorized filters return candidates whose *lower-bound* distance
+//! is within ε; some are false alarms. `PostProcess` retrieves each
+//! candidate subsequence from the original (numeric) store, computes its
+//! exact time-warping distance, and keeps the true answers.
+//!
+//! Candidates cluster heavily by start offset (one tree path yields one
+//! candidate per qualifying depth), so verification shares a single
+//! cumulative distance table per distinct `(seq, start)`: the table's
+//! row `r` gives the exact distance of the length-`r` candidate, and
+//! Theorem-1 early abandoning rejects all longer candidates at once. This
+//! is what keeps the post-processing term `n·L̄·|Q|` of §5.5 from
+//! swamping the filtering savings at large ε.
+
+use std::collections::HashMap;
+
+use crate::dtw::WarpTable;
+use crate::search::answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
+use crate::sequence::{Occurrence, SeqId, SequenceStore, Value};
+
+/// Verifies `candidates` against the exact time-warping distance,
+/// returning the answers with `D_tw ≤ params.epsilon`.
+///
+/// Duplicate candidate occurrences are verified once.
+pub fn postprocess(
+    store: &SequenceStore,
+    query: &[Value],
+    candidates: &[Candidate],
+    params: &SearchParams,
+    stats: &mut SearchStats,
+) -> AnswerSet {
+    let epsilon = params.epsilon;
+    // Group candidate lengths by start position.
+    let mut by_start: HashMap<(SeqId, u32), Vec<u32>> = HashMap::new();
+    for cand in candidates {
+        debug_assert!(
+            cand.lower_bound <= epsilon + 1e-9,
+            "filter emitted a candidate above epsilon"
+        );
+        by_start
+            .entry((cand.occ.seq, cand.occ.start))
+            .or_default()
+            .push(cand.occ.len);
+    }
+    let mut answers = AnswerSet::new();
+    let mut table = WarpTable::new(query, params.window);
+    for ((seq, start), mut lens) in by_start {
+        lens.sort_unstable();
+        lens.dedup();
+        stats.postprocessed += lens.len() as u64;
+        let values = store.get(seq).suffix(start);
+        table.reset();
+        let mut next = 0usize; // next candidate length to check
+        let max_len = *lens.last().expect("non-empty group") as usize;
+        debug_assert!(max_len <= values.len(), "candidate outruns sequence");
+        for (row, &v) in values[..max_len].iter().enumerate() {
+            let stat = table.push_value(v);
+            let len = (row + 1) as u32;
+            if next < lens.len() && lens[next] == len {
+                if stat.dist <= epsilon {
+                    answers.push(Match {
+                        occ: Occurrence::new(seq, start, len),
+                        dist: stat.dist,
+                    });
+                } else {
+                    stats.false_alarms += 1;
+                }
+                next += 1;
+            }
+            if stat.prunes(epsilon) {
+                // Theorem 1: every remaining (longer) candidate of this
+                // start is a false alarm.
+                stats.false_alarms += (lens.len() - next) as u64;
+                next = lens.len();
+                break;
+            }
+        }
+        debug_assert_eq!(next, lens.len(), "every candidate visited");
+    }
+    stats.postprocess_cells += table.cells_computed();
+    stats.answers = answers.len() as u64;
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(seq: u32, start: u32, len: u32, lb: f64) -> Candidate {
+        Candidate {
+            occ: Occurrence::new(SeqId(seq), start, len),
+            lower_bound: lb,
+        }
+    }
+
+    #[test]
+    fn keeps_true_answers_drops_false_alarms() {
+        let store = SequenceStore::from_values(vec![vec![1.0, 2.0, 9.0, 2.0]]);
+        let q = [1.0, 2.0];
+        let params = SearchParams::with_epsilon(0.5);
+        let mut stats = SearchStats::default();
+        // (0,0,2) = <1,2> exact 0; (0,2,2) = <9,2> exact >> eps.
+        let cands = vec![cand(0, 0, 2, 0.0), cand(0, 2, 2, 0.3)];
+        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.matches()[0].occ, Occurrence::new(SeqId(0), 0, 2));
+        assert_eq!(ans.matches()[0].dist, 0.0);
+        assert_eq!(stats.false_alarms, 1);
+        assert_eq!(stats.postprocessed, 2);
+    }
+
+    #[test]
+    fn duplicates_verified_once() {
+        let store = SequenceStore::from_values(vec![vec![1.0, 1.0]]);
+        let q = [1.0];
+        let params = SearchParams::with_epsilon(0.0);
+        let mut stats = SearchStats::default();
+        let cands = vec![cand(0, 0, 1, 0.0), cand(0, 0, 1, 0.0)];
+        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(stats.postprocessed, 1);
+    }
+
+    #[test]
+    fn shared_table_matches_independent_verification() {
+        // Several candidate lengths at one start: row r of the shared
+        // table must equal the independent DTW of each prefix.
+        let store = SequenceStore::from_values(vec![vec![2.0, 3.0, 2.5, 9.0, 2.0, 2.2]]);
+        let q = [2.0, 3.0, 2.0];
+        let eps = 3.0;
+        let params = SearchParams::with_epsilon(eps);
+        let mut stats = SearchStats::default();
+        let cands: Vec<Candidate> = (1..=6).map(|l| cand(0, 0, l, 0.0)).collect();
+        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        for l in 1..=6u32 {
+            let sub = store.get(SeqId(0)).subseq(0, l);
+            let exact = crate::dtw::dtw(&q, sub);
+            let found = ans
+                .matches()
+                .iter()
+                .find(|m| m.occ.len == l)
+                .map(|m| m.dist);
+            if exact <= eps {
+                assert_eq!(found, Some(exact), "length {l}");
+            } else {
+                assert_eq!(found, None, "length {l}");
+            }
+        }
+        assert_eq!(stats.postprocessed, 6, "all candidate lengths counted");
+    }
+
+    #[test]
+    fn early_abandon_rejects_tail_lengths() {
+        // After a divergent element, row minima exceed ε: the longer
+        // candidates must be rejected without computing their rows.
+        let store = SequenceStore::from_values(vec![vec![1.0, 100.0, 100.0, 100.0, 100.0, 100.0]]);
+        let q = [1.0];
+        let params = SearchParams::with_epsilon(0.5);
+        let mut stats = SearchStats::default();
+        let cands: Vec<Candidate> = (1..=6).map(|l| cand(0, 0, l, 0.0)).collect();
+        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        assert_eq!(ans.len(), 1); // only length 1 survives
+        assert_eq!(stats.false_alarms, 5);
+        // Early abandoning computed far fewer cells than 1+2+..+6 rows.
+        assert!(stats.postprocess_cells <= 3);
+    }
+
+    #[test]
+    fn empty_candidates_empty_answers() {
+        let store = SequenceStore::from_values(vec![vec![1.0]]);
+        let params = SearchParams::with_epsilon(1.0);
+        let mut stats = SearchStats::default();
+        let ans = postprocess(&store, &[1.0], &[], &params, &mut stats);
+        assert!(ans.is_empty());
+        assert_eq!(stats.postprocessed, 0);
+    }
+}

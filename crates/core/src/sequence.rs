@@ -1,0 +1,368 @@
+//! Sequences of continuous values and the in-memory sequence store.
+//!
+//! The paper operates on a database of `M` sequences `S_1 .. S_M` of
+//! arbitrary lengths, each a series of continuous numeric values (e.g.
+//! daily stock closing prices). [`SequenceStore`] is that database:
+//! sequence ids are dense `u32`s, element positions are `u32` offsets
+//! (0-based in code; the paper is 1-based).
+
+use std::fmt;
+
+/// Element type of all sequences.
+pub type Value = f64;
+
+/// Identifier of a sequence inside a [`SequenceStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqId(pub u32);
+
+impl fmt::Display for SeqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A single data sequence of continuous values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequence {
+    values: Vec<Value>,
+}
+
+impl Sequence {
+    /// Creates a sequence from raw values.
+    ///
+    /// # Panics
+    /// Panics if any value is not finite: the time-warping distance and
+    /// the categorization bounds are meaningless for NaN/infinite input.
+    pub fn new(values: Vec<Value>) -> Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "sequence values must be finite"
+        );
+        Self { values }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the sequence has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The subsequence `S[start .. start+len]` (0-based, length `len`).
+    ///
+    /// This is the paper's `S[p:q]` with `p = start + 1`, `q = start + len`.
+    #[inline]
+    pub fn subseq(&self, start: u32, len: u32) -> &[Value] {
+        &self.values[start as usize..start as usize + len as usize]
+    }
+
+    /// The suffix `S[start ..]` (the paper's `S[p:-]` with `p = start+1`).
+    #[inline]
+    pub fn suffix(&self, start: u32) -> &[Value] {
+        &self.values[start as usize..]
+    }
+}
+
+impl From<Vec<Value>> for Sequence {
+    fn from(values: Vec<Value>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Sequence {
+    fn from(values: [Value; N]) -> Self {
+        Self::new(values.to_vec())
+    }
+}
+
+/// An occurrence of a subsequence: sequence id, 0-based start offset and
+/// length. This is the unit in which both candidates and final answers are
+/// reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Occurrence {
+    /// Which sequence the subsequence lies in.
+    pub seq: SeqId,
+    /// 0-based offset of the first element.
+    pub start: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+impl Occurrence {
+    /// Convenience constructor.
+    pub fn new(seq: SeqId, start: u32, len: u32) -> Self {
+        Self { seq, start, len }
+    }
+
+    /// One past the last element position.
+    #[inline]
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+
+    /// `true` when the two occurrences share at least one element
+    /// position (necessarily in the same sequence).
+    #[inline]
+    pub fn overlaps(&self, other: &Occurrence) -> bool {
+        self.seq == other.seq && self.start < other.end() && other.start < self.end()
+    }
+
+    /// `true` when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains(&self, other: &Occurrence) -> bool {
+        self.seq == other.seq && self.start <= other.start && other.end() <= self.end()
+    }
+}
+
+impl fmt::Display for Occurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // 1-based inclusive range, matching the paper's S_i[p:q] notation.
+        write!(
+            f,
+            "{}[{}:{}]",
+            self.seq,
+            self.start + 1,
+            self.start + self.len
+        )
+    }
+}
+
+/// The sequence database: a dense, append-only collection of sequences,
+/// each optionally carrying a human-readable name (a ticker, a patient
+/// id, …).
+#[derive(Debug, Clone, Default)]
+pub struct SequenceStore {
+    seqs: Vec<Sequence>,
+    names: Vec<Option<String>>,
+}
+
+impl SequenceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from an iterator of raw value vectors.
+    pub fn from_values<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut store = Self::new();
+        for v in values {
+            store.push(Sequence::new(v));
+        }
+        store
+    }
+
+    /// Appends a sequence and returns its id.
+    pub fn push(&mut self, seq: Sequence) -> SeqId {
+        self.push_with_name(seq, None)
+    }
+
+    /// Appends a named sequence and returns its id.
+    pub fn push_named(&mut self, seq: Sequence, name: impl Into<String>) -> SeqId {
+        self.push_with_name(seq, Some(name.into()))
+    }
+
+    fn push_with_name(&mut self, seq: Sequence, name: Option<String>) -> SeqId {
+        assert!(
+            self.seqs.len() < u32::MAX as usize,
+            "sequence store is full"
+        );
+        let id = SeqId(self.seqs.len() as u32);
+        self.seqs.push(seq);
+        self.names.push(name);
+        id
+    }
+
+    /// The name of a sequence, when one was assigned.
+    #[inline]
+    pub fn name(&self, id: SeqId) -> Option<&str> {
+        self.names[id.0 as usize].as_deref()
+    }
+
+    /// The name of a sequence, falling back to its positional id
+    /// (`"S7"`).
+    pub fn display_name(&self, id: SeqId) -> String {
+        match self.name(id) {
+            Some(n) => n.to_string(),
+            None => id.to_string(),
+        }
+    }
+
+    /// Number of sequences (`M` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// `true` when no sequences are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// The sequence with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn get(&self, id: SeqId) -> &Sequence {
+        &self.seqs[id.0 as usize]
+    }
+
+    /// The raw values of an [`Occurrence`].
+    #[inline]
+    pub fn occurrence_values(&self, occ: Occurrence) -> &[Value] {
+        self.get(occ.seq).subseq(occ.start, occ.len)
+    }
+
+    /// Iterates `(id, sequence)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqId, &Sequence)> {
+        self.seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s))
+    }
+
+    /// Total number of elements across all sequences (`M·L̄`).
+    pub fn total_len(&self) -> u64 {
+        self.seqs.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Mean sequence length (`L̄`), 0.0 when empty.
+    pub fn mean_len(&self) -> f64 {
+        if self.seqs.is_empty() {
+            0.0
+        } else {
+            self.total_len() as f64 / self.seqs.len() as f64
+        }
+    }
+
+    /// Total number of suffixes, which equals the total element count.
+    pub fn suffix_count(&self) -> u64 {
+        self.total_len()
+    }
+
+    /// Minimum and maximum values over the whole database.
+    ///
+    /// Returns `None` when the store holds no elements.
+    pub fn value_range(&self) -> Option<(Value, Value)> {
+        let mut it = self.seqs.iter().flat_map(|s| s.values().iter().copied());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+impl std::ops::Index<SeqId> for SequenceStore {
+    type Output = Sequence;
+    fn index(&self, id: SeqId) -> &Sequence {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_basic_accessors() {
+        let s = Sequence::from([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.subseq(1, 2), &[2.0, 3.0]);
+        assert_eq!(s.suffix(2), &[3.0, 4.0]);
+        assert_eq!(s.suffix(4), &[] as &[f64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sequence_rejects_nan() {
+        let _ = Sequence::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn store_push_get_iter() {
+        let mut store = SequenceStore::new();
+        let a = store.push(Sequence::from([1.0, 2.0]));
+        let b = store.push(Sequence::from([3.0]));
+        assert_eq!(a, SeqId(0));
+        assert_eq!(b, SeqId(1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_len(), 3);
+        assert_eq!(store.suffix_count(), 3);
+        assert!((store.mean_len() - 1.5).abs() < 1e-12);
+        let ids: Vec<SeqId> = store.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![SeqId(0), SeqId(1)]);
+        assert_eq!(store[b].values(), &[3.0]);
+    }
+
+    #[test]
+    fn store_value_range() {
+        assert_eq!(SequenceStore::new().value_range(), None);
+        let store = SequenceStore::from_values(vec![vec![3.0, -1.0], vec![7.5, 2.0]]);
+        assert_eq!(store.value_range(), Some((-1.0, 7.5)));
+    }
+
+    #[test]
+    fn occurrence_overlap_and_containment() {
+        let a = Occurrence::new(SeqId(0), 2, 4); // covers 2..6
+        assert_eq!(a.end(), 6);
+        assert!(a.overlaps(&Occurrence::new(SeqId(0), 5, 2)));
+        assert!(a.overlaps(&Occurrence::new(SeqId(0), 0, 3)));
+        assert!(!a.overlaps(&Occurrence::new(SeqId(0), 6, 2))); // adjacent
+        assert!(!a.overlaps(&Occurrence::new(SeqId(1), 2, 4))); // other seq
+        assert!(a.contains(&Occurrence::new(SeqId(0), 3, 2)));
+        assert!(a.contains(&a));
+        assert!(!a.contains(&Occurrence::new(SeqId(0), 3, 4)));
+    }
+
+    #[test]
+    fn occurrence_display_is_one_based() {
+        let occ = Occurrence::new(SeqId(3), 0, 4);
+        assert_eq!(occ.to_string(), "S3[1:4]");
+    }
+
+    #[test]
+    fn occurrence_values_roundtrip() {
+        let store = SequenceStore::from_values(vec![vec![5.0, 6.0, 7.0, 8.0]]);
+        let occ = Occurrence::new(SeqId(0), 1, 2);
+        assert_eq!(store.occurrence_values(occ), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_len_empty_store_is_zero() {
+        assert_eq!(SequenceStore::new().mean_len(), 0.0);
+    }
+
+    #[test]
+    fn names_are_optional() {
+        let mut store = SequenceStore::new();
+        let a = store.push(Sequence::from([1.0]));
+        let b = store.push_named(Sequence::from([2.0]), "AAPL");
+        assert_eq!(store.name(a), None);
+        assert_eq!(store.name(b), Some("AAPL"));
+        assert_eq!(store.display_name(a), "S0");
+        assert_eq!(store.display_name(b), "AAPL");
+    }
+}

@@ -1,0 +1,157 @@
+//! Edge-case coverage for corners the broader property tests reach only
+//! incidentally.
+
+use warptree_core::categorize::{Alphabet, CategorizationMethod, Category};
+use warptree_core::dtw::WarpTable;
+use warptree_core::prelude::*;
+
+#[test]
+fn widen_admits_out_of_range_values_soundly() {
+    let store = SequenceStore::from_values(vec![vec![10.0, 20.0, 30.0]]);
+    let mut a = Alphabet::equal_length(&store, 3).unwrap();
+    let sym_low = a.symbol_for(10.0);
+    // 5.0 is below every observed value: before widening its base lower
+    // bound is positive…
+    assert!(a.base_lb(5.0, sym_low) > 0.0);
+    let extra = SequenceStore::from_values(vec![vec![5.0, 35.0]]);
+    a.widen(&extra);
+    // …afterwards both extremes sit inside their categories' bounds.
+    assert_eq!(a.base_lb(5.0, a.symbol_for(5.0)), 0.0);
+    assert_eq!(a.base_lb(35.0, a.symbol_for(35.0)), 0.0);
+    // Widening never *raises* a bound for old members.
+    for &v in [10.0, 20.0, 30.0].iter() {
+        assert_eq!(a.base_lb(v, a.symbol_for(v)), 0.0);
+    }
+}
+
+#[test]
+fn from_parts_roundtrips_and_validates() {
+    let store = SequenceStore::from_values(vec![vec![1.0, 5.0, 9.0]]);
+    let original = Alphabet::max_entropy(&store, 3).unwrap();
+    let rebuilt = Alphabet::from_parts(original.categories().to_vec(), original.method());
+    assert_eq!(rebuilt, original);
+    for v in [1.0, 5.0, 9.0, 4.2] {
+        assert_eq!(rebuilt.symbol_for(v), original.symbol_for(v));
+    }
+}
+
+#[test]
+#[should_panic(expected = "ordered")]
+fn from_parts_rejects_unordered_categories() {
+    let c = |lo: f64, hi: f64| Category {
+        lo,
+        hi,
+        lb: lo,
+        ub: hi,
+    };
+    let _ = Alphabet::from_parts(
+        vec![c(5.0, 9.0), c(0.0, 5.0)],
+        CategorizationMethod::EqualLength,
+    );
+}
+
+#[test]
+#[should_panic(expected = "bounds out of order")]
+fn from_parts_rejects_inverted_bounds() {
+    let bad = Category {
+        lo: 0.0,
+        hi: 1.0,
+        lb: 2.0,
+        ub: 1.0,
+    };
+    let _ = Alphabet::from_parts(vec![bad], CategorizationMethod::EqualLength);
+}
+
+#[test]
+fn warp_table_band_left_edge() {
+    // Window 1 over a length-4 query: row 3's band is columns 2..=4, so
+    // column 1 must be out of band (infinite) without corrupting later
+    // rows.
+    let q = [0.0, 0.0, 0.0, 0.0];
+    let mut t = WarpTable::new(&q, Some(1));
+    t.push_value(0.0);
+    t.push_value(0.0);
+    let s3 = t.push_value(0.0);
+    assert_eq!(s3.min, 0.0);
+    let s4 = t.push_value(0.0);
+    assert_eq!(s4.dist, 0.0); // the diagonal stays in band throughout
+}
+
+#[test]
+fn warp_table_window_zero_is_pointwise() {
+    // w = 0 restricts to the diagonal: distance equals the pointwise sum
+    // for equal lengths, infinite for different lengths.
+    let a = [1.0, 2.0, 3.0];
+    let b = [2.0, 2.0, 5.0];
+    assert_eq!(warptree_core::dtw::dtw_windowed(&a, &b, 0), 1.0 + 0.0 + 2.0);
+    assert_eq!(
+        warptree_core::dtw::dtw_windowed(&a, &b[..2], 0),
+        f64::INFINITY
+    );
+}
+
+#[test]
+fn search_params_combinators_chain() {
+    let p = SearchParams::with_epsilon(2.0)
+        .windowed(3)
+        .length_range(4, 9);
+    assert_eq!(p.epsilon, 2.0);
+    assert_eq!(p.window, Some(3));
+    assert_eq!(p.effective_max_len(5), Some(8)); // min(9, 5+3)
+    assert_eq!(p.effective_min_len(5), 4); // max(4, 5-3)
+}
+
+#[test]
+fn catstore_boundary_queries() {
+    let cs = CatStore::from_symbols(vec![vec![1, 1], vec![]], 2);
+    assert_eq!(cs.run_len(SeqId(0), 2), 0); // past the end
+    assert_eq!(cs.run_len(SeqId(1), 0), 0); // empty sequence
+    assert!(!cs.is_stored_suffix(SeqId(1), 0));
+    assert_eq!(cs.total_len(), 2);
+}
+
+#[test]
+fn answer_set_into_iterator_and_sort() {
+    let mut a = AnswerSet::new();
+    a.push(Match {
+        occ: Occurrence::new(SeqId(1), 0, 1),
+        dist: 2.0,
+    });
+    a.push(Match {
+        occ: Occurrence::new(SeqId(0), 0, 1),
+        dist: 1.0,
+    });
+    a.sort();
+    let occs: Vec<Occurrence> = a.into_iter().map(|m| m.occ).collect();
+    assert_eq!(occs[0].seq, SeqId(0));
+    assert_eq!(occs[1].seq, SeqId(1));
+}
+
+#[test]
+fn single_element_everything() {
+    // The smallest possible database and query exercise every boundary
+    // at once.
+    let store = SequenceStore::from_values(vec![vec![7.0]]);
+    let mut stats = SearchStats::default();
+    let params = SearchParams::with_epsilon(0.0);
+    let ans = seq_scan(&store, &[7.0], &params, SeqScanMode::Full, &mut stats);
+    assert_eq!(ans.len(), 1);
+    assert_eq!(ans.matches()[0].occ, Occurrence::new(SeqId(0), 0, 1));
+    assert_eq!(stats.rows_pushed, 1);
+    assert_eq!(stats.filter_cells, 1);
+}
+
+#[test]
+fn kmeans_more_clusters_than_distinct_values() {
+    let store = SequenceStore::from_values(vec![vec![1.0, 1.0, 2.0]]);
+    let a = Alphabet::kmeans(&store, 10, 20).unwrap();
+    assert!(a.len() <= 2);
+    assert_ne!(a.symbol_for(1.0), a.symbol_for(2.0));
+}
+
+#[test]
+fn entropy_of_single_category_is_zero() {
+    let store = SequenceStore::from_values(vec![vec![3.0, 3.0]]);
+    let a = Alphabet::equal_length(&store, 5).unwrap();
+    assert_eq!(a.entropy(&store), 0.0);
+}

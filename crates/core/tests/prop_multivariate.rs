@@ -1,0 +1,116 @@
+//! Property tests for the multivariate extension (paper §8).
+
+use proptest::prelude::*;
+use warptree_core::multivariate::{
+    city_block, mv_dtw, mv_dtw_lb, GridAlphabet, MvSequence, MvStore,
+};
+
+fn mv_seq(dims: usize, max_pts: usize) -> impl Strategy<Value = MvSequence> {
+    prop::collection::vec(
+        (-40i32..40).prop_map(|v| v as f64 * 0.25),
+        dims..=dims * max_pts,
+    )
+    .prop_map(move |mut v| {
+        let keep = (v.len() / dims).max(1) * dims;
+        v.truncate(keep);
+        while v.len() < dims {
+            v.push(0.0);
+        }
+        MvSequence::new(dims, v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Multivariate DTW keeps the univariate invariants.
+    #[test]
+    fn mv_dtw_invariants(
+        dims in 1usize..4,
+        seed_a in prop::collection::vec((-40i32..40).prop_map(|v| v as f64 * 0.25), 1..30),
+        seed_b in prop::collection::vec((-40i32..40).prop_map(|v| v as f64 * 0.25), 1..30),
+    ) {
+        let make = |vals: &[f64]| {
+            let keep = (vals.len() / dims).max(1) * dims;
+            let mut v = vals[..keep.min(vals.len())].to_vec();
+            while v.len() < dims {
+                v.push(0.0);
+            }
+            let keep = (v.len() / dims).max(1) * dims;
+            v.truncate(keep);
+            MvSequence::new(dims, v)
+        };
+        let a = make(&seed_a);
+        let b = make(&seed_b);
+        prop_assert_eq!(mv_dtw(&a, &b), mv_dtw(&b, &a));
+        prop_assert_eq!(mv_dtw(&a, &a), 0.0);
+        prop_assert!(mv_dtw(&a, &b) >= 0.0);
+        // Duplicating a point never changes the distance to the original.
+        let mut dup = Vec::new();
+        for (i, p) in a.points().enumerate() {
+            dup.extend_from_slice(p);
+            if i == 0 {
+                dup.extend_from_slice(p);
+            }
+        }
+        let stretched = MvSequence::new(dims, dup);
+        prop_assert_eq!(mv_dtw(&a, &stretched), 0.0);
+    }
+
+    /// Grid encode/split round-trips and the cell lower bound holds for
+    /// both EL and ME grids.
+    #[test]
+    fn grid_roundtrip_and_lb(
+        dims in 1usize..3,
+        s in (1usize..3).prop_flat_map(|d| mv_seq(d, 16).prop_map(move |x| (d, x)))
+            .prop_map(|(_, x)| x),
+        q in (1usize..3).prop_flat_map(|d| mv_seq(d, 6).prop_map(move |x| (d, x)))
+            .prop_map(|(_, x)| x),
+        c in 1usize..5,
+    ) {
+        let _ = dims;
+        // Regenerate with matching dims: use s's dims for everything.
+        let d = s.dims();
+        let q = if q.dims() == d {
+            q
+        } else {
+            MvSequence::new(
+                d,
+                q.points()
+                    .flat_map(|p| {
+                        let mut v = p.to_vec();
+                        v.resize(d, 0.0);
+                        v
+                    })
+                    .collect(),
+            )
+        };
+        let mut store = MvStore::new();
+        store.push(s.clone());
+        for grid in [
+            GridAlphabet::equal_length(store.seqs(), c).unwrap(),
+            GridAlphabet::max_entropy(store.seqs(), c).unwrap(),
+        ] {
+            // Every stored point round-trips through its cell with a
+            // zero self lower bound.
+            for p in s.points() {
+                let sym = grid.symbol_for(p);
+                let parts = grid.split(sym);
+                prop_assert_eq!(parts.len(), grid.dims());
+                prop_assert_eq!(grid.base_lb(p, sym), 0.0);
+                // base_lb lower-bounds the true point distance to every
+                // member of that cell (here: p itself vs q's points).
+                for qp in q.points() {
+                    prop_assert!(
+                        grid.base_lb(qp, sym) <= city_block(qp, p) + 1e-9
+                    );
+                }
+            }
+            // Theorem 2, multivariate.
+            let cs = grid.encode(&s);
+            prop_assert!(
+                mv_dtw_lb(&q, &cs, &grid) <= mv_dtw(&q, &s) + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic data generators reproducing the paper's evaluation
+//! workloads (§7).
+//!
+//! * [`stock_corpus`] — a stand-in for the paper's S&P 500 daily-closing
+//!   dataset (545 sequences, mean length 232), which is no longer
+//!   obtainable. A geometric random walk with the paper's price-band
+//!   mixture (20 % of series below $30, 50 % in $30–60, 30 % above)
+//!   reproduces the properties the index exploits: positive,
+//!   autocorrelated values whose categorized forms contain long runs.
+//! * [`artificial_corpus`] — exactly the paper's artificial data:
+//!   `S_i[p] = S_i[p-1] + Z_p` with i.i.d. `Z_p`.
+//!
+//! All generators are deterministic given their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warptree_core::sequence::{Sequence, SequenceStore};
+
+/// Standard-normal sample via Box–Muller (keeps us off `rand_distr`).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Configuration of the synthetic stock generator.
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Number of sequences (paper: 545).
+    pub sequences: usize,
+    /// Mean sequence length (paper: 232).
+    pub mean_len: usize,
+    /// Standard deviation of sequence lengths.
+    pub len_std: f64,
+    /// Daily relative volatility (multiplicative step σ).
+    pub volatility: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        Self {
+            sequences: 545,
+            mean_len: 232,
+            len_std: 40.0,
+            volatility: 0.02,
+            seed: 0x5AD_0001,
+        }
+    }
+}
+
+/// Price bands used by the paper to stratify queries: 20 % of stocks
+/// average below $30, 50 % between $30 and $60, 30 % above $60.
+pub const PRICE_BANDS: [(f64, f64, f64); 3] =
+    [(0.20, 5.0, 30.0), (0.50, 30.0, 60.0), (0.30, 60.0, 150.0)];
+
+/// Generates the synthetic stock corpus.
+pub fn stock_corpus(cfg: &StockConfig) -> SequenceStore {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = SequenceStore::new();
+    for i in 0..cfg.sequences {
+        // Stratified starting price by band.
+        let band = band_for_index(i, cfg.sequences);
+        let (_, lo, hi) = PRICE_BANDS[band];
+        let start = rng.gen_range(lo..hi);
+        let len = (cfg.mean_len as f64 + normal(&mut rng) * cfg.len_std)
+            .round()
+            .clamp(20.0, 4.0 * cfg.mean_len as f64) as usize;
+        let mut price = start;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push((price * 100.0).round() / 100.0); // cents
+            let step = normal(&mut rng) * cfg.volatility;
+            price = (price * (1.0 + step)).max(0.25);
+        }
+        // Ticker-style names make CLI and example output readable.
+        store.push_named(Sequence::new(values), format!("STK{i:04}"));
+    }
+    store
+}
+
+/// Deterministically assigns sequence `i` of `n` to a price band with the
+/// paper's 20/50/30 proportions.
+pub fn band_for_index(i: usize, n: usize) -> usize {
+    let f = (i as f64 + 0.5) / n as f64;
+    if f < PRICE_BANDS[0].0 {
+        0
+    } else if f < PRICE_BANDS[0].0 + PRICE_BANDS[1].0 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Configuration of the paper's artificial random-walk generator.
+#[derive(Debug, Clone)]
+pub struct ArtificialConfig {
+    /// Number of sequences.
+    pub sequences: usize,
+    /// Length of every sequence (the paper holds length fixed per
+    /// experiment; set `len_jitter` for variation).
+    pub len: usize,
+    /// Uniform jitter applied to each length (`len ± jitter`).
+    pub len_jitter: usize,
+    /// Standard deviation of the i.i.d. step `Z_p`.
+    pub step_std: f64,
+    /// Range of starting values.
+    pub start_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ArtificialConfig {
+    fn default() -> Self {
+        Self {
+            sequences: 200,
+            len: 200,
+            len_jitter: 0,
+            step_std: 1.0,
+            start_range: (0.0, 100.0),
+            seed: 0xA27_0001,
+        }
+    }
+}
+
+/// Generates the paper's artificial sequences:
+/// `S_i[p] = S_i[p-1] + Z_p`, `Z_p` i.i.d. normal.
+pub fn artificial_corpus(cfg: &ArtificialConfig) -> SequenceStore {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = SequenceStore::new();
+    for _ in 0..cfg.sequences {
+        let len = if cfg.len_jitter == 0 {
+            cfg.len
+        } else {
+            rng.gen_range(cfg.len.saturating_sub(cfg.len_jitter)..=cfg.len + cfg.len_jitter)
+        }
+        .max(1);
+        let mut v = rng.gen_range(cfg.start_range.0..cfg.start_range.1);
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(v);
+            v += normal(&mut rng) * cfg.step_std;
+        }
+        store.push(Sequence::new(values));
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_corpus_is_deterministic() {
+        let cfg = StockConfig {
+            sequences: 10,
+            ..Default::default()
+        };
+        let a = stock_corpus(&cfg);
+        let b = stock_corpus(&cfg);
+        for (id, s) in a.iter() {
+            assert_eq!(s.values(), b.get(id).values());
+        }
+    }
+
+    #[test]
+    fn stock_corpus_shape() {
+        let cfg = StockConfig {
+            sequences: 100,
+            mean_len: 100,
+            len_std: 10.0,
+            ..Default::default()
+        };
+        let store = stock_corpus(&cfg);
+        assert_eq!(store.len(), 100);
+        let mean = store.mean_len();
+        assert!((80.0..120.0).contains(&mean), "mean length {mean}");
+        // Prices positive.
+        let (lo, _) = store.value_range().unwrap();
+        assert!(lo > 0.0);
+    }
+
+    #[test]
+    fn stocks_are_named() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 3,
+            ..Default::default()
+        });
+        use warptree_core::sequence::SeqId;
+        assert_eq!(store.name(SeqId(0)), Some("STK0000"));
+        assert_eq!(store.display_name(SeqId(2)), "STK0002");
+    }
+
+    #[test]
+    fn band_proportions() {
+        let n = 1000;
+        let mut counts = [0usize; 3];
+        for i in 0..n {
+            counts[band_for_index(i, n)] += 1;
+        }
+        assert_eq!(counts, [200, 500, 300]);
+    }
+
+    #[test]
+    fn artificial_corpus_matches_recurrence_shape() {
+        let cfg = ArtificialConfig {
+            sequences: 20,
+            len: 50,
+            ..Default::default()
+        };
+        let store = artificial_corpus(&cfg);
+        assert_eq!(store.len(), 20);
+        for (_, s) in store.iter() {
+            assert_eq!(s.len(), 50);
+            // Steps should look like unit-variance noise: no jumps far
+            // beyond a few σ.
+            for w in s.values().windows(2) {
+                assert!((w[1] - w[0]).abs() < 8.0);
+            }
+        }
+    }
+
+    #[test]
+    fn artificial_len_jitter_varies_lengths() {
+        let cfg = ArtificialConfig {
+            sequences: 50,
+            len: 100,
+            len_jitter: 20,
+            ..Default::default()
+        };
+        let store = artificial_corpus(&cfg);
+        let lens: std::collections::HashSet<usize> = store.iter().map(|(_, s)| s.len()).collect();
+        assert!(lens.len() > 1);
+        for l in lens {
+            assert!((80..=120).contains(&l));
+        }
+    }
+
+    #[test]
+    fn normal_has_roughly_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Query workloads (paper §7).
+//!
+//! The paper draws query sequences from the database itself, stratified
+//! by average price: 20 % from stocks averaging below $30, 50 % from
+//! $30–60, 30 % above. Query length averages 20. [`QueryWorkload`]
+//! reproduces that sampling; optional perturbation turns exact
+//! subsequences into near matches so non-trivial ε thresholds have work
+//! to do.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warptree_core::sequence::{SeqId, SequenceStore, Value};
+
+/// Configuration of query extraction.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Number of queries to draw.
+    pub count: usize,
+    /// Mean query length (paper: 20).
+    pub mean_len: usize,
+    /// Uniform jitter on the length (`mean ± jitter`).
+    pub len_jitter: usize,
+    /// Std-dev of additive perturbation applied per element (0 = exact
+    /// subsequences).
+    pub noise_std: f64,
+    /// Band boundaries on sequence *average* value: sequences are
+    /// stratified into `< b0`, `b0..b1`, `>= b1` with the 20/50/30 draw
+    /// proportions of the paper. `None` disables stratification.
+    pub bands: Option<(f64, f64)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self {
+            count: 20,
+            mean_len: 20,
+            len_jitter: 4,
+            noise_std: 0.0,
+            bands: Some((30.0, 60.0)),
+            seed: 0x9E2_0001,
+        }
+    }
+}
+
+/// One query with its provenance.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The query values.
+    pub values: Vec<Value>,
+    /// Sequence the query was extracted from.
+    pub source: SeqId,
+    /// Extraction offset.
+    pub start: u32,
+}
+
+/// A reproducible set of queries over a store.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    queries: Vec<Query>,
+}
+
+impl QueryWorkload {
+    /// Draws queries from `store` per `cfg`.
+    ///
+    /// # Panics
+    /// Panics when the store is empty or all sequences are shorter than
+    /// two elements.
+    pub fn draw(store: &SequenceStore, cfg: &QueryConfig) -> Self {
+        assert!(!store.is_empty(), "cannot draw queries from empty store");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Partition sequence ids by band of their average value.
+        let mut bands: [Vec<SeqId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (id, s) in store.iter() {
+            if s.len() < 2 {
+                continue;
+            }
+            let idx = match cfg.bands {
+                None => 0,
+                Some((b0, b1)) => {
+                    let avg: f64 = s.values().iter().sum::<f64>() / s.len() as f64;
+                    if avg < b0 {
+                        0
+                    } else if avg < b1 {
+                        1
+                    } else {
+                        2
+                    }
+                }
+            };
+            bands[idx].push(id);
+        }
+        assert!(
+            bands.iter().any(|b| !b.is_empty()),
+            "no usable sequences for queries"
+        );
+        let proportions = if cfg.bands.is_some() {
+            [0.20, 0.50, 0.30]
+        } else {
+            [1.0, 0.0, 0.0]
+        };
+        let mut queries = Vec::with_capacity(cfg.count);
+        for q in 0..cfg.count {
+            // Pick the band by the paper's proportions, falling back to
+            // any non-empty band.
+            let f = (q as f64 + 0.5) / cfg.count as f64;
+            let mut want = if f < proportions[0] {
+                0
+            } else if f < proportions[0] + proportions[1] {
+                1
+            } else {
+                2
+            };
+            if bands[want].is_empty() {
+                want = (0..3).find(|&b| !bands[b].is_empty()).unwrap();
+            }
+            let source = bands[want][rng.gen_range(0..bands[want].len())];
+            let seq = store.get(source);
+            let len = if cfg.len_jitter == 0 {
+                cfg.mean_len
+            } else {
+                rng.gen_range(
+                    cfg.mean_len.saturating_sub(cfg.len_jitter)..=cfg.mean_len + cfg.len_jitter,
+                )
+            }
+            .clamp(1, seq.len());
+            let start = rng.gen_range(0..=seq.len() - len) as u32;
+            let mut values = seq.subseq(start, len as u32).to_vec();
+            if cfg.noise_std > 0.0 {
+                for v in &mut values {
+                    // Box–Muller.
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    *v += z * cfg.noise_std;
+                }
+            }
+            queries.push(Query {
+                values,
+                source,
+                start,
+            });
+        }
+        Self { queries }
+    }
+
+    /// The queries, in draw order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{stock_corpus, StockConfig};
+
+    #[test]
+    fn draw_is_deterministic() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 30,
+            ..Default::default()
+        });
+        let cfg = QueryConfig::default();
+        let a = QueryWorkload::draw(&store, &cfg);
+        let b = QueryWorkload::draw(&store, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(x.values, y.values);
+        }
+    }
+
+    #[test]
+    fn queries_are_subsequences_when_noiseless() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 30,
+            ..Default::default()
+        });
+        let w = QueryWorkload::draw(
+            &store,
+            &QueryConfig {
+                count: 10,
+                noise_std: 0.0,
+                ..Default::default()
+            },
+        );
+        for q in w.queries() {
+            let src = store.get(q.source);
+            assert_eq!(src.subseq(q.start, q.values.len() as u32), &q.values[..]);
+        }
+    }
+
+    #[test]
+    fn lengths_respect_config() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 30,
+            ..Default::default()
+        });
+        let w = QueryWorkload::draw(
+            &store,
+            &QueryConfig {
+                count: 50,
+                mean_len: 20,
+                len_jitter: 4,
+                ..Default::default()
+            },
+        );
+        for q in w.queries() {
+            assert!((16..=24).contains(&q.values.len()));
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_values() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 10,
+            ..Default::default()
+        });
+        let w = QueryWorkload::draw(
+            &store,
+            &QueryConfig {
+                count: 5,
+                noise_std: 1.0,
+                ..Default::default()
+            },
+        );
+        let any_differs = w.queries().iter().any(|q| {
+            let src = store.get(q.source);
+            src.subseq(q.start, q.values.len() as u32) != &q.values[..]
+        });
+        assert!(any_differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn empty_store_panics() {
+        let store = SequenceStore::new();
+        let _ = QueryWorkload::draw(&store, &QueryConfig::default());
+    }
+
+    #[test]
+    fn unstratified_draw_works() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 5,
+            ..Default::default()
+        });
+        let w = QueryWorkload::draw(
+            &store,
+            &QueryConfig {
+                bands: None,
+                count: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(w.len(), 8);
+    }
+}

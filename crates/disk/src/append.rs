@@ -1,0 +1,183 @@
+//! Appending sequences to an existing index directory.
+//!
+//! The binary-merge machinery (paper §4.1) makes the index naturally
+//! *appendable*: new sequences are categorized with the **existing**
+//! boundaries, built into a partial tree in memory, and merged with the
+//! on-disk tree — no rebuild of the old data.
+//!
+//! Two soundness details:
+//!
+//! * **Boundaries never move.** Re-deriving e.g. maximum-entropy
+//!   quantiles over the extended data would re-label old symbols and
+//!   invalidate the existing tree. The stored boundaries are
+//!   authoritative (see [`corpus`](crate::corpus)).
+//! * **Observed bounds only widen.** New values may fall outside a
+//!   category's previously observed `lb..ub`. Widening those bounds
+//!   keeps `D_base-lb` a valid lower bound for *all* members, old and
+//!   new (a wider interval only decreases point-to-interval distances),
+//!   so the no-false-dismissal guarantee is preserved. The corpus file
+//!   is rewritten with the widened bounds.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use warptree_core::sequence::SequenceStore;
+
+use crate::corpus::{load_corpus, save_corpus};
+use crate::error::{DiskError, Result};
+use crate::format::DiskTree;
+use crate::merge::merge_trees;
+use crate::writer::write_tree;
+
+/// Appends `new_sequences` to the index directory `dir` (as produced by
+/// the incremental builder / `warptree build`), updating both the corpus
+/// and the tree file in place. Returns the new index file size in bytes.
+///
+/// The directory must contain `corpus.wc` and `index.wt`. Truncated
+/// (§8) indexes are rejected — their per-suffix prefix lengths depend on
+/// build-time parameters this function does not know.
+pub fn append_to_index_dir(dir: &Path, new_sequences: &SequenceStore) -> Result<u64> {
+    let corpus_path = dir.join("corpus.wc");
+    let index_path = dir.join("index.wt");
+    let (mut store, mut alphabet, _) = load_corpus(&corpus_path)?;
+    let old_tree_probe = DiskTree::open(
+        &index_path,
+        // Temporary encode just to read the header; replaced below.
+        Arc::new(alphabet.encode_store(&store)),
+        16,
+        16,
+    )?;
+    let header = old_tree_probe.header();
+    if header.depth_limit.is_some() {
+        return Err(DiskError::BadRecord(
+            "cannot append to a truncated (§8) index".into(),
+        ));
+    }
+    drop(old_tree_probe);
+
+    // Admit the new values: widen observed bounds, extend the store.
+    alphabet.widen(new_sequences);
+    let first_new = store.len();
+    for (_, s) in new_sequences.iter() {
+        store.push(s.clone());
+    }
+    let last = store.len();
+
+    // Re-encode everything against the (fixed) boundaries. Old symbols
+    // are unchanged — only lb/ub widened — so the existing tree stays
+    // valid over the new CatStore.
+    let cat = Arc::new(alphabet.encode_store(&store));
+
+    // Build the batch tree over just the new sequences and merge.
+    let batch = if header.sparse {
+        warptree_suffix::build_sparse_range(cat.clone(), first_new..last)
+    } else {
+        warptree_suffix::build_full_range(cat.clone(), first_new..last)
+    };
+    let batch_path = dir.join("append-batch.wt.tmp");
+    let merged_path = dir.join("append-merged.wt.tmp");
+    write_tree(&batch, &batch_path)?;
+    let old = DiskTree::open(&index_path, cat.clone(), 256, 2048)?;
+    let new = DiskTree::open(&batch_path, cat.clone(), 256, 2048)?;
+    merge_trees(&old, &new, &cat, &merged_path)?;
+    drop((old, new));
+
+    // Commit: corpus first (widened bounds are backwards-compatible with
+    // the old tree), then atomically swap the tree.
+    save_corpus(&store, &alphabet, &corpus_path)?;
+    std::fs::rename(&merged_path, &index_path)?;
+    std::fs::remove_file(&batch_path)?;
+    Ok(std::fs::metadata(&index_path)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warptree_core::categorize::Alphabet;
+    use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("warptree-append-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn build_dir(dir: &Path, store: &SequenceStore, sparse: bool) -> Alphabet {
+        let alphabet = Alphabet::max_entropy(store, 6).unwrap();
+        let cat = Arc::new(alphabet.encode_store(store));
+        save_corpus(store, &alphabet, &dir.join("corpus.wc")).unwrap();
+        let tree = if sparse {
+            warptree_suffix::build_sparse(cat)
+        } else {
+            warptree_suffix::build_full(cat)
+        };
+        write_tree(&tree, &dir.join("index.wt")).unwrap();
+        alphabet
+    }
+
+    #[test]
+    fn append_preserves_exactness() {
+        for sparse in [false, true] {
+            let dir = tmpdir(&format!("exact-{sparse}"));
+            let initial = SequenceStore::from_values(vec![
+                vec![1.0, 5.0, 3.0, 5.0, 1.0],
+                vec![4.0, 4.0, 2.0],
+            ]);
+            build_dir(&dir, &initial, sparse);
+            // New data includes values OUTSIDE the old range (0.0, 9.0):
+            // the widening path must keep the bounds sound.
+            let extra = SequenceStore::from_values(vec![
+                vec![0.0, 9.0, 5.0, 5.0],
+                vec![3.0, 3.0, 3.0, 3.0, 3.0],
+            ]);
+            append_to_index_dir(&dir, &extra).unwrap();
+
+            let (store, alphabet, cat) = load_corpus(&dir.join("corpus.wc")).unwrap();
+            assert_eq!(store.len(), 4);
+            let tree = DiskTree::open(&dir.join("index.wt"), cat, 32, 256).unwrap();
+            // A full tree stores one suffix per element of old + new.
+            if !sparse {
+                assert_eq!(
+                    warptree_core::search::SuffixTreeIndex::suffix_count(&tree),
+                    store.total_len()
+                );
+            }
+            // Every search equals the exact scan over the merged store.
+            for q in [vec![5.0, 5.0], vec![0.0, 9.0], vec![3.0]] {
+                let params = SearchParams::with_epsilon(1.0);
+                let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+                let mut stats = SearchStats::default();
+                let expected = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
+                assert_eq!(
+                    got.occurrence_set(),
+                    expected.occurrence_set(),
+                    "sparse={sparse} q={q:?}"
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn repeated_appends_accumulate() {
+        let dir = tmpdir("repeat");
+        let initial = SequenceStore::from_values(vec![vec![2.0, 4.0, 6.0, 8.0]]);
+        build_dir(&dir, &initial, true);
+        for round in 0..3 {
+            let extra =
+                SequenceStore::from_values(vec![vec![2.0 + round as f64, 4.0, 6.0 - round as f64]]);
+            append_to_index_dir(&dir, &extra).unwrap();
+        }
+        let (store, alphabet, cat) = load_corpus(&dir.join("corpus.wc")).unwrap();
+        assert_eq!(store.len(), 4);
+        let tree = DiskTree::open(&dir.join("index.wt"), cat, 32, 256).unwrap();
+        let params = SearchParams::with_epsilon(0.5);
+        let q = [4.0, 6.0];
+        let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+        let mut stats = SearchStats::default();
+        let expected = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
+        assert_eq!(got.occurrence_set(), expected.occurrence_set());
+        assert!(!got.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Corpus file: persistent storage of the sequence database and its
+//! categorization.
+//!
+//! A corpus file holds the original numeric sequences plus the alphabet
+//! (category boundaries and observed bounds) so an index can be reopened
+//! without re-deriving the categorization. The stored boundaries are
+//! *authoritative* — the alphabet is reconstructed directly from them,
+//! never re-derived from the data, so appending sequences later (which
+//! would shift e.g. maximum-entropy quantiles) cannot invalidate an
+//! existing index. The categorized symbol sequences are not stored; they
+//! are re-encoded deterministically from the boundaries on load.
+//!
+//! ```text
+//! paged stream:
+//!   magic   [u8;8] = "WARPCORP", version u32 = 1
+//!   method  u32    (0 EL, 1 ME, 2 singleton, 3 k-means)
+//!   n_categories u32
+//!   n_sequences  u32
+//!   n_categories × { lo f64, hi f64, lb f64, ub f64 }
+//!   n_sequences  × { name_len u32, name_len × u8 (UTF-8; 0 = unnamed),
+//!                    len u32, len × f64 }
+//! ```
+//!
+//! Version 1 files (no name fields) are still readable.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use warptree_core::categorize::{Alphabet, CatStore, CategorizationMethod};
+use warptree_core::sequence::{Sequence, SequenceStore};
+
+use crate::error::{DiskError, Result};
+use crate::pager::{PagedReader, PagedWriter};
+
+const MAGIC: &[u8; 8] = b"WARPCORP";
+const VERSION: u32 = 2;
+
+fn method_code(m: CategorizationMethod) -> u32 {
+    match m {
+        CategorizationMethod::EqualLength => 0,
+        CategorizationMethod::MaxEntropy => 1,
+        CategorizationMethod::Singleton => 2,
+        CategorizationMethod::KMeans => 3,
+    }
+}
+
+fn method_from_code(code: u32) -> Result<CategorizationMethod> {
+    Ok(match code {
+        0 => CategorizationMethod::EqualLength,
+        1 => CategorizationMethod::MaxEntropy,
+        2 => CategorizationMethod::Singleton,
+        3 => CategorizationMethod::KMeans,
+        m => {
+            return Err(DiskError::BadHeader(format!(
+                "unknown categorization method {m}"
+            )))
+        }
+    })
+}
+
+/// Saves the store and alphabet to `path`, returning the file's logical
+/// size in bytes.
+pub fn save_corpus(store: &SequenceStore, alphabet: &Alphabet, path: &Path) -> Result<u64> {
+    let mut w = PagedWriter::create(path)?;
+    w.write(MAGIC)?;
+    w.write(&VERSION.to_le_bytes())?;
+    w.write(&method_code(alphabet.method()).to_le_bytes())?;
+    w.write(&(alphabet.len() as u32).to_le_bytes())?;
+    w.write(&(store.len() as u32).to_le_bytes())?;
+    for c in alphabet.categories() {
+        for v in [c.lo, c.hi, c.lb, c.ub] {
+            w.write(&v.to_le_bytes())?;
+        }
+    }
+    for (id, s) in store.iter() {
+        let name = store.name(id).unwrap_or("");
+        w.write(&(name.len() as u32).to_le_bytes())?;
+        w.write(name.as_bytes())?;
+        w.write(&(s.len() as u32).to_le_bytes())?;
+        for &v in s.values() {
+            w.write(&v.to_le_bytes())?;
+        }
+    }
+    w.finish(&[])
+}
+
+/// A reader cursor over the logical byte space.
+struct Cursor<'a> {
+    r: &'a PagedReader,
+    pos: u64,
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.r.read_exact_at(self.pos, &mut b)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact_at(self.pos, &mut b)?;
+        self.pos += 8;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        let mut raw = vec![0u8; n];
+        self.r.read_exact_at(self.pos, &mut raw)?;
+        self.pos += n as u64;
+        Ok(raw)
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>> {
+        let mut raw = vec![0u8; 8 * n];
+        self.r.read_exact_at(self.pos, &mut raw)?;
+        self.pos += 8 * n as u64;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Loads a corpus file: the sequence store, the alphabet, and the
+/// re-derived categorized store.
+pub fn load_corpus(path: &Path) -> Result<(SequenceStore, Alphabet, Arc<CatStore>)> {
+    let r = PagedReader::open(path, 16)?;
+    let mut magic = [0u8; 8];
+    r.read_exact_at(0, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(DiskError::BadHeader("not a corpus file".into()));
+    }
+    let mut cur = Cursor { r: &r, pos: 8 };
+    let version = cur.u32()?;
+    if version != 1 && version != VERSION {
+        return Err(DiskError::BadHeader(format!(
+            "unsupported corpus version {version}"
+        )));
+    }
+    let method = cur.u32()?;
+    let n_cats = cur.u32()? as usize;
+    let n_seqs = cur.u32()? as usize;
+    let mut boundaries = Vec::with_capacity(n_cats);
+    for _ in 0..n_cats {
+        let lo = cur.f64()?;
+        let hi = cur.f64()?;
+        let lb = cur.f64()?;
+        let ub = cur.f64()?;
+        boundaries.push((lo, hi, lb, ub));
+    }
+    let mut store = SequenceStore::new();
+    for _ in 0..n_seqs {
+        let name = if version >= 2 {
+            let name_len = cur.u32()? as usize;
+            if name_len > 4096 {
+                return Err(DiskError::BadRecord(
+                    "implausible sequence name length".into(),
+                ));
+            }
+            let raw = cur.bytes(name_len)?;
+            let text = String::from_utf8(raw)
+                .map_err(|_| DiskError::BadRecord("sequence name is not UTF-8".into()))?;
+            if text.is_empty() {
+                None
+            } else {
+                Some(text)
+            }
+        } else {
+            None
+        };
+        let len = cur.u32()? as usize;
+        let values = cur.f64s(len)?;
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(DiskError::BadRecord("non-finite value in corpus".into()));
+        }
+        match name {
+            Some(n) => store.push_named(Sequence::new(values), n),
+            None => store.push(Sequence::new(values)),
+        };
+    }
+    let method = method_from_code(method)?;
+    let categories: Vec<warptree_core::categorize::Category> = boundaries
+        .iter()
+        .map(|&(lo, hi, lb, ub)| warptree_core::categorize::Category { lo, hi, lb, ub })
+        .collect();
+    for c in &categories {
+        if !(c.lo <= c.hi && c.lb <= c.ub) {
+            return Err(DiskError::BadRecord("category bounds out of order".into()));
+        }
+    }
+    for w in categories.windows(2) {
+        if w[0].lo > w[1].lo {
+            return Err(DiskError::BadRecord("categories not ordered".into()));
+        }
+    }
+    let alphabet = Alphabet::from_parts(categories, method);
+    let cat = Arc::new(alphabet.encode_store(&store));
+    Ok((store, alphabet, cat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("warptree-corpus-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn roundtrip_equal_length() {
+        let store = SequenceStore::from_values(vec![vec![1.0, 5.0, 9.0, 2.5], vec![3.0, 3.0]]);
+        let alpha = Alphabet::equal_length(&store, 4).unwrap();
+        let cat = alpha.encode_store(&store);
+        let path = tmp("el");
+        save_corpus(&store, &alpha, &path).unwrap();
+        let (s2, a2, c2) = load_corpus(&path).unwrap();
+        assert_eq!(s2.len(), store.len());
+        for (id, s) in store.iter() {
+            assert_eq!(s2.get(id).values(), s.values());
+        }
+        assert_eq!(a2.len(), alpha.len());
+        assert_eq!(a2.method(), alpha.method());
+        assert_eq!(c2.seqs(), cat.seqs());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_methods() {
+        let store = SequenceStore::from_values(vec![(0..40)
+            .map(|i| (i as f64 * 1.37).sin() * 10.0)
+            .collect()]);
+        for alpha in [
+            Alphabet::equal_length(&store, 5).unwrap(),
+            Alphabet::max_entropy(&store, 5).unwrap(),
+            Alphabet::singleton(&store).unwrap(),
+            Alphabet::kmeans(&store, 5, 50).unwrap(),
+        ] {
+            let path = tmp(&format!("method-{}", alpha.method()));
+            save_corpus(&store, &alpha, &path).unwrap();
+            let (_, a2, c2) = load_corpus(&path).unwrap();
+            assert_eq!(a2.method(), alpha.method());
+            assert_eq!(c2.seqs(), alpha.encode_store(&store).seqs());
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let mut store = SequenceStore::new();
+        store.push_named(Sequence::new(vec![1.0, 2.0]), "AAPL");
+        store.push(Sequence::new(vec![3.0]));
+        let alpha = Alphabet::equal_length(&store, 2).unwrap();
+        let path = tmp("names");
+        save_corpus(&store, &alpha, &path).unwrap();
+        let (s2, _, _) = load_corpus(&path).unwrap();
+        use warptree_core::sequence::SeqId;
+        assert_eq!(s2.name(SeqId(0)), Some("AAPL"));
+        assert_eq!(s2.name(SeqId(1)), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_corpus_file() {
+        let path = tmp("garbage");
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(b"NOTACORP").unwrap();
+        w.finish(&[]).unwrap();
+        assert!(matches!(load_corpus(&path), Err(DiskError::BadHeader(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

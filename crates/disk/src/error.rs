@@ -1,0 +1,85 @@
+//! Error type for the disk layer.
+
+use std::fmt;
+
+/// Errors raised by the paged storage and tree file formats.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page failed its CRC check.
+    CorruptPage {
+        /// Index of the bad page.
+        page: u64,
+    },
+    /// The file is not a warptree file or has an unsupported version.
+    BadHeader(String),
+    /// A read past the logical end of the file.
+    OutOfBounds {
+        /// Requested logical offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Logical file size.
+        size: u64,
+    },
+    /// A structurally invalid record was encountered.
+    BadRecord(String),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "i/o error: {e}"),
+            DiskError::CorruptPage { page } => {
+                write!(f, "page {page} failed its CRC check")
+            }
+            DiskError::BadHeader(m) => write!(f, "bad file header: {m}"),
+            DiskError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "read of {len} bytes at logical offset {offset} exceeds \
+                 file size {size}"
+            ),
+            DiskError::BadRecord(m) => write!(f, "bad record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DiskError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DiskError::CorruptPage { page: 3 }
+            .to_string()
+            .contains("page 3"));
+        assert!(DiskError::BadHeader("x".into()).to_string().contains("x"));
+        let e = DiskError::OutOfBounds {
+            offset: 1,
+            len: 2,
+            size: 3,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        let io: DiskError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

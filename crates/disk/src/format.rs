@@ -1,0 +1,419 @@
+//! On-disk suffix-tree file format.
+//!
+//! A tree file is a paged stream (see [`pager`](crate::pager)) holding a
+//! fixed-size header followed by node records written in post-order —
+//! children always precede their parent, so the file is produced in a
+//! single sequential pass and the root is the last record, back-patched
+//! into the header.
+//!
+//! ```text
+//! header (64 bytes, logical offset 0):
+//!   magic   [u8;8] = "WARPTREE"
+//!   version u32    = 1
+//!   flags   u32      bit 0: sparse tree
+//!   alpha   u32      alphabet length the symbols were drawn from
+//!   node_count   u64
+//!   suffix_count u64
+//!   root_offset  u64
+//!   depth_limit  u32  (0 = untruncated; see paper §8)
+//!   reserved     [u8;16] (zero)
+//!
+//! node record:
+//!   label_seq u32, label_start u32, label_len u32   (edge entering node)
+//!   suffix_count u64                                (at or below)
+//!   max_lead_run u32                                (at or below)
+//!   n_suffixes u32, n_children u32
+//!   n_suffixes × { seq u32, start u32, lead_run u32 }
+//!   n_children × { first_symbol u32, offset u64 }   (sorted by symbol)
+//! ```
+//!
+//! All integers are little-endian. Every page carries a CRC-32, so
+//! corruption anywhere in the file is detected on first touch.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use warptree_core::categorize::{CatStore, Symbol};
+use warptree_core::search::SuffixTreeIndex;
+use warptree_core::sequence::SeqId;
+
+use crate::error::{DiskError, Result};
+use crate::lru::LruCache;
+use crate::pager::{IoStats, PagedReader};
+
+/// Size of the file header in logical bytes.
+pub const HEADER_SIZE: u64 = 64;
+/// Header magic bytes.
+pub const MAGIC: &[u8; 8] = b"WARPTREE";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Decoded file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// `true` when the tree stores only the §6.1 suffix subset.
+    pub sparse: bool,
+    /// Alphabet length the symbols were drawn from.
+    pub alphabet_len: u32,
+    /// Total node records in the file.
+    pub node_count: u64,
+    /// Total stored suffixes.
+    pub suffix_count: u64,
+    /// Logical offset of the root node record.
+    pub root_offset: u64,
+    /// Answer-length cap of a §8-truncated tree (`None` = full).
+    pub depth_limit: Option<u32>,
+}
+
+impl Header {
+    /// Serializes the header into its 64-byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_SIZE as usize);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sparse as u32).to_le_bytes());
+        out.extend_from_slice(&self.alphabet_len.to_le_bytes());
+        out.extend_from_slice(&self.node_count.to_le_bytes());
+        out.extend_from_slice(&self.suffix_count.to_le_bytes());
+        out.extend_from_slice(&self.root_offset.to_le_bytes());
+        out.extend_from_slice(&self.depth_limit.unwrap_or(0).to_le_bytes());
+        out.resize(HEADER_SIZE as usize, 0);
+        out
+    }
+
+    /// Parses and validates a 64-byte header.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < HEADER_SIZE as usize {
+            return Err(DiskError::BadHeader("truncated header".into()));
+        }
+        if &buf[0..8] != MAGIC {
+            return Err(DiskError::BadHeader("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(DiskError::BadHeader(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let flags = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        Ok(Header {
+            sparse: flags & 1 != 0,
+            alphabet_len: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            node_count: u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+            suffix_count: u64::from_le_bytes(buf[28..36].try_into().unwrap()),
+            root_offset: u64::from_le_bytes(buf[36..44].try_into().unwrap()),
+            depth_limit: match u32::from_le_bytes(buf[44..48].try_into().unwrap()) {
+                0 => None,
+                d => Some(d),
+            },
+        })
+    }
+}
+
+/// A node record decoded from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskNode {
+    /// Edge label entering this node: `(seq, start, len)`.
+    pub label: (SeqId, u32, u32),
+    /// Stored suffixes at or below this node.
+    pub suffix_count: u64,
+    /// Maximum leading-run length at or below this node.
+    pub max_lead_run: u32,
+    /// Suffix labels attached to this node: `(seq, start, lead_run)`.
+    pub suffixes: Vec<(SeqId, u32, u32)>,
+    /// Children as `(first_symbol, node_offset)`, sorted by symbol.
+    pub children: Vec<(Symbol, u64)>,
+}
+
+/// Fixed-size prefix of a node record.
+const NODE_HEAD: usize = 32;
+
+/// Serializes a node record.
+pub fn encode_node(node: &DiskNode) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(NODE_HEAD + 12 * node.suffixes.len() + 12 * node.children.len());
+    out.extend_from_slice(&node.label.0 .0.to_le_bytes());
+    out.extend_from_slice(&node.label.1.to_le_bytes());
+    out.extend_from_slice(&node.label.2.to_le_bytes());
+    out.extend_from_slice(&node.suffix_count.to_le_bytes());
+    out.extend_from_slice(&node.max_lead_run.to_le_bytes());
+    out.extend_from_slice(&(node.suffixes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(node.children.len() as u32).to_le_bytes());
+    for (seq, start, run) in &node.suffixes {
+        out.extend_from_slice(&seq.0.to_le_bytes());
+        out.extend_from_slice(&start.to_le_bytes());
+        out.extend_from_slice(&run.to_le_bytes());
+    }
+    for (first, offset) in &node.children {
+        out.extend_from_slice(&first.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    out
+}
+
+/// A disk-resident suffix tree, query-ready through
+/// [`SuffixTreeIndex`]. Decoded nodes are cached in an LRU keyed by
+/// offset; all reads verify page CRCs.
+pub struct DiskTree {
+    reader: PagedReader,
+    cat: Arc<CatStore>,
+    header: Header,
+    nodes: Mutex<LruCache<u64, Arc<DiskNode>>>,
+}
+
+impl DiskTree {
+    /// Opens a tree file against the categorized store its labels
+    /// reference. `cache_pages` sizes the page buffer pool;
+    /// `cache_nodes` the decoded-node cache.
+    pub fn open(
+        path: &Path,
+        cat: Arc<CatStore>,
+        cache_pages: usize,
+        cache_nodes: usize,
+    ) -> Result<Self> {
+        let reader = PagedReader::open(path, cache_pages)?;
+        let mut buf = vec![0u8; HEADER_SIZE as usize];
+        reader.read_exact_at(0, &mut buf)?;
+        let header = Header::decode(&buf)?;
+        if header.alphabet_len != cat.alphabet_len() {
+            return Err(DiskError::BadHeader(format!(
+                "alphabet mismatch: file {} vs store {}",
+                header.alphabet_len,
+                cat.alphabet_len()
+            )));
+        }
+        Ok(Self {
+            reader,
+            cat,
+            header,
+            nodes: Mutex::new(LruCache::new(cache_nodes.max(1))),
+        })
+    }
+
+    /// The file header.
+    pub fn header(&self) -> Header {
+        self.header
+    }
+
+    /// The categorized store the labels reference.
+    pub fn cat(&self) -> &Arc<CatStore> {
+        &self.cat
+    }
+
+    /// Page-level I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.reader.io_stats()
+    }
+
+    /// Reads (or re-uses) the node record at `offset`.
+    pub fn read_node(&self, offset: u64) -> Result<Arc<DiskNode>> {
+        if let Some(n) = self.nodes.lock().get(&offset) {
+            return Ok(n.clone());
+        }
+        let mut head = [0u8; NODE_HEAD];
+        self.reader.read_exact_at(offset, &mut head)?;
+        let label = (
+            SeqId(u32::from_le_bytes(head[0..4].try_into().unwrap())),
+            u32::from_le_bytes(head[4..8].try_into().unwrap()),
+            u32::from_le_bytes(head[8..12].try_into().unwrap()),
+        );
+        let suffix_count = u64::from_le_bytes(head[12..20].try_into().unwrap());
+        let max_lead_run = u32::from_le_bytes(head[20..24].try_into().unwrap());
+        let n_suffixes = u32::from_le_bytes(head[24..28].try_into().unwrap()) as usize;
+        let n_children = u32::from_le_bytes(head[28..32].try_into().unwrap()) as usize;
+        // Sanity-bound the counts before allocating.
+        let body_len = 12 * n_suffixes + 12 * n_children;
+        if offset + (NODE_HEAD + body_len) as u64 > self.reader.logical_len() {
+            return Err(DiskError::BadRecord(format!(
+                "node at {offset} overruns the file"
+            )));
+        }
+        let mut body = vec![0u8; body_len];
+        self.reader
+            .read_exact_at(offset + NODE_HEAD as u64, &mut body)?;
+        let mut suffixes = Vec::with_capacity(n_suffixes);
+        for i in 0..n_suffixes {
+            let b = &body[12 * i..12 * i + 12];
+            suffixes.push((
+                SeqId(u32::from_le_bytes(b[0..4].try_into().unwrap())),
+                u32::from_le_bytes(b[4..8].try_into().unwrap()),
+                u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            ));
+        }
+        let mut children = Vec::with_capacity(n_children);
+        let cbase = 12 * n_suffixes;
+        for i in 0..n_children {
+            let b = &body[cbase + 12 * i..cbase + 12 * i + 12];
+            children.push((
+                u32::from_le_bytes(b[0..4].try_into().unwrap()),
+                u64::from_le_bytes(b[4..12].try_into().unwrap()),
+            ));
+        }
+        let node = Arc::new(DiskNode {
+            label,
+            suffix_count,
+            max_lead_run,
+            suffixes,
+            children,
+        });
+        self.nodes.lock().insert(offset, node.clone());
+        Ok(node)
+    }
+
+    /// Materializes the whole file back into an in-memory
+    /// [`warptree_suffix::SuffixTree`] (testing / migration utility).
+    pub fn to_mem(&self) -> Result<warptree_suffix::SuffixTree> {
+        use warptree_suffix::{LabelRef, SuffixLabel, SuffixTree, ROOT};
+        let mut tree = SuffixTree::empty(self.cat.clone(), self.header.sparse);
+        if let Some(limit) = self.header.depth_limit {
+            tree.set_depth_limit(limit);
+        }
+        // (disk offset, mem parent)
+        let mut stack = vec![(self.header.root_offset, ROOT)];
+        let mut first = true;
+        while let Some((off, parent)) = stack.pop() {
+            let dn = self.read_node(off)?;
+            let mem = if first {
+                first = false;
+                ROOT
+            } else {
+                let id = tree.alloc(LabelRef {
+                    seq: dn.label.0,
+                    start: dn.label.1,
+                    len: dn.label.2,
+                });
+                tree.attach(parent, id);
+                id
+            };
+            for &(seq, start, run) in &dn.suffixes {
+                tree.node_mut(mem).suffixes.push(SuffixLabel {
+                    seq,
+                    start,
+                    lead_run: run,
+                });
+            }
+            for &(_, coff) in &dn.children {
+                stack.push((coff, mem));
+            }
+        }
+        tree.finalize();
+        Ok(tree)
+    }
+}
+
+impl SuffixTreeIndex for DiskTree {
+    type Node = u64;
+
+    fn root(&self) -> u64 {
+        self.header.root_offset
+    }
+
+    fn for_each_child(&self, n: u64, f: &mut dyn FnMut(u64)) {
+        let node = self.read_node(n).expect("readable node");
+        for &(_, off) in &node.children {
+            f(off);
+        }
+    }
+
+    fn edge_label(&self, n: u64, out: &mut Vec<Symbol>) {
+        let node = self.read_node(n).expect("readable node");
+        let (seq, start, len) = node.label;
+        let s = self.cat.seq(seq);
+        out.extend_from_slice(&s[start as usize..(start + len) as usize]);
+    }
+
+    fn for_each_suffix_below(&self, n: u64, f: &mut dyn FnMut(SeqId, u32, u32)) {
+        let mut stack = vec![n];
+        while let Some(off) = stack.pop() {
+            let node = self.read_node(off).expect("readable node");
+            for &(seq, start, run) in &node.suffixes {
+                f(seq, start, run);
+            }
+            for &(_, coff) in &node.children {
+                stack.push(coff);
+            }
+        }
+    }
+
+    fn max_lead_run(&self, n: u64) -> u32 {
+        self.read_node(n).expect("readable node").max_lead_run
+    }
+
+    fn is_sparse(&self) -> bool {
+        self.header.sparse
+    }
+
+    fn suffix_count(&self) -> u64 {
+        self.header.suffix_count
+    }
+
+    fn depth_limit(&self) -> Option<u32> {
+        self.header.depth_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            sparse: true,
+            alphabet_len: 42,
+            node_count: 7,
+            suffix_count: 5,
+            root_offset: 4096,
+            depth_limit: Some(17),
+        };
+        let enc = h.encode();
+        assert_eq!(enc.len(), HEADER_SIZE as usize);
+        assert_eq!(Header::decode(&enc).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let h = Header {
+            sparse: false,
+            alphabet_len: 1,
+            node_count: 1,
+            suffix_count: 0,
+            root_offset: HEADER_SIZE,
+            depth_limit: None,
+        };
+        let mut enc = h.encode();
+        enc[0] = b'X';
+        assert!(matches!(Header::decode(&enc), Err(DiskError::BadHeader(_))));
+        let mut enc2 = h.encode();
+        enc2[8] = 99;
+        assert!(matches!(
+            Header::decode(&enc2),
+            Err(DiskError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Header::decode(&enc2[..10]),
+            Err(DiskError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn node_record_roundtrip_via_encode() {
+        let node = DiskNode {
+            label: (SeqId(3), 7, 5),
+            suffix_count: 9,
+            max_lead_run: 4,
+            suffixes: vec![(SeqId(3), 7, 2), (SeqId(1), 0, 1)],
+            children: vec![(0, 64), (5, 128)],
+        };
+        let enc = encode_node(&node);
+        assert_eq!(enc.len(), 32 + 12 * 2 + 12 * 2);
+        // Decoding is exercised end-to-end by the writer tests; here we
+        // just check the head fields lay out as documented.
+        assert_eq!(u32::from_le_bytes(enc[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(enc[8..12].try_into().unwrap()), 5);
+        assert_eq!(u64::from_le_bytes(enc[12..20].try_into().unwrap()), 9);
+        assert_eq!(u32::from_le_bytes(enc[24..28].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(enc[28..32].try_into().unwrap()), 2);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # warptree-disk
+//!
+//! Disk-based suffix-tree storage for the Park et al. (ICDE 2000) index:
+//!
+//! * [`pager`] — paged files with per-page CRC-32 and an LRU buffer pool;
+//! * [`format`](mod@format) / [`writer`] — the tree file format, written post-order in
+//!   one sequential pass; [`DiskTree`] serves queries straight from disk
+//!   through the same [`SuffixTreeIndex`](warptree_core::search::SuffixTreeIndex)
+//!   trait the in-memory tree implements;
+//! * [`merge`] — binary merge of tree files and the [`IncrementalBuilder`]
+//!   that constructs a large index batch-by-batch in limited memory
+//!   (paper §4.1, after Bieganski et al.);
+//! * [`corpus`] — persistence for the sequence database and its
+//!   categorization.
+
+pub mod append;
+pub mod corpus;
+pub mod crc;
+pub mod error;
+pub mod format;
+pub mod lru;
+pub mod merge;
+pub mod pager;
+pub mod writer;
+
+pub use append::append_to_index_dir;
+pub use corpus::{load_corpus, save_corpus};
+pub use error::{DiskError, Result};
+pub use format::{DiskNode, DiskTree, Header};
+pub use merge::{merge_trees, IncrementalBuilder, TreeKind};
+pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
+pub use writer::write_tree;

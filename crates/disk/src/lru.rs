@@ -1,0 +1,226 @@
+//! A small, allocation-friendly LRU cache used for page frames and
+//! decoded node records.
+//!
+//! Implemented as a `HashMap` keyed by `K` plus an intrusive doubly-linked
+//! list threaded through a slab of entries — `O(1)` get/insert/evict, no
+//! per-operation allocation once warm.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache holding at most `capacity` entries.
+///
+/// ```
+/// use warptree_disk::lru::LruCache;
+/// let mut c = LruCache::new(2);
+/// c.insert("a", 1);
+/// c.insert("b", 2);
+/// c.get(&"a");            // refresh "a"
+/// c.insert("c", 3);       // evicts "b", the least recently used
+/// assert_eq!(c.get(&"b"), None);
+/// assert_eq!(c.get(&"a"), Some(&1));
+/// ```
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache with the given capacity (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hit/miss counters (for the pager statistics).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key -> value`, evicting the least-recently-used entry if
+    /// full. Replaces the value if the key is present.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.slab.len() < self.capacity {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Evict the tail.
+            let idx = self.tail;
+            self.unlink(idx);
+            let old_key = std::mem::replace(&mut self.slab[idx].key, key.clone());
+            self.map.remove(&old_key);
+            self.slab[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Drops all entries, keeping the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(&1); // 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh 1; 2 becomes LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        c.insert('a', 1);
+        c.insert('b', 2);
+        assert_eq!(c.get(&'a'), None);
+        assert_eq!(c.get(&'b'), Some(&2));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i, i * 2);
+        }
+        assert_eq!(c.len(), 8);
+        for i in 992..1000 {
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(2, 2);
+        assert_eq!(c.get(&2), Some(&2));
+    }
+}

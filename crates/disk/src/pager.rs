@@ -1,0 +1,375 @@
+//! Paged file storage with per-page CRC and an LRU buffer pool.
+//!
+//! Files are a sequence of fixed-size pages; each page holds
+//! [`PAGE_DATA`] payload bytes followed by a CRC-32 of that payload.
+//! Callers address a contiguous *logical* byte space — the concatenation
+//! of all payloads — and never see page boundaries, so records may span
+//! pages freely.
+//!
+//! * [`PagedWriter`] writes the logical stream sequentially (buffered, one
+//!   page at a time) and can patch already-written ranges at `finish`
+//!   time (used to back-patch file headers once the root offset is
+//!   known).
+//! * [`PagedReader`] serves random reads through a [`LruCache`] of
+//!   verified pages; a failed CRC surfaces as
+//!   [`DiskError::CorruptPage`].
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::crc::crc32;
+use crate::error::{DiskError, Result};
+use crate::lru::LruCache;
+
+/// Physical page size in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Payload bytes per page (the tail 4 bytes hold the CRC).
+pub const PAGE_DATA: usize = PAGE_SIZE - 4;
+
+/// Sequential writer over the logical byte space.
+pub struct PagedWriter {
+    file: File,
+    /// Payload buffer of the page currently being filled.
+    buf: Vec<u8>,
+    /// Logical offset of the first byte of `buf`.
+    page_base: u64,
+}
+
+impl PagedWriter {
+    /// Creates (truncates) `path` and returns a writer positioned at
+    /// logical offset 0.
+    pub fn create(path: &Path) -> Result<Self> {
+        // Read access is needed for the finish-time patches.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            buf: Vec::with_capacity(PAGE_DATA),
+            page_base: 0,
+        })
+    }
+
+    /// The logical offset the next write lands at.
+    pub fn position(&self) -> u64 {
+        self.page_base + self.buf.len() as u64
+    }
+
+    /// Appends `data` to the logical stream.
+    pub fn write(&mut self, mut data: &[u8]) -> Result<()> {
+        while !data.is_empty() {
+            let room = PAGE_DATA - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == PAGE_DATA {
+                self.flush_page()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> Result<()> {
+        // Pad the final (partial) page with zeros.
+        let mut page = [0u8; PAGE_SIZE];
+        page[..self.buf.len()].copy_from_slice(&self.buf);
+        let crc = crc32(&page[..PAGE_DATA]);
+        page[PAGE_DATA..].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&page)?;
+        self.page_base += PAGE_DATA as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the trailing partial page and fsyncs, then applies
+    /// `patches` — `(logical_offset, bytes)` pairs rewriting
+    /// already-written ranges (page CRCs are recomputed). Returns the
+    /// logical length of the stream.
+    pub fn finish(mut self, patches: &[(u64, Vec<u8>)]) -> Result<u64> {
+        let logical_len = self.position();
+        if !self.buf.is_empty() {
+            self.flush_page()?;
+        }
+        for (offset, bytes) in patches {
+            assert!(
+                offset + bytes.len() as u64 <= logical_len,
+                "patch outside the written range"
+            );
+            patch(&mut self.file, *offset, bytes)?;
+        }
+        self.file.sync_all()?;
+        Ok(logical_len)
+    }
+}
+
+/// Rewrites `bytes` at `logical_offset` in an already-written paged file,
+/// recomputing affected page CRCs.
+fn patch(file: &mut File, logical_offset: u64, bytes: &[u8]) -> Result<()> {
+    let mut written = 0usize;
+    while written < bytes.len() {
+        let logical = logical_offset + written as u64;
+        let page_idx = logical / PAGE_DATA as u64;
+        let in_page = (logical % PAGE_DATA as u64) as usize;
+        let take = (PAGE_DATA - in_page).min(bytes.len() - written);
+        let mut page = [0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(page_idx * PAGE_SIZE as u64))?;
+        file.read_exact(&mut page)?;
+        page[in_page..in_page + take].copy_from_slice(&bytes[written..written + take]);
+        let crc = crc32(&page[..PAGE_DATA]);
+        page[PAGE_DATA..].copy_from_slice(&crc.to_le_bytes());
+        file.seek(SeekFrom::Start(page_idx * PAGE_SIZE as u64))?;
+        file.write_all(&page)?;
+        written += take;
+    }
+    Ok(())
+}
+
+/// Counters describing a reader's I/O behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched from disk (cache misses).
+    pub pages_read: u64,
+    /// Page requests served from the buffer pool.
+    pub cache_hits: u64,
+}
+
+struct ReaderInner {
+    cache: LruCache<u64, Box<[u8]>>,
+    stats: IoStats,
+}
+
+/// Random-access reader over the logical byte space with an LRU buffer
+/// pool. Cheap to share: all mutability is behind a lock, so `&self`
+/// methods suffice (concurrent queries share the pool).
+pub struct PagedReader {
+    file: File,
+    logical_len: u64,
+    pages: u64,
+    inner: Mutex<ReaderInner>,
+}
+
+impl PagedReader {
+    /// Opens `path` with a buffer pool of `cache_pages` pages.
+    pub fn open(path: &Path, cache_pages: usize) -> Result<Self> {
+        let file = File::open(path)?;
+        let physical = file.metadata()?.len();
+        if physical % PAGE_SIZE as u64 != 0 {
+            return Err(DiskError::BadHeader(format!(
+                "file size {physical} is not page-aligned"
+            )));
+        }
+        let pages = physical / PAGE_SIZE as u64;
+        Ok(Self {
+            file,
+            logical_len: pages * PAGE_DATA as u64,
+            pages,
+            inner: Mutex::new(ReaderInner {
+                cache: LruCache::new(cache_pages),
+                stats: IoStats::default(),
+            }),
+        })
+    }
+
+    /// Logical byte length (includes the final page's zero padding).
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// A snapshot of the I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Reads `buf.len()` bytes at `logical` into `buf`.
+    pub fn read_exact_at(&self, logical: u64, buf: &mut [u8]) -> Result<()> {
+        if logical + buf.len() as u64 > self.logical_len {
+            return Err(DiskError::OutOfBounds {
+                offset: logical,
+                len: buf.len() as u64,
+                size: self.logical_len,
+            });
+        }
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = logical + done as u64;
+            let page_idx = pos / PAGE_DATA as u64;
+            let in_page = (pos % PAGE_DATA as u64) as usize;
+            let take = (PAGE_DATA - in_page).min(buf.len() - done);
+            self.with_page(page_idx, |page| {
+                buf[done..done + take].copy_from_slice(&page[in_page..in_page + take]);
+            })?;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` over the verified payload of page `page_idx`.
+    fn with_page(&self, page_idx: u64, f: impl FnOnce(&[u8])) -> Result<()> {
+        debug_assert!(page_idx < self.pages);
+        let mut inner = self.inner.lock();
+        if let Some(page) = inner.cache.get(&page_idx) {
+            f(page);
+            inner.stats.cache_hits += 1;
+            return Ok(());
+        }
+        let mut raw = vec![0u8; PAGE_SIZE];
+        read_at(&self.file, page_idx * PAGE_SIZE as u64, &mut raw)?;
+        let stored = u32::from_le_bytes(raw[PAGE_DATA..].try_into().unwrap());
+        if crc32(&raw[..PAGE_DATA]) != stored {
+            return Err(DiskError::CorruptPage { page: page_idx });
+        }
+        raw.truncate(PAGE_DATA);
+        let page: Box<[u8]> = raw.into_boxed_slice();
+        f(&page);
+        inner.stats.pages_read += 1;
+        inner.cache.insert(page_idx, page);
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)?;
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
+    // Fallback: positioned read via a cloned handle (keeps &self API).
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("warptree-pager-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let path = tmp("small");
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(b"hello ").unwrap();
+        w.write(b"world").unwrap();
+        assert_eq!(w.position(), 11);
+        let len = w.finish(&[]).unwrap();
+        assert_eq!(len, 11);
+        let r = PagedReader::open(&path, 4).unwrap();
+        let mut buf = [0u8; 11];
+        r.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_spanning_pages() {
+        let path = tmp("span");
+        let data: Vec<u8> = (0..3 * PAGE_DATA + 1234)
+            .map(|i| (i * 31 % 251) as u8)
+            .collect();
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(&data).unwrap();
+        w.finish(&[]).unwrap();
+        let r = PagedReader::open(&path, 2).unwrap();
+        // Read a range crossing two page boundaries.
+        let start = PAGE_DATA - 100;
+        let mut buf = vec![0u8; PAGE_DATA + 200];
+        r.read_exact_at(start as u64, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[start..start + buf.len()]);
+        // And the whole stream.
+        let mut all = vec![0u8; data.len()];
+        r.read_exact_at(0, &mut all).unwrap();
+        assert_eq!(all, data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn patch_rewrites_and_recrcs() {
+        let path = tmp("patch");
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(&vec![0u8; 2 * PAGE_DATA]).unwrap();
+        // Patch across the page boundary.
+        let off = (PAGE_DATA - 2) as u64;
+        w.finish(&[(off, b"ABCD".to_vec())]).unwrap();
+        let r = PagedReader::open(&path, 4).unwrap();
+        let mut buf = [0u8; 4];
+        r.read_exact_at(off, &mut buf).unwrap();
+        assert_eq!(&buf, b"ABCD");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let path = tmp("corrupt");
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(&[7u8; 100]).unwrap();
+        w.finish(&[]).unwrap();
+        // Flip a payload byte directly in the physical file.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[50] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let r = PagedReader::open(&path, 4).unwrap();
+        let mut buf = [0u8; 100];
+        match r.read_exact_at(0, &mut buf) {
+            Err(DiskError::CorruptPage { page: 0 }) => {}
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let path = tmp("oob");
+        let w = PagedWriter::create(&path).unwrap();
+        w.finish(&[]).unwrap();
+        let r = PagedReader::open(&path, 4).unwrap();
+        let mut buf = [0u8; 1];
+        assert!(matches!(
+            r.read_exact_at(0, &mut buf),
+            Err(DiskError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let path = tmp("cache");
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(&[1u8; 10]).unwrap();
+        w.finish(&[]).unwrap();
+        let r = PagedReader::open(&path, 4).unwrap();
+        let mut buf = [0u8; 1];
+        for _ in 0..5 {
+            r.read_exact_at(3, &mut buf).unwrap();
+        }
+        let s = r.io_stats();
+        assert_eq!(s.pages_read, 1);
+        assert_eq!(s.cache_hits, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misaligned_file_rejected() {
+        let path = tmp("misaligned");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 7]).unwrap();
+        assert!(matches!(
+            PagedReader::open(&path, 4),
+            Err(DiskError::BadHeader(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Behavioural tests of the disk layer: node-cache effectiveness,
+//! merge preconditions, and builder edge cases.
+
+use std::sync::Arc;
+use warptree_core::categorize::CatStore;
+use warptree_core::search::SuffixTreeIndex;
+use warptree_disk::{merge_trees, write_tree, DiskTree, IncrementalBuilder, TreeKind};
+use warptree_suffix::{build_full, build_full_truncated, TruncateSpec};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("warptree-behavior-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn small_cat() -> Arc<CatStore> {
+    Arc::new(CatStore::from_symbols(
+        vec![vec![0, 1, 2, 1, 0, 2], vec![2, 2, 1]],
+        3,
+    ))
+}
+
+#[test]
+fn node_cache_avoids_repeated_page_reads() {
+    let cat = small_cat();
+    let tree = build_full(cat.clone());
+    let dir = tmpdir("cache");
+    let path = dir.join("t.wt");
+    write_tree(&tree, &path).unwrap();
+    let disk = DiskTree::open(&path, cat, 4, 128).unwrap();
+    // Walk the whole tree twice; the second pass must be nearly free.
+    let mut n1 = 0u64;
+    disk.for_each_suffix_below(disk.root(), &mut |_, _, _| n1 += 1);
+    let after_first = disk.io_stats();
+    let mut n2 = 0u64;
+    disk.for_each_suffix_below(disk.root(), &mut |_, _, _| n2 += 1);
+    let after_second = disk.io_stats();
+    assert_eq!(n1, n2);
+    // The decoded-node cache absorbs the second traversal entirely: no
+    // new page reads or page-cache hits (records never touch the pager).
+    assert_eq!(after_second.pages_read, after_first.pages_read);
+    assert_eq!(after_second.cache_hits, after_first.cache_hits);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+#[should_panic(expected = "depth limits")]
+fn merge_rejects_mismatched_depth_limits() {
+    let cat = small_cat();
+    let full = build_full(cat.clone());
+    let trunc = build_full_truncated(
+        cat.clone(),
+        TruncateSpec {
+            max_answer_len: 2,
+            min_answer_len: 1,
+        },
+    );
+    let dir = tmpdir("mismatch");
+    let (p1, p2) = (dir.join("a.wt"), dir.join("b.wt"));
+    write_tree(&full, &p1).unwrap();
+    write_tree(&trunc, &p2).unwrap();
+    let a = DiskTree::open(&p1, cat.clone(), 4, 16).unwrap();
+    let b = DiskTree::open(&p2, cat.clone(), 4, 16).unwrap();
+    let _ = merge_trees(&a, &b, &cat, &dir.join("m.wt"));
+}
+
+#[test]
+fn incremental_builder_handles_empty_store() {
+    let cat = Arc::new(CatStore::from_symbols(vec![], 2));
+    let dir = tmpdir("empty");
+    let out = dir.join("index.wt");
+    IncrementalBuilder::new(cat.clone(), TreeKind::Sparse, 4, dir.clone())
+        .build(&out)
+        .unwrap();
+    let disk = DiskTree::open(&out, cat, 4, 16).unwrap();
+    assert_eq!(disk.suffix_count(), 0);
+    assert!(disk.is_sparse());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopening_with_tiny_caches_matches_large_caches() {
+    let cat = small_cat();
+    let tree = build_full(cat.clone());
+    let dir = tmpdir("caches");
+    let path = dir.join("t.wt");
+    write_tree(&tree, &path).unwrap();
+    let collect = |pages: usize, nodes: usize| {
+        let disk = DiskTree::open(&path, cat.clone(), pages, nodes).unwrap();
+        let mut v = Vec::new();
+        disk.for_each_suffix_below(disk.root(), &mut |s, p, r| v.push((s, p, r)));
+        v.sort();
+        v
+    };
+    assert_eq!(collect(1, 1), collect(64, 1024));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,88 @@
+//! Corruption robustness: any byte flip anywhere in a tree file must be
+//! *detected* (surfaced as an error), never silently change answers or
+//! panic the reader — every page is covered by its CRC.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use warptree_core::categorize::CatStore;
+use warptree_core::search::SuffixTreeIndex;
+use warptree_disk::{write_tree, DiskError, DiskTree};
+use warptree_suffix::build_full;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("warptree-corrupt-{}-{tag}.wt", std::process::id()))
+}
+
+fn build_file(tag: &str) -> (std::path::PathBuf, Arc<CatStore>) {
+    let cat = Arc::new(CatStore::from_symbols(
+        (0..8)
+            .map(|i| (0..24).map(|j| ((i * 5 + j) % 4) as u32).collect())
+            .collect(),
+        4,
+    ));
+    let tree = build_full(cat.clone());
+    let path = tmp(tag);
+    write_tree(&tree, &path).unwrap();
+    (path, cat)
+}
+
+/// Fully traverses a disk tree, returning an error if any read fails.
+fn try_traverse(tree: &DiskTree) -> Result<u64, DiskError> {
+    let mut count = 0u64;
+    let mut stack = vec![tree.header().root_offset];
+    while let Some(off) = stack.pop() {
+        let node = tree.read_node(off)?;
+        count += node.suffixes.len() as u64;
+        for &(_, c) in &node.children {
+            stack.push(c);
+        }
+    }
+    Ok(count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flipping any single byte of the file is detected at open or
+    /// during a full traversal.
+    #[test]
+    fn single_byte_flip_detected(pos_seed in any::<u64>(), bit in 0u8..8) {
+        let (path, cat) = build_file(&format!("flip-{pos_seed}-{bit}"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let outcome = DiskTree::open(&path, cat, 8, 16)
+            .and_then(|t| try_traverse(&t));
+        prop_assert!(
+            outcome.is_err(),
+            "flip at byte {pos} bit {bit} went undetected"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Truncating the file is detected.
+    #[test]
+    fn truncation_detected(keep_fraction in 1u32..99) {
+        let (path, cat) =
+            build_file(&format!("trunc-{keep_fraction}"));
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = bytes.len() * keep_fraction as usize / 100;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let outcome = DiskTree::open(&path, cat, 8, 16)
+            .and_then(|t| try_traverse(&t));
+        prop_assert!(outcome.is_err(), "truncation to {keep} undetected");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// The pristine file traverses fine (sanity for the tests above).
+#[test]
+fn pristine_file_traverses() {
+    let (path, cat) = build_file("pristine");
+    let tree = DiskTree::open(&path, cat, 8, 16).unwrap();
+    let suffixes = try_traverse(&tree).unwrap();
+    assert_eq!(suffixes, tree.suffix_count());
+    std::fs::remove_file(&path).unwrap();
+}

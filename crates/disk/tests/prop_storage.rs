@@ -1,0 +1,225 @@
+//! Model-based property tests for the storage layer: the paged file
+//! against a plain byte vector, the LRU cache against a naive reference,
+//! and concurrent disk-tree queries.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use warptree_core::search::{sim_search, SearchParams, SuffixTreeIndex};
+use warptree_core::sequence::SequenceStore;
+use warptree_disk::lru::LruCache;
+use warptree_disk::{write_tree, DiskTree, PagedReader, PagedWriter};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("warptree-propstore-{}-{tag}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever chunk pattern is written, every read range returns the
+    /// model bytes — including ranges spanning page boundaries.
+    #[test]
+    fn paged_file_equals_byte_model(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..5000),
+            1..8,
+        ),
+        reads in prop::collection::vec((0usize..20000, 0usize..4000), 1..10),
+        case in 0u64..1_000_000,
+    ) {
+        let model: Vec<u8> = chunks.concat();
+        let path = tmp(&format!("pf-{case}"));
+        let mut w = PagedWriter::create(&path).unwrap();
+        for c in &chunks {
+            w.write(c).unwrap();
+        }
+        let len = w.finish(&[]).unwrap();
+        prop_assert_eq!(len as usize, model.len());
+        let r = PagedReader::open(&path, 3).unwrap();
+        for &(start, rlen) in &reads {
+            if model.is_empty() {
+                break;
+            }
+            let start = start % model.len();
+            let rlen = rlen.min(model.len() - start);
+            let mut buf = vec![0u8; rlen];
+            r.read_exact_at(start as u64, &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &model[start..start + rlen]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Patches applied at finish time overwrite exactly the model range.
+    #[test]
+    fn patches_match_model(
+        base in prop::collection::vec(any::<u8>(), 100..20000),
+        patches in prop::collection::vec(
+            (0usize..20000, prop::collection::vec(any::<u8>(), 1..64)),
+            0..5,
+        ),
+        case in 0u64..1_000_000,
+    ) {
+        let mut model = base.clone();
+        let path = tmp(&format!("patch-{case}"));
+        let mut w = PagedWriter::create(&path).unwrap();
+        w.write(&base).unwrap();
+        let mut applied = Vec::new();
+        for (off, bytes) in &patches {
+            let off = off % base.len();
+            let take = bytes.len().min(base.len() - off);
+            model[off..off + take].copy_from_slice(&bytes[..take]);
+            applied.push((off as u64, bytes[..take].to_vec()));
+        }
+        w.finish(&applied).unwrap();
+        let r = PagedReader::open(&path, 4).unwrap();
+        let mut buf = vec![0u8; model.len()];
+        r.read_exact_at(0, &mut buf).unwrap();
+        prop_assert_eq!(buf, model);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The LRU cache behaves exactly like a reference implementation
+    /// (ordered vector with move-to-front).
+    #[test]
+    fn lru_matches_reference(
+        capacity in 1usize..6,
+        ops in prop::collection::vec((0u8..2, 0u32..12, 0u32..100), 1..200),
+    ) {
+        let mut lru: LruCache<u32, u32> = LruCache::new(capacity);
+        // Reference: front = most recently used.
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        for &(op, key, value) in &ops {
+            match op {
+                0 => {
+                    // insert
+                    lru.insert(key, value);
+                    if let Some(pos) =
+                        model.iter().position(|&(k, _)| k == key)
+                    {
+                        model.remove(pos);
+                    }
+                    model.insert(0, (key, value));
+                    model.truncate(capacity);
+                }
+                _ => {
+                    // get
+                    let got = lru.get(&key).copied();
+                    let expect = model
+                        .iter()
+                        .position(|&(k, _)| k == key)
+                        .map(|pos| {
+                            let e = model.remove(pos);
+                            model.insert(0, e);
+                            e.1
+                        });
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+}
+
+/// Concurrent queries over one shared `DiskTree` return the same answers
+/// as sequential queries (the buffer pool is behind a lock; results must
+/// be independent of interleaving).
+#[test]
+fn concurrent_disk_queries_agree() {
+    let store = SequenceStore::from_values(
+        (0..24)
+            .map(|i| {
+                (0..60)
+                    .map(|j| ((i * 31 + j * 7) % 23) as f64)
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<_>>(),
+    );
+    let alphabet = warptree_core::categorize::Alphabet::max_entropy(&store, 6).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+    let tree = warptree_suffix::build_sparse(cat.clone());
+    let path = tmp("conc");
+    write_tree(&tree, &path).unwrap();
+    // Tiny caches to force heavy concurrent pool churn.
+    let disk = DiskTree::open(&path, cat, 2, 4).unwrap();
+    assert!(disk.suffix_count() > 0);
+
+    let queries: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            store
+                .get(warptree_core::sequence::SeqId(i))
+                .subseq(3, 6)
+                .to_vec()
+        })
+        .collect();
+    let params = SearchParams::with_epsilon(4.0);
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            sim_search(&disk, &alphabet, &store, q, &params)
+                .0
+                .occurrence_set()
+        })
+        .collect();
+
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let disk = &disk;
+                let alphabet = &alphabet;
+                let store = &store;
+                let params = &params;
+                scope.spawn(move || {
+                    sim_search(disk, alphabet, store, q, params)
+                        .0
+                        .occurrence_set()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(sequential, concurrent);
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Corpus files round-trip arbitrary stores and every categorization
+    /// method, reproducing identical categorized sequences.
+    #[test]
+    fn corpus_roundtrip_all_methods(
+        db in prop::collection::vec(
+            prop::collection::vec(
+                (-1000i32..1000).prop_map(|v| v as f64 * 0.125),
+                1..24,
+            ),
+            1..6,
+        ),
+        c in 1usize..8,
+        method in 0usize..4,
+        case in 0u64..1_000_000,
+    ) {
+        use warptree_core::categorize::Alphabet;
+        use warptree_disk::{load_corpus, save_corpus};
+        let store = SequenceStore::from_values(db);
+        let alphabet = match method {
+            0 => Alphabet::equal_length(&store, c).unwrap(),
+            1 => Alphabet::max_entropy(&store, c).unwrap(),
+            2 => Alphabet::singleton(&store).unwrap(),
+            _ => Alphabet::kmeans(&store, c, 50).unwrap(),
+        };
+        let cat = alphabet.encode_store(&store);
+        let path = tmp(&format!("corpus-{case}"));
+        save_corpus(&store, &alphabet, &path).unwrap();
+        let (s2, a2, c2) = load_corpus(&path).unwrap();
+        prop_assert_eq!(s2.len(), store.len());
+        for (id, s) in store.iter() {
+            prop_assert_eq!(s2.get(id).values(), s.values());
+        }
+        prop_assert_eq!(a2.method(), alphabet.method());
+        prop_assert_eq!(a2.len(), alphabet.len());
+        prop_assert_eq!(c2.seqs(), cat.seqs());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+//! [`SuffixTreeIndex`] implementation for the in-memory tree, connecting
+//! it to the core filter algorithms.
+
+use warptree_core::categorize::Symbol;
+use warptree_core::search::SuffixTreeIndex;
+use warptree_core::sequence::SeqId;
+
+use crate::tree::{NodeId, SuffixTree, ROOT};
+
+impl SuffixTreeIndex for SuffixTree {
+    type Node = NodeId;
+
+    fn root(&self) -> NodeId {
+        ROOT
+    }
+
+    fn for_each_child(&self, n: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &c in &self.node(n).children {
+            f(c);
+        }
+    }
+
+    fn edge_label(&self, n: NodeId, out: &mut Vec<Symbol>) {
+        out.extend_from_slice(self.label_symbols(self.node(n).label));
+    }
+
+    fn for_each_suffix_below(&self, n: NodeId, f: &mut dyn FnMut(SeqId, u32, u32)) {
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            let node = self.node(x);
+            for s in &node.suffixes {
+                f(s.seq, s.start, s.lead_run);
+            }
+            stack.extend_from_slice(&node.children);
+        }
+    }
+
+    fn max_lead_run(&self, n: NodeId) -> u32 {
+        debug_assert!(self.is_finalized(), "finalize() must run before searching");
+        self.node(n).max_lead_run
+    }
+
+    fn is_sparse(&self) -> bool {
+        SuffixTree::is_sparse(self)
+    }
+
+    fn suffix_count(&self) -> u64 {
+        SuffixTree::suffix_count(self)
+    }
+
+    fn depth_limit(&self) -> Option<u32> {
+        SuffixTree::depth_limit(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_full_naive, build_sparse};
+    use std::sync::Arc;
+    use warptree_core::categorize::CatStore;
+
+    #[test]
+    fn trait_view_matches_tree() {
+        let c = Arc::new(CatStore::from_symbols(
+            vec![vec![0, 0, 1, 2], vec![1, 1, 1]],
+            3,
+        ));
+        let t = build_full_naive(c.clone());
+        let idx: &dyn SuffixTreeIndex<Node = NodeId> = &t;
+        assert_eq!(idx.suffix_count(), 7);
+        assert!(!idx.is_sparse());
+        let mut kids = Vec::new();
+        idx.for_each_child(idx.root(), &mut |n| kids.push(n));
+        assert_eq!(kids.len(), t.node(ROOT).children.len());
+        let mut label = Vec::new();
+        idx.edge_label(kids[0], &mut label);
+        assert!(!label.is_empty());
+        let mut count = 0;
+        idx.for_each_suffix_below(idx.root(), &mut |_, _, _| count += 1);
+        assert_eq!(count, 7);
+        assert_eq!(idx.max_lead_run(idx.root()), 3);
+    }
+
+    #[test]
+    fn sparse_trait_view() {
+        let c = Arc::new(CatStore::from_symbols(vec![vec![0, 0, 0, 1]], 2));
+        let t = build_sparse(c);
+        let idx: &dyn SuffixTreeIndex<Node = NodeId> = &t;
+        assert!(idx.is_sparse());
+        assert_eq!(idx.suffix_count(), 2); // suffixes at 0 and 3
+        assert_eq!(idx.max_lead_run(idx.root()), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Structural statistics of a suffix tree — the numbers behind the
+//! paper's index-size and `R_d` discussions, exposed for tooling
+//! (`warptree info --deep`) and experiments.
+
+use crate::tree::{SuffixTree, ROOT};
+
+/// Aggregate structural facts about a tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    /// Total nodes, including the root.
+    pub nodes: u64,
+    /// Nodes with at least one child.
+    pub internal: u64,
+    /// Nodes with no children (leaves).
+    pub leaves: u64,
+    /// Stored suffix labels.
+    pub suffixes: u64,
+    /// Maximum node depth (edges from the root).
+    pub max_node_depth: u32,
+    /// Maximum symbol depth (label symbols from the root).
+    pub max_symbol_depth: u32,
+    /// Mean children per internal node.
+    pub avg_branching: f64,
+    /// Total label symbols across all edges — the count of *distinct*
+    /// subsequences for a full tree, and the inline-label size driver.
+    pub label_symbols: u64,
+    /// Mean shared-prefix depth per stored suffix: symbol depth of its
+    /// node weighted over suffixes. High values mean high table sharing
+    /// (the paper's `R_d`).
+    pub mean_suffix_depth: f64,
+}
+
+impl TreeStats {
+    /// Computes statistics in one traversal.
+    pub fn compute(tree: &SuffixTree) -> Self {
+        let mut internal = 0u64;
+        let mut leaves = 0u64;
+        let mut suffixes = 0u64;
+        let mut max_node_depth = 0u32;
+        let mut max_symbol_depth = 0u32;
+        let mut child_links = 0u64;
+        let mut label_symbols = 0u64;
+        let mut suffix_depth_sum = 0u64;
+        let mut stack: Vec<(u32, u32, u32)> = vec![(ROOT, 0, 0)];
+        while let Some((n, nd, sd)) = stack.pop() {
+            let node = tree.node(n);
+            label_symbols += node.label.len as u64;
+            suffixes += node.suffixes.len() as u64;
+            suffix_depth_sum += node.suffixes.len() as u64 * sd as u64;
+            max_node_depth = max_node_depth.max(nd);
+            max_symbol_depth = max_symbol_depth.max(sd);
+            if node.children.is_empty() {
+                leaves += 1;
+            } else {
+                internal += 1;
+                child_links += node.children.len() as u64;
+            }
+            for &c in &node.children {
+                let cl = tree.node(c).label.len;
+                stack.push((c, nd + 1, sd + cl));
+            }
+        }
+        Self {
+            nodes: tree.node_count() as u64,
+            internal,
+            leaves,
+            suffixes,
+            max_node_depth,
+            max_symbol_depth,
+            avg_branching: if internal == 0 {
+                0.0
+            } else {
+                child_links as f64 / internal as f64
+            },
+            label_symbols,
+            mean_suffix_depth: if suffixes == 0 {
+                0.0
+            } else {
+                suffix_depth_sum as f64 / suffixes as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes:             {}", self.nodes)?;
+        writeln!(f, "  internal/leaves: {} / {}", self.internal, self.leaves)?;
+        writeln!(f, "stored suffixes:   {}", self.suffixes)?;
+        writeln!(
+            f,
+            "depth (nodes/syms):{} / {}",
+            self.max_node_depth, self.max_symbol_depth
+        )?;
+        writeln!(f, "avg branching:     {:.2}", self.avg_branching)?;
+        writeln!(f, "label symbols:     {}", self.label_symbols)?;
+        write!(
+            f,
+            "mean suffix depth: {:.1} symbols",
+            self.mean_suffix_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_full_naive, build_sparse};
+    use crate::ukkonen::build_full;
+    use std::sync::Arc;
+    use warptree_core::categorize::CatStore;
+
+    fn cat(seqs: Vec<Vec<u32>>, alpha: u32) -> Arc<CatStore> {
+        Arc::new(CatStore::from_symbols(seqs, alpha))
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let c = cat(vec![vec![0, 1, 2, 1, 2, 1], vec![1, 1, 0]], 3);
+        let tree = build_full(c.clone());
+        let s = TreeStats::compute(&tree);
+        assert_eq!(s.nodes, tree.node_count() as u64);
+        assert_eq!(s.internal + s.leaves, s.nodes);
+        assert_eq!(s.suffixes, 9);
+        assert_eq!(
+            s.label_symbols,
+            crate::analysis::distinct_subsequence_count(&tree)
+        );
+        // Label-bearing internal nodes may have a single child, so the
+        // mean can dip below 2, but never below 1.
+        assert!(s.avg_branching >= 1.0);
+        let (nd, sd) = tree.depth_stats();
+        assert_eq!((s.max_node_depth, s.max_symbol_depth), (nd, sd));
+    }
+
+    #[test]
+    fn sparse_has_fewer_suffixes_and_shallower_mean() {
+        let c = cat(vec![vec![0, 0, 0, 0, 1, 1, 2]], 3);
+        let full = TreeStats::compute(&build_full_naive(c.clone()));
+        let sparse = TreeStats::compute(&build_sparse(c));
+        assert!(sparse.suffixes < full.suffixes);
+        assert!(sparse.nodes <= full.nodes);
+    }
+
+    #[test]
+    fn display_renders() {
+        let c = cat(vec![vec![0, 1]], 2);
+        let s = TreeStats::compute(&build_full(c));
+        let text = s.to_string();
+        assert!(text.contains("nodes:"));
+        assert!(text.contains("avg branching"));
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let c = cat(vec![], 1);
+        let mut t = crate::SuffixTree::empty(c, false);
+        t.finalize();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.suffixes, 0);
+        assert_eq!(s.avg_branching, 0.0);
+        assert_eq!(s.mean_suffix_depth, 0.0);
+    }
+}

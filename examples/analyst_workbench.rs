@@ -1,0 +1,113 @@
+//! The paper's §8 application loop on one screen: **search** a recent
+//! price history against the market, **cluster** the matching episodes
+//! into regimes, and **forecast** what followed each regime — the
+//! "predictions, clustering and rule discovery" the paper motivates.
+//!
+//! ```text
+//! cargo run --release --example analyst_workbench
+//! ```
+
+use warptree::core::cluster::cluster_matches;
+use warptree::core::predict::{forecast, Weighting};
+use warptree::prelude::*;
+
+fn main() {
+    // The market and "today's" subject stock.
+    let store = stock_corpus(&StockConfig {
+        sequences: 250,
+        mean_len: 220,
+        seed: 0xA11A,
+        ..Default::default()
+    });
+    let subject = SeqId(42);
+    let subject_len = store.get(subject).len() as u32;
+    // The last 15 closes of the subject are the query history.
+    let history = store.get(subject).subseq(subject_len - 15, 15).to_vec();
+    println!(
+        "subject {subject}: last {} closes in [{:.2}, {:.2}]",
+        history.len(),
+        history.iter().cloned().fold(f64::INFINITY, f64::min),
+        history.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+
+    // --- search ----------------------------------------------------------
+    let index =
+        Index::sparse(&store, Categorization::MaxEntropy(60)).expect("valid categorization");
+    let eps = 0.6 * history.len() as f64;
+    let params = SearchParams::with_epsilon(eps).windowed(5);
+    let t0 = std::time::Instant::now();
+    let (answers, _) = index.search(&history, &params);
+    // Distinct episodes only, and not the trivial self-match.
+    let episodes: Vec<Match> = answers
+        .non_overlapping()
+        .into_iter()
+        .filter(|m| !(m.occ.seq == subject && m.occ.end() == subject_len))
+        .take(24)
+        .collect();
+    println!(
+        "found {} similar episodes across the market in {:.2?} \
+         ({} raw matches)",
+        episodes.len(),
+        t0.elapsed(),
+        answers.len()
+    );
+    assert!(episodes.len() >= 4, "need episodes to analyze");
+
+    // --- cluster -----------------------------------------------------------
+    let clusters = cluster_matches(&store, &episodes, 3, 25);
+    println!("\nregimes (k-medoids over D_tw):");
+    for (i, c) in clusters.iter().enumerate() {
+        let medoid = &episodes[c.medoid];
+        println!(
+            "  regime {}: {} episodes, exemplar {} ({} days), \
+             within-cost {:.1}",
+            i + 1,
+            c.members.len(),
+            medoid.occ,
+            medoid.occ.len,
+            c.cost
+        );
+    }
+
+    // --- forecast ----------------------------------------------------------
+    println!("\nwhat followed each regime (5-day horizon, Δ from last close):");
+    for (i, c) in clusters.iter().enumerate() {
+        let members: Vec<Match> = c.members.iter().map(|&m| episodes[m]).collect();
+        match forecast(
+            &store,
+            &members,
+            5,
+            Weighting::InverseDistance { lambda: 0.5 },
+        ) {
+            Some(f) => {
+                let path: Vec<String> = f.mean.iter().map(|d| format!("{d:+.2}")).collect();
+                println!(
+                    "  regime {}: mean {}  (day-1 range {:+.2}..{:+.2}, \
+                     support {})",
+                    i + 1,
+                    path.join(" → "),
+                    f.low[0],
+                    f.high[0],
+                    f.support[0]
+                );
+            }
+            None => println!("  regime {}: no continuations", i + 1),
+        }
+    }
+
+    // Sanity: the overall forecast is available too.
+    let overall = forecast(
+        &store,
+        &episodes,
+        5,
+        Weighting::InverseDistance { lambda: 0.5 },
+    )
+    .expect("episodes have continuations");
+    let last = *history.last().unwrap();
+    println!(
+        "\nblended 1-day-ahead estimate: {:.2} (today {:.2}, {} episodes)",
+        last + overall.mean[0],
+        last,
+        overall.support[0]
+    );
+}

@@ -1,0 +1,100 @@
+//! Disk-resident indexing: build a suffix-tree index incrementally with
+//! binary merges (paper §4.1), persist the corpus, then reopen
+//! everything from disk and query it — the full life cycle of a
+//! database larger than memory.
+//!
+//! ```text
+//! cargo run --release --example disk_index
+//! ```
+
+use std::sync::Arc;
+use warptree::prelude::*;
+use warptree_disk::{load_corpus, save_corpus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("warptree-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+
+    // ---- Build phase (imagine this is an ingest job) -------------------
+    let store = stock_corpus(&StockConfig {
+        sequences: 400,
+        mean_len: 200,
+        seed: 7,
+        ..Default::default()
+    });
+    let alphabet = warptree::core::categorize::Alphabet::max_entropy(&store, 40)?;
+    let cat = Arc::new(alphabet.encode_store(&store));
+
+    // Persist the corpus (sequences + categorization).
+    let corpus_path = dir.join("market.corpus");
+    let corpus_bytes = save_corpus(&store, &alphabet, &corpus_path)?;
+    println!(
+        "corpus: {} sequences -> {} ({} KiB)",
+        store.len(),
+        corpus_path.display(),
+        corpus_bytes / 1024
+    );
+
+    // Build the sparse index in batches of 50 sequences, merging partial
+    // trees pairwise — bounded memory regardless of database size.
+    let index_path = dir.join("market.sstc");
+    let t0 = std::time::Instant::now();
+    let index_bytes = IncrementalBuilder::new(cat.clone(), TreeKind::Sparse, 50, dir.clone())
+        .build(&index_path)?;
+    println!(
+        "index: built incrementally (batches of 50, binary merges) in \
+         {:.2?} -> {} KiB on disk",
+        t0.elapsed(),
+        index_bytes / 1024
+    );
+    drop((store, alphabet, cat)); // everything below comes from disk
+
+    // ---- Query phase (a fresh process would start here) ----------------
+    let (store, alphabet, cat) = load_corpus(&corpus_path)?;
+    // 64 pages of buffer pool ≈ 512 KiB of memory for the tree.
+    let tree = DiskTree::open(&index_path, cat, 64, 1024)?;
+    println!(
+        "reopened: {} stored suffixes, sparse = {}",
+        warptree::core::search::SuffixTreeIndex::suffix_count(&tree),
+        tree.header().sparse,
+    );
+
+    let queries = QueryWorkload::draw(
+        &store,
+        &QueryConfig {
+            count: 3,
+            mean_len: 18,
+            noise_std: 0.4,
+            ..Default::default()
+        },
+    );
+    let params = SearchParams::with_epsilon(12.0);
+    for (i, q) in queries.queries().iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let (answers, stats) = sim_search(&tree, &alphabet, &store, &q.values, &params);
+        let top = answers.top_k(3);
+        println!(
+            "\nquery {} (len {}, drawn from {}): {} answers in {:.2?} \
+             ({} nodes visited)",
+            i + 1,
+            q.values.len(),
+            q.source,
+            answers.len(),
+            t0.elapsed(),
+            stats.nodes_visited
+        );
+        for m in top {
+            println!("   best: {}  dist {:.2}", m.occ, m.dist);
+        }
+    }
+
+    let io = tree.io_stats();
+    println!(
+        "\npager: {} page reads, {} cache hits ({:.1}% hit rate)",
+        io.pages_read,
+        io.cache_hits,
+        100.0 * io.cache_hits as f64 / (io.cache_hits + io.pages_read).max(1) as f64
+    );
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,484 @@
+//! `warptree` — command-line front end for the time-warping subsequence
+//! search index.
+//!
+//! ```text
+//! warptree gen    --kind stock --sequences 200 --len 150 --out data.csv
+//! warptree build  --input data.csv --method me --categories 40 \
+//!                 --sparse --out-dir ./idx
+//! warptree info   --index-dir ./idx
+//! warptree search --index-dir ./idx --query 30.1,30.5,31.0 --epsilon 5
+//! warptree knn    --index-dir ./idx --query 30.1,30.5,31.0 --k 5
+//! warptree scan   --input data.csv --query 30.1,30.5 --epsilon 5
+//! ```
+//!
+//! `build` writes two files into `--out-dir`: `corpus.wc` (sequences +
+//! categorization) and `index.wt` (the suffix tree, constructed
+//! incrementally with binary merges). `search`/`knn`/`info` need only
+//! those files.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use warptree::prelude::*;
+use warptree::{build_index_dir, index_dir_paths, open_index_dir};
+use warptree_data::{load_csv, save_csv};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("append") => cmd_append(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("search") => cmd_search(&args[1..], false),
+        Some("knn") => cmd_search(&args[1..], true),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("mine") => cmd_mine(&args[1..]),
+        Some("forecast") => cmd_forecast(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `warptree help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "warptree — time-warping subsequence similarity search \
+         (Park et al., ICDE 2000)\n\n\
+         commands:\n\
+         \u{20}  gen     generate a synthetic corpus as CSV\n\
+         \u{20}          --kind stock|walk --sequences N --len L \
+         [--seed S] --out FILE\n\
+         \u{20}  build   build corpus + index files from a CSV\n\
+         \u{20}          --input FILE --method me|el|exact|kmeans \
+         [--categories C] [--sparse]\n\
+         \u{20}          [--batch B] --out-dir DIR\n\
+         \u{20}  append  add sequences from a CSV to an existing index\n\
+         \u{20}          --input FILE --index-dir DIR\n\
+         \u{20}  info    print index statistics\n\
+         \u{20}          --index-dir DIR [--deep]\n\
+         \u{20}  search  threshold search over a built index\n\
+         \u{20}          --index-dir DIR --query v1,v2,…|--query-file F \
+         --epsilon E [--window W] [--limit N]\n\
+         \u{20}  knn     k-nearest-neighbour search over a built index\n\
+         \u{20}          --index-dir DIR --query v1,v2,… --k K [--window W]\n\
+         \u{20}  scan    index-free exact scan over a CSV\n\
+         \u{20}          --input FILE --query v1,v2,… --epsilon E\n\
+         \u{20}  mine    most frequent shape motifs (full index only)\n\
+         \u{20}          --index-dir DIR [--len L] [--k K]\n\
+         \u{20}  forecast  aggregate what followed similar histories\n\
+         \u{20}          --index-dir DIR --query v1,v2,… --epsilon E \
+         [--horizon H] [--window W]"
+    );
+}
+
+/// Minimal `--flag value` / `--flag` parser.
+struct Opts {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            pairs.push((name.to_string(), value));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+/// Resolves the query from `--query v1,v2,…` or `--query-file FILE`
+/// (one value per line or comma-separated).
+fn resolve_query(o: &Opts) -> Result<Vec<f64>, String> {
+    match (o.get("query"), o.get("query-file")) {
+        (Some(text), None) => parse_query(text),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("--query-file: {e}"))?;
+            let joined = text
+                .split(['\n', ','])
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .collect::<Vec<_>>()
+                .join(",");
+            parse_query(&joined)
+        }
+        (Some(_), Some(_)) => Err("use either --query or --query-file, not both".into()),
+        (None, None) => Err("missing required --query (or --query-file)".into()),
+    }
+}
+
+fn parse_query(text: &str) -> Result<Vec<f64>, String> {
+    let values: Result<Vec<f64>, _> = text.split(',').map(|t| t.trim().parse::<f64>()).collect();
+    let values = values.map_err(|e| format!("bad query value: {e}"))?;
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return Err("query must be non-empty, finite numbers".into());
+    }
+    Ok(values)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let out = PathBuf::from(o.require("out")?);
+    let sequences: usize = o.parse_num("sequences", 200)?;
+    let len: usize = o.parse_num("len", 150)?;
+    let seed: u64 = o.parse_num("seed", 1)?;
+    let store = match o.get("kind").unwrap_or("stock") {
+        "stock" => stock_corpus(&StockConfig {
+            sequences,
+            mean_len: len,
+            seed,
+            ..Default::default()
+        }),
+        "walk" => artificial_corpus(&ArtificialConfig {
+            sequences,
+            len,
+            seed,
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    save_csv(&store, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} sequences ({} values) to {}",
+        store.len(),
+        store.total_len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let input = PathBuf::from(o.require("input")?);
+    let out_dir = PathBuf::from(o.require("out-dir")?);
+    let categories: usize = o.parse_num("categories", 40)?;
+    let batch: usize = o.parse_num("batch", 64)?;
+    let sparse = o.flag("sparse");
+    let store = load_csv(&input).map_err(|e| e.to_string())?;
+    if store.is_empty() {
+        return Err("input contains no sequences".into());
+    }
+    let cat = match o.get("method").unwrap_or("me") {
+        "me" => Categorization::MaxEntropy(categories),
+        "el" => Categorization::EqualLength(categories),
+        "exact" => Categorization::Exact,
+        "kmeans" => Categorization::KMeans(categories),
+        other => return Err(format!("unknown --method {other:?}")),
+    };
+    let t0 = std::time::Instant::now();
+    let bytes = build_index_dir(&store, cat, sparse, batch, &out_dir).map_err(|e| e.to_string())?;
+    let (corpus_path, index_path) = index_dir_paths(&out_dir);
+    println!(
+        "built {} index over {} sequences: {} KiB in {:.2?}",
+        if sparse { "sparse" } else { "full" },
+        store.len(),
+        bytes / 1024,
+        t0.elapsed()
+    );
+    println!("  corpus: {}", corpus_path.display());
+    println!("  index:  {}", index_path.display());
+    Ok(())
+}
+
+fn cmd_append(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let input = PathBuf::from(o.require("input")?);
+    let dir = PathBuf::from(o.require("index-dir")?);
+    let new = load_csv(&input).map_err(|e| e.to_string())?;
+    if new.is_empty() {
+        return Err("input contains no sequences".into());
+    }
+    let t0 = std::time::Instant::now();
+    let bytes = warptree_disk::append_to_index_dir(&dir, &new).map_err(|e| e.to_string())?;
+    println!(
+        "appended {} sequences ({} values) in {:.2?}; index now {} KiB",
+        new.len(),
+        new.total_len(),
+        t0.elapsed(),
+        bytes / 1024
+    );
+    Ok(())
+}
+
+fn open_index(dir: &Path) -> Result<DiskIndexDir, String> {
+    open_index_dir(dir, 1024).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let dir = PathBuf::from(o.require("index-dir")?);
+    let idx = open_index(&dir)?;
+    let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
+    let h = tree.header();
+    println!("corpus:");
+    println!("  sequences:      {}", store.len());
+    println!("  elements:       {}", store.total_len());
+    println!("  mean length:    {:.1}", store.mean_len());
+    if let Some((lo, hi)) = store.value_range() {
+        println!("  value range:    [{lo}, {hi}]");
+    }
+    println!("categorization:");
+    println!("  method:         {}", alphabet.method());
+    println!("  categories:     {}", alphabet.len());
+    println!("index:");
+    println!(
+        "  kind:           {}",
+        if h.sparse {
+            "sparse (SST_C)"
+        } else {
+            "full (ST_C)"
+        }
+    );
+    println!("  nodes:          {}", h.node_count);
+    println!("  stored suffixes:{}", h.suffix_count);
+    println!(
+        "  compaction:     {:.1}% of suffixes stored",
+        100.0 * h.suffix_count as f64 / store.total_len().max(1) as f64
+    );
+    match h.depth_limit {
+        Some(d) => println!("  depth limit:    {d} (truncated, §8)"),
+        None => println!("  depth limit:    none"),
+    }
+    let (_, index_path) = index_dir_paths(&dir);
+    let meta = std::fs::metadata(&index_path).map_err(|e| e.to_string())?;
+    println!("  file size:      {} KiB", meta.len() / 1024);
+    if o.flag("deep") {
+        // Materialize the tree and compute structural statistics.
+        let mem = tree.to_mem().map_err(|e| e.to_string())?;
+        println!("structure:");
+        for line in warptree_suffix::TreeStats::compute(&mem)
+            .to_string()
+            .lines()
+        {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let dir = PathBuf::from(o.require("index-dir")?);
+    let query = resolve_query(&o)?;
+    let idx = open_index(&dir)?;
+    let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
+    let window: Option<u32> = match o.get("window") {
+        Some(w) => Some(w.parse().map_err(|_| "--window: bad value".to_string())?),
+        None => None,
+    };
+    let t0 = std::time::Instant::now();
+    if knn {
+        let k: usize = o.parse_num("k", 5)?;
+        let mut params = warptree::core::search::KnnParams::new(k);
+        params.window = window;
+        let (matches, stats) =
+            warptree::core::search::knn_search(tree, alphabet, store, &query, &params);
+        println!(
+            "{} nearest subsequences in {:.2?} ({} nodes visited):",
+            matches.len(),
+            t0.elapsed(),
+            stats.nodes_visited
+        );
+        for m in matches {
+            println!(
+                "  {} ({})  dist {:.4}",
+                m.occ,
+                store.display_name(m.occ.seq),
+                m.dist
+            );
+        }
+    } else {
+        let epsilon: f64 = o
+            .require("epsilon")?
+            .parse()
+            .map_err(|_| "--epsilon: bad value".to_string())?;
+        let limit: usize = o.parse_num("limit", 20)?;
+        let mut params = SearchParams::with_epsilon(epsilon);
+        params.window = window;
+        let (answers, stats) = sim_search(tree, alphabet, store, &query, &params);
+        println!(
+            "{} answers within ε = {epsilon} in {:.2?} ({} candidates \
+             verified, {} false alarms)",
+            answers.len(),
+            t0.elapsed(),
+            stats.postprocessed,
+            stats.false_alarms
+        );
+        for m in answers.top_k(limit) {
+            println!(
+                "  {} ({})  dist {:.4}",
+                m.occ,
+                store.display_name(m.occ.seq),
+                m.dist
+            );
+        }
+        if answers.len() > limit {
+            println!("  … ({} more; raise --limit)", answers.len() - limit);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let dir = PathBuf::from(o.require("index-dir")?);
+    let len: u32 = o.parse_num("len", 8)?;
+    let k: usize = o.parse_num("k", 5)?;
+    let idx = open_index(&dir)?;
+    if idx.tree.header().sparse {
+        return Err("motif mining needs a full index (rebuild without --sparse)".into());
+    }
+    let mem = idx.tree.to_mem().map_err(|e| e.to_string())?;
+    let motifs = warptree_suffix::top_motifs(&mem, len, k);
+    println!("top {} motifs of length {len}:", motifs.len());
+    for (rank, m) in motifs.iter().enumerate() {
+        let exemplar = m.occurrences[0];
+        let values = idx
+            .store
+            .get(exemplar.0)
+            .subseq(exemplar.1, len)
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  #{}: {} occurrences, e.g. {}[{}..] = [{}]",
+            rank + 1,
+            m.count,
+            idx.store.display_name(exemplar.0),
+            exemplar.1 + 1,
+            values
+        );
+    }
+    if let Some(longest) = warptree_suffix::longest_repeated(&mem, 2) {
+        println!(
+            "longest repeated shape: {} symbols, {} occurrences",
+            longest.symbols.len(),
+            longest.count
+        );
+    }
+    Ok(())
+}
+
+fn cmd_forecast(args: &[String]) -> Result<(), String> {
+    use warptree::core::predict::{forecast, Weighting};
+    let o = Opts::parse(args)?;
+    let dir = PathBuf::from(o.require("index-dir")?);
+    let query = resolve_query(&o)?;
+    let epsilon: f64 = o
+        .require("epsilon")?
+        .parse()
+        .map_err(|_| "--epsilon: bad value".to_string())?;
+    let horizon: usize = o.parse_num("horizon", 5)?;
+    let idx = open_index(&dir)?;
+    let mut params = SearchParams::with_epsilon(epsilon);
+    if let Some(w) = o.get("window") {
+        params.window = Some(w.parse().map_err(|_| "--window: bad value".to_string())?);
+    }
+    let (answers, _) = sim_search(&idx.tree, &idx.alphabet, &idx.store, &query, &params);
+    let episodes = answers.non_overlapping();
+    if episodes.is_empty() {
+        return Err("no similar episodes found — raise --epsilon".into());
+    }
+    match forecast(
+        &idx.store,
+        &episodes,
+        horizon,
+        Weighting::InverseDistance { lambda: 0.5 },
+    ) {
+        None => Err("episodes have no continuations".into()),
+        Some(f) => {
+            let last = *query.last().expect("non-empty query");
+            println!(
+                "{} distinct episodes; forecast from last value {last:.2}:",
+                episodes.len()
+            );
+            for step in 0..f.mean.len() {
+                println!(
+                    "  +{}: {:>8.2}  (range {:.2}..{:.2}, {} continuations)",
+                    step + 1,
+                    last + f.mean[step],
+                    last + f.low[step],
+                    last + f.high[step],
+                    f.support[step]
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let input = PathBuf::from(o.require("input")?);
+    let query = resolve_query(&o)?;
+    let epsilon: f64 = o
+        .require("epsilon")?
+        .parse()
+        .map_err(|_| "--epsilon: bad value".to_string())?;
+    let store = load_csv(&input).map_err(|e| e.to_string())?;
+    let params = SearchParams::with_epsilon(epsilon);
+    let mut stats = SearchStats::default();
+    let t0 = std::time::Instant::now();
+    let answers = seq_scan(
+        &store,
+        &query,
+        &params,
+        SeqScanMode::EarlyAbandon,
+        &mut stats,
+    );
+    println!(
+        "{} answers within ε = {epsilon} in {:.2?} (exact scan, {} table \
+         cells)",
+        answers.len(),
+        t0.elapsed(),
+        stats.total_cells()
+    );
+    for m in answers.top_k(20) {
+        println!("  {}  dist {:.4}", m.occ, m.dist);
+    }
+    Ok(())
+}

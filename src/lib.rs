@@ -1,0 +1,433 @@
+#![warn(missing_docs)]
+
+//! # warptree
+//!
+//! Time-warping subsequence similarity search over sequence databases —
+//! a production-quality Rust reproduction of
+//!
+//! > Park, Chu, Yoon, Hsu. *Efficient Searches for Similar Subsequences
+//! > of Different Lengths in Sequence Databases.* ICDE 2000.
+//!
+//! The system answers queries of the form *"find every subsequence of
+//! every database sequence whose time-warping (DTW) distance to Q is at
+//! most ε"* — with **no false dismissals** — using a generalized suffix
+//! tree over *categorized* (discretized) sequences, lower-bound distance
+//! filtering, and exact post-processing. Sequences of different lengths
+//! and sampling rates are matched naturally by the time-warping distance.
+//!
+//! ## Crate map
+//!
+//! * [`warptree_core`] — distances, categorization, lower bounds,
+//!   the filter/search algorithms, sequential-scan baseline.
+//! * [`warptree_suffix`] — in-memory generalized and sparse
+//!   suffix trees (Ukkonen + naive builders).
+//! * [`warptree_disk`] — paged on-disk trees, binary-merge
+//!   incremental construction, corpus persistence.
+//! * [`warptree_data`] — synthetic corpora and query workloads
+//!   reproducing the paper's evaluation.
+//!
+//! ## Index selection cheat-sheet
+//!
+//! | Paper name | How to build | Exactness |
+//! |---|---|---|
+//! | `ST` | [`Index::exact`] (singleton alphabet) | filter is exact |
+//! | `ST_C` | [`Index::full`] | lower bound + post-process |
+//! | `SST_C` | [`Index::sparse`] | lower bound + post-process |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use warptree::prelude::*;
+//!
+//! // 1. A tiny "stock" database.
+//! let store = SequenceStore::from_values(vec![
+//!     vec![20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0],
+//!     vec![20.0, 21.0, 20.0, 23.0],
+//!     vec![55.0, 54.0, 57.0, 60.0],
+//! ]);
+//!
+//! // 2. Build a sparse, max-entropy-categorized index (SST_C).
+//! let index = Index::sparse(&store, Categorization::MaxEntropy(8)).unwrap();
+//!
+//! // 3. Search: subsequences within time-warping distance 1.0 of Q.
+//! let query = [20.0, 21.0, 20.0, 23.0];
+//! let (answers, stats) = index.search(&query, &SearchParams::with_epsilon(1.0));
+//!
+//! // The different-sampling-rate sequence matches with distance 0.
+//! assert!(answers.matches().iter().any(|m| m.dist == 0.0));
+//! assert!(stats.answers > 0);
+//! ```
+
+pub use warptree_core as core;
+pub use warptree_data as data;
+pub use warptree_disk as disk;
+pub use warptree_suffix as suffix;
+
+use std::sync::Arc;
+
+use warptree_core::categorize::{Alphabet, CatStore};
+use warptree_core::error::CoreError;
+use warptree_core::search::{
+    knn_search, seq_scan, sim_search, AnswerSet, KnnParams, Match, SearchParams, SearchStats,
+    SeqScanMode,
+};
+use warptree_core::sequence::{SequenceStore, Value};
+use warptree_suffix::SuffixTree;
+
+/// How element values are discretized (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Categorization {
+    /// Equal-length categories ("EL") with the given count.
+    EqualLength(usize),
+    /// Maximum-entropy (equal-frequency) categories ("ME").
+    MaxEntropy(usize),
+    /// One category per distinct value — the exact, uncategorized `ST`.
+    Exact,
+    /// 1-D k-means categories.
+    KMeans(usize),
+}
+
+impl Categorization {
+    /// Builds the alphabet over a store.
+    pub fn alphabet(&self, store: &SequenceStore) -> Result<Alphabet, CoreError> {
+        match *self {
+            Categorization::EqualLength(c) => Alphabet::equal_length(store, c),
+            Categorization::MaxEntropy(c) => Alphabet::max_entropy(store, c),
+            Categorization::Exact => Alphabet::singleton(store),
+            Categorization::KMeans(c) => Alphabet::kmeans(store, c, 50),
+        }
+    }
+}
+
+/// A ready-to-query in-memory index: sequence store + alphabet +
+/// suffix tree. This is the high-level entry point; the individual
+/// pieces remain fully accessible for custom pipelines (disk-resident
+/// trees, incremental builds, …).
+pub struct Index {
+    store: SequenceStore,
+    alphabet: Alphabet,
+    cat: Arc<CatStore>,
+    tree: SuffixTree,
+}
+
+impl Index {
+    /// Builds a full suffix-tree index (`ST_C`; `ST` when `cat` is
+    /// [`Categorization::Exact`]).
+    pub fn full(store: &SequenceStore, cat: Categorization) -> Result<Self, CoreError> {
+        let alphabet = cat.alphabet(store)?;
+        let encoded = Arc::new(alphabet.encode_store(store));
+        let tree = warptree_suffix::build_full(encoded.clone());
+        Ok(Self {
+            store: store.clone(),
+            alphabet,
+            cat: encoded,
+            tree,
+        })
+    }
+
+    /// Builds a sparse suffix-tree index (`SST_C`, paper §6).
+    pub fn sparse(store: &SequenceStore, cat: Categorization) -> Result<Self, CoreError> {
+        let alphabet = cat.alphabet(store)?;
+        let encoded = Arc::new(alphabet.encode_store(store));
+        let tree = warptree_suffix::build_sparse(encoded.clone());
+        Ok(Self {
+            store: store.clone(),
+            alphabet,
+            cat: encoded,
+            tree,
+        })
+    }
+
+    /// Builds the exact (uncategorized) index `ST`.
+    pub fn exact(store: &SequenceStore) -> Result<Self, CoreError> {
+        Self::full(store, Categorization::Exact)
+    }
+
+    /// Runs a complete similarity search (filter + post-processing):
+    /// every subsequence with `D_tw(query, ·) ≤ params.epsilon`.
+    pub fn search(&self, query: &[Value], params: &SearchParams) -> (AnswerSet, SearchStats) {
+        sim_search(&self.tree, &self.alphabet, &self.store, query, params)
+    }
+
+    /// Finds the `k` nearest subsequences to `query` (exact, via ε
+    /// expansion over the same index).
+    pub fn knn(&self, query: &[Value], params: &KnnParams) -> (Vec<Match>, SearchStats) {
+        knn_search(&self.tree, &self.alphabet, &self.store, query, params)
+    }
+
+    /// Runs many searches concurrently on `threads` worker threads (the
+    /// index is immutable and shared). Results align with `queries`.
+    pub fn batch_search(
+        &self,
+        queries: &[Vec<Value>],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<AnswerSet> {
+        let threads = threads.max(1).min(queries.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut results: Vec<Option<AnswerSet>> = vec![None; queries.len()];
+        let slots = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let (answers, _) = self.search(&queries[i], params);
+                    slots.lock().unwrap()[i] = Some(answers);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// Explains a match: the exact warping path aligning the query with
+    /// the matched subsequence (paper Figure 1(b)'s element mapping).
+    pub fn explain(
+        &self,
+        query: &[Value],
+        m: &warptree_core::search::Match,
+    ) -> warptree_core::dtw_path::Alignment {
+        let sub = self.store.occurrence_values(m.occ);
+        warptree_core::dtw_path::dtw_with_path(query, sub)
+    }
+
+    /// The exact baseline over the same store (paper §4.3). Identical
+    /// answers, no index.
+    pub fn seq_scan(&self, query: &[Value], params: &SearchParams) -> (AnswerSet, SearchStats) {
+        let mut stats = SearchStats::default();
+        let answers = seq_scan(&self.store, query, params, SeqScanMode::Full, &mut stats);
+        (answers, stats)
+    }
+
+    /// The sequence database.
+    pub fn store(&self) -> &SequenceStore {
+        &self.store
+    }
+
+    /// The categorization alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The categorized database.
+    pub fn cat(&self) -> &Arc<CatStore> {
+        &self.cat
+    }
+
+    /// The underlying suffix tree.
+    pub fn tree(&self) -> &SuffixTree {
+        &self.tree
+    }
+
+    /// Persists this in-memory index as an index directory
+    /// (`corpus.wc` + `index.wt`) loadable with [`open_index_dir`].
+    /// Returns the tree file size in bytes.
+    pub fn save_to_dir(&self, dir: &std::path::Path) -> Result<u64, Box<dyn std::error::Error>> {
+        std::fs::create_dir_all(dir)?;
+        let (corpus_path, index_path) = index_dir_paths(dir);
+        warptree_disk::save_corpus(&self.store, &self.alphabet, &corpus_path)?;
+        let bytes = warptree_disk::write_tree(&self.tree, &index_path)?;
+        Ok(bytes)
+    }
+}
+
+/// A disk-backed index directory: the corpus file plus the tree file,
+/// as produced by [`build_index_dir`] and the `warptree build` CLI.
+pub struct DiskIndexDir {
+    /// The sequence database, loaded from the corpus file.
+    pub store: SequenceStore,
+    /// The categorization alphabet.
+    pub alphabet: Alphabet,
+    /// The categorized corpus (shared with the tree).
+    pub cat: Arc<CatStore>,
+    /// The disk-resident suffix tree.
+    pub tree: warptree_disk::DiskTree,
+}
+
+impl DiskIndexDir {
+    /// Runs a complete similarity search against the on-disk tree.
+    pub fn search(&self, query: &[Value], params: &SearchParams) -> (AnswerSet, SearchStats) {
+        sim_search(&self.tree, &self.alphabet, &self.store, query, params)
+    }
+
+    /// Finds the `k` nearest subsequences.
+    pub fn knn(&self, query: &[Value], params: &KnnParams) -> (Vec<Match>, SearchStats) {
+        knn_search(&self.tree, &self.alphabet, &self.store, query, params)
+    }
+}
+
+/// Standard file names inside an index directory.
+pub fn index_dir_paths(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+    (dir.join("corpus.wc"), dir.join("index.wt"))
+}
+
+/// Builds a persistent index directory (corpus + incrementally merged
+/// tree) for `store`. `sparse` selects `SST_C` vs `ST_C`; `batch` is the
+/// number of sequences per in-memory partial tree.
+pub fn build_index_dir(
+    store: &SequenceStore,
+    cat: Categorization,
+    sparse: bool,
+    batch: usize,
+    dir: &std::path::Path,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let alphabet = cat.alphabet(store)?;
+    let encoded = Arc::new(alphabet.encode_store(store));
+    std::fs::create_dir_all(dir)?;
+    let (corpus_path, index_path) = index_dir_paths(dir);
+    warptree_disk::save_corpus(store, &alphabet, &corpus_path)?;
+    let kind = if sparse {
+        warptree_disk::TreeKind::Sparse
+    } else {
+        warptree_disk::TreeKind::Full
+    };
+    let bytes = warptree_disk::IncrementalBuilder::new(encoded, kind, batch, dir.to_path_buf())
+        .build(&index_path)?;
+    Ok(bytes)
+}
+
+/// Opens an index directory produced by [`build_index_dir`].
+/// `cache_pages` sizes the tree's buffer pool.
+pub fn open_index_dir(
+    dir: &std::path::Path,
+    cache_pages: usize,
+) -> Result<DiskIndexDir, Box<dyn std::error::Error>> {
+    let (corpus_path, index_path) = index_dir_paths(dir);
+    let (store, alphabet, cat) = warptree_disk::load_corpus(&corpus_path)?;
+    let tree =
+        warptree_disk::DiskTree::open(&index_path, cat.clone(), cache_pages, cache_pages * 8)?;
+    Ok(DiskIndexDir {
+        store,
+        alphabet,
+        cat,
+        tree,
+    })
+}
+
+/// Re-exports of the types most programs need.
+pub mod prelude {
+    pub use crate::{build_index_dir, open_index_dir, Categorization, DiskIndexDir, Index};
+    pub use warptree_core::cluster::{cluster_matches, Cluster};
+    pub use warptree_core::predict::{forecast, Forecast, Weighting};
+    pub use warptree_core::prelude::*;
+    pub use warptree_data::{
+        artificial_corpus, stock_corpus, ArtificialConfig, QueryConfig, QueryWorkload, StockConfig,
+    };
+    pub use warptree_disk::{DiskTree, IncrementalBuilder, TreeKind};
+    pub use warptree_suffix::{build_full, build_sparse, SuffixTree};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn knn_and_batch_search() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 20,
+            mean_len: 50,
+            ..Default::default()
+        });
+        let index = Index::sparse(&store, Categorization::MaxEntropy(10)).unwrap();
+        let q = store.get(SeqId(3)).subseq(5, 10).to_vec();
+        let (top, _) = index.knn(&q, &KnnParams::new(5));
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].dist, 0.0); // the query itself is in the store
+        for w in top.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+
+        let queries: Vec<Vec<f64>> = (0..6)
+            .map(|i| store.get(SeqId(i)).subseq(0, 8).to_vec())
+            .collect();
+        let params = SearchParams::with_epsilon(5.0);
+        let parallel = index.batch_search(&queries, &params, 4);
+        for (q, got) in queries.iter().zip(&parallel) {
+            let (seq, _) = index.search(q, &params);
+            assert_eq!(got.occurrence_set(), seq.occurrence_set());
+        }
+    }
+
+    #[test]
+    fn explain_returns_consistent_alignment() {
+        let store = SequenceStore::from_values(vec![vec![1.0, 1.0, 5.0, 5.0, 9.0]]);
+        let index = Index::exact(&store).unwrap();
+        let q = [1.0, 5.0, 9.0];
+        let (answers, _) = index.search(&q, &SearchParams::with_epsilon(0.0));
+        let m = answers
+            .matches()
+            .iter()
+            .find(|m| m.occ.len == 5)
+            .expect("whole-sequence match");
+        let al = index.explain(&q, m);
+        assert_eq!(al.dist, m.dist);
+        assert_eq!(al.path.first(), Some(&(0, 0)));
+        assert_eq!(al.path.last(), Some(&(2, 4)));
+    }
+
+    #[test]
+    fn save_to_dir_then_open() {
+        let dir = std::env::temp_dir().join(format!("warptree-facade-save-{}", std::process::id()));
+        let store = stock_corpus(&StockConfig {
+            sequences: 10,
+            mean_len: 30,
+            ..Default::default()
+        });
+        let index = Index::sparse(&store, Categorization::EqualLength(6)).unwrap();
+        index.save_to_dir(&dir).unwrap();
+        let opened = open_index_dir(&dir, 32).unwrap();
+        let q = store.get(SeqId(1)).subseq(2, 5).to_vec();
+        let params = SearchParams::with_epsilon(1.5);
+        let (a, _) = index.search(&q, &params);
+        let (b, _) = opened.search(&q, &params);
+        assert_eq!(a.occurrence_set(), b.occurrence_set());
+        // Names survive the round trip.
+        assert_eq!(opened.store.name(SeqId(0)), store.name(SeqId(0)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("warptree-facade-dir-{}", std::process::id()));
+        let store = stock_corpus(&StockConfig {
+            sequences: 15,
+            mean_len: 40,
+            ..Default::default()
+        });
+        build_index_dir(&store, Categorization::MaxEntropy(8), true, 4, &dir).unwrap();
+        let opened = open_index_dir(&dir, 64).unwrap();
+        assert_eq!(opened.store.len(), store.len());
+        let q = store.get(SeqId(2)).subseq(3, 6).to_vec();
+        let params = SearchParams::with_epsilon(2.0);
+        let (disk_answers, _) = opened.search(&q, &params);
+        let mem = Index::sparse(&store, Categorization::MaxEntropy(8)).unwrap();
+        let (mem_answers, _) = mem.search(&q, &params);
+        assert_eq!(disk_answers.occurrence_set(), mem_answers.occurrence_set());
+        let (top, _) = opened.knn(&q, &KnnParams::new(2));
+        assert_eq!(top.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_variants_answer_identically() {
+        let store = SequenceStore::from_values(vec![
+            vec![10.0, 11.0, 12.0, 11.0, 10.0],
+            vec![12.0, 12.0, 12.0, 30.0],
+        ]);
+        let q = [11.0, 12.0];
+        let params = SearchParams::with_epsilon(1.0);
+        let exact = Index::exact(&store).unwrap();
+        let full = Index::full(&store, Categorization::EqualLength(3)).unwrap();
+        let sparse = Index::sparse(&store, Categorization::MaxEntropy(3)).unwrap();
+        let (base, _) = exact.seq_scan(&q, &params);
+        for idx in [&exact, &full, &sparse] {
+            let (ans, _) = idx.search(&q, &params);
+            assert_eq!(ans.occurrence_set(), base.occurrence_set());
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! End-to-end test of the `warptree` CLI binary: generate → build →
+//! info → search → knn → scan, verifying the index search agrees with
+//! the exact scan.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_warptree"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let dir = std::env::temp_dir().join(format!("warptree-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    let idx = dir.join("idx");
+
+    // gen
+    let out = run_ok(&[
+        "gen",
+        "--kind",
+        "walk",
+        "--sequences",
+        "30",
+        "--len",
+        "60",
+        "--seed",
+        "9",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(out.contains("wrote 30 sequences"));
+
+    // build (sparse, ME)
+    let out = run_ok(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--method",
+        "me",
+        "--categories",
+        "12",
+        "--sparse",
+        "--batch",
+        "7",
+        "--out-dir",
+        idx.to_str().unwrap(),
+    ]);
+    assert!(out.contains("built sparse index over 30 sequences"));
+
+    // info
+    let out = run_ok(&["info", "--index-dir", idx.to_str().unwrap()]);
+    assert!(out.contains("sequences:      30"));
+    assert!(out.contains("sparse (SST_C)"));
+
+    // Extract a real subsequence from the CSV as the query.
+    let first_line = std::fs::read_to_string(&csv)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    let query: String = first_line
+        .split(',')
+        .skip(4)
+        .take(6)
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // search: the planted subsequence must come back with distance 0.
+    let out = run_ok(&[
+        "search",
+        "--index-dir",
+        idx.to_str().unwrap(),
+        "--query",
+        &query,
+        "--epsilon",
+        "2",
+        "--limit",
+        "3",
+    ]);
+    assert!(out.contains("dist 0.0000"), "missing exact hit:\n{out}");
+    let idx_answers = out
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    // scan must agree on the answer count.
+    let out = run_ok(&[
+        "scan",
+        "--input",
+        csv.to_str().unwrap(),
+        "--query",
+        &query,
+        "--epsilon",
+        "2",
+    ]);
+    let scan_answers = out
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    assert_eq!(idx_answers, scan_answers, "index vs scan answer count");
+
+    // knn
+    let out = run_ok(&[
+        "knn",
+        "--index-dir",
+        idx.to_str().unwrap(),
+        "--query",
+        &query,
+        "--k",
+        "3",
+    ]);
+    assert!(out.contains("3 nearest"));
+    assert!(out.contains("dist 0.0000"));
+
+    // Bad input is a clean error, not a panic.
+    let out = bin()
+        .args(["search", "--index-dir", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--query"));
+
+    let out = bin().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gen_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!("warptree-cli-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (a, b) = (dir.join("a.csv"), dir.join("b.csv"));
+    for p in [&a, &b] {
+        run_ok(&[
+            "gen",
+            "--kind",
+            "stock",
+            "--sequences",
+            "5",
+            "--len",
+            "30",
+            "--seed",
+            "4",
+            "--out",
+            p.to_str().unwrap(),
+        ]);
+    }
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = run_ok(&["help"]);
+    for cmd in ["gen", "build", "info", "search", "knn", "scan"] {
+        assert!(out.contains(cmd), "help missing {cmd}");
+    }
+    // PathBuf used in signature intentionally.
+    let _ = PathBuf::new();
+}
+
+#[test]
+fn append_extends_a_built_index() {
+    let dir = std::env::temp_dir().join(format!("warptree-cli-append-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (csv1, csv2, idx) = (dir.join("one.csv"), dir.join("two.csv"), dir.join("idx"));
+    run_ok(&[
+        "gen",
+        "--kind",
+        "walk",
+        "--sequences",
+        "10",
+        "--len",
+        "40",
+        "--seed",
+        "1",
+        "--out",
+        csv1.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "gen",
+        "--kind",
+        "walk",
+        "--sequences",
+        "6",
+        "--len",
+        "40",
+        "--seed",
+        "2",
+        "--out",
+        csv2.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        csv1.to_str().unwrap(),
+        "--method",
+        "me",
+        "--categories",
+        "10",
+        "--sparse",
+        "--out-dir",
+        idx.to_str().unwrap(),
+    ]);
+    let out = run_ok(&[
+        "append",
+        "--input",
+        csv2.to_str().unwrap(),
+        "--index-dir",
+        idx.to_str().unwrap(),
+    ]);
+    assert!(out.contains("appended 6 sequences"));
+    let out = run_ok(&["info", "--index-dir", idx.to_str().unwrap()]);
+    assert!(
+        out.contains("sequences:      16"),
+        "info after append:\n{out}"
+    );
+
+    // A query drawn from the appended file must be findable.
+    let line = std::fs::read_to_string(&csv2)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    let query: String = line
+        .split(',')
+        .skip(2)
+        .take(5)
+        .collect::<Vec<_>>()
+        .join(",");
+    let out = run_ok(&[
+        "search",
+        "--index-dir",
+        idx.to_str().unwrap(),
+        "--query",
+        &query,
+        "--epsilon",
+        "1",
+    ]);
+    assert!(
+        out.contains("dist 0.0000"),
+        "appended data searchable:\n{out}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_file_accepted() {
+    let dir = std::env::temp_dir().join(format!("warptree-cli-qfile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (csv, idx, qf) = (dir.join("d.csv"), dir.join("idx"), dir.join("q.txt"));
+    run_ok(&[
+        "gen",
+        "--kind",
+        "walk",
+        "--sequences",
+        "6",
+        "--len",
+        "30",
+        "--seed",
+        "3",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--sparse",
+        "--categories",
+        "8",
+        "--out-dir",
+        idx.to_str().unwrap(),
+    ]);
+    // One value per line.
+    let line = std::fs::read_to_string(&csv)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    let vals: Vec<&str> = line.split(',').take(5).collect();
+    std::fs::write(&qf, vals.join("\n")).unwrap();
+    let out = run_ok(&[
+        "search",
+        "--index-dir",
+        idx.to_str().unwrap(),
+        "--query-file",
+        qf.to_str().unwrap(),
+        "--epsilon",
+        "1",
+    ]);
+    assert!(out.contains("dist 0.0000"), "query-file search:\n{out}");
+    // Both at once is an error.
+    let out = bin()
+        .args([
+            "search",
+            "--index-dir",
+            idx.to_str().unwrap(),
+            "--query",
+            "1,2",
+            "--query-file",
+            qf.to_str().unwrap(),
+            "--epsilon",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mine_and_forecast_commands() {
+    let dir = std::env::temp_dir().join(format!("warptree-cli-apps-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (csv, full_idx, sparse_idx) = (dir.join("d.csv"), dir.join("full"), dir.join("sparse"));
+    run_ok(&[
+        "gen",
+        "--kind",
+        "stock",
+        "--sequences",
+        "20",
+        "--len",
+        "50",
+        "--seed",
+        "11",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--categories",
+        "10",
+        "--out-dir",
+        full_idx.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--categories",
+        "10",
+        "--sparse",
+        "--out-dir",
+        sparse_idx.to_str().unwrap(),
+    ]);
+
+    // mine works on the full index and names exemplars by ticker.
+    let out = run_ok(&[
+        "mine",
+        "--index-dir",
+        full_idx.to_str().unwrap(),
+        "--len",
+        "4",
+        "--k",
+        "2",
+    ]);
+    assert!(out.contains("top 2 motifs"), "mine output:\n{out}");
+    assert!(out.contains("STK"), "ticker names shown:\n{out}");
+
+    // mine refuses a sparse index with a helpful message.
+    let out = bin()
+        .args(["mine", "--index-dir", sparse_idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("full index"));
+
+    // forecast produces a horizon of estimates.
+    let line = std::fs::read_to_string(&csv)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    let query: String = line
+        .split(',')
+        .skip(10)
+        .take(8)
+        .collect::<Vec<_>>()
+        .join(",");
+    let out = run_ok(&[
+        "forecast",
+        "--index-dir",
+        full_idx.to_str().unwrap(),
+        "--query",
+        &query,
+        "--epsilon",
+        "10",
+        "--horizon",
+        "2",
+    ]);
+    assert!(out.contains("+1:"), "forecast output:\n{out}");
+    assert!(out.contains("+2:"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,123 @@
+//! k-NN search must return exactly the k closest subsequences — verified
+//! against brute force on randomized databases.
+
+use proptest::prelude::*;
+use warptree::core::dtw::dtw;
+use warptree::core::search::KnnParams;
+use warptree::prelude::*;
+
+fn brute_force_all(store: &SequenceStore, q: &[f64]) -> Vec<Match> {
+    let mut all = Vec::new();
+    for (id, s) in store.iter() {
+        for p in 0..s.len() {
+            for l in 1..=s.len() - p {
+                let sub = s.subseq(p as u32, l as u32);
+                all.push(Match {
+                    occ: Occurrence::new(id, p as u32, l as u32),
+                    dist: dtw(q, sub),
+                });
+            }
+        }
+    }
+    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.occ.cmp(&b.occ)));
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Overlap-allowing k-NN over every index variant equals brute force.
+    #[test]
+    fn knn_equals_brute_force(
+        db in prop::collection::vec(
+            prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..10),
+            1..4,
+        ),
+        q in prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..4),
+        k in 1usize..8,
+    ) {
+        let store = SequenceStore::from_values(db);
+        let expected = brute_force_all(&store, &q);
+        let k = k.min(expected.len());
+        let params = KnnParams {
+            k,
+            initial_epsilon: 0.25,
+            growth: 3.0,
+            max_rounds: 32,
+            window: None,
+            non_overlapping: false,
+        };
+        for index in [
+            Index::exact(&store).unwrap(),
+            Index::full(&store, Categorization::EqualLength(3)).unwrap(),
+            Index::sparse(&store, Categorization::MaxEntropy(3)).unwrap(),
+        ] {
+            let (got, _) = index.knn(&q, &params);
+            prop_assert_eq!(got.len(), k);
+            // Distances must match the brute-force top-k exactly (ties
+            // may reorder equal-distance occurrences, so compare the
+            // distance multiset and verify each occurrence's distance).
+            for (g, e) in got.iter().zip(&expected[..k]) {
+                prop_assert!((g.dist - e.dist).abs() < 1e-9,
+                    "rank distance mismatch: {} vs {}", g.dist, e.dist);
+                let sub = store.occurrence_values(g.occ);
+                prop_assert!((g.dist - dtw(&q, sub)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Non-overlapping k-NN returns pairwise disjoint regions whose
+    /// distances are optimal for the greedy-by-distance selection.
+    #[test]
+    fn knn_non_overlapping_is_greedy_optimal(
+        db in prop::collection::vec(
+            prop::collection::vec((0i32..10).prop_map(|v| v as f64), 2..10),
+            1..4,
+        ),
+        q in prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..4),
+        k in 1usize..5,
+    ) {
+        let store = SequenceStore::from_values(db);
+        let index =
+            Index::sparse(&store, Categorization::MaxEntropy(3)).unwrap();
+        let params = KnnParams {
+            k,
+            initial_epsilon: 0.25,
+            growth: 3.0,
+            max_rounds: 32,
+            window: None,
+            non_overlapping: true,
+        };
+        let (got, _) = index.knn(&q, &params);
+        // Greedy reference over the brute-force ranking.
+        let mut greedy: Vec<Match> = Vec::new();
+        for m in brute_force_all(&store, &q) {
+            let clash = greedy.iter().any(|p| {
+                p.occ.seq == m.occ.seq
+                    && m.occ.start < p.occ.start + p.occ.len
+                    && p.occ.start < m.occ.start + m.occ.len
+            });
+            if !clash {
+                greedy.push(m);
+                if greedy.len() == k {
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), greedy.len().min(k));
+        for (g, e) in got.iter().zip(&greedy) {
+            prop_assert!((g.dist - e.dist).abs() < 1e-9);
+        }
+        // Disjointness.
+        for i in 0..got.len() {
+            for j in i + 1..got.len() {
+                let (a, b) = (got[i].occ, got[j].occ);
+                prop_assert!(
+                    a.seq != b.seq
+                        || a.start + a.len <= b.start
+                        || b.start + b.len <= a.start
+                );
+            }
+        }
+    }
+}

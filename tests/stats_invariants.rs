@@ -1,0 +1,134 @@
+//! Invariants of the cost counters ([`SearchStats`]) across random
+//! workloads — the counters feed the experiment harness, so their
+//! consistency matters as much as the answers'.
+
+use proptest::prelude::*;
+use warptree::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn search_stats_are_coherent(
+        db in prop::collection::vec(
+            prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..14),
+            1..5,
+        ),
+        q in prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..4),
+        eps_i in 0u32..6,
+        sparse in any::<bool>(),
+    ) {
+        let eps = eps_i as f64;
+        let store = SequenceStore::from_values(db);
+        let index = if sparse {
+            Index::sparse(&store, Categorization::MaxEntropy(3)).unwrap()
+        } else {
+            Index::full(&store, Categorization::MaxEntropy(3)).unwrap()
+        };
+        let params = SearchParams::with_epsilon(eps);
+        let (answers, stats) = index.search(&q, &params);
+
+        // Answer accounting.
+        prop_assert_eq!(stats.answers, answers.len() as u64);
+        prop_assert_eq!(
+            stats.postprocessed,
+            stats.answers + stats.false_alarms,
+            "verified candidates split into answers and false alarms"
+        );
+        // Deduplication can only shrink: verified <= emitted candidates.
+        prop_assert!(stats.postprocessed <= stats.candidates);
+        // Work accounting: every row costs at least one cell, at most |Q|.
+        prop_assert!(stats.filter_cells >= stats.rows_pushed);
+        prop_assert!(
+            stats.filter_cells <= stats.rows_pushed * q.len() as u64
+        );
+        // Visited nodes bound the tree; rows relate to edges walked.
+        prop_assert!(
+            stats.nodes_visited < 2 * store.total_len() + 2,
+            "visited more nodes than a suffix tree can hold"
+        );
+
+        // Monotonicity in ε: a larger threshold never yields fewer
+        // answers or less traversal work.
+        let bigger = SearchParams::with_epsilon(eps + 1.0);
+        let (more, stats2) = index.search(&q, &bigger);
+        prop_assert!(more.len() >= answers.len());
+        prop_assert!(stats2.rows_pushed >= stats.rows_pushed);
+    }
+
+    /// The scan's counters behave, and early abandoning only reduces
+    /// work while keeping answers identical.
+    #[test]
+    fn scan_stats_are_coherent(
+        db in prop::collection::vec(
+            prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..14),
+            1..5,
+        ),
+        q in prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..4),
+        eps_i in 0u32..6,
+    ) {
+        let eps = eps_i as f64;
+        let store = SequenceStore::from_values(db);
+        let params = SearchParams::with_epsilon(eps);
+        let mut full = SearchStats::default();
+        let a = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut full);
+        let mut ea = SearchStats::default();
+        let b = seq_scan(
+            &store,
+            &q,
+            &params,
+            SeqScanMode::EarlyAbandon,
+            &mut ea,
+        );
+        prop_assert_eq!(a.occurrence_set(), b.occurrence_set());
+        prop_assert!(ea.rows_pushed <= full.rows_pushed);
+        // The full scan pushes exactly one row per (suffix, prefix) pair.
+        let expected_rows: u64 = store
+            .iter()
+            .map(|(_, s)| (s.len() * (s.len() + 1) / 2) as u64)
+            .sum();
+        prop_assert_eq!(full.rows_pushed, expected_rows);
+        prop_assert_eq!(
+            full.filter_cells,
+            expected_rows * q.len() as u64
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The segment-aligned comparator is always a subset of the full
+    /// scan, aligned to its segment grid, and converges to the full scan
+    /// at segment length 1.
+    #[test]
+    fn aligned_scan_subset_property(
+        db in prop::collection::vec(
+            prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..14),
+            1..4,
+        ),
+        q in prop::collection::vec((0i32..10).prop_map(|v| v as f64), 1..4),
+        eps_i in 0u32..5,
+        seg in 1u32..5,
+    ) {
+        use warptree::core::search::aligned_scan;
+        let eps = eps_i as f64;
+        let store = SequenceStore::from_values(db);
+        let params = SearchParams::with_epsilon(eps);
+        let mut s1 = SearchStats::default();
+        let aligned = aligned_scan(&store, &q, &params, seg, &mut s1);
+        let mut s2 = SearchStats::default();
+        let full =
+            seq_scan(&store, &q, &params, SeqScanMode::Full, &mut s2);
+        let full_occs = full.occurrence_set();
+        for m in aligned.matches() {
+            prop_assert_eq!(m.occ.start % seg, 0);
+            prop_assert_eq!(m.occ.len % seg, 0);
+            prop_assert!(full_occs.binary_search(&m.occ).is_ok());
+        }
+        if seg == 1 {
+            prop_assert_eq!(aligned.occurrence_set(), full_occs);
+        }
+        prop_assert!(s1.rows_pushed <= s2.rows_pushed);
+    }
+}

@@ -1,0 +1,157 @@
+//! The §8 truncated indexes: storing only suffix prefixes up to the
+//! maximum answer length must not change any answer of a length-bounded
+//! search, while shrinking the index.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use warptree::prelude::*;
+use warptree_suffix::{
+    build_full, build_full_truncated, build_sparse, build_sparse_truncated, TruncateSpec,
+};
+
+fn db_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec((0i32..8).prop_map(|v| v as f64), 1..16),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncated trees answer length-bounded queries exactly like the
+    /// untruncated trees (and therefore like SeqScan).
+    #[test]
+    fn truncated_equals_full_for_bounded_queries(
+        db in db_strategy(),
+        q in prop::collection::vec((0i32..8).prop_map(|v| v as f64), 1..4),
+        max_len in 1u32..6,
+    ) {
+        let store = SequenceStore::from_values(db);
+        let alphabet = Alphabet::max_entropy(&store, 3).unwrap();
+        let cat = Arc::new(alphabet.encode_store(&store));
+        let spec = TruncateSpec {
+            max_answer_len: max_len,
+            min_answer_len: 1,
+        };
+        let params = SearchParams::with_epsilon(1.5).length_range(1, max_len);
+
+        let full = build_full(cat.clone());
+        let (expected, _) =
+            sim_search(&full, &alphabet, &store, &q, &params);
+
+        let trunc_full = build_full_truncated(cat.clone(), spec);
+        trunc_full.check_invariants();
+        prop_assert_eq!(trunc_full.depth_limit(), Some(max_len));
+        let (a, _) = sim_search(&trunc_full, &alphabet, &store, &q, &params);
+        prop_assert_eq!(a.occurrence_set(), expected.occurrence_set());
+
+        let trunc_sparse = build_sparse_truncated(cat.clone(), spec);
+        trunc_sparse.check_invariants();
+        let (b, _) =
+            sim_search(&trunc_sparse, &alphabet, &store, &q, &params);
+        prop_assert_eq!(b.occurrence_set(), expected.occurrence_set());
+
+        // Truncation never grows the tree.
+        prop_assert!(trunc_full.node_count() <= full.node_count());
+        let sparse = build_sparse(cat);
+        prop_assert!(trunc_sparse.node_count() <= sparse.node_count());
+    }
+
+    /// Window-derived truncation (the paper's exact proposal): with a
+    /// query-length range and window known up front, the truncated index
+    /// answers windowed queries of any in-range length exactly.
+    #[test]
+    fn window_derived_truncation(
+        db in db_strategy(),
+        q in prop::collection::vec((0i32..8).prop_map(|v| v as f64), 2..5),
+        w in 0u32..3,
+    ) {
+        let store = SequenceStore::from_values(db);
+        let alphabet = Alphabet::equal_length(&store, 3).unwrap();
+        let cat = Arc::new(alphabet.encode_store(&store));
+        let spec = TruncateSpec::for_queries(2, 4, w);
+        let tree = build_sparse_truncated(cat.clone(), spec);
+        let params = SearchParams::with_epsilon(2.0).windowed(w);
+        let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+        let mut stats = SearchStats::default();
+        let expected =
+            seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
+        prop_assert_eq!(got.occurrence_set(), expected.occurrence_set());
+    }
+}
+
+#[test]
+fn truncated_index_is_smaller() {
+    let store = stock_corpus(&StockConfig {
+        sequences: 40,
+        mean_len: 120,
+        ..Default::default()
+    });
+    let alphabet = Alphabet::max_entropy(&store, 20).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+    let full = build_full(cat.clone());
+    let trunc = build_full_truncated(
+        cat,
+        TruncateSpec {
+            max_answer_len: 24,
+            min_answer_len: 8,
+        },
+    );
+    // The saving is in stored label symbols (the paper's index-space
+    // metric with inline labels): long leaf edges are cut at depth 24.
+    let label_symbols = |t: &SuffixTree| -> u64 {
+        (0..t.node_count() as u32)
+            .map(|id| t.node(id).label.len as u64)
+            .sum()
+    };
+    let (fs, ts) = (label_symbols(&full), label_symbols(&trunc));
+    assert!(
+        ts * 2 < fs,
+        "truncation should at least halve stored label symbols: {ts} vs {fs}"
+    );
+    assert!(trunc.node_count() <= full.node_count());
+}
+
+#[test]
+#[should_panic(expected = "depth limit")]
+fn unbounded_search_over_truncated_index_is_rejected() {
+    let store = SequenceStore::from_values(vec![vec![1.0, 2.0, 3.0, 4.0]]);
+    let alphabet = Alphabet::singleton(&store).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+    let tree = build_full_truncated(
+        cat,
+        TruncateSpec {
+            max_answer_len: 2,
+            min_answer_len: 1,
+        },
+    );
+    // length_range(1, 3) exceeds the stored depth 2 -> must panic.
+    let params = SearchParams::with_epsilon(1.0).length_range(1, 3);
+    let _ = sim_search(&tree, &alphabet, &store, &[1.0], &params);
+}
+
+#[test]
+fn truncated_tree_roundtrips_through_disk() {
+    let store = SequenceStore::from_values(vec![
+        vec![1.0, 2.0, 3.0, 2.0, 1.0, 2.0],
+        vec![3.0, 3.0, 3.0, 1.0],
+    ]);
+    let alphabet = Alphabet::equal_length(&store, 3).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+    let spec = TruncateSpec {
+        max_answer_len: 3,
+        min_answer_len: 1,
+    };
+    let tree = build_sparse_truncated(cat.clone(), spec);
+    let path = std::env::temp_dir().join(format!("warptree-trunc-{}.wt", std::process::id()));
+    warptree_disk::write_tree(&tree, &path).unwrap();
+    let disk = DiskTree::open(&path, cat, 8, 32).unwrap();
+    assert_eq!(disk.header().depth_limit, Some(3));
+    let params = SearchParams::with_epsilon(1.0).length_range(1, 3);
+    let q = [2.0, 3.0];
+    let (mem_ans, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+    let (disk_ans, _) = sim_search(&disk, &alphabet, &store, &q, &params);
+    assert_eq!(mem_ans.occurrence_set(), disk_ans.occurrence_set());
+    std::fs::remove_file(&path).unwrap();
+}
