@@ -17,43 +17,63 @@
 //!   new (a wider interval only decreases point-to-interval distances),
 //!   so the no-false-dismissal guarantee is preserved. The corpus file
 //!   is rewritten with the widened bounds.
+//!
+//! The append is **crash-safe**: the widened corpus and the merged tree
+//! are written as a new generation and committed atomically through
+//! [`commit_dir_with`](crate::manifest::commit_dir_with). A failure or
+//! crash at any point leaves the directory resolvable to the complete
+//! old or complete new state, with no stray `*.tmp` files after the
+//! error path (or after the next recovery sweep, for a crash).
 
 use std::path::Path;
 use std::sync::Arc;
 
 use warptree_core::sequence::SequenceStore;
 
-use crate::corpus::{load_corpus, save_corpus};
+use crate::corpus::{load_corpus_with, save_corpus_with};
 use crate::error::{DiskError, Result};
 use crate::format::DiskTree;
-use crate::merge::merge_trees;
-use crate::writer::write_tree;
+use crate::manifest::{commit_dir_with, recover_dir_with};
+use crate::merge::merge_trees_with;
+use crate::vfs::{RealVfs, TempGuard, Vfs};
+use crate::writer::write_tree_with;
 
 /// Appends `new_sequences` to the index directory `dir` (as produced by
-/// the incremental builder / `warptree build`), updating both the corpus
-/// and the tree file in place. Returns the new index file size in bytes.
+/// the incremental builder / `warptree build`), committing an updated
+/// corpus and tree as the directory's next generation. Returns the new
+/// index file size in bytes.
 ///
-/// The directory must contain `corpus.wc` and `index.wt`. Truncated
-/// (§8) indexes are rejected — their per-suffix prefix lengths depend on
-/// build-time parameters this function does not know.
+/// The directory must resolve to a committed index (a `MANIFEST`, or the
+/// legacy `corpus.wc` + `index.wt` pair). Truncated (§8) indexes are
+/// rejected — their per-suffix prefix lengths depend on build-time
+/// parameters this function does not know.
 pub fn append_to_index_dir(dir: &Path, new_sequences: &SequenceStore) -> Result<u64> {
-    let corpus_path = dir.join("corpus.wc");
-    let index_path = dir.join("index.wt");
-    let (mut store, mut alphabet, _) = load_corpus(&corpus_path)?;
-    let old_tree_probe = DiskTree::open(
-        &index_path,
+    append_to_index_dir_with(&RealVfs, dir, new_sequences)
+}
+
+/// [`append_to_index_dir`] through an explicit [`Vfs`].
+pub fn append_to_index_dir_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    new_sequences: &SequenceStore,
+) -> Result<u64> {
+    let (resolved, _recovery) = recover_dir_with(vfs, dir)?;
+    let (mut store, mut alphabet, _) = load_corpus_with(vfs, &resolved.corpus_path)?;
+    let probe = DiskTree::open_with(
+        vfs,
+        &resolved.index_path,
         // Temporary encode just to read the header; replaced below.
         Arc::new(alphabet.encode_store(&store)),
         16,
         16,
     )?;
-    let header = old_tree_probe.header();
+    let header = probe.header();
     if header.depth_limit.is_some() {
         return Err(DiskError::BadRecord(
             "cannot append to a truncated (§8) index".into(),
         ));
     }
-    drop(old_tree_probe);
+    drop(probe);
 
     // Admit the new values: widen observed bounds, extend the store.
     alphabet.widen(new_sequences);
@@ -68,36 +88,48 @@ pub fn append_to_index_dir(dir: &Path, new_sequences: &SequenceStore) -> Result<
     // valid over the new CatStore.
     let cat = Arc::new(alphabet.encode_store(&store));
 
-    // Build the batch tree over just the new sequences and merge.
+    // Build the batch tree over just the new sequences. The guard
+    // removes the batch file on every exit path — including success,
+    // where the removal is merely best-effort (a failure there leaves a
+    // `*.tmp` for the next recovery sweep, never a wrong answer).
     let batch = if header.sparse {
         warptree_suffix::build_sparse_range(cat.clone(), first_new..last)
     } else {
         warptree_suffix::build_full_range(cat.clone(), first_new..last)
     };
     let batch_path = dir.join("append-batch.wt.tmp");
-    let merged_path = dir.join("append-merged.wt.tmp");
-    write_tree(&batch, &batch_path)?;
-    let old = DiskTree::open(&index_path, cat.clone(), 256, 2048)?;
-    let new = DiskTree::open(&batch_path, cat.clone(), 256, 2048)?;
-    merge_trees(&old, &new, &cat, &merged_path)?;
-    drop((old, new));
+    let _batch_guard = TempGuard::new(vfs, vec![batch_path.clone()]);
+    write_tree_with(vfs, &batch, &batch_path)?;
 
-    // Commit: corpus first (widened bounds are backwards-compatible with
-    // the old tree), then atomically swap the tree.
-    save_corpus(&store, &alphabet, &corpus_path)?;
-    std::fs::rename(&merged_path, &index_path)?;
-    std::fs::remove_file(&batch_path)?;
-    Ok(std::fs::metadata(&index_path)?.len())
+    // Commit the widened corpus and the merged tree as one atomic
+    // generation flip; the merge streams directly into the new
+    // generation's temporary, so no separate merge scratch file exists.
+    let manifest = commit_dir_with(
+        vfs,
+        dir,
+        resolved.generation,
+        |corpus_tmp| save_corpus_with(vfs, &store, &alphabet, corpus_tmp).map(|_| ()),
+        |index_tmp| {
+            let old = DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 256, 2048)?;
+            let new = DiskTree::open_with(vfs, &batch_path, cat.clone(), 256, 2048)?;
+            merge_trees_with(vfs, &old, &new, &cat, index_tmp).map(|_| ())
+        },
+    )?;
+    Ok(manifest.index_len)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::corpus::save_corpus;
+    use crate::manifest::resolve_dir_with;
+    use crate::writer::write_tree;
     use warptree_core::categorize::Alphabet;
     use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let p = std::env::temp_dir().join(format!("warptree-append-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
         std::fs::create_dir_all(&p).unwrap();
         p
     }
@@ -113,6 +145,20 @@ mod tests {
         };
         write_tree(&tree, &dir.join("index.wt")).unwrap();
         alphabet
+    }
+
+    fn open_committed(
+        dir: &Path,
+    ) -> (
+        SequenceStore,
+        Alphabet,
+        Arc<warptree_core::categorize::CatStore>,
+        DiskTree,
+    ) {
+        let resolved = resolve_dir_with(&RealVfs, dir).unwrap();
+        let (store, alphabet, cat) = crate::corpus::load_corpus(&resolved.corpus_path).unwrap();
+        let tree = DiskTree::open(&resolved.index_path, cat.clone(), 32, 256).unwrap();
+        (store, alphabet, cat, tree)
     }
 
     #[test]
@@ -132,9 +178,8 @@ mod tests {
             ]);
             append_to_index_dir(&dir, &extra).unwrap();
 
-            let (store, alphabet, cat) = load_corpus(&dir.join("corpus.wc")).unwrap();
+            let (store, alphabet, _, tree) = open_committed(&dir);
             assert_eq!(store.len(), 4);
-            let tree = DiskTree::open(&dir.join("index.wt"), cat, 32, 256).unwrap();
             // A full tree stores one suffix per element of old + new.
             if !sparse {
                 assert_eq!(
@@ -168,9 +213,11 @@ mod tests {
                 SequenceStore::from_values(vec![vec![2.0 + round as f64, 4.0, 6.0 - round as f64]]);
             append_to_index_dir(&dir, &extra).unwrap();
         }
-        let (store, alphabet, cat) = load_corpus(&dir.join("corpus.wc")).unwrap();
+        // Three appends over a legacy (gen 0) directory leave gen 3.
+        let resolved = resolve_dir_with(&RealVfs, &dir).unwrap();
+        assert_eq!(resolved.generation, 3);
+        let (store, alphabet, _, tree) = open_committed(&dir);
         assert_eq!(store.len(), 4);
-        let tree = DiskTree::open(&dir.join("index.wt"), cat, 32, 256).unwrap();
         let params = SearchParams::with_epsilon(0.5);
         let q = [4.0, 6.0];
         let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
@@ -178,6 +225,28 @@ mod tests {
         let expected = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
         assert_eq!(got.occurrence_set(), expected.occurrence_set());
         assert!(!got.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_upgrades_legacy_dir_and_leaves_no_tmp() {
+        let dir = tmpdir("upgrade");
+        let initial = SequenceStore::from_values(vec![vec![1.0, 2.0, 3.0]]);
+        build_dir(&dir, &initial, false);
+        let extra = SequenceStore::from_values(vec![vec![2.0, 3.0, 4.0]]);
+        append_to_index_dir(&dir, &extra).unwrap();
+        // Legacy fixed-name files are superseded and removed; the new
+        // generation plus MANIFEST is all that remains.
+        assert!(!dir.join("corpus.wc").exists());
+        assert!(!dir.join("index.wt").exists());
+        assert!(dir.join("MANIFEST").exists());
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "stray temp file {name:?}"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -31,6 +31,7 @@ use warptree_core::sequence::{Sequence, SequenceStore};
 
 use crate::error::{DiskError, Result};
 use crate::pager::{PagedReader, PagedWriter};
+use crate::vfs::{RealVfs, Vfs};
 
 const MAGIC: &[u8; 8] = b"WARPCORP";
 const VERSION: u32 = 2;
@@ -61,7 +62,17 @@ fn method_from_code(code: u32) -> Result<CategorizationMethod> {
 /// Saves the store and alphabet to `path`, returning the file's logical
 /// size in bytes.
 pub fn save_corpus(store: &SequenceStore, alphabet: &Alphabet, path: &Path) -> Result<u64> {
-    let mut w = PagedWriter::create(path)?;
+    save_corpus_with(&RealVfs, store, alphabet, path)
+}
+
+/// [`save_corpus`] through an explicit [`Vfs`].
+pub fn save_corpus_with(
+    vfs: &dyn Vfs,
+    store: &SequenceStore,
+    alphabet: &Alphabet,
+    path: &Path,
+) -> Result<u64> {
+    let mut w = PagedWriter::create_with(vfs, path)?;
     w.write(MAGIC)?;
     w.write(&VERSION.to_le_bytes())?;
     w.write(&method_code(alphabet.method()).to_le_bytes())?;
@@ -126,7 +137,15 @@ impl Cursor<'_> {
 /// Loads a corpus file: the sequence store, the alphabet, and the
 /// re-derived categorized store.
 pub fn load_corpus(path: &Path) -> Result<(SequenceStore, Alphabet, Arc<CatStore>)> {
-    let r = PagedReader::open(path, 16)?;
+    load_corpus_with(&RealVfs, path)
+}
+
+/// [`load_corpus`] through an explicit [`Vfs`].
+pub fn load_corpus_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> Result<(SequenceStore, Alphabet, Arc<CatStore>)> {
+    let r = PagedReader::open_with(vfs, path, 16)?;
     let mut magic = [0u8; 8];
     r.read_exact_at(0, &mut magic)?;
     if &magic != MAGIC {

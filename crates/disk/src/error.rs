@@ -25,6 +25,12 @@ pub enum DiskError {
     },
     /// A structurally invalid record was encountered.
     BadRecord(String),
+    /// The directory's `MANIFEST` file is missing, unreadable, or
+    /// references files that do not exist.
+    BadManifest(String),
+    /// The path does not hold a committed index directory (no manifest
+    /// and no legacy `corpus.wc` + `index.wt` pair).
+    NotAnIndexDir(String),
 }
 
 impl fmt::Display for DiskError {
@@ -41,6 +47,10 @@ impl fmt::Display for DiskError {
                  file size {size}"
             ),
             DiskError::BadRecord(m) => write!(f, "bad record: {m}"),
+            DiskError::BadManifest(m) => write!(f, "bad manifest: {m}"),
+            DiskError::NotAnIndexDir(m) => {
+                write!(f, "not an index directory: {m}")
+            }
         }
     }
 }

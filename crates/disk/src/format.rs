@@ -41,6 +41,7 @@ use warptree_core::sequence::SeqId;
 use crate::error::{DiskError, Result};
 use crate::lru::LruCache;
 use crate::pager::{IoStats, PagedReader};
+use crate::vfs::{RealVfs, Vfs};
 
 /// Size of the file header in logical bytes.
 pub const HEADER_SIZE: u64 = 64;
@@ -172,7 +173,18 @@ impl DiskTree {
         cache_pages: usize,
         cache_nodes: usize,
     ) -> Result<Self> {
-        let reader = PagedReader::open(path, cache_pages)?;
+        Self::open_with(&RealVfs, path, cat, cache_pages, cache_nodes)
+    }
+
+    /// [`open`](Self::open) through an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        cat: Arc<CatStore>,
+        cache_pages: usize,
+        cache_nodes: usize,
+    ) -> Result<Self> {
+        let reader = PagedReader::open_with(vfs, path, cache_pages)?;
         let mut buf = vec![0u8; HEADER_SIZE as usize];
         reader.read_exact_at(0, &mut buf)?;
         let header = Header::decode(&buf)?;

@@ -13,7 +13,12 @@
 //!   that constructs a large index batch-by-batch in limited memory
 //!   (paper §4.1, after Bieganski et al.);
 //! * [`corpus`] — persistence for the sequence database and its
-//!   categorization.
+//!   categorization;
+//! * [`manifest`] — atomic directory commits (temp file + rename +
+//!   directory fsync + CRC-protected `MANIFEST`), recovery on open, and
+//!   offline verification;
+//! * [`vfs`] — the injectable filesystem every write path goes through,
+//!   with a fault-injecting implementation for crash-consistency tests.
 
 pub mod append;
 pub mod corpus;
@@ -21,14 +26,21 @@ pub mod crc;
 pub mod error;
 pub mod format;
 pub mod lru;
+pub mod manifest;
 pub mod merge;
 pub mod pager;
+pub mod vfs;
 pub mod writer;
 
-pub use append::append_to_index_dir;
-pub use corpus::{load_corpus, save_corpus};
+pub use append::{append_to_index_dir, append_to_index_dir_with};
+pub use corpus::{load_corpus, load_corpus_with, save_corpus, save_corpus_with};
 pub use error::{DiskError, Result};
 pub use format::{DiskNode, DiskTree, Header};
-pub use merge::{merge_trees, IncrementalBuilder, TreeKind};
+pub use manifest::{
+    build_dir_with, commit_dir_with, recover_dir_with, resolve_dir_with, verify_dir_with,
+    FileCheck, Manifest, RecoveryReport, ResolvedDir, VerifyReport, MANIFEST_NAME,
+};
+pub use merge::{merge_trees, merge_trees_with, IncrementalBuilder, TreeKind};
 pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
-pub use writer::write_tree;
+pub use vfs::{real_vfs, FaultMode, FaultVfs, RealVfs, TempGuard, Vfs, VfsFile};
+pub use writer::{write_tree, write_tree_with};

@@ -1,0 +1,768 @@
+//! Atomic index-directory commits, recovery on open, and verification.
+//!
+//! An index directory is a pair of paged files — the corpus and the tree
+//! — plus a small `MANIFEST` naming the committed *generation* of each.
+//! Every mutation of the directory (initial build, rebuild, append)
+//! follows one protocol:
+//!
+//! 1. the next generation's files are written to `*.tmp` names and
+//!    fsynced;
+//! 2. each is renamed to its final generational name
+//!    (`corpus-NNNNNN.wc`, `index-NNNNNN.wt`) and the directory is
+//!    fsynced;
+//! 3. a new manifest is written to `MANIFEST.tmp`, fsynced, and renamed
+//!    over `MANIFEST` — **this rename is the commit point**;
+//! 4. the directory is fsynced again and the previous generation's files
+//!    are removed (best-effort — recovery sweeps leftovers).
+//!
+//! A crash anywhere before step 3 leaves the old manifest (and hence the
+//! old, complete state) in force; a crash anywhere after it leaves the
+//! new state in force. [`recover_dir_with`] makes either outcome clean:
+//! it resolves the committed generation, then removes stale `*.tmp`
+//! files and generation files the manifest does not reference.
+//!
+//! Directories created by older builds — a bare `corpus.wc` + `index.wt`
+//! pair with no manifest — are still readable; they resolve as
+//! *generation 0* and are upgraded to the manifest scheme by the first
+//! append or rebuild.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use warptree_core::categorize::Alphabet;
+use warptree_core::sequence::SequenceStore;
+
+use crate::corpus::load_corpus_with;
+use crate::crc::crc32;
+use crate::error::{DiskError, Result};
+use crate::format::DiskTree;
+use crate::pager::{PagedReader, PAGE_DATA};
+use crate::vfs::{TempGuard, Vfs};
+
+/// File name of the commit manifest.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+const MANIFEST_MAGIC: &[u8; 8] = b"WARPMANF";
+const MANIFEST_VERSION: u32 = 1;
+
+/// The committed state of an index directory: which generation of the
+/// corpus and tree files is current, and their physical sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Commit generation (monotonically increasing; 0 is reserved for
+    /// legacy manifest-less directories and never appears in a file).
+    pub generation: u64,
+    /// File name of the committed corpus.
+    pub corpus: String,
+    /// File name of the committed tree.
+    pub index: String,
+    /// Physical size of the corpus file at commit time.
+    pub corpus_len: u64,
+    /// Physical size of the tree file at commit time.
+    pub index_len: u64,
+}
+
+/// Generational corpus file name (`corpus.wc` for the legacy gen 0).
+pub fn corpus_file_name(generation: u64) -> String {
+    if generation == 0 {
+        "corpus.wc".into()
+    } else {
+        format!("corpus-{generation:06}.wc")
+    }
+}
+
+/// Generational tree file name (`index.wt` for the legacy gen 0).
+pub fn index_file_name(generation: u64) -> String {
+    if generation == 0 {
+        "index.wt".into()
+    } else {
+        format!("index-{generation:06}.wt")
+    }
+}
+
+/// Whether `name` follows an index-directory data-file pattern (legacy
+/// fixed or generational). Such files belong to the commit protocol and
+/// are fair game for the recovery sweep when unreferenced.
+fn is_generation_file(name: &str) -> bool {
+    name == "corpus.wc"
+        || name == "index.wt"
+        || (name.starts_with("corpus-") && name.ends_with(".wc"))
+        || (name.starts_with("index-") && name.ends_with(".wt"))
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        for name in [&self.corpus, &self.index] {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&self.corpus_len.to_le_bytes());
+        out.extend_from_slice(&self.index_len.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(raw: &[u8]) -> Result<Self> {
+        let bad = |m: &str| DiskError::BadManifest(m.into());
+        if raw.len() < 4 {
+            return Err(bad("truncated"));
+        }
+        let (body, tail) = raw.split_at(raw.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(bad("checksum mismatch"));
+        }
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            if pos + n > body.len() {
+                return Err(bad("truncated"));
+            }
+            let s = &body[pos..pos + n];
+            pos += n;
+            Ok(s)
+        };
+        if take(8)? != MANIFEST_MAGIC {
+            return Err(bad("not a manifest file"));
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(bad(&format!("unsupported manifest version {version}")));
+        }
+        let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let mut names = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            if len > 4096 {
+                return Err(bad("implausible file name length"));
+            }
+            let name = std::str::from_utf8(take(len)?)
+                .map_err(|_| bad("file name is not UTF-8"))?
+                .to_string();
+            names.push(name);
+        }
+        let corpus_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let index_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let index = names.pop().unwrap();
+        let corpus = names.pop().unwrap();
+        Ok(Self {
+            generation,
+            corpus,
+            index,
+            corpus_len,
+            index_len,
+        })
+    }
+}
+
+/// Reads the directory's manifest; `Ok(None)` when none exists.
+pub fn read_manifest_with(vfs: &dyn Vfs, dir: &Path) -> Result<Option<Manifest>> {
+    let path = dir.join(MANIFEST_NAME);
+    if !vfs.exists(&path) {
+        return Ok(None);
+    }
+    let file = vfs.open(&path)?;
+    let len = file.len()?;
+    if len > 64 * 1024 {
+        return Err(DiskError::BadManifest("implausibly large".into()));
+    }
+    let mut raw = vec![0u8; len as usize];
+    file.read_at(0, &mut raw)?;
+    Manifest::decode(&raw).map(Some)
+}
+
+/// Writes `m` as the directory's manifest: `MANIFEST.tmp`, fsync,
+/// rename, directory fsync. The rename is the caller's commit point.
+pub fn write_manifest_with(vfs: &dyn Vfs, dir: &Path, m: &Manifest) -> Result<()> {
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let mut guard = TempGuard::new(vfs, vec![tmp.clone()]);
+    let mut file = vfs.create(&tmp)?;
+    file.write_at(0, &m.encode())?;
+    file.sync()?;
+    drop(file);
+    vfs.rename(&tmp, &dir.join(MANIFEST_NAME))?;
+    guard.defuse();
+    vfs.sync_dir(dir)?;
+    Ok(())
+}
+
+/// The committed files of a resolved index directory.
+#[derive(Debug, Clone)]
+pub struct ResolvedDir {
+    /// Committed generation (0 for a legacy manifest-less directory).
+    pub generation: u64,
+    /// Absolute path of the committed corpus file.
+    pub corpus_path: PathBuf,
+    /// Absolute path of the committed tree file.
+    pub index_path: PathBuf,
+    /// The manifest, when one exists.
+    pub manifest: Option<Manifest>,
+}
+
+/// Resolves the committed state of `dir` without touching anything:
+/// the manifest's generation when one exists, else the legacy
+/// `corpus.wc` + `index.wt` pair as generation 0.
+pub fn resolve_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<ResolvedDir> {
+    if let Some(m) = read_manifest_with(vfs, dir)? {
+        let corpus_path = dir.join(&m.corpus);
+        let index_path = dir.join(&m.index);
+        for (path, name) in [(&corpus_path, &m.corpus), (&index_path, &m.index)] {
+            if !vfs.exists(path) {
+                return Err(DiskError::BadManifest(format!(
+                    "references missing file {name}"
+                )));
+            }
+        }
+        return Ok(ResolvedDir {
+            generation: m.generation,
+            corpus_path,
+            index_path,
+            manifest: Some(m),
+        });
+    }
+    let corpus_path = dir.join(corpus_file_name(0));
+    let index_path = dir.join(index_file_name(0));
+    if vfs.exists(&corpus_path) && vfs.exists(&index_path) {
+        return Ok(ResolvedDir {
+            generation: 0,
+            corpus_path,
+            index_path,
+            manifest: None,
+        });
+    }
+    Err(DiskError::NotAnIndexDir(format!(
+        "{}: no MANIFEST and no corpus.wc + index.wt pair",
+        dir.display()
+    )))
+}
+
+/// What a recovery sweep cleaned out of a directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Stale `*.tmp` files removed.
+    pub removed_tmp: Vec<PathBuf>,
+    /// Data files of uncommitted or superseded generations removed.
+    pub removed_orphans: Vec<PathBuf>,
+}
+
+impl RecoveryReport {
+    /// Whether the sweep found nothing to clean.
+    pub fn is_clean(&self) -> bool {
+        self.removed_tmp.is_empty() && self.removed_orphans.is_empty()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "directory clean, nothing recovered");
+        }
+        let mut first = true;
+        for p in &self.removed_tmp {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(f, "removed stale temporary {}", p.display())?;
+            first = false;
+        }
+        for p in &self.removed_orphans {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(f, "removed uncommitted file {}", p.display())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Removes every `*.tmp` file and every generation-pattern data file of
+/// `dir` not listed in `keep`. Fsyncs the directory when anything was
+/// removed.
+fn sweep_dir_with(vfs: &dyn Vfs, dir: &Path, keep: &[&Path]) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    for path in vfs.read_dir(dir)? {
+        if keep.iter().any(|k| *k == path) {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".tmp") {
+            vfs.remove_file(&path)?;
+            report.removed_tmp.push(path);
+        } else if is_generation_file(name) {
+            vfs.remove_file(&path)?;
+            report.removed_orphans.push(path);
+        }
+    }
+    if !report.is_clean() {
+        vfs.sync_dir(dir)?;
+    }
+    Ok(report)
+}
+
+/// Resolves the committed state of `dir` and cleans up everything a
+/// crashed or failed mutation may have left behind: stale `*.tmp` files
+/// and data files outside the committed generation.
+pub fn recover_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<(ResolvedDir, RecoveryReport)> {
+    let resolved = resolve_dir_with(vfs, dir)?;
+    let report = sweep_dir_with(
+        vfs,
+        dir,
+        &[
+            resolved.corpus_path.as_path(),
+            resolved.index_path.as_path(),
+        ],
+    )?;
+    Ok((resolved, report))
+}
+
+/// Commits the next generation of `dir` atomically. `write_corpus` and
+/// `write_index` each receive the temporary path they must produce their
+/// file at (fsynced — [`crate::PagedWriter::finish`] already does this);
+/// everything else — generational naming, renames, directory fsyncs, the
+/// manifest, cleanup of the superseded generation — is handled here.
+///
+/// On error, no trace of the attempted generation survives (temporaries
+/// and half-installed files are removed); after a crash, the recovery
+/// sweep at next open removes them instead. The old generation stays
+/// committed until the manifest rename, which is the atomic flip.
+pub fn commit_dir_with<C, I>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    current_generation: u64,
+    write_corpus: C,
+    write_index: I,
+) -> Result<Manifest>
+where
+    C: FnOnce(&Path) -> Result<()>,
+    I: FnOnce(&Path) -> Result<()>,
+{
+    vfs.create_dir_all(dir)?;
+    let generation = current_generation + 1;
+    let corpus_name = corpus_file_name(generation);
+    let index_name = index_file_name(generation);
+    let corpus_final = dir.join(&corpus_name);
+    let index_final = dir.join(&index_name);
+    let corpus_tmp = dir.join(format!("{corpus_name}.tmp"));
+    let index_tmp = dir.join(format!("{index_name}.tmp"));
+
+    let mut guard = TempGuard::new(vfs, vec![corpus_tmp.clone(), index_tmp.clone()]);
+    write_corpus(&corpus_tmp)?;
+    write_index(&index_tmp)?;
+
+    // Install the new generation under its final names. Until the
+    // manifest flips, readers still resolve the old generation, so these
+    // renames are invisible; the guard removes them if we fail here.
+    guard.add(corpus_final.clone());
+    vfs.rename(&corpus_tmp, &corpus_final)?;
+    guard.add(index_final.clone());
+    vfs.rename(&index_tmp, &index_final)?;
+    vfs.sync_dir(dir)?;
+
+    let manifest = Manifest {
+        generation,
+        corpus: corpus_name,
+        index: index_name,
+        corpus_len: vfs.metadata_len(&corpus_final)?,
+        index_len: vfs.metadata_len(&index_final)?,
+    };
+    let manifest_tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    guard.add(manifest_tmp.clone());
+    let mut file = vfs.create(&manifest_tmp)?;
+    file.write_at(0, &manifest.encode())?;
+    file.sync()?;
+    drop(file);
+    vfs.rename(&manifest_tmp, &dir.join(MANIFEST_NAME))?;
+    // Committed: from here on the new generation must survive any error.
+    guard.defuse();
+    vfs.sync_dir(dir)?;
+
+    // Best-effort removal of the superseded generation; a crash here
+    // only leaves orphans for the next recovery sweep.
+    let old_corpus = dir.join(corpus_file_name(current_generation));
+    let old_index = dir.join(index_file_name(current_generation));
+    for old in [old_corpus, old_index] {
+        if vfs.exists(&old) {
+            let _ = vfs.remove_file(&old);
+        }
+    }
+    let _ = vfs.sync_dir(dir);
+    Ok(manifest)
+}
+
+/// Builds (or rebuilds) an index directory for `store` under the commit
+/// protocol: sweeps leftovers of earlier attempts, writes the corpus and
+/// an incrementally merged tree as the next generation, and commits them
+/// with a manifest. Returns the committed manifest.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dir_with(
+    vfs: Arc<dyn Vfs>,
+    store: &SequenceStore,
+    alphabet: &Alphabet,
+    kind: crate::merge::TreeKind,
+    batch: usize,
+    threads: usize,
+    truncate: Option<warptree_suffix::TruncateSpec>,
+    dir: &Path,
+) -> Result<Manifest> {
+    vfs.create_dir_all(dir)?;
+    // Rebuilds bump the committed generation; fresh builds start at 1.
+    // Leftovers of a crashed earlier attempt are swept first so stale
+    // merge work files cannot outlive this build.
+    let current = match resolve_dir_with(vfs.as_ref(), dir) {
+        Ok(resolved) => {
+            sweep_dir_with(
+                vfs.as_ref(),
+                dir,
+                &[
+                    resolved.corpus_path.as_path(),
+                    resolved.index_path.as_path(),
+                ],
+            )?;
+            resolved.generation
+        }
+        Err(DiskError::NotAnIndexDir(_)) => {
+            sweep_dir_with(vfs.as_ref(), dir, &[])?;
+            0
+        }
+        Err(e) => return Err(e),
+    };
+    let cat = Arc::new(alphabet.encode_store(store));
+    commit_dir_with(
+        vfs.as_ref(),
+        dir,
+        current,
+        |corpus_tmp| {
+            crate::corpus::save_corpus_with(vfs.as_ref(), store, alphabet, corpus_tmp).map(|_| ())
+        },
+        |index_tmp| {
+            let mut builder =
+                crate::merge::IncrementalBuilder::new(cat.clone(), kind, batch, dir.to_path_buf())
+                    .with_vfs(vfs.clone())
+                    .with_threads(threads);
+            if let Some(spec) = truncate {
+                builder = builder.with_truncation(spec);
+            }
+            builder.build(index_tmp).map(|_| ())
+        },
+    )
+}
+
+/// Per-file outcome of [`verify_dir_with`].
+#[derive(Debug, Clone)]
+pub struct FileCheck {
+    /// File name inside the directory.
+    pub name: String,
+    /// Pages scanned before an error (all of them when `error` is none).
+    pub pages: u64,
+    /// First problem found, if any.
+    pub error: Option<String>,
+}
+
+/// Result of a full directory verification.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Committed generation that was checked.
+    pub generation: u64,
+    /// Per-file page-scan and parse outcomes.
+    pub files: Vec<FileCheck>,
+    /// Stale `*.tmp` / orphaned generation files present (not removed —
+    /// verification never mutates the directory).
+    pub stale: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether every check passed.
+    pub fn is_ok(&self) -> bool {
+        self.files.iter().all(|f| f.error.is_none())
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "generation {}", self.generation)?;
+        for check in &self.files {
+            match &check.error {
+                None => writeln!(f, "  {}: ok ({} pages)", check.name, check.pages)?,
+                Some(e) => writeln!(
+                    f,
+                    "  {}: FAILED after {} pages: {e}",
+                    check.name, check.pages
+                )?,
+            }
+        }
+        for s in &self.stale {
+            writeln!(f, "  {s}: stale (removed at next open)")?;
+        }
+        match self.is_ok() {
+            true => write!(f, "ok"),
+            false => write!(f, "CORRUPT"),
+        }
+    }
+}
+
+/// Scans every page of `path`, returning the page count or the first
+/// CRC/size failure.
+fn scan_pages(vfs: &dyn Vfs, path: &Path) -> (u64, Option<String>) {
+    let reader = match PagedReader::open_with(vfs, path, 2) {
+        Ok(r) => r,
+        Err(e) => return (0, Some(e.to_string())),
+    };
+    let pages = reader.logical_len() / PAGE_DATA as u64;
+    let mut buf = vec![0u8; PAGE_DATA];
+    for page in 0..pages {
+        if let Err(e) = reader.read_exact_at(page * PAGE_DATA as u64, &mut buf) {
+            return (page, Some(e.to_string()));
+        }
+    }
+    (pages, None)
+}
+
+/// Verifies an index directory without modifying it: resolves the
+/// committed generation, checks every page CRC of the corpus and tree
+/// files, cross-checks their sizes against the manifest, and parses
+/// both files end to end (corpus decode + tree open). Stale files that
+/// the next open would sweep are reported, not removed.
+pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
+    let resolved = resolve_dir_with(vfs, dir)?;
+    let mut report = VerifyReport {
+        generation: resolved.generation,
+        ..Default::default()
+    };
+
+    let file_name = |p: &Path| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+
+    // Page-level CRC scan plus manifest size cross-check.
+    for (path, expect_len) in [
+        (
+            &resolved.corpus_path,
+            resolved.manifest.as_ref().map(|m| m.corpus_len),
+        ),
+        (
+            &resolved.index_path,
+            resolved.manifest.as_ref().map(|m| m.index_len),
+        ),
+    ] {
+        let (pages, mut error) = scan_pages(vfs, path);
+        if error.is_none() {
+            if let Some(expect) = expect_len {
+                let actual = vfs.metadata_len(path)?;
+                if actual != expect {
+                    error = Some(format!("size {actual} does not match manifest ({expect})"));
+                }
+            }
+        }
+        report.files.push(FileCheck {
+            name: file_name(path),
+            pages,
+            error,
+        });
+    }
+
+    // Semantic parse: the corpus must decode, the tree must open against
+    // the decoded alphabet.
+    if report.is_ok() {
+        match load_corpus_with(vfs, &resolved.corpus_path) {
+            Err(e) => {
+                report.files[0].error = Some(format!("parse failed: {e}"));
+            }
+            Ok((_, _, cat)) => {
+                if let Err(e) = DiskTree::open_with(vfs, &resolved.index_path, cat, 4, 16) {
+                    report.files[1].error = Some(format!("parse failed: {e}"));
+                }
+            }
+        }
+    }
+
+    for path in vfs.read_dir(dir)? {
+        if path == resolved.corpus_path || path == resolved.index_path {
+            continue;
+        }
+        let name = file_name(&path);
+        if name.ends_with(".tmp") || is_generation_file(&name) {
+            report.stale.push(name);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::RealVfs;
+    use warptree_core::categorize::Alphabet;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("warptree-manifest-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn sample_store() -> SequenceStore {
+        SequenceStore::from_values(vec![vec![1.0, 5.0, 3.0, 5.0, 1.0], vec![4.0, 4.0, 2.0]])
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = Manifest {
+            generation: 7,
+            corpus: corpus_file_name(7),
+            index: index_file_name(7),
+            corpus_len: 8192,
+            index_len: 16384,
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let m = Manifest {
+            generation: 1,
+            corpus: "corpus-000001.wc".into(),
+            index: "index-000001.wt".into(),
+            corpus_len: 1,
+            index_len: 2,
+        };
+        let mut raw = m.encode();
+        for i in (0..raw.len()).step_by(3) {
+            raw[i] ^= 0x40;
+            assert!(
+                matches!(Manifest::decode(&raw), Err(DiskError::BadManifest(_))),
+                "flip at byte {i} undetected"
+            );
+            raw[i] ^= 0x40;
+        }
+        assert!(Manifest::decode(&raw[..raw.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn build_commit_resolve_roundtrip() {
+        let dir = tmpdir("build");
+        let store = sample_store();
+        let alphabet = Alphabet::equal_length(&store, 4).unwrap();
+        let m = build_dir_with(
+            crate::vfs::real_vfs(),
+            &store,
+            &alphabet,
+            crate::merge::TreeKind::Full,
+            1,
+            1,
+            None,
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(m.generation, 1);
+        let (resolved, report) = recover_dir_with(&RealVfs, &dir).unwrap();
+        assert_eq!(resolved.generation, 1);
+        assert!(report.is_clean(), "{report}");
+        let verify = verify_dir_with(&RealVfs, &dir).unwrap();
+        assert!(verify.is_ok(), "{verify}");
+        // Rebuild bumps the generation and removes the old files.
+        let m2 = build_dir_with(
+            crate::vfs::real_vfs(),
+            &store,
+            &alphabet,
+            crate::merge::TreeKind::Sparse,
+            1,
+            1,
+            None,
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(m2.generation, 2);
+        assert!(!dir.join(corpus_file_name(1)).exists());
+        assert!(dir.join(corpus_file_name(2)).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_pair_resolves_as_generation_zero() {
+        let dir = tmpdir("legacy");
+        let store = sample_store();
+        let alphabet = Alphabet::equal_length(&store, 4).unwrap();
+        let cat = Arc::new(alphabet.encode_store(&store));
+        crate::corpus::save_corpus(&store, &alphabet, &dir.join("corpus.wc")).unwrap();
+        let tree = warptree_suffix::build_full(cat);
+        crate::writer::write_tree(&tree, &dir.join("index.wt")).unwrap();
+        let resolved = resolve_dir_with(&RealVfs, &dir).unwrap();
+        assert_eq!(resolved.generation, 0);
+        assert!(resolved.manifest.is_none());
+        assert!(verify_dir_with(&RealVfs, &dir).unwrap().is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_sweeps_stale_files() {
+        let dir = tmpdir("sweep");
+        let store = sample_store();
+        let alphabet = Alphabet::equal_length(&store, 4).unwrap();
+        build_dir_with(
+            crate::vfs::real_vfs(),
+            &store,
+            &alphabet,
+            crate::merge::TreeKind::Full,
+            1,
+            1,
+            None,
+            &dir,
+        )
+        .unwrap();
+        // Plant the kinds of litter a crash can leave behind.
+        std::fs::write(dir.join("corpus-000002.wc.tmp"), b"junk").unwrap();
+        std::fs::write(dir.join("merge-0-0.wt.tmp"), b"junk").unwrap();
+        std::fs::write(dir.join("index-000002.wt"), b"junk").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+        let verify = verify_dir_with(&RealVfs, &dir).unwrap();
+        assert_eq!(verify.stale.len(), 3);
+        let (resolved, report) = recover_dir_with(&RealVfs, &dir).unwrap();
+        assert_eq!(resolved.generation, 1);
+        assert_eq!(report.removed_tmp.len(), 2);
+        assert_eq!(report.removed_orphans.len(), 1);
+        assert!(!dir.join("corpus-000002.wc.tmp").exists());
+        assert!(!dir.join("merge-0-0.wt.tmp").exists());
+        assert!(!dir.join("index-000002.wt").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        assert!(recover_dir_with(&RealVfs, &dir).unwrap().1.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_referencing_missing_file_is_rejected() {
+        let dir = tmpdir("missing");
+        let m = Manifest {
+            generation: 3,
+            corpus: corpus_file_name(3),
+            index: index_file_name(3),
+            corpus_len: 0,
+            index_len: 0,
+        };
+        write_manifest_with(&RealVfs, &dir, &m).unwrap();
+        assert!(matches!(
+            resolve_dir_with(&RealVfs, &dir),
+            Err(DiskError::BadManifest(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_is_not_an_index_dir() {
+        let dir = tmpdir("empty");
+        assert!(matches!(
+            resolve_dir_with(&RealVfs, &dir),
+            Err(DiskError::NotAnIndexDir(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -22,7 +22,8 @@ use warptree_core::sequence::SeqId;
 use crate::error::Result;
 use crate::format::{encode_node, DiskNode, DiskTree, Header, HEADER_SIZE};
 use crate::pager::PagedWriter;
-use crate::writer::write_tree;
+use crate::vfs::{real_vfs, Vfs};
+use crate::writer::write_tree_with;
 
 /// Which input tree a cursor points into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +263,17 @@ impl<'t> MergeCtx<'t> {
 /// disjoint suffix sets) into a new tree file at `out`. Returns the
 /// output file's logical size in bytes.
 pub fn merge_trees(a: &DiskTree, b: &DiskTree, cat: &CatStore, out: &Path) -> Result<u64> {
+    merge_trees_with(&crate::vfs::RealVfs, a, b, cat, out)
+}
+
+/// [`merge_trees`] through an explicit [`Vfs`].
+pub fn merge_trees_with(
+    vfs: &dyn Vfs,
+    a: &DiskTree,
+    b: &DiskTree,
+    cat: &CatStore,
+    out: &Path,
+) -> Result<u64> {
     assert_eq!(
         a.is_sparse_flag(),
         b.is_sparse_flag(),
@@ -276,7 +288,7 @@ pub fn merge_trees(a: &DiskTree, b: &DiskTree, cat: &CatStore, out: &Path) -> Re
         a,
         b,
         cat,
-        w: PagedWriter::create(out)?,
+        w: PagedWriter::create_with(vfs, out)?,
         node_count: 0,
     };
     ctx.w.write(&vec![0u8; HEADER_SIZE as usize])?;
@@ -324,6 +336,7 @@ pub struct IncrementalBuilder {
     work_dir: PathBuf,
     truncate: Option<warptree_suffix::TruncateSpec>,
     threads: usize,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl IncrementalBuilder {
@@ -336,7 +349,14 @@ impl IncrementalBuilder {
             work_dir,
             truncate: None,
             threads: 1,
+            vfs: real_vfs(),
         }
+    }
+
+    /// Routes all I/O through `vfs` (fault injection in tests).
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
     }
 
     /// Builds batch trees and performs each merge level on up to
@@ -356,8 +376,21 @@ impl IncrementalBuilder {
 
     /// Builds the index for all sequences of the store into `out`,
     /// returning the final file size in bytes.
+    ///
+    /// Work files are named `merge-<level>-<i>.wt.tmp` inside the work
+    /// directory; on any error they are removed (best-effort) before the
+    /// error propagates, and the recovery sweep at next open catches
+    /// whatever a simulated crash left behind.
     pub fn build(&self, out: &Path) -> Result<u64> {
-        std::fs::create_dir_all(&self.work_dir)?;
+        let result = self.build_inner(out);
+        if result.is_err() {
+            self.cleanup_work_files();
+        }
+        result
+    }
+
+    fn build_inner(&self, out: &Path) -> Result<u64> {
+        self.vfs.create_dir_all(&self.work_dir)?;
         // Level 0: one file per batch, built in parallel.
         let mut ranges: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
         let n = self.cat.len();
@@ -370,7 +403,7 @@ impl IncrementalBuilder {
         let level: Vec<PathBuf> = self.parallel_map(&ranges, |(idx, range)| {
             let tree = self.build_batch(range.clone());
             let path = self.tmp_path(0, *idx);
-            write_tree(&tree, &path)?;
+            write_tree_with(self.vfs.as_ref(), &tree, &path)?;
             Ok(path)
         })?;
         if level.is_empty() {
@@ -381,7 +414,7 @@ impl IncrementalBuilder {
                 t.set_depth_limit(spec.max_answer_len);
             }
             t.finalize();
-            return write_tree(&t, out);
+            return write_tree_with(self.vfs.as_ref(), &t, out);
         }
         // Merge level by level (binary merges of increasing size);
         // merges within a level run in parallel.
@@ -397,22 +430,34 @@ impl IncrementalBuilder {
                 if pair.len() == 1 {
                     return Ok(pair[0].clone());
                 }
-                let ta = DiskTree::open(&pair[0], self.cat.clone(), 64, 1024)?;
-                let tb = DiskTree::open(&pair[1], self.cat.clone(), 64, 1024)?;
+                let ta =
+                    DiskTree::open_with(self.vfs.as_ref(), &pair[0], self.cat.clone(), 64, 1024)?;
+                let tb =
+                    DiskTree::open_with(self.vfs.as_ref(), &pair[1], self.cat.clone(), 64, 1024)?;
                 let path = self.tmp_path(depth, *i);
-                merge_trees(&ta, &tb, &self.cat, &path)?;
-                std::fs::remove_file(&pair[0])?;
-                std::fs::remove_file(&pair[1])?;
+                merge_trees_with(self.vfs.as_ref(), &ta, &tb, &self.cat, &path)?;
+                self.vfs.remove_file(&pair[0])?;
+                self.vfs.remove_file(&pair[1])?;
                 Ok(path)
             })?;
             depth += 1;
         }
-        let size = std::fs::metadata(&level[0])?.len();
-        std::fs::rename(&level[0], out)?;
-        // Report logical size (physical is page-rounded).
-        let _ = size;
-        let physical = std::fs::metadata(out)?.len();
-        Ok(physical)
+        self.vfs.rename(&level[0], out)?;
+        // Report physical size (logical is page-rounded away).
+        Ok(self.vfs.metadata_len(out)?)
+    }
+
+    /// Best-effort removal of leftover `merge-*.wt.tmp` work files.
+    fn cleanup_work_files(&self) {
+        let Ok(entries) = self.vfs.read_dir(&self.work_dir) else {
+            return;
+        };
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("merge-") && name.ends_with(".wt.tmp") {
+                let _ = self.vfs.remove_file(&path);
+            }
+        }
     }
 
     /// Builds one batch's in-memory tree per the configured kind/spec.
@@ -493,8 +538,8 @@ impl IncrementalBuilder {
     }
 
     fn tmp_path(&self, depth: usize, idx: usize) -> PathBuf {
-        self.work_dir
-            .join(format!("warptree-merge-{depth}-{idx}.wt"))
+        // The `.tmp` suffix puts work files inside the recovery sweep.
+        self.work_dir.join(format!("merge-{depth}-{idx}.wt.tmp"))
     }
 }
 
@@ -508,6 +553,7 @@ impl DiskTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::writer::write_tree;
     use warptree_suffix::ukkonen::build_full_range;
     use warptree_suffix::{build_full, build_sparse};
 

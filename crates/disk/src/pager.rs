@@ -14,8 +14,6 @@
 //!   verified pages; a failed CRC surfaces as
 //!   [`DiskError::CorruptPage`].
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use parking_lot::Mutex;
@@ -23,6 +21,7 @@ use parking_lot::Mutex;
 use crate::crc::crc32;
 use crate::error::{DiskError, Result};
 use crate::lru::LruCache;
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 
 /// Physical page size in bytes.
 pub const PAGE_SIZE: usize = 8192;
@@ -31,7 +30,7 @@ pub const PAGE_DATA: usize = PAGE_SIZE - 4;
 
 /// Sequential writer over the logical byte space.
 pub struct PagedWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Payload buffer of the page currently being filled.
     buf: Vec<u8>,
     /// Logical offset of the first byte of `buf`.
@@ -42,13 +41,12 @@ impl PagedWriter {
     /// Creates (truncates) `path` and returns a writer positioned at
     /// logical offset 0.
     pub fn create(path: &Path) -> Result<Self> {
-        // Read access is needed for the finish-time patches.
-        let file = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        Self::create_with(&RealVfs, path)
+    }
+
+    /// [`create`](Self::create) through an explicit [`Vfs`].
+    pub fn create_with(vfs: &dyn Vfs, path: &Path) -> Result<Self> {
+        let file = vfs.create(path)?;
         Ok(Self {
             file,
             buf: Vec::with_capacity(PAGE_DATA),
@@ -81,7 +79,8 @@ impl PagedWriter {
         page[..self.buf.len()].copy_from_slice(&self.buf);
         let crc = crc32(&page[..PAGE_DATA]);
         page[PAGE_DATA..].copy_from_slice(&crc.to_le_bytes());
-        self.file.write_all(&page)?;
+        let physical = self.page_base / PAGE_DATA as u64 * PAGE_SIZE as u64;
+        self.file.write_at(physical, &page)?;
         self.page_base += PAGE_DATA as u64;
         self.buf.clear();
         Ok(())
@@ -101,16 +100,16 @@ impl PagedWriter {
                 offset + bytes.len() as u64 <= logical_len,
                 "patch outside the written range"
             );
-            patch(&mut self.file, *offset, bytes)?;
+            patch(self.file.as_mut(), *offset, bytes)?;
         }
-        self.file.sync_all()?;
+        self.file.sync()?;
         Ok(logical_len)
     }
 }
 
 /// Rewrites `bytes` at `logical_offset` in an already-written paged file,
 /// recomputing affected page CRCs.
-fn patch(file: &mut File, logical_offset: u64, bytes: &[u8]) -> Result<()> {
+fn patch(file: &mut dyn VfsFile, logical_offset: u64, bytes: &[u8]) -> Result<()> {
     let mut written = 0usize;
     while written < bytes.len() {
         let logical = logical_offset + written as u64;
@@ -118,13 +117,11 @@ fn patch(file: &mut File, logical_offset: u64, bytes: &[u8]) -> Result<()> {
         let in_page = (logical % PAGE_DATA as u64) as usize;
         let take = (PAGE_DATA - in_page).min(bytes.len() - written);
         let mut page = [0u8; PAGE_SIZE];
-        file.seek(SeekFrom::Start(page_idx * PAGE_SIZE as u64))?;
-        file.read_exact(&mut page)?;
+        file.read_at(page_idx * PAGE_SIZE as u64, &mut page)?;
         page[in_page..in_page + take].copy_from_slice(&bytes[written..written + take]);
         let crc = crc32(&page[..PAGE_DATA]);
         page[PAGE_DATA..].copy_from_slice(&crc.to_le_bytes());
-        file.seek(SeekFrom::Start(page_idx * PAGE_SIZE as u64))?;
-        file.write_all(&page)?;
+        file.write_at(page_idx * PAGE_SIZE as u64, &page)?;
         written += take;
     }
     Ok(())
@@ -148,7 +145,7 @@ struct ReaderInner {
 /// pool. Cheap to share: all mutability is behind a lock, so `&self`
 /// methods suffice (concurrent queries share the pool).
 pub struct PagedReader {
-    file: File,
+    file: Box<dyn VfsFile>,
     logical_len: u64,
     pages: u64,
     inner: Mutex<ReaderInner>,
@@ -157,8 +154,13 @@ pub struct PagedReader {
 impl PagedReader {
     /// Opens `path` with a buffer pool of `cache_pages` pages.
     pub fn open(path: &Path, cache_pages: usize) -> Result<Self> {
-        let file = File::open(path)?;
-        let physical = file.metadata()?.len();
+        Self::open_with(&RealVfs, path, cache_pages)
+    }
+
+    /// [`open`](Self::open) through an explicit [`Vfs`].
+    pub fn open_with(vfs: &dyn Vfs, path: &Path, cache_pages: usize) -> Result<Self> {
+        let file = vfs.open(path)?;
+        let physical = file.len()?;
         if physical % PAGE_SIZE as u64 != 0 {
             return Err(DiskError::BadHeader(format!(
                 "file size {physical} is not page-aligned"
@@ -219,7 +221,7 @@ impl PagedReader {
             return Ok(());
         }
         let mut raw = vec![0u8; PAGE_SIZE];
-        read_at(&self.file, page_idx * PAGE_SIZE as u64, &mut raw)?;
+        self.file.read_at(page_idx * PAGE_SIZE as u64, &mut raw)?;
         let stored = u32::from_le_bytes(raw[PAGE_DATA..].try_into().unwrap());
         if crc32(&raw[..PAGE_DATA]) != stored {
             return Err(DiskError::CorruptPage { page: page_idx });
@@ -231,22 +233,6 @@ impl PagedReader {
         inner.cache.insert(page_idx, page);
         Ok(())
     }
-}
-
-#[cfg(unix)]
-fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
-    use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset)?;
-    Ok(())
-}
-
-#[cfg(not(unix))]
-fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> Result<()> {
-    // Fallback: positioned read via a cloned handle (keeps &self API).
-    let mut f = file.try_clone()?;
-    f.seek(SeekFrom::Start(offset))?;
-    f.read_exact(buf)?;
-    Ok(())
 }
 
 #[cfg(test)]

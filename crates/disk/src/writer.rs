@@ -12,15 +12,21 @@ use warptree_suffix::{NodeId, SuffixTree, ROOT};
 use crate::error::Result;
 use crate::format::{encode_node, DiskNode, Header, HEADER_SIZE};
 use crate::pager::PagedWriter;
+use crate::vfs::{RealVfs, Vfs};
 
 /// Serializes `tree` to `path`, returning the logical file length in
 /// bytes (the paper's "index size").
 pub fn write_tree(tree: &SuffixTree, path: &Path) -> Result<u64> {
+    write_tree_with(&RealVfs, tree, path)
+}
+
+/// [`write_tree`] through an explicit [`Vfs`].
+pub fn write_tree_with(vfs: &dyn Vfs, tree: &SuffixTree, path: &Path) -> Result<u64> {
     assert!(
         tree.is_finalized(),
         "finalize() must run before writing a tree"
     );
-    let mut w = PagedWriter::create(path)?;
+    let mut w = PagedWriter::create_with(vfs, path)?;
     // Reserve the header; the real one is patched in at finish.
     w.write(&vec![0u8; HEADER_SIZE as usize])?;
 

@@ -1,12 +1,13 @@
-//! Corruption robustness: any byte flip anywhere in a tree file must be
-//! *detected* (surfaced as an error), never silently change answers or
-//! panic the reader — every page is covered by its CRC.
+//! Corruption robustness: any byte flip anywhere in a tree *or corpus*
+//! file must be *detected* (surfaced as an error), never silently change
+//! answers or panic the reader — every page is covered by its CRC.
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use warptree_core::categorize::CatStore;
+use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::search::SuffixTreeIndex;
-use warptree_disk::{write_tree, DiskError, DiskTree};
+use warptree_core::sequence::SequenceStore;
+use warptree_disk::{load_corpus, save_corpus, write_tree, DiskError, DiskTree};
 use warptree_suffix::build_full;
 
 fn tmp(tag: &str) -> std::path::PathBuf {
@@ -84,5 +85,63 @@ fn pristine_file_traverses() {
     let tree = DiskTree::open(&path, cat, 8, 16).unwrap();
     let suffixes = try_traverse(&tree).unwrap();
     assert_eq!(suffixes, tree.suffix_count());
+    std::fs::remove_file(&path).unwrap();
+}
+
+fn build_corpus_file(tag: &str) -> std::path::PathBuf {
+    let store = SequenceStore::from_values(
+        (0..6)
+            .map(|i| {
+                (0..20)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f64)
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<_>>(),
+    );
+    let alphabet = Alphabet::max_entropy(&store, 5).unwrap();
+    let path = tmp(tag);
+    save_corpus(&store, &alphabet, &path).unwrap();
+    path
+}
+
+/// Every single-byte flip of a corpus file must make `load_corpus`
+/// return an error — never panic, never hand back altered sequences or
+/// boundaries. Deterministic sweep: a stride of byte positions covering
+/// header, category table, and sequence data, with every bit tried at
+/// each position.
+#[test]
+fn corpus_byte_flip_detected() {
+    let path = build_corpus_file("corpus-flip");
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(load_corpus(&path).is_ok(), "pristine corpus must load");
+    let stride = (pristine.len() / 97).max(1);
+    for pos in (0..pristine.len()).step_by(stride) {
+        for bit in 0..8u8 {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                load_corpus(&path).is_err(),
+                "corpus flip at byte {pos} bit {bit} went undetected"
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Truncating a corpus file to any page-aligned or unaligned length is
+/// detected at load.
+#[test]
+fn corpus_truncation_detected() {
+    let path = build_corpus_file("corpus-trunc");
+    let pristine = std::fs::read(&path).unwrap();
+    for keep_fraction in [1usize, 13, 42, 50, 77, 99] {
+        let keep = pristine.len() * keep_fraction / 100;
+        std::fs::write(&path, &pristine[..keep]).unwrap();
+        assert!(
+            load_corpus(&path).is_err(),
+            "corpus truncation to {keep} bytes went undetected"
+        );
+    }
     std::fs::remove_file(&path).unwrap();
 }

@@ -1,0 +1,208 @@
+//! Offline shim for `criterion`: a minimal wall-clock timing harness
+//! exposing the API subset this workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! No statistics, warm-up heuristics, or reports — each benchmark runs
+//! `sample_size` timed samples and prints the per-iteration median.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Mirror of `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Mirror of `criterion::Bencher`.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration nanoseconds of the completed run.
+    result_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration, then `samples` timed samples.
+        std::hint::black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = times[times.len() / 2];
+    }
+
+    pub fn iter_with_setup<S, O, G, F>(&mut self, mut setup: G, mut f: F)
+    where
+        G: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        std::hint::black_box(f(setup()));
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(input));
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = times[times.len() / 2];
+    }
+}
+
+fn run_bench(group: &str, id: &BenchmarkId, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        result_ns: f64::NAN,
+    };
+    f(&mut b);
+    let name = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{}/{}", group, id.id)
+    };
+    if b.result_ns.is_nan() {
+        println!("{name:<60} (no iter() call)");
+    } else if b.result_ns >= 1_000_000.0 {
+        println!("{name:<60} {:>12.3} ms", b.result_ns / 1_000_000.0);
+    } else if b.result_ns >= 1_000.0 {
+        println!("{name:<60} {:>12.3} µs", b.result_ns / 1_000.0);
+    } else {
+        println!("{name:<60} {:>12.1} ns", b.result_ns);
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup` (lifetime-free: the shim keeps
+/// no per-group state beyond its name and sample count).
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.name, &id.into(), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&self.name, &id, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { name, samples: 10 }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", &id.into(), 10, &mut f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint` (upstream criterion provides this alias too).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran >= 4); // warm-up + 3 samples
+    }
+}

@@ -6,21 +6,26 @@
 //! warptree build  --input data.csv --method me --categories 40 \
 //!                 --sparse --out-dir ./idx
 //! warptree info   --index-dir ./idx
+//! warptree verify ./idx
 //! warptree search --index-dir ./idx --query 30.1,30.5,31.0 --epsilon 5
 //! warptree knn    --index-dir ./idx --query 30.1,30.5,31.0 --k 5
 //! warptree scan   --input data.csv --query 30.1,30.5 --epsilon 5
 //! ```
 //!
-//! `build` writes two files into `--out-dir`: `corpus.wc` (sequences +
-//! categorization) and `index.wt` (the suffix tree, constructed
-//! incrementally with binary merges). `search`/`knn`/`info` need only
-//! those files.
+//! `build` writes an index directory into `--out-dir`: the corpus file
+//! (sequences + categorization), the suffix-tree file (constructed
+//! incrementally with binary merges), and a `MANIFEST` naming the
+//! committed generation of each. `build` and `append` are crash-safe —
+//! every mutation is staged under temporary names and committed by an
+//! atomic manifest swap, and opening an index recovers from any
+//! interrupted mutation. `verify` checks every page CRC and the manifest
+//! without modifying anything.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use warptree::prelude::*;
-use warptree::{build_index_dir, index_dir_paths, open_index_dir};
+use warptree::{build_index_dir, open_index_dir, resolve_index_dir};
 use warptree_data::{load_csv, save_csv};
 
 fn main() -> ExitCode {
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("search") => cmd_search(&args[1..], false),
         Some("knn") => cmd_search(&args[1..], true),
         Some("scan") => cmd_scan(&args[1..]),
@@ -63,10 +69,13 @@ fn print_usage() {
          \u{20}          --input FILE --method me|el|exact|kmeans \
          [--categories C] [--sparse]\n\
          \u{20}          [--batch B] --out-dir DIR\n\
-         \u{20}  append  add sequences from a CSV to an existing index\n\
+         \u{20}  append  add sequences from a CSV to an existing index \
+         (crash-safe)\n\
          \u{20}          --input FILE --index-dir DIR\n\
          \u{20}  info    print index statistics\n\
          \u{20}          --index-dir DIR [--deep]\n\
+         \u{20}  verify  check every page CRC and the commit manifest\n\
+         \u{20}          DIR (or --index-dir DIR)\n\
          \u{20}  search  threshold search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,…|--query-file F \
          --epsilon E [--window W] [--limit N]\n\
@@ -210,7 +219,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     let t0 = std::time::Instant::now();
     let bytes = build_index_dir(&store, cat, sparse, batch, &out_dir).map_err(|e| e.to_string())?;
-    let (corpus_path, index_path) = index_dir_paths(&out_dir);
+    let (corpus_path, index_path) = resolve_index_dir(&out_dir).map_err(|e| e.to_string())?;
     println!(
         "built {} index over {} sequences: {} KiB in {:.2?}",
         if sparse { "sparse" } else { "full" },
@@ -244,7 +253,35 @@ fn cmd_append(args: &[String]) -> Result<(), String> {
 }
 
 fn open_index(dir: &Path) -> Result<DiskIndexDir, String> {
-    open_index_dir(dir, 1024).map_err(|e| e.to_string())
+    let idx = open_index_dir(dir, 1024).map_err(|e| e.to_string())?;
+    if !idx.recovery.is_clean() {
+        for line in idx.recovery.to_string().lines() {
+            eprintln!("recovery: {line}");
+        }
+    }
+    Ok(idx)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    // Accept the directory positionally (`warptree verify ./idx`) or as
+    // `--index-dir ./idx`.
+    let dir = match args.first() {
+        Some(a) if !a.starts_with("--") => {
+            if args.len() > 1 {
+                return Err("verify takes a single directory".into());
+            }
+            PathBuf::from(a)
+        }
+        _ => PathBuf::from(Opts::parse(args)?.require("index-dir")?),
+    };
+    let report =
+        warptree_disk::verify_dir_with(&warptree_disk::RealVfs, &dir).map_err(|e| e.to_string())?;
+    println!("{report}");
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("{} failed verification", dir.display()))
+    }
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -282,9 +319,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         Some(d) => println!("  depth limit:    {d} (truncated, §8)"),
         None => println!("  depth limit:    none"),
     }
-    let (_, index_path) = index_dir_paths(&dir);
+    let (_, index_path) = resolve_index_dir(&dir).map_err(|e| e.to_string())?;
     let meta = std::fs::metadata(&index_path).map_err(|e| e.to_string())?;
     println!("  file size:      {} KiB", meta.len() / 1024);
+    println!("  generation:     {}", idx.generation);
     if o.flag("deep") {
         // Materialize the tree and compute structural statistics.
         let mem = tree.to_mem().map_err(|e| e.to_string())?;

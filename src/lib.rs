@@ -224,15 +224,28 @@ impl Index {
         &self.tree
     }
 
-    /// Persists this in-memory index as an index directory
-    /// (`corpus.wc` + `index.wt`) loadable with [`open_index_dir`].
-    /// Returns the tree file size in bytes.
+    /// Persists this in-memory index as an index directory loadable
+    /// with [`open_index_dir`]. The write is crash-safe: files are
+    /// staged under temporary names and committed atomically by the
+    /// directory's `MANIFEST`. Returns the tree file size in bytes.
     pub fn save_to_dir(&self, dir: &std::path::Path) -> Result<u64, Box<dyn std::error::Error>> {
-        std::fs::create_dir_all(dir)?;
-        let (corpus_path, index_path) = index_dir_paths(dir);
-        warptree_disk::save_corpus(&self.store, &self.alphabet, &corpus_path)?;
-        let bytes = warptree_disk::write_tree(&self.tree, &index_path)?;
-        Ok(bytes)
+        let vfs = warptree_disk::RealVfs;
+        let current = match warptree_disk::resolve_dir_with(&vfs, dir) {
+            Ok(resolved) => resolved.generation,
+            Err(warptree_disk::DiskError::NotAnIndexDir(_)) => 0,
+            Err(e) => return Err(e.into()),
+        };
+        let manifest = warptree_disk::commit_dir_with(
+            &vfs,
+            dir,
+            current,
+            |corpus_tmp| {
+                warptree_disk::save_corpus_with(&vfs, &self.store, &self.alphabet, corpus_tmp)
+                    .map(|_| ())
+            },
+            |index_tmp| warptree_disk::write_tree_with(&vfs, &self.tree, index_tmp).map(|_| ()),
+        )?;
+        Ok(manifest.index_len)
     }
 }
 
@@ -247,6 +260,11 @@ pub struct DiskIndexDir {
     pub cat: Arc<CatStore>,
     /// The disk-resident suffix tree.
     pub tree: warptree_disk::DiskTree,
+    /// Committed generation that was opened (0 = legacy manifest-less
+    /// directory).
+    pub generation: u64,
+    /// What the recovery sweep cleaned while opening (crash leftovers).
+    pub recovery: warptree_disk::RecoveryReport,
 }
 
 impl DiskIndexDir {
@@ -261,14 +279,28 @@ impl DiskIndexDir {
     }
 }
 
-/// Standard file names inside an index directory.
+/// Legacy (generation 0) file names inside an index directory. Newer
+/// directories carry a `MANIFEST` naming generational files; use
+/// [`resolve_index_dir`] to find the committed pair either way.
 pub fn index_dir_paths(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
     (dir.join("corpus.wc"), dir.join("index.wt"))
 }
 
+/// Resolves the committed corpus and tree file paths of an index
+/// directory (manifest generation, or the legacy fixed-name pair).
+pub fn resolve_index_dir(
+    dir: &std::path::Path,
+) -> Result<(std::path::PathBuf, std::path::PathBuf), Box<dyn std::error::Error>> {
+    let resolved = warptree_disk::resolve_dir_with(&warptree_disk::RealVfs, dir)?;
+    Ok((resolved.corpus_path, resolved.index_path))
+}
+
 /// Builds a persistent index directory (corpus + incrementally merged
 /// tree) for `store`. `sparse` selects `SST_C` vs `ST_C`; `batch` is the
-/// number of sequences per in-memory partial tree.
+/// number of sequences per in-memory partial tree. The build is
+/// crash-safe: the directory flips atomically from its previous state
+/// (or from empty) to the new index, and a failed or killed build leaves
+/// any previous index untouched.
 pub fn build_index_dir(
     store: &SequenceStore,
     cat: Categorization,
@@ -277,41 +309,60 @@ pub fn build_index_dir(
     dir: &std::path::Path,
 ) -> Result<u64, Box<dyn std::error::Error>> {
     let alphabet = cat.alphabet(store)?;
-    let encoded = Arc::new(alphabet.encode_store(store));
-    std::fs::create_dir_all(dir)?;
-    let (corpus_path, index_path) = index_dir_paths(dir);
-    warptree_disk::save_corpus(store, &alphabet, &corpus_path)?;
     let kind = if sparse {
         warptree_disk::TreeKind::Sparse
     } else {
         warptree_disk::TreeKind::Full
     };
-    let bytes = warptree_disk::IncrementalBuilder::new(encoded, kind, batch, dir.to_path_buf())
-        .build(&index_path)?;
-    Ok(bytes)
+    let manifest = warptree_disk::build_dir_with(
+        warptree_disk::real_vfs(),
+        store,
+        &alphabet,
+        kind,
+        batch,
+        1,
+        None,
+        dir,
+    )?;
+    Ok(manifest.index_len)
 }
 
 /// Opens an index directory produced by [`build_index_dir`].
 /// `cache_pages` sizes the tree's buffer pool.
+///
+/// Opening first runs crash recovery: the committed generation is
+/// selected via the directory's `MANIFEST` (with a fallback to the
+/// legacy `corpus.wc` + `index.wt` pair) and stale temporaries or
+/// uncommitted files from an interrupted build/append are swept. The
+/// sweep's findings are reported in [`DiskIndexDir::recovery`].
 pub fn open_index_dir(
     dir: &std::path::Path,
     cache_pages: usize,
 ) -> Result<DiskIndexDir, Box<dyn std::error::Error>> {
-    let (corpus_path, index_path) = index_dir_paths(dir);
-    let (store, alphabet, cat) = warptree_disk::load_corpus(&corpus_path)?;
-    let tree =
-        warptree_disk::DiskTree::open(&index_path, cat.clone(), cache_pages, cache_pages * 8)?;
+    let vfs = warptree_disk::RealVfs;
+    let (resolved, recovery) = warptree_disk::recover_dir_with(&vfs, dir)?;
+    let (store, alphabet, cat) = warptree_disk::load_corpus(&resolved.corpus_path)?;
+    let tree = warptree_disk::DiskTree::open(
+        &resolved.index_path,
+        cat.clone(),
+        cache_pages,
+        cache_pages * 8,
+    )?;
     Ok(DiskIndexDir {
         store,
         alphabet,
         cat,
         tree,
+        generation: resolved.generation,
+        recovery,
     })
 }
 
 /// Re-exports of the types most programs need.
 pub mod prelude {
-    pub use crate::{build_index_dir, open_index_dir, Categorization, DiskIndexDir, Index};
+    pub use crate::{
+        build_index_dir, open_index_dir, resolve_index_dir, Categorization, DiskIndexDir, Index,
+    };
     pub use warptree_core::cluster::{cluster_matches, Cluster};
     pub use warptree_core::predict::{forecast, Forecast, Weighting};
     pub use warptree_core::prelude::*;
