@@ -1,0 +1,61 @@
+//! The no-op overhead contract of `warptree-obs`: a search run with
+//! detached (`noop`) metrics must cost the same as one with live
+//! counters, because every inactive `Counter::add` is an inlined branch
+//! on a `None`. This bench runs the same query in all three modes —
+//! noop, detached-active, and registry-backed — so a regression in the
+//! inlining shows up as a gap between the first line and the others.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use warptree_bench::{build_index, IndexKind, Method};
+use warptree_core::search::{sim_search_with, SearchMetrics, SearchParams};
+use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
+use warptree_obs::MetricsRegistry;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let store = stock_corpus(&StockConfig {
+        sequences: 60,
+        mean_len: 80,
+        ..Default::default()
+    });
+    let queries = QueryWorkload::draw(
+        &store,
+        &QueryConfig {
+            count: 1,
+            mean_len: 16,
+            len_jitter: 0,
+            noise_std: 0.5,
+            ..Default::default()
+        },
+    );
+    let q = &queries.queries()[0].values;
+    let built = build_index(&store, IndexKind::Sparse, Method::Me, 40);
+    let params = SearchParams::with_epsilon(10.0);
+
+    let reg = MetricsRegistry::new();
+    let modes: [(&str, SearchMetrics); 3] = [
+        ("noop", SearchMetrics::noop()),
+        ("active", SearchMetrics::new()),
+        ("registry", SearchMetrics::register(&reg)),
+    ];
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(30);
+    for (name, metrics) in &modes {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                black_box(sim_search_with(
+                    &built.tree,
+                    &built.alphabet,
+                    &store,
+                    black_box(q),
+                    &params,
+                    metrics,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! `bench_report` — the perf-trajectory snapshot. Runs the Table-1/2
+//! workload (stock corpus, stratified ~20-element queries, ME
+//! categorization swept over category counts) through SeqScan and both
+//! tree variants, and writes one machine-readable `BENCH_search.json`
+//! with latency percentiles and the filter-funnel counters.
+//!
+//! Committing the file after a perf-relevant change gives the repo a
+//! diffable trajectory: reviewers compare p50/p95 and candidate ratios
+//! across commits instead of rerunning the whole suite.
+//!
+//! ```text
+//! cargo run --release -p warptree-bench --bin bench_report -- \
+//!     [--full] [--out BENCH_search.json]
+//! ```
+
+use std::time::Instant;
+use warptree_bench::{banner, build_index, IndexKind, Method, Scale};
+use warptree_core::search::{
+    seq_scan, sim_search_with, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
+};
+use warptree_obs::json::num;
+
+/// One measured workload row, ready to serialize.
+struct Row {
+    strategy: &'static str,
+    categories: Option<usize>,
+    latencies: Vec<f64>,
+    answers: u64,
+    stats: SearchStats,
+}
+
+impl Row {
+    fn quantile(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+        self.latencies[idx]
+    }
+
+    fn to_json(&self, queries: u64) -> String {
+        let n = queries.max(1) as f64;
+        let mean_ms = 1e3 * self.latencies.iter().sum::<f64>() / n;
+        // Filter selectivity: exact-DTW checks per reported answer. 1.0
+        // is a perfect filter; SeqScan's value is the worst case.
+        let candidate_ratio = self.stats.postprocessed as f64 / self.answers.max(1) as f64;
+        let s = &self.stats;
+        format!(
+            concat!(
+                "{{\"strategy\":\"{}\",\"categories\":{},",
+                "\"latency_ms\":{{\"p50\":{},\"p95\":{},\"mean\":{}}},",
+                "\"answers_per_query\":{},\"candidates_per_query\":{},",
+                "\"candidate_ratio\":{},",
+                "\"counters\":{{\"nodes_visited\":{},\"branches_pruned\":{},",
+                "\"candidates\":{},\"false_alarms\":{},",
+                "\"filter_cells\":{},\"postprocess_cells\":{},",
+                "\"rows_pushed\":{},\"rows_unshared\":{}}}}}"
+            ),
+            self.strategy,
+            match self.categories {
+                Some(c) => c.to_string(),
+                None => "null".into(),
+            },
+            num(1e3 * self.quantile(0.5)),
+            num(1e3 * self.quantile(0.95)),
+            num(mean_ms),
+            num(self.answers as f64 / n),
+            num(s.postprocessed as f64 / n),
+            num(candidate_ratio),
+            s.nodes_visited,
+            s.branches_pruned,
+            s.candidates,
+            s.false_alarms,
+            s.filter_cells,
+            s.postprocess_cells,
+            s.rows_pushed,
+            s.rows_unshared,
+        )
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Perf-trajectory report (BENCH_search.json)", scale);
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2)
+            .find(|w| w[0] == "--out")
+            .map(|w| w[1].clone())
+            .unwrap_or_else(|| "BENCH_search.json".into())
+    };
+    let store = scale.stock();
+    let queries = scale.queries(&store);
+    let epsilon = match scale {
+        Scale::Quick => 10.0,
+        Scale::Full => 20.0,
+    };
+    let params = SearchParams::with_epsilon(epsilon);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // SeqScan baseline (early-abandon — the stronger of the two).
+    {
+        let mut row = Row {
+            strategy: "seqscan",
+            categories: None,
+            latencies: Vec::new(),
+            answers: 0,
+            stats: SearchStats::default(),
+        };
+        for q in queries.queries() {
+            let mut stats = SearchStats::default();
+            let t0 = Instant::now();
+            let answers = seq_scan(
+                &store,
+                &q.values,
+                &params,
+                SeqScanMode::EarlyAbandon,
+                &mut stats,
+            );
+            row.latencies.push(t0.elapsed().as_secs_f64());
+            row.answers += answers.len() as u64;
+            row.stats.merge(&stats);
+        }
+        row.latencies.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms",
+            row.strategy,
+            "-",
+            1e3 * row.quantile(0.5),
+            1e3 * row.quantile(0.95)
+        );
+        rows.push(row);
+    }
+
+    for cats in scale.category_counts() {
+        for (kind, strategy) in [(IndexKind::Full, "full"), (IndexKind::Sparse, "sparse")] {
+            let built = build_index(&store, kind, Method::Me, cats);
+            // One metrics handle for the whole workload: the snapshot is
+            // the per-workload aggregate of every funnel counter.
+            let metrics = SearchMetrics::new();
+            let mut row = Row {
+                strategy,
+                categories: Some(cats),
+                latencies: Vec::new(),
+                answers: 0,
+                stats: SearchStats::default(),
+            };
+            for q in queries.queries() {
+                let t0 = Instant::now();
+                let answers = sim_search_with(
+                    &built.tree,
+                    &built.alphabet,
+                    &store,
+                    &q.values,
+                    &params,
+                    &metrics,
+                );
+                row.latencies.push(t0.elapsed().as_secs_f64());
+                row.answers += answers.len() as u64;
+            }
+            row.stats = metrics.snapshot();
+            row.latencies.sort_by(|a, b| a.total_cmp(b));
+            println!(
+                "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | {:>6.1} checks/answer",
+                row.strategy,
+                cats,
+                1e3 * row.quantile(0.5),
+                1e3 * row.quantile(0.95),
+                row.stats.postprocessed as f64 / row.answers.max(1) as f64
+            );
+            rows.push(row);
+        }
+    }
+
+    let nq = queries.len() as u64;
+    let body: Vec<String> = rows.iter().map(|r| r.to_json(nq)).collect();
+    let json = format!(
+        concat!(
+            "{{\"workload\":{{\"scale\":\"{}\",\"sequences\":{},",
+            "\"elements\":{},\"queries\":{},\"epsilon\":{},",
+            "\"method\":\"ME\"}},\"rows\":[{}]}}"
+        ),
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        store.len(),
+        store.total_len(),
+        nq,
+        num(epsilon),
+        body.join(",")
+    );
+    std::fs::write(&out, json + "\n").expect("write report");
+    println!("\nwrote {out}");
+}

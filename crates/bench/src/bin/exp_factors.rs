@@ -17,7 +17,7 @@
 //! `R_p` grows as ε shrinks.
 
 use warptree_bench::{banner, build_index, IndexKind, Method, Scale};
-use warptree_core::search::{filter_tree, SearchParams, SearchStats};
+use warptree_core::search::{filter_tree, SearchMetrics, SearchParams};
 
 fn main() {
     let scale = Scale::from_args();
@@ -84,9 +84,9 @@ fn mean_rows(
     let params = SearchParams::with_epsilon(eps);
     let mut total = 0u64;
     for q in queries.queries() {
-        let mut stats = SearchStats::default();
-        let _ = filter_tree(&built.tree, &built.alphabet, &q.values, &params, &mut stats);
-        total += stats.rows_pushed;
+        let metrics = SearchMetrics::new();
+        let _ = filter_tree(&built.tree, &built.alphabet, &q.values, &params, &metrics);
+        total += metrics.snapshot().rows_pushed;
     }
     total as f64 / queries.len().max(1) as f64
 }

@@ -368,15 +368,16 @@ pub fn mv_sim_search<T: crate::search::SuffixTreeIndex>(
     use crate::search::answers::Match;
     use std::collections::HashMap;
     assert!(!query.is_empty());
-    let mut stats = crate::search::SearchStats::default();
+    let metrics = crate::search::SearchMetrics::new();
     let idx: Vec<Value> = (0..query.len()).map(|i| i as Value).collect();
     let candidates = crate::search::filter_tree_with(
         tree,
         &|qi, sym| grid.base_lb(query.point(qi as usize), sym),
         &idx,
         params,
-        &mut stats,
+        &metrics,
     );
+    let mut stats = metrics.snapshot();
     // Post-processing, sharing one table per candidate start (the same
     // scheme as the univariate postprocess).
     let epsilon = params.epsilon;

@@ -217,18 +217,38 @@ impl SearchParams {
 /// Cost counters reported by the search algorithms. All counters are
 /// machine-independent, so they reproduce the paper's complexity analysis
 /// (§4.3, §5.5, §6.4) regardless of hardware.
+///
+/// This is a plain-data *snapshot*; the live handles the algorithms
+/// write through are a [`SearchMetrics`](crate::search::SearchMetrics)
+/// bundle. Wall-clock timings deliberately never appear here — they
+/// live in the metrics histograms — which keeps snapshots `Eq` and
+/// identical across identical runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Cumulative-distance-table cells computed during filtering.
     pub filter_cells: u64,
     /// Tree nodes visited.
     pub nodes_visited: u64,
+    /// Nodes fully expanded (visited and not pruned):
+    /// `nodes_visited == nodes_expanded + branches_pruned` for the
+    /// tree-filter searches.
+    pub nodes_expanded: u64,
     /// Edge symbols consumed (rows pushed) during traversal.
     pub rows_pushed: u64,
+    /// Rows a per-suffix scan would have computed (each shared row
+    /// weighted by the suffixes below it) — `rows_unshared /
+    /// rows_pushed` estimates the paper's `R_d`. Zero when the index
+    /// cannot report subtree suffix counts.
+    pub rows_unshared: u64,
     /// Subtrees pruned by Theorem 1.
     pub branches_pruned: u64,
     /// Candidates emitted by the filter (the paper's `n` plus exact hits).
     pub candidates: u64,
+    /// Candidates for stored suffixes (`D_tw-lb`, Definition 3).
+    pub stored_candidates: u64,
+    /// Candidates for non-stored suffixes (`D_tw-lb2`, Definition 4) —
+    /// nonzero only on sparse indexes.
+    pub lb2_candidates: u64,
     /// Candidates whose exact distance was computed in post-processing.
     pub postprocessed: u64,
     /// Cells computed during post-processing.
@@ -244,6 +264,23 @@ impl SearchStats {
     /// dominant cost in the paper's complexity model.
     pub fn total_cells(&self) -> u64 {
         self.filter_cells + self.postprocess_cells
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.filter_cells += other.filter_cells;
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_expanded += other.nodes_expanded;
+        self.rows_pushed += other.rows_pushed;
+        self.rows_unshared += other.rows_unshared;
+        self.branches_pruned += other.branches_pruned;
+        self.candidates += other.candidates;
+        self.stored_candidates += other.stored_candidates;
+        self.lb2_candidates += other.lb2_candidates;
+        self.postprocessed += other.postprocessed;
+        self.postprocess_cells += other.postprocess_cells;
+        self.false_alarms += other.false_alarms;
+        self.answers += other.answers;
     }
 }
 

@@ -19,7 +19,8 @@
 
 use crate::categorize::{Alphabet, Symbol};
 use crate::dtw::WarpTable;
-use crate::search::answers::{Candidate, SearchParams, SearchStats};
+use crate::search::answers::{Candidate, SearchParams};
+use crate::search::metrics::SearchMetrics;
 use crate::sequence::{Occurrence, SeqId, Value};
 
 /// Read-only view of a (possibly disk-resident, possibly sparse)
@@ -72,6 +73,16 @@ pub trait SuffixTreeIndex {
     fn depth_limit(&self) -> Option<u32> {
         None
     }
+
+    /// Number of stored suffixes at or below `n`, when the index can
+    /// answer in O(1) (both warptree tree implementations annotate
+    /// nodes with this count). Used only for observability — metering
+    /// the table-sharing factor `R_d` — so the default `None` simply
+    /// disables that metric.
+    fn suffix_count_below(&self, n: Self::Node) -> Option<u64> {
+        let _ = n;
+        None
+    }
 }
 
 /// State carried down the traversal that must be restored on backtrack —
@@ -101,7 +112,7 @@ struct FilterCtx<'a, T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64> {
     min_len: u32,
     table: WarpTable,
     out: Vec<Candidate>,
-    stats: &'a mut SearchStats,
+    metrics: &'a SearchMetrics,
 }
 
 /// Runs the lower-bound filter over the index, returning every candidate
@@ -119,14 +130,14 @@ pub fn filter_tree<T: SuffixTreeIndex>(
     alphabet: &Alphabet,
     query: &[Value],
     params: &SearchParams,
-    stats: &mut SearchStats,
+    metrics: &SearchMetrics,
 ) -> Vec<Candidate> {
     filter_tree_with(
         tree,
         &|q, sym| alphabet.base_lb(q, sym),
         query,
         params,
-        stats,
+        metrics,
     )
 }
 
@@ -143,7 +154,7 @@ pub fn filter_tree_with<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
     base: &B,
     query: &[Value],
     params: &SearchParams,
-    stats: &mut SearchStats,
+    metrics: &SearchMetrics,
 ) -> Vec<Candidate> {
     params
         .validate(query.len())
@@ -176,7 +187,7 @@ pub fn filter_tree_with<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
         min_len: params.effective_min_len(query.len()),
         table: WarpTable::new(query, table_window),
         out: Vec::new(),
-        stats,
+        metrics,
     };
     let root = tree.root();
     let state = PathState {
@@ -187,8 +198,8 @@ pub fn filter_tree_with<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
         in_run: true,
     };
     descend(&mut ctx, root, state);
-    ctx.stats.filter_cells += ctx.table.cells_computed();
-    ctx.stats.candidates = ctx.out.len() as u64;
+    ctx.metrics.filter_cells.add(ctx.table.cells_computed());
+    ctx.metrics.candidates.add(ctx.out.len() as u64);
     ctx.out
 }
 
@@ -201,10 +212,11 @@ fn descend<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
     ctx.tree.for_each_child(node, &mut |c| children.push(c));
     let mut label = Vec::new();
     for child in children {
-        ctx.stats.nodes_visited += 1;
+        ctx.metrics.nodes_visited.incr();
         label.clear();
         ctx.tree.edge_label(child, &mut label);
         if let Some(next) = walk_edge(ctx, child, state, &label) {
+            ctx.metrics.nodes_expanded.incr();
             descend(ctx, child, next);
         }
         // Backtrack: drop this edge's rows.
@@ -243,16 +255,24 @@ fn walk_edge<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
     } else {
         0
     };
+    // Weight of each row pushed along this edge in the `R_d` metric:
+    // the number of stored suffixes sharing it. Fetched only when the
+    // metric is live and the index can answer cheaply.
+    let unshared_weight = if ctx.metrics.rows_unshared.is_active() {
+        ctx.tree.suffix_count_below(child).unwrap_or(0)
+    } else {
+        0
+    };
     for &sym in label {
         if let Some(m) = ctx.max_len {
             if state.depth as u64 >= m as u64 + depth_allowance as u64 {
                 // Deeper rows cannot yield any in-range answer length.
-                ctx.stats.branches_pruned += 1;
+                ctx.metrics.branches_pruned.incr();
                 return None;
             }
         }
         if ctx.table.next_row_out_of_band() {
-            ctx.stats.branches_pruned += 1;
+            ctx.metrics.branches_pruned.incr();
             return None;
         }
         if state.depth == 0 {
@@ -268,7 +288,8 @@ fn walk_edge<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
         let base = ctx.base;
         let stat = ctx.table.push_row_with(|q| base(q, sym));
         state.depth += 1;
-        ctx.stats.rows_pushed += 1;
+        ctx.metrics.rows_pushed.incr();
+        ctx.metrics.rows_unshared.add(unshared_weight);
         let r = state.depth;
 
         let (min_len, max_len) = (ctx.min_len, ctx.max_len);
@@ -299,7 +320,7 @@ fn walk_edge<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
         };
         let relax = max_shift_below as f64 * state.dbase1;
         if stat.min - relax > epsilon {
-            ctx.stats.branches_pruned += 1;
+            ctx.metrics.branches_pruned.incr();
             return None;
         }
     }
@@ -323,6 +344,13 @@ fn emit<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
             .for_each_suffix_below(child, &mut |seq, start, run| v.push((seq, start, run)));
         v
     });
+    // Funnel accounting: Definition 3 (stored) vs Definition 4
+    // (shifted, sparse only) emissions.
+    if k == 0 {
+        ctx.metrics.stored_candidates.add(list.len() as u64);
+    } else {
+        ctx.metrics.lb2_candidates.add(list.len() as u64);
+    }
     for &(seq, start, run) in list.iter() {
         // `k < run` always holds by the run-structure argument (see
         // DESIGN.md §5); assert it in debug builds.
@@ -441,10 +469,10 @@ mod tests {
         let suffixes: Vec<(u32, u32)> = (0..4).map(|p| (0, p)).collect();
         let tree = ToyTree::build(&cs, &suffixes, false);
         assert_eq!(tree.suffix_count(), 4);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let params = SearchParams::with_epsilon(0.0);
         let q = [2.0, 3.0];
-        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let cands = filter_tree(&tree, &a, &q, &params, &m);
         // With ε = 0 and exact base distances, only true warped matches
         // survive: S[2:3] = <2,3> and its warped extensions <2,3,?>... none
         // here; prefix matches: <2>, no (dist 1 > 0). Expect the exact
@@ -461,13 +489,13 @@ mod tests {
         let (_store, a, cs) = singleton_setup(vec![vec![1.0, 100.0, 100.0, 100.0, 100.0]]);
         let suffixes: Vec<(u32, u32)> = (0..5).map(|p| (0, p)).collect();
         let tree = ToyTree::build(&cs, &suffixes, false);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let params = SearchParams::with_epsilon(0.5);
         let q = [1.0, 1.0];
-        let _ = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let _ = filter_tree(&tree, &a, &q, &params, &m);
         // The 100-branches must be cut immediately (first row min = 99).
-        assert!(stats.branches_pruned >= 1);
-        assert!(stats.rows_pushed < 5 + 4 + 3 + 2 + 1);
+        assert!(m.snapshot().branches_pruned >= 1);
+        assert!(m.snapshot().rows_pushed < 5 + 4 + 3 + 2 + 1);
     }
 
     #[test]
@@ -475,10 +503,10 @@ mod tests {
         let (_store, a, cs) = singleton_setup(vec![vec![5.0; 10]]);
         let suffixes: Vec<(u32, u32)> = (0..10).map(|p| (0, p)).collect();
         let tree = ToyTree::build(&cs, &suffixes, false);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let params = SearchParams::with_epsilon(1e9).length_range(1, 3);
         let q = [5.0, 5.0];
-        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let cands = filter_tree(&tree, &a, &q, &params, &m);
         assert!(cands.iter().all(|c| c.occ.len <= 3));
         assert!(!cands.is_empty());
     }
@@ -488,11 +516,11 @@ mod tests {
         let (_store, a, cs) = singleton_setup(vec![vec![5.0; 6]]);
         let suffixes: Vec<(u32, u32)> = (0..6).map(|p| (0, p)).collect();
         let tree = ToyTree::build(&cs, &suffixes, false);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let mut params = SearchParams::with_epsilon(1e9);
         params.min_len = 4;
         let q = [5.0, 5.0];
-        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let cands = filter_tree(&tree, &a, &q, &params, &m);
         assert!(cands.iter().all(|c| c.occ.len >= 4));
         assert!(!cands.is_empty());
     }
@@ -504,10 +532,10 @@ mod tests {
         let (_store, a, cs) = singleton_setup(vec![vec![7.0; 5]]);
         let tree = ToyTree::build(&cs, &[(0, 0)], true);
         assert_eq!(tree.suffix_count(), 1);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let params = SearchParams::with_epsilon(0.0);
         let q = [7.0, 7.0];
-        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let cands = filter_tree(&tree, &a, &q, &params, &m);
         let mut occs: Vec<Occurrence> = cands.iter().map(|c| c.occ).collect();
         occs.sort();
         occs.dedup();
@@ -533,9 +561,9 @@ mod tests {
         // 2 — but the k = 1 shift gives lb2 = 3 − 3 = 0 ≤ ε, surfacing the
         // non-stored suffix's subsequence (0, 1, 1).
         let q = [3.0, 0.0];
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let params = SearchParams::with_epsilon(0.0);
-        let cands = filter_tree(&tree, &a, &q, &params, &mut stats);
+        let cands = filter_tree(&tree, &a, &q, &params, &m);
         let occs: Vec<Occurrence> = cands.iter().map(|c| c.occ).collect();
         assert!(occs.contains(&Occurrence::new(SeqId(0), 1, 1)));
         assert!(!occs.contains(&Occurrence::new(SeqId(0), 0, 1)));
@@ -547,8 +575,8 @@ mod tests {
     fn invalid_params_panic() {
         let (_store, a, cs) = singleton_setup(vec![vec![1.0]]);
         let tree = ToyTree::build(&cs, &[(0, 0)], false);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let params = SearchParams::with_epsilon(-1.0);
-        let _ = filter_tree(&tree, &a, &[1.0], &params, &mut stats);
+        let _ = filter_tree(&tree, &a, &[1.0], &params, &m);
     }
 }

@@ -14,7 +14,8 @@
 use crate::categorize::Alphabet;
 use crate::search::answers::{Match, SearchParams, SearchStats};
 use crate::search::filter::SuffixTreeIndex;
-use crate::search::sim_search;
+use crate::search::metrics::SearchMetrics;
+use crate::search::sim_search_with;
 use crate::sequence::{SequenceStore, Value};
 
 /// Parameters of a k-NN subsequence search.
@@ -91,6 +92,27 @@ pub fn knn_search<T: SuffixTreeIndex>(
     query: &[Value],
     params: &KnnParams,
 ) -> (Vec<Match>, SearchStats) {
+    let metrics = SearchMetrics::new();
+    let result = knn_search_with(tree, alphabet, store, query, params, &metrics);
+    let mut total = metrics.snapshot();
+    // Keep the historical reading of `answers` for the snapshot form:
+    // the k results actually returned, not the per-round answer total.
+    total.answers = result.len() as u64;
+    (result, total)
+}
+
+/// Like [`knn_search`], but metering into caller-supplied
+/// [`SearchMetrics`] — every ε-expansion round accumulates into the same
+/// counters (so `answers` counts per-round verified answers, not the
+/// final `k`).
+pub fn knn_search_with<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &KnnParams,
+    metrics: &SearchMetrics,
+) -> Vec<Match> {
     assert!(params.k > 0, "k must be positive");
     assert!(params.growth > 1.0, "growth must exceed 1");
     let mut epsilon = if params.initial_epsilon > 0.0 {
@@ -101,20 +123,11 @@ pub fn knn_search<T: SuffixTreeIndex>(
         let mean_abs: f64 = query.iter().map(|v| v.abs()).sum::<f64>() / query.len().max(1) as f64;
         (mean_abs * 0.05).max(1e-3)
     };
-    let mut total = SearchStats::default();
     let mut result: Vec<Match> = Vec::new();
     for _ in 0..params.max_rounds {
         let mut sp = SearchParams::with_epsilon(epsilon);
         sp.window = params.window;
-        let (answers, stats) = sim_search(tree, alphabet, store, query, &sp);
-        total.filter_cells += stats.filter_cells;
-        total.postprocess_cells += stats.postprocess_cells;
-        total.nodes_visited += stats.nodes_visited;
-        total.rows_pushed += stats.rows_pushed;
-        total.branches_pruned += stats.branches_pruned;
-        total.candidates += stats.candidates;
-        total.postprocessed += stats.postprocessed;
-        total.false_alarms += stats.false_alarms;
+        let answers = sim_search_with(tree, alphabet, store, query, &sp, metrics);
 
         let mut sorted: Vec<Match> = answers.matches().to_vec();
         sorted.sort_by(|a, b| {
@@ -137,8 +150,7 @@ pub fn knn_search<T: SuffixTreeIndex>(
         result = candidates;
         epsilon *= params.growth;
     }
-    total.answers = result.len() as u64;
-    (result, total)
+    result
 }
 
 #[cfg(test)]

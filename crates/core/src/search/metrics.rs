@@ -1,0 +1,230 @@
+//! Live search metrics: the observability counterpart of
+//! [`SearchStats`](crate::search::answers::SearchStats).
+//!
+//! [`SearchMetrics`] is a bundle of [`warptree_obs`] handles threaded
+//! through the search algorithms. `SearchStats` remains the plain-data
+//! *snapshot* (cheap to copy, `Eq`, deterministic); `SearchMetrics` is
+//! what the algorithms write while running. The three constructors give
+//! the three measurement modes:
+//!
+//! * [`SearchMetrics::new`] — detached live counters; used by
+//!   [`sim_search`](crate::search::sim_search) to produce its returned
+//!   snapshot.
+//! * [`SearchMetrics::noop`] — every update is a single inlined branch;
+//!   the zero-overhead mode benchmarked by `obs_overhead`.
+//! * [`SearchMetrics::register`] — counters shared with a
+//!   [`MetricsRegistry`] under `search.*` names, so multiple queries
+//!   accumulate into one process-wide view (the CLI's `--stats`).
+//!
+//! Phase wall times (`filter_ns`, `postprocess_ns`) are histograms
+//! only: they never enter `SearchStats`, which keeps snapshots
+//! machine-independent and run-to-run deterministic.
+
+use warptree_obs::{Counter, Histogram, MetricsRegistry};
+
+use crate::search::answers::SearchStats;
+
+/// Live counters and timers for one or many similarity searches.
+///
+/// See the [module docs](self) for the measurement modes. All handles
+/// are shared-on-clone, so a clone observes (and contributes to) the
+/// same totals.
+#[derive(Clone, Debug)]
+pub struct SearchMetrics {
+    /// Cumulative-distance-table cells computed during filtering.
+    pub filter_cells: Counter,
+    /// Tree nodes visited (edges considered) by the filter traversal.
+    pub nodes_visited: Counter,
+    /// Nodes whose subtree was fully descended into (not pruned), so
+    /// `nodes_visited == nodes_expanded + branches_pruned`.
+    pub nodes_expanded: Counter,
+    /// Edge symbols consumed (table rows pushed) during traversal.
+    pub rows_pushed: Counter,
+    /// Table rows weighted by the suffixes sharing them: the rows a
+    /// per-suffix scan would have computed. `rows_unshared /
+    /// rows_pushed` is the paper's table-sharing factor `R_d`. Metered
+    /// only when the index can report subtree suffix counts.
+    pub rows_unshared: Counter,
+    /// Subtrees pruned by Theorem 1 (plus depth/band cut-offs).
+    pub branches_pruned: Counter,
+    /// Candidates emitted by the filter (stored + shifted).
+    pub candidates: Counter,
+    /// Candidates emitted for *stored* suffixes via `D_tw-lb`
+    /// (Definition 3).
+    pub stored_candidates: Counter,
+    /// Candidates emitted for *non-stored* suffixes via `D_tw-lb2`
+    /// (Definition 4) — nonzero only on sparse indexes.
+    pub lb2_candidates: Counter,
+    /// Candidate (start, length) pairs whose exact distance was
+    /// computed in post-processing.
+    pub postprocessed: Counter,
+    /// Table cells computed during post-processing.
+    pub postprocess_cells: Counter,
+    /// Candidates rejected by exact verification (false alarms).
+    pub false_alarms: Counter,
+    /// Verified answers.
+    pub answers: Counter,
+    /// Wall time of the filter phase, nanoseconds per query.
+    pub filter_ns: Histogram,
+    /// Wall time of the post-processing phase, nanoseconds per query.
+    pub postprocess_ns: Histogram,
+}
+
+impl SearchMetrics {
+    /// Live metrics detached from any registry.
+    pub fn new() -> Self {
+        SearchMetrics {
+            filter_cells: Counter::active(),
+            nodes_visited: Counter::active(),
+            nodes_expanded: Counter::active(),
+            rows_pushed: Counter::active(),
+            rows_unshared: Counter::active(),
+            branches_pruned: Counter::active(),
+            candidates: Counter::active(),
+            stored_candidates: Counter::active(),
+            lb2_candidates: Counter::active(),
+            postprocessed: Counter::active(),
+            postprocess_cells: Counter::active(),
+            false_alarms: Counter::active(),
+            answers: Counter::active(),
+            filter_ns: Histogram::active(),
+            postprocess_ns: Histogram::active(),
+        }
+    }
+
+    /// Metrics that ignore every update (one inlined branch per
+    /// update, no atomics, no clock reads).
+    pub fn noop() -> Self {
+        SearchMetrics {
+            filter_cells: Counter::noop(),
+            nodes_visited: Counter::noop(),
+            nodes_expanded: Counter::noop(),
+            rows_pushed: Counter::noop(),
+            rows_unshared: Counter::noop(),
+            branches_pruned: Counter::noop(),
+            candidates: Counter::noop(),
+            stored_candidates: Counter::noop(),
+            lb2_candidates: Counter::noop(),
+            postprocessed: Counter::noop(),
+            postprocess_cells: Counter::noop(),
+            false_alarms: Counter::noop(),
+            answers: Counter::noop(),
+            filter_ns: Histogram::noop(),
+            postprocess_ns: Histogram::noop(),
+        }
+    }
+
+    /// Metrics registered under `search.*` names in `reg`; handles
+    /// obtained from repeated calls share totals through the registry.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        SearchMetrics {
+            filter_cells: reg.counter("search.filter_cells"),
+            nodes_visited: reg.counter("search.nodes_visited"),
+            nodes_expanded: reg.counter("search.nodes_expanded"),
+            rows_pushed: reg.counter("search.rows_pushed"),
+            rows_unshared: reg.counter("search.rows_unshared"),
+            branches_pruned: reg.counter("search.branches_pruned"),
+            candidates: reg.counter("search.candidates"),
+            stored_candidates: reg.counter("search.stored_candidates"),
+            lb2_candidates: reg.counter("search.lb2_candidates"),
+            postprocessed: reg.counter("search.postprocessed"),
+            postprocess_cells: reg.counter("search.postprocess_cells"),
+            false_alarms: reg.counter("search.false_alarms"),
+            answers: reg.counter("search.answers"),
+            filter_ns: reg.histogram("search.filter_ns"),
+            postprocess_ns: reg.histogram("search.postprocess_ns"),
+        }
+    }
+
+    /// The current counter totals as a plain-data snapshot (phase
+    /// timings excluded — those stay in the histograms).
+    pub fn snapshot(&self) -> SearchStats {
+        SearchStats {
+            filter_cells: self.filter_cells.get(),
+            nodes_visited: self.nodes_visited.get(),
+            nodes_expanded: self.nodes_expanded.get(),
+            rows_pushed: self.rows_pushed.get(),
+            rows_unshared: self.rows_unshared.get(),
+            branches_pruned: self.branches_pruned.get(),
+            candidates: self.candidates.get(),
+            stored_candidates: self.stored_candidates.get(),
+            lb2_candidates: self.lb2_candidates.get(),
+            postprocessed: self.postprocessed.get(),
+            postprocess_cells: self.postprocess_cells.get(),
+            false_alarms: self.false_alarms.get(),
+            answers: self.answers.get(),
+        }
+    }
+
+    /// Folds a plain-data snapshot into the counters — the bridge for
+    /// algorithms that report through `SearchStats` (e.g. the
+    /// sequential-scan baseline) into a registry-backed view.
+    pub fn record(&self, s: &SearchStats) {
+        self.filter_cells.add(s.filter_cells);
+        self.nodes_visited.add(s.nodes_visited);
+        self.nodes_expanded.add(s.nodes_expanded);
+        self.rows_pushed.add(s.rows_pushed);
+        self.rows_unshared.add(s.rows_unshared);
+        self.branches_pruned.add(s.branches_pruned);
+        self.candidates.add(s.candidates);
+        self.stored_candidates.add(s.stored_candidates);
+        self.lb2_candidates.add(s.lb2_candidates);
+        self.postprocessed.add(s.postprocessed);
+        self.postprocess_cells.add(s.postprocess_cells);
+        self.false_alarms.add(s.false_alarms);
+        self.answers.add(s.answers);
+    }
+}
+
+impl Default for SearchMetrics {
+    fn default() -> Self {
+        SearchMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_updates() {
+        let m = SearchMetrics::new();
+        m.nodes_visited.add(3);
+        m.branches_pruned.incr();
+        m.nodes_expanded.add(2);
+        let s = m.snapshot();
+        assert_eq!(s.nodes_visited, 3);
+        assert_eq!(s.branches_pruned, 1);
+        assert_eq!(s.nodes_expanded, 2);
+        assert_eq!(s.nodes_visited, s.nodes_expanded + s.branches_pruned);
+    }
+
+    #[test]
+    fn record_round_trips_a_snapshot() {
+        let m = SearchMetrics::new();
+        m.candidates.add(5);
+        m.answers.add(2);
+        let s = m.snapshot();
+        let m2 = SearchMetrics::new();
+        m2.record(&s);
+        assert_eq!(m2.snapshot(), s);
+    }
+
+    #[test]
+    fn registered_metrics_share_totals() {
+        let reg = MetricsRegistry::new();
+        let a = SearchMetrics::register(&reg);
+        let b = SearchMetrics::register(&reg);
+        a.rows_pushed.add(4);
+        b.rows_pushed.add(6);
+        assert_eq!(reg.snapshot().counters["search.rows_pushed"], 10);
+    }
+
+    #[test]
+    fn noop_metrics_stay_zero() {
+        let m = SearchMetrics::noop();
+        m.filter_cells.add(100);
+        m.filter_ns.record(1);
+        assert_eq!(m.snapshot(), SearchStats::default());
+    }
+}

@@ -20,13 +20,15 @@ pub mod aligned;
 pub mod answers;
 pub mod filter;
 pub mod knn;
+pub mod metrics;
 pub mod postprocess;
 pub mod seqscan;
 
 pub use aligned::aligned_scan;
 pub use answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
 pub use filter::{filter_tree, filter_tree_with, SuffixTreeIndex};
-pub use knn::{knn_search, KnnParams};
+pub use knn::{knn_search, knn_search_with, KnnParams};
+pub use metrics::SearchMetrics;
 pub use postprocess::postprocess;
 pub use seqscan::{seq_scan, SeqScanMode};
 
@@ -54,10 +56,30 @@ pub fn sim_search<T: SuffixTreeIndex>(
     query: &[Value],
     params: &SearchParams,
 ) -> (AnswerSet, SearchStats) {
-    let mut stats = SearchStats::default();
-    let candidates = filter_tree(tree, alphabet, query, params, &mut stats);
-    let answers = postprocess(store, query, &candidates, params, &mut stats);
-    (answers, stats)
+    let metrics = SearchMetrics::new();
+    let answers = sim_search_with(tree, alphabet, store, query, params, &metrics);
+    (answers, metrics.snapshot())
+}
+
+/// Like [`sim_search`], but writing cost counters and per-phase wall
+/// times into caller-supplied [`SearchMetrics`] instead of returning a
+/// snapshot — the entry point for instrumented (or deliberately
+/// unmetered, via [`SearchMetrics::noop`]) runs. Counters accumulate
+/// across calls sharing one `SearchMetrics`.
+pub fn sim_search_with<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &SearchParams,
+    metrics: &SearchMetrics,
+) -> AnswerSet {
+    let candidates = {
+        let _timer = metrics.filter_ns.span();
+        filter_tree(tree, alphabet, query, params, metrics)
+    };
+    let _timer = metrics.postprocess_ns.span();
+    postprocess(store, query, &candidates, params, metrics)
 }
 
 /// Like [`sim_search`], but validating the query/parameters up front and
@@ -70,6 +92,21 @@ pub fn sim_search_checked<T: SuffixTreeIndex>(
     query: &[Value],
     params: &SearchParams,
 ) -> Result<(AnswerSet, SearchStats), crate::error::CoreError> {
+    let metrics = SearchMetrics::new();
+    let answers = sim_search_checked_with(tree, alphabet, store, query, params, &metrics)?;
+    Ok((answers, metrics.snapshot()))
+}
+
+/// The checked entry point with caller-supplied metrics: validates like
+/// [`sim_search_checked`], meters like [`sim_search_with`].
+pub fn sim_search_checked_with<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &SearchParams,
+    metrics: &SearchMetrics,
+) -> Result<AnswerSet, crate::error::CoreError> {
     params.validate(query.len())?;
     if query.iter().any(|v| !v.is_finite()) {
         return Err(crate::error::CoreError::NonFiniteQuery);
@@ -81,5 +118,7 @@ pub fn sim_search_checked<T: SuffixTreeIndex>(
             _ => return Err(crate::error::CoreError::DepthLimitExceeded { limit, requested }),
         }
     }
-    Ok(sim_search(tree, alphabet, store, query, params))
+    Ok(sim_search_with(
+        tree, alphabet, store, query, params, metrics,
+    ))
 }

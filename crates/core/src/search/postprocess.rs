@@ -16,7 +16,8 @@
 use std::collections::HashMap;
 
 use crate::dtw::WarpTable;
-use crate::search::answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
+use crate::search::answers::{AnswerSet, Candidate, Match, SearchParams};
+use crate::search::metrics::SearchMetrics;
 use crate::sequence::{Occurrence, SeqId, SequenceStore, Value};
 
 /// Verifies `candidates` against the exact time-warping distance,
@@ -28,7 +29,7 @@ pub fn postprocess(
     query: &[Value],
     candidates: &[Candidate],
     params: &SearchParams,
-    stats: &mut SearchStats,
+    metrics: &SearchMetrics,
 ) -> AnswerSet {
     let epsilon = params.epsilon;
     // Group candidate lengths by start position.
@@ -48,7 +49,7 @@ pub fn postprocess(
     for ((seq, start), mut lens) in by_start {
         lens.sort_unstable();
         lens.dedup();
-        stats.postprocessed += lens.len() as u64;
+        metrics.postprocessed.add(lens.len() as u64);
         let values = store.get(seq).suffix(start);
         table.reset();
         let mut next = 0usize; // next candidate length to check
@@ -64,22 +65,22 @@ pub fn postprocess(
                         dist: stat.dist,
                     });
                 } else {
-                    stats.false_alarms += 1;
+                    metrics.false_alarms.incr();
                 }
                 next += 1;
             }
             if stat.prunes(epsilon) {
                 // Theorem 1: every remaining (longer) candidate of this
                 // start is a false alarm.
-                stats.false_alarms += (lens.len() - next) as u64;
+                metrics.false_alarms.add((lens.len() - next) as u64);
                 next = lens.len();
                 break;
             }
         }
         debug_assert_eq!(next, lens.len(), "every candidate visited");
     }
-    stats.postprocess_cells += table.cells_computed();
-    stats.answers = answers.len() as u64;
+    metrics.postprocess_cells.add(table.cells_computed());
+    metrics.answers.add(answers.len() as u64);
     answers
 }
 
@@ -99,15 +100,15 @@ mod tests {
         let store = SequenceStore::from_values(vec![vec![1.0, 2.0, 9.0, 2.0]]);
         let q = [1.0, 2.0];
         let params = SearchParams::with_epsilon(0.5);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         // (0,0,2) = <1,2> exact 0; (0,2,2) = <9,2> exact >> eps.
         let cands = vec![cand(0, 0, 2, 0.0), cand(0, 2, 2, 0.3)];
-        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        let ans = postprocess(&store, &q, &cands, &params, &m);
         assert_eq!(ans.len(), 1);
         assert_eq!(ans.matches()[0].occ, Occurrence::new(SeqId(0), 0, 2));
         assert_eq!(ans.matches()[0].dist, 0.0);
-        assert_eq!(stats.false_alarms, 1);
-        assert_eq!(stats.postprocessed, 2);
+        assert_eq!(m.snapshot().false_alarms, 1);
+        assert_eq!(m.snapshot().postprocessed, 2);
     }
 
     #[test]
@@ -115,11 +116,11 @@ mod tests {
         let store = SequenceStore::from_values(vec![vec![1.0, 1.0]]);
         let q = [1.0];
         let params = SearchParams::with_epsilon(0.0);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let cands = vec![cand(0, 0, 1, 0.0), cand(0, 0, 1, 0.0)];
-        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        let ans = postprocess(&store, &q, &cands, &params, &m);
         assert_eq!(ans.len(), 1);
-        assert_eq!(stats.postprocessed, 1);
+        assert_eq!(m.snapshot().postprocessed, 1);
     }
 
     #[test]
@@ -130,9 +131,9 @@ mod tests {
         let q = [2.0, 3.0, 2.0];
         let eps = 3.0;
         let params = SearchParams::with_epsilon(eps);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let cands: Vec<Candidate> = (1..=6).map(|l| cand(0, 0, l, 0.0)).collect();
-        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        let ans = postprocess(&store, &q, &cands, &params, &m);
         for l in 1..=6u32 {
             let sub = store.get(SeqId(0)).subseq(0, l);
             let exact = crate::dtw::dtw(&q, sub);
@@ -147,7 +148,11 @@ mod tests {
                 assert_eq!(found, None, "length {l}");
             }
         }
-        assert_eq!(stats.postprocessed, 6, "all candidate lengths counted");
+        assert_eq!(
+            m.snapshot().postprocessed,
+            6,
+            "all candidate lengths counted"
+        );
     }
 
     #[test]
@@ -157,22 +162,22 @@ mod tests {
         let store = SequenceStore::from_values(vec![vec![1.0, 100.0, 100.0, 100.0, 100.0, 100.0]]);
         let q = [1.0];
         let params = SearchParams::with_epsilon(0.5);
-        let mut stats = SearchStats::default();
+        let m = SearchMetrics::new();
         let cands: Vec<Candidate> = (1..=6).map(|l| cand(0, 0, l, 0.0)).collect();
-        let ans = postprocess(&store, &q, &cands, &params, &mut stats);
+        let ans = postprocess(&store, &q, &cands, &params, &m);
         assert_eq!(ans.len(), 1); // only length 1 survives
-        assert_eq!(stats.false_alarms, 5);
+        assert_eq!(m.snapshot().false_alarms, 5);
         // Early abandoning computed far fewer cells than 1+2+..+6 rows.
-        assert!(stats.postprocess_cells <= 3);
+        assert!(m.snapshot().postprocess_cells <= 3);
     }
 
     #[test]
     fn empty_candidates_empty_answers() {
         let store = SequenceStore::from_values(vec![vec![1.0]]);
         let params = SearchParams::with_epsilon(1.0);
-        let mut stats = SearchStats::default();
-        let ans = postprocess(&store, &[1.0], &[], &params, &mut stats);
+        let m = SearchMetrics::new();
+        let ans = postprocess(&store, &[1.0], &[], &params, &m);
         assert!(ans.is_empty());
-        assert_eq!(stats.postprocessed, 0);
+        assert_eq!(m.snapshot().postprocessed, 0);
     }
 }

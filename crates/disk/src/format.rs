@@ -218,6 +218,25 @@ impl DiskTree {
         self.reader.io_stats()
     }
 
+    /// Decoded-node cache hit/miss totals, `(hits, misses)`.
+    pub fn node_cache_stats(&self) -> (u64, u64) {
+        let nodes = self.nodes.lock();
+        (nodes.hits(), nodes.misses())
+    }
+
+    /// Routes this tree's cache counters into `reg`: the decoded-node
+    /// cache as `disk.node_cache.{hits,misses}` and the page buffer
+    /// pool as `disk.page_cache.{hits,misses}`. Counts accumulated
+    /// before the call are not carried over.
+    pub fn instrument(&self, reg: &warptree_obs::MetricsRegistry) {
+        self.nodes.lock().set_counters(
+            reg.counter("disk.node_cache.hits"),
+            reg.counter("disk.node_cache.misses"),
+        );
+        self.reader
+            .meter_cache(reg, "disk.page_cache.hits", "disk.page_cache.misses");
+    }
+
     /// Reads (or re-uses) the node record at `offset`.
     pub fn read_node(&self, offset: u64) -> Result<Arc<DiskNode>> {
         if let Some(n) = self.nodes.lock().get(&offset) {
@@ -362,6 +381,13 @@ impl SuffixTreeIndex for DiskTree {
 
     fn depth_limit(&self) -> Option<u32> {
         self.header.depth_limit
+    }
+
+    fn suffix_count_below(&self, n: u64) -> Option<u64> {
+        // Every node record stores its subtree suffix count, and the
+        // record is (re)read through the node cache, so this is one
+        // cached lookup — cheap enough for per-edge `R_d` metering.
+        Some(self.read_node(n).expect("readable node").suffix_count)
     }
 }
 

@@ -37,10 +37,10 @@ pub use corpus::{load_corpus, load_corpus_with, save_corpus, save_corpus_with};
 pub use error::{DiskError, Result};
 pub use format::{DiskNode, DiskTree, Header};
 pub use manifest::{
-    build_dir_with, commit_dir_with, recover_dir_with, resolve_dir_with, verify_dir_with,
-    FileCheck, Manifest, RecoveryReport, ResolvedDir, VerifyReport, MANIFEST_NAME,
+    build_dir_metered, build_dir_with, commit_dir_with, recover_dir_with, resolve_dir_with,
+    verify_dir_with, FileCheck, Manifest, RecoveryReport, ResolvedDir, VerifyReport, MANIFEST_NAME,
 };
 pub use merge::{merge_trees, merge_trees_with, IncrementalBuilder, TreeKind};
 pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
-pub use vfs::{real_vfs, FaultMode, FaultVfs, RealVfs, TempGuard, Vfs, VfsFile};
+pub use vfs::{real_vfs, FaultMode, FaultVfs, MeteredVfs, RealVfs, TempGuard, Vfs, VfsFile};
 pub use writer::{write_tree, write_tree_with};

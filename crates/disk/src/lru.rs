@@ -8,6 +8,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use warptree_obs::Counter;
+
 const NIL: usize = usize::MAX;
 
 struct Entry<K, V> {
@@ -35,8 +37,8 @@ pub struct LruCache<K, V> {
     head: usize,
     tail: usize,
     capacity: usize,
-    hits: u64,
-    misses: u64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -49,9 +51,28 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
-            hits: 0,
-            misses: 0,
+            hits: Counter::active(),
+            misses: Counter::active(),
         }
+    }
+
+    /// Rebinds the hit/miss counters — typically to registry-backed
+    /// handles so the cache meters into a shared
+    /// [`MetricsRegistry`](warptree_obs::MetricsRegistry). Counts
+    /// recorded before the swap stay with the old counters.
+    pub fn set_counters(&mut self, hits: Counter, misses: Counter) {
+        self.hits = hits;
+        self.misses = misses;
+    }
+
+    /// Total lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Total lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// Number of cached entries.
@@ -62,11 +83,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
-    }
-
-    /// Cache hit/miss counters (for the pager statistics).
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -99,7 +115,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
             Some(idx) => {
-                self.hits += 1;
+                self.hits.incr();
                 if self.head != idx {
                     self.unlink(idx);
                     self.push_front(idx);
@@ -107,7 +123,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 Some(&self.slab[idx].value)
             }
             None => {
-                self.misses += 1;
+                self.misses.incr();
                 None
             }
         }
@@ -166,8 +182,20 @@ mod tests {
         assert_eq!(c.get(&1), Some(&"a"));
         assert_eq!(c.get(&3), None);
         assert_eq!(c.len(), 2);
-        let (hits, misses) = c.stats();
-        assert_eq!((hits, misses), (1, 1));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn counters_can_meter_into_a_registry() {
+        let reg = warptree_obs::MetricsRegistry::new();
+        let mut c = LruCache::new(2);
+        c.set_counters(reg.counter("cache.hits"), reg.counter("cache.misses"));
+        c.insert(1, "a");
+        c.get(&1);
+        c.get(&2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["cache.hits"], 1);
+        assert_eq!(snap.counters["cache.misses"], 1);
     }
 
     #[test]

@@ -410,6 +410,36 @@ pub fn build_dir_with(
     truncate: Option<warptree_suffix::TruncateSpec>,
     dir: &Path,
 ) -> Result<Manifest> {
+    build_dir_metered(
+        vfs,
+        store,
+        alphabet,
+        kind,
+        batch,
+        threads,
+        truncate,
+        dir,
+        &warptree_obs::MetricsRegistry::noop(),
+    )
+}
+
+/// [`build_dir_with`] with build-pipeline metrics: the incremental
+/// builder publishes its `build.*` counters and timing histograms on
+/// `reg`. Callers wanting I/O profiles too should pass a
+/// [`MeteredVfs`](crate::MeteredVfs)-wrapped `vfs` metered into the
+/// same registry.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dir_metered(
+    vfs: Arc<dyn Vfs>,
+    store: &SequenceStore,
+    alphabet: &Alphabet,
+    kind: crate::merge::TreeKind,
+    batch: usize,
+    threads: usize,
+    truncate: Option<warptree_suffix::TruncateSpec>,
+    dir: &Path,
+    reg: &warptree_obs::MetricsRegistry,
+) -> Result<Manifest> {
     vfs.create_dir_all(dir)?;
     // Rebuilds bump the committed generation; fresh builds start at 1.
     // Leftovers of a crashed earlier attempt are swept first so stale
@@ -444,7 +474,8 @@ pub fn build_dir_with(
             let mut builder =
                 crate::merge::IncrementalBuilder::new(cat.clone(), kind, batch, dir.to_path_buf())
                     .with_vfs(vfs.clone())
-                    .with_threads(threads);
+                    .with_threads(threads)
+                    .with_metrics(reg);
             if let Some(spec) = truncate {
                 builder = builder.with_truncation(spec);
             }

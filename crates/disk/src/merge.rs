@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use warptree_core::categorize::{CatStore, Symbol};
 use warptree_core::sequence::SeqId;
+use warptree_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::error::Result;
 use crate::format::{encode_node, DiskNode, DiskTree, Header, HEADER_SIZE};
@@ -324,6 +325,37 @@ pub enum TreeKind {
     Sparse,
 }
 
+/// Build-pipeline instrumentation: one counter and one wall-time
+/// histogram per phase. All handles are shared-cell clones, so workers
+/// on different threads report into the same registry entries.
+#[derive(Clone)]
+struct BuildMetrics {
+    batches: Counter,
+    merges: Counter,
+    batch_ns: Histogram,
+    merge_ns: Histogram,
+}
+
+impl BuildMetrics {
+    fn noop() -> Self {
+        Self {
+            batches: Counter::noop(),
+            merges: Counter::noop(),
+            batch_ns: Histogram::noop(),
+            merge_ns: Histogram::noop(),
+        }
+    }
+
+    fn register(reg: &MetricsRegistry) -> Self {
+        Self {
+            batches: reg.counter("build.batches"),
+            merges: reg.counter("build.merges"),
+            batch_ns: reg.histogram("build.batch_ns"),
+            merge_ns: reg.histogram("build.merge_ns"),
+        }
+    }
+}
+
 /// Incremental disk-based index construction (paper §4.1): sequences are
 /// processed in batches; each batch's tree is built in memory with
 /// Ukkonen (or sparse insertion) and flushed, then files are merged
@@ -337,6 +369,7 @@ pub struct IncrementalBuilder {
     truncate: Option<warptree_suffix::TruncateSpec>,
     threads: usize,
     vfs: Arc<dyn Vfs>,
+    metrics: BuildMetrics,
 }
 
 impl IncrementalBuilder {
@@ -350,12 +383,22 @@ impl IncrementalBuilder {
             truncate: None,
             threads: 1,
             vfs: real_vfs(),
+            metrics: BuildMetrics::noop(),
         }
     }
 
     /// Routes all I/O through `vfs` (fault injection in tests).
     pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
         self.vfs = vfs;
+        self
+    }
+
+    /// Publishes build-pipeline metrics on `reg`: `build.batches` /
+    /// `build.merges` counters and `build.batch_ns` / `build.merge_ns`
+    /// wall-time histograms (one sample per batch flushed / per binary
+    /// merge performed).
+    pub fn with_metrics(mut self, reg: &MetricsRegistry) -> Self {
+        self.metrics = BuildMetrics::register(reg);
         self
     }
 
@@ -401,9 +444,12 @@ impl IncrementalBuilder {
             start = end;
         }
         let level: Vec<PathBuf> = self.parallel_map(&ranges, |(idx, range)| {
+            let span = self.metrics.batch_ns.span();
             let tree = self.build_batch(range.clone());
             let path = self.tmp_path(0, *idx);
             write_tree_with(self.vfs.as_ref(), &tree, &path)?;
+            drop(span);
+            self.metrics.batches.incr();
             Ok(path)
         })?;
         if level.is_empty() {
@@ -430,6 +476,7 @@ impl IncrementalBuilder {
                 if pair.len() == 1 {
                     return Ok(pair[0].clone());
                 }
+                let span = self.metrics.merge_ns.span();
                 let ta =
                     DiskTree::open_with(self.vfs.as_ref(), &pair[0], self.cat.clone(), 64, 1024)?;
                 let tb =
@@ -438,6 +485,8 @@ impl IncrementalBuilder {
                 merge_trees_with(self.vfs.as_ref(), &ta, &tb, &self.cat, &path)?;
                 self.vfs.remove_file(&pair[0])?;
                 self.vfs.remove_file(&pair[1])?;
+                drop(span);
+                self.metrics.merges.incr();
                 Ok(path)
             })?;
             depth += 1;
@@ -682,6 +731,28 @@ mod tests {
             assert_eq!(disk.to_mem().unwrap().canonical(), direct.canonical());
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn builder_metrics_count_batches_and_merges() {
+        let c = cat(
+            vec![vec![0, 0, 1, 2], vec![2, 1, 0], vec![1, 1], vec![0, 2]],
+            3,
+        );
+        let dir = tmpdir("metrics");
+        let out = dir.join("index.wt");
+        let reg = MetricsRegistry::new();
+        IncrementalBuilder::new(c.clone(), TreeKind::Full, 1, dir.clone())
+            .with_metrics(&reg)
+            .build(&out)
+            .unwrap();
+        let snap = reg.snapshot();
+        // 4 sequences at batch size 1 → 4 batches, merged 4→2→1 = 3 merges.
+        assert_eq!(snap.counters["build.batches"], 4);
+        assert_eq!(snap.counters["build.merges"], 3);
+        assert_eq!(snap.histograms["build.batch_ns"].count, 4);
+        assert_eq!(snap.histograms["build.merge_ns"].count, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

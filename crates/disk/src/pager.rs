@@ -130,15 +130,27 @@ fn patch(file: &mut dyn VfsFile, logical_offset: u64, bytes: &[u8]) -> Result<()
 /// Counters describing a reader's I/O behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
-    /// Pages fetched from disk (cache misses).
+    /// Page requests that missed the buffer pool (each one is a disk
+    /// page fetch).
     pub pages_read: u64,
     /// Page requests served from the buffer pool.
     pub cache_hits: u64,
 }
 
+impl IoStats {
+    /// Buffer-pool hit rate in `[0, 1]` (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pages_read + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 struct ReaderInner {
     cache: LruCache<u64, Box<[u8]>>,
-    stats: IoStats,
 }
 
 /// Random-access reader over the logical byte space with an LRU buffer
@@ -173,7 +185,6 @@ impl PagedReader {
             pages,
             inner: Mutex::new(ReaderInner {
                 cache: LruCache::new(cache_pages),
-                stats: IoStats::default(),
             }),
         })
     }
@@ -183,9 +194,24 @@ impl PagedReader {
         self.logical_len
     }
 
-    /// A snapshot of the I/O counters.
+    /// A snapshot of the I/O counters (derived from the buffer pool's
+    /// hit/miss counters — there is no second set of plumbing).
     pub fn io_stats(&self) -> IoStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        IoStats {
+            pages_read: inner.cache.misses(),
+            cache_hits: inner.cache.hits(),
+        }
+    }
+
+    /// Meters the buffer pool into `reg` under the given counter names
+    /// (e.g. `disk.page_cache.hits` / `disk.page_cache.misses`).
+    /// Multiple readers may share the same names; their counts sum.
+    pub fn meter_cache(&self, reg: &warptree_obs::MetricsRegistry, hits: &str, misses: &str) {
+        self.inner
+            .lock()
+            .cache
+            .set_counters(reg.counter(hits), reg.counter(misses));
     }
 
     /// Reads `buf.len()` bytes at `logical` into `buf`.
@@ -217,7 +243,6 @@ impl PagedReader {
         let mut inner = self.inner.lock();
         if let Some(page) = inner.cache.get(&page_idx) {
             f(page);
-            inner.stats.cache_hits += 1;
             return Ok(());
         }
         let mut raw = vec![0u8; PAGE_SIZE];
@@ -229,7 +254,6 @@ impl PagedReader {
         raw.truncate(PAGE_DATA);
         let page: Box<[u8]> = raw.into_boxed_slice();
         f(&page);
-        inner.stats.pages_read += 1;
         inner.cache.insert(page_idx, page);
         Ok(())
     }

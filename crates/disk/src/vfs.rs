@@ -19,6 +19,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use warptree_obs::{Counter, MetricsRegistry};
+
 /// An open file handle behind the [`Vfs`] abstraction.
 ///
 /// All access is positioned (`read_at`/`write_at`); sequential callers
@@ -344,6 +346,129 @@ impl Vfs for FaultVfs {
     }
 }
 
+/// The counters a [`MeteredVfs`] charges. Cloning shares the underlying
+/// cells, so the VFS and every file handle it opens report to the same
+/// registry entries.
+#[derive(Clone)]
+struct VfsCounters {
+    reads: Counter,
+    writes: Counter,
+    syncs: Counter,
+    read_bytes: Counter,
+    write_bytes: Counter,
+}
+
+/// A [`Vfs`] wrapper that meters every operation into a
+/// [`MetricsRegistry`] under the `disk.vfs.*` namespace:
+///
+/// | counter                | meaning                                   |
+/// |------------------------|-------------------------------------------|
+/// | `disk.vfs.reads`       | positioned reads issued                   |
+/// | `disk.vfs.writes`      | positioned writes issued                  |
+/// | `disk.vfs.syncs`       | file and directory fsyncs                 |
+/// | `disk.vfs.read_bytes`  | bytes requested by reads                  |
+/// | `disk.vfs.write_bytes` | bytes submitted by writes                 |
+///
+/// Counting happens before delegation, so a failing operation is still
+/// charged — the profile reflects I/O *attempted*, which is what a
+/// cost model cares about. With a no-op registry every counter is a
+/// no-op and the wrapper adds only the virtual-dispatch hop the `Vfs`
+/// trait already imposes.
+pub struct MeteredVfs {
+    inner: Arc<dyn Vfs>,
+    io: VfsCounters,
+}
+
+impl MeteredVfs {
+    /// Wraps `inner`, registering the `disk.vfs.*` counters on `reg`.
+    pub fn new(inner: Arc<dyn Vfs>, reg: &MetricsRegistry) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            io: VfsCounters {
+                reads: reg.counter("disk.vfs.reads"),
+                writes: reg.counter("disk.vfs.writes"),
+                syncs: reg.counter("disk.vfs.syncs"),
+                read_bytes: reg.counter("disk.vfs.read_bytes"),
+                write_bytes: reg.counter("disk.vfs.write_bytes"),
+            },
+        })
+    }
+}
+
+/// A file handle that charges reads/writes/syncs to shared counters.
+struct MeteredFile {
+    inner: Box<dyn VfsFile>,
+    io: VfsCounters,
+}
+
+impl VfsFile for MeteredFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.io.reads.incr();
+        self.io.read_bytes.add(buf.len() as u64);
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.io.writes.incr();
+        self.io.write_bytes.add(buf.len() as u64);
+        self.inner.write_at(offset, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.io.syncs.incr();
+        self.inner.sync()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+impl Vfs for MeteredVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(MeteredFile {
+            inner: self.inner.create(path)?,
+            io: self.io.clone(),
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(MeteredFile {
+            inner: self.inner.open(path)?,
+            io: self.io.clone(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.io.syncs.incr();
+        self.inner.sync_dir(dir)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.read_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn metadata_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.metadata_len(path)
+    }
+}
+
 /// Removes a set of scratch files when dropped, unless defused.
 ///
 /// Every multi-file operation (append, directory commit) arms one of
@@ -440,6 +565,41 @@ mod tests {
         assert!(vfs.rename(&path, &tmp("fault-crash2")).is_err());
         assert!(vfs.crashed());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metered_vfs_counts_io() {
+        let path = tmp("metered");
+        let reg = MetricsRegistry::new();
+        let vfs = MeteredVfs::new(real_vfs(), &reg);
+        let mut f = vfs.create(&path).unwrap();
+        f.write_at(0, b"hello").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let r = vfs.open(&path).unwrap();
+        let mut buf = [0u8; 5];
+        r.read_at(0, &mut buf).unwrap();
+        drop(r);
+        vfs.sync_dir(&std::env::temp_dir()).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["disk.vfs.writes"], 1);
+        assert_eq!(snap.counters["disk.vfs.write_bytes"], 5);
+        assert_eq!(snap.counters["disk.vfs.reads"], 1);
+        assert_eq!(snap.counters["disk.vfs.read_bytes"], 5);
+        assert_eq!(snap.counters["disk.vfs.syncs"], 2);
+        vfs.remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metered_vfs_noop_registry_is_silent() {
+        let path = tmp("metered-noop");
+        let reg = MetricsRegistry::noop();
+        let vfs = MeteredVfs::new(real_vfs(), &reg);
+        let mut f = vfs.create(&path).unwrap();
+        f.write_at(0, b"x").unwrap();
+        drop(f);
+        assert!(reg.snapshot().is_empty());
+        vfs.remove_file(&path).unwrap();
     }
 
     #[test]

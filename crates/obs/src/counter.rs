@@ -1,0 +1,125 @@
+//! Counters and gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying cell: all clones observe the same
+/// total. The no-op variant ([`Counter::noop`]) ignores every update at
+/// the cost of a single inlined branch.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A live counter, detached from any registry.
+    pub fn active() -> Self {
+        Counter(Some(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// A counter that ignores all updates.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Counter(Some(cell))
+    }
+
+    /// `true` when updates are recorded (not the no-op variant).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total (0 for the no-op variant).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge holding the last value written (an `f64` stored as bits).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A live gauge, detached from any registry. Initial value `0.0`.
+    pub fn active() -> Self {
+        Gauge(Some(Arc::new(AtomicU64::new(0f64.to_bits()))))
+    }
+
+    /// A gauge that ignores all updates.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Gauge(Some(cell))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The last value written (`0.0` for the no-op variant).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let c = Counter::active();
+        let c2 = c.clone();
+        c.incr();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.get(), 5);
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn noop_counter_ignores_updates() {
+        let c = Counter::noop();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_active());
+    }
+
+    #[test]
+    fn gauge_keeps_last_value() {
+        let g = Gauge::active();
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+        let noop = Gauge::noop();
+        noop.set(9.0);
+        assert_eq!(noop.get(), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # warptree-obs
+//!
+//! A zero-dependency observability layer for the warptree workspace:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (atomic, relaxed).
+//! * [`Gauge`] — last-written `f64` value.
+//! * [`Histogram`] — log₂-bucketed distribution of `u64` samples
+//!   (durations in nanoseconds, sizes in bytes) with quantile
+//!   estimation and merging.
+//! * [`Span`] — a scoped timing guard recording its elapsed wall time
+//!   into a histogram on drop.
+//! * [`MetricsRegistry`] — a named collection of the above, snapshotted
+//!   into a [`MetricsSnapshot`] renderable as text or JSON.
+//!
+//! ## The no-op mode
+//!
+//! Every handle is internally an `Option<Arc<…>>`. A handle obtained
+//! from [`MetricsRegistry::noop`] (or via [`Counter::noop`] etc.) holds
+//! `None`, so every operation is an inlined `is_some` check and nothing
+//! else — no atomics, no clock reads, no allocation. Instrumented code
+//! can therefore thread metrics unconditionally through hot paths; the
+//! caller decides per run whether measurement happens. The
+//! `obs_overhead` benchmark in `warptree-bench` holds this contract.
+//!
+//! The crate is deliberately `std`-only (no serde, no chrono): snapshots
+//! serialize through the hand-rolled [`json`] helpers.
+
+mod counter;
+mod hist;
+pub mod json;
+mod registry;
+
+pub use counter::{Counter, Gauge};
+pub use hist::{Histogram, HistogramSnapshot, Span};
+pub use registry::{MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,305 @@
+//! The named metrics registry and its snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::{HistInner, Histogram, HistogramSnapshot};
+use crate::json;
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistInner>),
+}
+
+/// A named collection of metrics shared across a process.
+///
+/// Cloning is cheap (an `Arc`); all clones address the same metrics.
+/// Handles returned for the same name share one cell, so independent
+/// subsystems can meter into a common counter by agreeing on its name.
+/// Names are conventionally dotted paths (`"disk.vfs.read_bytes"`,
+/// `"search.branches_pruned"`).
+///
+/// [`MetricsRegistry::noop`] yields a registry whose handles are all
+/// no-ops — instrumented code paths need no `if` around their metric
+/// updates.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Mutex<BTreeMap<String, Metric>>>>,
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+        }
+    }
+
+    /// A registry that registers nothing and hands out no-op handles.
+    pub fn noop() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// `true` when this registry records metrics.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let mut map = inner.lock().expect("metrics registry poisoned");
+        let metric = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Counter(cell) => Counter::from_cell(cell.clone()),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::noop();
+        };
+        let mut map = inner.lock().expect("metrics registry poisoned");
+        let metric = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+        match metric {
+            Metric::Gauge(cell) => Gauge::from_cell(cell.clone()),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::noop();
+        };
+        let mut map = inner.lock().expect("metrics registry poisoned");
+        let metric = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistInner::new())));
+        match metric {
+            Metric::Histogram(inner) => Histogram::from_inner(inner.clone()),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (registering it on first use).
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        if self.is_active() {
+            self.gauge(name).set(v);
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        let map = inner.lock().expect("metrics registry poisoned");
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(cell) => {
+                    snap.counters.insert(
+                        name.clone(),
+                        cell.load(std::sync::atomic::Ordering::Relaxed),
+                    );
+                }
+                Metric::Gauge(cell) => {
+                    snap.gauges.insert(
+                        name.clone(),
+                        f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed)),
+                    );
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// An owned, point-in-time copy of a [`MetricsRegistry`].
+///
+/// Renders as aligned text via [`fmt::Display`] and as JSON via
+/// [`MetricsSnapshot::to_json`]. The JSON shape is stable — CI
+/// validates it — and is:
+///
+/// ```json
+/// {
+///   "counters": { "name": 1, … },
+///   "gauges": { "name": 1.5, … },
+///   "histograms": {
+///     "name": { "count": 1, "sum": 1, "min": 1, "max": 1,
+///                "mean": 1.0, "p50": 1, "p90": 1, "p99": 1 }, …
+///   }
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json::escape(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json::escape(name), json::num(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json::escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json::num(h.mean()),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<width$}  {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "{name:<width$}  {v:.4}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name:<width$}  count={} sum={} min={} p50={} p90={} max={}",
+                h.count,
+                h.sum,
+                h.min,
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.max,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_handles_share_cells() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.total");
+        let b = reg.counter("x.total");
+        a.incr();
+        b.add(2);
+        assert_eq!(reg.snapshot().counters["x.total"], 3);
+    }
+
+    #[test]
+    fn noop_registry_hands_out_noop_handles() {
+        let reg = MetricsRegistry::noop();
+        let c = reg.counter("x");
+        let h = reg.histogram("y");
+        c.incr();
+        h.record(5);
+        reg.set_gauge("z", 1.0);
+        assert!(!c.is_active());
+        assert!(!h.is_active());
+        assert!(reg.snapshot().is_empty());
+        assert!(!reg.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_renders_text_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(7);
+        reg.set_gauge("b.rate", 0.5);
+        reg.histogram("c.ns").record(100);
+        let snap = reg.snapshot();
+        let text = snap.to_string();
+        assert!(text.contains("a.count"));
+        assert!(text.contains('7'));
+        let j = snap.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"a.count\":7"));
+        assert!(j.contains("\"b.rate\":0.5"));
+        assert!(j.contains("\"count\":1"));
+    }
+}

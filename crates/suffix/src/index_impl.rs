@@ -51,6 +51,13 @@ impl SuffixTreeIndex for SuffixTree {
     fn depth_limit(&self) -> Option<u32> {
         SuffixTree::depth_limit(self)
     }
+
+    fn suffix_count_below(&self, n: NodeId) -> Option<u64> {
+        // O(1): `finalize()` annotates every node with its subtree
+        // suffix count.
+        debug_assert!(self.is_finalized(), "finalize() must run before searching");
+        Some(self.node(n).suffix_count)
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,8 @@
 //! paper's index-size and `R_d` discussions, exposed for tooling
 //! (`warptree info --deep`) and experiments.
 
+use warptree_obs::MetricsRegistry;
+
 use crate::tree::{SuffixTree, ROOT};
 
 /// Aggregate structural facts about a tree.
@@ -80,6 +82,41 @@ impl TreeStats {
             },
         }
     }
+
+    /// Publishes the statistics as `tree.*` gauges on `reg` (no-op for
+    /// a no-op registry).
+    pub fn export(&self, reg: &MetricsRegistry) {
+        reg.set_gauge("tree.nodes", self.nodes as f64);
+        reg.set_gauge("tree.internal", self.internal as f64);
+        reg.set_gauge("tree.leaves", self.leaves as f64);
+        reg.set_gauge("tree.suffixes", self.suffixes as f64);
+        reg.set_gauge("tree.max_node_depth", self.max_node_depth as f64);
+        reg.set_gauge("tree.max_symbol_depth", self.max_symbol_depth as f64);
+        reg.set_gauge("tree.avg_branching", self.avg_branching);
+        reg.set_gauge("tree.label_symbols", self.label_symbols as f64);
+        reg.set_gauge("tree.mean_suffix_depth", self.mean_suffix_depth);
+    }
+
+    /// Serializes the statistics as one JSON object (stable key names,
+    /// matching the gauge names without the `tree.` prefix).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nodes\":{},\"internal\":{},\"leaves\":{},\"suffixes\":{},",
+                "\"max_node_depth\":{},\"max_symbol_depth\":{},\"avg_branching\":{},",
+                "\"label_symbols\":{},\"mean_suffix_depth\":{}}}"
+            ),
+            self.nodes,
+            self.internal,
+            self.leaves,
+            self.suffixes,
+            self.max_node_depth,
+            self.max_symbol_depth,
+            warptree_obs::json::num(self.avg_branching),
+            self.label_symbols,
+            warptree_obs::json::num(self.mean_suffix_depth),
+        )
+    }
 }
 
 impl std::fmt::Display for TreeStats {
@@ -149,6 +186,20 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("nodes:"));
         assert!(text.contains("avg branching"));
+    }
+
+    #[test]
+    fn export_and_json() {
+        let c = cat(vec![vec![0, 1, 0]], 2);
+        let s = TreeStats::compute(&build_full(c));
+        let reg = MetricsRegistry::new();
+        s.export(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["tree.suffixes"], s.suffixes as f64);
+        assert_eq!(snap.gauges["tree.nodes"], s.nodes as f64);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(&format!("\"suffixes\":{}", s.suffixes)));
     }
 
     #[test]

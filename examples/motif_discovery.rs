@@ -88,10 +88,10 @@ fn main() {
         .sum::<f64>()
         + 1e-9;
     let params = SearchParams::with_epsilon(eps).windowed(3);
-    let mut stats = SearchStats::default();
+    let metrics = SearchMetrics::new();
     let t0 = std::time::Instant::now();
-    let candidates = filter_tree(&tree, &alphabet, &query, &params, &mut stats);
-    let answers = postprocess(&store, &query, &candidates, &params, &mut stats);
+    let candidates = filter_tree(&tree, &alphabet, &query, &params, &metrics);
+    let answers = postprocess(&store, &query, &candidates, &params, &metrics);
     println!(
         "\nnear-occurrences of motif #1 (ε = {eps:.1}, window 3): {} \
          matches of lengths {}..{} in {:.2?}",

@@ -25,7 +25,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use warptree::prelude::*;
-use warptree::{build_index_dir, open_index_dir, resolve_index_dir};
+use warptree::{
+    build_index_dir, build_index_dir_metered, open_index_dir, open_index_dir_metered,
+    resolve_index_dir,
+};
 use warptree_data::{load_csv, save_csv};
 
 fn main() -> ExitCode {
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("search") => cmd_search(&args[1..], false),
         Some("knn") => cmd_search(&args[1..], true),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
         Some("forecast") => cmd_forecast(&args[1..]),
@@ -73,7 +77,7 @@ fn print_usage() {
          (crash-safe)\n\
          \u{20}          --input FILE --index-dir DIR\n\
          \u{20}  info    print index statistics\n\
-         \u{20}          --index-dir DIR [--deep]\n\
+         \u{20}          --index-dir DIR [--deep] [--json]\n\
          \u{20}  verify  check every page CRC and the commit manifest\n\
          \u{20}          DIR (or --index-dir DIR)\n\
          \u{20}  search  threshold search over a built index\n\
@@ -81,8 +85,15 @@ fn print_usage() {
          --epsilon E [--window W] [--limit N]\n\
          \u{20}  knn     k-nearest-neighbour search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,… --k K [--window W]\n\
+         \u{20}  explain report one search's filter funnel, table work \
+         and I/O profile\n\
+         \u{20}          --index-dir DIR --query v1,v2,… --epsilon E \
+         [--window W] [--json]\n\
          \u{20}  scan    index-free exact scan over a CSV\n\
          \u{20}          --input FILE --query v1,v2,… --epsilon E\n\
+         \u{20}\n\
+         \u{20}  build, search, knn and scan accept --stats[=json] to dump \
+         a metrics snapshot to stderr\n\
          \u{20}  mine    most frequent shape motifs (full index only)\n\
          \u{20}          --index-dir DIR [--len L] [--k K]\n\
          \u{20}  forecast  aggregate what followed similar histories\n\
@@ -104,6 +115,12 @@ impl Opts {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument {a:?}"));
             };
+            // `--flag=value` binds tighter than the next-token rule, so
+            // valueless flags like `--stats=json` stay unambiguous.
+            if let Some((name, value)) = name.split_once('=') {
+                pairs.push((name.to_string(), Some(value.to_string())));
+                continue;
+            }
             let value = match it.peek() {
                 Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
                 _ => None,
@@ -136,6 +153,36 @@ impl Opts {
                 .parse()
                 .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
+    }
+}
+
+/// Output format of a `--stats[=json]` metrics dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    Text,
+    Json,
+}
+
+/// Parses `--stats` / `--stats=json`; `None` when the flag is absent.
+fn stats_mode(o: &Opts) -> Result<Option<StatsFormat>, String> {
+    if !o.flag("stats") {
+        return Ok(None);
+    }
+    match o.get("stats") {
+        None => Ok(Some(StatsFormat::Text)),
+        Some("json") => Ok(Some(StatsFormat::Json)),
+        Some(other) => Err(format!(
+            "--stats: unknown format {other:?} (use --stats or --stats=json)"
+        )),
+    }
+}
+
+/// Dumps the registry snapshot to stderr (stdout stays machine-usable).
+fn emit_stats(fmt: StatsFormat, reg: &MetricsRegistry) {
+    let snap = reg.snapshot();
+    match fmt {
+        StatsFormat::Json => eprintln!("{}", snap.to_json()),
+        StatsFormat::Text => eprintln!("{snap}"),
     }
 }
 
@@ -217,8 +264,18 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         "kmeans" => Categorization::KMeans(categories),
         other => return Err(format!("unknown --method {other:?}")),
     };
+    let stats = stats_mode(&o)?;
     let t0 = std::time::Instant::now();
-    let bytes = build_index_dir(&store, cat, sparse, batch, &out_dir).map_err(|e| e.to_string())?;
+    let bytes = match stats {
+        None => build_index_dir(&store, cat, sparse, batch, &out_dir).map_err(|e| e.to_string())?,
+        Some(_) => {
+            let reg = MetricsRegistry::new();
+            let bytes = build_index_dir_metered(&store, cat, sparse, batch, &out_dir, &reg)
+                .map_err(|e| e.to_string())?;
+            emit_stats(stats.unwrap(), &reg);
+            bytes
+        }
+    };
     let (corpus_path, index_path) = resolve_index_dir(&out_dir).map_err(|e| e.to_string())?;
     println!(
         "built {} index over {} sequences: {} KiB in {:.2?}",
@@ -254,12 +311,23 @@ fn cmd_append(args: &[String]) -> Result<(), String> {
 
 fn open_index(dir: &Path) -> Result<DiskIndexDir, String> {
     let idx = open_index_dir(dir, 1024).map_err(|e| e.to_string())?;
+    report_recovery(&idx);
+    Ok(idx)
+}
+
+/// [`open_index`] with `disk.*` I/O metering on `reg`.
+fn open_index_metered(dir: &Path, reg: &MetricsRegistry) -> Result<DiskIndexDir, String> {
+    let idx = open_index_dir_metered(dir, 1024, reg).map_err(|e| e.to_string())?;
+    report_recovery(&idx);
+    Ok(idx)
+}
+
+fn report_recovery(idx: &DiskIndexDir) {
     if !idx.recovery.is_clean() {
         for line in idx.recovery.to_string().lines() {
             eprintln!("recovery: {line}");
         }
     }
-    Ok(idx)
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
@@ -287,9 +355,98 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args)?;
     let dir = PathBuf::from(o.require("index-dir")?);
+    let json = o.flag("json");
     let idx = open_index(&dir)?;
     let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
     let h = tree.header();
+    let (_, index_path) = resolve_index_dir(&dir).map_err(|e| e.to_string())?;
+    let file_bytes = std::fs::metadata(&index_path)
+        .map_err(|e| e.to_string())?
+        .len();
+    let manifest = warptree_disk::resolve_dir_with(&warptree_disk::RealVfs, &dir)
+        .map_err(|e| e.to_string())?
+        .manifest;
+    // `--deep` materializes the tree for structural statistics; the
+    // pager/cache traffic of that full scan doubles as a cache profile.
+    let deep = if o.flag("deep") {
+        let mem = tree.to_mem().map_err(|e| e.to_string())?;
+        let structure = warptree_suffix::TreeStats::compute(&mem);
+        let io = tree.io_stats();
+        let node_cache = tree.node_cache_stats();
+        Some((structure, io, node_cache))
+    } else {
+        None
+    };
+
+    if json {
+        use warptree::obs::json::{escape, num};
+        let value_range = match store.value_range() {
+            Some((lo, hi)) => format!("[{},{}]", num(lo), num(hi)),
+            None => "null".into(),
+        };
+        let manifest_json = match &manifest {
+            None => "null".into(),
+            Some(m) => format!(
+                concat!(
+                    "{{\"generation\":{},\"corpus\":\"{}\",\"index\":\"{}\",",
+                    "\"corpus_bytes\":{},\"index_bytes\":{}}}"
+                ),
+                m.generation,
+                escape(&m.corpus),
+                escape(&m.index),
+                m.corpus_len,
+                m.index_len,
+            ),
+        };
+        let (structure_json, cache_json) = match &deep {
+            None => ("null".into(), "null".into()),
+            Some((structure, io, (nh, nm))) => (
+                structure.to_json(),
+                format!(
+                    concat!(
+                        "{{\"pages_read\":{},\"page_cache_hits\":{},",
+                        "\"page_hit_rate\":{},\"node_cache_hits\":{},",
+                        "\"node_cache_misses\":{}}}"
+                    ),
+                    io.pages_read,
+                    io.cache_hits,
+                    num(io.hit_rate()),
+                    nh,
+                    nm,
+                ),
+            ),
+        };
+        println!(
+            concat!(
+                "{{\"corpus\":{{\"sequences\":{},\"elements\":{},",
+                "\"mean_len\":{},\"value_range\":{}}},",
+                "\"categorization\":{{\"method\":\"{}\",\"categories\":{}}},",
+                "\"index\":{{\"kind\":\"{}\",\"nodes\":{},\"suffixes\":{},",
+                "\"depth_limit\":{},\"file_bytes\":{},\"generation\":{}}},",
+                "\"manifest\":{},\"structure\":{},\"cache\":{}}}"
+            ),
+            store.len(),
+            store.total_len(),
+            num(store.mean_len()),
+            value_range,
+            escape(&alphabet.method().to_string()),
+            alphabet.len(),
+            if h.sparse { "sparse" } else { "full" },
+            h.node_count,
+            h.suffix_count,
+            match h.depth_limit {
+                Some(d) => d.to_string(),
+                None => "null".into(),
+            },
+            file_bytes,
+            idx.generation,
+            manifest_json,
+            structure_json,
+            cache_json,
+        );
+        return Ok(());
+    }
+
     println!("corpus:");
     println!("  sequences:      {}", store.len());
     println!("  elements:       {}", store.total_len());
@@ -319,20 +476,32 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         Some(d) => println!("  depth limit:    {d} (truncated, §8)"),
         None => println!("  depth limit:    none"),
     }
-    let (_, index_path) = resolve_index_dir(&dir).map_err(|e| e.to_string())?;
-    let meta = std::fs::metadata(&index_path).map_err(|e| e.to_string())?;
-    println!("  file size:      {} KiB", meta.len() / 1024);
+    println!("  file size:      {} KiB", file_bytes / 1024);
     println!("  generation:     {}", idx.generation);
-    if o.flag("deep") {
-        // Materialize the tree and compute structural statistics.
-        let mem = tree.to_mem().map_err(|e| e.to_string())?;
+    if let Some(m) = &manifest {
+        println!("manifest:");
+        println!(
+            "  corpus:         {} ({} KiB)",
+            m.corpus,
+            m.corpus_len / 1024
+        );
+        println!("  index:          {} ({} KiB)", m.index, m.index_len / 1024);
+    } else {
+        println!("manifest:         none (legacy generation-0 directory)");
+    }
+    if let Some((structure, io, (nh, nm))) = &deep {
         println!("structure:");
-        for line in warptree_suffix::TreeStats::compute(&mem)
-            .to_string()
-            .lines()
-        {
+        for line in structure.to_string().lines() {
             println!("  {line}");
         }
+        println!("cache (full-scan profile):");
+        println!(
+            "  pages read:     {} ({} pool hits, {:.1}% hit rate)",
+            io.pages_read,
+            io.cache_hits,
+            100.0 * io.hit_rate()
+        );
+        println!("  node cache:     {nh} hits / {nm} misses");
     }
     Ok(())
 }
@@ -341,24 +510,34 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
     let o = Opts::parse(args)?;
     let dir = PathBuf::from(o.require("index-dir")?);
     let query = resolve_query(&o)?;
-    let idx = open_index(&dir)?;
+    let stats_fmt = stats_mode(&o)?;
+    let reg = MetricsRegistry::new();
+    let idx = match stats_fmt {
+        Some(_) => open_index_metered(&dir, &reg)?,
+        None => open_index(&dir)?,
+    };
     let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
     let window: Option<u32> = match o.get("window") {
         Some(w) => Some(w.parse().map_err(|_| "--window: bad value".to_string())?),
         None => None,
+    };
+    let metrics = match stats_fmt {
+        Some(_) => SearchMetrics::register(&reg),
+        None => SearchMetrics::new(),
     };
     let t0 = std::time::Instant::now();
     if knn {
         let k: usize = o.parse_num("k", 5)?;
         let mut params = warptree::core::search::KnnParams::new(k);
         params.window = window;
-        let (matches, stats) =
-            warptree::core::search::knn_search(tree, alphabet, store, &query, &params);
+        let matches = warptree::core::search::knn_search_with(
+            tree, alphabet, store, &query, &params, &metrics,
+        );
         println!(
             "{} nearest subsequences in {:.2?} ({} nodes visited):",
             matches.len(),
             t0.elapsed(),
-            stats.nodes_visited
+            metrics.snapshot().nodes_visited
         );
         for m in matches {
             println!(
@@ -376,7 +555,8 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         let limit: usize = o.parse_num("limit", 20)?;
         let mut params = SearchParams::with_epsilon(epsilon);
         params.window = window;
-        let (answers, stats) = sim_search(tree, alphabet, store, &query, &params);
+        let answers = sim_search_with(tree, alphabet, store, &query, &params, &metrics);
+        let stats = metrics.snapshot();
         println!(
             "{} answers within ε = {epsilon} in {:.2?} ({} candidates \
              verified, {} false alarms)",
@@ -396,6 +576,31 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         if answers.len() > limit {
             println!("  … ({} more; raise --limit)", answers.len() - limit);
         }
+    }
+    if let Some(fmt) = stats_fmt {
+        emit_stats(fmt, &reg);
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let dir = PathBuf::from(o.require("index-dir")?);
+    let query = resolve_query(&o)?;
+    let epsilon: f64 = o
+        .require("epsilon")?
+        .parse()
+        .map_err(|_| "--epsilon: bad value".to_string())?;
+    let mut params = SearchParams::with_epsilon(epsilon);
+    if let Some(w) = o.get("window") {
+        params.window = Some(w.parse().map_err(|_| "--window: bad value".to_string())?);
+    }
+    let idx = open_index(&dir)?;
+    let (_, report) = idx.explain(&query, &params).map_err(|e| e.to_string())?;
+    if o.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
     }
     Ok(())
 }
@@ -498,6 +703,7 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "--epsilon: bad value".to_string())?;
     let store = load_csv(&input).map_err(|e| e.to_string())?;
+    let stats_fmt = stats_mode(&o)?;
     let params = SearchParams::with_epsilon(epsilon);
     let mut stats = SearchStats::default();
     let t0 = std::time::Instant::now();
@@ -517,6 +723,13 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     );
     for m in answers.top_k(20) {
         println!("  {}  dist {:.4}", m.occ, m.dist);
+    }
+    if let Some(fmt) = stats_fmt {
+        // The scan reports through the plain snapshot; bridge it into a
+        // registry so the dump has the same shape as the indexed paths.
+        let reg = MetricsRegistry::new();
+        SearchMetrics::register(&reg).record(&stats);
+        emit_stats(fmt, &reg);
     }
     Ok(())
 }

@@ -1,0 +1,403 @@
+//! Search EXPLAIN reports: one metered query run, rendered as the
+//! paper's filter-and-refine funnel.
+//!
+//! A report answers "where did the work go?" for a single similarity
+//! search: how many stored suffixes the index holds, how much of the
+//! tree the filter walked vs pruned under Theorem 1, how many candidates
+//! each lower bound admitted (`D_tw-lb` for stored suffixes, `D_tw-lb2`
+//! for the non-stored ones of a sparse tree), how many survived exact
+//! post-processing, and — for disk-resident indexes — what the query
+//! cost in page and node-cache traffic.
+
+use warptree_core::error::CoreError;
+use warptree_core::search::{
+    sim_search_checked_with, AnswerSet, SearchMetrics, SearchParams, SearchStats,
+};
+use warptree_core::sequence::Value;
+use warptree_obs::json::num;
+use warptree_obs::HistogramSnapshot;
+
+use crate::{DiskIndexDir, Index};
+
+/// Cache/page traffic attributable to one explained search (deltas over
+/// the run, not totals since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplainIo {
+    /// Pages fetched from the file (page-cache misses).
+    pub pages_read: u64,
+    /// Page requests served from the buffer pool.
+    pub page_cache_hits: u64,
+    /// Decoded-node cache hits.
+    pub node_cache_hits: u64,
+    /// Decoded-node cache misses (records decoded from pages).
+    pub node_cache_misses: u64,
+}
+
+impl ExplainIo {
+    /// Page-cache hit rate in `[0, 1]`.
+    pub fn page_hit_rate(&self) -> f64 {
+        let total = self.pages_read + self.page_cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.page_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The full account of one similarity search: funnel counters, table
+/// work, phase wall times, and (for disk indexes) I/O traffic.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// `"sparse"` (SST_C) or `"full"` (ST_C / ST).
+    pub kind: &'static str,
+    /// Query length in elements.
+    pub query_len: usize,
+    /// Search threshold ε.
+    pub epsilon: f64,
+    /// Stored suffixes in the index — the funnel's entry width.
+    pub suffixes: u64,
+    /// All search counters of the run.
+    pub stats: SearchStats,
+    /// Filter-phase wall time (one sample).
+    pub filter: HistogramSnapshot,
+    /// Post-processing wall time (one sample).
+    pub postprocess: HistogramSnapshot,
+    /// Cache/page traffic of the run (disk indexes only).
+    pub io: Option<ExplainIo>,
+}
+
+impl ExplainReport {
+    /// Runs a checked search against an in-memory [`Index`] and explains
+    /// it.
+    pub fn for_index(
+        index: &Index,
+        query: &[Value],
+        params: &SearchParams,
+    ) -> Result<(AnswerSet, ExplainReport), CoreError> {
+        let metrics = SearchMetrics::new();
+        let answers = sim_search_checked_with(
+            index.tree(),
+            index.alphabet(),
+            index.store(),
+            query,
+            params,
+            &metrics,
+        )?;
+        let report = Self::assemble(
+            index.tree().is_sparse(),
+            query.len(),
+            params.epsilon,
+            warptree_core::search::SuffixTreeIndex::suffix_count(index.tree()),
+            &metrics,
+            None,
+        );
+        Ok((answers, report))
+    }
+
+    /// Runs a checked search against a disk-backed index directory and
+    /// explains it, including the query's cache/page traffic.
+    pub fn for_dir(
+        dir: &DiskIndexDir,
+        query: &[Value],
+        params: &SearchParams,
+    ) -> Result<(AnswerSet, ExplainReport), CoreError> {
+        let io0 = dir.tree.io_stats();
+        let nc0 = dir.tree.node_cache_stats();
+        let metrics = SearchMetrics::new();
+        let answers = sim_search_checked_with(
+            &dir.tree,
+            &dir.alphabet,
+            &dir.store,
+            query,
+            params,
+            &metrics,
+        )?;
+        let io1 = dir.tree.io_stats();
+        let nc1 = dir.tree.node_cache_stats();
+        let io = ExplainIo {
+            pages_read: io1.pages_read - io0.pages_read,
+            page_cache_hits: io1.cache_hits - io0.cache_hits,
+            node_cache_hits: nc1.0 - nc0.0,
+            node_cache_misses: nc1.1 - nc0.1,
+        };
+        let header = dir.tree.header();
+        let report = Self::assemble(
+            header.sparse,
+            query.len(),
+            params.epsilon,
+            header.suffix_count,
+            &metrics,
+            Some(io),
+        );
+        Ok((answers, report))
+    }
+
+    fn assemble(
+        sparse: bool,
+        query_len: usize,
+        epsilon: f64,
+        suffixes: u64,
+        metrics: &SearchMetrics,
+        io: Option<ExplainIo>,
+    ) -> ExplainReport {
+        ExplainReport {
+            kind: if sparse { "sparse" } else { "full" },
+            query_len,
+            epsilon,
+            suffixes,
+            stats: metrics.snapshot(),
+            filter: metrics.filter_ns.snapshot(),
+            postprocess: metrics.postprocess_ns.snapshot(),
+            io,
+        }
+    }
+
+    /// Fraction of verified candidates that failed exact DTW —
+    /// the paper's false-alarm rate.
+    pub fn false_alarm_ratio(&self) -> f64 {
+        if self.stats.postprocessed == 0 {
+            0.0
+        } else {
+            self.stats.false_alarms as f64 / self.stats.postprocessed as f64
+        }
+    }
+
+    /// Fraction of visited tree nodes whose subtrees Theorem 1 cut off.
+    pub fn prune_ratio(&self) -> f64 {
+        if self.stats.nodes_visited == 0 {
+            0.0
+        } else {
+            self.stats.branches_pruned as f64 / self.stats.nodes_visited as f64
+        }
+    }
+
+    /// Candidate lists emitted per stored suffix — the filter's
+    /// selectivity against the index size.
+    pub fn candidate_ratio(&self) -> f64 {
+        if self.suffixes == 0 {
+            0.0
+        } else {
+            self.stats.candidates as f64 / self.suffixes as f64
+        }
+    }
+
+    /// Table rows an unshared (per-suffix) evaluation would have
+    /// computed per row actually pushed — the paper's `R_d` sharing
+    /// factor. `1.0` when the index cannot report subtree weights.
+    pub fn sharing_factor(&self) -> f64 {
+        if self.stats.rows_pushed == 0 || self.stats.rows_unshared == 0 {
+            1.0
+        } else {
+            self.stats.rows_unshared as f64 / self.stats.rows_pushed as f64
+        }
+    }
+
+    /// Serializes the report as one JSON object (stable keys; `io` is
+    /// `null` for in-memory indexes).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let io = match &self.io {
+            None => "null".to_string(),
+            Some(io) => format!(
+                concat!(
+                    "{{\"pages_read\":{},\"page_cache_hits\":{},",
+                    "\"page_hit_rate\":{},\"node_cache_hits\":{},",
+                    "\"node_cache_misses\":{}}}"
+                ),
+                io.pages_read,
+                io.page_cache_hits,
+                num(io.page_hit_rate()),
+                io.node_cache_hits,
+                io.node_cache_misses,
+            ),
+        };
+        format!(
+            concat!(
+                "{{\"kind\":\"{}\",\"query_len\":{},\"epsilon\":{},",
+                "\"funnel\":{{\"suffixes\":{},\"nodes_visited\":{},",
+                "\"nodes_expanded\":{},\"branches_pruned\":{},",
+                "\"stored_candidates\":{},\"lb2_candidates\":{},",
+                "\"candidates\":{},\"postprocessed\":{},",
+                "\"false_alarms\":{},\"answers\":{}}},",
+                "\"ratios\":{{\"false_alarm\":{},\"pruned\":{},",
+                "\"candidate\":{},\"sharing\":{}}},",
+                "\"cells\":{{\"filter\":{},\"postprocess\":{},",
+                "\"rows_pushed\":{},\"rows_unshared\":{}}},",
+                "\"time_ms\":{{\"filter\":{},\"postprocess\":{}}},",
+                "\"io\":{}}}"
+            ),
+            self.kind,
+            self.query_len,
+            num(self.epsilon),
+            self.suffixes,
+            s.nodes_visited,
+            s.nodes_expanded,
+            s.branches_pruned,
+            s.stored_candidates,
+            s.lb2_candidates,
+            s.candidates,
+            s.postprocessed,
+            s.false_alarms,
+            s.answers,
+            num(self.false_alarm_ratio()),
+            num(self.prune_ratio()),
+            num(self.candidate_ratio()),
+            num(self.sharing_factor()),
+            s.filter_cells,
+            s.postprocess_cells,
+            s.rows_pushed,
+            s.rows_unshared,
+            num(self.filter.sum as f64 / 1e6),
+            num(self.postprocess.sum as f64 / 1e6),
+            io,
+        )
+    }
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = &self.stats;
+        writeln!(f, "query:  {} values, ε = {}", self.query_len, self.epsilon)?;
+        writeln!(
+            f,
+            "index:  {} tree, {} stored suffixes",
+            self.kind, self.suffixes
+        )?;
+        writeln!(f, "filter funnel:")?;
+        writeln!(
+            f,
+            "  nodes visited     {:>10}  ({} expanded, {} subtrees pruned, {:.1}%)",
+            s.nodes_visited,
+            s.nodes_expanded,
+            s.branches_pruned,
+            100.0 * self.prune_ratio()
+        )?;
+        writeln!(
+            f,
+            "  candidate lists   {:>10}  ({} stored-suffix, {} via D_tw-lb2)",
+            s.candidates, s.stored_candidates, s.lb2_candidates
+        )?;
+        writeln!(f, "  exact DTW checks  {:>10}", s.postprocessed)?;
+        writeln!(
+            f,
+            "  answers           {:>10}  ({} false alarms, {:.1}% rate)",
+            s.answers,
+            s.false_alarms,
+            100.0 * self.false_alarm_ratio()
+        )?;
+        writeln!(f, "tables:")?;
+        writeln!(f, "  filter cells      {:>10}", s.filter_cells)?;
+        if s.rows_unshared > 0 {
+            writeln!(
+                f,
+                "  rows pushed       {:>10}  (vs {} unshared — R_d sharing ×{:.2})",
+                s.rows_pushed,
+                s.rows_unshared,
+                self.sharing_factor()
+            )?;
+        } else {
+            writeln!(f, "  rows pushed       {:>10}", s.rows_pushed)?;
+        }
+        writeln!(f, "  postprocess cells {:>10}", s.postprocess_cells)?;
+        writeln!(f, "time:")?;
+        writeln!(
+            f,
+            "  filter       {:>10.3} ms",
+            self.filter.sum as f64 / 1e6
+        )?;
+        write!(
+            f,
+            "  postprocess  {:>10.3} ms",
+            self.postprocess.sum as f64 / 1e6
+        )?;
+        if let Some(io) = &self.io {
+            writeln!(f)?;
+            writeln!(f, "io:")?;
+            writeln!(
+                f,
+                "  pages read {}, page-cache hits {} ({:.1}% hit rate)",
+                io.pages_read,
+                io.page_cache_hits,
+                100.0 * io.page_hit_rate()
+            )?;
+            write!(
+                f,
+                "  node-cache hits {}, misses {}",
+                io.node_cache_hits, io.node_cache_misses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::Categorization;
+
+    fn sample_store() -> SequenceStore {
+        stock_corpus(&StockConfig {
+            sequences: 12,
+            mean_len: 40,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn report_matches_checked_search() {
+        let store = sample_store();
+        let index = Index::sparse(&store, Categorization::MaxEntropy(8)).unwrap();
+        let q = store.get(SeqId(2)).subseq(4, 8).to_vec();
+        let params = SearchParams::with_epsilon(2.0);
+        let (answers, report) = ExplainReport::for_index(&index, &q, &params).unwrap();
+        let (checked, stats) =
+            sim_search_checked(index.tree(), index.alphabet(), index.store(), &q, &params).unwrap();
+        assert_eq!(answers.occurrence_set(), checked.occurrence_set());
+        assert_eq!(report.stats, stats);
+        assert_eq!(report.kind, "sparse");
+        assert!(report.io.is_none());
+        assert_eq!(report.filter.count, 1);
+        assert_eq!(report.postprocess.count, 1);
+    }
+
+    #[test]
+    fn funnel_invariants_hold() {
+        let store = sample_store();
+        for sparse in [false, true] {
+            let index = if sparse {
+                Index::sparse(&store, Categorization::MaxEntropy(8)).unwrap()
+            } else {
+                Index::full(&store, Categorization::MaxEntropy(8)).unwrap()
+            };
+            let q = store.get(SeqId(0)).subseq(2, 6).to_vec();
+            let params = SearchParams::with_epsilon(3.0);
+            let (_, r) = ExplainReport::for_index(&index, &q, &params).unwrap();
+            let s = &r.stats;
+            assert_eq!(s.nodes_visited, s.nodes_expanded + s.branches_pruned);
+            assert_eq!(s.candidates, s.stored_candidates + s.lb2_candidates);
+            assert_eq!(s.postprocessed, s.answers + s.false_alarms);
+            assert!(s.rows_unshared >= s.rows_pushed);
+            if !sparse {
+                assert_eq!(s.lb2_candidates, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let store = sample_store();
+        let index = Index::full(&store, Categorization::EqualLength(6)).unwrap();
+        let q = store.get(SeqId(1)).subseq(0, 5).to_vec();
+        let (_, r) =
+            ExplainReport::for_index(&index, &q, &SearchParams::with_epsilon(1.0)).unwrap();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"funnel\""));
+        assert!(j.contains("\"io\":null"));
+        let text = r.to_string();
+        assert!(text.contains("filter funnel"));
+        assert!(text.contains("exact DTW checks"));
+    }
+}

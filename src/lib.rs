@@ -61,17 +61,23 @@
 pub use warptree_core as core;
 pub use warptree_data as data;
 pub use warptree_disk as disk;
+pub use warptree_obs as obs;
 pub use warptree_suffix as suffix;
+
+mod explain;
+
+pub use explain::{ExplainIo, ExplainReport};
 
 use std::sync::Arc;
 
 use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::error::CoreError;
 use warptree_core::search::{
-    knn_search, seq_scan, sim_search, AnswerSet, KnnParams, Match, SearchParams, SearchStats,
-    SeqScanMode,
+    knn_search, knn_search_with, seq_scan, sim_search, sim_search_with, AnswerSet, KnnParams,
+    Match, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
 };
 use warptree_core::sequence::{SequenceStore, Value};
+use warptree_obs::MetricsRegistry;
 use warptree_suffix::SuffixTree;
 
 /// How element values are discretized (paper §5.1).
@@ -147,6 +153,25 @@ impl Index {
     /// every subsequence with `D_tw(query, ·) ≤ params.epsilon`.
     pub fn search(&self, query: &[Value], params: &SearchParams) -> (AnswerSet, SearchStats) {
         sim_search(&self.tree, &self.alphabet, &self.store, query, params)
+    }
+
+    /// [`search`](Self::search) accumulating counters and phase timings
+    /// into caller-owned [`SearchMetrics`] (e.g. registered on a
+    /// [`MetricsRegistry`] shared across many queries).
+    pub fn search_with(
+        &self,
+        query: &[Value],
+        params: &SearchParams,
+        metrics: &SearchMetrics,
+    ) -> AnswerSet {
+        sim_search_with(
+            &self.tree,
+            &self.alphabet,
+            &self.store,
+            query,
+            params,
+            metrics,
+        )
     }
 
     /// Finds the `k` nearest subsequences to `query` (exact, via ε
@@ -273,9 +298,55 @@ impl DiskIndexDir {
         sim_search(&self.tree, &self.alphabet, &self.store, query, params)
     }
 
+    /// [`search`](Self::search) accumulating counters and phase timings
+    /// into caller-owned [`SearchMetrics`].
+    pub fn search_with(
+        &self,
+        query: &[Value],
+        params: &SearchParams,
+        metrics: &SearchMetrics,
+    ) -> AnswerSet {
+        sim_search_with(
+            &self.tree,
+            &self.alphabet,
+            &self.store,
+            query,
+            params,
+            metrics,
+        )
+    }
+
     /// Finds the `k` nearest subsequences.
     pub fn knn(&self, query: &[Value], params: &KnnParams) -> (Vec<Match>, SearchStats) {
         knn_search(&self.tree, &self.alphabet, &self.store, query, params)
+    }
+
+    /// [`knn`](Self::knn) accumulating counters into caller-owned
+    /// [`SearchMetrics`].
+    pub fn knn_with(
+        &self,
+        query: &[Value],
+        params: &KnnParams,
+        metrics: &SearchMetrics,
+    ) -> Vec<Match> {
+        knn_search_with(
+            &self.tree,
+            &self.alphabet,
+            &self.store,
+            query,
+            params,
+            metrics,
+        )
+    }
+
+    /// Explains one search: runs it and reports the filter funnel,
+    /// table work, timings, and this query's cache/page traffic.
+    pub fn explain(
+        &self,
+        query: &[Value],
+        params: &SearchParams,
+    ) -> Result<(AnswerSet, ExplainReport), CoreError> {
+        ExplainReport::for_dir(self, query, params)
     }
 }
 
@@ -327,6 +398,30 @@ pub fn build_index_dir(
     Ok(manifest.index_len)
 }
 
+/// [`build_index_dir`] with full build observability: all file I/O is
+/// metered as `disk.vfs.*` counters and the incremental builder
+/// publishes its `build.*` counters and timing histograms, all on
+/// `reg`. Pass a no-op registry to get [`build_index_dir`] behavior.
+pub fn build_index_dir_metered(
+    store: &SequenceStore,
+    cat: Categorization,
+    sparse: bool,
+    batch: usize,
+    dir: &std::path::Path,
+    reg: &MetricsRegistry,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let alphabet = cat.alphabet(store)?;
+    let kind = if sparse {
+        warptree_disk::TreeKind::Sparse
+    } else {
+        warptree_disk::TreeKind::Full
+    };
+    let vfs = warptree_disk::MeteredVfs::new(warptree_disk::real_vfs(), reg);
+    let manifest =
+        warptree_disk::build_dir_metered(vfs, store, &alphabet, kind, batch, 1, None, dir, reg)?;
+    Ok(manifest.index_len)
+}
+
 /// Opens an index directory produced by [`build_index_dir`].
 /// `cache_pages` sizes the tree's buffer pool.
 ///
@@ -358,10 +453,43 @@ pub fn open_index_dir(
     })
 }
 
+/// [`open_index_dir`] with I/O tracing: every filesystem operation is
+/// metered as `disk.vfs.*` counters, and the tree's page and node
+/// caches report as `disk.page_cache.*` / `disk.node_cache.*` — all
+/// on `reg`, which outlives the returned index and can be snapshot at
+/// any point.
+pub fn open_index_dir_metered(
+    dir: &std::path::Path,
+    cache_pages: usize,
+    reg: &MetricsRegistry,
+) -> Result<DiskIndexDir, Box<dyn std::error::Error>> {
+    let vfs = warptree_disk::MeteredVfs::new(warptree_disk::real_vfs(), reg);
+    let (resolved, recovery) = warptree_disk::recover_dir_with(vfs.as_ref(), dir)?;
+    let (store, alphabet, cat) =
+        warptree_disk::load_corpus_with(vfs.as_ref(), &resolved.corpus_path)?;
+    let tree = warptree_disk::DiskTree::open_with(
+        vfs.as_ref(),
+        &resolved.index_path,
+        cat.clone(),
+        cache_pages,
+        cache_pages * 8,
+    )?;
+    tree.instrument(reg);
+    Ok(DiskIndexDir {
+        store,
+        alphabet,
+        cat,
+        tree,
+        generation: resolved.generation,
+        recovery,
+    })
+}
+
 /// Re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::{
-        build_index_dir, open_index_dir, resolve_index_dir, Categorization, DiskIndexDir, Index,
+        build_index_dir, build_index_dir_metered, open_index_dir, open_index_dir_metered,
+        resolve_index_dir, Categorization, DiskIndexDir, ExplainIo, ExplainReport, Index,
     };
     pub use warptree_core::cluster::{cluster_matches, Cluster};
     pub use warptree_core::predict::{forecast, Forecast, Weighting};
@@ -370,6 +498,7 @@ pub mod prelude {
         artificial_corpus, stock_corpus, ArtificialConfig, QueryConfig, QueryWorkload, StockConfig,
     };
     pub use warptree_disk::{DiskTree, IncrementalBuilder, TreeKind};
+    pub use warptree_obs::{MetricsRegistry, MetricsSnapshot};
     pub use warptree_suffix::{build_full, build_sparse, SuffixTree};
 }
 

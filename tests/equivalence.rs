@@ -146,14 +146,14 @@ proptest! {
         let eps = 2.0;
         let store = SequenceStore::from_values(db);
         let idx = Index::sparse(&store, Categorization::EqualLength(2)).unwrap();
-        let mut stats = SearchStats::default();
+        let metrics = SearchMetrics::new();
         let params = SearchParams::with_epsilon(eps);
         let cands = filter_tree(
             idx.tree(),
             idx.alphabet(),
             &q,
             &params,
-            &mut stats,
+            &metrics,
         );
         for c in &cands {
             let sub = store.occurrence_values(c.occ);

@@ -1,0 +1,158 @@
+//! Integration contract of the observability layer: the `sim_search`
+//! counters obey their accounting identities on *disk-backed* indexes
+//! (full and sparse), are bit-identical across identical runs, agree
+//! with the `EXPLAIN` report, and surface under their registry names
+//! next to the I/O trace.
+
+use warptree::prelude::*;
+
+fn corpus() -> SequenceStore {
+    stock_corpus(&StockConfig {
+        sequences: 30,
+        mean_len: 60,
+        seed: 0xBEEF,
+        ..Default::default()
+    })
+}
+
+fn query(store: &SequenceStore) -> Vec<f64> {
+    QueryWorkload::draw(
+        store,
+        &QueryConfig {
+            count: 1,
+            mean_len: 8,
+            len_jitter: 0,
+            noise_std: 0.5,
+            ..Default::default()
+        },
+    )
+    .queries()[0]
+        .values
+        .clone()
+}
+
+fn dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("warptree-minv-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// The filter-funnel identities hold on both on-disk tree kinds.
+#[test]
+fn funnel_invariants_on_disk_dirs() {
+    let store = corpus();
+    let q = query(&store);
+    let params = SearchParams::with_epsilon(6.0);
+    for sparse in [false, true] {
+        let d = dir(if sparse { "sp" } else { "full" });
+        build_index_dir(&store, Categorization::MaxEntropy(12), sparse, 8, &d).unwrap();
+        let idx = open_index_dir(&d, 32).unwrap();
+        let metrics = SearchMetrics::new();
+        let answers = idx.search_with(&q, &params, &metrics);
+        let s = metrics.snapshot();
+
+        // Every visited node is either expanded or pruned (Theorem 1).
+        assert_eq!(s.nodes_visited, s.nodes_expanded + s.branches_pruned);
+        // Candidates come from exactly two generators (Definitions 3/4),
+        // and only the sparse tree uses the second.
+        assert_eq!(s.candidates, s.stored_candidates + s.lb2_candidates);
+        if !sparse {
+            assert_eq!(s.lb2_candidates, 0, "full tree has no non-stored suffixes");
+        } else {
+            assert!(s.lb2_candidates > 0, "sparse tree must infer suffixes");
+        }
+        // No false dismissals: the filter emits at least every answer.
+        assert!(s.candidates >= s.answers);
+        assert_eq!(s.answers, answers.len() as u64);
+        assert_eq!(s.postprocessed, s.answers + s.false_alarms);
+        // Table sharing only saves work (R_d >= 1).
+        assert!(
+            s.rows_unshared >= s.rows_pushed,
+            "sharing cannot push more rows than per-suffix scans: {} < {}",
+            s.rows_unshared,
+            s.rows_pushed
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
+/// Two identical runs produce identical counter snapshots — the stats
+/// are functions of (index, query, params), never of timing.
+#[test]
+fn counters_identical_across_identical_runs() {
+    let store = corpus();
+    let q = query(&store);
+    let params = SearchParams::with_epsilon(6.0);
+    let d = dir("det");
+    build_index_dir(&store, Categorization::MaxEntropy(12), true, 8, &d).unwrap();
+    let idx = open_index_dir(&d, 32).unwrap();
+    let (m1, m2) = (SearchMetrics::new(), SearchMetrics::new());
+    let a1 = idx.search_with(&q, &params, &m1);
+    let a2 = idx.search_with(&q, &params, &m2);
+    assert_eq!(a1.occurrence_set(), a2.occurrence_set());
+    assert_eq!(m1.snapshot(), m2.snapshot());
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// The EXPLAIN report carries exactly the stats of the checked search
+/// it ran, and its I/O profile is present on disk indexes.
+#[test]
+fn explain_report_agrees_with_checked_search() {
+    let store = corpus();
+    let q = query(&store);
+    let params = SearchParams::with_epsilon(6.0);
+    let d = dir("explain");
+    build_index_dir(&store, Categorization::MaxEntropy(12), true, 8, &d).unwrap();
+    let idx = open_index_dir(&d, 32).unwrap();
+    let (answers, report) = idx.explain(&q, &params).unwrap();
+    let (baseline, stats) =
+        sim_search_checked(&idx.tree, &idx.alphabet, &idx.store, &q, &params).unwrap();
+    assert_eq!(answers.occurrence_set(), baseline.occurrence_set());
+    assert_eq!(report.stats, stats);
+    assert_eq!(report.kind, "sparse");
+    assert_eq!(report.suffixes, idx.tree.header().suffix_count);
+    let io = report.io.expect("disk explain reports I/O");
+    assert!(
+        io.pages_read + io.page_cache_hits > 0,
+        "a search must touch pages"
+    );
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// A registry-backed run surfaces the search funnel, the page/node
+/// caches, and the VFS trace under their dotted names in one snapshot.
+#[test]
+fn registry_snapshot_has_search_and_io_names() {
+    let store = corpus();
+    let q = query(&store);
+    let params = SearchParams::with_epsilon(6.0);
+    let d = dir("reg");
+    build_index_dir(&store, Categorization::MaxEntropy(12), false, 8, &d).unwrap();
+    let reg = MetricsRegistry::new();
+    let idx = open_index_dir_metered(&d, 32, &reg).unwrap();
+    let metrics = SearchMetrics::register(&reg);
+    let answers = idx.search_with(&q, &params, &metrics);
+    let snap = reg.snapshot();
+    for name in [
+        "search.candidates",
+        "search.answers",
+        "search.nodes_visited",
+        "disk.vfs.reads",
+        "disk.vfs.read_bytes",
+        "disk.page_cache.hits",
+        "disk.node_cache.misses",
+    ] {
+        assert!(
+            snap.counters.contains_key(name),
+            "metric {name} missing from registry snapshot"
+        );
+    }
+    assert_eq!(snap.counters["search.answers"], answers.len() as u64);
+    assert!(snap.counters["disk.vfs.reads"] > 0, "open must read files");
+    assert!(snap.histograms.contains_key("search.filter_ns"));
+    // The snapshot serializes to parseable JSON with stable keys.
+    let js = snap.to_json();
+    assert!(js.starts_with("{\"counters\":{"));
+    assert!(js.contains("\"search.answers\""));
+    std::fs::remove_dir_all(&d).ok();
+}
