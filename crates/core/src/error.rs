@@ -17,6 +17,16 @@ pub enum CoreError {
     UnknownSymbol(u32),
     /// The query contained a NaN or infinite value.
     NonFiniteQuery,
+    /// The query exceeded a caller-imposed length cap (e.g. a serving
+    /// limit protecting workers from quadratic-cost requests).
+    QueryTooLong {
+        /// The imposed cap.
+        limit: usize,
+        /// The offending query's length.
+        got: usize,
+    },
+    /// k-NN parameters were invalid (`k = 0`, non-positive growth, …).
+    BadKnnParams(&'static str),
     /// The search's answer-length bound exceeds a truncated index's
     /// stored depth (paper §8), or is missing entirely.
     DepthLimitExceeded {
@@ -46,6 +56,12 @@ impl fmt::Display for CoreError {
             CoreError::NonFiniteQuery => {
                 write!(f, "query values must be finite")
             }
+            CoreError::QueryTooLong { limit, got } => {
+                write!(f, "query length {got} exceeds the limit {limit}")
+            }
+            CoreError::BadKnnParams(why) => {
+                write!(f, "invalid k-NN parameters: {why}")
+            }
             CoreError::DepthLimitExceeded { limit, requested } => match requested {
                 Some(r) => write!(
                     f,
@@ -74,6 +90,11 @@ mod tests {
         assert!(CoreError::BadThreshold.to_string().contains("threshold"));
         assert!(CoreError::UnknownSymbol(7).to_string().contains('7'));
         assert!(CoreError::NonFiniteQuery.to_string().contains("finite"));
+        let long = CoreError::QueryTooLong { limit: 16, got: 99 };
+        assert!(long.to_string().contains("99") && long.to_string().contains("16"));
+        assert!(CoreError::BadKnnParams("k must be positive")
+            .to_string()
+            .contains("k must be positive"));
         let e = CoreError::DepthLimitExceeded {
             limit: 4,
             requested: Some(9),

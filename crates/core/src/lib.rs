@@ -56,9 +56,10 @@ pub mod prelude {
     pub use crate::dtw_path::{dtw_with_path, Alignment};
     pub use crate::error::CoreError;
     pub use crate::search::{
-        filter_tree, knn_search, knn_search_with, postprocess, seq_scan, sim_search,
-        sim_search_checked, sim_search_checked_with, sim_search_with, AnswerSet, Candidate,
-        KnnParams, Match, SearchMetrics, SearchParams, SearchStats, SeqScanMode, SuffixTreeIndex,
+        filter_tree, knn_search, knn_search_checked, knn_search_checked_with, knn_search_with,
+        postprocess, seq_scan, sim_search, sim_search_checked, sim_search_checked_with,
+        sim_search_with, AnswerSet, Candidate, KnnParams, Match, SearchMetrics, SearchParams,
+        SearchStats, SeqScanMode, SuffixTreeIndex,
     };
     pub use crate::sequence::{Occurrence, SeqId, Sequence, SequenceStore, Value};
 }

@@ -140,7 +140,7 @@ impl IntoIterator for AnswerSet {
 }
 
 /// Parameters of a similarity search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchParams {
     /// The distance threshold ε: answers satisfy `D_tw ≤ ε`.
     pub epsilon: f64,

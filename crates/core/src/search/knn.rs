@@ -19,7 +19,7 @@ use crate::search::sim_search_with;
 use crate::sequence::{SequenceStore, Value};
 
 /// Parameters of a k-NN subsequence search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnParams {
     /// Number of answers wanted.
     pub k: usize,
@@ -39,6 +39,32 @@ pub struct KnnParams {
 }
 
 impl KnnParams {
+    /// Validates the parameters against a query of length `qlen`,
+    /// returning a typed error instead of panicking — the counterpart
+    /// of [`SearchParams::validate`] for k-NN requests arriving from
+    /// untrusted input.
+    pub fn validate(&self, qlen: usize) -> Result<(), crate::error::CoreError> {
+        use crate::error::CoreError;
+        if qlen == 0 {
+            return Err(CoreError::EmptyQuery);
+        }
+        if self.k == 0 {
+            return Err(CoreError::BadKnnParams("k must be positive"));
+        }
+        if !self.growth.is_finite() || self.growth <= 1.0 {
+            return Err(CoreError::BadKnnParams("growth must be finite and > 1"));
+        }
+        if !self.initial_epsilon.is_finite() || self.initial_epsilon < 0.0 {
+            return Err(CoreError::BadKnnParams(
+                "initial epsilon must be finite and non-negative",
+            ));
+        }
+        if self.max_rounds == 0 {
+            return Err(CoreError::BadKnnParams("max_rounds must be positive"));
+        }
+        Ok(())
+    }
+
     /// k-NN with sensible defaults: auto-seeded radius, ×4 growth,
     /// non-overlapping results.
     pub fn new(k: usize) -> Self {
@@ -151,6 +177,54 @@ pub fn knn_search_with<T: SuffixTreeIndex>(
         epsilon *= params.growth;
     }
     result
+}
+
+/// Like [`knn_search`], but validating the query and parameters up
+/// front and returning a typed [`CoreError`](crate::error::CoreError)
+/// instead of panicking — the right entry point when k-NN requests come
+/// from untrusted input (e.g. a network request).
+pub fn knn_search_checked<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &KnnParams,
+) -> Result<(Vec<Match>, SearchStats), crate::error::CoreError> {
+    let metrics = SearchMetrics::new();
+    let result = knn_search_checked_with(tree, alphabet, store, query, params, &metrics)?;
+    let mut total = metrics.snapshot();
+    total.answers = result.len() as u64;
+    Ok((result, total))
+}
+
+/// The checked k-NN entry point with caller-supplied metrics: validates
+/// like [`knn_search_checked`], meters like [`knn_search_with`].
+pub fn knn_search_checked_with<T: SuffixTreeIndex>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &KnnParams,
+    metrics: &SearchMetrics,
+) -> Result<Vec<Match>, crate::error::CoreError> {
+    params.validate(query.len())?;
+    if query.iter().any(|v| !v.is_finite()) {
+        return Err(crate::error::CoreError::NonFiniteQuery);
+    }
+    if let Some(limit) = tree.depth_limit() {
+        // ε expansion needs a bounded traversal depth on a truncated
+        // index, which only a window provides.
+        let requested = params.window.map(|w| query.len() as u32 + w);
+        match requested {
+            Some(m) if m <= limit => {}
+            _ => {
+                return Err(crate::error::CoreError::DepthLimitExceeded { limit, requested });
+            }
+        }
+    }
+    Ok(knn_search_with(
+        tree, alphabet, store, query, params, metrics,
+    ))
 }
 
 #[cfg(test)]
@@ -307,5 +381,47 @@ mod tests {
         let (store, alphabet, tree) = setup();
         let params = KnnParams::new(0);
         let _ = knn_search(&tree, &alphabet, &store, &[1.0], &params);
+    }
+
+    #[test]
+    fn checked_knn_rejects_bad_input_without_panicking() {
+        use crate::error::CoreError;
+        let (store, alphabet, tree) = setup();
+        let ok = KnnParams::new(2);
+        // Baseline: valid input answers like the unchecked path.
+        let (checked, _) = knn_search_checked(&tree, &alphabet, &store, &[5.0, 9.0], &ok).unwrap();
+        let (plain, _) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &ok);
+        assert_eq!(checked, plain);
+        // Empty query.
+        assert_eq!(
+            knn_search_checked(&tree, &alphabet, &store, &[], &ok).unwrap_err(),
+            CoreError::EmptyQuery
+        );
+        // Non-finite query values.
+        assert_eq!(
+            knn_search_checked(&tree, &alphabet, &store, &[1.0, f64::NAN], &ok).unwrap_err(),
+            CoreError::NonFiniteQuery
+        );
+        assert_eq!(
+            knn_search_checked(&tree, &alphabet, &store, &[f64::INFINITY], &ok).unwrap_err(),
+            CoreError::NonFiniteQuery
+        );
+        // k = 0 and bad growth become typed errors, not panics.
+        assert!(matches!(
+            knn_search_checked(&tree, &alphabet, &store, &[1.0], &KnnParams::new(0)),
+            Err(CoreError::BadKnnParams(_))
+        ));
+        let mut bad_growth = KnnParams::new(2);
+        bad_growth.growth = 1.0;
+        assert!(matches!(
+            knn_search_checked(&tree, &alphabet, &store, &[1.0], &bad_growth),
+            Err(CoreError::BadKnnParams(_))
+        ));
+        let mut bad_eps = KnnParams::new(2);
+        bad_eps.initial_epsilon = f64::NAN;
+        assert!(matches!(
+            knn_search_checked(&tree, &alphabet, &store, &[1.0], &bad_eps),
+            Err(CoreError::BadKnnParams(_))
+        ));
     }
 }

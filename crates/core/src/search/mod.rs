@@ -27,7 +27,9 @@ pub mod seqscan;
 pub use aligned::aligned_scan;
 pub use answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
 pub use filter::{filter_tree, filter_tree_with, SuffixTreeIndex};
-pub use knn::{knn_search, knn_search_with, KnnParams};
+pub use knn::{
+    knn_search, knn_search_checked, knn_search_checked_with, knn_search_with, KnnParams,
+};
 pub use metrics::SearchMetrics;
 pub use postprocess::postprocess;
 pub use seqscan::{seq_scan, SeqScanMode};

@@ -17,6 +17,8 @@
 //! * [`manifest`] — atomic directory commits (temp file + rename +
 //!   directory fsync + CRC-protected `MANIFEST`), recovery on open, and
 //!   offline verification;
+//! * [`snapshot`] — non-mutating reopen of the committed generation and
+//!   a cheap manifest poll, the reload primitives of a live server;
 //! * [`vfs`] — the injectable filesystem every write path goes through,
 //!   with a fault-injecting implementation for crash-consistency tests.
 
@@ -29,6 +31,7 @@ pub mod lru;
 pub mod manifest;
 pub mod merge;
 pub mod pager;
+pub mod snapshot;
 pub mod vfs;
 pub mod writer;
 
@@ -42,5 +45,6 @@ pub use manifest::{
 };
 pub use merge::{merge_trees, merge_trees_with, IncrementalBuilder, TreeKind};
 pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
+pub use snapshot::{committed_generation_with, open_dir_snapshot_with, DirSnapshot};
 pub use vfs::{real_vfs, FaultMode, FaultVfs, MeteredVfs, RealVfs, TempGuard, Vfs, VfsFile};
 pub use writer::{write_tree, write_tree_with};

@@ -1,0 +1,199 @@
+//! Read-only snapshot reopening for live serving.
+//!
+//! A long-running reader (the `warptree-server` query process) must be
+//! able to (a) *cheaply* poll an index directory for a newer committed
+//! generation and (b) reopen the directory **without mutating it** —
+//! the recovery sweep of [`recover_dir_with`](crate::recover_dir_with)
+//! deletes files the manifest does not reference, which is exactly
+//! wrong while a concurrent writer is mid-commit (its staged next
+//! generation would be swept away). This module provides both halves:
+//!
+//! * [`committed_generation_with`] — one small `MANIFEST` read, no
+//!   directory listing, no cleanup; cheap enough for sub-second polls.
+//! * [`open_dir_snapshot_with`] — resolve + load the committed corpus
+//!   and tree as an immutable [`DirSnapshot`], touching nothing else.
+//!
+//! The commit protocol (see [`manifest`](crate::manifest)) guarantees a
+//! reopened generation is complete: data files are fully written and
+//! fsynced *before* the manifest rename publishes them, so a reader
+//! that observes generation `N` in the manifest can open generation
+//! `N`'s files. The narrow race — a *second* commit superseding `N` and
+//! unlinking its files between the poll and the open — surfaces as an
+//! open error the caller simply retries (the next poll sees `N+1`).
+
+use std::path::Path;
+
+use crate::corpus::load_corpus_with;
+use crate::error::Result;
+use crate::format::DiskTree;
+use crate::manifest::{read_manifest_with, resolve_dir_with};
+use crate::vfs::Vfs;
+
+use std::sync::Arc;
+use warptree_core::categorize::{Alphabet, CatStore};
+use warptree_core::sequence::SequenceStore;
+
+/// The committed generation a poll observes, read from `MANIFEST`
+/// alone. Legacy manifest-less directories (a bare `corpus.wc` +
+/// `index.wt` pair) report generation 0; a missing or unreadable
+/// manifest in a non-legacy directory is an error.
+///
+/// This never lists the directory and never removes anything, so it is
+/// safe to call at any frequency while writers are active.
+pub fn committed_generation_with(vfs: &dyn Vfs, dir: &Path) -> Result<u64> {
+    match read_manifest_with(vfs, dir)? {
+        Some(m) => Ok(m.generation),
+        None => Ok(0),
+    }
+}
+
+/// An immutable, query-ready view of one committed generation of an
+/// index directory: the loaded corpus, its categorization, and the
+/// disk-resident tree.
+///
+/// All parts are safe for concurrent readers (`&self` search through
+/// internally synchronized caches), so one snapshot behind an `Arc`
+/// serves any number of worker threads; swapping the `Arc` for a newer
+/// generation retires the old snapshot once its last in-flight query
+/// drops it.
+pub struct DirSnapshot {
+    /// The sequence database of this generation.
+    pub store: SequenceStore,
+    /// The categorization alphabet.
+    pub alphabet: Alphabet,
+    /// The categorized corpus shared with the tree.
+    pub cat: Arc<CatStore>,
+    /// The disk-resident suffix tree.
+    pub tree: DiskTree,
+    /// The committed generation this snapshot materializes.
+    pub generation: u64,
+}
+
+/// Opens the committed generation of `dir` as a [`DirSnapshot`]
+/// **without mutating the directory** — no recovery sweep, no file
+/// removal — so it is safe to run concurrently with a writer committing
+/// the next generation. `cache_pages` sizes the tree's page buffer
+/// pool, `cache_nodes` its decoded-node cache.
+pub fn open_dir_snapshot_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    cache_pages: usize,
+    cache_nodes: usize,
+) -> Result<DirSnapshot> {
+    let resolved = resolve_dir_with(vfs, dir)?;
+    let (store, alphabet, cat) = load_corpus_with(vfs, &resolved.corpus_path)?;
+    let tree = DiskTree::open_with(
+        vfs,
+        &resolved.index_path,
+        cat.clone(),
+        cache_pages,
+        cache_nodes,
+    )?;
+    Ok(DirSnapshot {
+        store,
+        alphabet,
+        cat,
+        tree,
+        generation: resolved.generation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::build_dir_with;
+    use crate::merge::TreeKind;
+    use crate::vfs::{real_vfs, RealVfs};
+    use std::path::PathBuf;
+    use warptree_core::categorize::Alphabet;
+    use warptree_core::search::{sim_search, SearchParams};
+    use warptree_core::sequence::SequenceStore;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("warptree-snapshot-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn build(dir: &Path, values: Vec<Vec<f64>>) -> SequenceStore {
+        let store = SequenceStore::from_values(values);
+        let alphabet = Alphabet::equal_length(&store, 4).unwrap();
+        build_dir_with(
+            real_vfs(),
+            &store,
+            &alphabet,
+            TreeKind::Full,
+            1,
+            1,
+            None,
+            dir,
+        )
+        .unwrap();
+        store
+    }
+
+    #[test]
+    fn snapshot_reopen_tracks_generations() {
+        let dir = tmpdir("generations");
+        let store = build(&dir, vec![vec![1.0, 5.0, 3.0, 5.0, 1.0], vec![4.0, 4.0]]);
+        assert_eq!(committed_generation_with(&RealVfs, &dir).unwrap(), 1);
+        let snap = open_dir_snapshot_with(&RealVfs, &dir, 8, 32).unwrap();
+        assert_eq!(snap.generation, 1);
+        assert_eq!(snap.store.len(), store.len());
+        let (answers, _) = sim_search(
+            &snap.tree,
+            &snap.alphabet,
+            &snap.store,
+            &[1.0, 5.0],
+            &SearchParams::with_epsilon(0.5),
+        );
+        assert!(!answers.is_empty());
+        // A rebuild bumps the generation; the poll and the reopen both
+        // observe it.
+        build(&dir, vec![vec![9.0, 9.0, 9.0], vec![2.0, 2.0]]);
+        assert_eq!(committed_generation_with(&RealVfs, &dir).unwrap(), 2);
+        let snap2 = open_dir_snapshot_with(&RealVfs, &dir, 8, 32).unwrap();
+        assert_eq!(snap2.generation, 2);
+        assert_eq!(snap2.store.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_open_does_not_sweep_staged_files() {
+        // A concurrent writer's staged (uncommitted) files must survive
+        // a snapshot reopen — only `recover_dir_with` may clean them.
+        let dir = tmpdir("nosweep");
+        build(&dir, vec![vec![1.0, 2.0, 3.0], vec![2.0, 1.0]]);
+        let staged = dir.join("corpus-000002.wc.tmp");
+        let installed = dir.join("index-000002.wt");
+        std::fs::write(&staged, b"writer in flight").unwrap();
+        std::fs::write(&installed, b"writer in flight").unwrap();
+        let snap = open_dir_snapshot_with(&RealVfs, &dir, 4, 16).unwrap();
+        assert_eq!(snap.generation, 1);
+        assert!(staged.exists(), "snapshot reopen must not remove staging");
+        assert!(
+            installed.exists(),
+            "snapshot reopen must not remove staging"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_generation_reports_legacy_as_zero() {
+        let dir = tmpdir("legacy");
+        assert_eq!(committed_generation_with(&RealVfs, &dir).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_contract_is_send_sync() {
+        // Compile-time statement of the concurrent-read contract the
+        // server relies on: a snapshot is shared across worker threads
+        // behind an `Arc` with no external locking.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DirSnapshot>();
+        assert_send_sync::<DiskTree>();
+    }
+}

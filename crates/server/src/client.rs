@@ -1,0 +1,207 @@
+//! A blocking protocol client.
+//!
+//! One [`Client`] wraps one TCP connection and issues framed requests
+//! sequentially. It is intentionally simple — the unit of concurrency
+//! is the connection, so a load generator opens many clients.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+use crate::proto::{read_frame, write_frame};
+
+/// What a request can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, EOF mid-exchange).
+    Io(io::Error),
+    /// The server's bytes were not a valid protocol response.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The wire error code (e.g. `"overloaded"`).
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The wire code, when this is a typed server error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a warptree server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sets the per-response read timeout (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends `body` (a JSON request object) and returns the **raw**
+    /// response text — error frames included. The bench harness and
+    /// byte-equivalence tests want the exact bytes.
+    pub fn request_raw(&mut self, body: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, body.as_bytes())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("connection closed mid-request".to_string()))?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".to_string()))
+    }
+
+    /// Sends `body` and parses the response, converting error frames
+    /// into [`ClientError::Server`].
+    pub fn request(&mut self, body: &str) -> Result<Json, ClientError> {
+        let text = self.request_raw(body)?;
+        let v = json::parse(&text).map_err(ClientError::Protocol)?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => {
+                let err = v.get("error");
+                let code = err
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                let message = err
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(ClientError::Server { code, message })
+            }
+            None => Err(ClientError::Protocol("response missing \"ok\"".to_string())),
+        }
+    }
+
+    /// ε-threshold search.
+    pub fn search(
+        &mut self,
+        query: &[f64],
+        epsilon: f64,
+        window: Option<u32>,
+    ) -> Result<Json, ClientError> {
+        self.request(&search_request(query, epsilon, window))
+    }
+
+    /// k-NN search with default expansion parameters.
+    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Json, ClientError> {
+        self.request(&format!(
+            "{{\"op\":\"knn\",\"query\":{},\"k\":{k}}}",
+            encode_query(query)
+        ))
+    }
+
+    /// Liveness probe.
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"health\"}")
+    }
+
+    /// Index metadata.
+    pub fn info(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"info\"}")
+    }
+
+    /// Process metrics snapshot.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"stats\"}")
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"shutdown\"}")
+    }
+}
+
+/// Renders a query as a JSON number array (shared by client and bench).
+pub fn encode_query(query: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in query.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&warptree_obs::json::num(*v));
+    }
+    out.push(']');
+    out
+}
+
+/// Builds a `search` request body.
+pub fn search_request(query: &[f64], epsilon: f64, window: Option<u32>) -> String {
+    match window {
+        Some(w) => format!(
+            "{{\"op\":\"search\",\"query\":{},\"epsilon\":{},\"window\":{w}}}",
+            encode_query(query),
+            warptree_obs::json::num(epsilon)
+        ),
+        None => format!(
+            "{{\"op\":\"search\",\"query\":{},\"epsilon\":{}}}",
+            encode_query(query),
+            warptree_obs::json::num(epsilon)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bodies_are_valid_json() {
+        let body = search_request(&[1.0, -2.5], 0.75, Some(3));
+        let v = json::parse(&body).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("search"));
+        assert_eq!(v.get("window").and_then(Json::as_u64), Some(3));
+        let nowin = search_request(&[1.0], 0.5, None);
+        assert!(json::parse(&nowin).unwrap().get("window").is_none());
+    }
+
+    #[test]
+    fn query_encoding_matches_parser() {
+        let q = encode_query(&[0.1, 2.0, -3.25]);
+        let parsed = json::parse(&q).unwrap();
+        let vals: Vec<f64> = parsed
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![0.1, 2.0, -3.25]);
+    }
+}

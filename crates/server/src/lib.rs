@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # warptree-server
+//!
+//! Concurrent query serving for the warptree index — the paper's
+//! economics (one shared suffix-tree index amortized over many
+//! `D_tw-lb`-filtered queries, §5–§6) realized as a long-running
+//! process instead of a per-invocation CLI.
+//!
+//! Everything here is `std`-only (the workspace builds offline):
+//!
+//! * [`json`] — a minimal JSON value parser for the wire protocol.
+//! * [`proto`] — length-prefixed JSON framing, request parsing and
+//!   response/error encoding (typed error codes, e.g. `overloaded`).
+//! * [`pool`] — a fixed-size worker thread pool with a **bounded**
+//!   request queue: admission control instead of unbounded latency.
+//! * [`snapshot`] — an `Arc`-swapped immutable
+//!   [`DirSnapshot`](warptree_disk::DirSnapshot) plus the hot-reload
+//!   watcher that polls the commit `MANIFEST` and swaps generations
+//!   without dropping requests.
+//! * [`server`] — the TCP accept loop, per-request deadlines, metrics,
+//!   and graceful drain on shutdown.
+//! * [`client`] — a blocking protocol client.
+//! * [`bench`] — an open/closed-loop load generator producing the
+//!   committed `BENCH_serve.json` throughput/latency report.
+//! * [`signal`] — SIGINT/SIGTERM → shutdown-flag plumbing.
+//!
+//! ## Serving contract
+//!
+//! Queries are validated (`sim_search_checked` /
+//! `knn_search_checked`), so malformed input returns a typed error
+//! frame and can never kill a worker. Every query executes against one
+//! `Arc<DirSnapshot>` taken at dispatch, so a mid-traffic generation
+//! commit is invisible to in-flight requests: they finish on the old
+//! snapshot while new requests see the new one; the old generation is
+//! freed when its last request completes.
+
+pub mod bench;
+pub mod client;
+pub mod json;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+
+pub use bench::{BenchConfig, BenchReport, LoopMode};
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use pool::{SubmitError, WorkerPool};
+pub use proto::{ErrorCode, Request, MAX_FRAME};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use snapshot::{ReloadWatcher, SnapshotCell};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_contract_is_send_sync() {
+        // The server shares these across the accept loop, connection
+        // threads, workers and the reload watcher; assert the contract
+        // at compile time.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnapshotCell>();
+        assert_send_sync::<WorkerPool>();
+        assert_send_sync::<warptree_disk::DirSnapshot>();
+        assert_send_sync::<warptree_obs::MetricsRegistry>();
+        assert_send_sync::<warptree_core::search::SearchMetrics>();
+    }
+}

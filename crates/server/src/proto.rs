@@ -1,0 +1,472 @@
+//! Wire protocol: length-prefixed JSON frames, request parsing, and
+//! response encoding.
+//!
+//! Every message — in both directions — is one *frame*: a 4-byte
+//! little-endian `u32` byte length followed by that many bytes of UTF-8
+//! JSON. Frames larger than [`MAX_FRAME`] are rejected before any
+//! allocation, so a hostile length prefix cannot balloon memory.
+//!
+//! Requests are objects with an `"op"` discriminator:
+//!
+//! ```json
+//! {"op":"search","query":[20.0,21.0],"epsilon":1.5,"window":4}
+//! {"op":"knn","query":[20.0,21.0],"k":5}
+//! {"op":"batch","queries":[[1.0],[2.0]],"epsilon":0.5}
+//! {"op":"explain","query":[20.0,21.0],"epsilon":1.5}
+//! {"op":"info"}  {"op":"health"}  {"op":"stats"}  {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`: `{"ok":true,"op":…,…}` on success,
+//! and on failure a typed error the client can branch on:
+//!
+//! ```json
+//! {"ok":false,"error":{"code":"overloaded","message":"…"}}
+//! ```
+//!
+//! The error codes ([`ErrorCode`]) are part of the contract: admission
+//! control distinguishes `overloaded` (bounded queue full — retry with
+//! backoff) from `deadline_exceeded` (accepted but expired in queue)
+//! from `bad_request` (never retry) from `shutting_down`.
+
+use std::io::{self, Read, Write};
+
+use warptree_core::error::CoreError;
+use warptree_core::search::{KnnParams, Match, SearchParams};
+use warptree_obs::json::{escape, num};
+
+use crate::json::{self, Json};
+
+/// Maximum frame payload accepted or produced: 4 MiB. Generous for the
+/// workloads in the paper (a length-3000 query is 60 KB of JSON) while
+/// bounding per-connection memory.
+pub const MAX_FRAME: u32 = 4 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary (the peer closed the connection); propagates
+/// timeouts and mid-frame EOFs as errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close arrives as EOF on the first length byte.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Typed protocol error codes. The string form is the wire contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or invalid request; retrying cannot succeed.
+    BadRequest,
+    /// Admission control rejected the request: the bounded queue is
+    /// full. Retry with backoff.
+    Overloaded,
+    /// The request was admitted but its deadline expired before a
+    /// worker picked it up (or while it ran).
+    DeadlineExceeded,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// ε-threshold similarity search.
+    Search {
+        /// The query subsequence.
+        query: Vec<f64>,
+        /// Search parameters (ε, window, length bounds).
+        params: SearchParams,
+    },
+    /// k-nearest-neighbour search via ε expansion.
+    Knn {
+        /// The query subsequence.
+        query: Vec<f64>,
+        /// k-NN parameters.
+        params: KnnParams,
+    },
+    /// Several threshold searches answered in one response — the
+    /// pipelined path that shares one metrics bundle server-side.
+    Batch {
+        /// The query subsequences.
+        queries: Vec<Vec<f64>>,
+        /// Parameters applied to every query.
+        params: SearchParams,
+    },
+    /// A threshold search that also returns its cost counters.
+    Explain {
+        /// The query subsequence.
+        query: Vec<f64>,
+        /// Search parameters.
+        params: SearchParams,
+    },
+    /// Index/corpus metadata.
+    Info,
+    /// Liveness probe.
+    Health,
+    /// Process metrics snapshot.
+    Stats,
+    /// Ask the server to drain and exit.
+    Shutdown,
+    /// Occupy a worker for `ms` milliseconds (test-only; parsed only
+    /// when debug ops are enabled). Deterministically fills the queue
+    /// for overload and deadline tests.
+    DebugSleep {
+        /// How long the worker sleeps.
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// `true` for ops answered inline on the connection thread —
+    /// cheap, never queued, usable even when the pool is saturated
+    /// (a health check that 503s under load is useless).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Request::Info | Request::Health | Request::Stats | Request::Shutdown
+        )
+    }
+
+    /// Parses a frame payload. `allow_debug` gates the test-only ops.
+    pub fn parse(payload: &[u8], allow_debug: bool) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+        let v = json::parse(text)?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing \"op\" field")?;
+        match op {
+            "search" => Ok(Request::Search {
+                query: query_field(&v, "query")?,
+                params: search_params(&v)?,
+            }),
+            "knn" => {
+                let k = v
+                    .get("k")
+                    .and_then(Json::as_u64)
+                    .ok_or("knn requires an integer \"k\"")? as usize;
+                let mut params = KnnParams::new(k);
+                if let Some(e) = v.get("initial_epsilon") {
+                    params.initial_epsilon =
+                        e.as_f64().ok_or("\"initial_epsilon\" must be a number")?;
+                }
+                if let Some(g) = v.get("growth") {
+                    params.growth = g.as_f64().ok_or("\"growth\" must be a number")?;
+                }
+                if let Some(r) = v.get("max_rounds") {
+                    params.max_rounds =
+                        r.as_u64().ok_or("\"max_rounds\" must be an integer")? as usize;
+                }
+                if let Some(w) = opt_u32(&v, "window")? {
+                    params.window = Some(w);
+                }
+                if let Some(overlap) = v.get("allow_overlaps") {
+                    params.non_overlapping = !overlap
+                        .as_bool()
+                        .ok_or("\"allow_overlaps\" must be a boolean")?;
+                }
+                Ok(Request::Knn {
+                    query: query_field(&v, "query")?,
+                    params,
+                })
+            }
+            "batch" => {
+                let arr = v
+                    .get("queries")
+                    .and_then(Json::as_arr)
+                    .ok_or("batch requires a \"queries\" array")?;
+                let mut queries = Vec::with_capacity(arr.len());
+                for (i, q) in arr.iter().enumerate() {
+                    let vals = q
+                        .as_arr()
+                        .ok_or_else(|| format!("queries[{i}] is not an array"))?;
+                    queries.push(numbers(vals, &format!("queries[{i}]"))?);
+                }
+                Ok(Request::Batch {
+                    queries,
+                    params: search_params(&v)?,
+                })
+            }
+            "explain" => Ok(Request::Explain {
+                query: query_field(&v, "query")?,
+                params: search_params(&v)?,
+            }),
+            "info" => Ok(Request::Info),
+            "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "debug_sleep" if allow_debug => Ok(Request::DebugSleep {
+                ms: v
+                    .get("ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("debug_sleep requires an integer \"ms\"")?,
+            }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+fn numbers(arr: &[Json], what: &str) -> Result<Vec<f64>, String> {
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{what} holds a non-number"))
+        })
+        .collect()
+}
+
+fn query_field(v: &Json, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing \"{key}\" array"))?;
+    numbers(arr, key)
+}
+
+fn opt_u32(v: &Json, key: &str) -> Result<Option<u32>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => {
+            let n = x
+                .as_u64()
+                .filter(|n| *n <= u32::MAX as u64)
+                .ok_or_else(|| format!("\"{key}\" must be a u32"))?;
+            Ok(Some(n as u32))
+        }
+    }
+}
+
+fn search_params(v: &Json) -> Result<SearchParams, String> {
+    let epsilon = v
+        .get("epsilon")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric \"epsilon\"")?;
+    let mut params = SearchParams::with_epsilon(epsilon);
+    params.window = opt_u32(v, "window")?;
+    params.max_len = opt_u32(v, "max_len")?;
+    if let Some(m) = opt_u32(v, "min_len")? {
+        params.min_len = m;
+    }
+    Ok(params)
+}
+
+/// Serializes matches as a canonical JSON array: sorted by occurrence
+/// `(seq, start, len)`, distances rendered with
+/// [`warptree_obs::json::num`]. Canonical ordering + shared formatter
+/// is what makes server responses byte-comparable to locally computed
+/// answer sets.
+pub fn encode_matches(matches: &[Match]) -> String {
+    let mut sorted: Vec<Match> = matches.to_vec();
+    sorted.sort_by_key(|m| m.occ);
+    encode_matches_ranked(&sorted)
+}
+
+/// Serializes matches **in the order given** — for rank-ordered
+/// results (k-NN returns nearest first; sorting by occurrence would
+/// destroy the ranking).
+pub fn encode_matches_ranked(matches: &[Match]) -> String {
+    let mut out = String::from("[");
+    for (i, m) in matches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"start\":{},\"len\":{},\"dist\":{}}}",
+            m.occ.seq.0,
+            m.occ.start,
+            m.occ.len,
+            num(m.dist)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Builds a success response: `{"ok":true,"op":<op>,<body…>}`. `body`
+/// is a pre-rendered fragment of `"key":value` pairs (may be empty).
+pub fn ok_response(op: &str, body: &str) -> String {
+    if body.is_empty() {
+        format!("{{\"ok\":true,\"op\":\"{}\"}}", escape(op))
+    } else {
+        format!("{{\"ok\":true,\"op\":\"{}\",{}}}", escape(op), body)
+    }
+}
+
+/// Builds a typed error response.
+pub fn error_response(code: ErrorCode, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        code.as_str(),
+        escape(message)
+    )
+}
+
+/// Maps a validation failure from the core search layer onto a wire
+/// error. Every `CoreError` a checked search returns is the client's
+/// fault, so they all map to `bad_request`.
+pub fn core_error_response(e: &CoreError) -> String {
+    error_response(ErrorCode::BadRequest, &e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warptree_core::sequence::{Occurrence, SeqId};
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"health\"}").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"op\":\"health\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"second");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn parses_search_request() {
+        let req = Request::parse(
+            br#"{"op":"search","query":[1.0,2.0],"epsilon":0.5,"window":3,"min_len":2}"#,
+            false,
+        )
+        .unwrap();
+        match req {
+            Request::Search { query, params } => {
+                assert_eq!(query, vec![1.0, 2.0]);
+                assert_eq!(params.epsilon, 0.5);
+                assert_eq!(params.window, Some(3));
+                assert_eq!(params.min_len, 2);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_knn_request_with_defaults() {
+        let req = Request::parse(br#"{"op":"knn","query":[1.0],"k":3}"#, false).unwrap();
+        match req {
+            Request::Knn { params, .. } => {
+                assert_eq!(params.k, 3);
+                assert!(params.non_overlapping);
+                assert_eq!(params.growth, 4.0);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn debug_ops_are_gated() {
+        let frame = br#"{"op":"debug_sleep","ms":10}"#;
+        assert!(Request::parse(frame, false).is_err());
+        assert_eq!(
+            Request::parse(frame, true).unwrap(),
+            Request::DebugSleep { ms: 10 }
+        );
+    }
+
+    #[test]
+    fn control_ops_are_classified() {
+        for (frame, control) in [
+            (&br#"{"op":"health"}"#[..], true),
+            (br#"{"op":"stats"}"#, true),
+            (br#"{"op":"search","query":[1.0],"epsilon":1.0}"#, false),
+        ] {
+            assert_eq!(Request::parse(frame, false).unwrap().is_control(), control);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"no_op":1}"#,
+            br#"{"op":"teapot"}"#,
+            br#"{"op":"search","query":"strings","epsilon":1.0}"#,
+            br#"{"op":"search","query":[1.0]}"#,
+            br#"{"op":"knn","query":[1.0]}"#,
+            br#"{"op":"search","query":[1.0],"epsilon":1.0,"window":-1}"#,
+        ] {
+            assert!(Request::parse(bad, false).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn matches_encode_canonically() {
+        let m = |s: u32, p: u32, l: u32, d: f64| Match {
+            occ: Occurrence::new(SeqId(s), p, l),
+            dist: d,
+        };
+        // Deliberately unsorted input sorts by occurrence.
+        let encoded = encode_matches(&[m(1, 0, 2, 1.5), m(0, 3, 2, 0.0)]);
+        assert_eq!(
+            encoded,
+            r#"[{"seq":0,"start":3,"len":2,"dist":0},{"seq":1,"start":0,"len":2,"dist":1.5}]"#
+        );
+    }
+
+    #[test]
+    fn responses_have_stable_shape() {
+        assert_eq!(ok_response("health", ""), r#"{"ok":true,"op":"health"}"#);
+        assert_eq!(
+            ok_response("info", "\"sequences\":2"),
+            r#"{"ok":true,"op":"info","sequences":2}"#
+        );
+        let err = error_response(ErrorCode::Overloaded, "queue full");
+        assert_eq!(
+            err,
+            r#"{"ok":false,"error":{"code":"overloaded","message":"queue full"}}"#
+        );
+        let parsed = crate::json::parse(&err).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+    }
+}

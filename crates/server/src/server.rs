@@ -1,0 +1,598 @@
+//! The TCP query server: accept loop, per-connection protocol
+//! handling, admission control, deadlines, metrics, graceful drain.
+//!
+//! ## Threading model
+//!
+//! One non-blocking accept loop; one thread per connection; a
+//! fixed-size [`WorkerPool`] that actually executes queries. The
+//! connection thread parses a frame, classifies it ([control
+//! ops](crate::proto::Request::is_control) answer inline, so `health`
+//! and `stats` keep responding even when every worker is busy), and
+//! submits query work to the pool. Submission is the admission point:
+//! a full queue fails the request *now* with `overloaded` rather than
+//! queueing unbounded latency, and a request whose deadline passes
+//! while queued is dropped at dequeue with `deadline_exceeded` (the
+//! work is never started — wasted-work avoidance under overload).
+//!
+//! ## Snapshot discipline
+//!
+//! Each query pins the current [`SnapshotCell`] value once, at
+//! execution start, and uses only that `Arc` for its whole lifetime —
+//! never re-reading the cell mid-request. The response's
+//! `"generation"` field reports which snapshot answered; concurrent
+//! hot reloads change which snapshot *new* requests pin, nothing else.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use warptree_core::error::CoreError;
+use warptree_core::search::{
+    knn_search_checked_with, sim_search_checked_with, AnswerSet, SearchMetrics, SearchStats,
+};
+use warptree_disk::{open_dir_snapshot_with, real_vfs, Vfs};
+use warptree_obs::MetricsRegistry;
+
+use crate::pool::{SubmitError, WorkerPool};
+use crate::proto::{
+    self, error_response, ok_response, read_frame, write_frame, ErrorCode, Request,
+};
+use crate::snapshot::{ReloadWatcher, SnapshotCell};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded queue capacity — the admission-control knob. Requests
+    /// beyond `workers` running + `queue_depth` queued are rejected
+    /// `overloaded`.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from admission. Expired requests
+    /// are dropped unstarted at dequeue.
+    pub deadline: Duration,
+    /// How often the reload watcher polls the commit manifest.
+    pub reload_interval: Duration,
+    /// Longest accepted query; longer ones fail `bad_request` (the
+    /// filter cost is quadratic in query length, so this caps
+    /// per-request work).
+    pub max_query_len: usize,
+    /// Page-cache size for newly opened snapshots.
+    pub cache_pages: usize,
+    /// Node-cache size for newly opened snapshots.
+    pub cache_nodes: usize,
+    /// Accept test-only protocol ops (`debug_sleep`). Never enable in
+    /// production serving.
+    pub enable_debug_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(5),
+            reload_interval: Duration::from_millis(200),
+            max_query_len: 4096,
+            cache_pages: 256,
+            cache_nodes: 4096,
+            enable_debug_ops: false,
+        }
+    }
+}
+
+/// Everything a connection or worker needs, shared behind one `Arc`.
+struct Ctx {
+    cell: Arc<SnapshotCell>,
+    registry: MetricsRegistry,
+    /// One registry-backed bundle shared by *all* queries — per-process
+    /// totals (the `stats` op view), not per-request.
+    search_metrics: SearchMetrics,
+    shutdown: Arc<AtomicBool>,
+    deadline: Duration,
+    max_query_len: usize,
+    workers: usize,
+    queue_depth: usize,
+    enable_debug_ops: bool,
+}
+
+/// The server factory. Construct with [`Server::start`] (real
+/// filesystem, fresh registry) or [`Server::start_with`] (injected
+/// [`Vfs`] and registry — tests and embedding).
+pub struct Server;
+
+impl Server {
+    /// Opens the committed generation of `dir` and serves it.
+    pub fn start(dir: &Path, config: ServerConfig) -> io::Result<ServerHandle> {
+        Server::start_with(real_vfs(), dir, config, MetricsRegistry::new())
+    }
+
+    /// [`Server::start`] with an injected filesystem and metrics
+    /// registry.
+    pub fn start_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        config: ServerConfig,
+        registry: MetricsRegistry,
+    ) -> io::Result<ServerHandle> {
+        let snapshot =
+            open_dir_snapshot_with(vfs.as_ref(), dir, config.cache_pages, config.cache_nodes)
+                .map_err(|e| io::Error::other(format!("open index dir: {e}")))?;
+        let cell = Arc::new(SnapshotCell::new(Arc::new(snapshot)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            cell: cell.clone(),
+            registry: registry.clone(),
+            search_metrics: SearchMetrics::register(&registry),
+            shutdown: shutdown.clone(),
+            deadline: config.deadline,
+            max_query_len: config.max_query_len,
+            workers: config.workers,
+            queue_depth: config.queue_depth,
+            enable_debug_ops: config.enable_debug_ops,
+        });
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let watcher = ReloadWatcher::spawn(
+            vfs,
+            dir.to_path_buf(),
+            cell,
+            registry.clone(),
+            config.reload_interval,
+            config.cache_pages,
+            config.cache_nodes,
+        );
+
+        let pool = Arc::new(WorkerPool::new(
+            config.workers,
+            config.queue_depth,
+            registry.gauge("server.queue_depth"),
+        ));
+
+        let accept_ctx = ctx.clone();
+        let accept = std::thread::Builder::new()
+            .name("warptree-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_ctx, pool))?;
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            registry,
+            accept: Some(accept),
+            watcher: Some(watcher),
+        })
+    }
+}
+
+/// A handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    registry: MetricsRegistry,
+    accept: Option<JoinHandle<()>>,
+    watcher: Option<ReloadWatcher>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (shared with all components).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Asks the server to drain and stop: the accept loop closes, each
+    /// connection finishes its current request, queued work runs to
+    /// completion. Non-blocking; follow with [`ServerHandle::join`].
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested (locally or via the
+    /// protocol `shutdown` op).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the drain to complete. Implies
+    /// [`ServerHandle::request_shutdown`] having been called — joining
+    /// a live server without it blocks until some shutdown trigger
+    /// (e.g. a client's `shutdown` op) fires.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            w.stop();
+        }
+    }
+
+    /// [`ServerHandle::request_shutdown`] + [`ServerHandle::join`].
+    pub fn stop(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            w.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, pool: Arc<WorkerPool>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctx.registry.counter("server.connections").incr();
+                let conn_ctx = ctx.clone();
+                let pool = pool.clone();
+                match std::thread::Builder::new()
+                    .name("warptree-conn".to_string())
+                    .spawn(move || handle_conn(stream, &conn_ctx, &pool))
+                {
+                    Ok(h) => conns.push(h),
+                    Err(_) => ctx.registry.counter("server.errors").incr(),
+                }
+                // Reap finished connections so long-lived servers don't
+                // accumulate dead handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                ctx.registry.counter("server.errors").incr();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Drain: connections first (they still need live workers for their
+    // in-flight requests), then the pool (runs everything already
+    // queued, then exits).
+    for h in conns {
+        let _ = h.join();
+    }
+    drop(pool); // last reference → WorkerPool::drop drains and joins
+}
+
+fn handle_conn(mut stream: TcpStream, ctx: &Ctx, pool: &WorkerPool) {
+    // Nonblocking-ness is inherited from the listener on some
+    // platforms; frames want blocking reads with a timeout so the
+    // thread notices shutdown between requests.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                if !serve_one(&payload, &mut stream, ctx, pool) {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return; // idle at a frame boundary during drain
+                }
+            }
+            Err(_) => return, // torn frame / reset
+        }
+    }
+}
+
+/// Handles one request frame. Returns `false` when the connection
+/// should close.
+fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPool) -> bool {
+    let started = Instant::now();
+    let req = match Request::parse(payload, ctx.enable_debug_ops) {
+        Ok(req) => req,
+        Err(msg) => {
+            ctx.registry.counter("server.bad_requests").incr();
+            return respond(stream, &error_response(ErrorCode::BadRequest, &msg));
+        }
+    };
+
+    if req.is_control() {
+        let resp = control_response(&req, ctx);
+        return respond(stream, &resp);
+    }
+
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return respond(
+            stream,
+            &error_response(ErrorCode::ShuttingDown, "server is draining"),
+        );
+    }
+
+    // Query work goes through the bounded pool: the admission point.
+    let (tx, rx) = mpsc::channel::<String>();
+    let deadline = started + ctx.deadline;
+    let job_ctx = JobCtx {
+        cell: ctx.cell.clone(),
+        search_metrics: ctx.search_metrics.clone(),
+        registry: ctx.registry.clone(),
+        max_query_len: ctx.max_query_len,
+    };
+    let job = Box::new(move || {
+        let resp = if Instant::now() > deadline {
+            job_ctx.registry.counter("server.deadline_exceeded").incr();
+            error_response(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired before a worker was available",
+            )
+        } else {
+            execute(&job_ctx, req)
+        };
+        let _ = tx.send(resp);
+    });
+
+    let resp = match pool.try_submit(job) {
+        Ok(()) => {
+            ctx.registry.counter("server.accepted").incr();
+            match rx.recv() {
+                Ok(resp) => resp,
+                // Worker panicked mid-query (sender dropped); the pool
+                // survives, this request does not.
+                Err(_) => {
+                    ctx.registry.counter("server.internal_errors").incr();
+                    error_response(ErrorCode::Internal, "query execution failed")
+                }
+            }
+        }
+        Err(SubmitError::Overloaded) => {
+            ctx.registry.counter("server.rejected_overload").incr();
+            error_response(
+                ErrorCode::Overloaded,
+                "request queue is full; retry with backoff",
+            )
+        }
+        Err(SubmitError::ShuttingDown) => {
+            ctx.registry.counter("server.rejected_shutdown").incr();
+            error_response(ErrorCode::ShuttingDown, "server is draining")
+        }
+    };
+    ctx.registry
+        .histogram("server.request_ns")
+        .record(started.elapsed().as_nanos() as u64);
+    respond(stream, &resp)
+}
+
+fn respond(stream: &mut TcpStream, resp: &str) -> bool {
+    write_frame(stream, resp.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+fn control_response(req: &Request, ctx: &Ctx) -> String {
+    match req {
+        Request::Health => {
+            let generation = ctx.cell.generation();
+            ok_response(
+                "health",
+                &format!("\"status\":\"serving\",\"generation\":{generation}"),
+            )
+        }
+        Request::Info => {
+            let snap = ctx.cell.get();
+            ok_response(
+                "info",
+                &format!(
+                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"workers\":{},\"queue_depth\":{}",
+                    snap.generation,
+                    snap.store.len(),
+                    snap.store.total_len(),
+                    snap.alphabet.len(),
+                    ctx.workers,
+                    ctx.queue_depth,
+                ),
+            )
+        }
+        Request::Stats => ok_response(
+            "stats",
+            &format!("\"metrics\":{}", ctx.registry.snapshot().to_json()),
+        ),
+        Request::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            ok_response("shutdown", "\"draining\":true")
+        }
+        _ => unreachable!("non-control request routed to control_response"),
+    }
+}
+
+/// The subset of context a queued job captures (no pool references — a
+/// job must not be able to re-enter the queue).
+struct JobCtx {
+    cell: Arc<SnapshotCell>,
+    search_metrics: SearchMetrics,
+    registry: MetricsRegistry,
+    max_query_len: usize,
+}
+
+fn check_len(job: &JobCtx, query: &[f64]) -> Result<(), CoreError> {
+    if query.len() > job.max_query_len {
+        return Err(CoreError::QueryTooLong {
+            limit: job.max_query_len,
+            got: query.len(),
+        });
+    }
+    Ok(())
+}
+
+fn execute(job: &JobCtx, req: Request) -> String {
+    // Pin one snapshot for the whole request.
+    let snap = job.cell.get();
+    let result = match req {
+        Request::Search { query, params } => check_len(job, &query).and_then(|()| {
+            sim_search_checked_with(
+                &snap.tree,
+                &snap.alphabet,
+                &snap.store,
+                &query,
+                &params,
+                &job.search_metrics,
+            )
+            .map(|answers| search_body(&answers, snap.generation))
+            .map(|body| ok_response("search", &body))
+        }),
+        Request::Knn { query, params } => check_len(job, &query).and_then(|()| {
+            knn_search_checked_with(
+                &snap.tree,
+                &snap.alphabet,
+                &snap.store,
+                &query,
+                &params,
+                &job.search_metrics,
+            )
+            .map(|matches| {
+                ok_response(
+                    "knn",
+                    &format!(
+                        "\"generation\":{},\"count\":{},\"matches\":{}",
+                        snap.generation,
+                        matches.len(),
+                        proto::encode_matches_ranked(&matches)
+                    ),
+                )
+            })
+        }),
+        Request::Batch { queries, params } => {
+            // Satellite of the metrics work: the whole batch meters into
+            // ONE shared bundle — `stats` sees batch totals, not the
+            // last query's numbers.
+            let mut results = String::from("[");
+            let mut err = None;
+            for (i, query) in queries.iter().enumerate() {
+                let r = check_len(job, query).and_then(|()| {
+                    sim_search_checked_with(
+                        &snap.tree,
+                        &snap.alphabet,
+                        &snap.store,
+                        query,
+                        &params,
+                        &job.search_metrics,
+                    )
+                });
+                match r {
+                    Ok(answers) => {
+                        if i > 0 {
+                            results.push(',');
+                        }
+                        results
+                            .push_str(&format!("{{{}}}", search_body(&answers, snap.generation)));
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match err {
+                Some(e) => Err(e),
+                None => {
+                    results.push(']');
+                    Ok(ok_response(
+                        "batch",
+                        &format!("\"generation\":{},\"results\":{}", snap.generation, results),
+                    ))
+                }
+            }
+        }
+        Request::Explain { query, params } => check_len(job, &query).and_then(|()| {
+            // Explain wants per-request counters, so it runs on a fresh
+            // detached bundle *and* folds the totals into the shared one
+            // afterwards (process totals stay complete).
+            let local = SearchMetrics::new();
+            sim_search_checked_with(
+                &snap.tree,
+                &snap.alphabet,
+                &snap.store,
+                &query,
+                &params,
+                &local,
+            )
+            .map(|answers| {
+                let stats = local.snapshot();
+                job.search_metrics.record(&stats);
+                ok_response(
+                    "explain",
+                    &format!(
+                        "{},\"stats\":{}",
+                        search_body(&answers, snap.generation),
+                        encode_stats(&stats)
+                    ),
+                )
+            })
+        }),
+        Request::DebugSleep { ms } => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(ok_response("debug_sleep", &format!("\"slept_ms\":{ms}")))
+        }
+        control => unreachable!("control op {control:?} reached a worker"),
+    };
+    match result {
+        Ok(resp) => {
+            job.registry.counter("server.requests_ok").incr();
+            resp
+        }
+        Err(e) => {
+            job.registry.counter("server.bad_requests").incr();
+            proto::core_error_response(&e)
+        }
+    }
+}
+
+fn search_body(answers: &AnswerSet, generation: u64) -> String {
+    format!(
+        "\"generation\":{},\"count\":{},\"matches\":{}",
+        generation,
+        answers.len(),
+        proto::encode_matches(answers.matches())
+    )
+}
+
+fn encode_stats(s: &SearchStats) -> String {
+    format!(
+        "{{\"filter_cells\":{},\"nodes_visited\":{},\"nodes_expanded\":{},\"rows_pushed\":{},\"rows_unshared\":{},\"branches_pruned\":{},\"candidates\":{},\"stored_candidates\":{},\"lb2_candidates\":{},\"postprocessed\":{},\"postprocess_cells\":{},\"false_alarms\":{},\"answers\":{}}}",
+        s.filter_cells,
+        s.nodes_visited,
+        s.nodes_expanded,
+        s.rows_pushed,
+        s.rows_unshared,
+        s.branches_pruned,
+        s.candidates,
+        s.stored_candidates,
+        s.lb2_candidates,
+        s.postprocessed,
+        s.postprocess_cells,
+        s.false_alarms,
+        s.answers,
+    )
+}

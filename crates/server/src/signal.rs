@@ -1,0 +1,92 @@
+//! SIGINT / SIGTERM → shutdown flag, with no external crates.
+//!
+//! The handler does the only async-signal-safe thing possible: store
+//! into a `static` [`AtomicBool`]. The serve loop polls the flag and
+//! performs the actual graceful drain from normal thread context.
+//!
+//! On non-Unix targets installation is a no-op (the flag simply never
+//! fires); the server is still fully usable via the `shutdown` protocol
+//! op.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGINT or SIGTERM has been received (or
+/// [`request_shutdown`] was called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Sets the flag by hand — used by the protocol `shutdown` op and by
+/// tests.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Resets the flag (tests only; a real process shuts down once).
+pub fn reset_for_tests() {
+    SHUTDOWN_REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::os::raw::{c_int, c_void};
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`. The workspace builds offline with no libc
+        // crate, so we declare the one symbol we need. `usize` stands
+        // in for the handler function pointer / SIG_DFL / SIG_ERR.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Only async-signal-safe operation: an atomic store.
+        super::SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            let handler = on_signal as extern "C" fn(c_int) as *const c_void as usize;
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs handlers for SIGINT and SIGTERM that set the shutdown flag.
+/// Safe to call more than once.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handler_installation_does_not_crash() {
+        install_handlers();
+        install_handlers();
+    }
+}

@@ -45,6 +45,8 @@ fn main() -> ExitCode {
         Some("scan") => cmd_scan(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
         Some("forecast") => cmd_forecast(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -98,7 +100,22 @@ fn print_usage() {
          \u{20}          --index-dir DIR [--len L] [--k K]\n\
          \u{20}  forecast  aggregate what followed similar histories\n\
          \u{20}          --index-dir DIR --query v1,v2,… --epsilon E \
-         [--horizon H] [--window W]"
+         [--horizon H] [--window W]\n\
+         \u{20}  serve   serve an index directory over TCP \
+         (length-prefixed JSON protocol)\n\
+         \u{20}          DIR [--addr HOST:PORT] [--workers N] \
+         [--queue-depth Q] [--deadline-ms D]\n\
+         \u{20}          [--reload-ms R] [--max-query-len L]; \
+         SIGINT/SIGTERM drain gracefully,\n\
+         \u{20}          new index generations are hot-reloaded from the \
+         commit manifest\n\
+         \u{20}  bench-client  drive a running server and report \
+         throughput + latency quantiles\n\
+         \u{20}          --addr HOST:PORT --input FILE \
+         [--connections C] [--requests N]\n\
+         \u{20}          [--mode closed|open] [--rate RPS] \
+         [--epsilons e1,e2,…] [--window W]\n\
+         \u{20}          [--queries K] [--seed S] [--out BENCH_serve.json]"
     );
 }
 
@@ -692,6 +709,128 @@ fn cmd_forecast(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use warptree::server::signal;
+    // Accept the directory positionally (`warptree serve ./idx`) or as
+    // `--index-dir ./idx`.
+    let (dir, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (PathBuf::from(a), &args[1..]),
+        _ => {
+            let o = Opts::parse(args)?;
+            (PathBuf::from(o.require("index-dir")?), args)
+        }
+    };
+    let o = Opts::parse(rest)?;
+    let mut config = ServerConfig {
+        addr: o.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        ..ServerConfig::default()
+    };
+    config.workers = o.parse_num("workers", config.workers)?;
+    config.queue_depth = o.parse_num("queue-depth", config.queue_depth)?;
+    config.deadline = std::time::Duration::from_millis(o.parse_num("deadline-ms", 5000u64)?);
+    config.reload_interval = std::time::Duration::from_millis(o.parse_num("reload-ms", 200u64)?);
+    config.max_query_len = o.parse_num("max-query-len", config.max_query_len)?;
+    config.cache_pages = o.parse_num("cache-pages", config.cache_pages)?;
+    config.cache_nodes = config.cache_pages * 8;
+    config.enable_debug_ops = o.flag("debug-ops");
+
+    signal::install_handlers();
+    let handle = Server::start(&dir, config.clone()).map_err(|e| e.to_string())?;
+    // One parseable line so scripts can discover the bound port.
+    println!("serving {} on {}", dir.display(), handle.addr());
+    println!(
+        "  workers {}, queue depth {}, deadline {:?}, reload poll {:?}",
+        config.workers, config.queue_depth, config.deadline, config.reload_interval
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // Park until SIGINT/SIGTERM or a protocol `shutdown` op, then drain.
+    while !signal::shutdown_requested() && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining in-flight requests…");
+    handle.request_shutdown();
+    handle.join();
+    eprintln!("drained; bye");
+    Ok(())
+}
+
+fn cmd_bench_client(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let addr = o.require("addr")?.to_string();
+    let connections: usize = o.parse_num("connections", 8)?;
+    let requests: usize = o.parse_num("requests", 240)?;
+    let mode = match o.get("mode").unwrap_or("closed") {
+        "closed" => LoopMode::Closed,
+        "open" => LoopMode::Open {
+            rate: o.parse_num("rate", 100.0)?,
+        },
+        other => return Err(format!("unknown --mode {other:?} (closed|open)")),
+    };
+    let epsilons = match o.get("epsilons") {
+        None => warptree::server::bench::default_epsilons(),
+        Some(text) => parse_query(text)?,
+    };
+    let window: Option<u32> = match o.get("window") {
+        Some(w) => Some(w.parse().map_err(|_| "--window: bad value".to_string())?),
+        None => None,
+    };
+    // Query pool: explicit `--query`, or drawn from a corpus CSV with
+    // the paper's stratified workload (§7: mean length 20, 20/50/30
+    // band mix).
+    let queries: Vec<Vec<f64>> = match (o.get("query"), o.get("input")) {
+        (Some(text), _) => vec![parse_query(text)?],
+        (None, Some(input)) => {
+            let store = load_csv(Path::new(input)).map_err(|e| e.to_string())?;
+            if store.is_empty() {
+                return Err("--input contains no sequences".into());
+            }
+            let cfg = QueryConfig {
+                count: o.parse_num("queries", 32usize)?,
+                seed: o.parse_num("seed", 1u64)?,
+                ..Default::default()
+            };
+            QueryWorkload::draw(&store, &cfg)
+                .queries()
+                .iter()
+                .map(|q| q.values.clone())
+                .collect()
+        }
+        (None, None) => return Err("bench-client needs --query or --input".into()),
+    };
+    let config = BenchConfig {
+        addr,
+        connections,
+        requests,
+        mode,
+        epsilons,
+        window,
+        queries,
+    };
+    let t0 = std::time::Instant::now();
+    let report = warptree::server::bench::run(&config).map_err(|e| e.to_string())?;
+    println!(
+        "{} requests over {} connections ({}) in {:.2?}:",
+        report.sent,
+        report.connections,
+        report.mode,
+        t0.elapsed()
+    );
+    println!(
+        "  ok {}, overloaded {}, deadline_exceeded {}, errors {}",
+        report.ok, report.overloaded, report.deadline_exceeded, report.errors
+    );
+    println!(
+        "  throughput {:.1} req/s; latency p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+        report.throughput, report.p50_us, report.p95_us, report.p99_us, report.max_us
+    );
+    if let Some(out) = o.get("out") {
+        std::fs::write(out, report.to_json() + "\n").map_err(|e| e.to_string())?;
+        println!("  wrote {out}");
+    }
+    Ok(())
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {

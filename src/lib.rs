@@ -62,6 +62,7 @@ pub use warptree_core as core;
 pub use warptree_data as data;
 pub use warptree_disk as disk;
 pub use warptree_obs as obs;
+pub use warptree_server as server;
 pub use warptree_suffix as suffix;
 
 mod explain;
@@ -188,6 +189,24 @@ impl Index {
         params: &SearchParams,
         threads: usize,
     ) -> Vec<AnswerSet> {
+        // One bundle for the whole batch (not a fresh allocation per
+        // query): batch totals land in a single place, matching how the
+        // server's batch op reports through its shared registry bundle.
+        let metrics = SearchMetrics::new();
+        self.batch_search_with(queries, params, threads, &metrics)
+    }
+
+    /// [`batch_search`](Self::batch_search) accumulating every query's
+    /// counters and phase timings into ONE caller-owned
+    /// [`SearchMetrics`] bundle — its snapshot after the call reflects
+    /// the whole batch.
+    pub fn batch_search_with(
+        &self,
+        queries: &[Vec<Value>],
+        params: &SearchParams,
+        threads: usize,
+        metrics: &SearchMetrics,
+    ) -> Vec<AnswerSet> {
         let threads = threads.max(1).min(queries.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut results: Vec<Option<AnswerSet>> = vec![None; queries.len()];
@@ -199,7 +218,7 @@ impl Index {
                     if i >= queries.len() {
                         break;
                     }
-                    let (answers, _) = self.search(&queries[i], params);
+                    let answers = self.search_with(&queries[i], params, metrics);
                     slots.lock().unwrap()[i] = Some(answers);
                 });
             }
@@ -499,12 +518,49 @@ pub mod prelude {
     };
     pub use warptree_disk::{DiskTree, IncrementalBuilder, TreeKind};
     pub use warptree_obs::{MetricsRegistry, MetricsSnapshot};
+    pub use warptree_server::{BenchConfig, Client, LoopMode, Server, ServerConfig, ServerHandle};
     pub use warptree_suffix::{build_full, build_sparse, SuffixTree};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn index_types_are_shareable_across_threads() {
+        // The serving stack hands `Index` / `DiskIndexDir` references to
+        // worker threads; state the contract at compile time.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Index>();
+        assert_send_sync::<crate::DiskIndexDir>();
+        assert_send_sync::<MetricsRegistry>();
+        assert_send_sync::<SearchMetrics>();
+    }
+
+    #[test]
+    fn batch_search_shares_one_metrics_bundle() {
+        let store = stock_corpus(&StockConfig {
+            sequences: 8,
+            mean_len: 30,
+            ..Default::default()
+        });
+        let index = Index::sparse(&store, Categorization::MaxEntropy(8)).unwrap();
+        let queries: Vec<Vec<f64>> = (0..4)
+            .map(|i| store.get(SeqId(i)).subseq(0, 6).to_vec())
+            .collect();
+        let params = SearchParams::with_epsilon(3.0);
+        let metrics = SearchMetrics::new();
+        let batch = index.batch_search_with(&queries, &params, 2, &metrics);
+        // The single bundle accumulated every query: its totals equal
+        // the sum of per-query runs.
+        let mut expected = SearchStats::default();
+        for q in &queries {
+            let (_, s) = index.search(q, &params);
+            expected.merge(&s);
+        }
+        assert_eq!(metrics.snapshot(), expected);
+        assert_eq!(batch.len(), queries.len());
+    }
 
     #[test]
     fn knn_and_batch_search() {

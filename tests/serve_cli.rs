@@ -1,0 +1,135 @@
+//! End-to-end test of the serving CLI: `gen` → `build` → `warptree
+//! serve` in the background → `warptree bench-client` burst against it
+//! → protocol shutdown → clean exit, with the committed benchmark JSON
+//! validated against its schema.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+use warptree::server::json::{self, Json};
+use warptree::server::Client;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_warptree"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn serve_and_bench_client_round_trip() {
+    let dir = std::env::temp_dir().join(format!("warptree-serve-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    let idx = dir.join("idx");
+    let bench_out = dir.join("bench.json");
+
+    run_ok(&[
+        "gen",
+        "--kind",
+        "walk",
+        "--sequences",
+        "20",
+        "--len",
+        "60",
+        "--seed",
+        "7",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--categories",
+        "10",
+        "--out-dir",
+        idx.to_str().unwrap(),
+    ]);
+
+    // Serve in the background on an ephemeral port; the first stdout
+    // line advertises the bound address.
+    let mut server = bin()
+        .args([
+            "serve",
+            idx.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .trim()
+        .rsplit(" on ")
+        .next()
+        .expect("serve announces its address")
+        .to_string();
+    assert!(
+        first_line.starts_with("serving "),
+        "unexpected banner: {first_line}"
+    );
+
+    // A closed-loop burst, committed to JSON.
+    let out = run_ok(&[
+        "bench-client",
+        "--addr",
+        &addr,
+        "--input",
+        csv.to_str().unwrap(),
+        "--queries",
+        "8",
+        "--connections",
+        "4",
+        "--requests",
+        "60",
+        "--out",
+        bench_out.to_str().unwrap(),
+    ]);
+    assert!(out.contains("throughput"), "bench summary:\n{out}");
+
+    // The emitted report honors the BENCH_serve.json schema.
+    let report = json::parse(&std::fs::read_to_string(&bench_out).unwrap()).unwrap();
+    assert_eq!(report.get("sent").and_then(Json::as_u64), Some(60));
+    assert_eq!(report.get("connections").and_then(Json::as_u64), Some(4));
+    assert_eq!(report.get("errors").and_then(Json::as_u64), Some(0));
+    assert!(report.get("ok").and_then(Json::as_u64).unwrap_or(0) > 0);
+    let latency = report.get("latency_us").expect("latency block");
+    for q in ["p50", "p95", "p99", "max"] {
+        assert!(
+            latency.get(q).and_then(Json::as_u64).is_some(),
+            "missing {q}"
+        );
+    }
+    assert!(
+        report
+            .get("throughput_rps")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            > 0.0
+    );
+
+    // Protocol shutdown drains the server and the process exits cleanly.
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
