@@ -26,7 +26,8 @@
 //! The error codes ([`ErrorCode`]) are part of the contract: admission
 //! control distinguishes `overloaded` (bounded queue full — retry with
 //! backoff) from `deadline_exceeded` (accepted but expired in queue)
-//! from `bad_request` (never retry) from `shutting_down`.
+//! from `bad_request` (never retry) from `result_too_large` (answer
+//! exceeds the frame cap — narrow the search) from `shutting_down`.
 
 use std::io::{self, Read, Write};
 
@@ -78,6 +79,98 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// What [`read_frame_idle_aware`] observed on the stream.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary — the peer closed the connection.
+    Closed,
+    /// The read timed out with **zero** bytes of the next frame
+    /// consumed. The stream is still at a frame boundary; the caller
+    /// may poll shutdown flags and retry.
+    Idle,
+}
+
+/// [`read_frame`] for a reader with a read timeout (e.g. a `TcpStream`
+/// with `set_read_timeout`).
+///
+/// `WouldBlock`/`TimedOut` before the first byte of a frame is
+/// reported as [`FrameEvent::Idle`] — nothing has been consumed, so
+/// the caller can safely loop. Once a frame has begun, timeouts are
+/// *retried* instead of surfaced: a plain `read_exact` would discard
+/// whatever partial length/payload bytes it had buffered, leaving the
+/// next read to interpret mid-frame bytes as a fresh length prefix and
+/// permanently desynchronizing the connection. A slow client (a gap
+/// longer than the timeout inside a multi-chunk frame) is therefore
+/// fine; only `stall_limit` *consecutive* zero-progress timeouts
+/// mid-frame fail the read (`TimedOut`), bounding how long a dead or
+/// malicious peer can pin the reader inside one frame.
+pub fn read_frame_idle_aware(r: &mut impl Read, stall_limit: u32) -> io::Result<FrameEvent> {
+    let mut len_buf = [0u8; 4];
+    loop {
+        match r.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(FrameEvent::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(FrameEvent::Idle)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    read_full(r, &mut len_buf[1..], stall_limit)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_full(r, &mut payload, stall_limit)?;
+    Ok(FrameEvent::Frame(payload))
+}
+
+/// `read_exact` that survives read timeouts: tracks its own offset so
+/// partially read bytes are never discarded, retrying on
+/// `WouldBlock`/`TimedOut` up to `stall_limit` consecutive
+/// zero-progress reads (the counter resets whenever bytes arrive).
+fn read_full(r: &mut impl Read, buf: &mut [u8], stall_limit: u32) -> io::Result<()> {
+    let mut off = 0;
+    let mut stalls = 0u32;
+    while off < buf.len() {
+        match r.read(&mut buf[off..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => {
+                off += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                stalls += 1;
+                if stalls >= stall_limit {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no progress mid-frame for too long",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Typed protocol error codes. The string form is the wire contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -87,8 +180,14 @@ pub enum ErrorCode {
     /// full. Retry with backoff.
     Overloaded,
     /// The request was admitted but its deadline expired before a
-    /// worker picked it up (or while it ran).
+    /// worker picked it up, or between items of a `batch`. A single
+    /// running search is never interrupted mid-query — cap its cost
+    /// with the server's `max_query_len`.
     DeadlineExceeded,
+    /// The query succeeded but its serialized result exceeds
+    /// [`MAX_FRAME`]. Narrow the search (smaller ε, `max_len`) or
+    /// split the batch; retrying unchanged cannot succeed.
+    ResultTooLarge,
     /// The server is draining; no new work is admitted.
     ShuttingDown,
     /// Unexpected server-side failure.
@@ -102,6 +201,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ResultTooLarge => "result_too_large",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
         }
@@ -371,6 +471,98 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    /// A reader that interleaves timeouts between single-byte reads —
+    /// the worst case a slow network client presents.
+    struct DribbleReader {
+        data: Vec<u8>,
+        pos: usize,
+        /// Emit a timeout before every real byte when `true`.
+        stall_between: bool,
+        leading_stalls: u32,
+    }
+
+    impl io::Read for DribbleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.leading_stalls > 0 {
+                self.leading_stalls -= 1;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"));
+            }
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if self.stall_between {
+                self.leading_stalls = 1;
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn idle_aware_reader_survives_mid_frame_timeouts() {
+        // One frame delivered one byte at a time with a timeout before
+        // every byte: read_frame would desync; the idle-aware reader
+        // must reassemble the frame, then report the clean close.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"{\"op\":\"health\"}").unwrap();
+        let mut r = DribbleReader {
+            data: framed,
+            pos: 0,
+            stall_between: true,
+            leading_stalls: 1,
+        };
+        match read_frame_idle_aware(&mut r, 10).unwrap() {
+            FrameEvent::Idle => {} // first stall: zero bytes consumed
+            other => panic!("expected Idle, got {other:?}"),
+        }
+        match read_frame_idle_aware(&mut r, 10).unwrap() {
+            FrameEvent::Frame(p) => assert_eq!(p, b"{\"op\":\"health\"}"),
+            other => panic!("expected Frame, got {other:?}"),
+        }
+        // The reader stalls once more before EOF (still a frame
+        // boundary → Idle), then reports the clean close.
+        match read_frame_idle_aware(&mut r, 10).unwrap() {
+            FrameEvent::Idle => {}
+            other => panic!("expected Idle, got {other:?}"),
+        }
+        match read_frame_idle_aware(&mut r, 10).unwrap() {
+            FrameEvent::Closed => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_aware_reader_bounds_mid_frame_stalls() {
+        // A peer that sends one length byte then goes silent must not
+        // pin the reader forever: the consecutive-stall limit trips.
+        let mut r = DribbleReader {
+            data: vec![7u8],
+            pos: 0,
+            stall_between: false,
+            leading_stalls: 0,
+        };
+        // After the single byte, every read hits EOF → UnexpectedEof
+        // (mid-frame close), not a silent desync.
+        let err = read_frame_idle_aware(&mut r, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // And a pure staller (no bytes after the first) trips TimedOut.
+        struct OneByteThenStall(bool);
+        impl io::Read for OneByteThenStall {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if !self.0 {
+                    self.0 = true;
+                    buf[0] = 7;
+                    return Ok(1);
+                }
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"))
+            }
+        }
+        let err = read_frame_idle_aware(&mut OneByteThenStall(false), 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

@@ -39,7 +39,8 @@ use warptree_obs::MetricsRegistry;
 
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{
-    self, error_response, ok_response, read_frame, write_frame, ErrorCode, Request,
+    self, error_response, ok_response, read_frame_idle_aware, write_frame, ErrorCode, FrameEvent,
+    Request,
 };
 use crate::snapshot::{ReloadWatcher, SnapshotCell};
 
@@ -55,8 +56,11 @@ pub struct ServerConfig {
     /// beyond `workers` running + `queue_depth` queued are rejected
     /// `overloaded`.
     pub queue_depth: usize,
-    /// Per-request deadline, measured from admission. Expired requests
-    /// are dropped unstarted at dequeue.
+    /// Per-request deadline, measured from admission. Enforced at
+    /// dequeue (expired requests are dropped unstarted) and between
+    /// `batch` items; a single running search is never interrupted
+    /// mid-query, so cap per-query cost with
+    /// [`ServerConfig::max_query_len`].
     pub deadline: Duration,
     /// How often the reload watcher polls the commit manifest.
     pub reload_interval: Duration,
@@ -68,6 +72,11 @@ pub struct ServerConfig {
     pub cache_pages: usize,
     /// Node-cache size for newly opened snapshots.
     pub cache_nodes: usize,
+    /// Maximum concurrent connections (the server is
+    /// thread-per-connection, so this bounds connection threads).
+    /// Connections beyond the cap receive a typed `overloaded` error
+    /// frame and are closed without spawning a thread.
+    pub max_conns: usize,
     /// Accept test-only protocol ops (`debug_sleep`). Never enable in
     /// production serving.
     pub enable_debug_ops: bool,
@@ -84,6 +93,7 @@ impl Default for ServerConfig {
             max_query_len: 4096,
             cache_pages: 256,
             cache_nodes: 4096,
+            max_conns: 256,
             enable_debug_ops: false,
         }
     }
@@ -101,6 +111,7 @@ struct Ctx {
     max_query_len: usize,
     workers: usize,
     queue_depth: usize,
+    max_conns: usize,
     enable_debug_ops: bool,
 }
 
@@ -137,6 +148,7 @@ impl Server {
             max_query_len: config.max_query_len,
             workers: config.workers,
             queue_depth: config.queue_depth,
+            max_conns: config.max_conns,
             enable_debug_ops: config.enable_debug_ops,
         });
 
@@ -243,8 +255,21 @@ impl Drop for ServerHandle {
 fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, pool: Arc<WorkerPool>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !ctx.shutdown.load(Ordering::SeqCst) {
+        // Reap finished connections on every iteration — including idle
+        // ones — so long-lived servers don't accumulate dead handles
+        // and the cap below counts only live connections.
+        conns.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Thread-per-connection needs a connection cap, or a
+                // connection flood exhausts threads/memory before
+                // admission control ever sees a request.
+                if conns.len() >= ctx.max_conns {
+                    ctx.registry.counter("server.rejected_overload").incr();
+                    ctx.registry.counter("server.rejected_conn_limit").incr();
+                    reject_connection(stream);
+                    continue;
+                }
                 ctx.registry.counter("server.connections").incr();
                 let conn_ctx = ctx.clone();
                 let pool = pool.clone();
@@ -255,9 +280,6 @@ fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, pool: Arc<WorkerPool>) {
                     Ok(h) => conns.push(h),
                     Err(_) => ctx.registry.counter("server.errors").incr(),
                 }
-                // Reap finished connections so long-lived servers don't
-                // accumulate dead handles.
-                conns.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -277,6 +299,27 @@ fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, pool: Arc<WorkerPool>) {
     drop(pool); // last reference → WorkerPool::drop drains and joins
 }
 
+/// A rejected connection gets a best-effort typed error frame before
+/// the close, so its client sees `overloaded` instead of a bare reset.
+/// Short write timeout: this runs on the accept thread.
+fn reject_connection(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = write_frame(
+        &mut stream,
+        error_response(
+            ErrorCode::Overloaded,
+            "connection limit reached; retry with backoff",
+        )
+        .as_bytes(),
+    );
+}
+
+/// How many consecutive zero-progress 100 ms read timeouts we tolerate
+/// *inside* a frame before giving up on the connection (~30 s). Between
+/// frames the timeout just means "idle" and we poll the shutdown flag.
+const FRAME_STALL_LIMIT: u32 = 300;
+
 fn handle_conn(mut stream: TcpStream, ctx: &Ctx, pool: &WorkerPool) {
     // Nonblocking-ness is inherited from the listener on some
     // platforms; frames want blocking reads with a timeout so the
@@ -291,21 +334,23 @@ fn handle_conn(mut stream: TcpStream, ctx: &Ctx, pool: &WorkerPool) {
         return;
     }
     loop {
-        match read_frame(&mut stream) {
-            Ok(Some(payload)) => {
+        // The idle-aware reader reports a timeout as `Idle` only when
+        // zero bytes of the next frame have been consumed; once a frame
+        // has begun it retries timeouts internally, so a slow client
+        // can never desynchronize the stream.
+        match read_frame_idle_aware(&mut stream, FRAME_STALL_LIMIT) {
+            Ok(FrameEvent::Frame(payload)) => {
                 if !serve_one(&payload, &mut stream, ctx, pool) {
                     return;
                 }
             }
-            Ok(None) => return, // clean close
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
+            Ok(FrameEvent::Closed) => return, // clean close
+            Ok(FrameEvent::Idle) => {
                 if ctx.shutdown.load(Ordering::SeqCst) {
                     return; // idle at a frame boundary during drain
                 }
             }
-            Err(_) => return, // torn frame / reset
+            Err(_) => return, // torn frame / mid-frame stall / reset
         }
     }
 }
@@ -323,7 +368,7 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
     };
 
     if req.is_control() {
-        let resp = control_response(&req, ctx);
+        let resp = clamp_oversized(control_response(&req, ctx), &ctx.registry);
         return respond(stream, &resp);
     }
 
@@ -342,6 +387,7 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
         search_metrics: ctx.search_metrics.clone(),
         registry: ctx.registry.clone(),
         max_query_len: ctx.max_query_len,
+        deadline,
     };
     let job = Box::new(move || {
         let resp = if Instant::now() > deadline {
@@ -381,10 +427,26 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
             error_response(ErrorCode::ShuttingDown, "server is draining")
         }
     };
+    let resp = clamp_oversized(resp, &ctx.registry);
     ctx.registry
         .histogram("server.request_ns")
         .record(started.elapsed().as_nanos() as u64);
     respond(stream, &resp)
+}
+
+/// Replaces a response too large for one frame with a typed error.
+/// Without this, `write_frame` rejects the oversized payload, the
+/// connection closes, and the client only sees "closed mid-request" —
+/// a broad search (large ε over a big corpus) must fail *explainably*.
+fn clamp_oversized(resp: String, registry: &MetricsRegistry) -> String {
+    if resp.len() <= proto::MAX_FRAME as usize {
+        return resp;
+    }
+    registry.counter("server.result_too_large").incr();
+    error_response(
+        ErrorCode::ResultTooLarge,
+        "serialized result exceeds the 4 MiB frame limit; narrow epsilon, lower max_len, or split the batch",
+    )
 }
 
 fn respond(stream: &mut TcpStream, resp: &str) -> bool {
@@ -434,6 +496,9 @@ struct JobCtx {
     search_metrics: SearchMetrics,
     registry: MetricsRegistry,
     max_query_len: usize,
+    /// Absolute request deadline; checked at dequeue and between batch
+    /// items (a single search is never interrupted mid-query).
+    deadline: Instant,
 }
 
 fn check_len(job: &JobCtx, query: &[f64]) -> Result<(), CoreError> {
@@ -490,6 +555,20 @@ fn execute(job: &JobCtx, req: Request) -> String {
             let mut results = String::from("[");
             let mut err = None;
             for (i, query) in queries.iter().enumerate() {
+                // The deadline checkpoint between items: one batch can
+                // carry many searches, so this is where an admitted
+                // request can overstay its deadline by more than one
+                // query's worth of work.
+                if Instant::now() > job.deadline {
+                    job.registry.counter("server.deadline_exceeded").incr();
+                    return error_response(
+                        ErrorCode::DeadlineExceeded,
+                        &format!(
+                            "deadline expired after {i} of {} batch items",
+                            queries.len()
+                        ),
+                    );
+                }
                 let r = check_len(job, query).and_then(|()| {
                     sim_search_checked_with(
                         &snap.tree,
@@ -595,4 +674,98 @@ fn encode_stats(s: &SearchStats) -> String {
         s.false_alarms,
         s.answers,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warptree_core::categorize::Alphabet;
+    use warptree_core::search::SearchParams;
+    use warptree_core::sequence::SequenceStore;
+    use warptree_disk::{build_dir_with, TreeKind};
+
+    #[test]
+    fn oversized_responses_become_typed_errors() {
+        let registry = MetricsRegistry::new();
+        let small = clamp_oversized("{\"ok\":true}".to_string(), &registry);
+        assert_eq!(small, "{\"ok\":true}");
+
+        let clamped = clamp_oversized("x".repeat(proto::MAX_FRAME as usize + 1), &registry);
+        assert!(
+            clamped.contains("\"code\":\"result_too_large\""),
+            "{clamped}"
+        );
+        assert!(clamped.len() <= proto::MAX_FRAME as usize);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counters
+                .get("server.result_too_large")
+                .copied(),
+            Some(1)
+        );
+    }
+
+    fn test_job_ctx(dir: &Path, deadline: Instant) -> (JobCtx, MetricsRegistry) {
+        let store = SequenceStore::from_values(vec![vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        let alphabet = Alphabet::equal_length(&store, 3).unwrap();
+        build_dir_with(
+            real_vfs(),
+            &store,
+            &alphabet,
+            TreeKind::Full,
+            1,
+            1,
+            None,
+            dir,
+        )
+        .unwrap();
+        let snap = open_dir_snapshot_with(real_vfs().as_ref(), dir, 16, 64).unwrap();
+        let registry = MetricsRegistry::new();
+        let job = JobCtx {
+            cell: Arc::new(SnapshotCell::new(Arc::new(snap))),
+            search_metrics: SearchMetrics::register(&registry),
+            registry: registry.clone(),
+            max_query_len: 64,
+            deadline,
+        };
+        (job, registry)
+    }
+
+    #[test]
+    fn batch_deadline_checkpoint_fires_between_items() {
+        let dir =
+            std::env::temp_dir().join(format!("warptree-unit-batchdl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let expired = Instant::now()
+            .checked_sub(Duration::from_millis(10))
+            .unwrap();
+        let (job, registry) = test_job_ctx(&dir, expired);
+        let req = Request::Batch {
+            queries: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            params: SearchParams::with_epsilon(1.0),
+        };
+        let resp = execute(&job, req.clone());
+        assert!(resp.contains("\"code\":\"deadline_exceeded\""), "{resp}");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counters
+                .get("server.deadline_exceeded")
+                .copied(),
+            Some(1)
+        );
+
+        // A live deadline serves the whole batch normally.
+        job_with_live_deadline(job, req);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn job_with_live_deadline(mut job: JobCtx, req: Request) {
+        job.deadline = Instant::now() + Duration::from_secs(60);
+        let resp = execute(&job, req);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
 }

@@ -36,11 +36,28 @@ mod imp {
 
     const SIGINT: c_int = 2;
     const SIGTERM: c_int = 15;
+    /// POSIX `SIG_ERR` is `(void (*)(int))-1`; on every platform Rust
+    /// supports, pointers round-trip through `usize`, so `-1` as a
+    /// pointer is `usize::MAX`.
+    const SIG_ERR: usize = usize::MAX;
 
     extern "C" {
         // POSIX `signal(2)`. The workspace builds offline with no libc
         // crate, so we declare the one symbol we need. `usize` stands
-        // in for the handler function pointer / SIG_DFL / SIG_ERR.
+        // in for the handler function pointer / SIG_DFL / SIG_ERR —
+        // valid because function pointers and `usize` have the same
+        // size and a lossless round-trip on all supported targets.
+        //
+        // Portability note: we deliberately use `signal` rather than
+        // hand-rolling the `sigaction` struct ABI (whose layout varies
+        // per target and would be far riskier without libc). On
+        // Linux/glibc and the BSDs, `signal` gives BSD semantics — the
+        // handler stays installed after delivery and interrupted
+        // syscalls restart. On a System V-semantics libc the handler
+        // would reset to default after the first signal; for a
+        // *shutdown* handler that is acceptable: the first signal
+        // already starts the drain, and a second then terminates the
+        // process — the conventional "impatient operator" escalation.
         fn signal(signum: c_int, handler: usize) -> usize;
     }
 
@@ -49,24 +66,30 @@ mod imp {
         super::SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
     }
 
-    pub fn install() {
-        unsafe {
-            let handler = on_signal as extern "C" fn(c_int) as *const c_void as usize;
-            signal(SIGINT, handler);
-            signal(SIGTERM, handler);
-        }
+    pub fn install() -> bool {
+        let handler = on_signal as extern "C" fn(c_int) as *const c_void as usize;
+        // Install both even if the first fails, and report failure to
+        // the caller instead of silently serving without handlers.
+        let int_ok = unsafe { signal(SIGINT, handler) } != SIG_ERR;
+        let term_ok = unsafe { signal(SIGTERM, handler) } != SIG_ERR;
+        int_ok && term_ok
     }
 }
 
 #[cfg(not(unix))]
 mod imp {
-    pub fn install() {}
+    pub fn install() -> bool {
+        false
+    }
 }
 
 /// Installs handlers for SIGINT and SIGTERM that set the shutdown flag.
-/// Safe to call more than once.
-pub fn install_handlers() {
-    imp::install();
+/// Safe to call more than once. Returns `false` when one or both
+/// handlers could not be installed (or on non-Unix targets, where
+/// installation is a no-op) — the server still runs, but only the
+/// protocol `shutdown` op can trigger a graceful drain.
+pub fn install_handlers() -> bool {
+    imp::install()
 }
 
 #[cfg(test)]
@@ -85,8 +108,8 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
-    fn handler_installation_does_not_crash() {
-        install_handlers();
-        install_handlers();
+    fn handler_installation_succeeds_and_is_idempotent() {
+        assert!(install_handlers());
+        assert!(install_handlers());
     }
 }

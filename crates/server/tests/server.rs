@@ -378,7 +378,7 @@ fn control_ops_report_index_and_process_state() {
     );
     assert_eq!(
         info.get("values").and_then(Json::as_u64),
-        Some(store.total_len() as u64)
+        Some(store.total_len())
     );
     assert_eq!(info.get("categories").and_then(Json::as_u64), Some(6));
     assert_eq!(info.get("workers").and_then(Json::as_u64), Some(4));
@@ -412,6 +412,98 @@ fn control_ops_report_index_and_process_state() {
             .is_some(),
         "request latency histogram missing"
     );
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn slow_client_mid_frame_pauses_do_not_desync_the_stream() {
+    let dir = tmpdir("slowclient");
+    build_index(&dir);
+    let handle = Server::start(&dir, ServerConfig::default()).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Dribble one frame 2 bytes at a time with pauses longer than the
+    // server's 100 ms read timeout: every chunk boundary forces a
+    // mid-frame timeout server-side. A read path that treats those as
+    // "idle" after consuming bytes would desync and answer garbage.
+    let body = br#"{"op":"health"}"#;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    use std::io::Write as _;
+    for chunk in frame.chunks(2) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let resp = proto::read_frame(&mut stream).unwrap().unwrap();
+    let text = String::from_utf8(resp).unwrap();
+    assert!(text.contains("\"ok\":true"), "desynced response: {text}");
+
+    // The same connection then serves a normally-written frame: the
+    // stream is still at a frame boundary.
+    stream.write_all(&frame).unwrap();
+    let resp = proto::read_frame(&mut stream).unwrap().unwrap();
+    let text = String::from_utf8(resp).unwrap();
+    assert!(text.contains("\"status\":\"serving\""), "got: {text}");
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_overloaded_frame() {
+    let dir = tmpdir("connlimit");
+    build_index(&dir);
+    let config = ServerConfig {
+        max_conns: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(&dir, config).unwrap();
+    let addr = handle.addr();
+
+    // Fill both slots; a health round-trip proves each connection
+    // thread is live (so the accept loop has counted them).
+    let mut c1 = Client::connect(addr).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+    c1.health().unwrap();
+    c2.health().unwrap();
+
+    // The third connection is refused at accept with a typed error
+    // frame — read it without writing anything so the frame can't be
+    // lost to a reset.
+    let mut s3 = std::net::TcpStream::connect(addr).unwrap();
+    s3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let payload = proto::read_frame(&mut s3).unwrap().unwrap();
+    let text = String::from_utf8(payload).unwrap();
+    assert!(text.contains("\"code\":\"overloaded\""), "got: {text}");
+
+    let snap = handle.registry().snapshot();
+    assert!(
+        snap.counters.get("server.rejected_conn_limit").copied() >= Some(1),
+        "connection-limit rejection not counted: {:?}",
+        snap.counters
+    );
+
+    // Closing a connection frees its slot (after the conn thread
+    // notices the close and the accept loop reaps it).
+    drop(c1);
+    let mut served = false;
+    for _ in 0..100 {
+        let mut c = Client::connect(addr).unwrap();
+        if c.health().is_ok() {
+            served = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(served, "slot never freed after a client disconnected");
 
     handle.stop();
     std::fs::remove_dir_all(&dir).unwrap();

@@ -105,8 +105,8 @@ fn print_usage() {
          (length-prefixed JSON protocol)\n\
          \u{20}          DIR [--addr HOST:PORT] [--workers N] \
          [--queue-depth Q] [--deadline-ms D]\n\
-         \u{20}          [--reload-ms R] [--max-query-len L]; \
-         SIGINT/SIGTERM drain gracefully,\n\
+         \u{20}          [--reload-ms R] [--max-query-len L] \
+         [--max-conns C]; SIGINT/SIGTERM drain gracefully,\n\
          \u{20}          new index generations are hot-reloaded from the \
          commit manifest\n\
          \u{20}  bench-client  drive a running server and report \
@@ -734,15 +734,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.max_query_len = o.parse_num("max-query-len", config.max_query_len)?;
     config.cache_pages = o.parse_num("cache-pages", config.cache_pages)?;
     config.cache_nodes = config.cache_pages * 8;
+    config.max_conns = o.parse_num("max-conns", config.max_conns)?;
     config.enable_debug_ops = o.flag("debug-ops");
 
-    signal::install_handlers();
+    if !signal::install_handlers() {
+        eprintln!(
+            "warning: SIGINT/SIGTERM handlers unavailable; stop via the protocol `shutdown` op"
+        );
+    }
     let handle = Server::start(&dir, config.clone()).map_err(|e| e.to_string())?;
     // One parseable line so scripts can discover the bound port.
     println!("serving {} on {}", dir.display(), handle.addr());
     println!(
-        "  workers {}, queue depth {}, deadline {:?}, reload poll {:?}",
-        config.workers, config.queue_depth, config.deadline, config.reload_interval
+        "  workers {}, queue depth {}, max conns {}, deadline {:?}, reload poll {:?}",
+        config.workers,
+        config.queue_depth,
+        config.max_conns,
+        config.deadline,
+        config.reload_interval
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
