@@ -24,6 +24,8 @@ use warptree_obs::json::num;
 struct Row {
     strategy: &'static str,
     categories: Option<usize>,
+    /// Worker subthreads per query (1 = sequential execution).
+    threads: u32,
     latencies: Vec<f64>,
     answers: u64,
     stats: SearchStats,
@@ -47,7 +49,7 @@ impl Row {
         let s = &self.stats;
         format!(
             concat!(
-                "{{\"strategy\":\"{}\",\"categories\":{},",
+                "{{\"strategy\":\"{}\",\"categories\":{},\"threads\":{},",
                 "\"latency_ms\":{{\"p50\":{},\"p95\":{},\"mean\":{}}},",
                 "\"answers_per_query\":{},\"candidates_per_query\":{},",
                 "\"candidate_ratio\":{},",
@@ -61,6 +63,7 @@ impl Row {
                 Some(c) => c.to_string(),
                 None => "null".into(),
             },
+            self.threads,
             num(1e3 * self.quantile(0.5)),
             num(1e3 * self.quantile(0.95)),
             num(mean_ms),
@@ -103,6 +106,7 @@ fn main() {
         let mut row = Row {
             strategy: "seqscan",
             categories: None,
+            threads: 1,
             latencies: Vec::new(),
             answers: 0,
             stats: SearchStats::default(),
@@ -141,6 +145,7 @@ fn main() {
             let mut row = Row {
                 strategy,
                 categories: Some(cats),
+                threads: 1,
                 latencies: Vec::new(),
                 answers: 0,
                 stats: SearchStats::default(),
@@ -167,6 +172,60 @@ fn main() {
                 1e3 * row.quantile(0.5),
                 1e3 * row.quantile(0.95),
                 row.stats.postprocessed as f64 / row.answers.max(1) as f64
+            );
+            rows.push(row);
+        }
+    }
+
+    // Parallel-execution trajectory: the same workload on the best
+    // category count, threads=1 vs threads=N. Answers (and every
+    // deterministic counter) are byte-identical across rows; only the
+    // latency columns should move.
+    {
+        let cats = *scale
+            .category_counts()
+            .last()
+            .expect("non-empty category sweep");
+        // At least 4 worker subthreads even on small machines, so the
+        // committed trajectory always carries a real fan-out row.
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(4, 8) as u32;
+        let built = build_index(&store, IndexKind::Sparse, Method::Me, cats);
+        for threads in [1, par] {
+            let tp = params.clone().parallel(threads);
+            let metrics = SearchMetrics::new();
+            let mut row = Row {
+                strategy: "sparse",
+                categories: Some(cats),
+                threads,
+                latencies: Vec::new(),
+                answers: 0,
+                stats: SearchStats::default(),
+            };
+            for q in queries.queries() {
+                let t0 = Instant::now();
+                let answers = sim_search_with(
+                    &built.tree,
+                    &built.alphabet,
+                    &store,
+                    &q.values,
+                    &tp,
+                    &metrics,
+                );
+                row.latencies.push(t0.elapsed().as_secs_f64());
+                row.answers += answers.len() as u64;
+            }
+            row.stats = metrics.snapshot();
+            row.latencies.sort_by(|a, b| a.total_cmp(b));
+            println!(
+                "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | threads {}",
+                row.strategy,
+                cats,
+                1e3 * row.quantile(0.5),
+                1e3 * row.quantile(0.95),
+                threads
             );
             rows.push(row);
         }

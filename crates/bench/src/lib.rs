@@ -250,7 +250,7 @@ impl Measured {
 
 /// Runs the full `SimSearch` (filter + post-process) workload over an
 /// index.
-pub fn measure_index<T: SuffixTreeIndex>(
+pub fn measure_index<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,

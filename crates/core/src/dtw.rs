@@ -195,6 +195,19 @@ impl WarpTable {
         self.push_row_with(|q| (q - v).abs())
     }
 
+    /// Clones the table for a *forked* traversal branch: the query,
+    /// window and all current rows are preserved, so the fork continues
+    /// from the shared prefix exactly like the original would — but the
+    /// cost counter restarts at zero, because the prefix's cells were
+    /// already counted by whoever computed them. Summing
+    /// [`cells_computed`](Self::cells_computed) over the original and
+    /// every fork then matches the single-table sequential count.
+    pub fn fork(&self) -> Self {
+        let mut t = self.clone();
+        t.cells_computed = 0;
+        t
+    }
+
     /// Shrinks the table back to `depth` rows (used when the depth-first
     /// traversal backtracks).
     pub fn truncate(&mut self, depth: u32) {
@@ -459,6 +472,83 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_query_panics() {
         let _ = WarpTable::new(&[], None);
+    }
+
+    #[test]
+    fn band_window_larger_than_query_is_unconstrained() {
+        // w ≥ |Q| + depth keeps every cell in band: the windowed distance
+        // must coincide with the unconstrained one, with no clamping
+        // artifacts at either band edge.
+        let q = [1.0, 4.0, 2.0];
+        let data = [2.0, 2.0, 5.0, 1.0, 3.0, 3.0];
+        let mut banded = WarpTable::new(&q, Some(64));
+        let mut full = WarpTable::new(&q, None);
+        for &v in &data {
+            assert_eq!(banded.push_value(v), full.push_value(v));
+        }
+        assert_eq!(banded.cells_computed(), full.cells_computed());
+    }
+
+    #[test]
+    fn band_length_one_query_boundaries() {
+        // |Q| = 1, w = 0: only row 1 intersects the band; the length-2
+        // data prefix has no admissible warping path.
+        assert_eq!(dtw_windowed(&[5.0], &[5.0], 0), 0.0);
+        assert_eq!(dtw_windowed(&[5.0], &[5.0, 5.0], 0), f64::INFINITY);
+        // w = 1 admits exactly one more row.
+        assert_eq!(dtw_windowed(&[5.0], &[5.0, 5.0], 1), 0.0);
+        assert_eq!(dtw_windowed(&[5.0], &[5.0, 5.0, 5.0], 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_band_rows_are_infinite_and_free() {
+        // Rows past |Q| + w fall wholly outside the band: they must be
+        // all-infinite, cost zero cells, and not panic or wrap.
+        let q = [1.0, 2.0];
+        let mut t = WarpTable::new(&q, Some(1));
+        t.push_value(1.0);
+        t.push_value(2.0);
+        t.push_value(2.0); // row 3 = |Q| + w: last in-band row
+        assert!(t.next_row_out_of_band());
+        let cells_before = t.cells_computed();
+        let stat = t.push_value(2.0); // row 4: empty band
+        assert_eq!(stat.dist, f64::INFINITY);
+        assert_eq!(stat.min, f64::INFINITY);
+        assert_eq!(t.cells_computed(), cells_before);
+        // Theorem-1 pruning fires on the infinite row for any ε.
+        assert!(stat.prunes(f64::MAX));
+    }
+
+    #[test]
+    fn band_handles_extreme_window_without_overflow() {
+        // w near u32::MAX must not wrap the i64 band arithmetic or the
+        // u64 out-of-band check, for short and length-1 queries alike.
+        for qlen in [1usize, 2, 5] {
+            let q: Vec<Value> = (0..qlen).map(|i| i as f64).collect();
+            let mut huge = WarpTable::new(&q, Some(u32::MAX));
+            let mut full = WarpTable::new(&q, None);
+            for r in 0..8 {
+                assert!(!huge.next_row_out_of_band(), "qlen {qlen} row {r}");
+                let v = (r % 3) as f64;
+                assert_eq!(huge.push_value(v), full.push_value(v));
+            }
+        }
+    }
+
+    #[test]
+    fn fork_preserves_rows_and_resets_cost() {
+        let q = [2.0, 7.0, 1.0];
+        let mut t = WarpTable::new(&q, Some(2));
+        t.push_value(3.0);
+        t.push_value(8.0);
+        let mut f = t.fork();
+        assert_eq!(f.depth(), t.depth());
+        assert_eq!(f.cells_computed(), 0);
+        // The fork continues exactly like the original.
+        let a = t.push_value(0.5);
+        let b = f.push_value(0.5);
+        assert_eq!(a, b);
+        assert_eq!(f.cells_computed(), 3); // row 3's in-band columns 1..=3 only
     }
 
     #[test]

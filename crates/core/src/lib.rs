@@ -45,6 +45,7 @@ pub mod dtw_path;
 pub mod error;
 pub mod multivariate;
 pub mod normalize;
+pub mod parallel;
 pub mod predict;
 pub mod search;
 pub mod sequence;

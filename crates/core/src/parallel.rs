@@ -1,0 +1,310 @@
+//! A std-only fork-join helper for parallel query execution.
+//!
+//! The search algorithms fan independent work items (suffix-tree
+//! subtrees, post-processing candidate groups, batch requests) across a
+//! small set of scoped worker threads. There is no persistent pool and
+//! no `unsafe`: every parallel region is a [`std::thread::scope`], so
+//! tasks may borrow the caller's index, store and query directly, and
+//! panics propagate to the caller like they would sequentially.
+//!
+//! # Scheduling
+//!
+//! Items are identified by index. Each worker starts with a contiguous
+//! slice of the index range behind its own mutex; when a worker drains
+//! its slice it *steals* the upper half of the richest remaining slice.
+//! Contention is one uncontended lock per item plus one scan per steal,
+//! which is negligible next to the per-item work (table rows, exact
+//! `D_tw` verifications) — the counters stay per-worker and are merged
+//! once at the end, so there are no contended atomics on the hot loop.
+//!
+//! # Determinism
+//!
+//! [`parallel_map`] pins results by *item index*, not completion order:
+//! the returned vector is exactly what a sequential `map` would have
+//! produced, regardless of how items were interleaved across workers.
+//! This is what makes parallel search results byte-identical to the
+//! single-threaded path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker subthreads currently alive across all parallel
+/// regions of the process (the caller thread participating in a region
+/// is not counted). Exposed so servers can surface it as a
+/// `server.worker_subthreads` gauge.
+static ACTIVE_SUBTHREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Current number of live spawned worker subthreads, process-wide.
+pub fn active_subthreads() -> u64 {
+    ACTIVE_SUBTHREADS.load(Ordering::Relaxed)
+}
+
+/// Decrements the subthread count on drop, so panicking workers are
+/// still accounted for.
+struct SubthreadGuard;
+
+impl SubthreadGuard {
+    fn enter() -> Self {
+        ACTIVE_SUBTHREADS.fetch_add(1, Ordering::Relaxed);
+        SubthreadGuard
+    }
+}
+
+impl Drop for SubthreadGuard {
+    fn drop(&mut self) {
+        ACTIVE_SUBTHREADS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Work-stealing index ranges: `ranges[w]` is worker `w`'s half-open
+/// `[next, end)` slice of the item indices.
+struct StealQueue {
+    ranges: Vec<Mutex<(usize, usize)>>,
+}
+
+impl StealQueue {
+    /// Splits `0..n` into `workers` contiguous chunks (the leading
+    /// chunks take the remainder, so sizes differ by at most one).
+    fn new(n: usize, workers: usize) -> Self {
+        let base = n / workers;
+        let extra = n % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            ranges.push(Mutex::new((start, start + len)));
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        StealQueue { ranges }
+    }
+
+    /// Claims the next index of worker `w`'s own range, if any.
+    fn pop(&self, w: usize) -> Option<usize> {
+        let mut r = self.ranges[w].lock().expect("queue poisoned");
+        if r.0 < r.1 {
+            let i = r.0;
+            r.0 += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Steals the upper half of the richest other range into worker
+    /// `w`'s own range and claims its first index. Returns `None` when
+    /// no range holds unclaimed work (the region is draining).
+    fn steal(&self, w: usize) -> Option<usize> {
+        loop {
+            // Pick the victim with the most remaining items.
+            let mut victim = None;
+            let mut most = 0usize;
+            for (v, range) in self.ranges.iter().enumerate() {
+                if v == w {
+                    continue;
+                }
+                let r = range.lock().expect("queue poisoned");
+                let len = r.1 - r.0;
+                if len > most {
+                    most = len;
+                    victim = Some(v);
+                }
+            }
+            let victim = victim?;
+            // Re-lock and re-check: the victim may have drained since
+            // the scan.
+            let stolen = {
+                let mut r = self.ranges[victim].lock().expect("queue poisoned");
+                let len = r.1 - r.0;
+                if len == 0 {
+                    None
+                } else {
+                    let take = len.div_ceil(2);
+                    let stolen = (r.1 - take, r.1);
+                    r.1 -= take;
+                    Some(stolen)
+                }
+            };
+            let Some((lo, hi)) = stolen else {
+                continue; // raced; rescan
+            };
+            let mut own = self.ranges[w].lock().expect("queue poisoned");
+            debug_assert!(own.0 >= own.1, "stealing with local work left");
+            *own = (lo + 1, hi);
+            return Some(lo);
+        }
+    }
+
+    fn next(&self, w: usize) -> Option<usize> {
+        self.pop(w).or_else(|| self.steal(w))
+    }
+}
+
+/// Maps `f` over `items` across up to `threads` OS threads (the caller
+/// participates, so `threads == 1` spawns nothing), with a per-worker
+/// state from `init` threaded through every call that worker makes.
+///
+/// Returns the results **in item order** plus the final per-worker
+/// states (for merging per-worker scratch counters); the states vector
+/// length equals the number of workers actually used.
+///
+/// Item indices are claimed exactly once via work stealing, so the
+/// assignment of items to workers is nondeterministic — only state that
+/// is merged commutatively (counters) or keyed by item index (results)
+/// should live in `S`.
+pub fn parallel_map_with<T, R, S, I, F>(
+    threads: usize,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Send,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        let mut state = init();
+        let out = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+        return (out, vec![state]);
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let queue = StealQueue::new(n, workers);
+    let run_worker = |w: usize| {
+        let mut state = init();
+        let mut out: Vec<(usize, R)> = Vec::with_capacity(n / workers + 1);
+        while let Some(i) = queue.next(w) {
+            let item = slots[i]
+                .lock()
+                .expect("slot poisoned")
+                .take()
+                .expect("item claimed twice");
+            out.push((i, f(&mut state, i, item)));
+        }
+        (out, state)
+    };
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    let mut states: Vec<S> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let _guard = SubthreadGuard::enter();
+                    run_worker(w)
+                })
+            })
+            .collect();
+        let (out0, state0) = run_worker(0);
+        indexed.extend(out0);
+        states.push(state0);
+        for h in handles {
+            let (out, state) = h.join().expect("worker panicked");
+            indexed.extend(out);
+            states.push(state);
+        }
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n);
+    let out = indexed.into_iter().map(|(_, r)| r).collect();
+    (out, states)
+}
+
+/// [`parallel_map_with`] without per-worker state: maps `f` over `items`
+/// on up to `threads` threads, returning results in item order.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map_with(threads, items, || (), |(), i, t| f(i, t)).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = parallel_map(threads, items, |i, v| {
+                assert_eq!(i as u64, v);
+                v * v
+            });
+            assert_eq!(out, (0..100u64).map(|v| v * v).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let out: Vec<u32> = parallel_map(8, Vec::<u32>::new(), |_, v| v);
+        assert!(out.is_empty());
+        let out = parallel_map(8, vec![7u32], |_, v| v + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn per_worker_states_sum_to_total() {
+        let items: Vec<u64> = (1..=1000).collect();
+        let (out, states) = parallel_map_with(
+            4,
+            items,
+            || 0u64,
+            |acc, _, v| {
+                *acc += v;
+                v
+            },
+        );
+        assert_eq!(out.len(), 1000);
+        assert_eq!(states.iter().sum::<u64>(), 500_500);
+        assert!(states.len() <= 4 && !states.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // Front-loaded work: without stealing, worker 0 would do almost
+        // everything. The test only asserts completion and order (the
+        // speedup itself is covered by the benches).
+        let items: Vec<u32> = (0..64).collect();
+        let out = parallel_map(8, items, |_, v| {
+            if v < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            v
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subthread_count_returns_to_baseline() {
+        let before = active_subthreads();
+        let _ = parallel_map(4, (0..32).collect::<Vec<u32>>(), |_, v| v);
+        assert_eq!(active_subthreads(), before);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(4, (0..16).collect::<Vec<u32>>(), |_, v| {
+                assert!(v != 9, "boom");
+                v
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(16, vec![1u32, 2, 3], |_, v| v * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

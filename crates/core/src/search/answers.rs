@@ -154,6 +154,10 @@ pub struct SearchParams {
     /// Minimum answer length. Answers shorter than this are skipped (and,
     /// with a window, lengths below `|Q| − w` are impossible anyway).
     pub min_len: u32,
+    /// Worker threads for the filter and post-processing phases. `0` and
+    /// `1` both mean sequential; results are byte-identical at every
+    /// value (see [`crate::parallel`]).
+    pub threads: u32,
 }
 
 impl SearchParams {
@@ -164,6 +168,7 @@ impl SearchParams {
             window: None,
             max_len: None,
             min_len: 1,
+            threads: 1,
         }
     }
 
@@ -180,6 +185,13 @@ impl SearchParams {
         self
     }
 
+    /// Sets the number of worker threads for filtering and
+    /// post-processing.
+    pub fn parallel(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates the parameters against a query of length `qlen`.
     pub fn validate(&self, qlen: usize) -> Result<(), CoreError> {
         if qlen == 0 {
@@ -193,8 +205,13 @@ impl SearchParams {
 
     /// The effective traversal depth limit for a query of length `qlen`:
     /// the tighter of `max_len` and the window-implied bound `|Q| + w`.
+    ///
+    /// Saturates at `u32::MAX`: a window near `u32::MAX` must loosen the
+    /// bound, never wrap it around to a tiny cap (which would silently
+    /// dismiss long answers).
     pub fn effective_max_len(&self, qlen: usize) -> Option<u32> {
-        let from_window = self.window.map(|w| qlen as u32 + w);
+        let qlen = u32::try_from(qlen).unwrap_or(u32::MAX);
+        let from_window = self.window.map(|w| qlen.saturating_add(w));
         match (self.max_len, from_window) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (Some(a), None) => Some(a),
@@ -206,10 +223,8 @@ impl SearchParams {
     /// The effective minimum answer length: the larger of `min_len` and
     /// the window-implied bound `|Q| − w`.
     pub fn effective_min_len(&self, qlen: usize) -> u32 {
-        let from_window = self
-            .window
-            .map(|w| (qlen as u32).saturating_sub(w))
-            .unwrap_or(1);
+        let qlen = u32::try_from(qlen).unwrap_or(u32::MAX);
+        let from_window = self.window.map(|w| qlen.saturating_sub(w)).unwrap_or(1);
         self.min_len.max(from_window).max(1)
     }
 }
@@ -406,5 +421,22 @@ mod tests {
         // Window wider than the query: min length floors at 1.
         let wide = SearchParams::with_epsilon(1.0).windowed(50);
         assert_eq!(wide.effective_min_len(10), 1);
+    }
+
+    #[test]
+    fn window_near_u32_max_saturates_instead_of_wrapping() {
+        // |Q| + w would wrap in u32: the effective bound must saturate
+        // (meaning "unbounded in practice"), not truncate to a tiny cap
+        // that silently dismisses long answers.
+        let p = SearchParams::with_epsilon(1.0).windowed(u32::MAX);
+        assert_eq!(p.effective_max_len(10), Some(u32::MAX));
+        assert_eq!(p.effective_min_len(10), 1);
+        let near = SearchParams::with_epsilon(1.0).windowed(u32::MAX - 3);
+        assert_eq!(near.effective_max_len(10), Some(u32::MAX));
+        // An explicit max_len still wins over the saturated window bound.
+        let capped = SearchParams::with_epsilon(1.0)
+            .windowed(u32::MAX)
+            .length_range(1, 42);
+        assert_eq!(capped.effective_max_len(10), Some(42));
     }
 }

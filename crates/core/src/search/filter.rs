@@ -40,8 +40,10 @@ use crate::sequence::{Occurrence, SeqId, Value};
 /// * [`max_lead_run`](Self::max_lead_run) is the maximum such run length
 ///   below the node (used only by sparse search; dense trees may return 1).
 pub trait SuffixTreeIndex {
-    /// Opaque node handle.
-    type Node: Copy;
+    /// Opaque node handle. `Send` so parallel traversal can hand
+    /// subtree roots to worker threads (both warptree implementations
+    /// use plain integers).
+    type Node: Copy + Send;
 
     /// The root node (empty path).
     fn root(&self) -> Self::Node;
@@ -125,7 +127,7 @@ struct FilterCtx<'a, T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64> {
 /// # Panics
 /// Panics if the query is empty or ε is invalid (use
 /// [`SearchParams::validate`] to pre-check).
-pub fn filter_tree<T: SuffixTreeIndex>(
+pub fn filter_tree<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     query: &[Value],
@@ -149,7 +151,14 @@ pub fn filter_tree<T: SuffixTreeIndex>(
 /// cells. Any `base` that lower-bounds the true base distance yields a
 /// filter with no false dismissals (Theorem 2's argument is agnostic to
 /// where the bound comes from).
-pub fn filter_tree_with<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+///
+/// With `params.threads > 1` the traversal forks at the root's (and,
+/// when the root is narrow, the depth-2) subtrees across worker threads;
+/// each fork clones the shared cumulative-table prefix so Theorem-1
+/// pruning and `R_d` sharing are preserved per branch, and candidates
+/// join in depth-first order — the result (and every counter total) is
+/// byte-identical to the sequential traversal.
+pub fn filter_tree_with<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Sync>(
     tree: &T,
     base: &B,
     query: &[Value],
@@ -197,10 +206,113 @@ pub fn filter_tree_with<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
         lead: 0,
         in_run: true,
     };
-    descend(&mut ctx, root, state);
+    let threads = params.threads.max(1) as usize;
+    if threads > 1 {
+        descend_parallel(&mut ctx, root, state, threads);
+    } else {
+        descend(&mut ctx, root, state);
+    }
     ctx.metrics.filter_cells.add(ctx.table.cells_computed());
     ctx.metrics.candidates.add(ctx.out.len() as u64);
     ctx.out
+}
+
+/// One iteration of [`descend`]'s child loop, without the backtracking
+/// truncate: the unit of work a parallel fork executes for its subtree
+/// root (the fork's table is discarded afterwards, so nothing needs
+/// restoring).
+fn visit_child<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+    ctx: &mut FilterCtx<'_, T, B>,
+    child: T::Node,
+    state: PathState,
+) {
+    ctx.metrics.nodes_visited.incr();
+    let mut label = Vec::new();
+    ctx.tree.edge_label(child, &mut label);
+    if let Some(next) = walk_edge(ctx, child, state, &label) {
+        ctx.metrics.nodes_expanded.incr();
+        descend(ctx, child, next);
+    }
+}
+
+/// Parallel traversal: forks the tree at root-level subtrees — or, when
+/// the root has fewer children than workers, walks each root edge on
+/// the caller's table and forks at the depth-2 subtrees instead — and
+/// runs each fork on the work-stealing pool.
+///
+/// Each fork gets a [`WarpTable::fork`] of the shared prefix (so
+/// Theorem-1 pruning and row sharing behave exactly as in the
+/// sequential traversal) and a scratch metrics bundle merged at the
+/// join. Candidates are re-assembled in depth-first order: for each
+/// root child, the candidates its edge emitted during fork discovery,
+/// then its forks' candidates in child order.
+fn descend_parallel<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Sync>(
+    ctx: &mut FilterCtx<'_, T, B>,
+    root: T::Node,
+    state: PathState,
+    threads: usize,
+) {
+    let mut children = Vec::new();
+    ctx.tree.for_each_child(root, &mut |c| children.push(c));
+    let expand = children.len() < threads;
+    // The forked tasks, and per root child the (prefix-candidate end,
+    // task end) watermarks used to stitch the output back together.
+    let mut tasks: Vec<(T::Node, PathState, WarpTable)> = Vec::new();
+    let mut segments: Vec<(usize, usize)> = Vec::with_capacity(children.len());
+    for child in children {
+        if expand {
+            ctx.metrics.nodes_visited.incr();
+            let mut label = Vec::new();
+            ctx.tree.edge_label(child, &mut label);
+            if let Some(next) = walk_edge(ctx, child, state, &label) {
+                ctx.metrics.nodes_expanded.incr();
+                ctx.tree
+                    .for_each_child(child, &mut |g| tasks.push((g, next, ctx.table.fork())));
+            }
+            ctx.table.truncate(state.depth);
+        } else {
+            tasks.push((child, state, ctx.table.fork()));
+        }
+        segments.push((ctx.out.len(), tasks.len()));
+    }
+    let (tree, base, params, metrics) = (ctx.tree, ctx.base, ctx.params, ctx.metrics);
+    let (sparse, max_len, min_len) = (ctx.sparse, ctx.max_len, ctx.min_len);
+    let (results, scratches) = crate::parallel::parallel_map_with(
+        threads,
+        tasks,
+        || metrics.scratch(),
+        |scratch, _i, (node, state, table)| {
+            let mut fork_ctx = FilterCtx {
+                tree,
+                base,
+                params,
+                sparse,
+                max_len,
+                min_len,
+                table,
+                out: Vec::new(),
+                metrics: scratch,
+            };
+            visit_child(&mut fork_ctx, node, state);
+            (fork_ctx.out, fork_ctx.table.cells_computed())
+        },
+    );
+    for scratch in &scratches {
+        metrics.record(&scratch.snapshot());
+    }
+    metrics
+        .filter_cells
+        .add(results.iter().map(|(_, cells)| *cells).sum());
+    // Stitch: per root child, prefix candidates then fork outputs.
+    let prefix = std::mem::take(&mut ctx.out);
+    let (mut prev_out, mut prev_task) = (0usize, 0usize);
+    for (out_end, task_end) in segments {
+        ctx.out.extend_from_slice(&prefix[prev_out..out_end]);
+        for (cands, _) in &results[prev_task..task_end] {
+            ctx.out.extend_from_slice(cands);
+        }
+        (prev_out, prev_task) = (out_end, task_end);
+    }
 }
 
 fn descend<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
@@ -568,6 +680,52 @@ mod tests {
         assert!(occs.contains(&Occurrence::new(SeqId(0), 1, 1)));
         assert!(!occs.contains(&Occurrence::new(SeqId(0), 0, 1)));
         assert!(!occs.contains(&Occurrence::new(SeqId(0), 0, 2)));
+    }
+
+    #[test]
+    fn parallel_filter_is_byte_identical_to_sequential() {
+        // Dense and sparse trees, narrow and bushy roots: candidates
+        // (values AND order) and every counter must match sequential
+        // for every thread count.
+        let values = vec![
+            vec![1.0, 2.0, 3.0, 2.0, 2.0, 2.0, 7.0],
+            vec![2.0, 2.0, 5.0, 5.0, 5.0, 1.0],
+            vec![9.0, 9.0, 9.0, 9.0],
+        ];
+        let store = crate::sequence::SequenceStore::from_values(values);
+        let a = Alphabet::equal_length(&store, 3).unwrap();
+        let cs = a.encode_store(&store);
+        for sparse in [false, true] {
+            let mut suffixes = Vec::new();
+            for (id, s) in cs.seqs().iter().enumerate() {
+                for p in 0..s.len() as u32 {
+                    if !sparse || cs.is_stored_suffix(SeqId(id as u32), p) {
+                        suffixes.push((id as u32, p));
+                    }
+                }
+            }
+            let tree = ToyTree::build(&cs, &suffixes, sparse);
+            let q = [2.0, 2.0, 5.0];
+            for eps in [0.0, 2.0, 10.0] {
+                let m1 = SearchMetrics::new();
+                let base = SearchParams::with_epsilon(eps);
+                let seq_cands = filter_tree(&tree, &a, &q, &base, &m1);
+                for threads in [2u32, 3, 8] {
+                    let mp = SearchMetrics::new();
+                    let par_cands =
+                        filter_tree(&tree, &a, &q, &base.clone().parallel(threads), &mp);
+                    assert_eq!(
+                        seq_cands, par_cands,
+                        "sparse={sparse} eps={eps} t={threads}"
+                    );
+                    assert_eq!(
+                        m1.snapshot(),
+                        mp.snapshot(),
+                        "sparse={sparse} eps={eps} t={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct KnnParams {
     /// discarded — "k distinct regions" rather than "k (mostly nested)
     /// subsequences".
     pub non_overlapping: bool,
+    /// Worker threads for filtering and candidate verification. `0` and
+    /// `1` both mean sequential. The returned matches are identical at
+    /// every value; with overlaps allowed, verification additionally
+    /// shares a top-k heap whose threshold tightens as results land, so
+    /// the *work* counters (cells, false alarms) may then be lower than
+    /// the sequential path's.
+    pub threads: u32,
 }
 
 impl KnnParams {
@@ -75,7 +82,15 @@ impl KnnParams {
             max_rounds: 24,
             window: None,
             non_overlapping: true,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads for filtering and
+    /// verification.
+    pub fn parallel(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the warping window.
@@ -90,6 +105,86 @@ impl KnnParams {
         self.non_overlapping = false;
         self
     }
+}
+
+/// The shared top-k accumulator of the parallel verification path: a
+/// mutex-guarded set of the best matches seen so far, with the
+/// threshold workers verify against tightening globally once `k`
+/// answers are known.
+///
+/// Ties at the k-th distance are all retained (eviction compares
+/// distances only), so the final `(dist, occ)` sort and cut at `k`
+/// resolves ties exactly like the sequential path does.
+struct TopK {
+    k: usize,
+    /// Current verification limit: starts at the round's ε, drops to
+    /// the k-th best distance once `k` matches are in. Never below the
+    /// true k-th distance, so no true top-k answer is ever abandoned.
+    threshold: f64,
+    items: Vec<Match>,
+}
+
+impl TopK {
+    fn insert(&mut self, batch: Vec<Match>) {
+        self.items.extend(batch);
+        if self.items.len() >= self.k {
+            self.items.sort_by(|a, b| {
+                a.dist
+                    .partial_cmp(&b.dist)
+                    .expect("finite distances")
+                    .then(a.occ.cmp(&b.occ))
+            });
+            let d_k = self.items[self.k - 1].dist;
+            self.items.retain(|m| m.dist <= d_k);
+            self.threshold = d_k;
+        }
+    }
+}
+
+/// Verifies filter candidates across worker threads against a shared
+/// [`TopK`] heap, returning every match that can rank among the k
+/// best (all ties at the k-th distance included) — or every match
+/// within ε when fewer than `k` exist.
+fn verify_topk_parallel(
+    store: &SequenceStore,
+    query: &[Value],
+    candidates: &[crate::search::answers::Candidate],
+    sp: &SearchParams,
+    k: usize,
+    metrics: &SearchMetrics,
+) -> Vec<Match> {
+    use crate::search::postprocess::{group_candidates, verify_group};
+    let groups = group_candidates(candidates, sp.epsilon);
+    let shared = std::sync::Mutex::new(TopK {
+        k,
+        threshold: sp.epsilon,
+        items: Vec::new(),
+    });
+    let (_, states) = crate::parallel::parallel_map_with(
+        sp.threads.max(1) as usize,
+        groups,
+        || {
+            (
+                crate::dtw::WarpTable::new(query, sp.window),
+                metrics.scratch(),
+            )
+        },
+        |(table, scratch), _i, (key, lens)| {
+            let limit = shared.lock().expect("top-k heap poisoned").threshold;
+            let mut out = Vec::new();
+            verify_group(store, table, key, &lens, limit, scratch, &mut out);
+            if !out.is_empty() {
+                shared.lock().expect("top-k heap poisoned").insert(out);
+            }
+        },
+    );
+    for (table, scratch) in states {
+        metrics.postprocess_cells.add(table.cells_computed());
+        metrics.record(&scratch.snapshot());
+    }
+    let top = shared.into_inner().expect("top-k heap poisoned");
+    metrics.answers.add(top.items.len() as u64);
+    top.items
 }
 
 /// Greedily drops matches that overlap a better match in the same
@@ -111,7 +206,7 @@ fn filter_overlaps(matches: &[Match]) -> Vec<Match> {
 /// fewer qualifying subsequences (e.g. `non_overlapping` over a tiny
 /// store) or `max_rounds` is exhausted; the returned stats aggregate all
 /// rounds.
-pub fn knn_search<T: SuffixTreeIndex>(
+pub fn knn_search<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -131,7 +226,7 @@ pub fn knn_search<T: SuffixTreeIndex>(
 /// [`SearchMetrics`] — every ε-expansion round accumulates into the same
 /// counters (so `answers` counts per-round verified answers, not the
 /// final `k`).
-pub fn knn_search_with<T: SuffixTreeIndex>(
+pub fn knn_search_with<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -153,9 +248,25 @@ pub fn knn_search_with<T: SuffixTreeIndex>(
     for _ in 0..params.max_rounds {
         let mut sp = SearchParams::with_epsilon(epsilon);
         sp.window = params.window;
-        let answers = sim_search_with(tree, alphabet, store, query, &sp, metrics);
+        sp.threads = params.threads;
 
-        let mut sorted: Vec<Match> = answers.matches().to_vec();
+        let mut sorted: Vec<Match> = if params.threads > 1 && !params.non_overlapping {
+            // Parallel verification through a shared top-k heap: the
+            // acceptance/abandon threshold tightens globally once k
+            // answers land, which is sound here because overlaps are
+            // allowed — the final answer is exactly the k best matches,
+            // and every match that could rank ≤ k survives the bound.
+            let candidates = {
+                let _timer = metrics.filter_ns.span();
+                crate::search::filter_tree(tree, alphabet, query, &sp, metrics)
+            };
+            let _timer = metrics.postprocess_ns.span();
+            verify_topk_parallel(store, query, &candidates, &sp, params.k, metrics)
+        } else {
+            sim_search_with(tree, alphabet, store, query, &sp, metrics)
+                .matches()
+                .to_vec()
+        };
         sorted.sort_by(|a, b| {
             a.dist
                 .partial_cmp(&b.dist)
@@ -183,7 +294,7 @@ pub fn knn_search_with<T: SuffixTreeIndex>(
 /// front and returning a typed [`CoreError`](crate::error::CoreError)
 /// instead of panicking — the right entry point when k-NN requests come
 /// from untrusted input (e.g. a network request).
-pub fn knn_search_checked<T: SuffixTreeIndex>(
+pub fn knn_search_checked<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -199,7 +310,7 @@ pub fn knn_search_checked<T: SuffixTreeIndex>(
 
 /// The checked k-NN entry point with caller-supplied metrics: validates
 /// like [`knn_search_checked`], meters like [`knn_search_with`].
-pub fn knn_search_checked_with<T: SuffixTreeIndex>(
+pub fn knn_search_checked_with<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -213,8 +324,11 @@ pub fn knn_search_checked_with<T: SuffixTreeIndex>(
     }
     if let Some(limit) = tree.depth_limit() {
         // ε expansion needs a bounded traversal depth on a truncated
-        // index, which only a window provides.
-        let requested = params.window.map(|w| query.len() as u32 + w);
+        // index, which only a window provides. Saturating: a window
+        // near u32::MAX must fail the limit check, not wrap into a
+        // small "acceptable" depth.
+        let qlen = u32::try_from(query.len()).unwrap_or(u32::MAX);
+        let requested = params.window.map(|w| qlen.saturating_add(w));
         match requested {
             Some(m) if m <= limit => {}
             _ => {
@@ -373,6 +487,46 @@ mod tests {
         let (matches, _) = knn_search(&tree, &alphabet, &store, &[1.0], &params);
         // Only 3 subsequences exist.
         assert_eq!(matches.len(), 3);
+    }
+
+    #[test]
+    fn parallel_knn_matches_sequential() {
+        let (store, alphabet, tree) = setup();
+        for k in [1usize, 3, 5] {
+            for allow in [false, true] {
+                let mut params = KnnParams::new(k);
+                if allow {
+                    params = params.allow_overlaps();
+                }
+                let (seq, _) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &params);
+                for threads in [2u32, 8] {
+                    let par_params = params.clone().parallel(threads);
+                    let (par, _) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &par_params);
+                    assert_eq!(seq, par, "k={k} allow_overlaps={allow} t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_heap_keeps_ties_and_tightens() {
+        let mut top = TopK {
+            k: 2,
+            threshold: 10.0,
+            items: Vec::new(),
+        };
+        let m = |start: u32, dist: f64| Match {
+            occ: Occurrence::new(SeqId(0), start, 1),
+            dist,
+        };
+        top.insert(vec![m(0, 5.0)]);
+        assert_eq!(top.threshold, 10.0, "below k: no tightening");
+        top.insert(vec![m(1, 3.0), m(2, 5.0), m(3, 7.0)]);
+        // k-th best distance is 5.0; the 7.0 item is evicted, both
+        // 5.0 ties survive for deterministic (dist, occ) resolution.
+        assert_eq!(top.threshold, 5.0);
+        assert_eq!(top.items.len(), 3);
+        assert!(top.items.iter().all(|x| x.dist <= 5.0));
     }
 
     #[test]

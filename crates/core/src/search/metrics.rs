@@ -136,6 +136,21 @@ impl SearchMetrics {
         }
     }
 
+    /// A detached bundle matching `self`'s measurement mode: live when
+    /// `self` records, no-op when `self` is the no-op bundle.
+    ///
+    /// Parallel search workers accumulate into a scratch bundle each and
+    /// merge once via [`record`](Self::record) at the join point, so the
+    /// hot loop never contends on shared atomics — and a no-op caller
+    /// keeps paying nothing.
+    pub fn scratch(&self) -> SearchMetrics {
+        if self.rows_pushed.is_active() {
+            SearchMetrics::new()
+        } else {
+            SearchMetrics::noop()
+        }
+    }
+
     /// The current counter totals as a plain-data snapshot (phase
     /// timings excluded — those stay in the histograms).
     pub fn snapshot(&self) -> SearchStats {

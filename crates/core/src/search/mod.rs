@@ -51,7 +51,7 @@ use crate::sequence::{SequenceStore, Value};
 /// Returns every subsequence occurrence whose exact time-warping distance
 /// from `query` is `≤ params.epsilon` — no false dismissals, no false
 /// alarms.
-pub fn sim_search<T: SuffixTreeIndex>(
+pub fn sim_search<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -68,7 +68,7 @@ pub fn sim_search<T: SuffixTreeIndex>(
 /// snapshot — the entry point for instrumented (or deliberately
 /// unmetered, via [`SearchMetrics::noop`]) runs. Counters accumulate
 /// across calls sharing one `SearchMetrics`.
-pub fn sim_search_with<T: SuffixTreeIndex>(
+pub fn sim_search_with<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -87,7 +87,7 @@ pub fn sim_search_with<T: SuffixTreeIndex>(
 /// Like [`sim_search`], but validating the query/parameters up front and
 /// returning an error instead of panicking — the right entry point when
 /// queries come from untrusted input (e.g. a network request).
-pub fn sim_search_checked<T: SuffixTreeIndex>(
+pub fn sim_search_checked<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -101,7 +101,7 @@ pub fn sim_search_checked<T: SuffixTreeIndex>(
 
 /// The checked entry point with caller-supplied metrics: validates like
 /// [`sim_search_checked`], meters like [`sim_search_with`].
-pub fn sim_search_checked_with<T: SuffixTreeIndex>(
+pub fn sim_search_checked_with<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,

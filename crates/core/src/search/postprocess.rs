@@ -16,23 +16,19 @@
 use std::collections::HashMap;
 
 use crate::dtw::WarpTable;
+use crate::parallel::parallel_map_with;
 use crate::search::answers::{AnswerSet, Candidate, Match, SearchParams};
 use crate::search::metrics::SearchMetrics;
 use crate::sequence::{Occurrence, SeqId, SequenceStore, Value};
 
-/// Verifies `candidates` against the exact time-warping distance,
-/// returning the answers with `D_tw ≤ params.epsilon`.
-///
-/// Duplicate candidate occurrences are verified once.
-pub fn postprocess(
-    store: &SequenceStore,
-    query: &[Value],
+/// Candidate lengths grouped by `(seq, start)`, in ascending key order
+/// with each length list sorted and deduplicated — the deterministic
+/// unit of verification work (sequential and parallel paths both walk
+/// groups in this order, which is what keeps their outputs identical).
+pub(crate) fn group_candidates(
     candidates: &[Candidate],
-    params: &SearchParams,
-    metrics: &SearchMetrics,
-) -> AnswerSet {
-    let epsilon = params.epsilon;
-    // Group candidate lengths by start position.
+    epsilon: f64,
+) -> Vec<((SeqId, u32), Vec<u32>)> {
     let mut by_start: HashMap<(SeqId, u32), Vec<u32>> = HashMap::new();
     for cand in candidates {
         debug_assert!(
@@ -44,42 +40,113 @@ pub fn postprocess(
             .or_default()
             .push(cand.occ.len);
     }
-    let mut answers = AnswerSet::new();
-    let mut table = WarpTable::new(query, params.window);
-    for ((seq, start), mut lens) in by_start {
+    let mut groups: Vec<((SeqId, u32), Vec<u32>)> = by_start.into_iter().collect();
+    groups.sort_unstable_by_key(|(key, _)| *key);
+    for (_, lens) in &mut groups {
         lens.sort_unstable();
         lens.dedup();
-        metrics.postprocessed.add(lens.len() as u64);
-        let values = store.get(seq).suffix(start);
-        table.reset();
-        let mut next = 0usize; // next candidate length to check
-        let max_len = *lens.last().expect("non-empty group") as usize;
-        debug_assert!(max_len <= values.len(), "candidate outruns sequence");
-        for (row, &v) in values[..max_len].iter().enumerate() {
-            let stat = table.push_value(v);
-            let len = (row + 1) as u32;
-            if next < lens.len() && lens[next] == len {
-                if stat.dist <= epsilon {
-                    answers.push(Match {
-                        occ: Occurrence::new(seq, start, len),
-                        dist: stat.dist,
-                    });
-                } else {
-                    metrics.false_alarms.incr();
-                }
-                next += 1;
+    }
+    groups
+}
+
+/// Verifies one `(seq, start)` group against the exact distance, pushing
+/// matches with `D_tw ≤ limit` onto `out` in ascending length order.
+///
+/// One shared table serves every length of the group (row `r` is the
+/// exact distance of the length-`r` candidate) and Theorem-1 early
+/// abandoning rejects all remaining longer lengths at once. `limit` is
+/// ε for threshold search; the k-NN heap passes a tighter bound once k
+/// answers are known (see [`crate::search::knn`]).
+pub(crate) fn verify_group(
+    store: &SequenceStore,
+    table: &mut WarpTable,
+    (seq, start): (SeqId, u32),
+    lens: &[u32],
+    limit: f64,
+    metrics: &SearchMetrics,
+    out: &mut Vec<Match>,
+) {
+    metrics.postprocessed.add(lens.len() as u64);
+    let values = store.get(seq).suffix(start);
+    table.reset();
+    let mut next = 0usize; // next candidate length to check
+    let max_len = *lens.last().expect("non-empty group") as usize;
+    debug_assert!(max_len <= values.len(), "candidate outruns sequence");
+    for (row, &v) in values[..max_len].iter().enumerate() {
+        let stat = table.push_value(v);
+        let len = (row + 1) as u32;
+        if next < lens.len() && lens[next] == len {
+            if stat.dist <= limit {
+                out.push(Match {
+                    occ: Occurrence::new(seq, start, len),
+                    dist: stat.dist,
+                });
+            } else {
+                metrics.false_alarms.incr();
             }
-            if stat.prunes(epsilon) {
-                // Theorem 1: every remaining (longer) candidate of this
-                // start is a false alarm.
-                metrics.false_alarms.add((lens.len() - next) as u64);
-                next = lens.len();
-                break;
+            next += 1;
+        }
+        if stat.prunes(limit) {
+            // Theorem 1: every remaining (longer) candidate of this
+            // start is a false alarm.
+            metrics.false_alarms.add((lens.len() - next) as u64);
+            next = lens.len();
+            break;
+        }
+    }
+    debug_assert_eq!(next, lens.len(), "every candidate visited");
+}
+
+/// Verifies `candidates` against the exact time-warping distance,
+/// returning the answers with `D_tw ≤ params.epsilon`.
+///
+/// Duplicate candidate occurrences are verified once. With
+/// `params.threads > 1` the groups are verified across worker threads
+/// (each with its own table and scratch counters); the answer set and
+/// every counter are identical to the sequential path, because groups
+/// are a deterministic partition and results join in group order.
+pub fn postprocess(
+    store: &SequenceStore,
+    query: &[Value],
+    candidates: &[Candidate],
+    params: &SearchParams,
+    metrics: &SearchMetrics,
+) -> AnswerSet {
+    let epsilon = params.epsilon;
+    let groups = group_candidates(candidates, epsilon);
+    let threads = params.threads.max(1) as usize;
+    let mut answers = AnswerSet::new();
+    if threads > 1 && groups.len() > 1 {
+        let (per_group, states) = parallel_map_with(
+            threads,
+            groups,
+            || (WarpTable::new(query, params.window), metrics.scratch()),
+            |(table, scratch), _i, (key, lens)| {
+                let mut out = Vec::new();
+                verify_group(store, table, key, &lens, epsilon, scratch, &mut out);
+                out
+            },
+        );
+        for matches in per_group {
+            for m in matches {
+                answers.push(m);
             }
         }
-        debug_assert_eq!(next, lens.len(), "every candidate visited");
+        for (table, scratch) in states {
+            metrics.postprocess_cells.add(table.cells_computed());
+            metrics.record(&scratch.snapshot());
+        }
+    } else {
+        let mut table = WarpTable::new(query, params.window);
+        let mut out = Vec::new();
+        for (key, lens) in groups {
+            verify_group(store, &mut table, key, &lens, epsilon, metrics, &mut out);
+        }
+        for m in out {
+            answers.push(m);
+        }
+        metrics.postprocess_cells.add(table.cells_computed());
     }
-    metrics.postprocess_cells.add(table.cells_computed());
     metrics.answers.add(answers.len() as u64);
     answers
 }
@@ -169,6 +236,64 @@ mod tests {
         assert_eq!(m.snapshot().false_alarms, 5);
         // Early abandoning computed far fewer cells than 1+2+..+6 rows.
         assert!(m.snapshot().postprocess_cells <= 3);
+    }
+
+    #[test]
+    fn deterministic_group_order() {
+        // Matches come back sorted by (seq, start) then length — not in
+        // the HashMap's arbitrary iteration order.
+        let store = SequenceStore::from_values(vec![vec![1.0; 8], vec![1.0; 8]]);
+        let q = [1.0, 1.0];
+        let params = SearchParams::with_epsilon(0.5);
+        let m = SearchMetrics::new();
+        let mut cands = Vec::new();
+        for seq in [1u32, 0] {
+            for start in [5u32, 0, 3] {
+                for len in [2u32, 1] {
+                    cands.push(cand(seq, start, len, 0.0));
+                }
+            }
+        }
+        let ans = postprocess(&store, &q, &cands, &params, &m);
+        let occs: Vec<Occurrence> = ans.matches().iter().map(|m| m.occ).collect();
+        let mut sorted = occs.clone();
+        sorted.sort();
+        assert_eq!(occs, sorted, "answers must come back in occurrence order");
+        assert_eq!(ans.len(), 12);
+    }
+
+    #[test]
+    fn parallel_postprocess_matches_sequential() {
+        let store = SequenceStore::from_values(vec![
+            vec![2.0, 3.0, 2.5, 9.0, 2.0, 2.2, 3.1, 2.9],
+            vec![1.0, 100.0, 2.0, 3.0, 2.0],
+        ]);
+        let q = [2.0, 3.0, 2.0];
+        let mut cands = Vec::new();
+        for seq in 0..2u32 {
+            let n = store.get(SeqId(seq)).len() as u32;
+            for start in 0..n {
+                for len in 1..=(n - start) {
+                    cands.push(cand(seq, start, len, 0.0));
+                }
+            }
+        }
+        for eps in [0.5, 3.0, 50.0] {
+            let params = SearchParams::with_epsilon(eps);
+            let m1 = SearchMetrics::new();
+            let seq_ans = postprocess(&store, &q, &cands, &params, &m1);
+            for threads in [2u32, 8] {
+                let mp = SearchMetrics::new();
+                let par_ans =
+                    postprocess(&store, &q, &cands, &params.clone().parallel(threads), &mp);
+                assert_eq!(
+                    seq_ans.matches(),
+                    par_ans.matches(),
+                    "eps={eps} t={threads}"
+                );
+                assert_eq!(m1.snapshot(), mp.snapshot(), "eps={eps} t={threads}");
+            }
+        }
     }
 
     #[test]

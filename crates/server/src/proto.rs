@@ -16,6 +16,10 @@
 //! {"op":"info"}  {"op":"health"}  {"op":"stats"}  {"op":"shutdown"}
 //! ```
 //!
+//! Every query op also accepts an optional `"parallelism"` (worker
+//! subthreads for one request, clamped server-side to the serve
+//! `--threads` cap; results are byte-identical at every value).
+//!
 //! Responses always carry `"ok"`: `{"ok":true,"op":…,…}` on success,
 //! and on failure a typed error the client can branch on:
 //!
@@ -306,6 +310,9 @@ impl Request {
                         .as_bool()
                         .ok_or("\"allow_overlaps\" must be a boolean")?;
                 }
+                if let Some(t) = opt_u32(&v, "parallelism")? {
+                    params.threads = t;
+                }
                 Ok(Request::Knn {
                     query: query_field(&v, "query")?,
                     params,
@@ -387,6 +394,9 @@ fn search_params(v: &Json) -> Result<SearchParams, String> {
     params.max_len = opt_u32(v, "max_len")?;
     if let Some(m) = opt_u32(v, "min_len")? {
         params.min_len = m;
+    }
+    if let Some(t) = opt_u32(v, "parallelism")? {
+        params.threads = t;
     }
     Ok(params)
 }
@@ -594,6 +604,39 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_parallelism_knob() {
+        let req = Request::parse(
+            br#"{"op":"search","query":[1.0],"epsilon":0.5,"parallelism":4}"#,
+            false,
+        )
+        .unwrap();
+        match req {
+            Request::Search { params, .. } => assert_eq!(params.threads, 4),
+            other => panic!("wrong request: {other:?}"),
+        }
+        let req = Request::parse(
+            br#"{"op":"knn","query":[1.0],"k":2,"parallelism":8}"#,
+            false,
+        )
+        .unwrap();
+        match req {
+            Request::Knn { params, .. } => assert_eq!(params.threads, 8),
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Absent → sequential; non-integers are rejected.
+        let req = Request::parse(br#"{"op":"search","query":[1.0],"epsilon":0.5}"#, false).unwrap();
+        match req {
+            Request::Search { params, .. } => assert_eq!(params.threads, 1),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(Request::parse(
+            br#"{"op":"search","query":[1.0],"epsilon":0.5,"parallelism":-2}"#,
+            false
+        )
+        .is_err());
     }
 
     #[test]

@@ -80,6 +80,13 @@ pub struct ServerConfig {
     /// Accept test-only protocol ops (`debug_sleep`). Never enable in
     /// production serving.
     pub enable_debug_ops: bool,
+    /// Cap on per-request `parallelism` (worker subthreads one query
+    /// may spawn — the `--threads` serve flag). Requests asking for
+    /// more are silently clamped; the default of 1 keeps every query
+    /// sequential unless the operator opts in. Results are
+    /// byte-identical at every setting, so clamping never changes an
+    /// answer.
+    pub max_parallelism: u32,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             cache_nodes: 4096,
             max_conns: 256,
             enable_debug_ops: false,
+            max_parallelism: 1,
         }
     }
 }
@@ -113,6 +121,7 @@ struct Ctx {
     queue_depth: usize,
     max_conns: usize,
     enable_debug_ops: bool,
+    max_parallelism: u32,
 }
 
 /// The server factory. Construct with [`Server::start`] (real
@@ -150,6 +159,7 @@ impl Server {
             queue_depth: config.queue_depth,
             max_conns: config.max_conns,
             enable_debug_ops: config.enable_debug_ops,
+            max_parallelism: config.max_parallelism,
         });
 
         let listener = TcpListener::bind(&config.addr)?;
@@ -387,6 +397,7 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
         search_metrics: ctx.search_metrics.clone(),
         registry: ctx.registry.clone(),
         max_query_len: ctx.max_query_len,
+        max_parallelism: ctx.max_parallelism,
         deadline,
     };
     let job = Box::new(move || {
@@ -467,20 +478,29 @@ fn control_response(req: &Request, ctx: &Ctx) -> String {
             ok_response(
                 "info",
                 &format!(
-                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"workers\":{},\"queue_depth\":{}",
+                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"workers\":{},\"queue_depth\":{},\"max_parallelism\":{}",
                     snap.generation,
                     snap.store.len(),
                     snap.store.total_len(),
                     snap.alphabet.len(),
                     ctx.workers,
                     ctx.queue_depth,
+                    ctx.max_parallelism,
                 ),
             )
         }
-        Request::Stats => ok_response(
-            "stats",
-            &format!("\"metrics\":{}", ctx.registry.snapshot().to_json()),
-        ),
+        Request::Stats => {
+            // Sample the live fan-out right before snapshotting: the
+            // gauge counts worker subthreads currently spawned by
+            // parallel filter/post-processing regions process-wide.
+            ctx.registry
+                .gauge("server.worker_subthreads")
+                .set(warptree_core::parallel::active_subthreads() as f64);
+            ok_response(
+                "stats",
+                &format!("\"metrics\":{}", ctx.registry.snapshot().to_json()),
+            )
+        }
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             ok_response("shutdown", "\"draining\":true")
@@ -496,6 +516,8 @@ struct JobCtx {
     search_metrics: SearchMetrics,
     registry: MetricsRegistry,
     max_query_len: usize,
+    /// Cap applied to the request's `parallelism` knob.
+    max_parallelism: u32,
     /// Absolute request deadline; checked at dequeue and between batch
     /// items (a single search is never interrupted mid-query).
     deadline: Instant,
@@ -514,8 +536,10 @@ fn check_len(job: &JobCtx, query: &[f64]) -> Result<(), CoreError> {
 fn execute(job: &JobCtx, req: Request) -> String {
     // Pin one snapshot for the whole request.
     let snap = job.cell.get();
+    let clamp = |t: u32| t.clamp(1, job.max_parallelism.max(1));
     let result = match req {
-        Request::Search { query, params } => check_len(job, &query).and_then(|()| {
+        Request::Search { query, mut params } => check_len(job, &query).and_then(|()| {
+            params.threads = clamp(params.threads);
             sim_search_checked_with(
                 &snap.tree,
                 &snap.alphabet,
@@ -527,7 +551,8 @@ fn execute(job: &JobCtx, req: Request) -> String {
             .map(|answers| search_body(&answers, snap.generation))
             .map(|body| ok_response("search", &body))
         }),
-        Request::Knn { query, params } => check_len(job, &query).and_then(|()| {
+        Request::Knn { query, mut params } => check_len(job, &query).and_then(|()| {
+            params.threads = clamp(params.threads);
             knn_search_checked_with(
                 &snap.tree,
                 &snap.alphabet,
@@ -548,63 +573,124 @@ fn execute(job: &JobCtx, req: Request) -> String {
                 )
             })
         }),
-        Request::Batch { queries, params } => {
+        Request::Batch {
+            queries,
+            mut params,
+        } => {
             // Satellite of the metrics work: the whole batch meters into
             // ONE shared bundle — `stats` sees batch totals, not the
             // last query's numbers.
-            let mut results = String::from("[");
-            let mut err = None;
-            for (i, query) in queries.iter().enumerate() {
-                // The deadline checkpoint between items: one batch can
-                // carry many searches, so this is where an admitted
-                // request can overstay its deadline by more than one
-                // query's worth of work.
-                if Instant::now() > job.deadline {
-                    job.registry.counter("server.deadline_exceeded").incr();
-                    return error_response(
-                        ErrorCode::DeadlineExceeded,
-                        &format!(
-                            "deadline expired after {i} of {} batch items",
-                            queries.len()
-                        ),
-                    );
+            params.threads = clamp(params.threads);
+            let total = queries.len();
+            // One batch item's outcome, produced by a worker without
+            // knowing the others' fates; the join below folds them back
+            // in request order.
+            enum Item {
+                Body(String),
+                Expired,
+                Fail(CoreError),
+            }
+            let threads = params.threads as usize;
+            let items: Vec<Item> = if threads > 1 && total > 1 {
+                // The parallelism budget is spent *across* items (the
+                // coarsest grain available), so each item runs its own
+                // search sequentially. Results are pinned by item index
+                // — a slow first item never reorders the response.
+                let mut item_params = params.clone();
+                item_params.threads = 1;
+                warptree_core::parallel::parallel_map(threads, queries, |_i, query| {
+                    // The same between-items deadline checkpoint as the
+                    // sequential path: checked before an item starts, a
+                    // running search is never interrupted.
+                    if Instant::now() > job.deadline {
+                        return Item::Expired;
+                    }
+                    let r = check_len(job, &query).and_then(|()| {
+                        sim_search_checked_with(
+                            &snap.tree,
+                            &snap.alphabet,
+                            &snap.store,
+                            &query,
+                            &item_params,
+                            &job.search_metrics,
+                        )
+                    });
+                    match r {
+                        Ok(answers) => {
+                            Item::Body(format!("{{{}}}", search_body(&answers, snap.generation)))
+                        }
+                        Err(e) => Item::Fail(e),
+                    }
+                })
+            } else {
+                let mut out = Vec::with_capacity(total);
+                for query in &queries {
+                    // The deadline checkpoint between items: one batch
+                    // can carry many searches, so this is where an
+                    // admitted request can overstay its deadline by more
+                    // than one query's worth of work.
+                    if Instant::now() > job.deadline {
+                        out.push(Item::Expired);
+                        break;
+                    }
+                    let r = check_len(job, query).and_then(|()| {
+                        sim_search_checked_with(
+                            &snap.tree,
+                            &snap.alphabet,
+                            &snap.store,
+                            query,
+                            &params,
+                            &job.search_metrics,
+                        )
+                    });
+                    match r {
+                        Ok(answers) => out.push(Item::Body(format!(
+                            "{{{}}}",
+                            search_body(&answers, snap.generation)
+                        ))),
+                        Err(e) => {
+                            out.push(Item::Fail(e));
+                            break;
+                        }
+                    }
                 }
-                let r = check_len(job, query).and_then(|()| {
-                    sim_search_checked_with(
-                        &snap.tree,
-                        &snap.alphabet,
-                        &snap.store,
-                        query,
-                        &params,
-                        &job.search_metrics,
-                    )
-                });
-                match r {
-                    Ok(answers) => {
+                out
+            };
+            // Fold in request order; the first expiry or error (lowest
+            // index) wins, matching the sequential contract exactly.
+            let mut results = String::from("[");
+            let mut outcome = Ok(());
+            for (i, item) in items.into_iter().enumerate() {
+                match item {
+                    Item::Body(body) => {
                         if i > 0 {
                             results.push(',');
                         }
-                        results
-                            .push_str(&format!("{{{}}}", search_body(&answers, snap.generation)));
+                        results.push_str(&body);
                     }
-                    Err(e) => {
-                        err = Some(e);
+                    Item::Expired => {
+                        job.registry.counter("server.deadline_exceeded").incr();
+                        return error_response(
+                            ErrorCode::DeadlineExceeded,
+                            &format!("deadline expired after {i} of {total} batch items"),
+                        );
+                    }
+                    Item::Fail(e) => {
+                        outcome = Err(e);
                         break;
                     }
                 }
             }
-            match err {
-                Some(e) => Err(e),
-                None => {
-                    results.push(']');
-                    Ok(ok_response(
-                        "batch",
-                        &format!("\"generation\":{},\"results\":{}", snap.generation, results),
-                    ))
-                }
-            }
+            outcome.map(|()| {
+                results.push(']');
+                ok_response(
+                    "batch",
+                    &format!("\"generation\":{},\"results\":{}", snap.generation, results),
+                )
+            })
         }
-        Request::Explain { query, params } => check_len(job, &query).and_then(|()| {
+        Request::Explain { query, mut params } => check_len(job, &query).and_then(|()| {
+            params.threads = clamp(params.threads);
             // Explain wants per-request counters, so it runs on a fresh
             // detached bundle *and* folds the totals into the shared one
             // afterwards (process totals stay complete).
@@ -727,6 +813,7 @@ mod tests {
             search_metrics: SearchMetrics::register(&registry),
             registry: registry.clone(),
             max_query_len: 64,
+            max_parallelism: 8,
             deadline,
         };
         (job, registry)
@@ -767,5 +854,90 @@ mod tests {
         job.deadline = Instant::now() + Duration::from_secs(60);
         let resp = execute(&job, req);
         assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+
+    /// The batch-ordering satellite: with parallel execution, results
+    /// are pinned by request index, not completion order. The first
+    /// item is the slowest by construction (longest query over the
+    /// whole corpus at a broad ε), so completion order ≠ request order
+    /// — yet the response must be byte-identical to the sequential one.
+    #[test]
+    fn parallel_batch_preserves_request_order() {
+        let dir =
+            std::env::temp_dir().join(format!("warptree-unit-batchord-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let live = Instant::now() + Duration::from_secs(60);
+        let (job, _registry) = test_job_ctx(&dir, live);
+
+        // Item 0 carries far more verification work than the rest.
+        let queries = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 5.0, 4.0, 3.0, 2.0],
+            vec![1.0],
+            vec![6.0],
+            vec![3.0, 4.0],
+        ];
+        let sequential = execute(
+            &job,
+            Request::Batch {
+                queries: queries.clone(),
+                params: SearchParams::with_epsilon(10.0),
+            },
+        );
+        assert!(sequential.contains("\"ok\":true"), "{sequential}");
+        for threads in [2u32, 8] {
+            let parallel = execute(
+                &job,
+                Request::Batch {
+                    queries: queries.clone(),
+                    params: SearchParams::with_epsilon(10.0).parallel(threads),
+                },
+            );
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+        // A request asking for more than the server cap is clamped, not
+        // rejected — and still answers identically.
+        let mut capped = job;
+        capped.max_parallelism = 2;
+        let clamped = execute(
+            &capped,
+            Request::Batch {
+                queries,
+                params: SearchParams::with_epsilon(10.0).parallel(64),
+            },
+        );
+        assert_eq!(sequential, clamped);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A deadline that expires mid-batch surfaces the same typed error
+    /// from the parallel path as from the sequential one.
+    #[test]
+    fn parallel_batch_still_honours_deadline() {
+        let dir =
+            std::env::temp_dir().join(format!("warptree-unit-batchpdl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let expired = Instant::now()
+            .checked_sub(Duration::from_millis(10))
+            .unwrap();
+        let (job, registry) = test_job_ctx(&dir, expired);
+        let resp = execute(
+            &job,
+            Request::Batch {
+                queries: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                params: SearchParams::with_epsilon(1.0).parallel(4),
+            },
+        );
+        assert!(resp.contains("\"code\":\"deadline_exceeded\""), "{resp}");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counters
+                .get("server.deadline_exceeded")
+                .copied(),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -219,7 +219,14 @@ pub fn build_sparse_truncated(cat: Arc<CatStore>, spec: TruncateSpec) -> SuffixT
             if s.len() as u32 - start < spec.min_answer_len {
                 continue;
             }
-            insert_suffix_prefix(&mut tree, seq, start, spec.max_answer_len + run - 1);
+            // Saturating: a pathological `max_answer_len` near u32::MAX
+            // must keep the whole suffix, not wrap to a short prefix.
+            insert_suffix_prefix(
+                &mut tree,
+                seq,
+                start,
+                spec.max_answer_len.saturating_add(run - 1),
+            );
         }
     }
     tree.set_depth_limit(spec.max_answer_len);

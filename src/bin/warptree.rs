@@ -84,9 +84,10 @@ fn print_usage() {
          \u{20}          DIR (or --index-dir DIR)\n\
          \u{20}  search  threshold search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,…|--query-file F \
-         --epsilon E [--window W] [--limit N]\n\
+         --epsilon E [--window W] [--limit N] [--threads N]\n\
          \u{20}  knn     k-nearest-neighbour search over a built index\n\
-         \u{20}          --index-dir DIR --query v1,v2,… --k K [--window W]\n\
+         \u{20}          --index-dir DIR --query v1,v2,… --k K [--window W] \
+         [--threads N]\n\
          \u{20}  explain report one search's filter funnel, table work \
          and I/O profile\n\
          \u{20}          --index-dir DIR --query v1,v2,… --epsilon E \
@@ -106,7 +107,7 @@ fn print_usage() {
          \u{20}          DIR [--addr HOST:PORT] [--workers N] \
          [--queue-depth Q] [--deadline-ms D]\n\
          \u{20}          [--reload-ms R] [--max-query-len L] \
-         [--max-conns C]; SIGINT/SIGTERM drain gracefully,\n\
+         [--max-conns C] [--threads N]; SIGINT/SIGTERM drain gracefully,\n\
          \u{20}          new index generations are hot-reloaded from the \
          commit manifest\n\
          \u{20}  bench-client  drive a running server and report \
@@ -542,11 +543,13 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         Some(_) => SearchMetrics::register(&reg),
         None => SearchMetrics::new(),
     };
+    let threads: u32 = o.parse_num("threads", 1)?;
     let t0 = std::time::Instant::now();
     if knn {
         let k: usize = o.parse_num("k", 5)?;
         let mut params = warptree::core::search::KnnParams::new(k);
         params.window = window;
+        params.threads = threads;
         let matches = warptree::core::search::knn_search_with(
             tree, alphabet, store, &query, &params, &metrics,
         );
@@ -572,6 +575,7 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         let limit: usize = o.parse_num("limit", 20)?;
         let mut params = SearchParams::with_epsilon(epsilon);
         params.window = window;
+        params.threads = threads;
         let answers = sim_search_with(tree, alphabet, store, &query, &params, &metrics);
         let stats = metrics.snapshot();
         println!(
@@ -735,6 +739,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.cache_pages = o.parse_num("cache-pages", config.cache_pages)?;
     config.cache_nodes = config.cache_pages * 8;
     config.max_conns = o.parse_num("max-conns", config.max_conns)?;
+    config.max_parallelism = o.parse_num("threads", config.max_parallelism)?;
     config.enable_debug_ops = o.flag("debug-ops");
 
     if !signal::install_handlers() {
@@ -746,12 +751,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // One parseable line so scripts can discover the bound port.
     println!("serving {} on {}", dir.display(), handle.addr());
     println!(
-        "  workers {}, queue depth {}, max conns {}, deadline {:?}, reload poll {:?}",
+        "  workers {}, queue depth {}, max conns {}, deadline {:?}, reload poll {:?}, \
+         per-request parallelism cap {}",
         config.workers,
         config.queue_depth,
         config.max_conns,
         config.deadline,
-        config.reload_interval
+        config.reload_interval,
+        config.max_parallelism
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();

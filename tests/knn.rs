@@ -46,6 +46,7 @@ proptest! {
             max_rounds: 32,
             window: None,
             non_overlapping: false,
+            threads: 1,
         };
         for index in [
             Index::exact(&store).unwrap(),
@@ -87,6 +88,7 @@ proptest! {
             max_rounds: 32,
             window: None,
             non_overlapping: true,
+            threads: 1,
         };
         let (got, _) = index.knn(&q, &params);
         // Greedy reference over the brute-force ranking.

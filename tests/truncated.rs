@@ -81,6 +81,67 @@ proptest! {
     }
 }
 
+/// Regression (Theorem 3 boundary): a sparse suffix whose lead run is
+/// *exactly* the truncation depth limit must neither skip nor
+/// double-count shifted (`D_tw-lb2`) answers. The run here is formed at
+/// a categorization boundary — three distinct values collapsing into
+/// one symbol — so the shifted suffixes exist only through Definition 4,
+/// and the stored prefix length (`max_answer_len + run − 1`) is
+/// exercised at its exact edge.
+#[test]
+fn sparse_lead_run_at_depth_limit_boundary() {
+    // Categories split at 4.5: [1.0, 2.0, 0.5] is one symbol-run of
+    // length 3 == max_answer_len; the tail run [9.0, 8.5] crosses into
+    // the other category. The second sequence ends inside a run.
+    let store = SequenceStore::from_values(vec![
+        vec![1.0, 2.0, 0.5, 9.0, 8.5],
+        vec![9.0, 8.0, 1.0, 0.0, 2.0],
+    ]);
+    let alphabet = Alphabet::equal_length(&store, 2).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+    // Sanity: the lead run really sits at the boundary.
+    assert_eq!(cat.run_len(SeqId(0), 0), 3);
+    assert_eq!(cat.run_len(SeqId(1), 2), 3);
+    let spec = TruncateSpec {
+        max_answer_len: 3,
+        min_answer_len: 1,
+    };
+    let tree = build_sparse_truncated(cat.clone(), spec);
+    tree.check_invariants();
+    for eps in [0.0, 1.0, 4.0, 20.0] {
+        let params = SearchParams::with_epsilon(eps).length_range(1, 3);
+        let mut stats = SearchStats::default();
+        let expected = seq_scan(&store, &[1.5, 1.5], &params, SeqScanMode::Full, &mut stats);
+        let (got, got_stats) = sim_search(&tree, &alphabet, &store, &[1.5, 1.5], &params);
+        assert_eq!(
+            got.occurrence_set(),
+            expected.occurrence_set(),
+            "eps={eps}: shifted suffixes at the run/depth-limit boundary"
+        );
+        // Not double-counted: every verified candidate is a distinct
+        // (start, length) pair, so verifications can never exceed the
+        // number of distinct subsequences in range.
+        let distinct: u64 = store
+            .iter()
+            .map(|(_, s)| {
+                let n = s.len() as u64;
+                (1..=3u64).map(|l| n.saturating_sub(l - 1)).sum::<u64>()
+            })
+            .sum();
+        assert!(
+            got_stats.postprocessed <= distinct,
+            "eps={eps}: {} verifications exceed the {} distinct in-range subsequences",
+            got_stats.postprocessed,
+            distinct
+        );
+        // The parallel traversal agrees byte-for-byte at the boundary.
+        let par = params.clone().parallel(4);
+        let (par_got, par_stats) = sim_search(&tree, &alphabet, &store, &[1.5, 1.5], &par);
+        assert_eq!(par_got.matches(), got.matches(), "eps={eps}");
+        assert_eq!(par_stats, got_stats, "eps={eps}");
+    }
+}
+
 #[test]
 fn truncated_index_is_smaller() {
     let store = stock_corpus(&StockConfig {
