@@ -7,7 +7,7 @@ use std::sync::Arc;
 use warptree_bench::{build_index, IndexKind, Method};
 use warptree_core::dtw_path::dtw_with_path;
 use warptree_core::multivariate::{mv_sim_search, GridAlphabet, MvSequence, MvStore};
-use warptree_core::search::{knn_search, KnnParams, SearchParams};
+use warptree_core::search::{run_query, KnnParams, QueryRequest, SearchParams};
 use warptree_data::{stock_corpus, StockConfig};
 
 fn bench_knn(c: &mut Criterion) {
@@ -25,15 +25,9 @@ fn bench_knn(c: &mut Criterion) {
     g.sample_size(20);
     for k in [1usize, 10, 50] {
         g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
-            let params = KnnParams::new(k);
+            let req = QueryRequest::knn_params(&q, KnnParams::new(k));
             b.iter(|| {
-                black_box(knn_search(
-                    &built.tree,
-                    &built.alphabet,
-                    &store,
-                    black_box(&q),
-                    &params,
-                ))
+                black_box(run_query(&built.tree, &built.alphabet, &store, black_box(&req)).unwrap())
             })
         });
     }
@@ -144,7 +138,6 @@ criterion_main!(benches);
 fn bench_applications(c: &mut Criterion) {
     use warptree_core::cluster::cluster_matches;
     use warptree_core::predict::{forecast, Weighting};
-    use warptree_core::search::sim_search;
 
     let store = stock_corpus(&StockConfig {
         sequences: 80,
@@ -157,7 +150,14 @@ fn bench_applications(c: &mut Criterion) {
         .subseq(20, 12)
         .to_vec();
     let params = SearchParams::with_epsilon(8.0);
-    let (answers, _) = sim_search(&built.tree, &built.alphabet, &store, &q, &params);
+    let (answers, _) = run_query(
+        &built.tree,
+        &built.alphabet,
+        &store,
+        &QueryRequest::threshold_params(&q, params),
+    )
+    .unwrap();
+    let answers = answers.into_answer_set();
     let episodes: Vec<warptree_core::search::Match> =
         answers.non_overlapping().into_iter().take(30).collect();
 

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use warptree_bench::{build_index, IndexKind, Method};
-use warptree_core::search::{sim_search_with, SearchMetrics, SearchParams};
+use warptree_core::search::{run_query_with, QueryRequest, SearchMetrics, SearchParams};
 use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
 use warptree_obs::MetricsRegistry;
 
@@ -40,17 +40,20 @@ fn bench_obs_overhead(c: &mut Criterion) {
     ];
     let mut g = c.benchmark_group("obs_overhead");
     g.sample_size(30);
+    let req = QueryRequest::threshold_params(q, params);
     for (name, metrics) in &modes {
         g.bench_function(*name, |b| {
             b.iter(|| {
-                black_box(sim_search_with(
-                    &built.tree,
-                    &built.alphabet,
-                    &store,
-                    black_box(q),
-                    &params,
-                    metrics,
-                ))
+                black_box(
+                    run_query_with(
+                        &built.tree,
+                        &built.alphabet,
+                        &store,
+                        black_box(&req),
+                        metrics,
+                    )
+                    .unwrap(),
+                )
             })
         });
     }

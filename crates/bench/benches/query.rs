@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use warptree_bench::{build_index, IndexKind, Method};
-use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+use warptree_core::search::{
+    run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode,
+};
 use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
 
 fn bench_query(c: &mut Criterion) {
@@ -71,14 +73,11 @@ fn bench_query(c: &mut Criterion) {
             ("simsearch_sst_c", &sparse),
         ] {
             g.bench_with_input(BenchmarkId::new(name, eps as u64), &eps, |b, _| {
+                let req = QueryRequest::threshold_params(q, params.clone());
                 b.iter(|| {
-                    black_box(sim_search(
-                        &built.tree,
-                        &built.alphabet,
-                        &store,
-                        black_box(q),
-                        &params,
-                    ))
+                    black_box(
+                        run_query(&built.tree, &built.alphabet, &store, black_box(&req)).unwrap(),
+                    )
                 })
             });
         }

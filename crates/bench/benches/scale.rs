@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use warptree_bench::{build_index, IndexKind, Method};
-use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+use warptree_core::search::{
+    run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode,
+};
 use warptree_data::{artificial_corpus, ArtificialConfig, QueryConfig, QueryWorkload};
 
 fn setup(
@@ -51,15 +53,8 @@ fn bench_scale_length(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("sst_c", len), &len, |b, _| {
-            b.iter(|| {
-                black_box(sim_search(
-                    &built.tree,
-                    &built.alphabet,
-                    &store,
-                    &q,
-                    &params,
-                ))
-            })
+            let req = QueryRequest::threshold_params(&q, params.clone());
+            b.iter(|| black_box(run_query(&built.tree, &built.alphabet, &store, &req).unwrap()))
         });
     }
     g.finish();
@@ -78,15 +73,8 @@ fn bench_scale_count(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("sst_c", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(sim_search(
-                    &built.tree,
-                    &built.alphabet,
-                    &store,
-                    &q,
-                    &params,
-                ))
-            })
+            let req = QueryRequest::threshold_params(&q, params.clone());
+            b.iter(|| black_box(run_query(&built.tree, &built.alphabet, &store, &req).unwrap()))
         });
     }
     g.finish();

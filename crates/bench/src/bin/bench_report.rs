@@ -16,7 +16,7 @@
 use std::time::Instant;
 use warptree_bench::{banner, build_index, IndexKind, Method, Scale};
 use warptree_core::search::{
-    seq_scan, sim_search_with, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
+    run_query_with, seq_scan, QueryRequest, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
 };
 use warptree_obs::json::num;
 
@@ -151,15 +151,11 @@ fn main() {
                 stats: SearchStats::default(),
             };
             for q in queries.queries() {
+                let req = QueryRequest::threshold_params(&q.values, params.clone());
                 let t0 = Instant::now();
-                let answers = sim_search_with(
-                    &built.tree,
-                    &built.alphabet,
-                    &store,
-                    &q.values,
-                    &params,
-                    &metrics,
-                );
+                let answers = run_query_with(&built.tree, &built.alphabet, &store, &req, &metrics)
+                    .unwrap()
+                    .into_answer_set();
                 row.latencies.push(t0.elapsed().as_secs_f64());
                 row.answers += answers.len() as u64;
             }
@@ -205,15 +201,11 @@ fn main() {
                 stats: SearchStats::default(),
             };
             for q in queries.queries() {
+                let req = QueryRequest::threshold_params(&q.values, tp.clone());
                 let t0 = Instant::now();
-                let answers = sim_search_with(
-                    &built.tree,
-                    &built.alphabet,
-                    &store,
-                    &q.values,
-                    &tp,
-                    &metrics,
-                );
+                let answers = run_query_with(&built.tree, &built.alphabet, &store, &req, &metrics)
+                    .unwrap()
+                    .into_answer_set();
                 row.latencies.push(t0.elapsed().as_secs_f64());
                 row.answers += answers.len() as u64;
             }

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::search::{
-    seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode, SuffixTreeIndex,
+    run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode, SuffixTreeIndex,
 };
 use warptree_core::sequence::SequenceStore;
 use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
@@ -259,8 +259,10 @@ pub fn measure_index<T: SuffixTreeIndex + Sync>(
 ) -> Measured {
     let mut total = Measured::default();
     for q in queries.queries() {
+        let req = QueryRequest::threshold_params(&q.values, params.clone());
         let t0 = Instant::now();
-        let (answers, stats) = sim_search(tree, alphabet, store, &q.values, params);
+        let (answers, stats) = run_query(tree, alphabet, store, &req).unwrap();
+        let answers = answers.into_answer_set();
         let secs = t0.elapsed().as_secs_f64();
         total.latencies.push(secs);
         total.secs_per_query += secs;

@@ -1,6 +1,69 @@
-//! Error types for the core algorithms.
+//! Error types for the core algorithms, and the shared wire-level
+//! [`ErrorCode`] vocabulary every layer maps its errors onto.
 
 use std::fmt;
+
+/// The wire-level error vocabulary, shared by every layer.
+///
+/// The server protocol, the disk layer and the core algorithms each
+/// have richer native error types; when an error crosses the process
+/// boundary it is classified as one of these codes, and the string form
+/// sent on the wire is defined here — in exactly one place — via
+/// [`as_str`](ErrorCode::as_str).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request itself is malformed or invalid (bad JSON, bad
+    /// parameters, a query violating index constraints).
+    BadRequest,
+    /// The server's admission queue or connection cap is full.
+    Overloaded,
+    /// The request's deadline expired before completion.
+    DeadlineExceeded,
+    /// The response would exceed the protocol's frame cap.
+    ResultTooLarge,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The client asked for a protocol version this server does not
+    /// speak (or used an op that needs a newer version than requested).
+    UnsupportedVersion,
+    /// Anything else — an internal invariant failure or I/O error.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable string sent on the wire for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ResultTooLarge => "result_too_large",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire string back into a code.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "overloaded" => ErrorCode::Overloaded,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "result_too_large" => ErrorCode::ResultTooLarge,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "unsupported_version" => ErrorCode::UnsupportedVersion,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Errors raised while constructing alphabets or running searches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +141,15 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+impl CoreError {
+    /// The wire-level classification of this error. Every `CoreError`
+    /// reflects invalid caller input, so they all map to
+    /// [`ErrorCode::BadRequest`].
+    pub fn code(&self) -> ErrorCode {
+        ErrorCode::BadRequest
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +177,25 @@ mod tests {
             requested: None,
         };
         assert!(e2.to_string().contains("bounded"));
+    }
+
+    #[test]
+    fn error_codes_round_trip_their_wire_strings() {
+        let all = [
+            ErrorCode::BadRequest,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ResultTooLarge,
+            ErrorCode::ShuttingDown,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Internal,
+        ];
+        for code in all {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+            assert_eq!(code.to_string(), code.as_str());
+        }
+        assert_eq!(ErrorCode::parse("no_such_code"), None);
+        // Core errors are always the caller's fault.
+        assert_eq!(CoreError::EmptyQuery.code(), ErrorCode::BadRequest);
     }
 }

@@ -55,12 +55,16 @@ pub mod prelude {
     pub use crate::categorize::{Alphabet, CatStore, CategorizationMethod, Category, Symbol};
     pub use crate::dtw::{dtw, dtw_early_abandon, dtw_windowed, WarpTable};
     pub use crate::dtw_path::{dtw_with_path, Alignment};
-    pub use crate::error::CoreError;
+    pub use crate::error::{CoreError, ErrorCode};
     pub use crate::search::{
-        filter_tree, knn_search, knn_search_checked, knn_search_checked_with, knn_search_with,
-        postprocess, seq_scan, sim_search, sim_search_checked, sim_search_checked_with,
-        sim_search_with, AnswerSet, Candidate, KnnParams, Match, SearchMetrics, SearchParams,
-        SearchStats, SeqScanMode, SuffixTreeIndex,
+        filter_tree, postprocess, run_query, run_query_with, seq_scan, AnswerSet, Candidate,
+        KnnParams, Match, QueryKind, QueryOutput, QueryRequest, SearchMetrics, SearchParams,
+        SearchStats, SegmentedIndex, SeqScanMode, SuffixTreeIndex,
+    };
+    #[allow(deprecated)]
+    pub use crate::search::{
+        knn_search, knn_search_checked, knn_search_checked_with, knn_search_with, sim_search,
+        sim_search_checked, sim_search_checked_with, sim_search_with,
     };
     pub use crate::sequence::{Occurrence, SeqId, Sequence, SequenceStore, Value};
 }

@@ -1,10 +1,26 @@
-//! Tests for the validating search entry point.
+//! Tests for the validating query path (`run_query` over a typed
+//! `QueryRequest`), pinning the validation order and error shapes the
+//! legacy `sim_search_checked` entry point established.
 
 use crate::categorize::Alphabet;
 use crate::error::CoreError;
+use crate::search::answers::{AnswerSet, SearchStats};
 use crate::search::filter::SuffixTreeIndex;
-use crate::search::{sim_search_checked, SearchParams};
-use crate::sequence::{SeqId, SequenceStore};
+use crate::search::query::QueryRequest;
+use crate::search::{run_query, SearchParams};
+use crate::sequence::{SeqId, SequenceStore, Value};
+
+/// The checked threshold search the legacy entry point performed.
+fn sim_search_checked(
+    tree: &OneSuffix,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &SearchParams,
+) -> Result<(AnswerSet, SearchStats), CoreError> {
+    let req = QueryRequest::threshold_params(query, params.clone());
+    run_query(tree, alphabet, store, &req).map(|(out, stats)| (out.into_answer_set(), stats))
+}
 
 /// Minimal index: a single stored suffix as a root child chain.
 struct OneSuffix {

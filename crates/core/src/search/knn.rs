@@ -15,7 +15,8 @@ use crate::categorize::Alphabet;
 use crate::search::answers::{Match, SearchParams, SearchStats};
 use crate::search::filter::SuffixTreeIndex;
 use crate::search::metrics::SearchMetrics;
-use crate::search::sim_search_with;
+use crate::search::query::QueryRequest;
+use crate::search::threshold_search_unchecked;
 use crate::sequence::{SequenceStore, Value};
 
 /// Parameters of a k-NN subsequence search.
@@ -206,6 +207,7 @@ fn filter_overlaps(matches: &[Match]) -> Vec<Match> {
 /// fewer qualifying subsequences (e.g. `non_overlapping` over a tiny
 /// store) or `max_rounds` is exhausted; the returned stats aggregate all
 /// rounds.
+#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query`")]
 pub fn knn_search<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
@@ -214,7 +216,7 @@ pub fn knn_search<T: SuffixTreeIndex + Sync>(
     params: &KnnParams,
 ) -> (Vec<Match>, SearchStats) {
     let metrics = SearchMetrics::new();
-    let result = knn_search_with(tree, alphabet, store, query, params, &metrics);
+    let result = knn_unchecked(tree, alphabet, store, query, params, &metrics);
     let mut total = metrics.snapshot();
     // Keep the historical reading of `answers` for the snapshot form:
     // the k results actually returned, not the per-round answer total.
@@ -226,7 +228,26 @@ pub fn knn_search<T: SuffixTreeIndex + Sync>(
 /// [`SearchMetrics`] — every ε-expansion round accumulates into the same
 /// counters (so `answers` counts per-round verified answers, not the
 /// final `k`).
+#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query_with`")]
 pub fn knn_search_with<T: SuffixTreeIndex + Sync>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    query: &[Value],
+    params: &KnnParams,
+    metrics: &SearchMetrics,
+) -> Vec<Match> {
+    knn_unchecked(tree, alphabet, store, query, params, metrics)
+}
+
+/// The k-NN engine: ε-expansion rounds over the threshold engine,
+/// metered into `metrics` (`answers` accumulates per-round verified
+/// answers, not the final `k`). Callers must have validated the
+/// query/parameters — this is the body behind
+/// [`run_query_with`](crate::search::run_query_with) for
+/// [`QueryKind::Knn`](crate::search::QueryKind) requests and the
+/// deprecated `knn_search*` shims.
+pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -263,7 +284,7 @@ pub fn knn_search_with<T: SuffixTreeIndex + Sync>(
             let _timer = metrics.postprocess_ns.span();
             verify_topk_parallel(store, query, &candidates, &sp, params.k, metrics)
         } else {
-            sim_search_with(tree, alphabet, store, query, &sp, metrics)
+            threshold_search_unchecked(tree, alphabet, store, query, &sp, metrics)
                 .matches()
                 .to_vec()
         };
@@ -294,6 +315,7 @@ pub fn knn_search_with<T: SuffixTreeIndex + Sync>(
 /// front and returning a typed [`CoreError`](crate::error::CoreError)
 /// instead of panicking — the right entry point when k-NN requests come
 /// from untrusted input (e.g. a network request).
+#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query`")]
 pub fn knn_search_checked<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
@@ -301,15 +323,14 @@ pub fn knn_search_checked<T: SuffixTreeIndex + Sync>(
     query: &[Value],
     params: &KnnParams,
 ) -> Result<(Vec<Match>, SearchStats), crate::error::CoreError> {
-    let metrics = SearchMetrics::new();
-    let result = knn_search_checked_with(tree, alphabet, store, query, params, &metrics)?;
-    let mut total = metrics.snapshot();
-    total.answers = result.len() as u64;
-    Ok((result, total))
+    let req = QueryRequest::knn_params(query, params.clone());
+    let (out, stats) = crate::search::run_query(tree, alphabet, store, &req)?;
+    Ok((out.into_ranked(), stats))
 }
 
 /// The checked k-NN entry point with caller-supplied metrics: validates
 /// like [`knn_search_checked`], meters like [`knn_search_with`].
+#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query_with`")]
 pub fn knn_search_checked_with<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
@@ -318,27 +339,8 @@ pub fn knn_search_checked_with<T: SuffixTreeIndex + Sync>(
     params: &KnnParams,
     metrics: &SearchMetrics,
 ) -> Result<Vec<Match>, crate::error::CoreError> {
-    params.validate(query.len())?;
-    if query.iter().any(|v| !v.is_finite()) {
-        return Err(crate::error::CoreError::NonFiniteQuery);
-    }
-    if let Some(limit) = tree.depth_limit() {
-        // ε expansion needs a bounded traversal depth on a truncated
-        // index, which only a window provides. Saturating: a window
-        // near u32::MAX must fail the limit check, not wrap into a
-        // small "acceptable" depth.
-        let qlen = u32::try_from(query.len()).unwrap_or(u32::MAX);
-        let requested = params.window.map(|w| qlen.saturating_add(w));
-        match requested {
-            Some(m) if m <= limit => {}
-            _ => {
-                return Err(crate::error::CoreError::DepthLimitExceeded { limit, requested });
-            }
-        }
-    }
-    Ok(knn_search_with(
-        tree, alphabet, store, query, params, metrics,
-    ))
+    let req = QueryRequest::knn_params(query, params.clone());
+    Ok(crate::search::run_query_with(tree, alphabet, store, &req, metrics)?.into_ranked())
 }
 
 #[cfg(test)]
@@ -431,12 +433,26 @@ mod tests {
         (store, alphabet, tree)
     }
 
+    /// The typed-API k-NN call the tests exercise (the shims are
+    /// covered separately by `shims_match_run_query`).
+    fn knn(
+        tree: &ToyTree,
+        alphabet: &Alphabet,
+        store: &SequenceStore,
+        query: &[Value],
+        params: &KnnParams,
+    ) -> (Vec<Match>, SearchStats) {
+        let req = QueryRequest::knn_params(query, params.clone());
+        let (out, stats) = crate::search::run_query(tree, alphabet, store, &req).unwrap();
+        (out.into_ranked(), stats)
+    }
+
     #[test]
     fn knn_returns_k_best_in_order() {
         let (store, alphabet, tree) = setup();
         let q = [5.0, 9.0];
         let params = KnnParams::new(3).allow_overlaps();
-        let (matches, _) = knn_search(&tree, &alphabet, &store, &q, &params);
+        let (matches, _) = knn(&tree, &alphabet, &store, &q, &params);
         assert_eq!(matches.len(), 3);
         // Best is the exact occurrence <5,9> in S0.
         assert_eq!(matches[0].occ, Occurrence::new(SeqId(0), 1, 2));
@@ -470,7 +486,7 @@ mod tests {
         let (store, alphabet, tree) = setup();
         let q = [5.0];
         let params = KnnParams::new(2);
-        let (matches, _) = knn_search(&tree, &alphabet, &store, &q, &params);
+        let (matches, _) = knn(&tree, &alphabet, &store, &q, &params);
         assert_eq!(matches.len(), 2);
         // The two matches must not overlap.
         let (a, b) = (matches[0].occ, matches[1].occ);
@@ -484,7 +500,7 @@ mod tests {
         let cat = alphabet.encode_store(&store);
         let tree = ToyTree::build(&cat);
         let params = KnnParams::new(100).allow_overlaps();
-        let (matches, _) = knn_search(&tree, &alphabet, &store, &[1.0], &params);
+        let (matches, _) = knn(&tree, &alphabet, &store, &[1.0], &params);
         // Only 3 subsequences exist.
         assert_eq!(matches.len(), 3);
     }
@@ -498,10 +514,10 @@ mod tests {
                 if allow {
                     params = params.allow_overlaps();
                 }
-                let (seq, _) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &params);
+                let (seq, _) = knn(&tree, &alphabet, &store, &[5.0, 9.0], &params);
                 for threads in [2u32, 8] {
                     let par_params = params.clone().parallel(threads);
-                    let (par, _) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &par_params);
+                    let (par, _) = knn(&tree, &alphabet, &store, &[5.0, 9.0], &par_params);
                     assert_eq!(seq, par, "k={k} allow_overlaps={allow} t={threads}");
                 }
             }
@@ -534,7 +550,25 @@ mod tests {
     fn zero_k_panics() {
         let (store, alphabet, tree) = setup();
         let params = KnnParams::new(0);
-        let _ = knn_search(&tree, &alphabet, &store, &[1.0], &params);
+        let _ = knn_unchecked(
+            &tree,
+            &alphabet,
+            &store,
+            &[1.0],
+            &params,
+            &SearchMetrics::noop(),
+        );
+    }
+
+    fn knn_checked(
+        tree: &ToyTree,
+        alphabet: &Alphabet,
+        store: &SequenceStore,
+        query: &[Value],
+        params: &KnnParams,
+    ) -> Result<Vec<Match>, crate::error::CoreError> {
+        let req = QueryRequest::knn_params(query, params.clone());
+        crate::search::run_query(tree, alphabet, store, &req).map(|(out, _)| out.into_ranked())
     }
 
     #[test]
@@ -543,39 +577,70 @@ mod tests {
         let (store, alphabet, tree) = setup();
         let ok = KnnParams::new(2);
         // Baseline: valid input answers like the unchecked path.
-        let (checked, _) = knn_search_checked(&tree, &alphabet, &store, &[5.0, 9.0], &ok).unwrap();
-        let (plain, _) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &ok);
+        let checked = knn_checked(&tree, &alphabet, &store, &[5.0, 9.0], &ok).unwrap();
+        let (plain, _) = knn(&tree, &alphabet, &store, &[5.0, 9.0], &ok);
         assert_eq!(checked, plain);
         // Empty query.
         assert_eq!(
-            knn_search_checked(&tree, &alphabet, &store, &[], &ok).unwrap_err(),
+            knn_checked(&tree, &alphabet, &store, &[], &ok).unwrap_err(),
             CoreError::EmptyQuery
         );
         // Non-finite query values.
         assert_eq!(
-            knn_search_checked(&tree, &alphabet, &store, &[1.0, f64::NAN], &ok).unwrap_err(),
+            knn_checked(&tree, &alphabet, &store, &[1.0, f64::NAN], &ok).unwrap_err(),
             CoreError::NonFiniteQuery
         );
         assert_eq!(
-            knn_search_checked(&tree, &alphabet, &store, &[f64::INFINITY], &ok).unwrap_err(),
+            knn_checked(&tree, &alphabet, &store, &[f64::INFINITY], &ok).unwrap_err(),
             CoreError::NonFiniteQuery
         );
         // k = 0 and bad growth become typed errors, not panics.
         assert!(matches!(
-            knn_search_checked(&tree, &alphabet, &store, &[1.0], &KnnParams::new(0)),
+            knn_checked(&tree, &alphabet, &store, &[1.0], &KnnParams::new(0)),
             Err(CoreError::BadKnnParams(_))
         ));
         let mut bad_growth = KnnParams::new(2);
         bad_growth.growth = 1.0;
         assert!(matches!(
-            knn_search_checked(&tree, &alphabet, &store, &[1.0], &bad_growth),
+            knn_checked(&tree, &alphabet, &store, &[1.0], &bad_growth),
             Err(CoreError::BadKnnParams(_))
         ));
         let mut bad_eps = KnnParams::new(2);
         bad_eps.initial_epsilon = f64::NAN;
         assert!(matches!(
-            knn_search_checked(&tree, &alphabet, &store, &[1.0], &bad_eps),
+            knn_checked(&tree, &alphabet, &store, &[1.0], &bad_eps),
             Err(CoreError::BadKnnParams(_))
         ));
+    }
+
+    /// The deprecated positional shims must stay exact aliases of the
+    /// typed API (this is the one sanctioned call site left in-repo).
+    #[test]
+    #[allow(deprecated)]
+    fn shims_match_run_query() {
+        use crate::error::CoreError;
+        let (store, alphabet, tree) = setup();
+        let params = KnnParams::new(3).allow_overlaps();
+        let (typed, typed_stats) = knn(&tree, &alphabet, &store, &[5.0, 9.0], &params);
+        let (shim, shim_stats) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &params);
+        assert_eq!(typed, shim);
+        assert_eq!(typed_stats, shim_stats);
+        let (checked, checked_stats) =
+            knn_search_checked(&tree, &alphabet, &store, &[5.0, 9.0], &params).unwrap();
+        assert_eq!(typed, checked);
+        assert_eq!(typed_stats, checked_stats);
+        assert_eq!(
+            knn_search_checked(&tree, &alphabet, &store, &[], &params).unwrap_err(),
+            CoreError::EmptyQuery
+        );
+        let m = SearchMetrics::new();
+        let with = knn_search_with(&tree, &alphabet, &store, &[5.0, 9.0], &params, &m);
+        // `_with` accumulates per-round answers; only the match list is
+        // contractually identical.
+        assert_eq!(typed, with);
+        let m2 = SearchMetrics::new();
+        let checked_with =
+            knn_search_checked_with(&tree, &alphabet, &store, &[5.0, 9.0], &params, &m2).unwrap();
+        assert_eq!(typed, checked_with);
     }
 }

@@ -1,0 +1,384 @@
+//! The unified typed query API.
+//!
+//! Three PRs of organic growth split query execution across eight
+//! positional entry points (`sim_search{,_with,_checked,_checked_with}`
+//! and the `knn_search` family), each validating a slightly different
+//! subset of its inputs. [`QueryRequest`] collapses them: one builder
+//! describes *what* is asked (threshold or k-NN, via [`QueryKind`]),
+//! one [`QueryRequest::validate`] pass performs **every** check the old
+//! entry points did between them (parameter validation, non-finite
+//! values, the serving length cap, truncated-index depth rules), and
+//! one executor pair — [`run_query`] / [`run_query_with`] — runs the
+//! search over any [`SuffixTreeIndex`]. The old entry points survive
+//! only as `#[deprecated]` shims over this module.
+
+use crate::categorize::Alphabet;
+use crate::error::CoreError;
+use crate::search::answers::{AnswerSet, Match, SearchParams, SearchStats};
+use crate::search::filter::SuffixTreeIndex;
+use crate::search::knn::KnnParams;
+use crate::search::metrics::SearchMetrics;
+use crate::sequence::{SequenceStore, Value};
+
+/// What a query asks for: every subsequence within a threshold, or the
+/// `k` nearest subsequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// ε-threshold search (the paper's `SimSearch` family): every
+    /// occurrence with `D_tw ≤ ε`.
+    Threshold(SearchParams),
+    /// Exact k-nearest-neighbour search by ε expansion.
+    Knn(KnnParams),
+}
+
+impl QueryKind {
+    /// The warping window, whichever kind carries it.
+    pub fn window(&self) -> Option<u32> {
+        match self {
+            QueryKind::Threshold(p) => p.window,
+            QueryKind::Knn(p) => p.window,
+        }
+    }
+
+    /// The worker-thread count, whichever kind carries it.
+    pub fn threads(&self) -> u32 {
+        match self {
+            QueryKind::Threshold(p) => p.threads,
+            QueryKind::Knn(p) => p.threads,
+        }
+    }
+}
+
+/// A fully described query: the values, the kind-specific parameters,
+/// and an optional serving-side length cap. Build one with
+/// [`QueryRequest::threshold`] / [`QueryRequest::knn`] (or the
+/// `*_params` constructors when you already hold a params struct), then
+/// execute it with [`run_query`] or [`run_query_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The query sequence.
+    pub query: Vec<Value>,
+    /// Threshold or k-NN, with the kind's parameters.
+    pub kind: QueryKind,
+    /// Optional cap on `query.len()` (a serving limit protecting
+    /// workers from quadratic-cost requests); violations surface as
+    /// [`CoreError::QueryTooLong`].
+    pub max_query_len: Option<usize>,
+}
+
+impl QueryRequest {
+    /// A threshold query with default parameters at radius `epsilon`.
+    pub fn threshold(query: &[Value], epsilon: f64) -> Self {
+        Self::threshold_params(query, SearchParams::with_epsilon(epsilon))
+    }
+
+    /// A threshold query with explicit [`SearchParams`].
+    pub fn threshold_params(query: &[Value], params: SearchParams) -> Self {
+        Self {
+            query: query.to_vec(),
+            kind: QueryKind::Threshold(params),
+            max_query_len: None,
+        }
+    }
+
+    /// A k-NN query with default parameters for `k` neighbours.
+    pub fn knn(query: &[Value], k: usize) -> Self {
+        Self::knn_params(query, KnnParams::new(k))
+    }
+
+    /// A k-NN query with explicit [`KnnParams`].
+    pub fn knn_params(query: &[Value], params: KnnParams) -> Self {
+        Self {
+            query: query.to_vec(),
+            kind: QueryKind::Knn(params),
+            max_query_len: None,
+        }
+    }
+
+    /// Adds a Sakoe–Chiba warping window of width `w`.
+    pub fn windowed(mut self, w: u32) -> Self {
+        match &mut self.kind {
+            QueryKind::Threshold(p) => p.window = Some(w),
+            QueryKind::Knn(p) => p.window = Some(w),
+        }
+        self
+    }
+
+    /// Sets the worker-thread count for filtering and verification.
+    pub fn parallel(mut self, threads: u32) -> Self {
+        match &mut self.kind {
+            QueryKind::Threshold(p) => p.threads = threads,
+            QueryKind::Knn(p) => p.threads = threads,
+        }
+        self
+    }
+
+    /// Imposes a serving-side cap on the query length.
+    pub fn capped(mut self, max_query_len: usize) -> Self {
+        self.max_query_len = Some(max_query_len);
+        self
+    }
+
+    /// Validates everything that does not depend on the index: the
+    /// length cap, the kind's parameters (absorbing
+    /// [`SearchParams::validate`] and [`KnnParams::validate`]), and
+    /// query finiteness. Index-dependent checks (truncated-index depth
+    /// rules) happen in [`validate_for`](Self::validate_for).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match &self.kind {
+            QueryKind::Threshold(p) => p.validate(self.query.len())?,
+            QueryKind::Knn(p) => p.validate(self.query.len())?,
+        }
+        if self.query.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteQuery);
+        }
+        if let Some(limit) = self.max_query_len {
+            if self.query.len() > limit {
+                return Err(CoreError::QueryTooLong {
+                    limit,
+                    got: self.query.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate) plus the index-dependent checks: on
+    /// a §8-truncated index the query's effective answer-length bound
+    /// must fit within `depth_limit` (for k-NN, only a window provides
+    /// such a bound, because ε expansion is otherwise unbounded).
+    pub fn validate_for(&self, depth_limit: Option<u32>) -> Result<(), CoreError> {
+        self.validate()?;
+        let Some(limit) = depth_limit else {
+            return Ok(());
+        };
+        let requested = match &self.kind {
+            QueryKind::Threshold(p) => p.effective_max_len(self.query.len()),
+            QueryKind::Knn(p) => {
+                // Saturating: a window near u32::MAX must fail the
+                // limit check, not wrap into a small "acceptable" depth.
+                let qlen = u32::try_from(self.query.len()).unwrap_or(u32::MAX);
+                p.window.map(|w| qlen.saturating_add(w))
+            }
+        };
+        match requested {
+            Some(m) if m <= limit => Ok(()),
+            _ => Err(CoreError::DepthLimitExceeded { limit, requested }),
+        }
+    }
+}
+
+/// The result of a [`run_query`]: an answer set for threshold queries,
+/// a distance-ranked list for k-NN queries. Both views are reachable
+/// from either variant, so callers can stay kind-agnostic.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// Threshold answers (every occurrence within ε).
+    Matches(AnswerSet),
+    /// k-NN answers, sorted by ascending `(distance, occurrence)`.
+    Ranked(Vec<Match>),
+}
+
+impl QueryOutput {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Matches(a) => a.len(),
+            QueryOutput::Ranked(v) => v.len(),
+        }
+    }
+
+    /// `true` when no answers were found.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the matches, whichever variant holds them.
+    pub fn matches(&self) -> &[Match] {
+        match self {
+            QueryOutput::Matches(a) => a.matches(),
+            QueryOutput::Ranked(v) => v,
+        }
+    }
+
+    /// Converts into an [`AnswerSet`] (lossless for both variants).
+    pub fn into_answer_set(self) -> AnswerSet {
+        match self {
+            QueryOutput::Matches(a) => a,
+            QueryOutput::Ranked(v) => {
+                let mut a = AnswerSet::new();
+                for m in v {
+                    a.push(m);
+                }
+                a
+            }
+        }
+    }
+
+    /// Converts into a distance-ranked list: k-NN answers come back
+    /// verbatim; threshold answers are sorted by `(distance,
+    /// occurrence)`.
+    pub fn into_ranked(self) -> Vec<Match> {
+        match self {
+            QueryOutput::Ranked(v) => v,
+            QueryOutput::Matches(a) => {
+                let n = a.len();
+                a.top_k(n)
+            }
+        }
+    }
+}
+
+/// Executes a validated query over the index, metering into
+/// caller-supplied [`SearchMetrics`]. This is THE query path: the CLI,
+/// the server and the facade all funnel through here.
+///
+/// Validation runs first ([`QueryRequest::validate_for`] against the
+/// tree's depth limit), so malformed requests return a typed
+/// [`CoreError`] and never panic.
+pub fn run_query_with<T: SuffixTreeIndex + Sync>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    req: &QueryRequest,
+    metrics: &SearchMetrics,
+) -> Result<QueryOutput, CoreError> {
+    req.validate_for(tree.depth_limit())?;
+    match &req.kind {
+        QueryKind::Threshold(p) => Ok(QueryOutput::Matches(
+            crate::search::threshold_search_unchecked(
+                tree, alphabet, store, &req.query, p, metrics,
+            ),
+        )),
+        QueryKind::Knn(p) => Ok(QueryOutput::Ranked(crate::search::knn::knn_unchecked(
+            tree, alphabet, store, &req.query, p, metrics,
+        ))),
+    }
+}
+
+/// [`run_query_with`] on fresh metrics, returning the final
+/// [`SearchStats`] snapshot alongside the output. For k-NN requests the
+/// snapshot's `answers` field reads as the result count actually
+/// returned (the historical `knn_search` convention), not the per-round
+/// verified total.
+pub fn run_query<T: SuffixTreeIndex + Sync>(
+    tree: &T,
+    alphabet: &Alphabet,
+    store: &SequenceStore,
+    req: &QueryRequest,
+) -> Result<(QueryOutput, SearchStats), CoreError> {
+    let metrics = SearchMetrics::new();
+    let out = run_query_with(tree, alphabet, store, req, &metrics)?;
+    let mut stats = metrics.snapshot();
+    if matches!(req.kind, QueryKind::Knn(_)) {
+        stats.answers = out.len() as u64;
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_shared_knobs_on_either_kind() {
+        let t = QueryRequest::threshold(&[1.0, 2.0], 0.5)
+            .windowed(3)
+            .parallel(4)
+            .capped(16);
+        assert_eq!(t.kind.window(), Some(3));
+        assert_eq!(t.kind.threads(), 4);
+        assert_eq!(t.max_query_len, Some(16));
+        let k = QueryRequest::knn(&[1.0], 5).windowed(2).parallel(8);
+        assert_eq!(k.kind.window(), Some(2));
+        assert_eq!(k.kind.threads(), 8);
+        match k.kind {
+            QueryKind::Knn(p) => assert_eq!(p.k, 5),
+            _ => panic!("expected knn kind"),
+        }
+    }
+
+    #[test]
+    fn validate_absorbs_every_legacy_check() {
+        // Empty query (both kinds).
+        assert_eq!(
+            QueryRequest::threshold(&[], 1.0).validate(),
+            Err(CoreError::EmptyQuery)
+        );
+        assert_eq!(
+            QueryRequest::knn(&[], 3).validate(),
+            Err(CoreError::EmptyQuery)
+        );
+        // Bad threshold / bad k-NN params.
+        assert_eq!(
+            QueryRequest::threshold(&[1.0], -1.0).validate(),
+            Err(CoreError::BadThreshold)
+        );
+        assert!(matches!(
+            QueryRequest::knn(&[1.0], 0).validate(),
+            Err(CoreError::BadKnnParams(_))
+        ));
+        // Non-finite values.
+        assert_eq!(
+            QueryRequest::threshold(&[f64::NAN], 1.0).validate(),
+            Err(CoreError::NonFiniteQuery)
+        );
+        // The serving length cap.
+        assert_eq!(
+            QueryRequest::threshold(&[1.0, 2.0, 3.0], 1.0)
+                .capped(2)
+                .validate(),
+            Err(CoreError::QueryTooLong { limit: 2, got: 3 })
+        );
+        assert!(QueryRequest::threshold(&[1.0, 2.0], 1.0)
+            .capped(2)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn depth_limit_rules_match_the_legacy_entry_points() {
+        // Threshold: effective max length must fit the stored depth.
+        let t = QueryRequest::threshold(&[1.0, 2.0], 1.0);
+        assert!(t.validate_for(None).is_ok());
+        assert_eq!(
+            t.validate_for(Some(8)),
+            Err(CoreError::DepthLimitExceeded {
+                limit: 8,
+                requested: None
+            })
+        );
+        assert!(t.clone().windowed(4).validate_for(Some(8)).is_ok());
+        assert_eq!(
+            t.windowed(7).validate_for(Some(8)),
+            Err(CoreError::DepthLimitExceeded {
+                limit: 8,
+                requested: Some(9)
+            })
+        );
+        // k-NN: only a window bounds ε expansion on a truncated index.
+        let k = QueryRequest::knn(&[1.0, 2.0], 3);
+        assert!(matches!(
+            k.validate_for(Some(8)),
+            Err(CoreError::DepthLimitExceeded { .. })
+        ));
+        assert!(k.windowed(4).validate_for(Some(8)).is_ok());
+    }
+
+    #[test]
+    fn output_views_are_lossless() {
+        let m = |start: u32, dist: f64| Match {
+            occ: crate::sequence::Occurrence::new(crate::sequence::SeqId(0), start, 2),
+            dist,
+        };
+        let mut a = AnswerSet::new();
+        a.push(m(4, 2.0));
+        a.push(m(1, 1.0));
+        let out = QueryOutput::Matches(a);
+        assert_eq!(out.len(), 2);
+        let ranked = out.into_ranked();
+        assert_eq!(ranked[0].occ.start, 1, "threshold answers rank by distance");
+        let back = QueryOutput::Ranked(ranked).into_answer_set();
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -1,0 +1,354 @@
+//! Multi-segment fan-out: N partial suffix trees presented as one
+//! [`SuffixTreeIndex`].
+//!
+//! The LSM-style index keeps new sequences in small tail segments (each
+//! a suffix tree over just its own suffixes) until a background merge
+//! compacts them into the base tree. Queries must see the union;
+//! [`SegmentedIndex`] provides it without touching the filter: a
+//! virtual root whose children are every segment root's children, in
+//! segment order. All other operations delegate to the owning segment.
+//!
+//! ## Equivalence contract
+//!
+//! A query over `SegmentedIndex` finds the **same answer set** as over
+//! a monolithic tree built from the whole corpus:
+//!
+//! * Every stored suffix lives in exactly one segment, with its
+//!   *global* `SeqId` and lead run, so candidate emission per suffix is
+//!   governed by the same per-suffix data as in the monolithic tree.
+//!   Theorem-1/3 pruning bounds (`max_lead_run` of the subtree) can
+//!   only be *tighter* within a segment (fewer suffixes below a node ⇒
+//!   smaller max shift), and the pruning condition is sound for
+//!   exactly the shifts a segment's suffixes admit — so no candidate
+//!   the monolithic tree would emit is lost, and none is added.
+//! * Post-processing groups candidates by `(seq, start)` in sorted
+//!   order and deduplicates lengths, so the differing candidate
+//!   *order* across segments cannot leak into the results: threshold
+//!   answers, k-NN ranking and every candidate-level funnel counter
+//!   (`candidates`, `postprocessed`, `false_alarms`, `answers`) are
+//!   byte-identical. Structural traversal counters (`nodes_visited`,
+//!   `rows_pushed`, …) legitimately differ — segments repeat shared
+//!   path prefixes the monolithic tree walks once.
+
+use crate::search::filter::SuffixTreeIndex;
+use crate::sequence::SeqId;
+
+/// A node of the fan-out view: the virtual root, or a node inside one
+/// segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegNode<N> {
+    /// The virtual root gluing the segment roots together.
+    Root,
+    /// A real node of segment `seg`.
+    Inner {
+        /// Index into the segment list.
+        seg: u32,
+        /// The segment's own node handle.
+        node: N,
+    },
+}
+
+/// N suffix-tree segments over disjoint suffix sets of one corpus,
+/// presented as a single [`SuffixTreeIndex`] (see the module docs for
+/// the equivalence contract).
+///
+/// Every segment must index suffixes with corpus-global [`SeqId`]s and
+/// agree on the sparse flag and depth limit — enforced at
+/// construction, since mixing them would silently break the
+/// no-false-dismissal guarantee.
+pub struct SegmentedIndex<'a, T> {
+    segments: Vec<&'a T>,
+}
+
+impl<'a, T: SuffixTreeIndex> SegmentedIndex<'a, T> {
+    /// Builds the fan-out view over `segments` (base first, tails in
+    /// append order).
+    ///
+    /// # Panics
+    /// When `segments` is empty or the segments disagree on sparseness
+    /// or depth limit.
+    pub fn new(segments: Vec<&'a T>) -> Self {
+        assert!(!segments.is_empty(), "segmented index needs >= 1 segment");
+        let sparse = segments[0].is_sparse();
+        let limit = segments[0].depth_limit();
+        for s in &segments[1..] {
+            assert_eq!(s.is_sparse(), sparse, "segments must share the sparse flag");
+            assert_eq!(
+                s.depth_limit(),
+                limit,
+                "segments must share the depth limit"
+            );
+        }
+        Self { segments }
+    }
+
+    /// Number of segments in the view.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn seg(&self, i: u32) -> &'a T {
+        self.segments[i as usize]
+    }
+}
+
+impl<T: SuffixTreeIndex> SuffixTreeIndex for SegmentedIndex<'_, T> {
+    type Node = SegNode<T::Node>;
+
+    fn root(&self) -> Self::Node {
+        SegNode::Root
+    }
+
+    fn for_each_child(&self, n: Self::Node, f: &mut dyn FnMut(Self::Node)) {
+        match n {
+            SegNode::Root => {
+                for (i, s) in self.segments.iter().enumerate() {
+                    let seg = i as u32;
+                    s.for_each_child(s.root(), &mut |c| f(SegNode::Inner { seg, node: c }));
+                }
+            }
+            SegNode::Inner { seg, node } => {
+                self.seg(seg)
+                    .for_each_child(node, &mut |c| f(SegNode::Inner { seg, node: c }));
+            }
+        }
+    }
+
+    fn edge_label(&self, n: Self::Node, out: &mut Vec<u32>) {
+        match n {
+            // The filter never asks for the root's (non-existent)
+            // incoming edge; keep the same contract here.
+            SegNode::Root => unreachable!("edge_label is undefined for the root"),
+            SegNode::Inner { seg, node } => self.seg(seg).edge_label(node, out),
+        }
+    }
+
+    fn for_each_suffix_below(&self, n: Self::Node, f: &mut dyn FnMut(SeqId, u32, u32)) {
+        match n {
+            SegNode::Root => {
+                for s in &self.segments {
+                    s.for_each_suffix_below(s.root(), f);
+                }
+            }
+            SegNode::Inner { seg, node } => self.seg(seg).for_each_suffix_below(node, f),
+        }
+    }
+
+    fn max_lead_run(&self, n: Self::Node) -> u32 {
+        match n {
+            SegNode::Root => self
+                .segments
+                .iter()
+                .map(|s| s.max_lead_run(s.root()))
+                .max()
+                .unwrap_or(0),
+            SegNode::Inner { seg, node } => self.seg(seg).max_lead_run(node),
+        }
+    }
+
+    fn is_sparse(&self) -> bool {
+        self.segments[0].is_sparse()
+    }
+
+    fn suffix_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.suffix_count()).sum()
+    }
+
+    fn depth_limit(&self) -> Option<u32> {
+        self.segments[0].depth_limit()
+    }
+
+    fn suffix_count_below(&self, n: Self::Node) -> Option<u64> {
+        match n {
+            SegNode::Root => {
+                let mut total = 0u64;
+                for s in &self.segments {
+                    total += s.suffix_count_below(s.root())?;
+                }
+                Some(total)
+            }
+            SegNode::Inner { seg, node } => self.seg(seg).suffix_count_below(node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::{Alphabet, CatStore};
+    use crate::search::answers::SearchStats;
+    use crate::search::knn::KnnParams;
+    use crate::search::query::{QueryOutput, QueryRequest};
+    use crate::search::run_query;
+    use crate::search::SearchParams;
+    use crate::sequence::SequenceStore;
+
+    type ToyNode = (Vec<u32>, Vec<usize>, Vec<(SeqId, u32, u32)>);
+
+    /// Trie-shaped test double over a *range* of the corpus, storing
+    /// global sequence ids (same shape as the filter/knn test doubles).
+    struct ToyTree {
+        nodes: Vec<ToyNode>,
+    }
+
+    impl ToyTree {
+        fn build_range(cat: &CatStore, range: std::ops::Range<usize>) -> Self {
+            let mut t = ToyTree {
+                nodes: vec![(Vec::new(), Vec::new(), Vec::new())],
+            };
+            for i in range {
+                let s = &cat.seqs()[i];
+                for start in 0..s.len() {
+                    let mut node = 0usize;
+                    for &sym in &s[start..] {
+                        let found = t.nodes[node]
+                            .1
+                            .iter()
+                            .copied()
+                            .find(|&c| t.nodes[c].0 == [sym]);
+                        node = match found {
+                            Some(c) => c,
+                            None => {
+                                let c = t.nodes.len();
+                                t.nodes.push((vec![sym], Vec::new(), Vec::new()));
+                                t.nodes[node].1.push(c);
+                                c
+                            }
+                        };
+                    }
+                    let run = cat.run_len(SeqId(i as u32), start as u32);
+                    t.nodes[node].2.push((SeqId(i as u32), start as u32, run));
+                }
+            }
+            t
+        }
+    }
+
+    impl SuffixTreeIndex for ToyTree {
+        type Node = usize;
+        fn root(&self) -> usize {
+            0
+        }
+        fn for_each_child(&self, n: usize, f: &mut dyn FnMut(usize)) {
+            for &c in &self.nodes[n].1 {
+                f(c);
+            }
+        }
+        fn edge_label(&self, n: usize, out: &mut Vec<u32>) {
+            out.extend_from_slice(&self.nodes[n].0);
+        }
+        fn for_each_suffix_below(&self, n: usize, f: &mut dyn FnMut(SeqId, u32, u32)) {
+            for &(s, p, r) in &self.nodes[n].2 {
+                f(s, p, r);
+            }
+            for &c in &self.nodes[n].1 {
+                self.for_each_suffix_below(c, f);
+            }
+        }
+        fn max_lead_run(&self, n: usize) -> u32 {
+            let mut m = 0;
+            self.for_each_suffix_below(n, &mut |_, _, r| m = m.max(r));
+            m
+        }
+        fn is_sparse(&self) -> bool {
+            false
+        }
+        fn suffix_count(&self) -> u64 {
+            let mut n = 0;
+            self.for_each_suffix_below(0, &mut |_, _, _| n += 1);
+            n
+        }
+    }
+
+    fn setup() -> (SequenceStore, Alphabet, CatStore) {
+        let store = SequenceStore::from_values(vec![
+            vec![1.0, 5.0, 9.0, 5.0, 1.0],
+            vec![5.0, 5.2, 9.5],
+            vec![9.0, 5.0, 1.0, 1.2],
+            vec![5.1, 9.2, 5.0, 5.0],
+        ]);
+        let alphabet = Alphabet::singleton(&store).unwrap();
+        let cat = alphabet.encode_store(&store);
+        (store, alphabet, cat)
+    }
+
+    /// Candidate-level funnel fields — identical across segmentations
+    /// (structural traversal counters legitimately differ).
+    fn funnel(s: &SearchStats) -> (u64, u64, u64, u64) {
+        (s.candidates, s.postprocessed, s.false_alarms, s.answers)
+    }
+
+    #[test]
+    fn single_segment_is_transparent() {
+        let (store, alphabet, cat) = setup();
+        let mono = ToyTree::build_range(&cat, 0..4);
+        let seg = SegmentedIndex::new(vec![&mono]);
+        assert_eq!(seg.suffix_count(), mono.suffix_count());
+        let req = QueryRequest::threshold(&[5.0, 9.0], 1.0);
+        let (a, sa) = run_query(&mono, &alphabet, &store, &req).unwrap();
+        let (b, sb) = run_query(&seg, &alphabet, &store, &req).unwrap();
+        assert_eq!(a.matches(), b.matches());
+        assert_eq!(sa, sb, "one segment adds no traversal work");
+    }
+
+    #[test]
+    fn multi_segment_matches_monolithic() {
+        let (store, alphabet, cat) = setup();
+        let mono = ToyTree::build_range(&cat, 0..4);
+        for cuts in [
+            vec![0..2, 2..4],
+            vec![0..1, 1..2, 2..3, 3..4],
+            vec![0..3, 3..4],
+        ] {
+            let parts: Vec<ToyTree> = cuts
+                .iter()
+                .map(|r| ToyTree::build_range(&cat, r.clone()))
+                .collect();
+            let seg = SegmentedIndex::new(parts.iter().collect());
+            assert_eq!(seg.segment_count(), cuts.len());
+            assert_eq!(seg.suffix_count(), mono.suffix_count());
+            for eps in [0.0, 0.5, 2.0, 10.0] {
+                for threads in [1u32, 2] {
+                    let req = QueryRequest::threshold_params(
+                        &[5.0, 9.0, 5.0],
+                        SearchParams::with_epsilon(eps).parallel(threads),
+                    );
+                    let (a, sa) = run_query(&mono, &alphabet, &store, &req).unwrap();
+                    let (b, sb) = run_query(&seg, &alphabet, &store, &req).unwrap();
+                    assert_eq!(
+                        a.matches(),
+                        b.matches(),
+                        "eps={eps} t={threads} cuts={cuts:?}"
+                    );
+                    assert_eq!(funnel(&sa), funnel(&sb), "eps={eps} t={threads}");
+                }
+            }
+            // k-NN ranking across segments.
+            for k in [1usize, 3, 7] {
+                let req = QueryRequest::knn_params(&[5.0, 9.0], KnnParams::new(k));
+                let (a, _) = run_query(&mono, &alphabet, &store, &req).unwrap();
+                let (b, _) = run_query(&seg, &alphabet, &store, &req).unwrap();
+                assert_eq!(a.matches(), b.matches(), "k={k} cuts={cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_output_is_ranked_variant() {
+        let (store, alphabet, cat) = setup();
+        let t0 = ToyTree::build_range(&cat, 0..2);
+        let t1 = ToyTree::build_range(&cat, 2..4);
+        let seg = SegmentedIndex::new(vec![&t0, &t1]);
+        let req = QueryRequest::knn(&[5.0, 9.0], 2);
+        let (out, stats) = run_query(&seg, &alphabet, &store, &req).unwrap();
+        assert!(matches!(out, QueryOutput::Ranked(_)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.answers, 2, "snapshot reports returned answers");
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 segment")]
+    fn empty_segment_list_panics() {
+        let _ = SegmentedIndex::<ToyTree>::new(Vec::new());
+    }
+}

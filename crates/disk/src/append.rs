@@ -125,7 +125,9 @@ mod tests {
     use crate::manifest::resolve_dir_with;
     use crate::writer::write_tree;
     use warptree_core::categorize::Alphabet;
-    use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+    use warptree_core::search::{
+        run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode,
+    };
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let p = std::env::temp_dir().join(format!("warptree-append-{}-{tag}", std::process::id()));
@@ -190,7 +192,14 @@ mod tests {
             // Every search equals the exact scan over the merged store.
             for q in [vec![5.0, 5.0], vec![0.0, 9.0], vec![3.0]] {
                 let params = SearchParams::with_epsilon(1.0);
-                let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+                let (got, _) = run_query(
+                    &tree,
+                    &alphabet,
+                    &store,
+                    &QueryRequest::threshold_params(&q, params.clone()),
+                )
+                .unwrap();
+                let got = got.into_answer_set();
                 let mut stats = SearchStats::default();
                 let expected = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
                 assert_eq!(
@@ -220,7 +229,14 @@ mod tests {
         assert_eq!(store.len(), 4);
         let params = SearchParams::with_epsilon(0.5);
         let q = [4.0, 6.0];
-        let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+        let (got, _) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&q, params.clone()),
+        )
+        .unwrap();
+        let got = got.into_answer_set();
         let mut stats = SearchStats::default();
         let expected = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
         assert_eq!(got.occurrence_set(), expected.occurrence_set());

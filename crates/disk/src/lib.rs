@@ -17,8 +17,13 @@
 //! * [`manifest`] — atomic directory commits (temp file + rename +
 //!   directory fsync + CRC-protected `MANIFEST`), recovery on open, and
 //!   offline verification;
-//! * [`snapshot`] — non-mutating reopen of the committed generation and
-//!   a cheap manifest poll, the reload primitives of a live server;
+//! * [`segment`] — LSM-style online ingest: appends commit as small
+//!   tail segments over just the new suffixes, and a compactor folds
+//!   segments back together with the binary merge, one manifest
+//!   generation per step;
+//! * [`snapshot`] — non-mutating reopen of the committed generation
+//!   (including tail segments, with fan-out querying) and a cheap
+//!   manifest poll, the reload primitives of a live server;
 //! * [`vfs`] — the injectable filesystem every write path goes through,
 //!   with a fault-injecting implementation for crash-consistency tests.
 
@@ -31,6 +36,7 @@ pub mod lru;
 pub mod manifest;
 pub mod merge;
 pub mod pager;
+pub mod segment;
 pub mod snapshot;
 pub mod vfs;
 pub mod writer;
@@ -40,11 +46,15 @@ pub use corpus::{load_corpus, load_corpus_with, save_corpus, save_corpus_with};
 pub use error::{DiskError, Result};
 pub use format::{DiskNode, DiskTree, Header};
 pub use manifest::{
-    build_dir_metered, build_dir_with, commit_dir_with, recover_dir_with, resolve_dir_with,
-    verify_dir_with, FileCheck, Manifest, RecoveryReport, ResolvedDir, VerifyReport, MANIFEST_NAME,
+    build_dir_metered, build_dir_with, commit_dir_with, commit_update_with, recover_dir_with,
+    resolve_dir_with, segment_file_name, verify_dir_with, FileCheck, Manifest, RecoveryReport,
+    ResolvedDir, SegmentMeta, VerifyReport, MANIFEST_NAME,
 };
 pub use merge::{merge_trees, merge_trees_with, IncrementalBuilder, TreeKind};
 pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
+pub use segment::{
+    append_segment, append_segment_with, compact_all_with, compact_once, compact_once_with,
+};
 pub use snapshot::{committed_generation_with, open_dir_snapshot_with, DirSnapshot};
 pub use vfs::{real_vfs, FaultMode, FaultVfs, MeteredVfs, RealVfs, TempGuard, Vfs, VfsFile};
 pub use writer::{write_tree, write_tree_with};

@@ -44,10 +44,31 @@ use crate::vfs::{TempGuard, Vfs};
 pub const MANIFEST_NAME: &str = "MANIFEST";
 
 const MANIFEST_MAGIC: &[u8; 8] = b"WARPMANF";
+/// Version 1: base corpus + index pair. Version 2 appends the tail
+/// segment list. A manifest with no tail segments is always written as
+/// version 1, byte-identical to what older builds produced, so
+/// single-segment directories stay readable by them.
 const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_VERSION_SEGMENTS: u32 = 2;
+
+/// A committed tail segment: a suffix tree over the suffixes of a
+/// contiguous run of appended sequences (the base `index` file covers
+/// every sequence before the first tail segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name of the segment's tree inside the directory.
+    pub file: String,
+    /// Physical size of the segment file at commit time.
+    pub file_len: u64,
+    /// Corpus-global id of the first sequence this segment indexes.
+    pub start_seq: u32,
+    /// Number of consecutive sequences it indexes.
+    pub seq_count: u32,
+}
 
 /// The committed state of an index directory: which generation of the
-/// corpus and tree files is current, and their physical sizes.
+/// corpus and tree files is current, their physical sizes, and any tail
+/// segments awaiting compaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// Commit generation (monotonically increasing; 0 is reserved for
@@ -55,12 +76,15 @@ pub struct Manifest {
     pub generation: u64,
     /// File name of the committed corpus.
     pub corpus: String,
-    /// File name of the committed tree.
+    /// File name of the committed (base) tree.
     pub index: String,
     /// Physical size of the corpus file at commit time.
     pub corpus_len: u64,
     /// Physical size of the tree file at commit time.
     pub index_len: u64,
+    /// Tail segments, in ascending `start_seq` order (empty for a
+    /// fully compacted — i.e. ordinary single-tree — directory).
+    pub segments: Vec<SegmentMeta>,
 }
 
 /// Generational corpus file name (`corpus.wc` for the legacy gen 0).
@@ -81,21 +105,34 @@ pub fn index_file_name(generation: u64) -> String {
     }
 }
 
+/// Tail-segment tree file name: the generation that committed it plus
+/// an ordinal distinguishing segments born in the same commit.
+pub fn segment_file_name(generation: u64, ordinal: u32) -> String {
+    format!("segment-{generation:06}-{ordinal:03}.wt")
+}
+
 /// Whether `name` follows an index-directory data-file pattern (legacy
-/// fixed or generational). Such files belong to the commit protocol and
-/// are fair game for the recovery sweep when unreferenced.
+/// fixed, generational, or tail segment). Such files belong to the
+/// commit protocol and are fair game for the recovery sweep when
+/// unreferenced.
 fn is_generation_file(name: &str) -> bool {
     name == "corpus.wc"
         || name == "index.wt"
         || (name.starts_with("corpus-") && name.ends_with(".wc"))
         || (name.starts_with("index-") && name.ends_with(".wt"))
+        || (name.starts_with("segment-") && name.ends_with(".wt"))
 }
 
 impl Manifest {
     fn encode(&self) -> Vec<u8> {
+        let version = if self.segments.is_empty() {
+            MANIFEST_VERSION
+        } else {
+            MANIFEST_VERSION_SEGMENTS
+        };
         let mut out = Vec::with_capacity(64);
         out.extend_from_slice(MANIFEST_MAGIC);
-        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.generation.to_le_bytes());
         for name in [&self.corpus, &self.index] {
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -103,6 +140,16 @@ impl Manifest {
         }
         out.extend_from_slice(&self.corpus_len.to_le_bytes());
         out.extend_from_slice(&self.index_len.to_le_bytes());
+        if version == MANIFEST_VERSION_SEGMENTS {
+            out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+            for seg in &self.segments {
+                out.extend_from_slice(&(seg.file.len() as u32).to_le_bytes());
+                out.extend_from_slice(seg.file.as_bytes());
+                out.extend_from_slice(&seg.file_len.to_le_bytes());
+                out.extend_from_slice(&seg.start_seq.to_le_bytes());
+                out.extend_from_slice(&seg.seq_count.to_le_bytes());
+            }
+        }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
@@ -131,7 +178,7 @@ impl Manifest {
             return Err(bad("not a manifest file"));
         }
         let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
-        if version != MANIFEST_VERSION {
+        if version != MANIFEST_VERSION && version != MANIFEST_VERSION_SEGMENTS {
             return Err(bad(&format!("unsupported manifest version {version}")));
         }
         let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
@@ -148,6 +195,31 @@ impl Manifest {
         }
         let corpus_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
         let index_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let mut segments = Vec::new();
+        if version == MANIFEST_VERSION_SEGMENTS {
+            let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            if count > 4096 {
+                return Err(bad("implausible segment count"));
+            }
+            for _ in 0..count {
+                let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                if len > 4096 {
+                    return Err(bad("implausible file name length"));
+                }
+                let file = std::str::from_utf8(take(len)?)
+                    .map_err(|_| bad("file name is not UTF-8"))?
+                    .to_string();
+                let file_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let start_seq = u32::from_le_bytes(take(4)?.try_into().unwrap());
+                let seq_count = u32::from_le_bytes(take(4)?.try_into().unwrap());
+                segments.push(SegmentMeta {
+                    file,
+                    file_len,
+                    start_seq,
+                    seq_count,
+                });
+            }
+        }
         let index = names.pop().unwrap();
         let corpus = names.pop().unwrap();
         Ok(Self {
@@ -156,6 +228,7 @@ impl Manifest {
             index,
             corpus_len,
             index_len,
+            segments,
         })
     }
 }
@@ -198,10 +271,21 @@ pub struct ResolvedDir {
     pub generation: u64,
     /// Absolute path of the committed corpus file.
     pub corpus_path: PathBuf,
-    /// Absolute path of the committed tree file.
+    /// Absolute path of the committed (base) tree file.
     pub index_path: PathBuf,
+    /// Absolute paths of the committed tail segments, in manifest order.
+    pub segment_paths: Vec<PathBuf>,
     /// The manifest, when one exists.
     pub manifest: Option<Manifest>,
+}
+
+impl ResolvedDir {
+    /// Every committed data file: corpus, base tree, tail segments.
+    fn keep_list(&self) -> Vec<&Path> {
+        let mut keep = vec![self.corpus_path.as_path(), self.index_path.as_path()];
+        keep.extend(self.segment_paths.iter().map(|p| p.as_path()));
+        keep
+    }
 }
 
 /// Resolves the committed state of `dir` without touching anything:
@@ -211,7 +295,15 @@ pub fn resolve_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<ResolvedDir> {
     if let Some(m) = read_manifest_with(vfs, dir)? {
         let corpus_path = dir.join(&m.corpus);
         let index_path = dir.join(&m.index);
-        for (path, name) in [(&corpus_path, &m.corpus), (&index_path, &m.index)] {
+        let segment_paths: Vec<PathBuf> = m.segments.iter().map(|s| dir.join(&s.file)).collect();
+        let names = [&m.corpus, &m.index]
+            .into_iter()
+            .chain(m.segments.iter().map(|s| &s.file));
+        for (path, name) in [&corpus_path, &index_path]
+            .into_iter()
+            .chain(segment_paths.iter())
+            .zip(names)
+        {
             if !vfs.exists(path) {
                 return Err(DiskError::BadManifest(format!(
                     "references missing file {name}"
@@ -222,6 +314,7 @@ pub fn resolve_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<ResolvedDir> {
             generation: m.generation,
             corpus_path,
             index_path,
+            segment_paths,
             manifest: Some(m),
         });
     }
@@ -232,6 +325,7 @@ pub fn resolve_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<ResolvedDir> {
             generation: 0,
             corpus_path,
             index_path,
+            segment_paths: Vec::new(),
             manifest: None,
         });
     }
@@ -310,15 +404,53 @@ fn sweep_dir_with(vfs: &dyn Vfs, dir: &Path, keep: &[&Path]) -> Result<RecoveryR
 /// and data files outside the committed generation.
 pub fn recover_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<(ResolvedDir, RecoveryReport)> {
     let resolved = resolve_dir_with(vfs, dir)?;
-    let report = sweep_dir_with(
-        vfs,
-        dir,
-        &[
-            resolved.corpus_path.as_path(),
-            resolved.index_path.as_path(),
-        ],
-    )?;
+    let report = sweep_dir_with(vfs, dir, &resolved.keep_list())?;
     Ok((resolved, report))
+}
+
+/// Commits a manifest update atomically: installs each `staged`
+/// `(tmp, final)` file pair under its final name, flips the manifest by
+/// the rename protocol, then best-effort removes the `remove_after`
+/// files the update superseded. The staged temporaries must already be
+/// written and fsynced.
+///
+/// This is the generic form of the commit protocol used by the
+/// segment subsystem (append and compaction), where arbitrary subsets
+/// of the previous generation's files are carried forward unchanged —
+/// unlike [`commit_dir_with`], which always supersedes the whole
+/// generation.
+pub fn commit_update_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    staged: &[(PathBuf, PathBuf)],
+    manifest: &Manifest,
+    remove_after: &[PathBuf],
+) -> Result<()> {
+    let mut guard = TempGuard::new(vfs, Vec::new());
+    for (tmp, final_path) in staged {
+        guard.add(final_path.clone());
+        vfs.rename(tmp, final_path)?;
+    }
+    if !staged.is_empty() {
+        vfs.sync_dir(dir)?;
+    }
+    let manifest_tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    guard.add(manifest_tmp.clone());
+    let mut file = vfs.create(&manifest_tmp)?;
+    file.write_at(0, &manifest.encode())?;
+    file.sync()?;
+    drop(file);
+    vfs.rename(&manifest_tmp, &dir.join(MANIFEST_NAME))?;
+    // Committed: from here on the new state must survive any error.
+    guard.defuse();
+    vfs.sync_dir(dir)?;
+    for old in remove_after {
+        if vfs.exists(old) {
+            let _ = vfs.remove_file(old);
+        }
+    }
+    let _ = vfs.sync_dir(dir);
+    Ok(())
 }
 
 /// Commits the next generation of `dir` atomically. `write_corpus` and
@@ -343,6 +475,17 @@ where
     I: FnOnce(&Path) -> Result<()>,
 {
     vfs.create_dir_all(dir)?;
+    // The whole previous generation is superseded — including any tail
+    // segments its manifest carried (a monolithic rebuild re-indexes
+    // everything).
+    let mut remove_after = vec![
+        dir.join(corpus_file_name(current_generation)),
+        dir.join(index_file_name(current_generation)),
+    ];
+    if let Ok(Some(old)) = read_manifest_with(vfs, dir) {
+        remove_after.extend(old.segments.iter().map(|s| dir.join(&s.file)));
+    }
+
     let generation = current_generation + 1;
     let corpus_name = corpus_file_name(generation);
     let index_name = index_file_name(generation);
@@ -355,43 +498,25 @@ where
     write_corpus(&corpus_tmp)?;
     write_index(&index_tmp)?;
 
-    // Install the new generation under its final names. Until the
-    // manifest flips, readers still resolve the old generation, so these
-    // renames are invisible; the guard removes them if we fail here.
-    guard.add(corpus_final.clone());
-    vfs.rename(&corpus_tmp, &corpus_final)?;
-    guard.add(index_final.clone());
-    vfs.rename(&index_tmp, &index_final)?;
-    vfs.sync_dir(dir)?;
-
     let manifest = Manifest {
         generation,
         corpus: corpus_name,
         index: index_name,
-        corpus_len: vfs.metadata_len(&corpus_final)?,
-        index_len: vfs.metadata_len(&index_final)?,
+        corpus_len: vfs.metadata_len(&corpus_tmp)?,
+        index_len: vfs.metadata_len(&index_tmp)?,
+        segments: Vec::new(),
     };
-    let manifest_tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
-    guard.add(manifest_tmp.clone());
-    let mut file = vfs.create(&manifest_tmp)?;
-    file.write_at(0, &manifest.encode())?;
-    file.sync()?;
-    drop(file);
-    vfs.rename(&manifest_tmp, &dir.join(MANIFEST_NAME))?;
-    // Committed: from here on the new generation must survive any error.
+    // Until the manifest flips inside commit_update_with, readers still
+    // resolve the old generation, so the renames are invisible; on
+    // failure the temporaries (or half-installed finals) are removed.
+    commit_update_with(
+        vfs,
+        dir,
+        &[(corpus_tmp, corpus_final), (index_tmp, index_final)],
+        &manifest,
+        &remove_after,
+    )?;
     guard.defuse();
-    vfs.sync_dir(dir)?;
-
-    // Best-effort removal of the superseded generation; a crash here
-    // only leaves orphans for the next recovery sweep.
-    let old_corpus = dir.join(corpus_file_name(current_generation));
-    let old_index = dir.join(index_file_name(current_generation));
-    for old in [old_corpus, old_index] {
-        if vfs.exists(&old) {
-            let _ = vfs.remove_file(&old);
-        }
-    }
-    let _ = vfs.sync_dir(dir);
     Ok(manifest)
 }
 
@@ -446,14 +571,7 @@ pub fn build_dir_metered(
     // merge work files cannot outlive this build.
     let current = match resolve_dir_with(vfs.as_ref(), dir) {
         Ok(resolved) => {
-            sweep_dir_with(
-                vfs.as_ref(),
-                dir,
-                &[
-                    resolved.corpus_path.as_path(),
-                    resolved.index_path.as_path(),
-                ],
-            )?;
+            sweep_dir_with(vfs.as_ref(), dir, &resolved.keep_list())?;
             resolved.generation
         }
         Err(DiskError::NotAnIndexDir(_)) => {
@@ -573,8 +691,9 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
             .to_string()
     };
 
-    // Page-level CRC scan plus manifest size cross-check.
-    for (path, expect_len) in [
+    // Page-level CRC scan plus manifest size cross-check: the corpus,
+    // the base tree, then every tail segment.
+    let mut checks: Vec<(&Path, Option<u64>)> = vec![
         (
             &resolved.corpus_path,
             resolved.manifest.as_ref().map(|m| m.corpus_len),
@@ -583,7 +702,13 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
             &resolved.index_path,
             resolved.manifest.as_ref().map(|m| m.index_len),
         ),
-    ] {
+    ];
+    if let Some(m) = &resolved.manifest {
+        for (path, seg) in resolved.segment_paths.iter().zip(&m.segments) {
+            checks.push((path, Some(seg.file_len)));
+        }
+    }
+    for (path, expect_len) in checks {
         let (pages, mut error) = scan_pages(vfs, path);
         if error.is_none() {
             if let Some(expect) = expect_len {
@@ -600,23 +725,29 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
         });
     }
 
-    // Semantic parse: the corpus must decode, the tree must open against
-    // the decoded alphabet.
+    // Semantic parse: the corpus must decode, every tree must open
+    // against the decoded alphabet.
     if report.is_ok() {
         match load_corpus_with(vfs, &resolved.corpus_path) {
             Err(e) => {
                 report.files[0].error = Some(format!("parse failed: {e}"));
             }
             Ok((_, _, cat)) => {
-                if let Err(e) = DiskTree::open_with(vfs, &resolved.index_path, cat, 4, 16) {
-                    report.files[1].error = Some(format!("parse failed: {e}"));
+                let trees = std::iter::once(&resolved.index_path).chain(&resolved.segment_paths);
+                for (i, path) in trees.enumerate() {
+                    if let Err(e) = DiskTree::open_with(vfs, path, cat.clone(), 4, 16) {
+                        report.files[i + 1].error = Some(format!("parse failed: {e}"));
+                    }
                 }
             }
         }
     }
 
     for path in vfs.read_dir(dir)? {
-        if path == resolved.corpus_path || path == resolved.index_path {
+        if path == resolved.corpus_path
+            || path == resolved.index_path
+            || resolved.segment_paths.contains(&path)
+        {
             continue;
         }
         let name = file_name(&path);
@@ -653,8 +784,48 @@ mod tests {
             index: index_file_name(7),
             corpus_len: 8192,
             index_len: 16384,
+            segments: Vec::new(),
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        // With tail segments the manifest round-trips as version 2.
+        let seg = Manifest {
+            segments: vec![
+                SegmentMeta {
+                    file: segment_file_name(8, 0),
+                    file_len: 4096,
+                    start_seq: 2,
+                    seq_count: 3,
+                },
+                SegmentMeta {
+                    file: segment_file_name(9, 1),
+                    file_len: 12288,
+                    start_seq: 5,
+                    seq_count: 1,
+                },
+            ],
+            ..m.clone()
+        };
+        assert_eq!(Manifest::decode(&seg.encode()).unwrap(), seg);
+    }
+
+    #[test]
+    fn segmentless_manifest_encoding_is_version_1() {
+        // A fully compacted directory must stay readable by pre-segment
+        // builds: no tail segments -> the exact version-1 byte layout.
+        let m = Manifest {
+            generation: 3,
+            corpus: corpus_file_name(3),
+            index: index_file_name(3),
+            corpus_len: 100,
+            index_len: 200,
+            segments: Vec::new(),
+        };
+        let raw = m.encode();
+        assert_eq!(&raw[8..12], &1u32.to_le_bytes());
+        // version(4) is followed by generation/names/lens and nothing
+        // else before the CRC tail.
+        let expected_len = 8 + 4 + 8 + (4 + m.corpus.len()) + (4 + m.index.len()) + 8 + 8 + 4;
+        assert_eq!(raw.len(), expected_len);
     }
 
     #[test]
@@ -665,6 +836,12 @@ mod tests {
             index: "index-000001.wt".into(),
             corpus_len: 1,
             index_len: 2,
+            segments: vec![SegmentMeta {
+                file: segment_file_name(1, 0),
+                file_len: 3,
+                start_seq: 1,
+                seq_count: 1,
+            }],
         };
         let mut raw = m.encode();
         for i in (0..raw.len()).step_by(3) {
@@ -778,6 +955,7 @@ mod tests {
             index: index_file_name(3),
             corpus_len: 0,
             index_len: 0,
+            segments: Vec::new(),
         };
         write_manifest_with(&RealVfs, &dir, &m).unwrap();
         assert!(matches!(

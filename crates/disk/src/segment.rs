@@ -1,0 +1,423 @@
+//! The LSM-style segment subsystem: online ingest and background
+//! compaction of an index directory.
+//!
+//! [`append_to_index_dir`](crate::append_to_index_dir) merges every
+//! append into the monolithic tree — correct, but each append pays for
+//! rewriting the whole index. [`append_segment_with`] instead commits
+//! the new sequences as a small *tail segment*: a suffix tree over just
+//! the appended suffixes, recorded in the manifest next to the base
+//! tree. Queries fan the segments out through
+//! [`SegmentedIndex`](warptree_core::search::SegmentedIndex) (results
+//! are byte-identical to a monolithic build — see that module's
+//! equivalence contract), and [`compact_once_with`] folds segments back
+//! together pairwise with the paper's §4.1 binary merge, each
+//! compaction committed as a new MANIFEST generation so hot reload,
+//! crash recovery and `warptree verify` keep working unchanged.
+//!
+//! The soundness argument for appending is the same as for the merge
+//! append (boundaries never move, observed bounds only widen, the
+//! corpus is rewritten with widened bounds); the difference is purely
+//! *where* the new suffixes live. Every mutation here follows the
+//! commit protocol of [`manifest`](crate::manifest): temporaries,
+//! renames, manifest flip, best-effort removal — a torn compaction or
+//! append leaves the previous complete state in force.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use warptree_core::sequence::SequenceStore;
+
+use crate::corpus::{load_corpus_with, save_corpus_with};
+use crate::error::{DiskError, Result};
+use crate::format::DiskTree;
+use crate::manifest::{
+    commit_update_with, corpus_file_name, index_file_name, recover_dir_with, segment_file_name,
+    Manifest, SegmentMeta,
+};
+use crate::merge::merge_trees_with;
+use crate::vfs::{RealVfs, TempGuard, Vfs};
+use crate::writer::write_tree_with;
+
+/// One entry of the uniform segment view used by compaction: the base
+/// tree and every tail presented alike.
+struct SegView {
+    file: String,
+    file_len: u64,
+}
+
+/// Appends `new_sequences` as a new tail segment of the index directory
+/// (O(new data) work — the existing trees are carried forward
+/// untouched), committing the widened corpus plus the segment tree as
+/// the directory's next generation. Returns the committed manifest.
+///
+/// The directory must resolve to a committed index. Truncated (§8)
+/// indexes are rejected, exactly as for the merge append.
+pub fn append_segment(dir: &Path, new_sequences: &SequenceStore) -> Result<Manifest> {
+    append_segment_with(&RealVfs, dir, new_sequences)
+}
+
+/// [`append_segment`] through an explicit [`Vfs`].
+pub fn append_segment_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    new_sequences: &SequenceStore,
+) -> Result<Manifest> {
+    if new_sequences.is_empty() {
+        return Err(DiskError::BadRecord("nothing to append".into()));
+    }
+    let (resolved, _recovery) = recover_dir_with(vfs, dir)?;
+    let (mut store, mut alphabet, _) = load_corpus_with(vfs, &resolved.corpus_path)?;
+    let probe = DiskTree::open_with(
+        vfs,
+        &resolved.index_path,
+        // Temporary encode just to read the header; replaced below.
+        Arc::new(alphabet.encode_store(&store)),
+        16,
+        16,
+    )?;
+    let header = probe.header();
+    if header.depth_limit.is_some() {
+        return Err(DiskError::BadRecord(
+            "cannot append to a truncated (§8) index".into(),
+        ));
+    }
+    let sparse = header.sparse;
+    drop(probe);
+
+    // Admit the new values: widen observed bounds, extend the store.
+    // Old symbols are unchanged — only lb/ub widen — so the base tree
+    // and every existing tail stay valid over the re-encoded corpus.
+    alphabet.widen(new_sequences);
+    let first_new = store.len();
+    for (_, s) in new_sequences.iter() {
+        store.push(s.clone());
+    }
+    let last = store.len();
+    let cat = Arc::new(alphabet.encode_store(&store));
+
+    // The tail tree indexes only the new suffixes, with corpus-global
+    // sequence ids, and must match the base tree's kind.
+    let tail = if sparse {
+        warptree_suffix::build_sparse_range(cat.clone(), first_new..last)
+    } else {
+        warptree_suffix::build_full_range(cat.clone(), first_new..last)
+    };
+
+    let old_manifest = resolved.manifest.clone();
+    let generation = resolved.generation + 1;
+    let corpus_name = corpus_file_name(generation);
+    let ordinal = old_manifest.as_ref().map_or(0, |m| m.segments.len()) as u32;
+    let segment_name = segment_file_name(generation, ordinal);
+    let corpus_tmp = dir.join(format!("{corpus_name}.tmp"));
+    let segment_tmp = dir.join(format!("{segment_name}.tmp"));
+
+    let mut guard = TempGuard::new(vfs, vec![corpus_tmp.clone(), segment_tmp.clone()]);
+    save_corpus_with(vfs, &store, &alphabet, &corpus_tmp)?;
+    write_tree_with(vfs, &tail, &segment_tmp)?;
+
+    let index_name = resolved
+        .index_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("resolved index path has a name")
+        .to_string();
+    let mut segments = old_manifest
+        .as_ref()
+        .map_or(Vec::new(), |m| m.segments.clone());
+    segments.push(SegmentMeta {
+        file: segment_name.clone(),
+        file_len: vfs.metadata_len(&segment_tmp)?,
+        start_seq: first_new as u32,
+        seq_count: (last - first_new) as u32,
+    });
+    let manifest = Manifest {
+        generation,
+        corpus: corpus_name,
+        index: index_name,
+        corpus_len: vfs.metadata_len(&corpus_tmp)?,
+        index_len: match &old_manifest {
+            Some(m) => m.index_len,
+            None => vfs.metadata_len(&resolved.index_path)?,
+        },
+        segments,
+    };
+    // Only the corpus is superseded; the base tree and old tails are
+    // carried forward by reference.
+    commit_update_with(
+        vfs,
+        dir,
+        &[
+            (corpus_tmp, dir.join(&manifest.corpus)),
+            (segment_tmp, dir.join(&segment_name)),
+        ],
+        &manifest,
+        std::slice::from_ref(&resolved.corpus_path),
+    )?;
+    guard.defuse();
+    Ok(manifest)
+}
+
+/// Runs one compaction step: merges the adjacent pair of segments with
+/// the smallest combined file size (the base tree counts as segment 0)
+/// using the paper's binary merge, and commits the result as the next
+/// generation. Returns `Ok(None)` when the directory has no tail
+/// segments — i.e. is already fully compacted.
+///
+/// Compaction never touches the corpus and never changes query results;
+/// it only reduces the segment count by one. Interrupting it at any
+/// point leaves the previous generation in force (the next recovery
+/// sweep removes the torn merge's leftovers).
+pub fn compact_once(dir: &Path) -> Result<Option<Manifest>> {
+    compact_once_with(&RealVfs, dir, &warptree_obs::MetricsRegistry::noop())
+}
+
+/// [`compact_once`] through an explicit [`Vfs`], metering
+/// `compaction.runs` / `compaction.ns` and the `index.segments` gauge
+/// into `reg`.
+pub fn compact_once_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    reg: &warptree_obs::MetricsRegistry,
+) -> Result<Option<Manifest>> {
+    let (resolved, _recovery) = recover_dir_with(vfs, dir)?;
+    let Some(old) = resolved.manifest.clone() else {
+        return Ok(None); // legacy single-tree directory
+    };
+    if old.segments.is_empty() {
+        return Ok(None);
+    }
+    let hist = reg.histogram("compaction.ns");
+    let timer = hist.span();
+
+    let (_, _, cat) = load_corpus_with(vfs, &resolved.corpus_path)?;
+
+    // Uniform view: base first, then the tails, in sequence order.
+    let mut view = vec![SegView {
+        file: old.index.clone(),
+        file_len: old.index_len,
+    }];
+    view.extend(old.segments.iter().map(|s| SegView {
+        file: s.file.clone(),
+        file_len: s.file_len,
+    }));
+
+    // Cheapest adjacent pair first, ties to the right (file sizes are
+    // page-quantized, so ties are common): small tails coalesce among
+    // themselves before anything pays for rewriting the base, which is
+    // what keeps total merge work O(n log n).
+    let pick = (0..view.len() - 1)
+        .rev()
+        .min_by_key(|&i| view[i].file_len + view[i + 1].file_len)
+        .expect("at least one adjacent pair");
+
+    let generation = old.generation + 1;
+    let merged_name = if pick == 0 {
+        index_file_name(generation)
+    } else {
+        segment_file_name(generation, (pick - 1) as u32)
+    };
+    let merged_tmp = dir.join(format!("{merged_name}.tmp"));
+    let mut guard = TempGuard::new(vfs, vec![merged_tmp.clone()]);
+
+    let left_path = dir.join(&view[pick].file);
+    let right_path = dir.join(&view[pick + 1].file);
+    {
+        let left = DiskTree::open_with(vfs, &left_path, cat.clone(), 256, 2048)?;
+        let right = DiskTree::open_with(vfs, &right_path, cat.clone(), 256, 2048)?;
+        merge_trees_with(vfs, &left, &right, &cat, &merged_tmp)?;
+    }
+    let merged_len = vfs.metadata_len(&merged_tmp)?;
+
+    let mut manifest = Manifest {
+        generation,
+        corpus: old.corpus.clone(),
+        index: old.index.clone(),
+        corpus_len: old.corpus_len,
+        index_len: old.index_len,
+        segments: old.segments.clone(),
+    };
+    if pick == 0 {
+        // Base absorbed the first tail.
+        manifest.index = merged_name.clone();
+        manifest.index_len = merged_len;
+        manifest.segments.remove(0);
+    } else {
+        // Two adjacent tails became one.
+        let left_meta = manifest.segments[pick - 1].clone();
+        let right_meta = manifest.segments.remove(pick);
+        manifest.segments[pick - 1] = SegmentMeta {
+            file: merged_name.clone(),
+            file_len: merged_len,
+            start_seq: left_meta.start_seq,
+            seq_count: left_meta.seq_count + right_meta.seq_count,
+        };
+    }
+    commit_update_with(
+        vfs,
+        dir,
+        &[(merged_tmp, dir.join(&merged_name))],
+        &manifest,
+        &[left_path, right_path],
+    )?;
+    guard.defuse();
+    timer.end();
+    reg.counter("compaction.runs").incr();
+    reg.set_gauge("index.segments", (manifest.segments.len() + 1) as f64);
+    Ok(Some(manifest))
+}
+
+/// Compacts until a single tree remains, returning the number of merge
+/// steps performed and the final manifest (when any step ran).
+pub fn compact_all_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    reg: &warptree_obs::MetricsRegistry,
+) -> Result<(u64, Option<Manifest>)> {
+    let mut runs = 0;
+    let mut last = None;
+    while let Some(m) = compact_once_with(vfs, dir, reg)? {
+        runs += 1;
+        last = Some(m);
+    }
+    Ok((runs, last))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{resolve_dir_with, verify_dir_with};
+    use crate::snapshot::open_dir_snapshot_with;
+    use warptree_core::categorize::Alphabet;
+    use warptree_core::search::{QueryRequest, SearchParams};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("warptree-segment-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn build_initial(dir: &Path, sparse: bool) -> SequenceStore {
+        let store =
+            SequenceStore::from_values(vec![vec![1.0, 5.0, 3.0, 5.0, 1.0], vec![4.0, 4.0, 2.0]]);
+        let alphabet = Alphabet::max_entropy(&store, 6).unwrap();
+        crate::manifest::build_dir_with(
+            crate::vfs::real_vfs(),
+            &store,
+            &alphabet,
+            if sparse {
+                crate::merge::TreeKind::Sparse
+            } else {
+                crate::merge::TreeKind::Full
+            },
+            1,
+            1,
+            None,
+            dir,
+        )
+        .unwrap();
+        store
+    }
+
+    #[test]
+    fn segment_append_then_full_compaction_round_trip() {
+        for sparse in [false, true] {
+            let dir = tmpdir(&format!("roundtrip-{sparse}"));
+            build_initial(&dir, sparse);
+            // Two appends leave two tail segments; values outside the
+            // old range exercise the widening path.
+            append_segment(&dir, &SequenceStore::from_values(vec![vec![0.0, 9.0, 5.0]])).unwrap();
+            let m = append_segment(
+                &dir,
+                &SequenceStore::from_values(vec![vec![3.0, 3.0, 3.0], vec![5.0, 1.0]]),
+            )
+            .unwrap();
+            assert_eq!(m.segments.len(), 2);
+            assert_eq!(m.segments[0].start_seq, 2);
+            assert_eq!(m.segments[1].start_seq, 3);
+            assert_eq!(m.segments[1].seq_count, 2);
+            assert!(verify_dir_with(&RealVfs, &dir).unwrap().is_ok());
+
+            // Queries over the segmented snapshot agree with brute force.
+            let snap = open_dir_snapshot_with(&RealVfs, &dir, 64, 256).unwrap();
+            let req = QueryRequest::threshold_params(&[5.0, 1.0], SearchParams::with_epsilon(0.75));
+            let (got, _) = snap.run_query(&req).unwrap();
+            let mut stats = warptree_core::search::SearchStats::default();
+            let expected = warptree_core::search::seq_scan(
+                &snap.store,
+                &[5.0, 1.0],
+                &SearchParams::with_epsilon(0.75),
+                warptree_core::search::SeqScanMode::Full,
+                &mut stats,
+            );
+            assert_eq!(
+                got.into_answer_set().occurrence_set(),
+                expected.occurrence_set(),
+                "sparse={sparse}"
+            );
+
+            // Compact to a single tree; results must not change.
+            let reg = warptree_obs::MetricsRegistry::new();
+            let (runs, last) = compact_all_with(&RealVfs, &dir, &reg).unwrap();
+            assert_eq!(runs, 2);
+            assert!(last.unwrap().segments.is_empty());
+            assert_eq!(reg.counter("compaction.runs").get(), 2);
+            assert!(verify_dir_with(&RealVfs, &dir).unwrap().is_ok());
+            let snap2 = open_dir_snapshot_with(&RealVfs, &dir, 64, 256).unwrap();
+            assert_eq!(snap2.segments.len(), 0);
+            let (got2, _) = snap2.run_query(&req).unwrap();
+            assert_eq!(
+                got2.into_answer_set().occurrence_set(),
+                expected.occurrence_set()
+            );
+            // No data files beyond the committed pair remain.
+            assert!(compact_once(&dir).unwrap().is_none());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn compaction_prefers_cheapest_adjacent_pair() {
+        let dir = tmpdir("pick");
+        build_initial(&dir, false);
+        // Two small tails: their combined size is far below base+tail,
+        // so one compaction merges the tails, leaving the base alone.
+        append_segment(&dir, &SequenceStore::from_values(vec![vec![2.0, 2.5]])).unwrap();
+        append_segment(&dir, &SequenceStore::from_values(vec![vec![4.5, 4.0]])).unwrap();
+        let before = resolve_dir_with(&RealVfs, &dir).unwrap();
+        let m = compact_once(&dir).unwrap().unwrap();
+        assert_eq!(m.segments.len(), 1);
+        assert_eq!(
+            m.index,
+            before.manifest.as_ref().unwrap().index,
+            "base untouched"
+        );
+        assert_eq!(m.segments[0].start_seq, 2);
+        assert_eq!(m.segments[0].seq_count, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_to_truncated_index_is_rejected() {
+        let dir = tmpdir("truncated");
+        let store = SequenceStore::from_values(vec![vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        let alphabet = Alphabet::max_entropy(&store, 4).unwrap();
+        crate::manifest::build_dir_with(
+            crate::vfs::real_vfs(),
+            &store,
+            &alphabet,
+            crate::merge::TreeKind::Full,
+            1,
+            1,
+            Some(warptree_suffix::TruncateSpec {
+                max_answer_len: 3,
+                min_answer_len: 1,
+            }),
+            &dir,
+        )
+        .unwrap();
+        let err = append_segment(&dir, &SequenceStore::from_values(vec![vec![1.0]]));
+        assert!(matches!(err, Err(DiskError::BadRecord(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,6 +31,10 @@ use crate::vfs::Vfs;
 
 use std::sync::Arc;
 use warptree_core::categorize::{Alphabet, CatStore};
+use warptree_core::error::CoreError;
+use warptree_core::search::{
+    run_query_with, QueryOutput, QueryRequest, SearchMetrics, SearchStats, SegmentedIndex,
+};
 use warptree_core::sequence::SequenceStore;
 
 /// The committed generation a poll observes, read from `MANIFEST`
@@ -63,10 +67,56 @@ pub struct DirSnapshot {
     pub alphabet: Alphabet,
     /// The categorized corpus shared with the tree.
     pub cat: Arc<CatStore>,
-    /// The disk-resident suffix tree.
+    /// The disk-resident base suffix tree.
     pub tree: DiskTree,
+    /// The committed tail segments (see [`segment`](crate::segment)),
+    /// in manifest order — empty for a fully compacted directory.
+    pub segments: Vec<DiskTree>,
     /// The committed generation this snapshot materializes.
     pub generation: u64,
+}
+
+impl DirSnapshot {
+    /// Total number of live trees: the base plus every tail segment.
+    pub fn segment_count(&self) -> usize {
+        1 + self.segments.len()
+    }
+
+    /// Runs a typed query against this snapshot, fanning out across the
+    /// base tree and every tail segment. Results are byte-identical to
+    /// a fully compacted (single-tree) index over the same corpus — see
+    /// [`SegmentedIndex`]'s equivalence contract. A snapshot with no
+    /// tail segments queries the base tree directly.
+    pub fn run_query(
+        &self,
+        req: &QueryRequest,
+    ) -> std::result::Result<(QueryOutput, SearchStats), CoreError> {
+        let metrics = SearchMetrics::new();
+        let out = self.run_query_with(req, &metrics)?;
+        let mut stats = metrics.snapshot();
+        if matches!(req.kind, warptree_core::search::QueryKind::Knn(_)) {
+            stats.answers = out.len() as u64;
+        }
+        Ok((out, stats))
+    }
+
+    /// [`run_query`](DirSnapshot::run_query) recording into an external
+    /// [`SearchMetrics`] (no stats snapshot).
+    pub fn run_query_with(
+        &self,
+        req: &QueryRequest,
+        metrics: &SearchMetrics,
+    ) -> std::result::Result<QueryOutput, CoreError> {
+        if self.segments.is_empty() {
+            run_query_with(&self.tree, &self.alphabet, &self.store, req, metrics)
+        } else {
+            let mut trees: Vec<&DiskTree> = Vec::with_capacity(1 + self.segments.len());
+            trees.push(&self.tree);
+            trees.extend(self.segments.iter());
+            let fanned = SegmentedIndex::new(trees);
+            run_query_with(&fanned, &self.alphabet, &self.store, req, metrics)
+        }
+    }
 }
 
 /// Opens the committed generation of `dir` as a [`DirSnapshot`]
@@ -89,11 +139,22 @@ pub fn open_dir_snapshot_with(
         cache_pages,
         cache_nodes,
     )?;
+    let mut segments = Vec::with_capacity(resolved.segment_paths.len());
+    for path in &resolved.segment_paths {
+        segments.push(DiskTree::open_with(
+            vfs,
+            path,
+            cat.clone(),
+            cache_pages,
+            cache_nodes,
+        )?);
+    }
     Ok(DirSnapshot {
         store,
         alphabet,
         cat,
         tree,
+        segments,
         generation: resolved.generation,
     })
 }
@@ -106,7 +167,7 @@ mod tests {
     use crate::vfs::{real_vfs, RealVfs};
     use std::path::PathBuf;
     use warptree_core::categorize::Alphabet;
-    use warptree_core::search::{sim_search, SearchParams};
+    use warptree_core::search::SearchParams;
     use warptree_core::sequence::SequenceStore;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -142,13 +203,12 @@ mod tests {
         let snap = open_dir_snapshot_with(&RealVfs, &dir, 8, 32).unwrap();
         assert_eq!(snap.generation, 1);
         assert_eq!(snap.store.len(), store.len());
-        let (answers, _) = sim_search(
-            &snap.tree,
-            &snap.alphabet,
-            &snap.store,
-            &[1.0, 5.0],
-            &SearchParams::with_epsilon(0.5),
-        );
+        let (answers, _) = snap
+            .run_query(&QueryRequest::threshold_params(
+                &[1.0, 5.0],
+                SearchParams::with_epsilon(0.5),
+            ))
+            .unwrap();
         assert!(!answers.is_empty());
         // A rebuild bumps the generation; the poll and the reopen both
         // observe it.

@@ -22,7 +22,9 @@ use std::path::Path;
 use std::sync::Arc;
 
 use warptree_core::categorize::Alphabet;
-use warptree_core::search::{seq_scan, sim_search, SearchParams, SearchStats, SeqScanMode};
+use warptree_core::search::{
+    run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode,
+};
 use warptree_core::sequence::SequenceStore;
 use warptree_disk::{
     append_to_index_dir_with, build_dir_with, load_corpus, recover_dir_with, resolve_dir_with,
@@ -103,7 +105,14 @@ fn assert_recovers_to_one_of(dir: &Path, expected: &[&SequenceStore], context: &
         .unwrap_or_else(|e| panic!("{context}: tree unreadable after recovery: {e}"));
     for q in [vec![5.0, 5.0], vec![3.0], vec![9.0, 5.0]] {
         let params = SearchParams::with_epsilon(1.0);
-        let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+        let (got, _) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&q, params.clone()),
+        )
+        .unwrap();
+        let got = got.into_answer_set();
         let mut stats = SearchStats::default();
         let want = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
         assert_eq!(

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use warptree_core::search::{sim_search, SearchParams, SuffixTreeIndex};
+use warptree_core::search::{run_query, QueryRequest, SearchParams, SuffixTreeIndex};
 use warptree_core::sequence::SequenceStore;
 use warptree_disk::lru::LruCache;
 use warptree_disk::{write_tree, DiskTree, PagedReader, PagedWriter};
@@ -155,9 +155,16 @@ fn concurrent_disk_queries_agree() {
     let sequential: Vec<_> = queries
         .iter()
         .map(|q| {
-            sim_search(&disk, &alphabet, &store, q, &params)
-                .0
-                .occurrence_set()
+            run_query(
+                &disk,
+                &alphabet,
+                &store,
+                &QueryRequest::threshold_params(q, params.clone()),
+            )
+            .unwrap()
+            .0
+            .into_answer_set()
+            .occurrence_set()
         })
         .collect();
 
@@ -170,9 +177,16 @@ fn concurrent_disk_queries_agree() {
                 let store = &store;
                 let params = &params;
                 scope.spawn(move || {
-                    sim_search(disk, alphabet, store, q, params)
-                        .0
-                        .occurrence_set()
+                    run_query(
+                        disk,
+                        alphabet,
+                        store,
+                        &QueryRequest::threshold_params(q, params.clone()),
+                    )
+                    .unwrap()
+                    .0
+                    .into_answer_set()
+                    .occurrence_set()
                 })
             })
             .collect();

@@ -128,6 +128,13 @@ impl Client {
         ))
     }
 
+    /// Appends sequences to the served index as one new tail segment
+    /// (protocol version 2). On `Ok` the new generation is already
+    /// published — follow-up queries on any connection see the data.
+    pub fn ingest(&mut self, sequences: &[Vec<f64>]) -> Result<Json, ClientError> {
+        self.request(&ingest_request(sequences))
+    }
+
     /// Liveness probe.
     pub fn health(&mut self) -> Result<Json, ClientError> {
         self.request("{\"op\":\"health\"}")
@@ -178,6 +185,19 @@ pub fn search_request(query: &[f64], epsilon: f64, window: Option<u32>) -> Strin
     }
 }
 
+/// Builds an `ingest` request body (protocol version 2).
+pub fn ingest_request(sequences: &[Vec<f64>]) -> String {
+    let mut out = String::from("{\"op\":\"ingest\",\"version\":2,\"sequences\":[");
+    for (i, seq) in sequences.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&encode_query(seq));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +210,18 @@ mod tests {
         assert_eq!(v.get("window").and_then(Json::as_u64), Some(3));
         let nowin = search_request(&[1.0], 0.5, None);
         assert!(json::parse(&nowin).unwrap().get("window").is_none());
+    }
+
+    #[test]
+    fn ingest_body_round_trips_through_parse() {
+        let body = ingest_request(&[vec![1.0, 2.5], vec![-3.0]]);
+        let parsed = crate::proto::Request::parse(body.as_bytes(), false).unwrap();
+        assert_eq!(
+            parsed,
+            crate::proto::Request::Ingest {
+                sequences: vec![vec![1.0, 2.5], vec![-3.0]]
+            }
+        );
     }
 
     #[test]

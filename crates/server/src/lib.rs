@@ -27,13 +27,19 @@
 //!
 //! ## Serving contract
 //!
-//! Queries are validated (`sim_search_checked` /
-//! `knn_search_checked`), so malformed input returns a typed error
-//! frame and can never kill a worker. Every query executes against one
-//! `Arc<DirSnapshot>` taken at dispatch, so a mid-traffic generation
-//! commit is invisible to in-flight requests: they finish on the old
-//! snapshot while new requests see the new one; the old generation is
-//! freed when its last request completes.
+//! Queries run through the typed [`QueryRequest`] API
+//! (`warptree_core::search`), validated before execution, so malformed
+//! input returns a typed error frame and can never kill a worker.
+//! Every query executes against one `Arc<DirSnapshot>` taken at
+//! dispatch, so a mid-traffic generation commit is invisible to
+//! in-flight requests: they finish on the old snapshot while new
+//! requests see the new one; the old generation is freed when its last
+//! request completes. `ingest` frames (protocol version 2) append tail
+//! segments under a writer mutex shared with the background compaction
+//! worker and republish the snapshot before acking, so a connection
+//! reads its own writes.
+//!
+//! [`QueryRequest`]: warptree_core::search::QueryRequest
 
 pub mod bench;
 pub mod client;
@@ -48,7 +54,7 @@ pub use bench::{BenchConfig, BenchReport, LoopMode};
 pub use client::{Client, ClientError};
 pub use json::Json;
 pub use pool::{SubmitError, WorkerPool};
-pub use proto::{ErrorCode, Request, MAX_FRAME};
+pub use proto::{ErrorCode, ParseError, Request, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use snapshot::{ReloadWatcher, SnapshotCell};
 

@@ -13,6 +13,7 @@
 //! {"op":"knn","query":[20.0,21.0],"k":5}
 //! {"op":"batch","queries":[[1.0],[2.0]],"epsilon":0.5}
 //! {"op":"explain","query":[20.0,21.0],"epsilon":1.5}
+//! {"op":"ingest","version":2,"sequences":[[1.0,2.0],[3.0]]}
 //! {"op":"info"}  {"op":"health"}  {"op":"stats"}  {"op":"shutdown"}
 //! ```
 //!
@@ -20,11 +21,18 @@
 //! subthreads for one request, clamped server-side to the serve
 //! `--threads` cap; results are byte-identical at every value).
 //!
-//! Responses always carry `"ok"`: `{"ok":true,"op":…,…}` on success,
-//! and on failure a typed error the client can branch on:
+//! Requests may carry an optional integer `"version"` (absent =
+//! [`MIN_PROTO_VERSION`]); a version this server does not speak — or an
+//! op needing a newer version than declared, like `ingest` — fails with
+//! the typed `unsupported_version` code. Responses stamp the server's
+//! [`PROTO_VERSION`].
+//!
+//! Responses always carry `"ok"` and `"version"`:
+//! `{"ok":true,"version":2,"op":…,…}` on success, and on failure a
+//! typed error the client can branch on:
 //!
 //! ```json
-//! {"ok":false,"error":{"code":"overloaded","message":"…"}}
+//! {"ok":false,"version":2,"error":{"code":"overloaded","message":"…"}}
 //! ```
 //!
 //! The error codes ([`ErrorCode`]) are part of the contract: admission
@@ -175,40 +183,49 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], stall_limit: u32) -> io::Result<
     Ok(())
 }
 
-/// Typed protocol error codes. The string form is the wire contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ErrorCode {
-    /// Malformed or invalid request; retrying cannot succeed.
-    BadRequest,
-    /// Admission control rejected the request: the bounded queue is
-    /// full. Retry with backoff.
-    Overloaded,
-    /// The request was admitted but its deadline expired before a
-    /// worker picked it up, or between items of a `batch`. A single
-    /// running search is never interrupted mid-query — cap its cost
-    /// with the server's `max_query_len`.
-    DeadlineExceeded,
-    /// The query succeeded but its serialized result exceeds
-    /// [`MAX_FRAME`]. Narrow the search (smaller ε, `max_len`) or
-    /// split the batch; retrying unchanged cannot succeed.
-    ResultTooLarge,
-    /// The server is draining; no new work is admitted.
-    ShuttingDown,
-    /// Unexpected server-side failure.
-    Internal,
+/// Typed protocol error codes — the shared wire vocabulary defined in
+/// [`warptree_core::error::ErrorCode`], re-exported so every existing
+/// `proto::ErrorCode` path keeps working. The string form
+/// ([`ErrorCode::as_str`]) is the wire contract, spelled out in exactly
+/// one place (the core crate).
+pub use warptree_core::error::ErrorCode;
+
+/// The protocol version this build speaks (and stamps on every
+/// response). Version history:
+///
+/// * **1** — the original op set (`search`, `knn`, `batch`, `explain`,
+///   `info`, `health`, `stats`, `shutdown`).
+/// * **2** — adds the `ingest` op (online append into tail segments)
+///   and the `"version"` field on requests and responses.
+pub const PROTO_VERSION: u32 = 2;
+
+/// The oldest protocol version still accepted. Requests carrying no
+/// `"version"` field are treated as this version.
+pub const MIN_PROTO_VERSION: u32 = 1;
+
+/// A request parse failure: a wire [`ErrorCode`] (almost always
+/// `bad_request`; `unsupported_version` for version negotiation
+/// failures) plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The typed code the error frame will carry.
+    pub code: ErrorCode,
+    /// The human-readable message.
+    pub message: String,
 }
 
-impl ErrorCode {
-    /// The wire string for this code.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            ErrorCode::BadRequest => "bad_request",
-            ErrorCode::Overloaded => "overloaded",
-            ErrorCode::DeadlineExceeded => "deadline_exceeded",
-            ErrorCode::ResultTooLarge => "result_too_large",
-            ErrorCode::ShuttingDown => "shutting_down",
-            ErrorCode::Internal => "internal",
+impl From<String> for ParseError {
+    fn from(message: String) -> Self {
+        ParseError {
+            code: ErrorCode::BadRequest,
+            message,
         }
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(message: &str) -> Self {
+        ParseError::from(message.to_string())
     }
 }
 
@@ -252,6 +269,14 @@ pub enum Request {
     Stats,
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Append sequences to the served index as a new tail segment
+    /// (protocol version 2). The commit is crash-safe and the new
+    /// generation is swapped in before the response is sent, so a
+    /// follow-up query on the same connection sees the ingested data.
+    Ingest {
+        /// The sequences to append, one value array each.
+        sequences: Vec<Vec<f64>>,
+    },
     /// Occupy a worker for `ms` milliseconds (test-only; parsed only
     /// when debug ops are enabled). Deterministically fills the queue
     /// for overload and deadline tests.
@@ -273,13 +298,42 @@ impl Request {
     }
 
     /// Parses a frame payload. `allow_debug` gates the test-only ops.
-    pub fn parse(payload: &[u8], allow_debug: bool) -> Result<Request, String> {
+    ///
+    /// A request may carry an optional integer `"version"`; absent
+    /// means [`MIN_PROTO_VERSION`]. Versions outside
+    /// `MIN_PROTO_VERSION..=PROTO_VERSION` — and ops requiring a newer
+    /// version than the request declared — fail with the typed
+    /// `unsupported_version` code instead of plain `bad_request`, so
+    /// clients can distinguish "speak older" from "malformed".
+    pub fn parse(payload: &[u8], allow_debug: bool) -> Result<Request, ParseError> {
         let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
         let v = json::parse(text)?;
+        let version = match v.get("version") {
+            None | Some(Json::Null) => MIN_PROTO_VERSION,
+            Some(x) => x
+                .as_u64()
+                .filter(|n| *n <= u32::MAX as u64)
+                .ok_or("\"version\" must be an integer")? as u32,
+        };
+        if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
+            return Err(ParseError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!(
+                    "protocol version {version} is not supported (this server speaks {MIN_PROTO_VERSION}..={PROTO_VERSION})"
+                ),
+            });
+        }
         let op = v
             .get("op")
             .and_then(Json::as_str)
             .ok_or("missing \"op\" field")?;
+        if op == "ingest" && version < 2 {
+            return Err(ParseError {
+                code: ErrorCode::UnsupportedVersion,
+                message: "op \"ingest\" requires protocol version 2; send \"version\":2"
+                    .to_string(),
+            });
+        }
         match op {
             "search" => Ok(Request::Search {
                 query: query_field(&v, "query")?,
@@ -339,6 +393,26 @@ impl Request {
                 query: query_field(&v, "query")?,
                 params: search_params(&v)?,
             }),
+            "ingest" => {
+                let arr = v
+                    .get("sequences")
+                    .and_then(Json::as_arr)
+                    .ok_or("ingest requires a \"sequences\" array")?;
+                if arr.is_empty() {
+                    return Err("\"sequences\" must not be empty".into());
+                }
+                let mut sequences = Vec::with_capacity(arr.len());
+                for (i, s) in arr.iter().enumerate() {
+                    let vals = s
+                        .as_arr()
+                        .ok_or_else(|| format!("sequences[{i}] is not an array"))?;
+                    if vals.is_empty() {
+                        return Err(format!("sequences[{i}] is empty").into());
+                    }
+                    sequences.push(numbers(vals, &format!("sequences[{i}]"))?);
+                }
+                Ok(Request::Ingest { sequences })
+            }
             "info" => Ok(Request::Info),
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
@@ -349,7 +423,7 @@ impl Request {
                     .and_then(Json::as_u64)
                     .ok_or("debug_sleep requires an integer \"ms\"")?,
             }),
-            other => Err(format!("unknown op {other:?}")),
+            other => Err(format!("unknown op {other:?}").into()),
         }
     }
 }
@@ -433,30 +507,38 @@ pub fn encode_matches_ranked(matches: &[Match]) -> String {
     out
 }
 
-/// Builds a success response: `{"ok":true,"op":<op>,<body…>}`. `body`
-/// is a pre-rendered fragment of `"key":value` pairs (may be empty).
+/// Builds a success response:
+/// `{"ok":true,"version":<PROTO_VERSION>,"op":<op>,<body…>}`. `body` is
+/// a pre-rendered fragment of `"key":value` pairs (may be empty).
 pub fn ok_response(op: &str, body: &str) -> String {
     if body.is_empty() {
-        format!("{{\"ok\":true,\"op\":\"{}\"}}", escape(op))
+        format!(
+            "{{\"ok\":true,\"version\":{PROTO_VERSION},\"op\":\"{}\"}}",
+            escape(op)
+        )
     } else {
-        format!("{{\"ok\":true,\"op\":\"{}\",{}}}", escape(op), body)
+        format!(
+            "{{\"ok\":true,\"version\":{PROTO_VERSION},\"op\":\"{}\",{}}}",
+            escape(op),
+            body
+        )
     }
 }
 
 /// Builds a typed error response.
 pub fn error_response(code: ErrorCode, message: &str) -> String {
     format!(
-        "{{\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        "{{\"ok\":false,\"version\":{PROTO_VERSION},\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
         code.as_str(),
         escape(message)
     )
 }
 
 /// Maps a validation failure from the core search layer onto a wire
-/// error. Every `CoreError` a checked search returns is the client's
-/// fault, so they all map to `bad_request`.
+/// error via [`CoreError::code`] (every core error is the client's
+/// fault, so this is always `bad_request`).
 pub fn core_error_response(e: &CoreError) -> String {
-    error_response(ErrorCode::BadRequest, &e.to_string())
+    error_response(e.code(), &e.to_string())
 }
 
 #[cfg(test)]
@@ -691,17 +773,82 @@ mod tests {
 
     #[test]
     fn responses_have_stable_shape() {
-        assert_eq!(ok_response("health", ""), r#"{"ok":true,"op":"health"}"#);
+        assert_eq!(
+            ok_response("health", ""),
+            r#"{"ok":true,"version":2,"op":"health"}"#
+        );
         assert_eq!(
             ok_response("info", "\"sequences\":2"),
-            r#"{"ok":true,"op":"info","sequences":2}"#
+            r#"{"ok":true,"version":2,"op":"info","sequences":2}"#
         );
         let err = error_response(ErrorCode::Overloaded, "queue full");
         assert_eq!(
             err,
-            r#"{"ok":false,"error":{"code":"overloaded","message":"queue full"}}"#
+            r#"{"ok":false,"version":2,"error":{"code":"overloaded","message":"queue full"}}"#
         );
         let parsed = crate::json::parse(&err).unwrap();
         assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("version").and_then(Json::as_u64),
+            Some(PROTO_VERSION as u64)
+        );
+    }
+
+    #[test]
+    fn version_negotiation() {
+        // Both supported versions parse; absent defaults to v1.
+        for frame in [
+            &br#"{"op":"health"}"#[..],
+            br#"{"op":"health","version":1}"#,
+            br#"{"op":"health","version":2}"#,
+        ] {
+            assert_eq!(Request::parse(frame, false).unwrap(), Request::Health);
+        }
+        // Out-of-range versions get the typed unsupported_version code.
+        for frame in [
+            &br#"{"op":"health","version":0}"#[..],
+            br#"{"op":"health","version":3}"#,
+            br#"{"op":"health","version":99}"#,
+        ] {
+            let err = Request::parse(frame, false).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnsupportedVersion, "{frame:?}");
+        }
+        // Malformed version values are plain bad requests.
+        let err = Request::parse(br#"{"op":"health","version":"two"}"#, false).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn ingest_requires_version_2() {
+        let ok = Request::parse(
+            br#"{"op":"ingest","version":2,"sequences":[[1.0,2.0],[3.0]]}"#,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            ok,
+            Request::Ingest {
+                sequences: vec![vec![1.0, 2.0], vec![3.0]]
+            }
+        );
+        assert!(!ok.is_control());
+        // Without version 2 the op is refused with the typed code …
+        for frame in [
+            &br#"{"op":"ingest","sequences":[[1.0]]}"#[..],
+            br#"{"op":"ingest","version":1,"sequences":[[1.0]]}"#,
+        ] {
+            let err = Request::parse(frame, false).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnsupportedVersion, "{frame:?}");
+        }
+        // … and malformed payloads are plain bad requests.
+        for frame in [
+            &br#"{"op":"ingest","version":2}"#[..],
+            br#"{"op":"ingest","version":2,"sequences":[]}"#,
+            br#"{"op":"ingest","version":2,"sequences":[[]]}"#,
+            br#"{"op":"ingest","version":2,"sequences":[["x"]]}"#,
+        ] {
+            let err = Request::parse(frame, false).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{frame:?}");
+        }
     }
 }

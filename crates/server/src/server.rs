@@ -24,17 +24,19 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use warptree_core::error::CoreError;
-use warptree_core::search::{
-    knn_search_checked_with, sim_search_checked_with, AnswerSet, SearchMetrics, SearchStats,
+use warptree_core::search::{AnswerSet, QueryRequest, SearchMetrics, SearchStats};
+use warptree_core::sequence::SequenceStore;
+use warptree_disk::{
+    append_segment_with, compact_once_with, open_dir_snapshot_with, real_vfs, DirSnapshot,
+    DiskError, Vfs,
 };
-use warptree_disk::{open_dir_snapshot_with, real_vfs, Vfs};
 use warptree_obs::MetricsRegistry;
 
 use crate::pool::{SubmitError, WorkerPool};
@@ -87,6 +89,13 @@ pub struct ServerConfig {
     /// byte-identical at every setting, so clamping never changes an
     /// answer.
     pub max_parallelism: u32,
+    /// Tail-segment count at which the background compactor starts
+    /// folding segments back together (LSM-style, using the paper's
+    /// binary merge). `0` disables background compaction — tails then
+    /// accumulate until an offline `warptree compact`.
+    pub compact_threshold: usize,
+    /// How often the compaction worker checks the tail-segment count.
+    pub compact_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +112,108 @@ impl Default for ServerConfig {
             max_conns: 256,
             enable_debug_ops: false,
             max_parallelism: 1,
+            compact_threshold: 4,
+            compact_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Shared write-path state: `ingest` requests and the background
+/// compactor both commit new manifest generations, so they serialize
+/// on [`IngestState::writer`] — two committers racing would both read
+/// the same old generation and one commit would be lost.
+struct IngestState {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    /// Serializes every manifest-committing writer (ingest +
+    /// compaction). Readers never take it: queries run on pinned
+    /// snapshots and reloads only ever open committed generations.
+    writer: Mutex<()>,
+    cell: Arc<SnapshotCell>,
+    registry: MetricsRegistry,
+    cache_pages: usize,
+    cache_nodes: usize,
+}
+
+impl IngestState {
+    /// Reopens the committed generation and publishes it, so the
+    /// committing request observes its own write immediately instead
+    /// of waiting for the reload watcher's next poll.
+    fn publish(&self) -> Result<Arc<DirSnapshot>, DiskError> {
+        let snap = Arc::new(open_dir_snapshot_with(
+            self.vfs.as_ref(),
+            &self.dir,
+            self.cache_pages,
+            self.cache_nodes,
+        )?);
+        self.registry
+            .set_gauge("index.segments", snap.segment_count() as f64);
+        self.cell.swap(snap.clone());
+        Ok(snap)
+    }
+
+    /// The writer lock, surviving a poisoned-by-panic previous holder:
+    /// a torn commit is exactly what the recovery sweep at the next
+    /// open handles, so poisoning carries no extra meaning here.
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.writer.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Background compactor: whenever the tail-segment count reaches the
+/// threshold, folds the cheapest adjacent pair with the paper's binary
+/// merge (one manifest generation per fold) and republishes. In-flight
+/// queries keep their pinned snapshots, so compaction is invisible to
+/// readers except in `info`'s segment count.
+struct CompactionWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CompactionWorker {
+    fn spawn(state: Arc<IngestState>, threshold: usize, interval: Duration) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("warptree-compact".to_string())
+            .spawn(move || compact_loop(&state, threshold, interval, &stop2))?;
+        Ok(CompactionWorker {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn compact_loop(state: &IngestState, threshold: usize, interval: Duration, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        // Fold until back under threshold; each iteration re-reads the
+        // published snapshot, so concurrent ingests extend the loop and
+        // a failed fold ends it (retried after the next sleep).
+        while !stop.load(Ordering::SeqCst)
+            && state.cell.get().segment_count().saturating_sub(1) >= threshold
+        {
+            let _guard = state.lock_writer();
+            match compact_once_with(state.vfs.as_ref(), &state.dir, &state.registry) {
+                Ok(Some(_)) => {
+                    if state.publish().is_err() {
+                        state.registry.counter("server.compaction_errors").incr();
+                        break;
+                    }
+                }
+                Ok(None) => break, // nothing left to fold
+                Err(_) => {
+                    state.registry.counter("server.compaction_errors").incr();
+                    break;
+                }
+            }
         }
     }
 }
@@ -114,6 +225,7 @@ struct Ctx {
     /// One registry-backed bundle shared by *all* queries — per-process
     /// totals (the `stats` op view), not per-request.
     search_metrics: SearchMetrics,
+    ingest: Arc<IngestState>,
     shutdown: Arc<AtomicBool>,
     deadline: Duration,
     max_query_len: usize,
@@ -146,12 +258,23 @@ impl Server {
         let snapshot =
             open_dir_snapshot_with(vfs.as_ref(), dir, config.cache_pages, config.cache_nodes)
                 .map_err(|e| io::Error::other(format!("open index dir: {e}")))?;
+        registry.set_gauge("index.segments", snapshot.segment_count() as f64);
         let cell = Arc::new(SnapshotCell::new(Arc::new(snapshot)));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let ingest = Arc::new(IngestState {
+            vfs: vfs.clone(),
+            dir: dir.to_path_buf(),
+            writer: Mutex::new(()),
+            cell: cell.clone(),
+            registry: registry.clone(),
+            cache_pages: config.cache_pages,
+            cache_nodes: config.cache_nodes,
+        });
         let ctx = Arc::new(Ctx {
             cell: cell.clone(),
             registry: registry.clone(),
             search_metrics: SearchMetrics::register(&registry),
+            ingest: ingest.clone(),
             shutdown: shutdown.clone(),
             deadline: config.deadline,
             max_query_len: config.max_query_len,
@@ -176,6 +299,16 @@ impl Server {
             config.cache_nodes,
         );
 
+        let compactor = if config.compact_threshold > 0 {
+            Some(CompactionWorker::spawn(
+                ingest,
+                config.compact_threshold,
+                config.compact_interval,
+            )?)
+        } else {
+            None
+        };
+
         let pool = Arc::new(WorkerPool::new(
             config.workers,
             config.queue_depth,
@@ -193,6 +326,7 @@ impl Server {
             registry,
             accept: Some(accept),
             watcher: Some(watcher),
+            compactor,
         })
     }
 }
@@ -204,6 +338,7 @@ pub struct ServerHandle {
     registry: MetricsRegistry,
     accept: Option<JoinHandle<()>>,
     watcher: Option<ReloadWatcher>,
+    compactor: Option<CompactionWorker>,
 }
 
 impl ServerHandle {
@@ -238,6 +373,11 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // Writers stop before the watcher: a compaction finishing here
+        // must not be left unpublished-forever by a dead watcher.
+        if let Some(c) = self.compactor.take() {
+            c.stop();
+        }
         if let Some(w) = self.watcher.take() {
             w.stop();
         }
@@ -255,6 +395,9 @@ impl Drop for ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        if let Some(c) = self.compactor.take() {
+            c.stop();
         }
         if let Some(w) = self.watcher.take() {
             w.stop();
@@ -371,9 +514,12 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
     let started = Instant::now();
     let req = match Request::parse(payload, ctx.enable_debug_ops) {
         Ok(req) => req,
-        Err(msg) => {
+        Err(pe) => {
             ctx.registry.counter("server.bad_requests").incr();
-            return respond(stream, &error_response(ErrorCode::BadRequest, &msg));
+            if pe.code == ErrorCode::UnsupportedVersion {
+                ctx.registry.counter("server.unsupported_version").incr();
+            }
+            return respond(stream, &error_response(pe.code, &pe.message));
         }
     };
 
@@ -396,6 +542,7 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
         cell: ctx.cell.clone(),
         search_metrics: ctx.search_metrics.clone(),
         registry: ctx.registry.clone(),
+        ingest: ctx.ingest.clone(),
         max_query_len: ctx.max_query_len,
         max_parallelism: ctx.max_parallelism,
         deadline,
@@ -478,11 +625,12 @@ fn control_response(req: &Request, ctx: &Ctx) -> String {
             ok_response(
                 "info",
                 &format!(
-                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"workers\":{},\"queue_depth\":{},\"max_parallelism\":{}",
+                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"segments\":{},\"workers\":{},\"queue_depth\":{},\"max_parallelism\":{}",
                     snap.generation,
                     snap.store.len(),
                     snap.store.total_len(),
                     snap.alphabet.len(),
+                    snap.segment_count(),
                     ctx.workers,
                     ctx.queue_depth,
                     ctx.max_parallelism,
@@ -515,6 +663,7 @@ struct JobCtx {
     cell: Arc<SnapshotCell>,
     search_metrics: SearchMetrics,
     registry: MetricsRegistry,
+    ingest: Arc<IngestState>,
     max_query_len: usize,
     /// Cap applied to the request's `parallelism` knob.
     max_parallelism: u32,
@@ -523,45 +672,28 @@ struct JobCtx {
     deadline: Instant,
 }
 
-fn check_len(job: &JobCtx, query: &[f64]) -> Result<(), CoreError> {
-    if query.len() > job.max_query_len {
-        return Err(CoreError::QueryTooLong {
-            limit: job.max_query_len,
-            got: query.len(),
-        });
-    }
-    Ok(())
-}
-
 fn execute(job: &JobCtx, req: Request) -> String {
+    // The write path never pins a snapshot — it *produces* one.
+    let req = match req {
+        Request::Ingest { sequences } => return execute_ingest(job, sequences),
+        other => other,
+    };
     // Pin one snapshot for the whole request.
     let snap = job.cell.get();
     let clamp = |t: u32| t.clamp(1, job.max_parallelism.max(1));
     let result = match req {
-        Request::Search { query, mut params } => check_len(job, &query).and_then(|()| {
+        Request::Search { query, mut params } => {
             params.threads = clamp(params.threads);
-            sim_search_checked_with(
-                &snap.tree,
-                &snap.alphabet,
-                &snap.store,
-                &query,
-                &params,
-                &job.search_metrics,
-            )
-            .map(|answers| search_body(&answers, snap.generation))
-            .map(|body| ok_response("search", &body))
-        }),
-        Request::Knn { query, mut params } => check_len(job, &query).and_then(|()| {
+            let req = QueryRequest::threshold_params(&query, params).capped(job.max_query_len);
+            snap.run_query_with(&req, &job.search_metrics)
+                .map(|out| search_body(&out.into_answer_set(), snap.generation))
+                .map(|body| ok_response("search", &body))
+        }
+        Request::Knn { query, mut params } => {
             params.threads = clamp(params.threads);
-            knn_search_checked_with(
-                &snap.tree,
-                &snap.alphabet,
-                &snap.store,
-                &query,
-                &params,
-                &job.search_metrics,
-            )
-            .map(|matches| {
+            let req = QueryRequest::knn_params(&query, params).capped(job.max_query_len);
+            snap.run_query_with(&req, &job.search_metrics).map(|out| {
+                let matches = out.into_ranked();
                 ok_response(
                     "knn",
                     &format!(
@@ -572,7 +704,7 @@ fn execute(job: &JobCtx, req: Request) -> String {
                     ),
                 )
             })
-        }),
+        }
         Request::Batch {
             queries,
             mut params,
@@ -605,20 +737,13 @@ fn execute(job: &JobCtx, req: Request) -> String {
                     if Instant::now() > job.deadline {
                         return Item::Expired;
                     }
-                    let r = check_len(job, &query).and_then(|()| {
-                        sim_search_checked_with(
-                            &snap.tree,
-                            &snap.alphabet,
-                            &snap.store,
-                            &query,
-                            &item_params,
-                            &job.search_metrics,
-                        )
-                    });
-                    match r {
-                        Ok(answers) => {
-                            Item::Body(format!("{{{}}}", search_body(&answers, snap.generation)))
-                        }
+                    let req = QueryRequest::threshold_params(&query, item_params.clone())
+                        .capped(job.max_query_len);
+                    match snap.run_query_with(&req, &job.search_metrics) {
+                        Ok(out) => Item::Body(format!(
+                            "{{{}}}",
+                            search_body(&out.into_answer_set(), snap.generation)
+                        )),
                         Err(e) => Item::Fail(e),
                     }
                 })
@@ -633,20 +758,12 @@ fn execute(job: &JobCtx, req: Request) -> String {
                         out.push(Item::Expired);
                         break;
                     }
-                    let r = check_len(job, query).and_then(|()| {
-                        sim_search_checked_with(
-                            &snap.tree,
-                            &snap.alphabet,
-                            &snap.store,
-                            query,
-                            &params,
-                            &job.search_metrics,
-                        )
-                    });
-                    match r {
+                    let req = QueryRequest::threshold_params(query, params.clone())
+                        .capped(job.max_query_len);
+                    match snap.run_query_with(&req, &job.search_metrics) {
                         Ok(answers) => out.push(Item::Body(format!(
                             "{{{}}}",
-                            search_body(&answers, snap.generation)
+                            search_body(&answers.into_answer_set(), snap.generation)
                         ))),
                         Err(e) => {
                             out.push(Item::Fail(e));
@@ -689,33 +806,26 @@ fn execute(job: &JobCtx, req: Request) -> String {
                 )
             })
         }
-        Request::Explain { query, mut params } => check_len(job, &query).and_then(|()| {
+        Request::Explain { query, mut params } => {
             params.threads = clamp(params.threads);
             // Explain wants per-request counters, so it runs on a fresh
             // detached bundle *and* folds the totals into the shared one
             // afterwards (process totals stay complete).
             let local = SearchMetrics::new();
-            sim_search_checked_with(
-                &snap.tree,
-                &snap.alphabet,
-                &snap.store,
-                &query,
-                &params,
-                &local,
-            )
-            .map(|answers| {
+            let req = QueryRequest::threshold_params(&query, params).capped(job.max_query_len);
+            snap.run_query_with(&req, &local).map(|out| {
                 let stats = local.snapshot();
                 job.search_metrics.record(&stats);
                 ok_response(
                     "explain",
                     &format!(
                         "{},\"stats\":{}",
-                        search_body(&answers, snap.generation),
+                        search_body(&out.into_answer_set(), snap.generation),
                         encode_stats(&stats)
                     ),
                 )
             })
-        }),
+        }
         Request::DebugSleep { ms } => {
             std::thread::sleep(Duration::from_millis(ms));
             Ok(ok_response("debug_sleep", &format!("\"slept_ms\":{ms}")))
@@ -730,6 +840,61 @@ fn execute(job: &JobCtx, req: Request) -> String {
         Err(e) => {
             job.registry.counter("server.bad_requests").incr();
             proto::core_error_response(&e)
+        }
+    }
+}
+
+/// The `ingest` op: appends the sequences as one new tail segment
+/// (crash-safe generational commit), then synchronously reopens and
+/// publishes the new snapshot *before* responding — a client that gets
+/// `ok` can immediately query its own writes on any connection.
+fn execute_ingest(job: &JobCtx, sequences: Vec<Vec<f64>>) -> String {
+    let started = Instant::now();
+    let st = &job.ingest;
+    let count = sequences.len();
+    let store = SequenceStore::from_values(sequences);
+    let _guard = st.lock_writer();
+    let committed = match append_segment_with(st.vfs.as_ref(), &st.dir, &store) {
+        Ok(manifest) => manifest,
+        Err(DiskError::BadRecord(msg)) => {
+            job.registry.counter("server.bad_requests").incr();
+            return error_response(ErrorCode::BadRequest, &msg);
+        }
+        Err(e) => {
+            job.registry.counter("server.internal_errors").incr();
+            return error_response(ErrorCode::Internal, &format!("ingest failed: {e}"));
+        }
+    };
+    match st.publish() {
+        Ok(snap) => {
+            job.registry.counter("server.requests_ok").incr();
+            job.registry
+                .counter("server.ingested_sequences")
+                .add(count as u64);
+            job.registry
+                .histogram("server.ingest_ns")
+                .record(started.elapsed().as_nanos() as u64);
+            ok_response(
+                "ingest",
+                &format!(
+                    "\"generation\":{},\"sequences\":{},\"segments\":{}",
+                    committed.generation,
+                    count,
+                    snap.segment_count()
+                ),
+            )
+        }
+        // The commit is durable either way; only this process's view
+        // failed to refresh (the reload watcher will retry).
+        Err(e) => {
+            job.registry.counter("server.internal_errors").incr();
+            error_response(
+                ErrorCode::Internal,
+                &format!(
+                    "ingest committed generation {} but reopen failed: {e}",
+                    committed.generation
+                ),
+            )
         }
     }
 }
@@ -808,10 +973,21 @@ mod tests {
         .unwrap();
         let snap = open_dir_snapshot_with(real_vfs().as_ref(), dir, 16, 64).unwrap();
         let registry = MetricsRegistry::new();
+        let cell = Arc::new(SnapshotCell::new(Arc::new(snap)));
+        let ingest = Arc::new(IngestState {
+            vfs: real_vfs(),
+            dir: dir.to_path_buf(),
+            writer: Mutex::new(()),
+            cell: cell.clone(),
+            registry: registry.clone(),
+            cache_pages: 16,
+            cache_nodes: 64,
+        });
         let job = JobCtx {
-            cell: Arc::new(SnapshotCell::new(Arc::new(snap))),
+            cell,
             search_metrics: SearchMetrics::register(&registry),
             registry: registry.clone(),
+            ingest,
             max_query_len: 64,
             max_parallelism: 8,
             deadline,

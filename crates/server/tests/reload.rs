@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use warptree_core::categorize::Alphabet;
-use warptree_core::search::{sim_search, SearchParams};
+use warptree_core::search::{QueryRequest, SearchParams};
 use warptree_core::sequence::SequenceStore;
 use warptree_disk::{
     build_dir_with, open_dir_snapshot_with, real_vfs, DirSnapshot, FaultMode, FaultVfs, TreeKind,
@@ -83,7 +83,10 @@ fn expected_responses(snap: &DirSnapshot) -> Vec<String> {
         .iter()
         .map(|q| {
             let params = SearchParams::with_epsilon(EPSILON);
-            let (answers, _) = sim_search(&snap.tree, &snap.alphabet, &snap.store, q, &params);
+            let (out, _) = snap
+                .run_query(&QueryRequest::threshold_params(q, params))
+                .unwrap();
+            let answers = out.into_answer_set();
             proto::ok_response(
                 "search",
                 &format!(

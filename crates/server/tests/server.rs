@@ -8,9 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use warptree_core::categorize::Alphabet;
-use warptree_core::search::{
-    knn_search_checked_with, sim_search, KnnParams, SearchMetrics, SearchParams,
-};
+use warptree_core::search::{KnnParams, QueryRequest, SearchParams};
 use warptree_core::sequence::SequenceStore;
 use warptree_disk::{build_dir_with, open_dir_snapshot_with, real_vfs, DirSnapshot, TreeKind};
 use warptree_server::client::search_request;
@@ -76,7 +74,10 @@ fn queries(store: &SequenceStore) -> Vec<Vec<f64>> {
 /// snapshot of the same generation.
 fn expected_search_response(snap: &DirSnapshot, query: &[f64], epsilon: f64) -> String {
     let params = SearchParams::with_epsilon(epsilon);
-    let (answers, _) = sim_search(&snap.tree, &snap.alphabet, &snap.store, query, &params);
+    let (out, _) = snap
+        .run_query(&QueryRequest::threshold_params(query, params))
+        .unwrap();
+    let answers = out.into_answer_set();
     proto::ok_response(
         "search",
         &format!(
@@ -145,16 +146,10 @@ fn knn_over_the_wire_matches_local_knn() {
     let snap = open_dir_snapshot_with(real_vfs().as_ref(), &dir, 64, 512).unwrap();
     let query = queries(&store)[0].clone();
 
-    let metrics = SearchMetrics::new();
-    let matches = knn_search_checked_with(
-        &snap.tree,
-        &snap.alphabet,
-        &snap.store,
-        &query,
-        &KnnParams::new(3),
-        &metrics,
-    )
-    .unwrap();
+    let (out, _) = snap
+        .run_query(&QueryRequest::knn_params(&query, KnnParams::new(3)))
+        .unwrap();
+    let matches = out.into_ranked();
     let want = proto::ok_response(
         "knn",
         &format!(
@@ -188,7 +183,10 @@ fn batch_composes_individual_search_bodies() {
     let mut parts = Vec::new();
     for q in &qs[..2] {
         let params = SearchParams::with_epsilon(eps);
-        let (answers, _) = sim_search(&snap.tree, &snap.alphabet, &snap.store, q, &params);
+        let (out, _) = snap
+            .run_query(&QueryRequest::threshold_params(q, params))
+            .unwrap();
+        let answers = out.into_answer_set();
         parts.push(format!(
             "{{\"generation\":{},\"count\":{},\"matches\":{}}}",
             snap.generation,
@@ -541,5 +539,103 @@ fn protocol_shutdown_drains_and_closes_the_listener() {
         Client::connect(addr).is_err(),
         "listener still accepting after drain"
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ingest_over_the_wire_is_immediately_searchable() {
+    let dir = tmpdir("ingest");
+    let store = build_index(&dir);
+    let handle = Server::start(&dir, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    use warptree_server::Json;
+
+    // A fresh pattern, far off the existing value grid.
+    let novel = vec![vec![40.0, 41.0, 42.0, 43.0, 42.0, 41.0], vec![44.0, 44.0]];
+    let resp = client.ingest(&novel).unwrap();
+    assert_eq!(resp.get("op").and_then(Json::as_str), Some("ingest"));
+    assert_eq!(resp.get("generation").and_then(Json::as_u64), Some(2));
+    // "sequences" acks the count ingested by *this* request.
+    assert_eq!(resp.get("sequences").and_then(Json::as_u64), Some(2));
+    assert_eq!(resp.get("segments").and_then(Json::as_u64), Some(2));
+
+    // Read-your-writes: the very next search sees the appended data,
+    // in the new sequence's tail segment, under its global SeqId.
+    let q = vec![41.0, 42.0, 43.0];
+    let found = client.search(&q, 0.5, None).unwrap();
+    let matches = found
+        .get("matches")
+        .and_then(Json::as_arr)
+        .expect("matches array");
+    let hit = matches.first().expect("ingested pattern not found");
+    assert_eq!(
+        hit.get("seq").and_then(Json::as_u64),
+        Some(store.len() as u64)
+    );
+    assert_eq!(hit.get("start").and_then(Json::as_u64), Some(1));
+
+    // Byte-identical contract holds across segments: the wire response
+    // matches a locally computed fan-out over the same generation.
+    let snap = open_dir_snapshot_with(real_vfs().as_ref(), &dir, 64, 512).unwrap();
+    assert_eq!(snap.generation, 2);
+    let raw = client.request_raw(&search_request(&q, 0.5, None)).unwrap();
+    assert_eq!(raw, expected_search_response(&snap, &q, 0.5));
+
+    // `info` reports the segment layout and the grown corpus.
+    let info = client.info().unwrap();
+    assert_eq!(info.get("segments").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        info.get("sequences").and_then(Json::as_u64),
+        Some(store.len() as u64 + 2)
+    );
+
+    // Version negotiation: ingest predates nothing — it *requires*
+    // protocol version 2; a v1 frame gets the typed error.
+    let err = client
+        .request("{\"op\":\"ingest\",\"sequences\":[[1.0,2.0]]}")
+        .unwrap_err();
+    match err {
+        ClientError::Server { ref code, .. } => assert_eq!(code, "unsupported_version"),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn background_compactor_folds_tail_segments() {
+    let dir = tmpdir("compactor");
+    build_index(&dir);
+    let config = ServerConfig {
+        compact_threshold: 1,
+        compact_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(&dir, config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    use warptree_server::Json;
+
+    client.ingest(&[vec![50.0, 51.0, 52.0, 53.0]]).unwrap();
+    client.ingest(&[vec![60.0, 61.0, 62.0]]).unwrap();
+
+    // The worker folds until one segment remains; each fold commits a
+    // new generation the reload path publishes. Bounded poll.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let segments = loop {
+        let info = client.info().unwrap();
+        let segments = info.get("segments").and_then(Json::as_u64).unwrap();
+        if segments == 1 || std::time::Instant::now() > deadline {
+            break segments;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(segments, 1, "compactor never folded the tail segments");
+
+    // The folded index still serves the ingested data.
+    let found = client.search(&[60.0, 61.0, 62.0], 0.5, None).unwrap();
+    assert_eq!(found.get("count").and_then(Json::as_u64), Some(1));
+
+    handle.stop();
     std::fs::remove_dir_all(&dir).unwrap();
 }

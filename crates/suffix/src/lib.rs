@@ -15,7 +15,7 @@
 //!
 //! All trees implement
 //! [`SuffixTreeIndex`](warptree_core::search::SuffixTreeIndex), so the
-//! core crate's `sim_search` runs over them directly.
+//! core crate's `run_query` runs over them directly.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -27,10 +27,10 @@
 //! let cat = Arc::new(alphabet.encode_store(&store));
 //! let tree = build_full(cat);
 //!
-//! let params = SearchParams::with_epsilon(1.0);
-//! let (answers, _stats) =
-//!     sim_search(&tree, &alphabet, &store, &[5.0, 5.0], &params);
-//! assert!(answers
+//! let req = QueryRequest::threshold(&[5.0, 5.0], 1.0);
+//! let (out, _stats) = run_query(&tree, &alphabet, &store, &req).unwrap();
+//! assert!(out
+//!     .into_answer_set()
 //!     .matches()
 //!     .iter()
 //!     .any(|m| m.occ.start == 1 && m.occ.len == 2));

@@ -71,7 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SearchParams::with_epsilon(12.0);
     for (i, q) in queries.queries().iter().enumerate() {
         let t0 = std::time::Instant::now();
-        let (answers, stats) = sim_search(&tree, &alphabet, &store, &q.values, &params);
+        let (out, stats) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&q.values, params.clone()),
+        )
+        .unwrap();
+        let answers = out.into_answer_set();
         let top = answers.top_k(3);
         println!(
             "\nquery {} (len {}, drawn from {}): {} answers in {:.2?} \

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("search") => cmd_search(&args[1..], false),
@@ -76,8 +77,12 @@ fn print_usage() {
          [--categories C] [--sparse]\n\
          \u{20}          [--batch B] --out-dir DIR\n\
          \u{20}  append  add sequences from a CSV to an existing index \
-         (crash-safe)\n\
-         \u{20}          --input FILE --index-dir DIR\n\
+         as a tail segment (crash-safe)\n\
+         \u{20}          --input FILE --index-dir DIR [--merge: fold \
+         into the base tree immediately]\n\
+         \u{20}  compact fold tail segments back into the base tree \
+         (binary merge, one generation per fold)\n\
+         \u{20}          DIR (or --index-dir DIR)\n\
          \u{20}  info    print index statistics\n\
          \u{20}          --index-dir DIR [--deep] [--json]\n\
          \u{20}  verify  check every page CRC and the commit manifest\n\
@@ -107,9 +112,11 @@ fn print_usage() {
          \u{20}          DIR [--addr HOST:PORT] [--workers N] \
          [--queue-depth Q] [--deadline-ms D]\n\
          \u{20}          [--reload-ms R] [--max-query-len L] \
-         [--max-conns C] [--threads N]; SIGINT/SIGTERM drain gracefully,\n\
-         \u{20}          new index generations are hot-reloaded from the \
-         commit manifest\n\
+         [--max-conns C] [--threads N] [--compact-threshold T]\n\
+         \u{20}          SIGINT/SIGTERM drain gracefully, new index \
+         generations are hot-reloaded from the commit manifest,\n\
+         \u{20}          `ingest` appends tail segments online and a \
+         background worker folds them at T tails (0 disables)\n\
          \u{20}  bench-client  drive a running server and report \
          throughput + latency quantiles\n\
          \u{20}          --addr HOST:PORT --input FILE \
@@ -316,14 +323,57 @@ fn cmd_append(args: &[String]) -> Result<(), String> {
         return Err("input contains no sequences".into());
     }
     let t0 = std::time::Instant::now();
-    let bytes = warptree_disk::append_to_index_dir(&dir, &new).map_err(|e| e.to_string())?;
+    if o.flag("merge") {
+        // Legacy mode: merge the new suffixes into the base tree right
+        // now (one big rewrite, no tail segments).
+        let bytes = warptree_disk::append_to_index_dir(&dir, &new).map_err(|e| e.to_string())?;
+        println!(
+            "appended {} sequences ({} values) in {:.2?}; index now {} KiB",
+            new.len(),
+            new.total_len(),
+            t0.elapsed(),
+            bytes / 1024
+        );
+        return Ok(());
+    }
+    let segments = warptree::append_index_dir(&dir, &new).map_err(|e| e.to_string())?;
     println!(
-        "appended {} sequences ({} values) in {:.2?}; index now {} KiB",
+        "appended {} sequences ({} values) as a tail segment in {:.2?}; \
+         {segments} segments live (run `warptree compact` to fold them)",
         new.len(),
         new.total_len(),
         t0.elapsed(),
-        bytes / 1024
     );
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    // Accept the directory positionally (`warptree compact ./idx`) or
+    // as `--index-dir ./idx`.
+    let dir = match args.first() {
+        Some(a) if !a.starts_with("--") => {
+            if args.len() > 1 {
+                return Err("compact takes a single directory".into());
+            }
+            PathBuf::from(a)
+        }
+        _ => PathBuf::from(Opts::parse(args)?.require("index-dir")?),
+    };
+    let t0 = std::time::Instant::now();
+    let runs = warptree::compact_index_dir(&dir).map_err(|e| e.to_string())?;
+    if runs == 0 {
+        println!(
+            "nothing to compact ({} has no tail segments)",
+            dir.display()
+        );
+    } else {
+        println!(
+            "compacted {} in {runs} merge{} ({:.2?}); index is monolithic again",
+            dir.display(),
+            if runs == 1 { "" } else { "s" },
+            t0.elapsed()
+        );
+    }
     Ok(())
 }
 
@@ -377,6 +427,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let idx = open_index(&dir)?;
     let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
     let h = tree.header();
+    // Tail segments hold real suffixes too; totals must cover them or
+    // the compaction percentage drifts after every append.
+    let tail_nodes: u64 = idx.segments.iter().map(|t| t.header().node_count).sum();
+    let tail_suffixes: u64 = idx.segments.iter().map(|t| t.header().suffix_count).sum();
     let (_, index_path) = resolve_index_dir(&dir).map_err(|e| e.to_string())?;
     let file_bytes = std::fs::metadata(&index_path)
         .map_err(|e| e.to_string())?
@@ -440,7 +494,8 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
                 "\"mean_len\":{},\"value_range\":{}}},",
                 "\"categorization\":{{\"method\":\"{}\",\"categories\":{}}},",
                 "\"index\":{{\"kind\":\"{}\",\"nodes\":{},\"suffixes\":{},",
-                "\"depth_limit\":{},\"file_bytes\":{},\"generation\":{}}},",
+                "\"depth_limit\":{},\"file_bytes\":{},\"generation\":{},",
+                "\"segments\":{}}},",
                 "\"manifest\":{},\"structure\":{},\"cache\":{}}}"
             ),
             store.len(),
@@ -450,14 +505,15 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
             escape(&alphabet.method().to_string()),
             alphabet.len(),
             if h.sparse { "sparse" } else { "full" },
-            h.node_count,
-            h.suffix_count,
+            h.node_count + tail_nodes,
+            h.suffix_count + tail_suffixes,
             match h.depth_limit {
                 Some(d) => d.to_string(),
                 None => "null".into(),
             },
             file_bytes,
             idx.generation,
+            idx.segment_count(),
             manifest_json,
             structure_json,
             cache_json,
@@ -484,11 +540,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
             "full (ST_C)"
         }
     );
-    println!("  nodes:          {}", h.node_count);
-    println!("  stored suffixes:{}", h.suffix_count);
+    println!("  nodes:          {}", h.node_count + tail_nodes);
+    println!("  stored suffixes:{}", h.suffix_count + tail_suffixes);
     println!(
         "  compaction:     {:.1}% of suffixes stored",
-        100.0 * h.suffix_count as f64 / store.total_len().max(1) as f64
+        100.0 * (h.suffix_count + tail_suffixes) as f64 / store.total_len().max(1) as f64
     );
     match h.depth_limit {
         Some(d) => println!("  depth limit:    {d} (truncated, §8)"),
@@ -496,6 +552,13 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     }
     println!("  file size:      {} KiB", file_bytes / 1024);
     println!("  generation:     {}", idx.generation);
+    match idx.segment_count() {
+        1 => println!("  segments:       1 (monolithic)"),
+        n => println!(
+            "  segments:       {n} (1 base + {} tail; `warptree compact` folds them)",
+            n - 1
+        ),
+    }
     if let Some(m) = &manifest {
         println!("manifest:");
         println!(
@@ -534,7 +597,7 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         Some(_) => open_index_metered(&dir, &reg)?,
         None => open_index(&dir)?,
     };
-    let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
+    let store = &idx.store;
     let window: Option<u32> = match o.get("window") {
         Some(w) => Some(w.parse().map_err(|_| "--window: bad value".to_string())?),
         None => None,
@@ -550,9 +613,11 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         let mut params = warptree::core::search::KnnParams::new(k);
         params.window = window;
         params.threads = threads;
-        let matches = warptree::core::search::knn_search_with(
-            tree, alphabet, store, &query, &params, &metrics,
-        );
+        let req = QueryRequest::knn_params(&query, params);
+        let matches = idx
+            .query_with(&req, &metrics)
+            .map_err(|e| e.to_string())?
+            .into_ranked();
         println!(
             "{} nearest subsequences in {:.2?} ({} nodes visited):",
             matches.len(),
@@ -576,7 +641,11 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         let mut params = SearchParams::with_epsilon(epsilon);
         params.window = window;
         params.threads = threads;
-        let answers = sim_search_with(tree, alphabet, store, &query, &params, &metrics);
+        let req = QueryRequest::threshold_params(&query, params);
+        let answers = idx
+            .query_with(&req, &metrics)
+            .map_err(|e| e.to_string())?
+            .into_answer_set();
         let stats = metrics.snapshot();
         println!(
             "{} answers within ε = {epsilon} in {:.2?} ({} candidates \
@@ -682,8 +751,10 @@ fn cmd_forecast(args: &[String]) -> Result<(), String> {
     if let Some(w) = o.get("window") {
         params.window = Some(w.parse().map_err(|_| "--window: bad value".to_string())?);
     }
-    let (answers, _) = sim_search(&idx.tree, &idx.alphabet, &idx.store, &query, &params);
-    let episodes = answers.non_overlapping();
+    let (out, _) = idx
+        .query(&QueryRequest::threshold_params(&query, params))
+        .map_err(|e| e.to_string())?;
+    let episodes = out.into_answer_set().non_overlapping();
     if episodes.is_empty() {
         return Err("no similar episodes found — raise --epsilon".into());
     }
@@ -740,6 +811,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.cache_nodes = config.cache_pages * 8;
     config.max_conns = o.parse_num("max-conns", config.max_conns)?;
     config.max_parallelism = o.parse_num("threads", config.max_parallelism)?;
+    config.compact_threshold = o.parse_num("compact-threshold", config.compact_threshold)?;
     config.enable_debug_ops = o.flag("debug-ops");
 
     if !signal::install_handlers() {

@@ -10,9 +10,7 @@
 //! cost in page and node-cache traffic.
 
 use warptree_core::error::CoreError;
-use warptree_core::search::{
-    sim_search_checked_with, AnswerSet, SearchMetrics, SearchParams, SearchStats,
-};
+use warptree_core::search::{AnswerSet, QueryRequest, SearchMetrics, SearchParams, SearchStats};
 use warptree_core::sequence::Value;
 use warptree_obs::json::num;
 use warptree_obs::HistogramSnapshot;
@@ -76,14 +74,12 @@ impl ExplainReport {
         params: &SearchParams,
     ) -> Result<(AnswerSet, ExplainReport), CoreError> {
         let metrics = SearchMetrics::new();
-        let answers = sim_search_checked_with(
-            index.tree(),
-            index.alphabet(),
-            index.store(),
-            query,
-            params,
-            &metrics,
-        )?;
+        let answers = index
+            .query_with(
+                &QueryRequest::threshold_params(query, params.clone()),
+                &metrics,
+            )?
+            .into_answer_set();
         let report = Self::assemble(
             index.tree().is_sparse(),
             query.len(),
@@ -96,41 +92,60 @@ impl ExplainReport {
     }
 
     /// Runs a checked search against a disk-backed index directory and
-    /// explains it, including the query's cache/page traffic.
+    /// explains it, including the query's cache/page traffic. Multi-
+    /// segment directories fan the query out and report traffic and
+    /// suffix counts aggregated across the base tree and every tail
+    /// segment.
     pub fn for_dir(
         dir: &DiskIndexDir,
         query: &[Value],
         params: &SearchParams,
     ) -> Result<(AnswerSet, ExplainReport), CoreError> {
-        let io0 = dir.tree.io_stats();
-        let nc0 = dir.tree.node_cache_stats();
+        let io0 = Self::dir_io_totals(dir);
         let metrics = SearchMetrics::new();
-        let answers = sim_search_checked_with(
-            &dir.tree,
-            &dir.alphabet,
-            &dir.store,
-            query,
-            params,
-            &metrics,
-        )?;
-        let io1 = dir.tree.io_stats();
-        let nc1 = dir.tree.node_cache_stats();
+        let answers = dir
+            .query_with(
+                &QueryRequest::threshold_params(query, params.clone()),
+                &metrics,
+            )?
+            .into_answer_set();
+        let io1 = Self::dir_io_totals(dir);
         let io = ExplainIo {
             pages_read: io1.pages_read - io0.pages_read,
-            page_cache_hits: io1.cache_hits - io0.cache_hits,
-            node_cache_hits: nc1.0 - nc0.0,
-            node_cache_misses: nc1.1 - nc0.1,
+            page_cache_hits: io1.page_cache_hits - io0.page_cache_hits,
+            node_cache_hits: io1.node_cache_hits - io0.node_cache_hits,
+            node_cache_misses: io1.node_cache_misses - io0.node_cache_misses,
         };
         let header = dir.tree.header();
+        let suffixes = header.suffix_count
+            + dir
+                .segments
+                .iter()
+                .map(|t| t.header().suffix_count)
+                .sum::<u64>();
         let report = Self::assemble(
             header.sparse,
             query.len(),
             params.epsilon,
-            header.suffix_count,
+            suffixes,
             &metrics,
             Some(io),
         );
         Ok((answers, report))
+    }
+
+    /// Cumulative cache/page traffic of every tree in the directory.
+    fn dir_io_totals(dir: &DiskIndexDir) -> ExplainIo {
+        let mut total = ExplainIo::default();
+        for tree in std::iter::once(&dir.tree).chain(dir.segments.iter()) {
+            let io = tree.io_stats();
+            let nc = tree.node_cache_stats();
+            total.pages_read += io.pages_read;
+            total.page_cache_hits += io.cache_hits;
+            total.node_cache_hits += nc.0;
+            total.node_cache_misses += nc.1;
+        }
+        total
     }
 
     fn assemble(
@@ -352,8 +367,10 @@ mod tests {
         let q = store.get(SeqId(2)).subseq(4, 8).to_vec();
         let params = SearchParams::with_epsilon(2.0);
         let (answers, report) = ExplainReport::for_index(&index, &q, &params).unwrap();
-        let (checked, stats) =
-            sim_search_checked(index.tree(), index.alphabet(), index.store(), &q, &params).unwrap();
+        let (out, stats) = index
+            .query(&QueryRequest::threshold_params(&q, params.clone()))
+            .unwrap();
+        let checked = out.into_answer_set();
         assert_eq!(answers.occurrence_set(), checked.occurrence_set());
         assert_eq!(report.stats, stats);
         assert_eq!(report.kind, "sparse");

@@ -74,8 +74,8 @@ use std::sync::Arc;
 use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::error::CoreError;
 use warptree_core::search::{
-    knn_search, knn_search_with, seq_scan, sim_search, sim_search_with, AnswerSet, KnnParams,
-    Match, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
+    run_query, run_query_with, seq_scan, AnswerSet, KnnParams, Match, QueryOutput, QueryRequest,
+    SearchMetrics, SearchParams, SearchStats, SegmentedIndex, SeqScanMode,
 };
 use warptree_core::sequence::{SequenceStore, Value};
 use warptree_obs::MetricsRegistry;
@@ -150,10 +150,33 @@ impl Index {
         Self::full(store, Categorization::Exact)
     }
 
+    /// Runs a typed [`QueryRequest`] (threshold or k-NN) against this
+    /// index — the one validated entry point every convenience method
+    /// below routes through.
+    pub fn query(&self, req: &QueryRequest) -> Result<(QueryOutput, SearchStats), CoreError> {
+        run_query(&self.tree, &self.alphabet, &self.store, req)
+    }
+
+    /// [`query`](Self::query) accumulating counters and phase timings
+    /// into caller-owned [`SearchMetrics`] (no stats snapshot).
+    pub fn query_with(
+        &self,
+        req: &QueryRequest,
+        metrics: &SearchMetrics,
+    ) -> Result<QueryOutput, CoreError> {
+        run_query_with(&self.tree, &self.alphabet, &self.store, req, metrics)
+    }
+
     /// Runs a complete similarity search (filter + post-processing):
     /// every subsequence with `D_tw(query, ·) ≤ params.epsilon`.
+    ///
+    /// Panics on an invalid query; use [`query`](Self::query) to handle
+    /// validation errors.
     pub fn search(&self, query: &[Value], params: &SearchParams) -> (AnswerSet, SearchStats) {
-        sim_search(&self.tree, &self.alphabet, &self.store, query, params)
+        let (out, stats) = self
+            .query(&QueryRequest::threshold_params(query, params.clone()))
+            .expect("invalid query");
+        (out.into_answer_set(), stats)
     }
 
     /// [`search`](Self::search) accumulating counters and phase timings
@@ -165,20 +188,24 @@ impl Index {
         params: &SearchParams,
         metrics: &SearchMetrics,
     ) -> AnswerSet {
-        sim_search_with(
-            &self.tree,
-            &self.alphabet,
-            &self.store,
-            query,
-            params,
+        self.query_with(
+            &QueryRequest::threshold_params(query, params.clone()),
             metrics,
         )
+        .expect("invalid query")
+        .into_answer_set()
     }
 
     /// Finds the `k` nearest subsequences to `query` (exact, via ε
     /// expansion over the same index).
+    ///
+    /// Panics on invalid parameters; use [`query`](Self::query) to
+    /// handle validation errors.
     pub fn knn(&self, query: &[Value], params: &KnnParams) -> (Vec<Match>, SearchStats) {
-        knn_search(&self.tree, &self.alphabet, &self.store, query, params)
+        let (out, stats) = self
+            .query(&QueryRequest::knn_params(query, params.clone()))
+            .expect("invalid query");
+        (out.into_ranked(), stats)
     }
 
     /// Runs many searches concurrently on `threads` worker threads (the
@@ -293,17 +320,24 @@ impl Index {
     }
 }
 
-/// A disk-backed index directory: the corpus file plus the tree file,
-/// as produced by [`build_index_dir`] and the `warptree build` CLI.
+/// A disk-backed index directory: the corpus file plus the base tree
+/// and any tail segments (see [`warptree_disk::segment`]), as produced
+/// by [`build_index_dir`], [`append_index_dir`] and the `warptree`
+/// CLI.
 pub struct DiskIndexDir {
     /// The sequence database, loaded from the corpus file.
     pub store: SequenceStore,
     /// The categorization alphabet.
     pub alphabet: Alphabet,
-    /// The categorized corpus (shared with the tree).
+    /// The categorized corpus (shared with the trees).
     pub cat: Arc<CatStore>,
-    /// The disk-resident suffix tree.
+    /// The disk-resident base suffix tree.
     pub tree: warptree_disk::DiskTree,
+    /// Tail segments committed by online appends, in manifest order
+    /// (empty for a fully compacted directory). Queries fan out across
+    /// the base tree and every segment with results byte-identical to
+    /// a monolithic index over the same corpus.
+    pub segments: Vec<warptree_disk::DiskTree>,
     /// Committed generation that was opened (0 = legacy manifest-less
     /// directory).
     pub generation: u64,
@@ -312,9 +346,51 @@ pub struct DiskIndexDir {
 }
 
 impl DiskIndexDir {
-    /// Runs a complete similarity search against the on-disk tree.
+    /// Runs a typed [`QueryRequest`] against this directory, fanning
+    /// out across the base tree and every tail segment.
+    pub fn query(&self, req: &QueryRequest) -> Result<(QueryOutput, SearchStats), CoreError> {
+        if self.segments.is_empty() {
+            run_query(&self.tree, &self.alphabet, &self.store, req)
+        } else {
+            run_query(&self.fan_out(), &self.alphabet, &self.store, req)
+        }
+    }
+
+    /// [`query`](Self::query) accumulating counters and phase timings
+    /// into caller-owned [`SearchMetrics`] (no stats snapshot).
+    pub fn query_with(
+        &self,
+        req: &QueryRequest,
+        metrics: &SearchMetrics,
+    ) -> Result<QueryOutput, CoreError> {
+        if self.segments.is_empty() {
+            run_query_with(&self.tree, &self.alphabet, &self.store, req, metrics)
+        } else {
+            run_query_with(&self.fan_out(), &self.alphabet, &self.store, req, metrics)
+        }
+    }
+
+    fn fan_out(&self) -> SegmentedIndex<'_, warptree_disk::DiskTree> {
+        let mut trees: Vec<&warptree_disk::DiskTree> = Vec::with_capacity(1 + self.segments.len());
+        trees.push(&self.tree);
+        trees.extend(self.segments.iter());
+        SegmentedIndex::new(trees)
+    }
+
+    /// Total number of live trees: the base plus every tail segment.
+    pub fn segment_count(&self) -> usize {
+        1 + self.segments.len()
+    }
+
+    /// Runs a complete similarity search against the on-disk index.
+    ///
+    /// Panics on an invalid query; use [`query`](Self::query) to handle
+    /// validation errors.
     pub fn search(&self, query: &[Value], params: &SearchParams) -> (AnswerSet, SearchStats) {
-        sim_search(&self.tree, &self.alphabet, &self.store, query, params)
+        let (out, stats) = self
+            .query(&QueryRequest::threshold_params(query, params.clone()))
+            .expect("invalid query");
+        (out.into_answer_set(), stats)
     }
 
     /// [`search`](Self::search) accumulating counters and phase timings
@@ -325,19 +401,23 @@ impl DiskIndexDir {
         params: &SearchParams,
         metrics: &SearchMetrics,
     ) -> AnswerSet {
-        sim_search_with(
-            &self.tree,
-            &self.alphabet,
-            &self.store,
-            query,
-            params,
+        self.query_with(
+            &QueryRequest::threshold_params(query, params.clone()),
             metrics,
         )
+        .expect("invalid query")
+        .into_answer_set()
     }
 
     /// Finds the `k` nearest subsequences.
+    ///
+    /// Panics on invalid parameters; use [`query`](Self::query) to
+    /// handle validation errors.
     pub fn knn(&self, query: &[Value], params: &KnnParams) -> (Vec<Match>, SearchStats) {
-        knn_search(&self.tree, &self.alphabet, &self.store, query, params)
+        let (out, stats) = self
+            .query(&QueryRequest::knn_params(query, params.clone()))
+            .expect("invalid query");
+        (out.into_ranked(), stats)
     }
 
     /// [`knn`](Self::knn) accumulating counters into caller-owned
@@ -348,14 +428,9 @@ impl DiskIndexDir {
         params: &KnnParams,
         metrics: &SearchMetrics,
     ) -> Vec<Match> {
-        knn_search_with(
-            &self.tree,
-            &self.alphabet,
-            &self.store,
-            query,
-            params,
-            metrics,
-        )
+        self.query_with(&QueryRequest::knn_params(query, params.clone()), metrics)
+            .expect("invalid query")
+            .into_ranked()
     }
 
     /// Explains one search: runs it and reports the filter funnel,
@@ -462,11 +537,21 @@ pub fn open_index_dir(
         cache_pages,
         cache_pages * 8,
     )?;
+    let mut segments = Vec::with_capacity(resolved.segment_paths.len());
+    for path in &resolved.segment_paths {
+        segments.push(warptree_disk::DiskTree::open(
+            path,
+            cat.clone(),
+            cache_pages,
+            cache_pages * 8,
+        )?);
+    }
     Ok(DiskIndexDir {
         store,
         alphabet,
         cat,
         tree,
+        segments,
         generation: resolved.generation,
         recovery,
     })
@@ -494,21 +579,57 @@ pub fn open_index_dir_metered(
         cache_pages * 8,
     )?;
     tree.instrument(reg);
+    let mut segments = Vec::with_capacity(resolved.segment_paths.len());
+    for path in &resolved.segment_paths {
+        segments.push(warptree_disk::DiskTree::open_with(
+            vfs.as_ref(),
+            path,
+            cat.clone(),
+            cache_pages,
+            cache_pages * 8,
+        )?);
+    }
     Ok(DiskIndexDir {
         store,
         alphabet,
         cat,
         tree,
+        segments,
         generation: resolved.generation,
         recovery,
     })
 }
 
+/// Appends `new` to an index directory as a tail segment — O(new data)
+/// work, no rewrite of the existing trees. Queries over the reopened
+/// directory fan out across all segments with results byte-identical to
+/// a monolithic rebuild; run [`compact_index_dir`] (or `warptree
+/// compact`) periodically to fold segments back together. Returns the
+/// number of live trees (base + tails) after the append.
+pub fn append_index_dir(
+    dir: &std::path::Path,
+    new: &SequenceStore,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    let manifest = warptree_disk::append_segment(dir, new)?;
+    Ok(1 + manifest.segments.len())
+}
+
+/// Fully compacts an index directory: repeatedly binary-merges the
+/// cheapest adjacent pair of segments (paper §4.1) until a single tree
+/// remains, each step committed as its own crash-safe generation.
+/// Returns the number of merge steps performed.
+pub fn compact_index_dir(dir: &std::path::Path) -> Result<u64, Box<dyn std::error::Error>> {
+    let (runs, _) =
+        warptree_disk::compact_all_with(&warptree_disk::RealVfs, dir, &MetricsRegistry::noop())?;
+    Ok(runs)
+}
+
 /// Re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::{
-        build_index_dir, build_index_dir_metered, open_index_dir, open_index_dir_metered,
-        resolve_index_dir, Categorization, DiskIndexDir, ExplainIo, ExplainReport, Index,
+        append_index_dir, build_index_dir, build_index_dir_metered, compact_index_dir,
+        open_index_dir, open_index_dir_metered, resolve_index_dir, Categorization, DiskIndexDir,
+        ExplainIo, ExplainReport, Index,
     };
     pub use warptree_core::cluster::{cluster_matches, Cluster};
     pub use warptree_core::predict::{forecast, Forecast, Weighting};

@@ -46,10 +46,15 @@ proptest! {
             let path = dir.join(format!("{tag}.wt"));
             write_tree(&mem, &path).unwrap();
             let disk = DiskTree::open(&path, cat, 8, 32).unwrap();
-            let (mem_ans, _) =
-                sim_search(&mem, &alphabet, &store, &q, &params);
-            let (disk_ans, _) =
-                sim_search(&disk, &alphabet, &store, &q, &params);
+            let req = QueryRequest::threshold_params(&q, params.clone());
+            let mem_ans = run_query(&mem, &alphabet, &store, &req)
+                .unwrap()
+                .0
+                .into_answer_set();
+            let disk_ans = run_query(&disk, &alphabet, &store, &req)
+                .unwrap()
+                .0
+                .into_answer_set();
             prop_assert_eq!(
                 mem_ans.occurrence_set(),
                 disk_ans.occurrence_set(),
@@ -136,7 +141,14 @@ fn full_disk_pipeline() {
     );
     let params = SearchParams::with_epsilon(3.0);
     for q in queries.queries() {
-        let (disk_ans, stats) = sim_search(&merged, &alphabet2, &store2, &q.values, &params);
+        let (out, stats) = run_query(
+            &merged,
+            &alphabet2,
+            &store2,
+            &QueryRequest::threshold_params(&q.values, params.clone()),
+        )
+        .unwrap();
+        let disk_ans = out.into_answer_set();
         let mut scan_stats = SearchStats::default();
         let scan = seq_scan(
             &store2,

@@ -86,7 +86,14 @@ fn golden_fixtures_remain_readable_and_searchable() {
         let tree = DiskTree::open(&fixtures.join(name), cat.clone(), 8, 32).unwrap();
         let params = SearchParams::with_epsilon(0.5);
         let q = [2.0, 3.5];
-        let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+        let (out, _) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&q, params.clone()),
+        )
+        .unwrap();
+        let got = out.into_answer_set();
         let mut stats = SearchStats::default();
         let expected = seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
         assert_eq!(got.occurrence_set(), expected.occurrence_set());

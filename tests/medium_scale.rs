@@ -59,7 +59,14 @@ fn medium_stock_corpus_all_variants() {
                         ("full", build_full(cat.clone())),
                         ("sparse", build_sparse(cat.clone())),
                     ] {
-                        let (mem, _) = sim_search(&tree, alphabet, &store, &q.values, &params);
+                        let (mem, _) = run_query(
+                            &tree,
+                            alphabet,
+                            &store,
+                            &QueryRequest::threshold_params(&q.values, params.clone()),
+                        )
+                        .unwrap();
+                        let mem = mem.into_answer_set();
                         assert_eq!(
                             mem.occurrence_set(),
                             expected,
@@ -70,7 +77,14 @@ fn medium_stock_corpus_all_variants() {
                             let path = dir.join(format!("{name}-{kind}.wt"));
                             write_tree(&tree, &path).unwrap();
                             let disk = DiskTree::open(&path, cat.clone(), 16, 128).unwrap();
-                            let (d, _) = sim_search(&disk, alphabet, &store, &q.values, &params);
+                            let (d, _) = run_query(
+                                &disk,
+                                alphabet,
+                                &store,
+                                &QueryRequest::threshold_params(&q.values, params.clone()),
+                            )
+                            .unwrap();
+                            let d = d.into_answer_set();
                             assert_eq!(d.occurrence_set(), expected, "disk {name}/{kind}");
                         }
                     }
@@ -107,7 +121,14 @@ fn medium_artificial_corpus_sparse_me() {
     );
     let params = SearchParams::with_epsilon(8.0);
     for q in workload.queries() {
-        let (answers, stats) = sim_search(&tree, &alphabet, &store, &q.values, &params);
+        let (out, stats) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&q.values, params.clone()),
+        )
+        .unwrap();
+        let answers = out.into_answer_set();
         let mut scan_stats = SearchStats::default();
         let expected = seq_scan(
             &store,

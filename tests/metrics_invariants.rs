@@ -1,4 +1,4 @@
-//! Integration contract of the observability layer: the `sim_search`
+//! Integration contract of the observability layer: the `run_query`
 //! counters obey their accounting identities on *disk-backed* indexes
 //! (full and sparse), are bit-identical across identical runs, agree
 //! with the `EXPLAIN` report, and surface under their registry names
@@ -105,8 +105,10 @@ fn explain_report_agrees_with_checked_search() {
     build_index_dir(&store, Categorization::MaxEntropy(12), true, 8, &d).unwrap();
     let idx = open_index_dir(&d, 32).unwrap();
     let (answers, report) = idx.explain(&q, &params).unwrap();
-    let (baseline, stats) =
-        sim_search_checked(&idx.tree, &idx.alphabet, &idx.store, &q, &params).unwrap();
+    let (out, stats) = idx
+        .query(&QueryRequest::threshold_params(&q, params.clone()))
+        .unwrap();
+    let baseline = out.into_answer_set();
     assert_eq!(answers.occurrence_set(), baseline.occurrence_set());
     assert_eq!(report.stats, stats);
     assert_eq!(report.kind, "sparse");

@@ -55,11 +55,27 @@ fn assert_search_equivalent<T: SuffixTreeIndex + Sync>(
     tag: &str,
 ) {
     let m1 = SearchMetrics::new();
-    let seq = sim_search_with(tree, alphabet, store, &query(), base, &m1);
+    let seq = run_query_with(
+        tree,
+        alphabet,
+        store,
+        &QueryRequest::threshold_params(&query(), base.clone()),
+        &m1,
+    )
+    .unwrap()
+    .into_answer_set();
     for t in THREADS {
         let params = base.clone().parallel(t);
         let mp = SearchMetrics::new();
-        let par = sim_search_with(tree, alphabet, store, &query(), &params, &mp);
+        let par = run_query_with(
+            tree,
+            alphabet,
+            store,
+            &QueryRequest::threshold_params(&query(), params),
+            &mp,
+        )
+        .unwrap()
+        .into_answer_set();
         assert_eq!(seq.matches(), par.matches(), "{tag}: matches, threads={t}");
         assert_eq!(m1.snapshot(), mp.snapshot(), "{tag}: stats, threads={t}");
     }
@@ -76,11 +92,27 @@ fn assert_knn_equivalent<T: SuffixTreeIndex + Sync>(
             let mut base = KnnParams::new(k);
             base.non_overlapping = non_overlapping;
             let m1 = SearchMetrics::new();
-            let seq = knn_search_with(tree, alphabet, store, &query(), &base, &m1);
+            let seq = run_query_with(
+                tree,
+                alphabet,
+                store,
+                &QueryRequest::knn_params(&query(), base.clone()),
+                &m1,
+            )
+            .unwrap()
+            .into_ranked();
             for t in THREADS {
                 let params = base.clone().parallel(t);
                 let mp = SearchMetrics::new();
-                let par = knn_search_with(tree, alphabet, store, &query(), &params, &mp);
+                let par = run_query_with(
+                    tree,
+                    alphabet,
+                    store,
+                    &QueryRequest::knn_params(&query(), params),
+                    &mp,
+                )
+                .unwrap()
+                .into_ranked();
                 assert_eq!(
                     seq, par,
                     "{tag}: knn matches, k={k} no={non_overlapping} threads={t}"

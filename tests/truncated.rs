@@ -36,20 +36,28 @@ proptest! {
         };
         let params = SearchParams::with_epsilon(1.5).length_range(1, max_len);
 
+        let req = QueryRequest::threshold_params(&q, params.clone());
         let full = build_full(cat.clone());
-        let (expected, _) =
-            sim_search(&full, &alphabet, &store, &q, &params);
+        let expected = run_query(&full, &alphabet, &store, &req)
+            .unwrap()
+            .0
+            .into_answer_set();
 
         let trunc_full = build_full_truncated(cat.clone(), spec);
         trunc_full.check_invariants();
         prop_assert_eq!(trunc_full.depth_limit(), Some(max_len));
-        let (a, _) = sim_search(&trunc_full, &alphabet, &store, &q, &params);
+        let a = run_query(&trunc_full, &alphabet, &store, &req)
+            .unwrap()
+            .0
+            .into_answer_set();
         prop_assert_eq!(a.occurrence_set(), expected.occurrence_set());
 
         let trunc_sparse = build_sparse_truncated(cat.clone(), spec);
         trunc_sparse.check_invariants();
-        let (b, _) =
-            sim_search(&trunc_sparse, &alphabet, &store, &q, &params);
+        let b = run_query(&trunc_sparse, &alphabet, &store, &req)
+            .unwrap()
+            .0
+            .into_answer_set();
         prop_assert_eq!(b.occurrence_set(), expected.occurrence_set());
 
         // Truncation never grows the tree.
@@ -73,7 +81,14 @@ proptest! {
         let spec = TruncateSpec::for_queries(2, 4, w);
         let tree = build_sparse_truncated(cat.clone(), spec);
         let params = SearchParams::with_epsilon(2.0).windowed(w);
-        let (got, _) = sim_search(&tree, &alphabet, &store, &q, &params);
+        let (got, _) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&q, params.clone()),
+        )
+        .unwrap();
+        let got = got.into_answer_set();
         let mut stats = SearchStats::default();
         let expected =
             seq_scan(&store, &q, &params, SeqScanMode::Full, &mut stats);
@@ -112,7 +127,14 @@ fn sparse_lead_run_at_depth_limit_boundary() {
         let params = SearchParams::with_epsilon(eps).length_range(1, 3);
         let mut stats = SearchStats::default();
         let expected = seq_scan(&store, &[1.5, 1.5], &params, SeqScanMode::Full, &mut stats);
-        let (got, got_stats) = sim_search(&tree, &alphabet, &store, &[1.5, 1.5], &params);
+        let (got, got_stats) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&[1.5, 1.5], params.clone()),
+        )
+        .unwrap();
+        let got = got.into_answer_set();
         assert_eq!(
             got.occurrence_set(),
             expected.occurrence_set(),
@@ -136,7 +158,14 @@ fn sparse_lead_run_at_depth_limit_boundary() {
         );
         // The parallel traversal agrees byte-for-byte at the boundary.
         let par = params.clone().parallel(4);
-        let (par_got, par_stats) = sim_search(&tree, &alphabet, &store, &[1.5, 1.5], &par);
+        let (par_got, par_stats) = run_query(
+            &tree,
+            &alphabet,
+            &store,
+            &QueryRequest::threshold_params(&[1.5, 1.5], par),
+        )
+        .unwrap();
+        let par_got = par_got.into_answer_set();
         assert_eq!(par_got.matches(), got.matches(), "eps={eps}");
         assert_eq!(par_stats, got_stats, "eps={eps}");
     }
@@ -175,7 +204,6 @@ fn truncated_index_is_smaller() {
 }
 
 #[test]
-#[should_panic(expected = "depth limit")]
 fn unbounded_search_over_truncated_index_is_rejected() {
     let store = SequenceStore::from_values(vec![vec![1.0, 2.0, 3.0, 4.0]]);
     let alphabet = Alphabet::singleton(&store).unwrap();
@@ -187,9 +215,19 @@ fn unbounded_search_over_truncated_index_is_rejected() {
             min_answer_len: 1,
         },
     );
-    // length_range(1, 3) exceeds the stored depth 2 -> must panic.
+    // length_range(1, 3) exceeds the stored depth 2 -> typed error.
     let params = SearchParams::with_epsilon(1.0).length_range(1, 3);
-    let _ = sim_search(&tree, &alphabet, &store, &[1.0], &params);
+    let err = run_query(
+        &tree,
+        &alphabet,
+        &store,
+        &QueryRequest::threshold_params(&[1.0], params),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, CoreError::DepthLimitExceeded { .. }),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -211,8 +249,15 @@ fn truncated_tree_roundtrips_through_disk() {
     assert_eq!(disk.header().depth_limit, Some(3));
     let params = SearchParams::with_epsilon(1.0).length_range(1, 3);
     let q = [2.0, 3.0];
-    let (mem_ans, _) = sim_search(&tree, &alphabet, &store, &q, &params);
-    let (disk_ans, _) = sim_search(&disk, &alphabet, &store, &q, &params);
+    let req = QueryRequest::threshold_params(&q, params.clone());
+    let mem_ans = run_query(&tree, &alphabet, &store, &req)
+        .unwrap()
+        .0
+        .into_answer_set();
+    let disk_ans = run_query(&disk, &alphabet, &store, &req)
+        .unwrap()
+        .0
+        .into_answer_set();
     assert_eq!(mem_ans.occurrence_set(), disk_ans.occurrence_set());
     std::fs::remove_file(&path).unwrap();
 }
