@@ -28,6 +28,14 @@ pub enum ErrorCode {
     UnsupportedVersion,
     /// Anything else — an internal invariant failure or I/O error.
     Internal,
+    /// A stored page failed its CRC check while serving the request and
+    /// no healthy copy could answer instead.
+    CorruptionDetected,
+    /// The response could only be served partially (some segments are
+    /// quarantined) and the client's protocol version has no way to
+    /// express `partial: true` — returned instead of silently dropping
+    /// the coverage information.
+    PartialResultUnsupported,
 }
 
 impl ErrorCode {
@@ -41,6 +49,8 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::UnsupportedVersion => "unsupported_version",
             ErrorCode::Internal => "internal",
+            ErrorCode::CorruptionDetected => "corruption_detected",
+            ErrorCode::PartialResultUnsupported => "partial_result_unsupported",
         }
     }
 
@@ -54,6 +64,8 @@ impl ErrorCode {
             "shutting_down" => ErrorCode::ShuttingDown,
             "unsupported_version" => ErrorCode::UnsupportedVersion,
             "internal" => ErrorCode::Internal,
+            "corruption_detected" => ErrorCode::CorruptionDetected,
+            "partial_result_unsupported" => ErrorCode::PartialResultUnsupported,
             _ => return None,
         })
     }
@@ -189,6 +201,8 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::UnsupportedVersion,
             ErrorCode::Internal,
+            ErrorCode::CorruptionDetected,
+            ErrorCode::PartialResultUnsupported,
         ];
         for code in all {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));

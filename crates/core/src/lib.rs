@@ -58,8 +58,8 @@ pub mod prelude {
     pub use crate::error::{CoreError, ErrorCode};
     pub use crate::search::{
         filter_tree, postprocess, run_query, run_query_with, seq_scan, AnswerSet, Candidate,
-        KnnParams, Match, QueryKind, QueryOutput, QueryRequest, SearchMetrics, SearchParams,
-        SearchStats, SegmentedIndex, SeqScanMode, SuffixTreeIndex,
+        Coverage, KnnParams, Match, OutputKind, QueryKind, QueryOutput, QueryRequest,
+        SearchMetrics, SearchParams, SearchStats, SegmentedIndex, SeqScanMode, SuffixTreeIndex,
     };
     #[allow(deprecated)]
     pub use crate::search::{

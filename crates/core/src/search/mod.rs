@@ -40,7 +40,7 @@ pub use knn::{
 };
 pub use metrics::SearchMetrics;
 pub use postprocess::postprocess;
-pub use query::{run_query, run_query_with, QueryKind, QueryOutput, QueryRequest};
+pub use query::{run_query, run_query_with, Coverage, OutputKind, QueryKind, QueryOutput, QueryRequest};
 pub use segmented::SegmentedIndex;
 pub use seqscan::{seq_scan, SeqScanMode};
 

@@ -168,23 +168,104 @@ impl QueryRequest {
     }
 }
 
-/// The result of a [`run_query`]: an answer set for threshold queries,
-/// a distance-ranked list for k-NN queries. Both views are reachable
+/// Coverage accounting for a query that may have run over a partially
+/// available index: how many segments answered, how many were
+/// quarantined, and what fraction of stored suffixes the answer
+/// actually covers. Attached to [`QueryOutput`] when a degraded
+/// (partial) result is served, so callers can never mistake an
+/// incomplete answer for a complete one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Segments the index holds in total (base tree included).
+    pub segments_total: usize,
+    /// Segments that actually contributed to this answer.
+    pub segments_answered: usize,
+    /// Segments excluded because they are quarantined (tombstoned in
+    /// the manifest after a failed CRC check).
+    pub segments_quarantined: usize,
+    /// Suffixes indexed across the whole corpus.
+    pub suffixes_total: u64,
+    /// Suffixes inside the segments that answered.
+    pub suffixes_answered: u64,
+}
+
+impl Coverage {
+    /// Fraction of stored suffixes covered by the answer, in `[0, 1]`.
+    /// An empty index counts as fully covered.
+    pub fn fraction(&self) -> f64 {
+        if self.suffixes_total == 0 {
+            1.0
+        } else {
+            self.suffixes_answered as f64 / self.suffixes_total as f64
+        }
+    }
+
+    /// `true` when at least one segment did not answer.
+    pub fn is_partial(&self) -> bool {
+        self.segments_answered < self.segments_total
+    }
+}
+
+/// The answers themselves: an answer set for threshold queries, a
+/// distance-ranked list for k-NN queries. Both views are reachable
 /// from either variant, so callers can stay kind-agnostic.
 #[derive(Debug, Clone)]
-pub enum QueryOutput {
+pub enum OutputKind {
     /// Threshold answers (every occurrence within ε).
     Matches(AnswerSet),
     /// k-NN answers, sorted by ascending `(distance, occurrence)`.
     Ranked(Vec<Match>),
 }
 
+/// The result of a [`run_query`]: the answers plus optional coverage
+/// accounting when the index could only answer partially.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The answers.
+    pub kind: OutputKind,
+    /// `Some` when the query ran degraded — one or more segments were
+    /// quarantined and excluded. `None` means full coverage.
+    pub coverage: Option<Coverage>,
+}
+
 impl QueryOutput {
+    /// Wraps threshold answers with full coverage.
+    pub fn answers(a: AnswerSet) -> Self {
+        QueryOutput {
+            kind: OutputKind::Matches(a),
+            coverage: None,
+        }
+    }
+
+    /// Wraps ranked (k-NN) answers with full coverage.
+    pub fn ranked(v: Vec<Match>) -> Self {
+        QueryOutput {
+            kind: OutputKind::Ranked(v),
+            coverage: None,
+        }
+    }
+
+    /// Attaches coverage accounting (builder style).
+    pub fn with_coverage(mut self, coverage: Coverage) -> Self {
+        self.coverage = Some(coverage);
+        self
+    }
+
+    /// `true` when the answer is honestly labeled as incomplete.
+    pub fn is_partial(&self) -> bool {
+        self.coverage.is_some_and(|c| c.is_partial())
+    }
+
+    /// `true` when the answers are a ranked (k-NN) list.
+    pub fn is_ranked(&self) -> bool {
+        matches!(self.kind, OutputKind::Ranked(_))
+    }
+
     /// Number of answers.
     pub fn len(&self) -> usize {
-        match self {
-            QueryOutput::Matches(a) => a.len(),
-            QueryOutput::Ranked(v) => v.len(),
+        match &self.kind {
+            OutputKind::Matches(a) => a.len(),
+            OutputKind::Ranked(v) => v.len(),
         }
     }
 
@@ -195,17 +276,17 @@ impl QueryOutput {
 
     /// Borrows the matches, whichever variant holds them.
     pub fn matches(&self) -> &[Match] {
-        match self {
-            QueryOutput::Matches(a) => a.matches(),
-            QueryOutput::Ranked(v) => v,
+        match &self.kind {
+            OutputKind::Matches(a) => a.matches(),
+            OutputKind::Ranked(v) => v,
         }
     }
 
     /// Converts into an [`AnswerSet`] (lossless for both variants).
     pub fn into_answer_set(self) -> AnswerSet {
-        match self {
-            QueryOutput::Matches(a) => a,
-            QueryOutput::Ranked(v) => {
+        match self.kind {
+            OutputKind::Matches(a) => a,
+            OutputKind::Ranked(v) => {
                 let mut a = AnswerSet::new();
                 for m in v {
                     a.push(m);
@@ -219,9 +300,9 @@ impl QueryOutput {
     /// verbatim; threshold answers are sorted by `(distance,
     /// occurrence)`.
     pub fn into_ranked(self) -> Vec<Match> {
-        match self {
-            QueryOutput::Ranked(v) => v,
-            QueryOutput::Matches(a) => {
+        match self.kind {
+            OutputKind::Ranked(v) => v,
+            OutputKind::Matches(a) => {
                 let n = a.len();
                 a.top_k(n)
             }
@@ -245,12 +326,12 @@ pub fn run_query_with<T: SuffixTreeIndex + Sync>(
 ) -> Result<QueryOutput, CoreError> {
     req.validate_for(tree.depth_limit())?;
     match &req.kind {
-        QueryKind::Threshold(p) => Ok(QueryOutput::Matches(
+        QueryKind::Threshold(p) => Ok(QueryOutput::answers(
             crate::search::threshold_search_unchecked(
                 tree, alphabet, store, &req.query, p, metrics,
             ),
         )),
-        QueryKind::Knn(p) => Ok(QueryOutput::Ranked(crate::search::knn::knn_unchecked(
+        QueryKind::Knn(p) => Ok(QueryOutput::ranked(crate::search::knn::knn_unchecked(
             tree, alphabet, store, &req.query, p, metrics,
         ))),
     }
@@ -374,11 +455,46 @@ mod tests {
         let mut a = AnswerSet::new();
         a.push(m(4, 2.0));
         a.push(m(1, 1.0));
-        let out = QueryOutput::Matches(a);
+        let out = QueryOutput::answers(a);
         assert_eq!(out.len(), 2);
+        assert!(!out.is_partial(), "no coverage means full coverage");
         let ranked = out.into_ranked();
         assert_eq!(ranked[0].occ.start, 1, "threshold answers rank by distance");
-        let back = QueryOutput::Ranked(ranked).into_answer_set();
+        let back = QueryOutput::ranked(ranked).into_answer_set();
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn coverage_fraction_and_partial_flag() {
+        let full = Coverage {
+            segments_total: 3,
+            segments_answered: 3,
+            segments_quarantined: 0,
+            suffixes_total: 100,
+            suffixes_answered: 100,
+        };
+        assert!(!full.is_partial());
+        assert_eq!(full.fraction(), 1.0);
+        let degraded = Coverage {
+            segments_total: 3,
+            segments_answered: 2,
+            segments_quarantined: 1,
+            suffixes_total: 100,
+            suffixes_answered: 75,
+        };
+        assert!(degraded.is_partial());
+        assert_eq!(degraded.fraction(), 0.75);
+        let out = QueryOutput::answers(AnswerSet::new()).with_coverage(degraded);
+        assert!(out.is_partial());
+        // An empty index is trivially fully covered.
+        let empty = Coverage {
+            segments_total: 0,
+            segments_answered: 0,
+            segments_quarantined: 0,
+            suffixes_total: 0,
+            suffixes_answered: 0,
+        };
+        assert_eq!(empty.fraction(), 1.0);
+        assert!(!empty.is_partial());
     }
 }

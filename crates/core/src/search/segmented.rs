@@ -178,7 +178,7 @@ mod tests {
     use crate::categorize::{Alphabet, CatStore};
     use crate::search::answers::SearchStats;
     use crate::search::knn::KnnParams;
-    use crate::search::query::{QueryOutput, QueryRequest};
+    use crate::search::query::QueryRequest;
     use crate::search::run_query;
     use crate::search::SearchParams;
     use crate::sequence::SequenceStore;
@@ -341,7 +341,7 @@ mod tests {
         let seg = SegmentedIndex::new(vec![&t0, &t1]);
         let req = QueryRequest::knn(&[5.0, 9.0], 2);
         let (out, stats) = run_query(&seg, &alphabet, &store, &req).unwrap();
-        assert!(matches!(out, QueryOutput::Ranked(_)));
+        assert!(out.is_ranked());
         assert_eq!(out.len(), 2);
         assert_eq!(stats.answers, 2, "snapshot reports returned answers");
     }

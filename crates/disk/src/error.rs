@@ -31,6 +31,15 @@ pub enum DiskError {
     /// The path does not hold a committed index directory (no manifest
     /// and no legacy `corpus.wc` + `index.wt` pair).
     NotAnIndexDir(String),
+    /// A page failed its CRC check while serving a read from a known
+    /// segment file — the read-path integrity signal that drives
+    /// quarantine and degraded (partial-result) serving.
+    CorruptionDetected {
+        /// Manifest file name of the corrupt segment.
+        segment: String,
+        /// Index of the bad page inside that file.
+        page: u64,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -50,6 +59,9 @@ impl fmt::Display for DiskError {
             DiskError::BadManifest(m) => write!(f, "bad manifest: {m}"),
             DiskError::NotAnIndexDir(m) => {
                 write!(f, "not an index directory: {m}")
+            }
+            DiskError::CorruptionDetected { segment, page } => {
+                write!(f, "corruption detected in segment {segment} (page {page})")
             }
         }
     }
@@ -91,5 +103,11 @@ mod tests {
         assert!(e.to_string().contains("exceeds"));
         let io: DiskError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
+        let c = DiskError::CorruptionDetected {
+            segment: "segment-000003-00.wt".into(),
+            page: 7,
+        };
+        assert!(c.to_string().contains("segment-000003-00.wt"));
+        assert!(c.to_string().contains("page 7"));
     }
 }

@@ -153,6 +153,17 @@ pub fn encode_node(node: &DiskNode) -> Vec<u8> {
     out
 }
 
+/// Panic payload used to abort a tree traversal on an unreadable node.
+///
+/// The [`SuffixTreeIndex`] trait's walk callbacks are infallible, so a
+/// mid-traversal read failure cannot return an `Err` through them.
+/// Instead the failing [`DiskTree`] records the typed error (see
+/// [`DiskTree::take_read_error`]) and unwinds with this marker; the
+/// fan-out layer catches the unwind (`std::panic::catch_unwind`),
+/// downcasts to `TreeReadAbort`, and turns the recorded error into a
+/// quarantine + degraded answer instead of a crash.
+pub struct TreeReadAbort;
+
 /// A disk-resident suffix tree, query-ready through
 /// [`SuffixTreeIndex`]. Decoded nodes are cached in an LRU keyed by
 /// offset; all reads verify page CRCs.
@@ -161,6 +172,12 @@ pub struct DiskTree {
     cat: Arc<CatStore>,
     header: Header,
     nodes: Mutex<LruCache<u64, Arc<DiskNode>>>,
+    /// File name this tree was opened from — the segment identity used
+    /// in [`DiskError::CorruptionDetected`].
+    source: String,
+    /// First read failure observed during a traversal (set by
+    /// [`must_read`](Self::must_read) before unwinding).
+    read_error: Mutex<Option<DiskError>>,
 }
 
 impl DiskTree {
@@ -200,7 +217,66 @@ impl DiskTree {
             cat,
             header,
             nodes: Mutex::new(LruCache::new(cache_nodes.max(1))),
+            source: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            read_error: Mutex::new(None),
         })
+    }
+
+    /// The file name this tree was opened from (its segment identity).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Takes the read failure recorded by an aborted traversal, if any.
+    /// `CorruptPage` failures arrive here already labelled as
+    /// [`DiskError::CorruptionDetected`] with this tree's file name.
+    pub fn take_read_error(&self) -> Option<DiskError> {
+        self.read_error.lock().take()
+    }
+
+    /// Reads a node or aborts the traversal: the error is recorded on
+    /// this tree (CRC failures typed as `CorruptionDetected`) and the
+    /// stack unwinds with [`TreeReadAbort`] for the fan-out layer to
+    /// catch.
+    fn must_read(&self, offset: u64) -> Arc<DiskNode> {
+        match self.read_node(offset) {
+            Ok(n) => n,
+            Err(e) => {
+                let e = match e {
+                    DiskError::CorruptPage { page } => DiskError::CorruptionDetected {
+                        segment: self.source.clone(),
+                        page,
+                    },
+                    other => other,
+                };
+                let mut slot = self.read_error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                drop(slot);
+                std::panic::panic_any(TreeReadAbort);
+            }
+        }
+    }
+
+    /// Walks every physical page of the file through the CRC check,
+    /// bypassing the page cache (the scrub / `verify --deep` primitive).
+    /// Returns the page count, or the first corruption typed with this
+    /// tree's file name.
+    pub fn verify_pages(&self) -> Result<u64> {
+        for p in 0..self.reader.page_count() {
+            self.reader.verify_page(p).map_err(|e| match e {
+                DiskError::CorruptPage { page } => DiskError::CorruptionDetected {
+                    segment: self.source.clone(),
+                    page,
+                },
+                other => other,
+            })?;
+        }
+        Ok(self.reader.page_count())
     }
 
     /// The file header.
@@ -235,6 +311,7 @@ impl DiskTree {
         );
         self.reader
             .meter_cache(reg, "disk.page_cache.hits", "disk.page_cache.misses");
+        self.reader.meter_crc_failures(reg, "disk.read_crc_fail");
     }
 
     /// Reads (or re-uses) the node record at `offset`.
@@ -341,14 +418,14 @@ impl SuffixTreeIndex for DiskTree {
     }
 
     fn for_each_child(&self, n: u64, f: &mut dyn FnMut(u64)) {
-        let node = self.read_node(n).expect("readable node");
+        let node = self.must_read(n);
         for &(_, off) in &node.children {
             f(off);
         }
     }
 
     fn edge_label(&self, n: u64, out: &mut Vec<Symbol>) {
-        let node = self.read_node(n).expect("readable node");
+        let node = self.must_read(n);
         let (seq, start, len) = node.label;
         let s = self.cat.seq(seq);
         out.extend_from_slice(&s[start as usize..(start + len) as usize]);
@@ -357,7 +434,7 @@ impl SuffixTreeIndex for DiskTree {
     fn for_each_suffix_below(&self, n: u64, f: &mut dyn FnMut(SeqId, u32, u32)) {
         let mut stack = vec![n];
         while let Some(off) = stack.pop() {
-            let node = self.read_node(off).expect("readable node");
+            let node = self.must_read(off);
             for &(seq, start, run) in &node.suffixes {
                 f(seq, start, run);
             }
@@ -368,7 +445,7 @@ impl SuffixTreeIndex for DiskTree {
     }
 
     fn max_lead_run(&self, n: u64) -> u32 {
-        self.read_node(n).expect("readable node").max_lead_run
+        self.must_read(n).max_lead_run
     }
 
     fn is_sparse(&self) -> bool {
@@ -387,7 +464,7 @@ impl SuffixTreeIndex for DiskTree {
         // Every node record stores its subtree suffix count, and the
         // record is (re)read through the node cache, so this is one
         // cached lookup — cheap enough for per-edge `R_d` metering.
-        Some(self.read_node(n).expect("readable node").suffix_count)
+        Some(self.must_read(n).suffix_count)
     }
 }
 

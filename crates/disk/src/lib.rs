@@ -44,17 +44,21 @@ pub mod writer;
 pub use append::{append_to_index_dir, append_to_index_dir_with};
 pub use corpus::{load_corpus, load_corpus_with, save_corpus, save_corpus_with};
 pub use error::{DiskError, Result};
-pub use format::{DiskNode, DiskTree, Header};
+pub use format::{DiskNode, DiskTree, Header, TreeReadAbort};
 pub use manifest::{
-    build_dir_metered, build_dir_with, commit_dir_with, commit_update_with, recover_dir_with,
-    resolve_dir_with, segment_file_name, verify_dir_with, FileCheck, Manifest, RecoveryReport,
-    ResolvedDir, SegmentMeta, VerifyReport, MANIFEST_NAME,
+    build_dir_metered, build_dir_with, commit_dir_with, commit_update_with,
+    quarantine_segment_with, recover_dir_with, resolve_dir_with, segment_file_name,
+    verify_dir_deep_with, verify_dir_with, FileCheck, Manifest, RecoveryReport, ResolvedDir,
+    SegmentMeta, VerifyReport, MANIFEST_NAME,
 };
 pub use merge::{merge_trees, merge_trees_with, IncrementalBuilder, TreeKind};
 pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
 pub use segment::{
     append_segment, append_segment_with, compact_all_with, compact_once, compact_once_with,
+    heal_segment_with, scrub_dir_with, ScrubReport,
 };
-pub use snapshot::{committed_generation_with, open_dir_snapshot_with, DirSnapshot};
+pub use snapshot::{
+    committed_generation_with, open_dir_snapshot_with, DegradedError, DegradedQuery, DirSnapshot,
+};
 pub use vfs::{real_vfs, FaultMode, FaultVfs, MeteredVfs, RealVfs, TempGuard, Vfs, VfsFile};
 pub use writer::{write_tree, write_tree_with};

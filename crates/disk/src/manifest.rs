@@ -45,11 +45,17 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 
 const MANIFEST_MAGIC: &[u8; 8] = b"WARPMANF";
 /// Version 1: base corpus + index pair. Version 2 appends the tail
-/// segment list. A manifest with no tail segments is always written as
+/// segment list. Version 3 adds a per-segment flags word (bit 0:
+/// quarantined). A manifest with no tail segments is always written as
 /// version 1, byte-identical to what older builds produced, so
-/// single-segment directories stay readable by them.
+/// single-segment directories stay readable by them; one with segments
+/// but no quarantine is written as version 2 for the same reason.
 const MANIFEST_VERSION: u32 = 1;
 const MANIFEST_VERSION_SEGMENTS: u32 = 2;
+const MANIFEST_VERSION_QUARANTINE: u32 = 3;
+
+/// Segment flag bit: the segment is quarantined (tombstoned).
+const SEG_FLAG_QUARANTINED: u32 = 1;
 
 /// A committed tail segment: a suffix tree over the suffixes of a
 /// contiguous run of appended sequences (the base `index` file covers
@@ -64,6 +70,10 @@ pub struct SegmentMeta {
     pub start_seq: u32,
     /// Number of consecutive sequences it indexes.
     pub seq_count: u32,
+    /// Whether the segment is quarantined: detected corrupt, kept on
+    /// disk as a tombstone (never silently deleted), excluded from
+    /// queries until a scrub heals it by rebuilding from the corpus.
+    pub quarantined: bool,
 }
 
 /// The committed state of an index directory: which generation of the
@@ -127,6 +137,8 @@ impl Manifest {
     fn encode(&self) -> Vec<u8> {
         let version = if self.segments.is_empty() {
             MANIFEST_VERSION
+        } else if self.segments.iter().any(|s| s.quarantined) {
+            MANIFEST_VERSION_QUARANTINE
         } else {
             MANIFEST_VERSION_SEGMENTS
         };
@@ -140,7 +152,7 @@ impl Manifest {
         }
         out.extend_from_slice(&self.corpus_len.to_le_bytes());
         out.extend_from_slice(&self.index_len.to_le_bytes());
-        if version == MANIFEST_VERSION_SEGMENTS {
+        if version >= MANIFEST_VERSION_SEGMENTS {
             out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
             for seg in &self.segments {
                 out.extend_from_slice(&(seg.file.len() as u32).to_le_bytes());
@@ -148,6 +160,14 @@ impl Manifest {
                 out.extend_from_slice(&seg.file_len.to_le_bytes());
                 out.extend_from_slice(&seg.start_seq.to_le_bytes());
                 out.extend_from_slice(&seg.seq_count.to_le_bytes());
+                if version >= MANIFEST_VERSION_QUARANTINE {
+                    let flags = if seg.quarantined {
+                        SEG_FLAG_QUARANTINED
+                    } else {
+                        0
+                    };
+                    out.extend_from_slice(&flags.to_le_bytes());
+                }
             }
         }
         let crc = crc32(&out);
@@ -178,7 +198,7 @@ impl Manifest {
             return Err(bad("not a manifest file"));
         }
         let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
-        if version != MANIFEST_VERSION && version != MANIFEST_VERSION_SEGMENTS {
+        if !(MANIFEST_VERSION..=MANIFEST_VERSION_QUARANTINE).contains(&version) {
             return Err(bad(&format!("unsupported manifest version {version}")));
         }
         let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
@@ -196,7 +216,7 @@ impl Manifest {
         let corpus_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
         let index_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
         let mut segments = Vec::new();
-        if version == MANIFEST_VERSION_SEGMENTS {
+        if version >= MANIFEST_VERSION_SEGMENTS {
             let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
             if count > 4096 {
                 return Err(bad("implausible segment count"));
@@ -212,11 +232,17 @@ impl Manifest {
                 let file_len = u64::from_le_bytes(take(8)?.try_into().unwrap());
                 let start_seq = u32::from_le_bytes(take(4)?.try_into().unwrap());
                 let seq_count = u32::from_le_bytes(take(4)?.try_into().unwrap());
+                let flags = if version >= MANIFEST_VERSION_QUARANTINE {
+                    u32::from_le_bytes(take(4)?.try_into().unwrap())
+                } else {
+                    0
+                };
                 segments.push(SegmentMeta {
                     file,
                     file_len,
                     start_seq,
                     seq_count,
+                    quarantined: flags & SEG_FLAG_QUARANTINED != 0,
                 });
             }
         }
@@ -230,6 +256,16 @@ impl Manifest {
             index_len,
             segments,
         })
+    }
+
+    /// Tail segments currently serving queries (not quarantined).
+    pub fn live_segments(&self) -> impl Iterator<Item = &SegmentMeta> {
+        self.segments.iter().filter(|s| !s.quarantined)
+    }
+
+    /// Quarantined (tombstoned) tail segments.
+    pub fn quarantined_segments(&self) -> impl Iterator<Item = &SegmentMeta> {
+        self.segments.iter().filter(|s| s.quarantined)
     }
 }
 
@@ -453,6 +489,33 @@ pub fn commit_update_with(
     Ok(())
 }
 
+/// Quarantines a tail segment: flips its manifest flag as a new
+/// generation under the ordinary commit protocol. The segment file is
+/// an atomic tombstone — it stays on disk, referenced by the manifest
+/// (so recovery sweeps keep it and [`resolve_dir_with`] still demands
+/// its presence) but excluded from queries until a scrub heals it.
+///
+/// Idempotent: quarantining an already-quarantined segment returns the
+/// current manifest without committing a new generation. Unknown
+/// segment names are a [`DiskError::BadManifest`].
+pub fn quarantine_segment_with(vfs: &dyn Vfs, dir: &Path, segment: &str) -> Result<Manifest> {
+    let mut m = read_manifest_with(vfs, dir)?.ok_or_else(|| {
+        DiskError::BadManifest("cannot quarantine in a manifest-less directory".into())
+    })?;
+    let seg = m
+        .segments
+        .iter_mut()
+        .find(|s| s.file == segment)
+        .ok_or_else(|| DiskError::BadManifest(format!("no segment named {segment}")))?;
+    if seg.quarantined {
+        return Ok(m);
+    }
+    seg.quarantined = true;
+    m.generation += 1;
+    commit_update_with(vfs, dir, &[], &m, &[])?;
+    Ok(m)
+}
+
 /// Commits the next generation of `dir` atomically. `write_corpus` and
 /// `write_index` each receive the temporary path they must produce their
 /// file at (fsynced — [`crate::PagedWriter::finish`] already does this);
@@ -611,6 +674,8 @@ pub struct FileCheck {
     pub pages: u64,
     /// First problem found, if any.
     pub error: Option<String>,
+    /// Whether the manifest has this file quarantined (tombstoned).
+    pub quarantined: bool,
 }
 
 /// Result of a full directory verification.
@@ -626,9 +691,13 @@ pub struct VerifyReport {
 }
 
 impl VerifyReport {
-    /// Whether every check passed.
+    /// Whether every non-quarantined check passed (a quarantined
+    /// segment is *expected* to be corrupt; its failure does not make
+    /// the directory unhealthy — the manifest already accounts for it).
     pub fn is_ok(&self) -> bool {
-        self.files.iter().all(|f| f.error.is_none())
+        self.files
+            .iter()
+            .all(|f| f.error.is_none() || f.quarantined)
     }
 }
 
@@ -636,11 +705,16 @@ impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "generation {}", self.generation)?;
         for check in &self.files {
+            let tag = if check.quarantined {
+                " [quarantined]"
+            } else {
+                ""
+            };
             match &check.error {
-                None => writeln!(f, "  {}: ok ({} pages)", check.name, check.pages)?,
+                None => writeln!(f, "  {}: ok ({} pages){tag}", check.name, check.pages)?,
                 Some(e) => writeln!(
                     f,
-                    "  {}: FAILED after {} pages: {e}",
+                    "  {}: FAILED after {} pages: {e}{tag}",
                     check.name, check.pages
                 )?,
             }
@@ -693,22 +767,24 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
 
     // Page-level CRC scan plus manifest size cross-check: the corpus,
     // the base tree, then every tail segment.
-    let mut checks: Vec<(&Path, Option<u64>)> = vec![
+    let mut checks: Vec<(&Path, Option<u64>, bool)> = vec![
         (
             &resolved.corpus_path,
             resolved.manifest.as_ref().map(|m| m.corpus_len),
+            false,
         ),
         (
             &resolved.index_path,
             resolved.manifest.as_ref().map(|m| m.index_len),
+            false,
         ),
     ];
     if let Some(m) = &resolved.manifest {
         for (path, seg) in resolved.segment_paths.iter().zip(&m.segments) {
-            checks.push((path, Some(seg.file_len)));
+            checks.push((path, Some(seg.file_len), seg.quarantined));
         }
     }
-    for (path, expect_len) in checks {
+    for (path, expect_len, quarantined) in checks {
         let (pages, mut error) = scan_pages(vfs, path);
         if error.is_none() {
             if let Some(expect) = expect_len {
@@ -722,11 +798,13 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
             name: file_name(path),
             pages,
             error,
+            quarantined,
         });
     }
 
-    // Semantic parse: the corpus must decode, every tree must open
-    // against the decoded alphabet.
+    // Semantic parse: the corpus must decode, every healthy tree must
+    // open against the decoded alphabet (quarantined segments are
+    // already known-bad; opening them would just repeat the scan error).
     if report.is_ok() {
         match load_corpus_with(vfs, &resolved.corpus_path) {
             Err(e) => {
@@ -735,6 +813,9 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
             Ok((_, _, cat)) => {
                 let trees = std::iter::once(&resolved.index_path).chain(&resolved.segment_paths);
                 for (i, path) in trees.enumerate() {
+                    if report.files[i + 1].quarantined {
+                        continue;
+                    }
                     if let Err(e) = DiskTree::open_with(vfs, path, cat.clone(), 4, 16) {
                         report.files[i + 1].error = Some(format!("parse failed: {e}"));
                     }
@@ -754,6 +835,64 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
         if name.ends_with(".tmp") || is_generation_file(&name) {
             report.stale.push(name);
         }
+    }
+    Ok(report)
+}
+
+/// Deep verification: every tree file (base and every tail segment,
+/// quarantined ones included) is opened as a [`DiskTree`] and walked
+/// page by page through [`DiskTree::verify_pages`] — exactly the
+/// CRC-checked, cache-bypassing routine the background scrubber uses —
+/// plus a page scan of the corpus. Never mutates the directory.
+pub fn verify_dir_deep_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
+    let resolved = resolve_dir_with(vfs, dir)?;
+    let mut report = VerifyReport {
+        generation: resolved.generation,
+        ..Default::default()
+    };
+    let file_name = |p: &Path| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let (corpus_pages, corpus_err) = scan_pages(vfs, &resolved.corpus_path);
+    report.files.push(FileCheck {
+        name: file_name(&resolved.corpus_path),
+        pages: corpus_pages,
+        error: corpus_err,
+        quarantined: false,
+    });
+    let cat = match load_corpus_with(vfs, &resolved.corpus_path) {
+        Ok((_, _, cat)) => cat,
+        Err(e) => {
+            if report.files[0].error.is_none() {
+                report.files[0].error = Some(format!("parse failed: {e}"));
+            }
+            return Ok(report);
+        }
+    };
+    let quarantined_names: Vec<&str> = resolved
+        .manifest
+        .as_ref()
+        .map(|m| m.quarantined_segments().map(|s| s.file.as_str()).collect())
+        .unwrap_or_default();
+    for path in std::iter::once(&resolved.index_path).chain(&resolved.segment_paths) {
+        let name = file_name(path);
+        let quarantined = quarantined_names.iter().any(|q| *q == name);
+        let (pages, error) = match DiskTree::open_with(vfs, path, cat.clone(), 2, 1) {
+            Ok(tree) => match tree.verify_pages() {
+                Ok(pages) => (pages, None),
+                Err(e) => (0, Some(e.to_string())),
+            },
+            Err(e) => (0, Some(e.to_string())),
+        };
+        report.files.push(FileCheck {
+            name,
+            pages,
+            error,
+            quarantined,
+        });
     }
     Ok(report)
 }
@@ -795,17 +934,30 @@ mod tests {
                     file_len: 4096,
                     start_seq: 2,
                     seq_count: 3,
+                    quarantined: false,
                 },
                 SegmentMeta {
                     file: segment_file_name(9, 1),
                     file_len: 12288,
                     start_seq: 5,
                     seq_count: 1,
+                    quarantined: false,
                 },
             ],
             ..m.clone()
         };
         assert_eq!(Manifest::decode(&seg.encode()).unwrap(), seg);
+        // Quarantine-free manifests stay at the version-2 byte layout.
+        assert_eq!(&seg.encode()[8..12], &2u32.to_le_bytes());
+        // A quarantined segment promotes the encoding to version 3 and
+        // the flag survives the round trip.
+        let mut tomb = seg.clone();
+        tomb.segments[1].quarantined = true;
+        let raw = tomb.encode();
+        assert_eq!(&raw[8..12], &3u32.to_le_bytes());
+        assert_eq!(Manifest::decode(&raw).unwrap(), tomb);
+        assert_eq!(tomb.live_segments().count(), 1);
+        assert_eq!(tomb.quarantined_segments().count(), 1);
     }
 
     #[test]
@@ -841,6 +993,7 @@ mod tests {
                 file_len: 3,
                 start_seq: 1,
                 seq_count: 1,
+                quarantined: true,
             }],
         };
         let mut raw = m.encode();

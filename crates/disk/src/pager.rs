@@ -151,6 +151,9 @@ impl IoStats {
 
 struct ReaderInner {
     cache: LruCache<u64, Box<[u8]>>,
+    /// Charged once per failed page CRC on the read path (noop until
+    /// [`PagedReader::meter_crc_failures`] wires a registry counter).
+    crc_fail: warptree_obs::Counter,
 }
 
 /// Random-access reader over the logical byte space with an LRU buffer
@@ -185,6 +188,7 @@ impl PagedReader {
             pages,
             inner: Mutex::new(ReaderInner {
                 cache: LruCache::new(cache_pages),
+                crc_fail: warptree_obs::Counter::noop(),
             }),
         })
     }
@@ -212,6 +216,39 @@ impl PagedReader {
             .lock()
             .cache
             .set_counters(reg.counter(hits), reg.counter(misses));
+    }
+
+    /// Meters read-path CRC failures into `reg` under `name` (e.g.
+    /// `disk.read_crc_fail`). Multiple readers may share the name;
+    /// their counts sum.
+    pub fn meter_crc_failures(&self, reg: &warptree_obs::MetricsRegistry, name: &str) {
+        self.inner.lock().crc_fail = reg.counter(name);
+    }
+
+    /// Number of physical pages in the file.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// Re-reads page `page_idx` from disk and verifies its CRC,
+    /// bypassing the buffer pool — the scrub/deep-verify primitive: a
+    /// cached (already verified) page must not mask on-disk rot.
+    pub fn verify_page(&self, page_idx: u64) -> Result<()> {
+        if page_idx >= self.pages {
+            return Err(DiskError::OutOfBounds {
+                offset: page_idx * PAGE_DATA as u64,
+                len: PAGE_DATA as u64,
+                size: self.logical_len,
+            });
+        }
+        let mut raw = vec![0u8; PAGE_SIZE];
+        self.file.read_at(page_idx * PAGE_SIZE as u64, &mut raw)?;
+        let stored = u32::from_le_bytes(raw[PAGE_DATA..].try_into().unwrap());
+        if crc32(&raw[..PAGE_DATA]) != stored {
+            self.inner.lock().crc_fail.incr();
+            return Err(DiskError::CorruptPage { page: page_idx });
+        }
+        Ok(())
     }
 
     /// Reads `buf.len()` bytes at `logical` into `buf`.
@@ -249,6 +286,7 @@ impl PagedReader {
         self.file.read_at(page_idx * PAGE_SIZE as u64, &mut raw)?;
         let stored = u32::from_le_bytes(raw[PAGE_DATA..].try_into().unwrap());
         if crc32(&raw[..PAGE_DATA]) != stored {
+            inner.crc_fail.incr();
             return Err(DiskError::CorruptPage { page: page_idx });
         }
         raw.truncate(PAGE_DATA);

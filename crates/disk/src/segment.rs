@@ -129,6 +129,7 @@ pub fn append_segment_with(
         file_len: vfs.metadata_len(&segment_tmp)?,
         start_seq: first_new as u32,
         seq_count: (last - first_new) as u32,
+        quarantined: false,
     });
     let manifest = Manifest {
         generation,
@@ -184,6 +185,12 @@ pub fn compact_once_with(
         return Ok(None); // legacy single-tree directory
     };
     if old.segments.is_empty() {
+        return Ok(None);
+    }
+    // A quarantined segment cannot be merged (its file is known-bad) and
+    // merging around it would reorder the sequence ranges the coverage
+    // accounting relies on. Heal first, then compact.
+    if old.segments.iter().any(|s| s.quarantined) {
         return Ok(None);
     }
     let hist = reg.histogram("compaction.ns");
@@ -250,6 +257,7 @@ pub fn compact_once_with(
             file_len: merged_len,
             start_seq: left_meta.start_seq,
             seq_count: left_meta.seq_count + right_meta.seq_count,
+            quarantined: false,
         };
     }
     commit_update_with(
@@ -264,6 +272,212 @@ pub fn compact_once_with(
     reg.counter("compaction.runs").incr();
     reg.set_gauge("index.segments", (manifest.segments.len() + 1) as f64);
     Ok(Some(manifest))
+}
+
+/// Heals a quarantined tail segment by rebuilding its tree from the
+/// (intact) corpus — the suffixes of a tail segment are fully derivable
+/// from its `start_seq..start_seq+seq_count` sequence range, so the
+/// corrupt file is replaced by a freshly built one and the quarantine
+/// flag cleared, all as one new manifest generation. The tombstone file
+/// is removed only after the replacement is committed.
+pub fn heal_segment_with(vfs: &dyn Vfs, dir: &Path, segment: &str) -> Result<Manifest> {
+    let (resolved, _recovery) = recover_dir_with(vfs, dir)?;
+    let Some(old) = resolved.manifest.clone() else {
+        return Err(DiskError::BadManifest(
+            "cannot heal in a manifest-less directory".into(),
+        ));
+    };
+    let idx = old
+        .segments
+        .iter()
+        .position(|s| s.file == segment && s.quarantined)
+        .ok_or_else(|| DiskError::BadManifest(format!("no quarantined segment named {segment}")))?;
+    let meta = old.segments[idx].clone();
+    let (store, alphabet, _) = load_corpus_with(vfs, &resolved.corpus_path)?;
+    let cat = Arc::new(alphabet.encode_store(&store));
+    let probe = DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 16, 16)?;
+    let sparse = probe.header().sparse;
+    drop(probe);
+    let first = meta.start_seq as usize;
+    let last = first + meta.seq_count as usize;
+    if last > store.len() {
+        return Err(DiskError::BadManifest(format!(
+            "segment {segment} covers sequences beyond the corpus"
+        )));
+    }
+    let tail = if sparse {
+        warptree_suffix::build_sparse_range(cat.clone(), first..last)
+    } else {
+        warptree_suffix::build_full_range(cat.clone(), first..last)
+    };
+    let generation = old.generation + 1;
+    let new_name = segment_file_name(generation, idx as u32);
+    let tmp = dir.join(format!("{new_name}.tmp"));
+    let mut guard = TempGuard::new(vfs, vec![tmp.clone()]);
+    write_tree_with(vfs, &tail, &tmp)?;
+    let mut manifest = old.clone();
+    manifest.generation = generation;
+    manifest.segments[idx] = SegmentMeta {
+        file: new_name.clone(),
+        file_len: vfs.metadata_len(&tmp)?,
+        start_seq: meta.start_seq,
+        seq_count: meta.seq_count,
+        quarantined: false,
+    };
+    commit_update_with(
+        vfs,
+        dir,
+        &[(tmp, dir.join(&new_name))],
+        &manifest,
+        &[dir.join(&meta.file)],
+    )?;
+    guard.defuse();
+    Ok(manifest)
+}
+
+/// What one scrub pass found and did.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Committed generation after the pass (quarantines and heals each
+    /// commit a new one).
+    pub generation: u64,
+    /// Pages verified through the CRC-checked path across all files.
+    pub pages: u64,
+    /// Segments this pass detected corrupt and quarantined.
+    pub newly_quarantined: Vec<String>,
+    /// Previously quarantined segments this pass rebuilt from the
+    /// corpus.
+    pub healed: Vec<String>,
+    /// Corruption in a file quarantine cannot cover (the corpus or the
+    /// base tree) — serving is compromised until a rebuild.
+    pub unrecoverable: Option<String>,
+}
+
+impl ScrubReport {
+    /// Whether the directory is fully healthy after the pass.
+    pub fn is_clean(&self) -> bool {
+        self.newly_quarantined.is_empty() && self.unrecoverable.is_none()
+    }
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "generation {}: {} pages verified",
+            self.generation, self.pages
+        )?;
+        for s in &self.newly_quarantined {
+            write!(f, "\n  quarantined {s}")?;
+        }
+        for s in &self.healed {
+            write!(f, "\n  healed {s}")?;
+        }
+        if let Some(e) = &self.unrecoverable {
+            write!(f, "\n  UNRECOVERABLE: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One scrub pass over an index directory: walks every page of the
+/// corpus, the base tree and every live tail segment through the
+/// CRC-checked pager path (bypassing caches), quarantines tail segments
+/// found corrupt, and — when `heal` is set — rebuilds every quarantined
+/// segment from the corpus. Corruption of the corpus or base tree is
+/// reported as unrecoverable (nothing to rebuild them from) and aborts
+/// the pass without mutating the directory.
+pub fn scrub_dir_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    heal: bool,
+    reg: &warptree_obs::MetricsRegistry,
+) -> Result<ScrubReport> {
+    let resolved = crate::manifest::resolve_dir_with(vfs, dir)?;
+    let mut report = ScrubReport {
+        generation: resolved.generation,
+        ..Default::default()
+    };
+
+    // The corpus is the source of truth every heal rebuilds from; check
+    // it first, uncached, via a throwaway reader.
+    let corpus_reader = crate::pager::PagedReader::open_with(vfs, &resolved.corpus_path, 2)?;
+    corpus_reader.meter_crc_failures(reg, "disk.read_crc_fail");
+    for p in 0..corpus_reader.page_count() {
+        if let Err(e) = corpus_reader.verify_page(p) {
+            report.unrecoverable = Some(format!(
+                "corpus {}: {e}",
+                resolved.corpus_path.file_name().unwrap_or_default().to_string_lossy()
+            ));
+            return Ok(report);
+        }
+        report.pages += 1;
+    }
+    drop(corpus_reader);
+
+    let (_, _, cat) = load_corpus_with(vfs, &resolved.corpus_path)?;
+
+    // Base tree: corruption here is unrecoverable by quarantine.
+    match DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 2, 1) {
+        Ok(tree) => {
+            tree.instrument(reg);
+            match tree.verify_pages() {
+                Ok(pages) => report.pages += pages,
+                Err(e) => {
+                    report.unrecoverable = Some(e.to_string());
+                    return Ok(report);
+                }
+            }
+        }
+        Err(e) => {
+            report.unrecoverable = Some(e.to_string());
+            return Ok(report);
+        }
+    }
+
+    // Live tail segments: a failure here is what quarantine is for.
+    let segments: Vec<SegmentMeta> = resolved
+        .manifest
+        .as_ref()
+        .map(|m| m.segments.clone())
+        .unwrap_or_default();
+    for meta in segments.iter().filter(|s| !s.quarantined) {
+        let path = dir.join(&meta.file);
+        let failed = match DiskTree::open_with(vfs, &path, cat.clone(), 2, 1) {
+            Ok(tree) => {
+                tree.instrument(reg);
+                match tree.verify_pages() {
+                    Ok(pages) => {
+                        report.pages += pages;
+                        false
+                    }
+                    Err(_) => true,
+                }
+            }
+            Err(_) => true,
+        };
+        if failed {
+            crate::manifest::quarantine_segment_with(vfs, dir, &meta.file)?;
+            report.newly_quarantined.push(meta.file.clone());
+        }
+    }
+
+    if heal {
+        let quarantined: Vec<String> = crate::manifest::read_manifest_with(vfs, dir)?
+            .map(|m| m.quarantined_segments().map(|s| s.file.clone()).collect())
+            .unwrap_or_default();
+        for name in quarantined {
+            heal_segment_with(vfs, dir, &name)?;
+            report.healed.push(name);
+        }
+    }
+
+    if let Some(m) = crate::manifest::read_manifest_with(vfs, dir)? {
+        report.generation = m.generation;
+    }
+    reg.counter("scrub.runs").incr();
+    reg.counter("scrub.pages").add(report.pages);
+    Ok(report)
 }
 
 /// Compacts until a single tree remains, returning the number of merge

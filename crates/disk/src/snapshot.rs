@@ -24,18 +24,19 @@
 use std::path::Path;
 
 use crate::corpus::load_corpus_with;
-use crate::error::Result;
+use crate::error::{DiskError, Result};
 use crate::format::DiskTree;
-use crate::manifest::{read_manifest_with, resolve_dir_with};
+use crate::manifest::{read_manifest_with, resolve_dir_with, SegmentMeta};
 use crate::vfs::Vfs;
 
 use std::sync::Arc;
 use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::error::CoreError;
 use warptree_core::search::{
-    run_query_with, QueryOutput, QueryRequest, SearchMetrics, SearchStats, SegmentedIndex,
+    run_query_with, Coverage, QueryOutput, QueryRequest, SearchMetrics, SearchStats,
+    SegmentedIndex,
 };
-use warptree_core::sequence::SequenceStore;
+use warptree_core::sequence::{SeqId, SequenceStore};
 
 /// The committed generation a poll observes, read from `MANIFEST`
 /// alone. Legacy manifest-less directories (a bare `corpus.wc` +
@@ -69,11 +70,60 @@ pub struct DirSnapshot {
     pub cat: Arc<CatStore>,
     /// The disk-resident base suffix tree.
     pub tree: DiskTree,
-    /// The committed tail segments (see [`segment`](crate::segment)),
-    /// in manifest order — empty for a fully compacted directory.
+    /// The committed *live* tail segments (see
+    /// [`segment`](crate::segment)), in manifest order — empty for a
+    /// fully compacted directory. Quarantined segments are never
+    /// loaded; their metadata is kept in
+    /// [`quarantined`](DirSnapshot::quarantined) for coverage
+    /// accounting.
     pub segments: Vec<DiskTree>,
+    /// Manifest metadata for each loaded tail segment, parallel to
+    /// [`segments`](DirSnapshot::segments). Empty for legacy
+    /// manifest-less directories.
+    pub segment_metas: Vec<SegmentMeta>,
+    /// Manifest metadata for segments excluded at open because they are
+    /// quarantined (tombstoned after a failed CRC check).
+    pub quarantined: Vec<SegmentMeta>,
     /// The committed generation this snapshot materializes.
     pub generation: u64,
+}
+
+/// Why a degraded query could not produce an answer at all.
+#[derive(Debug)]
+pub enum DegradedError {
+    /// The request itself was invalid — the caller's fault.
+    Rejected(CoreError),
+    /// A CRC failure in the base tree (which every query needs) left no
+    /// healthy subset to answer from.
+    Corrupt(DiskError),
+}
+
+impl std::fmt::Display for DegradedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedError::Rejected(e) => e.fmt(f),
+            DegradedError::Corrupt(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DegradedError {}
+
+/// The outcome of [`DirSnapshot::run_query_degraded`]: the answers
+/// (possibly partial, with coverage attached), the stats snapshot, and
+/// the names of segments whose corruption this very query detected —
+/// the caller is responsible for tombstoning those in the manifest (see
+/// [`quarantine_segment_with`](crate::quarantine_segment_with)).
+#[derive(Debug)]
+pub struct DegradedQuery {
+    /// The answers; `output.coverage` is `Some` iff any segment was
+    /// excluded (pre-quarantined or newly detected).
+    pub output: QueryOutput,
+    /// Search statistics for the attempt that succeeded.
+    pub stats: SearchStats,
+    /// Segment file names that failed a CRC check *during this query*
+    /// and are not yet tombstoned in the manifest.
+    pub detected: Vec<String>,
 }
 
 impl DirSnapshot {
@@ -117,6 +167,120 @@ impl DirSnapshot {
             run_query_with(&fanned, &self.alphabet, &self.store, req, metrics)
         }
     }
+
+    /// Runs a typed query with degraded-mode handling: a CRC failure in
+    /// a tail segment excludes that segment and retries over the
+    /// remaining live trees instead of failing the query, returning an
+    /// honestly-labeled partial answer ([`Coverage`] attached) plus the
+    /// names of the segments it newly detected as corrupt. A CRC
+    /// failure in the base tree is unrecoverable here and comes back as
+    /// [`DegradedError::Corrupt`].
+    ///
+    /// Answers over the surviving segment subset are byte-identical to
+    /// a clean index over that subset's sequences — corruption can only
+    /// *remove* coverage, never corrupt an answer that is returned.
+    pub fn run_query_degraded(
+        &self,
+        req: &QueryRequest,
+    ) -> std::result::Result<DegradedQuery, DegradedError> {
+        let mut detected: Vec<String> = Vec::new();
+        loop {
+            let metrics = SearchMetrics::new();
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut trees: Vec<&DiskTree> = Vec::with_capacity(1 + self.segments.len());
+                trees.push(&self.tree);
+                trees.extend(
+                    self.segments
+                        .iter()
+                        .filter(|t| !detected.iter().any(|d| d == t.source())),
+                );
+                if trees.len() == 1 {
+                    run_query_with(&self.tree, &self.alphabet, &self.store, req, &metrics)
+                } else {
+                    let fanned = SegmentedIndex::new(trees);
+                    run_query_with(&fanned, &self.alphabet, &self.store, req, &metrics)
+                }
+            }));
+            match attempt {
+                Ok(Ok(mut output)) => {
+                    let mut stats = metrics.snapshot();
+                    if matches!(req.kind, warptree_core::search::QueryKind::Knn(_)) {
+                        stats.answers = output.len() as u64;
+                    }
+                    if !detected.is_empty() || !self.quarantined.is_empty() {
+                        output = output.with_coverage(self.coverage(&detected));
+                    }
+                    return Ok(DegradedQuery {
+                        output,
+                        stats,
+                        detected,
+                    });
+                }
+                Ok(Err(e)) => return Err(DegradedError::Rejected(e)),
+                Err(payload) => {
+                    // A read failed its CRC check mid-query. The failing
+                    // tree recorded a typed error before unwinding (the
+                    // panic payload itself may be a worker-join message,
+                    // so the error cells are the source of truth).
+                    if let Some(e) = self.tree.take_read_error() {
+                        return Err(DegradedError::Corrupt(e));
+                    }
+                    let before = detected.len();
+                    for t in &self.segments {
+                        if t.take_read_error().is_some() {
+                            let name = t.source().to_string();
+                            if !detected.contains(&name) {
+                                detected.push(name);
+                            }
+                        }
+                    }
+                    if detected.len() == before {
+                        // Not a corruption unwind — propagate.
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Coverage accounting for this snapshot with `detected` segment
+    /// file names additionally excluded: suffix counts are derived from
+    /// the (intact) corpus via each excluded segment's sequence range,
+    /// so they are exact even though the excluded trees are unreadable.
+    pub fn coverage(&self, detected: &[String]) -> Coverage {
+        let excluded = self
+            .segment_metas
+            .iter()
+            .filter(|m| detected.iter().any(|d| *d == m.file))
+            .count();
+        let segments_total = 1 + self.segments.len() + self.quarantined.len();
+        let mut missing = 0u64;
+        for m in self
+            .quarantined
+            .iter()
+            .chain(self.segment_metas.iter().filter(|m| detected.contains(&m.file)))
+        {
+            missing += self.range_suffixes(m);
+        }
+        let suffixes_total = self.store.total_len();
+        Coverage {
+            segments_total,
+            segments_answered: 1 + self.segments.len() - excluded,
+            segments_quarantined: self.quarantined.len() + excluded,
+            suffixes_total,
+            suffixes_answered: suffixes_total.saturating_sub(missing),
+        }
+    }
+
+    /// Number of corpus suffixes (positions) inside a segment's
+    /// sequence range, computed from the corpus rather than the
+    /// (possibly unreadable) segment tree.
+    fn range_suffixes(&self, m: &SegmentMeta) -> u64 {
+        (m.start_seq..m.start_seq.saturating_add(m.seq_count))
+            .filter(|&i| (i as usize) < self.store.len())
+            .map(|i| self.store.get(SeqId(i)).len() as u64)
+            .sum()
+    }
 }
 
 /// Opens the committed generation of `dir` as a [`DirSnapshot`]
@@ -139,8 +303,19 @@ pub fn open_dir_snapshot_with(
         cache_pages,
         cache_nodes,
     )?;
+    let metas: Vec<SegmentMeta> = resolved
+        .manifest
+        .as_ref()
+        .map(|m| m.segments.clone())
+        .unwrap_or_default();
     let mut segments = Vec::with_capacity(resolved.segment_paths.len());
-    for path in &resolved.segment_paths {
+    let mut segment_metas = Vec::new();
+    let mut quarantined = Vec::new();
+    for (path, meta) in resolved.segment_paths.iter().zip(metas) {
+        if meta.quarantined {
+            quarantined.push(meta);
+            continue;
+        }
         segments.push(DiskTree::open_with(
             vfs,
             path,
@@ -148,6 +323,7 @@ pub fn open_dir_snapshot_with(
             cache_pages,
             cache_nodes,
         )?);
+        segment_metas.push(meta);
     }
     Ok(DirSnapshot {
         store,
@@ -155,6 +331,8 @@ pub fn open_dir_snapshot_with(
         cat,
         tree,
         segments,
+        segment_metas,
+        quarantined,
         generation: resolved.generation,
     })
 }

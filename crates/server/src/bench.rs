@@ -76,6 +76,11 @@ pub struct BenchReport {
     pub deadline_exceeded: u64,
     /// Every other failure (transport, protocol, other server errors).
     pub errors: u64,
+    /// Connect/reconnect failures and connections lost mid-exchange
+    /// (reset, torn frame). Each also counts toward `errors`; this
+    /// breaks out the transport share so a run against a flaky or
+    /// restarting server reports *how* it failed, not just how much.
+    pub conn_failures: u64,
     /// Total matches reported across successful responses.
     pub matches: u64,
     /// Wall-clock duration of the run.
@@ -101,7 +106,7 @@ impl BenchReport {
     /// schema).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"connections\":{},\"mode\":\"{}\",\"sent\":{},\"ok\":{},\"overloaded\":{},\"deadline_exceeded\":{},\"errors\":{},\"matches\":{},\"elapsed_ms\":{},\"throughput_rps\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}",
+            "{{\"connections\":{},\"mode\":\"{}\",\"sent\":{},\"ok\":{},\"overloaded\":{},\"deadline_exceeded\":{},\"errors\":{},\"conn_failures\":{},\"matches\":{},\"elapsed_ms\":{},\"throughput_rps\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}",
             self.connections,
             warptree_obs::json::escape(&self.mode),
             self.sent,
@@ -109,6 +114,7 @@ impl BenchReport {
             self.overloaded,
             self.deadline_exceeded,
             self.errors,
+            self.conn_failures,
             self.matches,
             self.elapsed.as_millis(),
             warptree_obs::json::num((self.throughput * 100.0).round() / 100.0),
@@ -172,13 +178,14 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         threads.push(std::thread::spawn(move || {
             let mut latencies: Vec<u64> = Vec::new();
             let mut counts = [0u64; 4]; // indexed by Outcome
+            let mut conn_failures = 0u64;
             let mut matches = 0u64;
             let mut sent = 0u64;
-            let mut client = match Client::connect(&addr) {
-                Ok(c) => c,
-                Err(_) => return (latencies, counts, matches, sent),
-            };
-            client.set_timeout(Some(Duration::from_secs(30))).ok();
+            // Connections are (re)dialed lazily per request: a broken
+            // socket or refused connect costs *that request* (counted,
+            // below), never the rest of the thread's run — measuring a
+            // server while it drops connections is part of the point.
+            let mut client: Option<Client> = None;
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed) as usize;
                 if i >= bodies.len() {
@@ -196,7 +203,20 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                 }
                 let t0 = scheduled.unwrap_or_else(Instant::now);
                 sent += 1;
-                let outcome = match client.request(&bodies[i]) {
+                if client.is_none() {
+                    match Client::connect(&addr) {
+                        Ok(mut c) => {
+                            c.set_timeout(Some(Duration::from_secs(30))).ok();
+                            client = Some(c);
+                        }
+                        Err(_) => {
+                            conn_failures += 1;
+                            counts[Outcome::OtherError as usize] += 1;
+                            continue;
+                        }
+                    }
+                }
+                let outcome = match client.as_mut().expect("dialed above").request(&bodies[i]) {
                     Ok(v) => {
                         matches += v
                             .get("count")
@@ -210,17 +230,12 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                     Err(ClientError::Server { ref code, .. }) if code == "deadline_exceeded" => {
                         Outcome::Deadline
                     }
-                    Err(ClientError::Io(_)) => {
-                        counts[Outcome::OtherError as usize] += 1;
-                        // The connection is likely dead; reconnect once.
-                        match Client::connect(&addr) {
-                            Ok(c) => {
-                                client = c;
-                                client.set_timeout(Some(Duration::from_secs(30))).ok();
-                                continue;
-                            }
-                            Err(_) => break,
-                        }
+                    Err(e) if e.is_transient() => {
+                        // Transport failure: the socket is gone. Drop it
+                        // so the next request re-dials.
+                        conn_failures += 1;
+                        client = None;
+                        Outcome::OtherError
                     }
                     Err(_) => Outcome::OtherError,
                 };
@@ -229,20 +244,22 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                 }
                 counts[outcome as usize] += 1;
             }
-            (latencies, counts, matches, sent)
+            (latencies, counts, conn_failures, matches, sent)
         }));
     }
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut counts = [0u64; 4];
+    let mut conn_failures = 0u64;
     let mut matches = 0u64;
     let mut sent = 0u64;
     for t in threads {
-        let (l, c, m, s) = t.join().expect("bench thread");
+        let (l, c, cf, m, s) = t.join().expect("bench thread");
         latencies.extend(l);
         for (acc, v) in counts.iter_mut().zip(c) {
             *acc += v;
         }
+        conn_failures += cf;
         matches += m;
         sent += s;
     }
@@ -255,6 +272,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         overloaded: counts[Outcome::Overloaded as usize],
         deadline_exceeded: counts[Outcome::Deadline as usize],
         errors: counts[Outcome::OtherError as usize],
+        conn_failures,
         matches,
         elapsed,
         throughput: ok as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -298,6 +316,7 @@ mod tests {
             overloaded: 1,
             deadline_exceeded: 0,
             errors: 1,
+            conn_failures: 1,
             matches: 42,
             elapsed: Duration::from_millis(500),
             throughput: 16.0,
@@ -310,6 +329,10 @@ mod tests {
         };
         let v = crate::json::parse(&r.to_json()).unwrap();
         assert_eq!(v.get("ok").and_then(crate::json::Json::as_u64), Some(8));
+        assert_eq!(
+            v.get("conn_failures").and_then(crate::json::Json::as_u64),
+            Some(1)
+        );
         assert_eq!(
             v.get("latency_us")
                 .and_then(|l| l.get("p99"))

@@ -6,8 +6,8 @@
 
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use crate::json::{self, Json};
 use crate::proto::{read_frame, write_frame};
@@ -54,11 +54,77 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// Whether retrying the same request may succeed: `overloaded`
+    /// rejections (the server asked for backoff), transport failures,
+    /// and a connection torn mid-exchange. Typed application errors
+    /// (`bad_request`, `corruption_detected`, …) are deterministic and
+    /// never retried.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Server { code, .. } => code == "overloaded",
+            ClientError::Protocol(msg) => msg.contains("connection closed"),
+        }
+    }
+}
+
+/// Backoff policy for [`Client::request_with_retry`]: capped
+/// exponential backoff with full jitter (each sleep is uniform in
+/// `[0, min(base·2^attempt, max_backoff))` — jitter decorrelates a
+/// thundering herd of clients all rejected by the same overload).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries = 3` allows
+    /// up to 4 sends).
+    pub max_retries: u32,
+    /// Backoff cap for the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Total budget measured from the first attempt; a retry whose
+    /// backoff would overrun it fails immediately with the last error
+    /// instead of sleeping past the deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            deadline: None,
+        }
+    }
+}
+
+/// A self-contained xorshift64* step — no RNG dependency, and bench
+/// threads each seed from the clock so their jitter decorrelates.
+fn next_jitter(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+fn jitter_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9_7F4A_7C15)
+        | 1 // xorshift must not start at zero
 }
 
 /// A blocking connection to a warptree server.
 pub struct Client {
     stream: TcpStream,
+    /// Remembered for [`Client::reconnect`] after a transport failure.
+    peer: Option<SocketAddr>,
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -66,12 +132,78 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        let peer = stream.peer_addr().ok();
+        Ok(Client {
+            stream,
+            peer,
+            timeout: None,
+        })
     }
 
     /// Sets the per-response read timeout (`None` blocks forever).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// Re-dials the peer this client was connected to, preserving the
+    /// configured timeout. Used by the retry path after a transport
+    /// error leaves the old socket unusable.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let peer = self
+            .peer
+            .ok_or_else(|| io::Error::other("peer address unknown; cannot reconnect"))?;
+        let stream = TcpStream::connect(peer)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(self.timeout)?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// [`Client::request`] with retries on transient failures
+    /// ([`ClientError::is_transient`]): `overloaded` rejections back
+    /// off with full jitter, transport errors reconnect first. Hard
+    /// (typed, deterministic) errors return immediately; the policy's
+    /// deadline bounds the total time spent, sleeps included.
+    pub fn request_with_retry(
+        &mut self,
+        body: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Json, ClientError> {
+        let started = Instant::now();
+        let mut rng = jitter_seed();
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match self.request(body) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            // Full jitter: uniform in [0, min(base·2^attempt, max)).
+            let cap = policy
+                .base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(policy.max_backoff)
+                .max(Duration::from_nanos(1));
+            let sleep = Duration::from_nanos(next_jitter(&mut rng) % cap.as_nanos() as u64);
+            if let Some(budget) = policy.deadline {
+                if started.elapsed() + sleep >= budget {
+                    return Err(err);
+                }
+            }
+            std::thread::sleep(sleep);
+            // A dead socket fails every future request on this
+            // connection; re-dial before retrying. Reconnect failure is
+            // itself transient (the server may be restarting), so it
+            // just consumes this attempt.
+            if !matches!(err, ClientError::Server { .. }) {
+                let _ = self.reconnect();
+            }
+            attempt += 1;
+        }
     }
 
     /// Sends `body` (a JSON request object) and returns the **raw**
@@ -123,7 +255,7 @@ impl Client {
     /// k-NN search with default expansion parameters.
     pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Json, ClientError> {
         self.request(&format!(
-            "{{\"op\":\"knn\",\"query\":{},\"k\":{k}}}",
+            "{{\"op\":\"knn\",\"version\":3,\"query\":{},\"k\":{k}}}",
             encode_query(query)
         ))
     }
@@ -169,16 +301,18 @@ pub fn encode_query(query: &[f64]) -> String {
     out
 }
 
-/// Builds a `search` request body.
+/// Builds a `search` request body. Declares protocol version 3, so a
+/// degraded server answers with an honest `partial: true` + coverage
+/// instead of refusing the request.
 pub fn search_request(query: &[f64], epsilon: f64, window: Option<u32>) -> String {
     match window {
         Some(w) => format!(
-            "{{\"op\":\"search\",\"query\":{},\"epsilon\":{},\"window\":{w}}}",
+            "{{\"op\":\"search\",\"version\":3,\"query\":{},\"epsilon\":{},\"window\":{w}}}",
             encode_query(query),
             warptree_obs::json::num(epsilon)
         ),
         None => format!(
-            "{{\"op\":\"search\",\"query\":{},\"epsilon\":{}}}",
+            "{{\"op\":\"search\",\"version\":3,\"query\":{},\"epsilon\":{}}}",
             encode_query(query),
             warptree_obs::json::num(epsilon)
         ),
@@ -222,6 +356,33 @@ mod tests {
                 sequences: vec![vec![1.0, 2.5], vec![-3.0]]
             }
         );
+    }
+
+    #[test]
+    fn transient_classification_drives_retries() {
+        let server = |code: &str| ClientError::Server {
+            code: code.to_string(),
+            message: String::new(),
+        };
+        assert!(ClientError::Io(io::Error::other("reset")).is_transient());
+        assert!(server("overloaded").is_transient());
+        assert!(ClientError::Protocol("connection closed mid-request".into()).is_transient());
+        // Deterministic failures must never be retried.
+        assert!(!server("bad_request").is_transient());
+        assert!(!server("corruption_detected").is_transient());
+        assert!(!server("partial_result_unsupported").is_transient());
+        assert!(!server("deadline_exceeded").is_transient());
+        assert!(!ClientError::Protocol("response is not UTF-8".into()).is_transient());
+    }
+
+    #[test]
+    fn jitter_stays_under_cap_and_varies() {
+        let mut state = jitter_seed();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(next_jitter(&mut state) % 1000);
+        }
+        assert!(seen.len() > 10, "jitter should spread: {} values", seen.len());
     }
 
     #[test]

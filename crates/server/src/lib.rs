@@ -20,9 +20,12 @@
 //!   without dropping requests.
 //! * [`server`] — the TCP accept loop, per-request deadlines, metrics,
 //!   and graceful drain on shutdown.
-//! * [`client`] — a blocking protocol client.
+//! * [`client`] — a blocking protocol client with jittered-backoff
+//!   retries for `overloaded` rejections and transport failures.
 //! * [`bench`] — an open/closed-loop load generator producing the
 //!   committed `BENCH_serve.json` throughput/latency report.
+//! * [`chaos`] — a deterministic fault-injecting stream wrapper
+//!   (torn/dropped/stalled frames) for the chaos test harness.
 //! * [`signal`] — SIGINT/SIGTERM → shutdown-flag plumbing.
 //!
 //! ## Serving contract
@@ -42,6 +45,7 @@
 //! [`QueryRequest`]: warptree_core::search::QueryRequest
 
 pub mod bench;
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod pool;
@@ -51,7 +55,8 @@ pub mod signal;
 pub mod snapshot;
 
 pub use bench::{BenchConfig, BenchReport, LoopMode};
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosConfig, ChaosStream};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use pool::{SubmitError, WorkerPool};
 pub use proto::{ErrorCode, ParseError, Request, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION};

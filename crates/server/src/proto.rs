@@ -197,7 +197,13 @@ pub use warptree_core::error::ErrorCode;
 ///   `info`, `health`, `stats`, `shutdown`).
 /// * **2** — adds the `ingest` op (online append into tail segments)
 ///   and the `"version"` field on requests and responses.
-pub const PROTO_VERSION: u32 = 2;
+/// * **3** — degraded-mode serving: query responses may carry
+///   `"partial":true` plus a `"coverage"` object when quarantined
+///   segments were excluded, and `health` reports a `"degraded"`
+///   status. Clients on v1/v2 receive the typed
+///   `partial_result_unsupported` error instead of a silently
+///   incomplete answer.
+pub const PROTO_VERSION: u32 = 3;
 
 /// The oldest protocol version still accepted. Requests carrying no
 /// `"version"` field are treated as this version.
@@ -306,6 +312,18 @@ impl Request {
     /// `unsupported_version` code instead of plain `bad_request`, so
     /// clients can distinguish "speak older" from "malformed".
     pub fn parse(payload: &[u8], allow_debug: bool) -> Result<Request, ParseError> {
+        Self::parse_versioned(payload, allow_debug).map(|(req, _)| req)
+    }
+
+    /// [`parse`](Request::parse) that also returns the protocol version
+    /// the request negotiated (absent = [`MIN_PROTO_VERSION`]). The
+    /// server needs the version to decide whether a degraded (partial)
+    /// response can be expressed or must fail with
+    /// `partial_result_unsupported`.
+    pub fn parse_versioned(
+        payload: &[u8],
+        allow_debug: bool,
+    ) -> Result<(Request, u32), ParseError> {
         let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
         let v = json::parse(text)?;
         let version = match v.get("version") {
@@ -334,7 +352,7 @@ impl Request {
                     .to_string(),
             });
         }
-        match op {
+        let req: Result<Request, ParseError> = match op {
             "search" => Ok(Request::Search {
                 query: query_field(&v, "query")?,
                 params: search_params(&v)?,
@@ -424,7 +442,8 @@ impl Request {
                     .ok_or("debug_sleep requires an integer \"ms\"")?,
             }),
             other => Err(format!("unknown op {other:?}").into()),
-        }
+        };
+        Ok((req?, version))
     }
 }
 
@@ -505,6 +524,25 @@ pub fn encode_matches_ranked(matches: &[Match]) -> String {
     }
     out.push(']');
     out
+}
+
+/// Serializes [`Coverage`] accounting as a response fragment:
+/// `"partial":true,"coverage":{…}` (protocol version 3). The fraction
+/// is rendered with the shared canonical number formatter so degraded
+/// responses stay byte-comparable.
+pub fn encode_coverage(c: &warptree_core::search::Coverage) -> String {
+    format!(
+        "\"partial\":{},\"coverage\":{{\"segments_total\":{},\"segments_answered\":{},\
+         \"segments_quarantined\":{},\"suffixes_total\":{},\"suffixes_answered\":{},\
+         \"fraction\":{}}}",
+        c.is_partial(),
+        c.segments_total,
+        c.segments_answered,
+        c.segments_quarantined,
+        c.suffixes_total,
+        c.suffixes_answered,
+        num(c.fraction())
+    )
 }
 
 /// Builds a success response:
@@ -775,16 +813,16 @@ mod tests {
     fn responses_have_stable_shape() {
         assert_eq!(
             ok_response("health", ""),
-            r#"{"ok":true,"version":2,"op":"health"}"#
+            r#"{"ok":true,"version":3,"op":"health"}"#
         );
         assert_eq!(
             ok_response("info", "\"sequences\":2"),
-            r#"{"ok":true,"version":2,"op":"info","sequences":2}"#
+            r#"{"ok":true,"version":3,"op":"info","sequences":2}"#
         );
         let err = error_response(ErrorCode::Overloaded, "queue full");
         assert_eq!(
             err,
-            r#"{"ok":false,"version":2,"error":{"code":"overloaded","message":"queue full"}}"#
+            r#"{"ok":false,"version":3,"error":{"code":"overloaded","message":"queue full"}}"#
         );
         let parsed = crate::json::parse(&err).unwrap();
         assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
@@ -796,18 +834,21 @@ mod tests {
 
     #[test]
     fn version_negotiation() {
-        // Both supported versions parse; absent defaults to v1.
-        for frame in [
-            &br#"{"op":"health"}"#[..],
-            br#"{"op":"health","version":1}"#,
-            br#"{"op":"health","version":2}"#,
+        // Every supported version parses; absent defaults to v1.
+        for (frame, want) in [
+            (&br#"{"op":"health"}"#[..], 1),
+            (br#"{"op":"health","version":1}"#, 1),
+            (br#"{"op":"health","version":2}"#, 2),
+            (br#"{"op":"health","version":3}"#, 3),
         ] {
-            assert_eq!(Request::parse(frame, false).unwrap(), Request::Health);
+            let (req, version) = Request::parse_versioned(frame, false).unwrap();
+            assert_eq!(req, Request::Health);
+            assert_eq!(version, want, "{frame:?}");
         }
         // Out-of-range versions get the typed unsupported_version code.
         for frame in [
             &br#"{"op":"health","version":0}"#[..],
-            br#"{"op":"health","version":3}"#,
+            br#"{"op":"health","version":4}"#,
             br#"{"op":"health","version":99}"#,
         ] {
             let err = Request::parse(frame, false).unwrap_err();
@@ -816,6 +857,28 @@ mod tests {
         // Malformed version values are plain bad requests.
         let err = Request::parse(br#"{"op":"health","version":"two"}"#, false).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn coverage_fragment_is_stable_and_parseable() {
+        let c = warptree_core::search::Coverage {
+            segments_total: 3,
+            segments_answered: 2,
+            segments_quarantined: 1,
+            suffixes_total: 100,
+            suffixes_answered: 75,
+        };
+        let frag = encode_coverage(&c);
+        assert_eq!(
+            frag,
+            r#""partial":true,"coverage":{"segments_total":3,"segments_answered":2,"segments_quarantined":1,"suffixes_total":100,"suffixes_answered":75,"fraction":0.75}"#
+        );
+        let resp = ok_response("search", &format!("\"matches\":[],{frag}"));
+        let parsed = crate::json::parse(&resp).unwrap();
+        assert_eq!(parsed.get("partial").and_then(Json::as_bool), Some(true));
+        let cov = parsed.get("coverage").unwrap();
+        assert_eq!(cov.get("segments_quarantined").and_then(Json::as_u64), Some(1));
+        assert_eq!(cov.get("fraction").and_then(Json::as_f64), Some(0.75));
     }
 
     #[test]

@@ -30,12 +30,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use warptree_core::error::CoreError;
-use warptree_core::search::{AnswerSet, QueryRequest, SearchMetrics, SearchStats};
+use warptree_core::search::{AnswerSet, QueryOutput, QueryRequest, SearchMetrics, SearchStats};
 use warptree_core::sequence::SequenceStore;
 use warptree_disk::{
-    append_segment_with, compact_once_with, open_dir_snapshot_with, real_vfs, DirSnapshot,
-    DiskError, Vfs,
+    append_segment_with, compact_once_with, open_dir_snapshot_with, quarantine_segment_with,
+    real_vfs, scrub_dir_with, DegradedError, DirSnapshot, DiskError, Vfs,
 };
 use warptree_obs::MetricsRegistry;
 
@@ -44,7 +43,7 @@ use crate::proto::{
     self, error_response, ok_response, read_frame_idle_aware, write_frame, ErrorCode, FrameEvent,
     Request,
 };
-use crate::snapshot::{ReloadWatcher, SnapshotCell};
+use crate::snapshot::{instrument_snapshot, ReloadWatcher, SnapshotCell};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -96,6 +95,12 @@ pub struct ServerConfig {
     pub compact_threshold: usize,
     /// How often the compaction worker checks the tail-segment count.
     pub compact_interval: Duration,
+    /// How often the background scrubber walks every committed page
+    /// through the CRC-checked read path, tombstoning segments that
+    /// fail and healing quarantined ones by rebuilding them from the
+    /// corpus. [`Duration::ZERO`] disables background scrubbing (the
+    /// offline `warptree scrub` command remains available).
+    pub scrub_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +119,7 @@ impl Default for ServerConfig {
             max_parallelism: 1,
             compact_threshold: 4,
             compact_interval: Duration::from_millis(500),
+            scrub_interval: Duration::ZERO,
         }
     }
 }
@@ -146,8 +152,7 @@ impl IngestState {
             self.cache_pages,
             self.cache_nodes,
         )?);
-        self.registry
-            .set_gauge("index.segments", snap.segment_count() as f64);
+        instrument_snapshot(&snap, &self.registry);
         self.cell.swap(snap.clone());
         Ok(snap)
     }
@@ -218,6 +223,77 @@ fn compact_loop(state: &IngestState, threshold: usize, interval: Duration, stop:
     }
 }
 
+/// Background scrubber: on an interval, walks every committed page
+/// through the CRC-checked read path ([`scrub_dir_with`]), tombstoning
+/// segments that fail and healing quarantined segments by rebuilding
+/// them from the (intact) corpus — the server's self-repair loop.
+struct ScrubWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrubWorker {
+    fn spawn(state: Arc<IngestState>, interval: Duration) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("warptree-scrub".to_string())
+            .spawn(move || scrub_loop(&state, interval, &stop2))?;
+        Ok(ScrubWorker {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn scrub_loop(state: &IngestState, interval: Duration, stop: &AtomicBool) {
+    // Sleep in small slices so stop() returns promptly even with a
+    // long scrub interval.
+    let slice = interval
+        .min(Duration::from_millis(50))
+        .max(Duration::from_millis(1));
+    let mut elapsed = Duration::ZERO;
+    while !stop.load(Ordering::SeqCst) {
+        if elapsed < interval {
+            std::thread::sleep(slice);
+            elapsed += slice;
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        // The scrub commits manifest generations (quarantine, heal), so
+        // it serializes with ingest and compaction like any writer.
+        let _guard = state.lock_writer();
+        match scrub_dir_with(state.vfs.as_ref(), &state.dir, true, &state.registry) {
+            Ok(report) => {
+                if !report.healed.is_empty() {
+                    state
+                        .registry
+                        .counter("server.scrub_heals")
+                        .add(report.healed.len() as u64);
+                }
+                if report.unrecoverable.is_some() {
+                    state.registry.counter("server.scrub_errors").incr();
+                }
+                if !report.newly_quarantined.is_empty() || !report.healed.is_empty() {
+                    // The manifest moved; republish promptly instead of
+                    // waiting for the reload watcher's next poll.
+                    if state.publish().is_err() {
+                        state.registry.counter("server.scrub_errors").incr();
+                    }
+                }
+            }
+            Err(_) => state.registry.counter("server.scrub_errors").incr(),
+        }
+    }
+}
+
 /// Everything a connection or worker needs, shared behind one `Arc`.
 struct Ctx {
     cell: Arc<SnapshotCell>,
@@ -258,7 +334,7 @@ impl Server {
         let snapshot =
             open_dir_snapshot_with(vfs.as_ref(), dir, config.cache_pages, config.cache_nodes)
                 .map_err(|e| io::Error::other(format!("open index dir: {e}")))?;
-        registry.set_gauge("index.segments", snapshot.segment_count() as f64);
+        instrument_snapshot(&snapshot, &registry);
         let cell = Arc::new(SnapshotCell::new(Arc::new(snapshot)));
         let shutdown = Arc::new(AtomicBool::new(false));
         let ingest = Arc::new(IngestState {
@@ -301,10 +377,16 @@ impl Server {
 
         let compactor = if config.compact_threshold > 0 {
             Some(CompactionWorker::spawn(
-                ingest,
+                ingest.clone(),
                 config.compact_threshold,
                 config.compact_interval,
             )?)
+        } else {
+            None
+        };
+
+        let scrubber = if config.scrub_interval > Duration::ZERO {
+            Some(ScrubWorker::spawn(ingest, config.scrub_interval)?)
         } else {
             None
         };
@@ -327,6 +409,7 @@ impl Server {
             accept: Some(accept),
             watcher: Some(watcher),
             compactor,
+            scrubber,
         })
     }
 }
@@ -339,6 +422,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     watcher: Option<ReloadWatcher>,
     compactor: Option<CompactionWorker>,
+    scrubber: Option<ScrubWorker>,
 }
 
 impl ServerHandle {
@@ -373,10 +457,14 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // Writers stop before the watcher: a compaction finishing here
-        // must not be left unpublished-forever by a dead watcher.
+        // Writers stop before the watcher: a compaction or scrub
+        // finishing here must not be left unpublished-forever by a
+        // dead watcher.
         if let Some(c) = self.compactor.take() {
             c.stop();
+        }
+        if let Some(s) = self.scrubber.take() {
+            s.stop();
         }
         if let Some(w) = self.watcher.take() {
             w.stop();
@@ -398,6 +486,9 @@ impl Drop for ServerHandle {
         }
         if let Some(c) = self.compactor.take() {
             c.stop();
+        }
+        if let Some(s) = self.scrubber.take() {
+            s.stop();
         }
         if let Some(w) = self.watcher.take() {
             w.stop();
@@ -512,8 +603,8 @@ fn handle_conn(mut stream: TcpStream, ctx: &Ctx, pool: &WorkerPool) {
 /// should close.
 fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPool) -> bool {
     let started = Instant::now();
-    let req = match Request::parse(payload, ctx.enable_debug_ops) {
-        Ok(req) => req,
+    let (req, proto_version) = match Request::parse_versioned(payload, ctx.enable_debug_ops) {
+        Ok(pair) => pair,
         Err(pe) => {
             ctx.registry.counter("server.bad_requests").incr();
             if pe.code == ErrorCode::UnsupportedVersion {
@@ -546,6 +637,7 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
         max_query_len: ctx.max_query_len,
         max_parallelism: ctx.max_parallelism,
         deadline,
+        proto_version,
     };
     let job = Box::new(move || {
         let resp = if Instant::now() > deadline {
@@ -614,10 +706,18 @@ fn respond(stream: &mut TcpStream, resp: &str) -> bool {
 fn control_response(req: &Request, ctx: &Ctx) -> String {
     match req {
         Request::Health => {
-            let generation = ctx.cell.generation();
+            let snap = ctx.cell.get();
+            let quarantined = snap.quarantined.len();
+            // Degraded is still *serving* — every answer over the
+            // remaining segments is correct and labeled partial — but
+            // operators watching health see the coverage loss.
+            let status = if quarantined > 0 { "degraded" } else { "serving" };
             ok_response(
                 "health",
-                &format!("\"status\":\"serving\",\"generation\":{generation}"),
+                &format!(
+                    "\"status\":\"{status}\",\"generation\":{},\"quarantined_segments\":{quarantined}",
+                    snap.generation
+                ),
             )
         }
         Request::Info => {
@@ -625,12 +725,13 @@ fn control_response(req: &Request, ctx: &Ctx) -> String {
             ok_response(
                 "info",
                 &format!(
-                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"segments\":{},\"workers\":{},\"queue_depth\":{},\"max_parallelism\":{}",
+                    "\"generation\":{},\"sequences\":{},\"values\":{},\"categories\":{},\"segments\":{},\"quarantined_segments\":{},\"workers\":{},\"queue_depth\":{},\"max_parallelism\":{}",
                     snap.generation,
                     snap.store.len(),
                     snap.store.total_len(),
                     snap.alphabet.len(),
                     snap.segment_count(),
+                    snap.quarantined.len(),
                     ctx.workers,
                     ctx.queue_depth,
                     ctx.max_parallelism,
@@ -644,6 +745,13 @@ fn control_response(req: &Request, ctx: &Ctx) -> String {
             ctx.registry
                 .gauge("server.worker_subthreads")
                 .set(warptree_core::parallel::active_subthreads() as f64);
+            // Refresh the degradation gauge from the *served* snapshot,
+            // so stats reflect what queries actually see even if no
+            // publish has run since the last quarantine.
+            ctx.registry.set_gauge(
+                "server.quarantined_segments",
+                ctx.cell.get().quarantined.len() as f64,
+            );
             ok_response(
                 "stats",
                 &format!("\"metrics\":{}", ctx.registry.snapshot().to_json()),
@@ -670,6 +778,92 @@ struct JobCtx {
     /// Absolute request deadline; checked at dequeue and between batch
     /// items (a single search is never interrupted mid-query).
     deadline: Instant,
+    /// The protocol version the client negotiated. Versions below 3
+    /// have no way to express `partial: true`, so a degraded answer
+    /// for them becomes a typed `partial_result_unsupported` error
+    /// instead of a silently truncated result.
+    proto_version: u32,
+}
+
+/// Runs one query through the degraded fan-out path and applies the
+/// server-side consequences of what it found:
+///
+/// * corrupt tail segments detected mid-query are quarantined (one
+///   tombstone manifest generation each, then a republish) so later
+///   requests skip them up front;
+/// * partial answers are metered (`search.partial_queries`) and — for
+///   pre-v3 clients that cannot express `partial: true` — converted to
+///   a typed `partial_result_unsupported` error rather than being
+///   passed off as complete;
+/// * corruption in the base tree (no healthy replica to fall back on)
+///   becomes a typed `corruption_detected` error.
+///
+/// On success the stats have already been folded into the shared
+/// process-wide bundle; the returned copy is for per-request reporting
+/// (`explain`). On failure the `Err` is the complete response string.
+fn degraded_query(
+    job: &JobCtx,
+    snap: &DirSnapshot,
+    req: &QueryRequest,
+) -> Result<(QueryOutput, SearchStats), String> {
+    match snap.run_query_degraded(req) {
+        Ok(dq) => {
+            job.search_metrics.record(&dq.stats);
+            if !dq.detected.is_empty() {
+                quarantine_detected(job, &dq.detected);
+            }
+            if dq.output.is_partial() {
+                job.registry.counter("search.partial_queries").incr();
+                if job.proto_version < 3 {
+                    job.registry.counter("server.bad_requests").incr();
+                    return Err(error_response(
+                        ErrorCode::PartialResultUnsupported,
+                        "result is partial (segments quarantined) and this protocol version cannot express partial results; retry with version 3",
+                    ));
+                }
+            }
+            Ok((dq.output, dq.stats))
+        }
+        Err(DegradedError::Rejected(e)) => {
+            job.registry.counter("server.bad_requests").incr();
+            Err(proto::core_error_response(&e))
+        }
+        Err(DegradedError::Corrupt(e)) => {
+            job.registry.counter("server.corruption_errors").incr();
+            Err(error_response(ErrorCode::CorruptionDetected, &e.to_string()))
+        }
+    }
+}
+
+/// Tombstones segments a degraded query caught failing CRC: one
+/// idempotent quarantine commit per segment, then a republish so the
+/// serving snapshot stops fanning out to them. Best-effort — a failed
+/// quarantine only means the *next* query re-detects and retries; the
+/// current answer is already correct without the segment.
+fn quarantine_detected(job: &JobCtx, detected: &[String]) {
+    let st = &job.ingest;
+    let _guard = st.lock_writer();
+    let mut committed = false;
+    for segment in detected {
+        match quarantine_segment_with(st.vfs.as_ref(), &st.dir, segment) {
+            Ok(_) => committed = true,
+            Err(_) => job.registry.counter("server.quarantine_errors").incr(),
+        }
+    }
+    if committed && st.publish().is_err() {
+        job.registry.counter("server.quarantine_errors").incr();
+    }
+}
+
+/// The `,"partial":…,"coverage":{…}` response suffix, present exactly
+/// when the output carries coverage accounting (i.e. the index is
+/// degraded); a clean index emits nothing and the response body is
+/// byte-identical to the pre-degradation protocol.
+fn coverage_suffix(out: &QueryOutput) -> String {
+    match &out.coverage {
+        Some(c) => format!(",{}", proto::encode_coverage(c)),
+        None => String::new(),
+    }
 }
 
 fn execute(job: &JobCtx, req: Request) -> String {
@@ -681,26 +875,38 @@ fn execute(job: &JobCtx, req: Request) -> String {
     // Pin one snapshot for the whole request.
     let snap = job.cell.get();
     let clamp = |t: u32| t.clamp(1, job.max_parallelism.max(1));
-    let result = match req {
+    // `Err` already carries the complete (typed, metered) error
+    // response — produced by `degraded_query` or the batch fold.
+    let result: Result<String, String> = match req {
         Request::Search { query, mut params } => {
             params.threads = clamp(params.threads);
             let req = QueryRequest::threshold_params(&query, params).capped(job.max_query_len);
-            snap.run_query_with(&req, &job.search_metrics)
-                .map(|out| search_body(&out.into_answer_set(), snap.generation))
-                .map(|body| ok_response("search", &body))
+            degraded_query(job, &snap, &req).map(|(out, _)| {
+                let suffix = coverage_suffix(&out);
+                ok_response(
+                    "search",
+                    &format!(
+                        "{}{}",
+                        search_body(&out.into_answer_set(), snap.generation),
+                        suffix
+                    ),
+                )
+            })
         }
         Request::Knn { query, mut params } => {
             params.threads = clamp(params.threads);
             let req = QueryRequest::knn_params(&query, params).capped(job.max_query_len);
-            snap.run_query_with(&req, &job.search_metrics).map(|out| {
+            degraded_query(job, &snap, &req).map(|(out, _)| {
+                let suffix = coverage_suffix(&out);
                 let matches = out.into_ranked();
                 ok_response(
                     "knn",
                     &format!(
-                        "\"generation\":{},\"count\":{},\"matches\":{}",
+                        "\"generation\":{},\"count\":{},\"matches\":{}{}",
                         snap.generation,
                         matches.len(),
-                        proto::encode_matches_ranked(&matches)
+                        proto::encode_matches_ranked(&matches),
+                        suffix
                     ),
                 )
             })
@@ -720,9 +926,25 @@ fn execute(job: &JobCtx, req: Request) -> String {
             enum Item {
                 Body(String),
                 Expired,
-                Fail(CoreError),
+                /// A complete error response (already typed + metered).
+                Fail(String),
             }
             let threads = params.threads as usize;
+            let run_item = |query: &[f64], item_params: &warptree_core::search::SearchParams| {
+                let req = QueryRequest::threshold_params(query, item_params.clone())
+                    .capped(job.max_query_len);
+                match degraded_query(job, &snap, &req) {
+                    Ok((out, _)) => {
+                        let suffix = coverage_suffix(&out);
+                        Item::Body(format!(
+                            "{{{}{}}}",
+                            search_body(&out.into_answer_set(), snap.generation),
+                            suffix
+                        ))
+                    }
+                    Err(resp) => Item::Fail(resp),
+                }
+            };
             let items: Vec<Item> = if threads > 1 && total > 1 {
                 // The parallelism budget is spent *across* items (the
                 // coarsest grain available), so each item runs its own
@@ -737,15 +959,7 @@ fn execute(job: &JobCtx, req: Request) -> String {
                     if Instant::now() > job.deadline {
                         return Item::Expired;
                     }
-                    let req = QueryRequest::threshold_params(&query, item_params.clone())
-                        .capped(job.max_query_len);
-                    match snap.run_query_with(&req, &job.search_metrics) {
-                        Ok(out) => Item::Body(format!(
-                            "{{{}}}",
-                            search_body(&out.into_answer_set(), snap.generation)
-                        )),
-                        Err(e) => Item::Fail(e),
-                    }
+                    run_item(&query, &item_params)
                 })
             } else {
                 let mut out = Vec::with_capacity(total);
@@ -758,17 +972,12 @@ fn execute(job: &JobCtx, req: Request) -> String {
                         out.push(Item::Expired);
                         break;
                     }
-                    let req = QueryRequest::threshold_params(query, params.clone())
-                        .capped(job.max_query_len);
-                    match snap.run_query_with(&req, &job.search_metrics) {
-                        Ok(answers) => out.push(Item::Body(format!(
-                            "{{{}}}",
-                            search_body(&answers.into_answer_set(), snap.generation)
-                        ))),
-                        Err(e) => {
-                            out.push(Item::Fail(e));
+                    match run_item(query, &params) {
+                        fail @ Item::Fail(_) => {
+                            out.push(fail);
                             break;
                         }
+                        item => out.push(item),
                     }
                 }
                 out
@@ -808,20 +1017,19 @@ fn execute(job: &JobCtx, req: Request) -> String {
         }
         Request::Explain { query, mut params } => {
             params.threads = clamp(params.threads);
-            // Explain wants per-request counters, so it runs on a fresh
-            // detached bundle *and* folds the totals into the shared one
-            // afterwards (process totals stay complete).
-            let local = SearchMetrics::new();
+            // The degraded runner meters per-request stats internally
+            // and returns the snapshot, so explain gets its counters
+            // while the shared bundle still accumulates the totals.
             let req = QueryRequest::threshold_params(&query, params).capped(job.max_query_len);
-            snap.run_query_with(&req, &local).map(|out| {
-                let stats = local.snapshot();
-                job.search_metrics.record(&stats);
+            degraded_query(job, &snap, &req).map(|(out, stats)| {
+                let suffix = coverage_suffix(&out);
                 ok_response(
                     "explain",
                     &format!(
-                        "{},\"stats\":{}",
+                        "{},\"stats\":{}{}",
                         search_body(&out.into_answer_set(), snap.generation),
-                        encode_stats(&stats)
+                        encode_stats(&stats),
+                        suffix
                     ),
                 )
             })
@@ -837,10 +1045,9 @@ fn execute(job: &JobCtx, req: Request) -> String {
             job.registry.counter("server.requests_ok").incr();
             resp
         }
-        Err(e) => {
-            job.registry.counter("server.bad_requests").incr();
-            proto::core_error_response(&e)
-        }
+        // Already a complete response; the failure was metered where it
+        // was classified (bad request vs. corruption vs. partial).
+        Err(resp) => resp,
     }
 }
 
@@ -991,6 +1198,7 @@ mod tests {
             max_query_len: 64,
             max_parallelism: 8,
             deadline,
+            proto_version: 3,
         };
         (job, registry)
     }

@@ -27,6 +27,25 @@ use std::time::Duration;
 use warptree_disk::{committed_generation_with, open_dir_snapshot_with, DirSnapshot, Vfs};
 use warptree_obs::MetricsRegistry;
 
+/// Wires a freshly opened snapshot into the server's metrics registry:
+/// the base tree and every live segment meter their CRC failures into
+/// the shared `disk.read_crc_fail` counter, and the degradation gauges
+/// (`index.segments`, `server.quarantined_segments`) track the
+/// published view. Called on every publish path — initial open, ingest
+/// publish, scrub publish, and the reload watcher's swap — so the
+/// gauges never go stale.
+pub(crate) fn instrument_snapshot(snap: &DirSnapshot, registry: &MetricsRegistry) {
+    snap.tree.instrument(registry);
+    for seg in &snap.segments {
+        seg.instrument(registry);
+    }
+    registry.set_gauge("index.segments", snap.segment_count() as f64);
+    registry.set_gauge(
+        "server.quarantined_segments",
+        snap.quarantined.len() as f64,
+    );
+}
+
 /// The shared, swappable handle to the current index snapshot.
 pub struct SnapshotCell {
     current: RwLock<Arc<DirSnapshot>>,
@@ -166,6 +185,7 @@ fn poll_once(ctx: &WatcherCtx) {
     match open_dir_snapshot_with(ctx.vfs.as_ref(), &ctx.dir, ctx.cache_pages, ctx.cache_nodes) {
         Ok(next) => {
             let next_gen = next.generation;
+            instrument_snapshot(&next, &ctx.registry);
             let prev = ctx.cell.swap(Arc::new(next));
             drop(prev); // frees now unless requests still pin it
             ctx.registry.counter("server.reloads").incr();

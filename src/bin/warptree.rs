@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("compact") => cmd_compact(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("scrub") => cmd_scrub(&args[1..]),
         Some("search") => cmd_search(&args[1..], false),
         Some("knn") => cmd_search(&args[1..], true),
         Some("explain") => cmd_explain(&args[1..]),
@@ -86,7 +87,11 @@ fn print_usage() {
          \u{20}  info    print index statistics\n\
          \u{20}          --index-dir DIR [--deep] [--json]\n\
          \u{20}  verify  check every page CRC and the commit manifest\n\
-         \u{20}          DIR (or --index-dir DIR)\n\
+         \u{20}          DIR (or --index-dir DIR) [--deep: read every \
+         page through the query read path]\n\
+         \u{20}  scrub   verify every page and repair: quarantine \
+         corrupt tail segments, rebuild them from the corpus\n\
+         \u{20}          DIR (or --index-dir DIR) [--check-only]\n\
          \u{20}  search  threshold search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,…|--query-file F \
          --epsilon E [--window W] [--limit N] [--threads N]\n\
@@ -112,7 +117,8 @@ fn print_usage() {
          \u{20}          DIR [--addr HOST:PORT] [--workers N] \
          [--queue-depth Q] [--deadline-ms D]\n\
          \u{20}          [--reload-ms R] [--max-query-len L] \
-         [--max-conns C] [--threads N] [--compact-threshold T]\n\
+         [--max-conns C] [--threads N] [--compact-threshold T] \
+         [--scrub-interval-ms S]\n\
          \u{20}          SIGINT/SIGTERM drain gracefully, new index \
          generations are hot-reloaded from the commit manifest,\n\
          \u{20}          `ingest` appends tail segments online and a \
@@ -398,25 +404,84 @@ fn report_recovery(idx: &DiskIndexDir) {
     }
 }
 
+/// Splits a positional directory out of `args`, wherever it appears
+/// (`verify ./idx --deep` and `verify --deep ./idx` both work). Flags
+/// in `valued` consume the following token as their value, so a
+/// directory can't be mistaken for one flag's argument or vice versa.
+fn split_positional_dir(args: &[String], valued: &[&str]) -> (Option<PathBuf>, Vec<String>) {
+    let mut dir = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            rest.push(a.clone());
+            let name = name.split('=').next().unwrap_or(name);
+            if !a.contains('=') && valued.contains(&name) {
+                if let Some(v) = it.peek() {
+                    if !v.starts_with("--") {
+                        rest.push(it.next().unwrap().clone());
+                    }
+                }
+            }
+        } else if dir.is_none() {
+            dir = Some(PathBuf::from(a));
+        } else {
+            // A second positional is an error; let Opts::parse say so.
+            rest.push(a.clone());
+        }
+    }
+    (dir, rest)
+}
+
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     // Accept the directory positionally (`warptree verify ./idx`) or as
     // `--index-dir ./idx`.
-    let dir = match args.first() {
-        Some(a) if !a.starts_with("--") => {
-            if args.len() > 1 {
-                return Err("verify takes a single directory".into());
-            }
-            PathBuf::from(a)
-        }
-        _ => PathBuf::from(Opts::parse(args)?.require("index-dir")?),
+    let (pos, rest) = split_positional_dir(args, &["index-dir"]);
+    let o = Opts::parse(&rest)?;
+    let dir = match pos {
+        Some(d) => d,
+        None => PathBuf::from(o.require("index-dir")?),
     };
-    let report =
-        warptree_disk::verify_dir_with(&warptree_disk::RealVfs, &dir).map_err(|e| e.to_string())?;
+    // `--deep` reads every committed page back through the CRC-checked
+    // pager path — the exact read path queries use — instead of the
+    // flat whole-file checksum walk. Slower, but it proves the index is
+    // *servable*, not just byte-stable.
+    let report = if o.flag("deep") {
+        warptree_disk::verify_dir_deep_with(&warptree_disk::RealVfs, &dir)
+            .map_err(|e| e.to_string())?
+    } else {
+        warptree_disk::verify_dir_with(&warptree_disk::RealVfs, &dir).map_err(|e| e.to_string())?
+    };
     println!("{report}");
     if report.is_ok() {
         Ok(())
     } else {
         Err(format!("{} failed verification", dir.display()))
+    }
+}
+
+fn cmd_scrub(args: &[String]) -> Result<(), String> {
+    // Accept the directory positionally (`warptree scrub ./idx`) or as
+    // `--index-dir ./idx`.
+    let (pos, rest) = split_positional_dir(args, &["index-dir"]);
+    let o = Opts::parse(&rest)?;
+    let dir = match pos {
+        Some(d) => d,
+        None => PathBuf::from(o.require("index-dir")?),
+    };
+    // Healing (rebuilding quarantined segments from the corpus) is the
+    // default; `--check-only` quarantines newly corrupt segments but
+    // leaves existing tombstones in place.
+    let heal = !o.flag("check-only");
+    let reg = MetricsRegistry::new();
+    let report = warptree_disk::scrub_dir_with(&warptree_disk::RealVfs, &dir, heal, &reg)
+        .map_err(|e| e.to_string())?;
+    println!("{report}");
+    match &report.unrecoverable {
+        None => Ok(()),
+        Some(file) => Err(format!(
+            "{file} is corrupt and cannot be rebuilt from the corpus"
+        )),
     }
 }
 
@@ -812,6 +877,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.max_conns = o.parse_num("max-conns", config.max_conns)?;
     config.max_parallelism = o.parse_num("threads", config.max_parallelism)?;
     config.compact_threshold = o.parse_num("compact-threshold", config.compact_threshold)?;
+    config.scrub_interval =
+        std::time::Duration::from_millis(o.parse_num("scrub-interval-ms", 0u64)?);
     config.enable_debug_ops = o.flag("debug-ops");
 
     if !signal::install_handlers() {
@@ -907,8 +974,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
         t0.elapsed()
     );
     println!(
-        "  ok {}, overloaded {}, deadline_exceeded {}, errors {}",
-        report.ok, report.overloaded, report.deadline_exceeded, report.errors
+        "  ok {}, overloaded {}, deadline_exceeded {}, errors {} ({} connection failures)",
+        report.ok, report.overloaded, report.deadline_exceeded, report.errors, report.conn_failures
     );
     println!(
         "  throughput {:.1} req/s; latency p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",

@@ -538,7 +538,16 @@ pub fn open_index_dir(
         cache_pages * 8,
     )?;
     let mut segments = Vec::with_capacity(resolved.segment_paths.len());
-    for path in &resolved.segment_paths {
+    for (i, path) in resolved.segment_paths.iter().enumerate() {
+        // Quarantined segments (tombstoned after a failed CRC check)
+        // are excluded until a scrub heals them.
+        if resolved
+            .manifest
+            .as_ref()
+            .is_some_and(|m| m.segments[i].quarantined)
+        {
+            continue;
+        }
         segments.push(warptree_disk::DiskTree::open(
             path,
             cat.clone(),
@@ -580,7 +589,14 @@ pub fn open_index_dir_metered(
     )?;
     tree.instrument(reg);
     let mut segments = Vec::with_capacity(resolved.segment_paths.len());
-    for path in &resolved.segment_paths {
+    for (i, path) in resolved.segment_paths.iter().enumerate() {
+        if resolved
+            .manifest
+            .as_ref()
+            .is_some_and(|m| m.segments[i].quarantined)
+        {
+            continue;
+        }
         segments.push(warptree_disk::DiskTree::open_with(
             vfs.as_ref(),
             path,
