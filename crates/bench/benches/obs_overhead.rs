@@ -4,13 +4,20 @@
 //! on a `None`. This bench runs the same query in all three modes —
 //! noop, detached-active, and registry-backed — so a regression in the
 //! inlining shows up as a gap between the first line and the others.
+//!
+//! The tracing layer extends the contract: `traced_off` (metrics with
+//! a no-op `Trace`, the default every untraced query takes) must match
+//! the plain modes — an inactive trace adds one inlined branch per
+//! stage, zero atomics, zero clock reads — and `traced_on` (an active
+//! span tree recorded per query) is the sampled-tracing price, which
+//! must stay within a few percent of the untraced run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use warptree_bench::{build_index, IndexKind, Method};
 use warptree_core::search::{run_query_with, QueryRequest, SearchMetrics, SearchParams};
 use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
-use warptree_obs::MetricsRegistry;
+use warptree_obs::{MetricsRegistry, Trace};
 
 fn bench_obs_overhead(c: &mut Criterion) {
     let store = stock_corpus(&StockConfig {
@@ -33,10 +40,13 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let params = SearchParams::with_epsilon(10.0);
 
     let reg = MetricsRegistry::new();
-    let modes: [(&str, SearchMetrics); 3] = [
+    let modes: [(&str, SearchMetrics); 4] = [
         ("noop", SearchMetrics::noop()),
         ("active", SearchMetrics::new()),
         ("registry", SearchMetrics::register(&reg)),
+        // The untraced fast path every production query takes when
+        // tracing is *available* but not sampled.
+        ("traced_off", SearchMetrics::new().with_trace(Trace::noop())),
     ];
     let mut g = c.benchmark_group("obs_overhead");
     g.sample_size(30);
@@ -57,6 +67,26 @@ fn bench_obs_overhead(c: &mut Criterion) {
             })
         });
     }
+    // The sampled-tracing price: a fresh active trace per iteration
+    // (exactly what the server's 1-in-N sampler pays), span tree and
+    // counter-delta attributes included.
+    g.bench_function("traced_on", |b| {
+        b.iter(|| {
+            let trace = Trace::active("bench");
+            let metrics = SearchMetrics::new().with_trace(trace.clone());
+            black_box(
+                run_query_with(
+                    &built.tree,
+                    &built.alphabet,
+                    &store,
+                    black_box(&req),
+                    &metrics,
+                )
+                .unwrap(),
+            );
+            black_box(trace.finish())
+        })
+    });
     g.finish();
 }
 

@@ -19,6 +19,7 @@ use warptree_core::search::{
     run_query_with, seq_scan, QueryRequest, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
 };
 use warptree_obs::json::num;
+use warptree_obs::HistogramSnapshot;
 
 /// One measured workload row, ready to serialize.
 struct Row {
@@ -29,6 +30,21 @@ struct Row {
     latencies: Vec<f64>,
     answers: u64,
     stats: SearchStats,
+    /// Per-stage wall-time breakdown (filter vs. postprocess), from
+    /// the `SearchMetrics` phase histograms. `None` for SeqScan, which
+    /// has no funnel stages.
+    stages: Option<(HistogramSnapshot, HistogramSnapshot)>,
+}
+
+/// Renders one phase histogram as `{"p50_us":…,"p95_us":…,"mean_us":…}`
+/// (values recorded in ns, reported in µs).
+fn stage_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"p50_us\":{},\"p95_us\":{},\"mean_us\":{}}}",
+        num(h.quantile(0.50) as f64 / 1e3),
+        num(h.quantile(0.95) as f64 / 1e3),
+        num(h.mean() / 1e3),
+    )
 }
 
 impl Row {
@@ -52,7 +68,7 @@ impl Row {
                 "{{\"strategy\":\"{}\",\"categories\":{},\"threads\":{},",
                 "\"latency_ms\":{{\"p50\":{},\"p95\":{},\"mean\":{}}},",
                 "\"answers_per_query\":{},\"candidates_per_query\":{},",
-                "\"candidate_ratio\":{},",
+                "\"candidate_ratio\":{},\"stages\":{},",
                 "\"counters\":{{\"nodes_visited\":{},\"branches_pruned\":{},",
                 "\"candidates\":{},\"false_alarms\":{},",
                 "\"filter_cells\":{},\"postprocess_cells\":{},",
@@ -70,6 +86,14 @@ impl Row {
             num(self.answers as f64 / n),
             num(s.postprocessed as f64 / n),
             num(candidate_ratio),
+            match &self.stages {
+                Some((filter, post)) => format!(
+                    "{{\"filter\":{},\"postprocess\":{}}}",
+                    stage_json(filter),
+                    stage_json(post)
+                ),
+                None => "null".into(),
+            },
             s.nodes_visited,
             s.branches_pruned,
             s.candidates,
@@ -110,6 +134,7 @@ fn main() {
             latencies: Vec::new(),
             answers: 0,
             stats: SearchStats::default(),
+            stages: None,
         };
         for q in queries.queries() {
             let mut stats = SearchStats::default();
@@ -149,6 +174,7 @@ fn main() {
                 latencies: Vec::new(),
                 answers: 0,
                 stats: SearchStats::default(),
+                stages: None,
             };
             for q in queries.queries() {
                 let req = QueryRequest::threshold_params(&q.values, params.clone());
@@ -160,6 +186,10 @@ fn main() {
                 row.answers += answers.len() as u64;
             }
             row.stats = metrics.snapshot();
+            row.stages = Some((
+                metrics.filter_ns.snapshot(),
+                metrics.postprocess_ns.snapshot(),
+            ));
             row.latencies.sort_by(|a, b| a.total_cmp(b));
             println!(
                 "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | {:>6.1} checks/answer",
@@ -199,6 +229,7 @@ fn main() {
                 latencies: Vec::new(),
                 answers: 0,
                 stats: SearchStats::default(),
+                stages: None,
             };
             for q in queries.queries() {
                 let req = QueryRequest::threshold_params(&q.values, tp.clone());
@@ -210,6 +241,10 @@ fn main() {
                 row.answers += answers.len() as u64;
             }
             row.stats = metrics.snapshot();
+            row.stages = Some((
+                metrics.filter_ns.snapshot(),
+                metrics.postprocess_ns.snapshot(),
+            ));
             row.latencies.sort_by(|a, b| a.total_cmp(b));
             println!(
                 "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | threads {}",

@@ -85,6 +85,18 @@ pub trait SuffixTreeIndex {
         let _ = n;
         None
     }
+
+    /// Segment ordinal of a *root child*, for multi-segment indexes
+    /// whose root fans out over per-segment subtrees
+    /// ([`SegmentedIndex`](crate::search::segmented::SegmentedIndex)
+    /// keeps same-segment children contiguous). Used only for
+    /// observability — grouping the filter's root-level work into
+    /// per-segment trace spans — so the default `None` simply folds the
+    /// whole tree into one anonymous segment.
+    fn segment_hint(&self, n: Self::Node) -> Option<u32> {
+        let _ = n;
+        None
+    }
 }
 
 /// State carried down the traversal that must be restored on backtrack —
@@ -209,6 +221,8 @@ pub fn filter_tree_with<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 +
     let threads = params.threads.max(1) as usize;
     if threads > 1 {
         descend_parallel(&mut ctx, root, state, threads);
+    } else if ctx.metrics.trace.is_active() {
+        descend_root_traced(&mut ctx, root, state);
     } else {
         descend(&mut ctx, root, state);
     }
@@ -282,6 +296,11 @@ fn descend_parallel<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Syn
         tasks,
         || metrics.scratch(),
         |scratch, _i, (node, state, table)| {
+            // Under an active trace each fork gets its own span (noop
+            // otherwise — one inlined branch, per the obs contract);
+            // forks run concurrently, so spans overlap rather than
+            // partition the filter's wall time.
+            let span = scratch.trace_span("filter.task");
             let mut fork_ctx = FilterCtx {
                 tree,
                 base,
@@ -294,6 +313,13 @@ fn descend_parallel<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Syn
                 metrics: scratch,
             };
             visit_child(&mut fork_ctx, node, state);
+            if span.is_active() {
+                if let Some(seg) = tree.segment_hint(node) {
+                    span.attr_u64("segment", seg as u64);
+                }
+                span.attr_u64("candidates", fork_ctx.out.len() as u64);
+                span.attr_u64("cells", fork_ctx.table.cells_computed());
+            }
             (fork_ctx.out, fork_ctx.table.cells_computed())
         },
     );
@@ -312,6 +338,55 @@ fn descend_parallel<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Syn
             ctx.out.extend_from_slice(cands);
         }
         (prev_out, prev_task) = (out_end, task_end);
+    }
+}
+
+/// Sequential root traversal under an active trace: identical work (and
+/// work *order*) to [`descend`] at the root, but with runs of root
+/// children sharing a [`segment_hint`](SuffixTreeIndex::segment_hint)
+/// grouped under a `filter.segment` span carrying that run's counter
+/// deltas. Over a single-segment index the whole root becomes one
+/// anonymous `filter.segment` span.
+fn descend_root_traced<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+    ctx: &mut FilterCtx<'_, T, B>,
+    root: T::Node,
+    state: PathState,
+) {
+    let mut children = Vec::new();
+    ctx.tree.for_each_child(root, &mut |c| children.push(c));
+    let mut label = Vec::new();
+    let mut i = 0;
+    while i < children.len() {
+        let seg = ctx.tree.segment_hint(children[i]);
+        let mut j = i + 1;
+        while j < children.len() && ctx.tree.segment_hint(children[j]) == seg {
+            j += 1;
+        }
+        let span = ctx.metrics.trace_span("filter.segment");
+        if let Some(s) = seg {
+            span.attr_u64("segment", s as u64);
+        }
+        let (out_before, before) = (ctx.out.len(), ctx.metrics.snapshot());
+        for &child in &children[i..j] {
+            ctx.metrics.nodes_visited.incr();
+            label.clear();
+            ctx.tree.edge_label(child, &mut label);
+            if let Some(next) = walk_edge(ctx, child, state, &label) {
+                ctx.metrics.nodes_expanded.incr();
+                descend(ctx, child, next);
+            }
+            ctx.table.truncate(state.depth);
+        }
+        let d = ctx.metrics.snapshot();
+        span.attr_u64("root_children", (j - i) as u64);
+        span.attr_u64("nodes_visited", d.nodes_visited - before.nodes_visited);
+        span.attr_u64(
+            "branches_pruned",
+            d.branches_pruned - before.branches_pruned,
+        );
+        span.attr_u64("rows_pushed", d.rows_pushed - before.rows_pushed);
+        span.attr_u64("candidates", (ctx.out.len() - out_before) as u64);
+        i = j;
     }
 }
 

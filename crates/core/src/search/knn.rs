@@ -266,10 +266,24 @@ pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
         (mean_abs * 0.05).max(1e-3)
     };
     let mut result: Vec<Match> = Vec::new();
-    for _ in 0..params.max_rounds {
+    for round in 0..params.max_rounds {
         let mut sp = SearchParams::with_epsilon(epsilon);
         sp.window = params.window;
         sp.threads = params.threads;
+        // Each expansion round gets its own trace span; the stage spans
+        // the threshold engine opens (filter/postprocess) nest under it
+        // via the re-parented `scoped` handle. Trace off: `m` aliases
+        // `metrics` and nothing is cloned.
+        let round_span = metrics.trace_span("knn.round");
+        let scoped_holder;
+        let m: &SearchMetrics = if round_span.is_active() {
+            round_span.attr_u64("round", round as u64);
+            round_span.attr_f64("epsilon", epsilon);
+            scoped_holder = metrics.under(&round_span);
+            &scoped_holder
+        } else {
+            metrics
+        };
 
         let mut sorted: Vec<Match> = if params.threads > 1 && !params.non_overlapping {
             // Parallel verification through a shared top-k heap: the
@@ -278,13 +292,13 @@ pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
             // allowed — the final answer is exactly the k best matches,
             // and every match that could rank ≤ k survives the bound.
             let candidates = {
-                let _timer = metrics.filter_ns.span();
-                crate::search::filter_tree(tree, alphabet, query, &sp, metrics)
+                let _timer = m.filter_ns.span();
+                crate::search::filter_tree(tree, alphabet, query, &sp, m)
             };
-            let _timer = metrics.postprocess_ns.span();
-            verify_topk_parallel(store, query, &candidates, &sp, params.k, metrics)
+            let _timer = m.postprocess_ns.span();
+            verify_topk_parallel(store, query, &candidates, &sp, params.k, m)
         } else {
-            threshold_search_unchecked(tree, alphabet, store, query, &sp, metrics)
+            threshold_search_unchecked(tree, alphabet, store, query, &sp, m)
                 .matches()
                 .to_vec()
         };
@@ -299,6 +313,7 @@ pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
         } else {
             sorted
         };
+        round_span.attr_u64("round_answers", candidates.len() as u64);
         if candidates.len() >= params.k {
             // The k-th distance is within the searched radius, so no
             // unseen subsequence can beat it: done.

@@ -20,7 +20,7 @@
 //! only: they never enter `SearchStats`, which keeps snapshots
 //! machine-independent and run-to-run deterministic.
 
-use warptree_obs::{Counter, Histogram, MetricsRegistry};
+use warptree_obs::{Counter, Histogram, MetricsRegistry, Trace, TraceSpan};
 
 use crate::search::answers::SearchStats;
 
@@ -68,6 +68,16 @@ pub struct SearchMetrics {
     pub filter_ns: Histogram,
     /// Wall time of the post-processing phase, nanoseconds per query.
     pub postprocess_ns: Histogram,
+    /// The per-query span tree stage spans record into. All three
+    /// constructors leave this as [`Trace::noop`]; a caller that wants
+    /// a trace attaches one via [`SearchMetrics::with_trace`], so
+    /// tracing is sampled per query while the counters stay shared.
+    pub trace: Trace,
+    /// Parent span id for spans opened through
+    /// [`trace_span`](SearchMetrics::trace_span) — set by
+    /// [`under`](SearchMetrics::under) so staged algorithms (kNN
+    /// rounds) nest their re-invoked stages correctly.
+    trace_parent: Option<u32>,
 }
 
 impl SearchMetrics {
@@ -89,6 +99,8 @@ impl SearchMetrics {
             answers: Counter::active(),
             filter_ns: Histogram::active(),
             postprocess_ns: Histogram::active(),
+            trace: Trace::noop(),
+            trace_parent: None,
         }
     }
 
@@ -111,6 +123,8 @@ impl SearchMetrics {
             answers: Counter::noop(),
             filter_ns: Histogram::noop(),
             postprocess_ns: Histogram::noop(),
+            trace: Trace::noop(),
+            trace_parent: None,
         }
     }
 
@@ -133,6 +147,8 @@ impl SearchMetrics {
             answers: reg.counter("search.answers"),
             filter_ns: reg.histogram("search.filter_ns"),
             postprocess_ns: reg.histogram("search.postprocess_ns"),
+            trace: Trace::noop(),
+            trace_parent: None,
         }
     }
 
@@ -144,11 +160,48 @@ impl SearchMetrics {
     /// hot loop never contends on shared atomics — and a no-op caller
     /// keeps paying nothing.
     pub fn scratch(&self) -> SearchMetrics {
-        if self.rows_pushed.is_active() {
+        let mut m = if self.rows_pushed.is_active() {
             SearchMetrics::new()
         } else {
             SearchMetrics::noop()
+        };
+        // The trace rides along: a parallel worker's spans belong to
+        // the same query tree its counters will be folded into.
+        m.trace = self.trace.clone();
+        m.trace_parent = self.trace_parent;
+        m
+    }
+
+    /// Attaches a per-query trace: stage spans opened through
+    /// [`trace_span`](SearchMetrics::trace_span) record into it.
+    /// Tracing is independent of the counter mode, so a server can
+    /// sample traces per query while every query shares one
+    /// registry-backed counter bundle.
+    pub fn with_trace(mut self, trace: Trace) -> SearchMetrics {
+        self.trace = trace;
+        self.trace_parent = None;
+        self
+    }
+
+    /// Opens a stage span named `name` under the current parent span
+    /// (the trace root unless re-parented via
+    /// [`under`](SearchMetrics::under)). One inlined branch when no
+    /// trace is attached.
+    #[inline]
+    pub fn trace_span(&self, name: &str) -> TraceSpan {
+        self.trace.span_with_parent(self.trace_parent, name)
+    }
+
+    /// A clone whose future stage spans nest under `span`. Staged
+    /// algorithms (the kNN ε-expansion loop) hand the per-round clone
+    /// to the stages they re-invoke, so each round's filter and
+    /// postprocess spans parent under that round.
+    pub fn under(&self, span: &TraceSpan) -> SearchMetrics {
+        let mut m = self.clone();
+        if let Some(id) = span.span_id() {
+            m.trace_parent = Some(id);
         }
+        m
     }
 
     /// The current counter totals as a plain-data snapshot (phase
@@ -233,6 +286,38 @@ mod tests {
         a.rows_pushed.add(4);
         b.rows_pushed.add(6);
         assert_eq!(reg.snapshot().counters["search.rows_pushed"], 10);
+    }
+
+    #[test]
+    fn trace_rides_with_scratch_and_nests_under() {
+        let m = SearchMetrics::new().with_trace(Trace::active("t1"));
+        let round = m.trace_span("knn.round");
+        let per_round = m.under(&round);
+        {
+            let filter = per_round.trace_span("filter");
+            // A parallel worker's scratch still records into the same
+            // trace, under the same parent.
+            let scratch = per_round.scratch();
+            let _seg = scratch.trace_span("filter.segment");
+            drop(filter);
+        }
+        drop(round);
+        let data = m.trace.finish().expect("trace attached");
+        assert_eq!(data.spans.len(), 3);
+        assert_eq!(data.spans[0].name, "knn.round");
+        assert_eq!(data.spans[0].parent, None);
+        assert_eq!(data.spans[1].name, "filter");
+        assert_eq!(data.spans[1].parent, Some(0));
+        assert_eq!(data.spans[2].name, "filter.segment");
+        assert_eq!(data.spans[2].parent, Some(0));
+    }
+
+    #[test]
+    fn default_metrics_have_no_trace() {
+        let m = SearchMetrics::new();
+        assert!(!m.trace.is_active());
+        let s = m.trace_span("filter");
+        assert!(!s.is_active());
     }
 
     #[test]

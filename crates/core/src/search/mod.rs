@@ -40,7 +40,9 @@ pub use knn::{
 };
 pub use metrics::SearchMetrics;
 pub use postprocess::postprocess;
-pub use query::{run_query, run_query_with, Coverage, OutputKind, QueryKind, QueryOutput, QueryRequest};
+pub use query::{
+    run_query, run_query_with, Coverage, OutputKind, QueryKind, QueryOutput, QueryRequest,
+};
 pub use segmented::SegmentedIndex;
 pub use seqscan::{seq_scan, SeqScanMode};
 
@@ -63,12 +65,57 @@ pub(crate) fn threshold_search_unchecked<T: SuffixTreeIndex + Sync>(
     params: &SearchParams,
     metrics: &SearchMetrics,
 ) -> AnswerSet {
+    if !metrics.trace.is_active() {
+        let candidates = {
+            let _timer = metrics.filter_ns.span();
+            filter_tree(tree, alphabet, query, params, metrics)
+        };
+        let _timer = metrics.postprocess_ns.span();
+        return postprocess(store, query, &candidates, params, metrics);
+    }
+    // Traced variant: identical work, plus a span per funnel stage
+    // carrying the stage's counter deltas (per-tier kill counts). The
+    // deltas subtract a before-snapshot, so they stay per-stage even
+    // when `metrics` accumulates across rounds or queries.
     let candidates = {
-        let _timer = metrics.filter_ns.span();
-        filter_tree(tree, alphabet, query, params, metrics)
+        let span = metrics.trace_span("filter");
+        let scoped = metrics.under(&span);
+        let before = metrics.snapshot();
+        let candidates = {
+            let _timer = metrics.filter_ns.span();
+            filter_tree(tree, alphabet, query, params, &scoped)
+        };
+        let d = metrics.snapshot();
+        span.attr_u64("nodes_visited", d.nodes_visited - before.nodes_visited);
+        span.attr_u64(
+            "branches_pruned",
+            d.branches_pruned - before.branches_pruned,
+        );
+        span.attr_u64("filter_cells", d.filter_cells - before.filter_cells);
+        span.attr_u64(
+            "stored_candidates",
+            d.stored_candidates - before.stored_candidates,
+        );
+        span.attr_u64("lb2_candidates", d.lb2_candidates - before.lb2_candidates);
+        span.attr_u64("candidates", d.candidates - before.candidates);
+        candidates
     };
-    let _timer = metrics.postprocess_ns.span();
-    postprocess(store, query, &candidates, params, metrics)
+    let span = metrics.trace_span("postprocess");
+    let scoped = metrics.under(&span);
+    let before = metrics.snapshot();
+    let answers = {
+        let _timer = metrics.postprocess_ns.span();
+        postprocess(store, query, &candidates, params, &scoped)
+    };
+    let d = metrics.snapshot();
+    span.attr_u64("postprocessed", d.postprocessed - before.postprocessed);
+    span.attr_u64(
+        "postprocess_cells",
+        d.postprocess_cells - before.postprocess_cells,
+    );
+    span.attr_u64("false_alarms", d.false_alarms - before.false_alarms);
+    span.attr_u64("answers", d.answers - before.answers);
+    answers
 }
 
 /// Runs a complete similarity search over a suffix-tree index:

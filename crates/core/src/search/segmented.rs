@@ -170,6 +170,16 @@ impl<T: SuffixTreeIndex> SuffixTreeIndex for SegmentedIndex<'_, T> {
             SegNode::Inner { seg, node } => self.seg(seg).suffix_count_below(node),
         }
     }
+
+    fn segment_hint(&self, n: Self::Node) -> Option<u32> {
+        // `for_each_child(Root)` emits each segment's children as one
+        // contiguous run, so the filter can group root-level trace spans
+        // per segment from this hint alone.
+        match n {
+            SegNode::Root => None,
+            SegNode::Inner { seg, .. } => Some(seg),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +354,39 @@ mod tests {
         assert!(out.is_ranked());
         assert_eq!(out.len(), 2);
         assert_eq!(stats.answers, 2, "snapshot reports returned answers");
+    }
+
+    #[test]
+    fn traced_query_groups_filter_spans_per_segment() {
+        use warptree_obs::{AttrValue, Trace};
+        let (store, alphabet, cat) = setup();
+        let t0 = ToyTree::build_range(&cat, 0..2);
+        let t1 = ToyTree::build_range(&cat, 2..4);
+        let seg = SegmentedIndex::new(vec![&t0, &t1]);
+        let trace = Trace::active("t-seg");
+        let m = crate::search::SearchMetrics::new().with_trace(trace.clone());
+        let req = QueryRequest::threshold(&[5.0, 9.0], 1.0);
+        let _ = crate::search::run_query_with(&seg, &alphabet, &store, &req, &m).unwrap();
+        let data = trace.finish().unwrap();
+        let filter_id = data
+            .spans
+            .iter()
+            .find(|s| s.name == "filter")
+            .expect("filter stage span")
+            .id;
+        let segs: Vec<u64> = data
+            .spans
+            .iter()
+            .filter(|s| s.name == "filter.segment")
+            .map(|s| {
+                assert_eq!(s.parent, Some(filter_id), "segment spans nest under filter");
+                match s.attrs.iter().find(|(k, _)| k == "segment") {
+                    Some((_, AttrValue::U64(v))) => *v,
+                    other => panic!("missing segment attr: {other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(segs, vec![0, 1], "one span per segment, in segment order");
     }
 
     #[test]

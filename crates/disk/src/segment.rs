@@ -407,7 +407,11 @@ pub fn scrub_dir_with(
         if let Err(e) = corpus_reader.verify_page(p) {
             report.unrecoverable = Some(format!(
                 "corpus {}: {e}",
-                resolved.corpus_path.file_name().unwrap_or_default().to_string_lossy()
+                resolved
+                    .corpus_path
+                    .file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
             ));
             return Ok(report);
         }

@@ -33,8 +33,7 @@ use std::sync::Arc;
 use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::error::CoreError;
 use warptree_core::search::{
-    run_query_with, Coverage, QueryOutput, QueryRequest, SearchMetrics, SearchStats,
-    SegmentedIndex,
+    run_query_with, Coverage, QueryOutput, QueryRequest, SearchMetrics, SearchStats, SegmentedIndex,
 };
 use warptree_core::sequence::{SeqId, SequenceStore};
 
@@ -152,7 +151,63 @@ impl DirSnapshot {
 
     /// [`run_query`](DirSnapshot::run_query) recording into an external
     /// [`SearchMetrics`] (no stats snapshot).
+    ///
+    /// When `metrics` carries an active trace, the query additionally
+    /// attaches a `pager.io` span attributing page reads and buffer-pool
+    /// hits to each live tree (base + tail segments) over the query's
+    /// lifetime — deltas of the trees' cumulative I/O counters, so they
+    /// are per-query even though the pager accumulates per tree. Other
+    /// concurrent queries over the same snapshot bleed into the deltas;
+    /// attribution is exact only for the common one-query-per-snapshot
+    /// tracing setup.
     pub fn run_query_with(
+        &self,
+        req: &QueryRequest,
+        metrics: &SearchMetrics,
+    ) -> std::result::Result<QueryOutput, CoreError> {
+        if !metrics.trace.is_active() {
+            return self.run_query_untraced(req, metrics);
+        }
+        let before = self.live_trees_io();
+        let out = self.run_query_untraced(req, metrics);
+        self.attach_io_span(metrics, &before);
+        out
+    }
+
+    fn live_trees_io(&self) -> Vec<crate::pager::IoStats> {
+        std::iter::once(&self.tree)
+            .chain(self.segments.iter())
+            .map(|t| t.io_stats())
+            .collect()
+    }
+
+    /// Closes the pager-attribution loop: a `pager.io` span whose attrs
+    /// are the per-tree (and total) deltas of page reads / buffer-pool
+    /// hits since `before` was sampled.
+    fn attach_io_span(&self, metrics: &SearchMetrics, before: &[crate::pager::IoStats]) {
+        let span = metrics.trace_span("pager.io");
+        let after = self.live_trees_io();
+        let (mut pages, mut hits) = (0u64, 0u64);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            let (p, h) = (
+                a.pages_read.saturating_sub(b.pages_read),
+                a.cache_hits.saturating_sub(b.cache_hits),
+            );
+            let label = if i == 0 {
+                "base".to_string()
+            } else {
+                format!("seg{}", i - 1)
+            };
+            span.attr_u64(&format!("{label}_pages_read"), p);
+            span.attr_u64(&format!("{label}_cache_hits"), h);
+            pages += p;
+            hits += h;
+        }
+        span.attr_u64("pages_read", pages);
+        span.attr_u64("cache_hits", hits);
+    }
+
+    fn run_query_untraced(
         &self,
         req: &QueryRequest,
         metrics: &SearchMetrics,
@@ -183,9 +238,27 @@ impl DirSnapshot {
         &self,
         req: &QueryRequest,
     ) -> std::result::Result<DegradedQuery, DegradedError> {
+        self.run_query_degraded_traced(req, &warptree_obs::Trace::noop())
+    }
+
+    /// [`run_query_degraded`](DirSnapshot::run_query_degraded) with the
+    /// query's work recorded into `trace`: each attempt's stage spans
+    /// (filter / postprocess / per-segment fan-out) plus a `pager.io`
+    /// attribution span land in the trace. An inactive (noop) trace
+    /// makes this identical to the untraced path.
+    pub fn run_query_degraded_traced(
+        &self,
+        req: &QueryRequest,
+        trace: &warptree_obs::Trace,
+    ) -> std::result::Result<DegradedQuery, DegradedError> {
         let mut detected: Vec<String> = Vec::new();
         loop {
-            let metrics = SearchMetrics::new();
+            let metrics = SearchMetrics::new().with_trace(trace.clone());
+            let io_before = if trace.is_active() {
+                Some(self.live_trees_io())
+            } else {
+                None
+            };
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut trees: Vec<&DiskTree> = Vec::with_capacity(1 + self.segments.len());
                 trees.push(&self.tree);
@@ -203,6 +276,9 @@ impl DirSnapshot {
             }));
             match attempt {
                 Ok(Ok(mut output)) => {
+                    if let Some(before) = &io_before {
+                        self.attach_io_span(&metrics, before);
+                    }
                     let mut stats = metrics.snapshot();
                     if matches!(req.kind, warptree_core::search::QueryKind::Knn(_)) {
                         stats.answers = output.len() as u64;
@@ -251,15 +327,15 @@ impl DirSnapshot {
         let excluded = self
             .segment_metas
             .iter()
-            .filter(|m| detected.iter().any(|d| *d == m.file))
+            .filter(|m| detected.contains(&m.file))
             .count();
         let segments_total = 1 + self.segments.len() + self.quarantined.len();
         let mut missing = 0u64;
-        for m in self
-            .quarantined
-            .iter()
-            .chain(self.segment_metas.iter().filter(|m| detected.contains(&m.file)))
-        {
+        for m in self.quarantined.iter().chain(
+            self.segment_metas
+                .iter()
+                .filter(|m| detected.contains(&m.file)),
+        ) {
             missing += self.range_suffixes(m);
         }
         let suffixes_total = self.store.total_len();

@@ -325,6 +325,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_quantiles_are_zero_at_every_q() {
+        let s = HistogramSnapshot::empty();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+        // Out-of-range q values clamp instead of panicking.
+        assert_eq!(s.quantile(-1.0), 0);
+        assert_eq!(s.quantile(2.0), 0);
+    }
+
+    #[test]
+    fn top_bucket_saturates_at_u64_max() {
+        let h = Histogram::active();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1u64 << 63); // same (top) bucket, smaller value
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[64], 3);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.min, 1u64 << 63);
+        // The top bucket's upper bound is u64::MAX, clamped to the
+        // observed max — no overflow in `bucket_upper`.
+        assert_eq!(s.quantile(0.99), u64::MAX);
+        // All samples share the top bucket, so even p0 reports that
+        // bucket's upper bound (clamped to the observed max).
+        assert_eq!(s.quantile(0.0), u64::MAX);
+        // The sum wrapped (MAX + MAX + 2^63 mod 2^64) rather than
+        // panicking in the atomic add.
+        assert_eq!(
+            s.sum,
+            u64::MAX.wrapping_add(u64::MAX).wrapping_add(1u64 << 63)
+        );
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_histograms_keeps_both_tails() {
+        // a populates only low buckets, b only the top bucket; the
+        // merged distribution must report quantiles spanning both.
+        let a = Histogram::active();
+        let b = Histogram::active();
+        for _ in 0..9 {
+            a.record(1);
+        }
+        b.record(u64::MAX);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 10);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, u64::MAX);
+        assert_eq!(m.buckets[1], 9);
+        assert_eq!(m.buckets[64], 1);
+        // p50 sits in the low tail, p99 in the top bucket.
+        assert_eq!(m.quantile(0.5), 1);
+        assert_eq!(m.quantile(0.99), u64::MAX);
+        // Merging in the other order gives the identical snapshot.
+        let mut m2 = b.snapshot();
+        m2.merge(&a.snapshot());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
     fn spans_nest_and_accumulate() {
         let outer = Histogram::active();
         let inner = Histogram::active();

@@ -11,8 +11,12 @@
 //!   estimation and merging.
 //! * [`Span`] — a scoped timing guard recording its elapsed wall time
 //!   into a histogram on drop.
+//! * [`Trace`]/[`TraceSpan`] — a per-query tree of named, timed stage
+//!   spans with attributes, snapshotted as a [`TraceData`].
 //! * [`MetricsRegistry`] — a named collection of the above, snapshotted
-//!   into a [`MetricsSnapshot`] renderable as text or JSON.
+//!   into a [`MetricsSnapshot`] renderable as text, JSON, or the
+//!   Prometheus text exposition format
+//!   ([`MetricsSnapshot::to_prometheus`]).
 //!
 //! ## The no-op mode
 //!
@@ -31,7 +35,9 @@ mod counter;
 mod hist;
 pub mod json;
 mod registry;
+mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use hist::{Histogram, HistogramSnapshot, Span};
-pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use registry::{sanitize_metric_name, MetricsRegistry, MetricsSnapshot};
+pub use trace::{AttrValue, SpanData, Trace, TraceData, TraceSpan};

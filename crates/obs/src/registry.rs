@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::counter::{Counter, Gauge};
 use crate::hist::{HistInner, Histogram, HistogramSnapshot};
@@ -13,6 +14,25 @@ enum Metric {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicU64>),
     Histogram(Arc<HistInner>),
+}
+
+struct RegistryInner {
+    map: Mutex<BTreeMap<String, Metric>>,
+    /// Monotonic creation time; snapshots report their age against it
+    /// so scrapes can turn lifetime totals into true rates.
+    created: Instant,
+    /// Wall-clock creation time (ms since the Unix epoch), so a
+    /// snapshot can stamp itself with an absolute timestamp without a
+    /// second `SystemTime` syscall per scrape.
+    created_unix_ms: u64,
+}
+
+fn unix_ms_now() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// A named collection of metrics shared across a process.
@@ -28,14 +48,18 @@ enum Metric {
 /// updates.
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
-    inner: Option<Arc<Mutex<BTreeMap<String, Metric>>>>,
+    inner: Option<Arc<RegistryInner>>,
 }
 
 impl MetricsRegistry {
     /// A live registry.
     pub fn new() -> Self {
         MetricsRegistry {
-            inner: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+            inner: Some(Arc::new(RegistryInner {
+                map: Mutex::new(BTreeMap::new()),
+                created: Instant::now(),
+                created_unix_ms: unix_ms_now(),
+            })),
         }
     }
 
@@ -60,7 +84,7 @@ impl MetricsRegistry {
         let Some(inner) = &self.inner else {
             return Counter::noop();
         };
-        let mut map = inner.lock().expect("metrics registry poisoned");
+        let mut map = inner.map.lock().expect("metrics registry poisoned");
         let metric = map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
@@ -80,7 +104,7 @@ impl MetricsRegistry {
         let Some(inner) = &self.inner else {
             return Gauge::noop();
         };
-        let mut map = inner.lock().expect("metrics registry poisoned");
+        let mut map = inner.map.lock().expect("metrics registry poisoned");
         let metric = map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
@@ -100,7 +124,7 @@ impl MetricsRegistry {
         let Some(inner) = &self.inner else {
             return Histogram::noop();
         };
-        let mut map = inner.lock().expect("metrics registry poisoned");
+        let mut map = inner.map.lock().expect("metrics registry poisoned");
         let metric = map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(HistInner::new())));
@@ -123,7 +147,12 @@ impl MetricsRegistry {
         let Some(inner) = &self.inner else {
             return snap;
         };
-        let map = inner.lock().expect("metrics registry poisoned");
+        snap.uptime_ms = inner.created.elapsed().as_millis() as u64;
+        // Derived from the cached creation wall-clock so a scrape costs
+        // no extra syscall; drift against a stepped system clock is
+        // acceptable for a telemetry timestamp.
+        snap.snapshot_unix_ms = inner.created_unix_ms.saturating_add(snap.uptime_ms);
+        let map = inner.map.lock().expect("metrics registry poisoned");
         for (name, metric) in map.iter() {
             match metric {
                 Metric::Counter(cell) => {
@@ -155,6 +184,7 @@ impl MetricsRegistry {
 ///
 /// ```json
 /// {
+///   "uptime_ms": 1, "snapshot_unix_ms": 1,
 ///   "counters": { "name": 1, … },
 ///   "gauges": { "name": 1.5, … },
 ///   "histograms": {
@@ -165,6 +195,13 @@ impl MetricsRegistry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSnapshot {
+    /// Monotonic milliseconds from registry creation to this snapshot
+    /// — the denominator for turning lifetime counter totals into true
+    /// rates. `0` for a no-op registry.
+    pub uptime_ms: u64,
+    /// Wall-clock snapshot time, milliseconds since the Unix epoch.
+    /// `0` for a no-op registry.
+    pub snapshot_unix_ms: u64,
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
@@ -181,7 +218,10 @@ impl MetricsSnapshot {
 
     /// Serializes the snapshot as a single JSON object.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"counters\":{");
+        let mut out = format!(
+            "{{\"uptime_ms\":{},\"snapshot_unix_ms\":{},\"counters\":{{",
+            self.uptime_ms, self.snapshot_unix_ms
+        );
         for (i, (name, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -216,6 +256,75 @@ impl MetricsSnapshot {
         out.push_str("}}");
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric, dotted names
+    /// sanitized to `[a-zA-Z0-9_]`, histograms rendered as summaries
+    /// with `quantile` labels plus `_sum`/`_count` series. Names that
+    /// collide after sanitization keep the first occurrence — the
+    /// exposition never emits a duplicate series.
+    pub fn to_prometheus(&self) -> String {
+        fn val(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "NaN".to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut seen = std::collections::BTreeSet::new();
+        out.push_str("# TYPE uptime_ms gauge\n");
+        out.push_str(&format!("uptime_ms {}\n", self.uptime_ms));
+        seen.insert("uptime_ms".to_string());
+        for (name, v) in &self.counters {
+            let name = sanitize_metric_name(name);
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = sanitize_metric_name(name);
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", val(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize_metric_name(name);
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    h.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`,
+/// and a leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -284,6 +393,69 @@ mod tests {
         let reg = MetricsRegistry::new();
         let _ = reg.counter("x");
         let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_carries_uptime_and_timestamp() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").incr();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let snap = reg.snapshot();
+        assert!(snap.uptime_ms >= 2, "uptime_ms = {}", snap.uptime_ms);
+        // A real wall clock (2020-01-01 in ms is ~1.577e12).
+        assert!(snap.snapshot_unix_ms > 1_577_000_000_000);
+        let j = snap.to_json();
+        assert!(j.starts_with("{\"uptime_ms\":"), "{j}");
+        assert!(j.contains("\"snapshot_unix_ms\":"));
+        // A no-op registry reports neither.
+        let empty = MetricsRegistry::noop().snapshot();
+        assert_eq!(empty.uptime_ms, 0);
+        assert_eq!(empty.snapshot_unix_ms, 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("server.requests_ok").add(3);
+        reg.set_gauge("server.queue_depth", 2.0);
+        reg.histogram("server.request_ns").record(1000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE server_requests_ok counter\n"));
+        assert!(text.contains("server_requests_ok 3\n"));
+        assert!(text.contains("# TYPE server_queue_depth gauge\n"));
+        assert!(text.contains("server_queue_depth 2\n"));
+        assert!(text.contains("# TYPE server_request_ns summary\n"));
+        assert!(text.contains("server_request_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("server_request_ns_sum 1000\n"));
+        assert!(text.contains("server_request_ns_count 1\n"));
+        assert!(text.contains("# TYPE uptime_ms gauge\n"));
+        // No duplicate bare series names.
+        let mut names = std::collections::BTreeSet::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let bare = line
+                .split(|c| c == '{' || c == ' ')
+                .next()
+                .unwrap()
+                .to_string();
+            assert!(
+                bare.ends_with("_sum")
+                    || bare.ends_with("_count")
+                    || line.contains("quantile=")
+                    || names.insert(bare.clone()),
+                "duplicate series {bare:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitizer_maps_to_prometheus_grammar() {
+        assert_eq!(
+            sanitize_metric_name("disk.vfs.read_bytes"),
+            "disk_vfs_read_bytes"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
     }
 
     #[test]

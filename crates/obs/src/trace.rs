@@ -1,0 +1,452 @@
+//! Per-query trace span trees.
+//!
+//! A [`Trace`] records one query's journey through the search funnel as
+//! a tree of named, timed spans with attached attributes: which
+//! segments the filter fanned out to, how many branches Theorem 1
+//! pruned in each, how long the exact-DTW postprocess took, how much
+//! pager I/O each stage caused. It follows the same `Option<Arc<…>>`
+//! no-op contract as [`Counter`](crate::Counter): a handle from
+//! [`Trace::noop`] makes every operation an inlined `is_some` check —
+//! no clock reads, no allocation, no locking — so the search code can
+//! thread tracing unconditionally and the server can sample 1-in-N
+//! queries without taxing the rest.
+//!
+//! Spans are identified by their creation index and carry an optional
+//! parent id, so the flat span list snapshotted by [`Trace::finish`]
+//! reconstructs the tree even when spans were opened concurrently from
+//! parallel workers (creation order is serialized by one mutex; wall
+//! times are offsets from the trace's start).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json;
+
+/// An attribute value attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned integer (counts, bytes, ids).
+    U64(u64),
+    /// A float (ε values, rates).
+    F64(f64),
+    /// A short string (segment names, outcomes).
+    Str(String),
+}
+
+impl AttrValue {
+    fn to_json(&self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::F64(v) => json::num(*v),
+            AttrValue::Str(s) => format!("\"{}\"", json::escape(s)),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::F64(v) => format!("{v}"),
+            AttrValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// One recorded span: a named, timed node of the trace tree.
+#[derive(Clone, Debug)]
+pub struct SpanData {
+    /// Creation index, unique within the trace.
+    pub id: u32,
+    /// Parent span id; `None` for a root span.
+    pub parent: Option<u32>,
+    /// Stage name (e.g. `"filter"`, `"filter.segment"`).
+    pub name: String,
+    /// Start offset from the trace's start, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds. `0` when the span was never closed
+    /// before the trace was snapshotted.
+    pub dur_ns: u64,
+    /// Attributes in attachment order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    start: Instant,
+    trace_id: String,
+    spans: Mutex<Vec<SpanData>>,
+}
+
+/// A handle to one query's span tree (or a no-op).
+///
+/// Cloning is cheap (`Arc`); all clones record into the same tree, so
+/// the handle can ride along into parallel workers. Dropping every
+/// clone discards the trace; call [`Trace::finish`] first to snapshot
+/// it.
+#[derive(Clone, Debug, Default)]
+pub struct Trace(Option<Arc<TraceInner>>);
+
+impl Trace {
+    /// A live trace identified by `trace_id` (the id travels with the
+    /// trace into the slow-query log and wire responses).
+    pub fn active(trace_id: impl Into<String>) -> Trace {
+        Trace(Some(Arc::new(TraceInner {
+            start: Instant::now(),
+            trace_id: trace_id.into(),
+            spans: Mutex::new(Vec::new()),
+        })))
+    }
+
+    /// A trace that records nothing; every operation is one branch.
+    pub fn noop() -> Trace {
+        Trace(None)
+    }
+
+    /// `true` when this trace records spans.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The trace id, when active.
+    pub fn id(&self) -> Option<&str> {
+        self.0.as_deref().map(|i| i.trace_id.as_str())
+    }
+
+    /// Opens a root-level span named `name`.
+    pub fn span(&self, name: &str) -> TraceSpan {
+        self.span_with_parent(None, name)
+    }
+
+    /// Opens a span under an explicit parent id (`None` = root). This
+    /// is the plumbing hook for code that carries a parent id across a
+    /// clone boundary (e.g. `SearchMetrics` handing a kNN round span
+    /// down to the filter it re-invokes) rather than a `&TraceSpan`.
+    pub fn span_with_parent(&self, parent: Option<u32>, name: &str) -> TraceSpan {
+        let Some(inner) = &self.0 else {
+            return TraceSpan {
+                inner: None,
+                id: 0,
+                start: None,
+            };
+        };
+        let start = Instant::now();
+        let start_ns = start.duration_since(inner.start).as_nanos() as u64;
+        let mut spans = inner.spans.lock().expect("trace poisoned");
+        let id = spans.len() as u32;
+        spans.push(SpanData {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            dur_ns: 0,
+            attrs: Vec::new(),
+        });
+        TraceSpan {
+            inner: Some(inner.clone()),
+            id,
+            start: Some(start),
+        }
+    }
+
+    /// Snapshots the recorded tree; `None` for a no-op trace. The
+    /// trace keeps recording — `finish` copies, it does not consume —
+    /// so the caller decides when a query is "done".
+    pub fn finish(&self) -> Option<TraceData> {
+        let inner = self.0.as_deref()?;
+        let spans = inner.spans.lock().expect("trace poisoned").clone();
+        Some(TraceData {
+            trace_id: inner.trace_id.clone(),
+            total_ns: inner.start.elapsed().as_nanos() as u64,
+            spans,
+        })
+    }
+}
+
+/// An open span. Records its duration when dropped (or explicitly via
+/// [`TraceSpan::close`]); attributes may be attached while open.
+#[derive(Debug)]
+pub struct TraceSpan {
+    inner: Option<Arc<TraceInner>>,
+    id: u32,
+    start: Option<Instant>,
+}
+
+impl TraceSpan {
+    /// `true` when this span records into a live trace.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's id within its trace, `None` for a no-op span. Used
+    /// with [`Trace::span_with_parent`] to parent across clone
+    /// boundaries.
+    pub fn span_id(&self) -> Option<u32> {
+        self.inner.as_ref().map(|_| self.id)
+    }
+
+    /// Opens a child span named `name`.
+    pub fn child(&self, name: &str) -> TraceSpan {
+        match &self.inner {
+            None => TraceSpan {
+                inner: None,
+                id: 0,
+                start: None,
+            },
+            Some(inner) => Trace(Some(inner.clone())).span_with_parent(Some(self.id), name),
+        }
+    }
+
+    /// Attaches an integer attribute.
+    pub fn attr_u64(&self, key: &str, v: u64) {
+        self.attr(key, AttrValue::U64(v));
+    }
+
+    /// Attaches a float attribute.
+    pub fn attr_f64(&self, key: &str, v: f64) {
+        self.attr(key, AttrValue::F64(v));
+    }
+
+    /// Attaches a string attribute.
+    pub fn attr_str(&self, key: &str, v: &str) {
+        self.attr(key, AttrValue::Str(v.to_string()));
+    }
+
+    fn attr(&self, key: &str, v: AttrValue) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut spans = inner.spans.lock().expect("trace poisoned");
+        if let Some(s) = spans.get_mut(self.id as usize) {
+            s.attrs.push((key.to_string(), v));
+        }
+    }
+
+    /// Closes the span now (otherwise `Drop` does).
+    pub fn close(self) {
+        drop(self);
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (&self.inner, self.start) else {
+            return;
+        };
+        let dur = start.elapsed().as_nanos() as u64;
+        let mut spans = inner.spans.lock().expect("trace poisoned");
+        if let Some(s) = spans.get_mut(self.id as usize) {
+            s.dur_ns = dur;
+        }
+    }
+}
+
+/// A completed trace: the flat span list (ids + parent links encode
+/// the tree) plus the total wall time from trace creation to
+/// [`Trace::finish`].
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// The id the trace was created with.
+    pub trace_id: String,
+    /// Nanoseconds from trace creation to the snapshot.
+    pub total_ns: u64,
+    /// Every span, in creation order (`spans[i].id == i`).
+    pub spans: Vec<SpanData>,
+}
+
+impl TraceData {
+    /// Serializes the trace as one JSON object:
+    ///
+    /// ```json
+    /// {"trace_id":"…","total_ns":1,
+    ///  "spans":[{"id":0,"parent":null,"name":"…","start_ns":0,
+    ///            "dur_ns":1,"attrs":{"k":1}},…]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"trace_id\":\"{}\",\"total_ns\":{},\"spans\":[",
+            json::escape(&self.trace_id),
+            self.total_ns
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{",
+                s.id,
+                match s.parent {
+                    Some(p) => p.to_string(),
+                    None => "null".into(),
+                },
+                json::escape(&s.name),
+                s.start_ns,
+                s.dur_ns,
+            ));
+            for (j, (k, v)) in s.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json::escape(k), v.to_json()));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the span tree as indented text for terminals:
+    ///
+    /// ```text
+    /// trace 4f21c09a (2.134 ms)
+    ///   filter 1.201ms  [segments=3]
+    ///     filter.segment 0.331ms  [segment=0 branches_pruned=12]
+    ///   postprocess 0.790ms  [postprocessed=41 false_alarms=33]
+    /// ```
+    pub fn render(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) if (p as usize) < self.spans.len() => children[p as usize].push(i),
+                _ => roots.push(i),
+            }
+        }
+        let mut out = format!(
+            "trace {} ({:.3} ms)\n",
+            self.trace_id,
+            self.total_ns as f64 / 1e6
+        );
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 1)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let s = &self.spans[i];
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{} {:.3}ms", s.name, s.dur_ns as f64 / 1e6));
+            if !s.attrs.is_empty() {
+                let rendered: Vec<String> = s
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render()))
+                    .collect();
+                out.push_str(&format!("  [{}]", rendered.join(" ")));
+            }
+            out.push('\n');
+            for &c in children[i].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_trace_records_nothing() {
+        let t = Trace::noop();
+        assert!(!t.is_active());
+        assert!(t.id().is_none());
+        let s = t.span("filter");
+        assert!(!s.is_active());
+        assert!(s.span_id().is_none());
+        s.attr_u64("n", 1);
+        let c = s.child("inner");
+        assert!(!c.is_active());
+        drop(c);
+        drop(s);
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn spans_build_a_tree_with_attrs() {
+        let t = Trace::active("abc123");
+        assert_eq!(t.id(), Some("abc123"));
+        {
+            let filter = t.span("filter");
+            filter.attr_u64("segments", 2);
+            {
+                let seg = filter.child("filter.segment");
+                seg.attr_u64("segment", 0);
+                seg.attr_f64("epsilon", 2.5);
+                seg.attr_str("mode", "sparse");
+            }
+            let _post = t.span("postprocess");
+        }
+        let data = t.finish().expect("active trace");
+        assert_eq!(data.trace_id, "abc123");
+        assert_eq!(data.spans.len(), 3);
+        assert_eq!(data.spans[0].name, "filter");
+        assert_eq!(data.spans[0].parent, None);
+        assert_eq!(data.spans[1].name, "filter.segment");
+        assert_eq!(data.spans[1].parent, Some(0));
+        assert_eq!(data.spans[2].parent, None);
+        assert_eq!(
+            data.spans[1].attrs,
+            vec![
+                ("segment".to_string(), AttrValue::U64(0)),
+                ("epsilon".to_string(), AttrValue::F64(2.5)),
+                ("mode".to_string(), AttrValue::Str("sparse".into())),
+            ]
+        );
+        // Closed spans carry a duration; ids index the span list.
+        for (i, s) in data.spans.iter().enumerate() {
+            assert_eq!(s.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn explicit_parenting_crosses_clone_boundaries() {
+        let t = Trace::active("x");
+        let round = t.span("knn.round");
+        let rid = round.span_id();
+        let t2 = t.clone();
+        let inner = t2.span_with_parent(rid, "filter");
+        drop(inner);
+        drop(round);
+        let data = t.finish().unwrap();
+        assert_eq!(data.spans[1].parent, Some(0));
+    }
+
+    #[test]
+    fn json_and_render_are_well_formed() {
+        let t = Trace::active("id-1");
+        {
+            let a = t.span("a");
+            a.attr_u64("count", 3);
+            let _b = a.child("b");
+        }
+        let data = t.finish().unwrap();
+        let j = data.to_json();
+        assert!(j.starts_with("{\"trace_id\":\"id-1\""));
+        assert!(j.contains("\"name\":\"a\""));
+        assert!(j.contains("\"attrs\":{\"count\":3}"));
+        assert!(j.contains("\"parent\":0"));
+        let text = data.render();
+        assert!(text.starts_with("trace id-1"));
+        // b nests one level deeper than a.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("  a "));
+        assert!(lines[2].starts_with("    b "));
+        assert!(lines[1].contains("[count=3]"));
+    }
+
+    #[test]
+    fn unclosed_spans_snapshot_with_zero_duration() {
+        let t = Trace::active("z");
+        let open = t.span("still-open");
+        let data = t.finish().unwrap();
+        assert_eq!(data.spans[0].dur_ns, 0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        open.close();
+        assert!(t.finish().unwrap().spans[0].dur_ns > 0);
+    }
+
+    #[test]
+    fn trace_handles_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trace>();
+        assert_send_sync::<TraceSpan>();
+    }
+}

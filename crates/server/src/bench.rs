@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::client::{search_request, Client, ClientError};
+use crate::client::{search_request_v4, Client, ClientError};
 
 /// How connections pace their requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +95,15 @@ pub struct BenchReport {
     pub p99_us: u64,
     /// Maximum latency, microseconds.
     pub max_us: u64,
+    /// Server-reported queue wait (admission → dequeue), microseconds:
+    /// `[p50, p95, p99]`. Split out of end-to-end latency via the
+    /// protocol-v4 `"timings"` object, so an overloaded run shows
+    /// *where* the time went — waiting for a worker vs. doing the
+    /// search.
+    pub queue_wait_us: [u64; 3],
+    /// Server-reported service time (dequeue → response built),
+    /// microseconds: `[p50, p95, p99]`.
+    pub service_us: [u64; 3],
     /// Echo of the run shape for the committed artifact.
     pub connections: usize,
     /// Pacing mode (`"closed"` or `"open@<rate>"`).
@@ -106,7 +115,7 @@ impl BenchReport {
     /// schema).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"connections\":{},\"mode\":\"{}\",\"sent\":{},\"ok\":{},\"overloaded\":{},\"deadline_exceeded\":{},\"errors\":{},\"conn_failures\":{},\"matches\":{},\"elapsed_ms\":{},\"throughput_rps\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}",
+            "{{\"connections\":{},\"mode\":\"{}\",\"sent\":{},\"ok\":{},\"overloaded\":{},\"deadline_exceeded\":{},\"errors\":{},\"conn_failures\":{},\"matches\":{},\"elapsed_ms\":{},\"throughput_rps\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},\"queue_wait_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\"service_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}}}}",
             self.connections,
             warptree_obs::json::escape(&self.mode),
             self.sent,
@@ -122,6 +131,12 @@ impl BenchReport {
             self.p95_us,
             self.p99_us,
             self.max_us,
+            self.queue_wait_us[0],
+            self.queue_wait_us[1],
+            self.queue_wait_us[2],
+            self.service_us[0],
+            self.service_us[1],
+            self.service_us[2],
         )
     }
 }
@@ -157,7 +172,9 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         .map(|i| {
             let q = &config.queries[i % config.queries.len()];
             let eps = config.epsilons[i % config.epsilons.len()];
-            search_request(q, eps, config.window)
+            // Version 4: the response's "timings" object splits queue
+            // wait from service time server-side.
+            search_request_v4(q, eps, config.window)
         })
         .collect();
     // Fail fast if the server is unreachable before spawning threads.
@@ -177,6 +194,8 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         let next = next.clone();
         threads.push(std::thread::spawn(move || {
             let mut latencies: Vec<u64> = Vec::new();
+            let mut queue_waits: Vec<u64> = Vec::new();
+            let mut services: Vec<u64> = Vec::new();
             let mut counts = [0u64; 4]; // indexed by Outcome
             let mut conn_failures = 0u64;
             let mut matches = 0u64;
@@ -222,6 +241,15 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                             .get("count")
                             .and_then(crate::json::Json::as_u64)
                             .unwrap_or(0);
+                        if let Some(t) = v.get("timings") {
+                            if let Some(q) = t.get("queue_ns").and_then(crate::json::Json::as_u64) {
+                                queue_waits.push(q / 1000);
+                            }
+                            if let Some(s) = t.get("service_ns").and_then(crate::json::Json::as_u64)
+                            {
+                                services.push(s / 1000);
+                            }
+                        }
                         Outcome::Ok
                     }
                     Err(ClientError::Server { ref code, .. }) if code == "overloaded" => {
@@ -244,18 +272,30 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                 }
                 counts[outcome as usize] += 1;
             }
-            (latencies, counts, conn_failures, matches, sent)
+            (
+                latencies,
+                queue_waits,
+                services,
+                counts,
+                conn_failures,
+                matches,
+                sent,
+            )
         }));
     }
 
     let mut latencies: Vec<u64> = Vec::new();
+    let mut queue_waits: Vec<u64> = Vec::new();
+    let mut services: Vec<u64> = Vec::new();
     let mut counts = [0u64; 4];
     let mut conn_failures = 0u64;
     let mut matches = 0u64;
     let mut sent = 0u64;
     for t in threads {
-        let (l, c, cf, m, s) = t.join().expect("bench thread");
+        let (l, qw, sv, c, cf, m, s) = t.join().expect("bench thread");
         latencies.extend(l);
+        queue_waits.extend(qw);
+        services.extend(sv);
         for (acc, v) in counts.iter_mut().zip(c) {
             *acc += v;
         }
@@ -265,6 +305,8 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
     }
     let elapsed = started.elapsed();
     latencies.sort_unstable();
+    queue_waits.sort_unstable();
+    services.sort_unstable();
     let ok = counts[Outcome::Ok as usize];
     Ok(BenchReport {
         sent,
@@ -280,6 +322,16 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
         p95_us: quantile(&latencies, 0.95),
         p99_us: quantile(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0),
+        queue_wait_us: [
+            quantile(&queue_waits, 0.50),
+            quantile(&queue_waits, 0.95),
+            quantile(&queue_waits, 0.99),
+        ],
+        service_us: [
+            quantile(&services, 0.50),
+            quantile(&services, 0.95),
+            quantile(&services, 0.99),
+        ],
         connections,
         mode: match config.mode {
             LoopMode::Closed => "closed".to_string(),
@@ -324,6 +376,8 @@ mod tests {
             p95_us: 200,
             p99_us: 300,
             max_us: 400,
+            queue_wait_us: [5, 40, 80],
+            service_us: [95, 160, 220],
             connections: 4,
             mode: "closed".to_string(),
         };
@@ -338,6 +392,18 @@ mod tests {
                 .and_then(|l| l.get("p99"))
                 .and_then(crate::json::Json::as_u64),
             Some(300)
+        );
+        assert_eq!(
+            v.get("queue_wait_us")
+                .and_then(|l| l.get("p95"))
+                .and_then(crate::json::Json::as_u64),
+            Some(40)
+        );
+        assert_eq!(
+            v.get("service_us")
+                .and_then(|l| l.get("p50"))
+                .and_then(crate::json::Json::as_u64),
+            Some(95)
         );
         assert_eq!(
             v.get("throughput_rps").and_then(crate::json::Json::as_f64),

@@ -225,6 +225,10 @@ mod tests {
         let a = run(cfg.clone());
         let b = run(cfg);
         assert_eq!(a, b);
-        assert!(a.1[0] > 0 && a.1[1] > 0, "both fault kinds fired: {:?}", a.1);
+        assert!(
+            a.1[0] > 0 && a.1[1] > 0,
+            "both fault kinds fired: {:?}",
+            a.1
+        );
     }
 }

@@ -267,6 +267,31 @@ impl Client {
         self.request(&ingest_request(sequences))
     }
 
+    /// ε-threshold search with an end-to-end trace (protocol version
+    /// 4): the response carries `"timings"` and the full span tree
+    /// under `"trace"`. `trace_id` is optional — the server mints one
+    /// when absent.
+    pub fn search_traced(
+        &mut self,
+        query: &[f64],
+        epsilon: f64,
+        trace_id: Option<&str>,
+    ) -> Result<Json, ClientError> {
+        self.request(&traced_search_request(query, epsilon, trace_id))
+    }
+
+    /// The server's slow-query ring, newest entry first (protocol
+    /// version 4).
+    pub fn slowlog(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"slowlog\",\"version\":4}")
+    }
+
+    /// The Prometheus text exposition, as a JSON-escaped string under
+    /// `"exposition"` (protocol version 4).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"metrics\",\"version\":4}")
+    }
+
     /// Liveness probe.
     pub fn health(&mut self) -> Result<Json, ClientError> {
         self.request("{\"op\":\"health\"}")
@@ -317,6 +342,30 @@ pub fn search_request(query: &[f64], epsilon: f64, window: Option<u32>) -> Strin
             warptree_obs::json::num(epsilon)
         ),
     }
+}
+
+/// Builds a version-4 `search` request: same body as
+/// [`search_request`] but declaring protocol version 4, so the
+/// response carries the `"timings"` queue/service split; with
+/// `"trace": true` the server returns the span tree inline.
+pub fn traced_search_request(query: &[f64], epsilon: f64, trace_id: Option<&str>) -> String {
+    let id = match trace_id {
+        Some(id) => format!(",\"trace_id\":\"{}\"", warptree_obs::json::escape(id)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"op\":\"search\",\"version\":4,\"query\":{},\"epsilon\":{},\"trace\":true{id}}}",
+        encode_query(query),
+        warptree_obs::json::num(epsilon)
+    )
+}
+
+/// Builds a version-4 `search` request *without* asking for a trace:
+/// result bytes match the v3 response, plus the `"timings"` object the
+/// bench harness uses to split queue wait from service time.
+pub fn search_request_v4(query: &[f64], epsilon: f64, window: Option<u32>) -> String {
+    let body = search_request(query, epsilon, window);
+    body.replacen("\"version\":3", "\"version\":4", 1)
 }
 
 /// Builds an `ingest` request body (protocol version 2).
@@ -382,7 +431,11 @@ mod tests {
         for _ in 0..100 {
             seen.insert(next_jitter(&mut state) % 1000);
         }
-        assert!(seen.len() > 10, "jitter should spread: {} values", seen.len());
+        assert!(
+            seen.len() > 10,
+            "jitter should spread: {} values",
+            seen.len()
+        );
     }
 
     #[test]

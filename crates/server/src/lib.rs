@@ -19,7 +19,10 @@
 //!   watcher that polls the commit `MANIFEST` and swaps generations
 //!   without dropping requests.
 //! * [`server`] — the TCP accept loop, per-request deadlines, metrics,
-//!   and graceful drain on shutdown.
+//!   per-query tracing, the slow-query ring, and graceful drain on
+//!   shutdown.
+//! * [`http`] — the plain-HTTP `GET /metrics` Prometheus exposition
+//!   endpoint (enabled by `ServerConfig::metrics_addr`).
 //! * [`client`] — a blocking protocol client with jittered-backoff
 //!   retries for `overloaded` rejections and transport failures.
 //! * [`bench`] — an open/closed-loop load generator producing the
@@ -47,6 +50,7 @@
 pub mod bench;
 pub mod chaos;
 pub mod client;
+pub mod http;
 pub mod json;
 pub mod pool;
 pub mod proto;

@@ -15,11 +15,14 @@
 //! {"op":"explain","query":[20.0,21.0],"epsilon":1.5}
 //! {"op":"ingest","version":2,"sequences":[[1.0,2.0],[3.0]]}
 //! {"op":"info"}  {"op":"health"}  {"op":"stats"}  {"op":"shutdown"}
+//! {"op":"slowlog","version":4}  {"op":"metrics","version":4}
 //! ```
 //!
 //! Every query op also accepts an optional `"parallelism"` (worker
 //! subthreads for one request, clamped server-side to the serve
-//! `--threads` cap; results are byte-identical at every value).
+//! `--threads` cap; results are byte-identical at every value), and —
+//! at protocol version 4 — `"trace":true` / `"trace_id":"…"` to
+//! request the query's span tree in the response.
 //!
 //! Requests may carry an optional integer `"version"` (absent =
 //! [`MIN_PROTO_VERSION`]); a version this server does not speak — or an
@@ -203,7 +206,12 @@ pub use warptree_core::error::ErrorCode;
 ///   status. Clients on v1/v2 receive the typed
 ///   `partial_result_unsupported` error instead of a silently
 ///   incomplete answer.
-pub const PROTO_VERSION: u32 = 3;
+/// * **4** — per-query tracing and exposition: query ops accept
+///   `"trace":true` (return the span tree) and `"trace_id":"…"`
+///   (caller-chosen correlation id); query responses carry a
+///   `"timings":{"queue_ns":…,"service_ns":…}` object and, when traced,
+///   a `"trace"` block. Adds the `slowlog` and `metrics` control ops.
+pub const PROTO_VERSION: u32 = 4;
 
 /// The oldest protocol version still accepted. Requests carrying no
 /// `"version"` field are treated as this version.
@@ -273,6 +281,12 @@ pub enum Request {
     Health,
     /// Process metrics snapshot.
     Stats,
+    /// The slow-query ring: recent traced/slow queries, newest first
+    /// (protocol version 4).
+    Slowlog,
+    /// The full metrics registry in Prometheus text exposition format
+    /// (protocol version 4).
+    Metrics,
     /// Ask the server to drain and exit.
     Shutdown,
     /// Append sequences to the served index as a new tail segment
@@ -299,8 +313,33 @@ impl Request {
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            Request::Info | Request::Health | Request::Stats | Request::Shutdown
+            Request::Info
+                | Request::Health
+                | Request::Stats
+                | Request::Slowlog
+                | Request::Metrics
+                | Request::Shutdown
         )
+    }
+
+    /// The op name as it appears on the wire — used for span/slowlog
+    /// labeling, so a trace's `"op"` attribute matches what the client
+    /// sent.
+    pub fn op_label(&self) -> &'static str {
+        match self {
+            Request::Search { .. } => "search",
+            Request::Knn { .. } => "knn",
+            Request::Batch { .. } => "batch",
+            Request::Explain { .. } => "explain",
+            Request::Ingest { .. } => "ingest",
+            Request::Info => "info",
+            Request::Health => "health",
+            Request::Stats => "stats",
+            Request::Slowlog => "slowlog",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+            Request::DebugSleep { .. } => "debug_sleep",
+        }
     }
 
     /// Parses a frame payload. `allow_debug` gates the test-only ops.
@@ -324,6 +363,18 @@ impl Request {
         payload: &[u8],
         allow_debug: bool,
     ) -> Result<(Request, u32), ParseError> {
+        Self::parse_full(payload, allow_debug).map(|(req, v, _)| (req, v))
+    }
+
+    /// The complete parse: request, negotiated version, and the
+    /// protocol-version-4 [`TraceOpts`]. Requesting a trace (or
+    /// supplying a `trace_id`) below version 4 is an
+    /// `unsupported_version` error, so old clients can never receive a
+    /// response shape they do not expect.
+    pub fn parse_full(
+        payload: &[u8],
+        allow_debug: bool,
+    ) -> Result<(Request, u32, TraceOpts), ParseError> {
         let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
         let v = json::parse(text)?;
         let version = match v.get("version") {
@@ -349,6 +400,35 @@ impl Request {
             return Err(ParseError {
                 code: ErrorCode::UnsupportedVersion,
                 message: "op \"ingest\" requires protocol version 2; send \"version\":2"
+                    .to_string(),
+            });
+        }
+        if (op == "slowlog" || op == "metrics") && version < 4 {
+            return Err(ParseError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!("op \"{op}\" requires protocol version 4; send \"version\":4"),
+            });
+        }
+        let trace = TraceOpts {
+            wanted: match v.get("trace") {
+                None | Some(Json::Null) => false,
+                Some(x) => x.as_bool().ok_or("\"trace\" must be a boolean")?,
+            },
+            trace_id: match v.get("trace_id") {
+                None | Some(Json::Null) => None,
+                Some(x) => {
+                    let id = x.as_str().ok_or("\"trace_id\" must be a string")?;
+                    if id.is_empty() || id.len() > 128 {
+                        return Err("\"trace_id\" must be 1..=128 bytes".into());
+                    }
+                    Some(id.to_string())
+                }
+            },
+        };
+        if (trace.wanted || trace.trace_id.is_some()) && version < 4 {
+            return Err(ParseError {
+                code: ErrorCode::UnsupportedVersion,
+                message: "per-query tracing requires protocol version 4; send \"version\":4"
                     .to_string(),
             });
         }
@@ -434,6 +514,8 @@ impl Request {
             "info" => Ok(Request::Info),
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
+            "slowlog" => Ok(Request::Slowlog),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "debug_sleep" if allow_debug => Ok(Request::DebugSleep {
                 ms: v
@@ -443,8 +525,20 @@ impl Request {
             }),
             other => Err(format!("unknown op {other:?}").into()),
         };
-        Ok((req?, version))
+        Ok((req?, version, trace))
     }
+}
+
+/// Per-request tracing options (protocol version 4).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceOpts {
+    /// The client asked for the span tree in the response
+    /// (`"trace":true`). Sampled traces may be recorded server-side
+    /// even when this is `false`.
+    pub wanted: bool,
+    /// Caller-supplied correlation id (`"trace_id"`); the server
+    /// generates one when absent.
+    pub trace_id: Option<String>,
 }
 
 fn numbers(arr: &[Json], what: &str) -> Result<Vec<f64>, String> {
@@ -813,16 +907,16 @@ mod tests {
     fn responses_have_stable_shape() {
         assert_eq!(
             ok_response("health", ""),
-            r#"{"ok":true,"version":3,"op":"health"}"#
+            r#"{"ok":true,"version":4,"op":"health"}"#
         );
         assert_eq!(
             ok_response("info", "\"sequences\":2"),
-            r#"{"ok":true,"version":3,"op":"info","sequences":2}"#
+            r#"{"ok":true,"version":4,"op":"info","sequences":2}"#
         );
         let err = error_response(ErrorCode::Overloaded, "queue full");
         assert_eq!(
             err,
-            r#"{"ok":false,"version":3,"error":{"code":"overloaded","message":"queue full"}}"#
+            r#"{"ok":false,"version":4,"error":{"code":"overloaded","message":"queue full"}}"#
         );
         let parsed = crate::json::parse(&err).unwrap();
         assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
@@ -840,6 +934,7 @@ mod tests {
             (br#"{"op":"health","version":1}"#, 1),
             (br#"{"op":"health","version":2}"#, 2),
             (br#"{"op":"health","version":3}"#, 3),
+            (br#"{"op":"health","version":4}"#, 4),
         ] {
             let (req, version) = Request::parse_versioned(frame, false).unwrap();
             assert_eq!(req, Request::Health);
@@ -848,7 +943,7 @@ mod tests {
         // Out-of-range versions get the typed unsupported_version code.
         for frame in [
             &br#"{"op":"health","version":0}"#[..],
-            br#"{"op":"health","version":4}"#,
+            br#"{"op":"health","version":5}"#,
             br#"{"op":"health","version":99}"#,
         ] {
             let err = Request::parse(frame, false).unwrap_err();
@@ -857,6 +952,57 @@ mod tests {
         // Malformed version values are plain bad requests.
         let err = Request::parse(br#"{"op":"health","version":"two"}"#, false).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn trace_opts_and_v4_ops_are_version_gated() {
+        // v4 query with tracing: opts surface through parse_full.
+        let (req, version, trace) = Request::parse_full(
+            br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"trace":true,"trace_id":"abc"}"#,
+            false,
+        )
+        .unwrap();
+        assert!(matches!(req, Request::Search { .. }));
+        assert_eq!(version, 4);
+        assert_eq!(
+            trace,
+            TraceOpts {
+                wanted: true,
+                trace_id: Some("abc".to_string())
+            }
+        );
+        // Untraced requests carry the default opts.
+        let (_, _, trace) = Request::parse_full(br#"{"op":"health"}"#, false).unwrap();
+        assert_eq!(trace, TraceOpts::default());
+        // Tracing below v4 — and the v4-only ops below v4 — are typed
+        // unsupported_version failures.
+        for frame in [
+            &br#"{"op":"search","query":[1.0],"epsilon":0.5,"trace":true}"#[..],
+            br#"{"op":"search","version":3,"query":[1.0],"epsilon":0.5,"trace_id":"x"}"#,
+            br#"{"op":"slowlog"}"#,
+            br#"{"op":"metrics","version":3}"#,
+        ] {
+            let err = Request::parse(frame, false).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnsupportedVersion, "{frame:?}");
+        }
+        // The v4 control ops parse and are control-classified.
+        for (frame, want) in [
+            (&br#"{"op":"slowlog","version":4}"#[..], Request::Slowlog),
+            (br#"{"op":"metrics","version":4}"#, Request::Metrics),
+        ] {
+            let req = Request::parse(frame, false).unwrap();
+            assert_eq!(req, want);
+            assert!(req.is_control());
+        }
+        // Malformed trace fields are plain bad requests.
+        for frame in [
+            &br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"trace":"yes"}"#[..],
+            br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"trace_id":7}"#,
+            br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"trace_id":""}"#,
+        ] {
+            let err = Request::parse(frame, false).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{frame:?}");
+        }
     }
 
     #[test]
@@ -877,7 +1023,10 @@ mod tests {
         let parsed = crate::json::parse(&resp).unwrap();
         assert_eq!(parsed.get("partial").and_then(Json::as_bool), Some(true));
         let cov = parsed.get("coverage").unwrap();
-        assert_eq!(cov.get("segments_quarantined").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            cov.get("segments_quarantined").and_then(Json::as_u64),
+            Some(1)
+        );
         assert_eq!(cov.get("fraction").and_then(Json::as_f64), Some(0.75));
     }
 

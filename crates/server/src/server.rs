@@ -22,13 +22,14 @@
 //! `"generation"` field reports which snapshot answered; concurrent
 //! hot reloads change which snapshot *new* requests pin, nothing else.
 
+use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use warptree_core::search::{AnswerSet, QueryOutput, QueryRequest, SearchMetrics, SearchStats};
 use warptree_core::sequence::SequenceStore;
@@ -36,8 +37,9 @@ use warptree_disk::{
     append_segment_with, compact_once_with, open_dir_snapshot_with, quarantine_segment_with,
     real_vfs, scrub_dir_with, DegradedError, DirSnapshot, DiskError, Vfs,
 };
-use warptree_obs::MetricsRegistry;
+use warptree_obs::{json as obs_json, MetricsRegistry, Trace};
 
+use crate::http::MetricsHttp;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{
     self, error_response, ok_response, read_frame_idle_aware, write_frame, ErrorCode, FrameEvent,
@@ -101,6 +103,24 @@ pub struct ServerConfig {
     /// corpus. [`Duration::ZERO`] disables background scrubbing (the
     /// offline `warptree scrub` command remains available).
     pub scrub_interval: Duration,
+    /// Slow-query threshold in milliseconds: any pool-executed request
+    /// (or background job) whose total latency — queue wait included —
+    /// reaches this lands in the in-memory slow-query ring served by
+    /// `{"op":"slowlog"}`. `0` disables threshold capture (sampled
+    /// traces still land in the ring).
+    pub slow_ms: u64,
+    /// Trace 1 in N pool-executed requests end to end (span tree over
+    /// the whole search funnel) even when the client didn't ask; the
+    /// resulting traces land in the slow-query ring. `0` disables
+    /// sampling — clients can still request a trace per query
+    /// (`"trace": true` at protocol version ≥ 4).
+    pub trace_sample: u64,
+    /// Capacity of the slow-query ring; oldest entries fall off.
+    pub slowlog_capacity: usize,
+    /// When set, serve `GET /metrics` (Prometheus text exposition
+    /// 0.0.4) over plain HTTP on this address, alongside the framed
+    /// protocol's `{"op":"metrics"}`.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -120,8 +140,147 @@ impl Default for ServerConfig {
             compact_threshold: 4,
             compact_interval: Duration::from_millis(500),
             scrub_interval: Duration::ZERO,
+            slow_ms: 500,
+            trace_sample: 0,
+            slowlog_capacity: 128,
+            metrics_addr: None,
         }
     }
+}
+
+/// One completed request (or background job) captured by the
+/// slow-query ring: identity, where the time went, and — when it was
+/// traced — the full span tree.
+struct SlowEntry {
+    op: &'static str,
+    trace_id: String,
+    unix_ms: u64,
+    generation: u64,
+    /// Total latency: queue wait + service.
+    dur_ns: u64,
+    queue_ns: u64,
+    /// The serialized span tree, when the request was traced.
+    trace_json: Option<String>,
+}
+
+/// The bounded in-memory slow-query ring, shared by the request path
+/// and the background workers. Push is O(1) under one short-held lock;
+/// `{"op":"slowlog"}` renders newest-first. It also owns the tracing
+/// policy: the request counter that drives 1-in-N sampling and the
+/// slow-threshold test.
+struct SlowLog {
+    entries: Mutex<VecDeque<SlowEntry>>,
+    capacity: usize,
+    /// Threshold in ns; `u64::MAX` when threshold capture is disabled.
+    slow_ns: u64,
+    /// Sample every Nth request; `0` disables sampling.
+    sample_every: u64,
+    seen: AtomicU64,
+    registry: MetricsRegistry,
+}
+
+/// Traces kept in the ring are capped so a pathological span tree
+/// (huge fan-out at a broad ε) cannot pin megabytes per entry; the
+/// entry survives with `"trace": null`.
+const SLOWLOG_MAX_TRACE_BYTES: usize = 256 * 1024;
+
+impl SlowLog {
+    fn new(config: &ServerConfig, registry: MetricsRegistry) -> SlowLog {
+        SlowLog {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: config.slowlog_capacity,
+            slow_ns: match config.slow_ms {
+                0 => u64::MAX,
+                ms => ms.saturating_mul(1_000_000),
+            },
+            sample_every: config.trace_sample,
+            seen: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// Decides, per admitted request, whether this one is traced by the
+    /// 1-in-N sampler (the first request always is, so a freshly booted
+    /// server with sampling on produces a trace immediately).
+    fn sample(&self) -> bool {
+        self.sample_every > 0
+            && self
+                .seen
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.sample_every)
+    }
+
+    /// Offers a completed request to the ring; it is kept when it was
+    /// slow (threshold) or traced (sampled or client-requested traces
+    /// are always worth keeping — they are why the ring exists).
+    fn offer(&self, op: &'static str, generation: u64, dur_ns: u64, queue_ns: u64, trace: &Trace) {
+        if dur_ns < self.slow_ns && !trace.is_active() {
+            return;
+        }
+        let trace_json = trace
+            .finish()
+            .map(|data| data.to_json())
+            .filter(|j| j.len() <= SLOWLOG_MAX_TRACE_BYTES);
+        let entry = SlowEntry {
+            op,
+            trace_id: trace.id().unwrap_or_default().to_string(),
+            unix_ms: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            generation,
+            dur_ns,
+            queue_ns,
+            trace_json,
+        };
+        if dur_ns >= self.slow_ns {
+            self.registry.counter("server.slow_queries").incr();
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if self.capacity == 0 {
+            return;
+        }
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        self.registry
+            .gauge("server.slowlog_entries")
+            .set(entries.len() as f64);
+    }
+
+    /// The `{"op":"slowlog"}` body: entries as a JSON array, newest
+    /// first (the entry an operator is chasing is almost always the
+    /// most recent one).
+    fn to_json(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::from("[");
+        for (i, e) in entries.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"op\":\"{}\",\"trace_id\":\"{}\",\"unix_ms\":{},\"generation\":{},\"dur_ns\":{},\"queue_ns\":{},\"trace\":{}}}",
+                e.op,
+                obs_json::escape(&e.trace_id),
+                e.unix_ms,
+                e.generation,
+                e.dur_ns,
+                e.queue_ns,
+                e.trace_json.as_deref().unwrap_or("null"),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Trace ids for server-initiated traces (sampled requests, background
+/// jobs): unique within the process, compact, and obviously synthetic
+/// (`srv-…`) next to client-supplied ids.
+fn next_trace_id(kind: &str) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!("srv-{kind}-{}", SEQ.fetch_add(1, Ordering::Relaxed))
 }
 
 /// Shared write-path state: `ingest` requests and the background
@@ -139,6 +298,9 @@ struct IngestState {
     registry: MetricsRegistry,
     cache_pages: usize,
     cache_nodes: usize,
+    /// Background jobs (compaction, scrub) report into the same ring
+    /// as slow requests, so `slowlog` shows *everything* that ate time.
+    slowlog: Arc<SlowLog>,
 }
 
 impl IngestState {
@@ -206,18 +368,45 @@ fn compact_loop(state: &IngestState, threshold: usize, interval: Duration, stop:
             && state.cell.get().segment_count().saturating_sub(1) >= threshold
         {
             let _guard = state.lock_writer();
-            match compact_once_with(state.vfs.as_ref(), &state.dir, &state.registry) {
+            let trace = if state.slowlog.sample() {
+                Trace::active(next_trace_id("compact"))
+            } else {
+                Trace::noop()
+            };
+            let span = trace.span("job.compact");
+            let t0 = Instant::now();
+            let outcome = compact_once_with(state.vfs.as_ref(), &state.dir, &state.registry);
+            let folded = matches!(outcome, Ok(Some(_)));
+            let mut failed = false;
+            match outcome {
                 Ok(Some(_)) => {
                     if state.publish().is_err() {
                         state.registry.counter("server.compaction_errors").incr();
-                        break;
+                        failed = true;
                     }
                 }
-                Ok(None) => break, // nothing left to fold
+                Ok(None) => {} // nothing left to fold
                 Err(_) => {
                     state.registry.counter("server.compaction_errors").incr();
-                    break;
+                    failed = true;
                 }
+            }
+            if span.is_active() {
+                span.attr_u64("folded", folded as u64);
+            }
+            drop(span);
+            // Meter only passes that did (or tried to do) real work — a
+            // nothing-to-fold probe would poison the duration histogram
+            // with near-zero samples.
+            if folded || failed {
+                let dur_ns = t0.elapsed().as_nanos() as u64;
+                state.registry.histogram("server.compact_ns").record(dur_ns);
+                state
+                    .slowlog
+                    .offer("compact", state.cell.get().generation, dur_ns, 0, &trace);
+            }
+            if !folded || failed {
+                break;
             }
         }
     }
@@ -270,8 +459,19 @@ fn scrub_loop(state: &IngestState, interval: Duration, stop: &AtomicBool) {
         // The scrub commits manifest generations (quarantine, heal), so
         // it serializes with ingest and compaction like any writer.
         let _guard = state.lock_writer();
+        let trace = if state.slowlog.sample() {
+            Trace::active(next_trace_id("scrub"))
+        } else {
+            Trace::noop()
+        };
+        let span = trace.span("job.scrub");
+        let t0 = Instant::now();
         match scrub_dir_with(state.vfs.as_ref(), &state.dir, true, &state.registry) {
             Ok(report) => {
+                if span.is_active() {
+                    span.attr_u64("healed", report.healed.len() as u64);
+                    span.attr_u64("newly_quarantined", report.newly_quarantined.len() as u64);
+                }
                 if !report.healed.is_empty() {
                     state
                         .registry
@@ -291,6 +491,12 @@ fn scrub_loop(state: &IngestState, interval: Duration, stop: &AtomicBool) {
             }
             Err(_) => state.registry.counter("server.scrub_errors").incr(),
         }
+        drop(span);
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        state.registry.histogram("server.scrub_ns").record(dur_ns);
+        state
+            .slowlog
+            .offer("scrub", state.cell.get().generation, dur_ns, 0, &trace);
     }
 }
 
@@ -310,6 +516,7 @@ struct Ctx {
     max_conns: usize,
     enable_debug_ops: bool,
     max_parallelism: u32,
+    slowlog: Arc<SlowLog>,
 }
 
 /// The server factory. Construct with [`Server::start`] (real
@@ -337,6 +544,7 @@ impl Server {
         instrument_snapshot(&snapshot, &registry);
         let cell = Arc::new(SnapshotCell::new(Arc::new(snapshot)));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let slowlog = Arc::new(SlowLog::new(&config, registry.clone()));
         let ingest = Arc::new(IngestState {
             vfs: vfs.clone(),
             dir: dir.to_path_buf(),
@@ -345,6 +553,7 @@ impl Server {
             registry: registry.clone(),
             cache_pages: config.cache_pages,
             cache_nodes: config.cache_nodes,
+            slowlog: slowlog.clone(),
         });
         let ctx = Arc::new(Ctx {
             cell: cell.clone(),
@@ -359,7 +568,13 @@ impl Server {
             max_conns: config.max_conns,
             enable_debug_ops: config.enable_debug_ops,
             max_parallelism: config.max_parallelism,
+            slowlog,
         });
+
+        let metrics_http = match &config.metrics_addr {
+            Some(addr) => Some(MetricsHttp::spawn(addr, registry.clone())?),
+            None => None,
+        };
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -410,6 +625,7 @@ impl Server {
             watcher: Some(watcher),
             compactor,
             scrubber,
+            metrics_http,
         })
     }
 }
@@ -423,12 +639,19 @@ pub struct ServerHandle {
     watcher: Option<ReloadWatcher>,
     compactor: Option<CompactionWorker>,
     scrubber: Option<ScrubWorker>,
+    metrics_http: Option<MetricsHttp>,
 }
 
 impl ServerHandle {
     /// The actual bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the HTTP `GET /metrics` endpoint, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(|h| h.addr())
     }
 
     /// The server's metrics registry (shared with all components).
@@ -469,6 +692,9 @@ impl ServerHandle {
         if let Some(w) = self.watcher.take() {
             w.stop();
         }
+        if let Some(m) = self.metrics_http.take() {
+            m.stop();
+        }
     }
 
     /// [`ServerHandle::request_shutdown`] + [`ServerHandle::join`].
@@ -492,6 +718,9 @@ impl Drop for ServerHandle {
         }
         if let Some(w) = self.watcher.take() {
             w.stop();
+        }
+        if let Some(m) = self.metrics_http.take() {
+            m.stop();
         }
     }
 }
@@ -603,8 +832,9 @@ fn handle_conn(mut stream: TcpStream, ctx: &Ctx, pool: &WorkerPool) {
 /// should close.
 fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPool) -> bool {
     let started = Instant::now();
-    let (req, proto_version) = match Request::parse_versioned(payload, ctx.enable_debug_ops) {
-        Ok(pair) => pair,
+    let (req, proto_version, trace_opts) = match Request::parse_full(payload, ctx.enable_debug_ops)
+    {
+        Ok(parsed) => parsed,
         Err(pe) => {
             ctx.registry.counter("server.bad_requests").incr();
             if pe.code == ErrorCode::UnsupportedVersion {
@@ -626,6 +856,21 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
         );
     }
 
+    // Decide tracing at admission: a v4 client may demand it per
+    // request; otherwise the 1-in-N sampler picks. One branch on the
+    // untraced path — every downstream layer sees only the no-op
+    // handle.
+    let trace_wanted = trace_opts.wanted;
+    let trace = if trace_wanted || ctx.slowlog.sample() {
+        Trace::active(
+            trace_opts
+                .trace_id
+                .unwrap_or_else(|| next_trace_id(req.op_label())),
+        )
+    } else {
+        Trace::noop()
+    };
+
     // Query work goes through the bounded pool: the admission point.
     let (tx, rx) = mpsc::channel::<String>();
     let deadline = started + ctx.deadline;
@@ -638,6 +883,9 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
         max_parallelism: ctx.max_parallelism,
         deadline,
         proto_version,
+        trace,
+        trace_wanted,
+        slowlog: ctx.slowlog.clone(),
     };
     let job = Box::new(move || {
         let resp = if Instant::now() > deadline {
@@ -647,7 +895,7 @@ fn serve_one(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, pool: &WorkerPoo
                 "deadline expired before a worker was available",
             )
         } else {
-            execute(&job_ctx, req)
+            run_timed(&job_ctx, req, started)
         };
         let _ = tx.send(resp);
     });
@@ -711,7 +959,11 @@ fn control_response(req: &Request, ctx: &Ctx) -> String {
             // Degraded is still *serving* — every answer over the
             // remaining segments is correct and labeled partial — but
             // operators watching health see the coverage loss.
-            let status = if quarantined > 0 { "degraded" } else { "serving" };
+            let status = if quarantined > 0 {
+                "degraded"
+            } else {
+                "serving"
+            };
             ok_response(
                 "health",
                 &format!(
@@ -757,6 +1009,27 @@ fn control_response(req: &Request, ctx: &Ctx) -> String {
                 &format!("\"metrics\":{}", ctx.registry.snapshot().to_json()),
             )
         }
+        Request::Slowlog => {
+            ok_response("slowlog", &format!("\"entries\":{}", ctx.slowlog.to_json()))
+        }
+        Request::Metrics => {
+            // Same gauge refresh as `stats`: the exposition must show
+            // what queries see right now, not the last refresh.
+            ctx.registry
+                .gauge("server.worker_subthreads")
+                .set(warptree_core::parallel::active_subthreads() as f64);
+            ctx.registry.set_gauge(
+                "server.quarantined_segments",
+                ctx.cell.get().quarantined.len() as f64,
+            );
+            ok_response(
+                "metrics",
+                &format!(
+                    "\"format\":\"prometheus-0.0.4\",\"exposition\":\"{}\"",
+                    obs_json::escape(&ctx.registry.snapshot().to_prometheus())
+                ),
+            )
+        }
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             ok_response("shutdown", "\"draining\":true")
@@ -783,6 +1056,61 @@ struct JobCtx {
     /// for them becomes a typed `partial_result_unsupported` error
     /// instead of a silently truncated result.
     proto_version: u32,
+    /// This request's trace handle — active when the client asked for
+    /// a trace or the sampler picked the request, the no-op handle
+    /// otherwise. Threaded through the whole funnel (filter spans,
+    /// kNN rounds, pager I/O attribution).
+    trace: Trace,
+    /// Whether the *client* asked for the trace: client-requested
+    /// traces come back inline in the response; sampler-only traces go
+    /// to the slow-query ring alone.
+    trace_wanted: bool,
+    slowlog: Arc<SlowLog>,
+}
+
+/// Wraps [`execute`] with the server-side timing split: `queue_ns`
+/// (admission → dequeue) vs. `service_ns` (dequeue → response built).
+/// For v4 clients both land in a `"timings"` object on every ok
+/// response, and a client-requested trace rides along as `"trace"`;
+/// older clients get byte-identical responses to the pre-tracing
+/// protocol. Completed requests are then offered to the slow-query
+/// ring.
+fn run_timed(job: &JobCtx, req: Request, admitted: Instant) -> String {
+    let queue_ns = admitted.elapsed().as_nanos() as u64;
+    job.registry.histogram("server.queue_ns").record(queue_ns);
+    let op = req.op_label();
+    let span = job.trace.span("server.service");
+    if span.is_active() {
+        span.attr_str("op", op);
+        span.attr_u64("queue_ns", queue_ns);
+    }
+    let service_start = Instant::now();
+    let mut resp = execute(job, req);
+    drop(span);
+    let service_ns = service_start.elapsed().as_nanos() as u64;
+    job.registry
+        .histogram("server.service_ns")
+        .record(service_ns);
+    if job.proto_version >= 4 && resp.starts_with("{\"ok\":true") && resp.ends_with('}') {
+        resp.pop();
+        resp.push_str(&format!(
+            ",\"timings\":{{\"queue_ns\":{queue_ns},\"service_ns\":{service_ns}}}"
+        ));
+        if job.trace_wanted {
+            if let Some(data) = job.trace.finish() {
+                resp.push_str(&format!(",\"trace\":{}", data.to_json()));
+            }
+        }
+        resp.push('}');
+    }
+    job.slowlog.offer(
+        op,
+        job.cell.get().generation,
+        queue_ns.saturating_add(service_ns),
+        queue_ns,
+        &job.trace,
+    );
+    resp
 }
 
 /// Runs one query through the degraded fan-out path and applies the
@@ -806,7 +1134,7 @@ fn degraded_query(
     snap: &DirSnapshot,
     req: &QueryRequest,
 ) -> Result<(QueryOutput, SearchStats), String> {
-    match snap.run_query_degraded(req) {
+    match snap.run_query_degraded_traced(req, &job.trace) {
         Ok(dq) => {
             job.search_metrics.record(&dq.stats);
             if !dq.detected.is_empty() {
@@ -830,7 +1158,10 @@ fn degraded_query(
         }
         Err(DegradedError::Corrupt(e)) => {
             job.registry.counter("server.corruption_errors").incr();
-            Err(error_response(ErrorCode::CorruptionDetected, &e.to_string()))
+            Err(error_response(
+                ErrorCode::CorruptionDetected,
+                &e.to_string(),
+            ))
         }
     }
 }
@@ -1181,6 +1512,7 @@ mod tests {
         let snap = open_dir_snapshot_with(real_vfs().as_ref(), dir, 16, 64).unwrap();
         let registry = MetricsRegistry::new();
         let cell = Arc::new(SnapshotCell::new(Arc::new(snap)));
+        let slowlog = Arc::new(SlowLog::new(&ServerConfig::default(), registry.clone()));
         let ingest = Arc::new(IngestState {
             vfs: real_vfs(),
             dir: dir.to_path_buf(),
@@ -1189,6 +1521,7 @@ mod tests {
             registry: registry.clone(),
             cache_pages: 16,
             cache_nodes: 64,
+            slowlog: slowlog.clone(),
         });
         let job = JobCtx {
             cell,
@@ -1199,6 +1532,9 @@ mod tests {
             max_parallelism: 8,
             deadline,
             proto_version: 3,
+            trace: Trace::noop(),
+            trace_wanted: false,
+            slowlog,
         };
         (job, registry)
     }

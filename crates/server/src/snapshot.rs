@@ -40,10 +40,7 @@ pub(crate) fn instrument_snapshot(snap: &DirSnapshot, registry: &MetricsRegistry
         seg.instrument(registry);
     }
     registry.set_gauge("index.segments", snap.segment_count() as f64);
-    registry.set_gauge(
-        "server.quarantined_segments",
-        snap.quarantined.len() as f64,
-    );
+    registry.set_gauge("server.quarantined_segments", snap.quarantined.len() as f64);
 }
 
 /// The shared, swappable handle to the current index snapshot.

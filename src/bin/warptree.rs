@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         Some("mine") => cmd_mine(&args[1..]),
         Some("forecast") => cmd_forecast(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("slowlog") => cmd_slowlog(&args[1..]),
         Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -94,10 +95,10 @@ fn print_usage() {
          \u{20}          DIR (or --index-dir DIR) [--check-only]\n\
          \u{20}  search  threshold search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,…|--query-file F \
-         --epsilon E [--window W] [--limit N] [--threads N]\n\
+         --epsilon E [--window W] [--limit N] [--threads N] [--trace]\n\
          \u{20}  knn     k-nearest-neighbour search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,… --k K [--window W] \
-         [--threads N]\n\
+         [--threads N] [--trace]\n\
          \u{20}  explain report one search's filter funnel, table work \
          and I/O profile\n\
          \u{20}          --index-dir DIR --query v1,v2,… --epsilon E \
@@ -119,10 +120,18 @@ fn print_usage() {
          \u{20}          [--reload-ms R] [--max-query-len L] \
          [--max-conns C] [--threads N] [--compact-threshold T] \
          [--scrub-interval-ms S]\n\
+         \u{20}          [--slow-ms MS: slow-query ring threshold, \
+         0 disables] [--trace-sample N: trace 1-in-N requests]\n\
+         \u{20}          [--slowlog-capacity K] [--metrics-addr \
+         HOST:PORT: plain-HTTP GET /metrics Prometheus exposition]\n\
          \u{20}          SIGINT/SIGTERM drain gracefully, new index \
          generations are hot-reloaded from the commit manifest,\n\
          \u{20}          `ingest` appends tail segments online and a \
          background worker folds them at T tails (0 disables)\n\
+         \u{20}  slowlog dump a running server's slow-query ring \
+         (newest first)\n\
+         \u{20}          --addr HOST:PORT [--json] [--traces: include \
+         span trees]\n\
          \u{20}  bench-client  drive a running server and report \
          throughput + latency quantiles\n\
          \u{20}          --addr HOST:PORT --input FILE \
@@ -667,10 +676,19 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         Some(w) => Some(w.parse().map_err(|_| "--window: bad value".to_string())?),
         None => None,
     };
+    // `--trace` runs the search under an active span tree and prints
+    // the rendered funnel (filter → prune → postprocess) to stderr;
+    // results on stdout are byte-identical with or without it.
+    let trace = if o.flag("trace") {
+        warptree::obs::Trace::active("cli")
+    } else {
+        warptree::obs::Trace::noop()
+    };
     let metrics = match stats_fmt {
         Some(_) => SearchMetrics::register(&reg),
         None => SearchMetrics::new(),
-    };
+    }
+    .with_trace(trace.clone());
     let threads: u32 = o.parse_num("threads", 1)?;
     let t0 = std::time::Instant::now();
     if knn {
@@ -731,6 +749,9 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         if answers.len() > limit {
             println!("  … ({} more; raise --limit)", answers.len() - limit);
         }
+    }
+    if let Some(data) = trace.finish() {
+        eprint!("{}", data.render());
     }
     if let Some(fmt) = stats_fmt {
         emit_stats(fmt, &reg);
@@ -880,6 +901,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.scrub_interval =
         std::time::Duration::from_millis(o.parse_num("scrub-interval-ms", 0u64)?);
     config.enable_debug_ops = o.flag("debug-ops");
+    config.slow_ms = o.parse_num("slow-ms", config.slow_ms)?;
+    config.trace_sample = o.parse_num("trace-sample", config.trace_sample)?;
+    config.slowlog_capacity = o.parse_num("slowlog-capacity", config.slowlog_capacity)?;
+    config.metrics_addr = o.get("metrics-addr").map(str::to_string);
 
     if !signal::install_handlers() {
         eprintln!(
@@ -899,6 +924,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.reload_interval,
         config.max_parallelism
     );
+    println!(
+        "  slow-query threshold {} ms, trace sample {}, slowlog capacity {}",
+        config.slow_ms,
+        if config.trace_sample == 0 {
+            "off".to_string()
+        } else {
+            format!("1-in-{}", config.trace_sample)
+        },
+        config.slowlog_capacity
+    );
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("  metrics exposition on http://{maddr}/metrics");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     // Park until SIGINT/SIGTERM or a protocol `shutdown` op, then drain.
@@ -909,6 +947,65 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     handle.request_shutdown();
     handle.join();
     eprintln!("drained; bye");
+    Ok(())
+}
+
+/// `warptree slowlog --addr HOST:PORT` — dump a running server's
+/// slow-query ring, newest first. `--json` prints the raw entries
+/// array; `--traces` renders each captured span tree inline.
+fn cmd_slowlog(args: &[String]) -> Result<(), String> {
+    use warptree::server::json::Json;
+    let o = Opts::parse(args)?;
+    let addr = o.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.slowlog().map_err(|e| e.to_string())?;
+    let entries = resp
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("malformed slowlog response")?;
+    if o.flag("json") {
+        // Raw passthrough of the server's entries array, one line, for
+        // scripts — stdout stays machine-usable.
+        let raw = client
+            .request_raw("{\"op\":\"slowlog\",\"version\":4}")
+            .map_err(|e| e.to_string())?;
+        println!("{raw}");
+        return Ok(());
+    }
+    if entries.is_empty() {
+        println!("slow-query ring is empty");
+        return Ok(());
+    }
+    println!("{} slow-query entries (newest first):", entries.len());
+    for e in entries {
+        let ms = |key: &str| e.get(key).and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6;
+        println!(
+            "  {:>10.3} ms  (queue {:>8.3} ms)  {}  gen {}  trace {}",
+            ms("dur_ns"),
+            ms("queue_ns"),
+            e.get("op").and_then(Json::as_str).unwrap_or("?"),
+            e.get("generation").and_then(Json::as_u64).unwrap_or(0),
+            match e.get("trace_id").and_then(Json::as_str) {
+                Some("") | None => "-",
+                Some(id) => id,
+            },
+        );
+        if o.flag("traces") {
+            if let Some(spans) = e
+                .get("trace")
+                .and_then(|t| t.get("spans"))
+                .and_then(Json::as_arr)
+            {
+                for s in spans {
+                    println!(
+                        "      {:>10.3} ms  {}",
+                        s.get("dur_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                        s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    );
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -980,6 +1077,13 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     println!(
         "  throughput {:.1} req/s; latency p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
         report.throughput, report.p50_us, report.p95_us, report.p99_us, report.max_us
+    );
+    println!(
+        "  server split: queue wait p50 {} µs, p99 {} µs; service p50 {} µs, p99 {} µs",
+        report.queue_wait_us[0],
+        report.queue_wait_us[2],
+        report.service_us[0],
+        report.service_us[2]
     );
     if let Some(out) = o.get("out") {
         std::fs::write(out, report.to_json() + "\n").map_err(|e| e.to_string())?;

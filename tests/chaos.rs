@@ -107,7 +107,10 @@ fn corrupt_pages_after_first(path: &Path) {
 /// Fallible variant for races against the compactor (the file may have
 /// been merged away, or be too small). Returns whether bytes flipped.
 fn try_corrupt_pages_after_first(path: &Path) -> std::io::Result<bool> {
-    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
     let len = f.metadata()?.len();
     let pages = len.div_ceil(PAGE_SIZE as u64);
     if pages < 2 {
@@ -132,8 +135,8 @@ fn try_corrupt_pages_after_first(path: &Path) -> std::io::Result<bool> {
 fn chaos_queries() -> Vec<Vec<f64>> {
     vec![
         walk(99, 6),
-        walk(1000, 8),            // prefix drawn from segment 1's seed
-        walk(2000, 8),            // prefix drawn from segment 2's seed
+        walk(1000, 8), // prefix drawn from segment 1's seed
+        walk(2000, 8), // prefix drawn from segment 2's seed
         vec![10.0, 10.0, 10.0, 10.0],
     ]
 }
@@ -159,7 +162,10 @@ fn quarantine_persists_across_reopen_and_heals_by_scrub() {
             .map(|q| {
                 let dq = snap.run_query_degraded(&req(q)).unwrap();
                 assert!(dq.detected.is_empty());
-                assert!(dq.output.coverage.is_none(), "clean index carries no coverage");
+                assert!(
+                    dq.output.coverage.is_none(),
+                    "clean index carries no coverage"
+                );
                 dq.output.matches().to_vec()
             })
             .collect()
@@ -173,18 +179,36 @@ fn quarantine_persists_across_reopen_and_heals_by_scrub() {
     corrupt_pages_after_first(&dir.join(&seg1));
     let snap = open_dir_snapshot_with(&RealVfs, &dir, 8, 64).unwrap();
     let dq = snap.run_query_degraded(&req(&chaos_queries()[0])).unwrap();
-    assert_eq!(dq.detected, vec![seg1.clone()], "CRC failure detected mid-query");
-    let cov = dq.output.coverage.expect("degraded answer carries coverage");
+    assert_eq!(
+        dq.detected,
+        vec![seg1.clone()],
+        "CRC failure detected mid-query"
+    );
+    let cov = dq
+        .output
+        .coverage
+        .expect("degraded answer carries coverage");
     assert!(cov.is_partial());
     assert_eq!(
-        (cov.segments_total, cov.segments_answered, cov.segments_quarantined),
+        (
+            cov.segments_total,
+            cov.segments_answered,
+            cov.segments_quarantined
+        ),
         (3, 2, 1)
     );
-    assert!(cov.fraction() > 0.0 && cov.fraction() < 1.0, "{}", cov.fraction());
+    assert!(
+        cov.fraction() > 0.0 && cov.fraction() < 1.0,
+        "{}",
+        cov.fraction()
+    );
     // Partial answers are a subset of the clean answers — corruption
     // removes coverage, it never invents or perturbs matches.
     for m in dq.output.matches() {
-        assert!(clean[0].contains(m), "degraded match {m:?} not in clean answer set");
+        assert!(
+            clean[0].contains(m),
+            "degraded match {m:?} not in clean answer set"
+        );
     }
 
     // Tombstone it, as the server would after detection.
@@ -211,8 +235,15 @@ fn quarantine_persists_across_reopen_and_heals_by_scrub() {
     assert!(snap.quarantined.is_empty());
     for (q, want) in chaos_queries().iter().zip(&clean) {
         let dq = snap.run_query_degraded(&req(q)).unwrap();
-        assert!(dq.output.coverage.is_none(), "healed index is no longer partial");
-        assert_eq!(dq.output.matches(), &want[..], "healed answers identical for {q:?}");
+        assert!(
+            dq.output.coverage.is_none(),
+            "healed index is no longer partial"
+        );
+        assert_eq!(
+            dq.output.matches(),
+            &want[..],
+            "healed answers identical for {q:?}"
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -224,7 +255,8 @@ fn base_tree_corruption_is_a_typed_hard_error() {
     let resolved = resolve_dir_with(&RealVfs, &dir).unwrap();
     corrupt_pages_after_first(&resolved.index_path);
     let snap = open_dir_snapshot_with(&RealVfs, &dir, 8, 64).unwrap();
-    let req = QueryRequest::threshold_params(&chaos_queries()[0], SearchParams::with_epsilon(EPSILON));
+    let req =
+        QueryRequest::threshold_params(&chaos_queries()[0], SearchParams::with_epsilon(EPSILON));
     match snap.run_query_degraded(&req) {
         Err(DegradedError::Corrupt(e)) => {
             let msg = e.to_string();
@@ -288,10 +320,15 @@ fn server_serves_partial_results_and_heals_across_restart() {
     // First query detects, quarantines, and answers partially.
     let v = client.search(&queries[0], EPSILON, None).unwrap();
     assert_eq!(v.get("partial").and_then(Json::as_bool), Some(true));
-    let cov = v.get("coverage").expect("partial response carries coverage");
+    let cov = v
+        .get("coverage")
+        .expect("partial response carries coverage");
     assert_eq!(cov.get("segments_total").and_then(Json::as_u64), Some(3));
     assert_eq!(cov.get("segments_answered").and_then(Json::as_u64), Some(2));
-    assert_eq!(cov.get("segments_quarantined").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        cov.get("segments_quarantined").and_then(Json::as_u64),
+        Some(1)
+    );
     let fraction = cov.get("fraction").and_then(Json::as_f64).unwrap();
     assert!(fraction > 0.0 && fraction < 1.0, "{fraction}");
 
@@ -299,7 +336,10 @@ fn server_serves_partial_results_and_heals_across_restart() {
     // and the partial-query counter.
     let h = client.health().unwrap();
     assert_eq!(h.get("status").and_then(Json::as_str), Some("degraded"));
-    assert_eq!(h.get("quarantined_segments").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        h.get("quarantined_segments").and_then(Json::as_u64),
+        Some(1)
+    );
     let s = client.stats().unwrap();
     let metrics = s.get("metrics").unwrap();
     assert_eq!(
@@ -343,10 +383,16 @@ fn server_serves_partial_results_and_heals_across_restart() {
     loop {
         let h = client.health().unwrap();
         if h.get("status").and_then(Json::as_str) == Some("serving") {
-            assert_eq!(h.get("quarantined_segments").and_then(Json::as_u64), Some(0));
+            assert_eq!(
+                h.get("quarantined_segments").and_then(Json::as_u64),
+                Some(0)
+            );
             break;
         }
-        assert!(Instant::now() < deadline, "server never un-degraded after heal");
+        assert!(
+            Instant::now() < deadline,
+            "server never un-degraded after heal"
+        );
         std::thread::sleep(Duration::from_millis(25));
     }
     // Answers match the clean baseline again (generation moved, so
@@ -376,7 +422,13 @@ fn background_scrub_worker_quarantines_and_heals() {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
         let snap = handle.registry().snapshot();
-        if snap.counters.get("server.scrub_heals").copied().unwrap_or(0) >= 1 {
+        if snap
+            .counters
+            .get("server.scrub_heals")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+        {
             break;
         }
         assert!(Instant::now() < deadline, "background scrub never healed");
@@ -512,7 +564,9 @@ fn retry_with_backoff_rides_out_dropped_connections() {
                 continue;
             }
             let frame = read_frame(&mut conn).unwrap().expect("request frame");
-            assert!(std::str::from_utf8(&frame).unwrap().contains("\"op\":\"search\""));
+            assert!(std::str::from_utf8(&frame)
+                .unwrap()
+                .contains("\"op\":\"search\""));
             write_frame(&mut conn, br#"{"ok":true,"count":0,"matches":[]}"#).unwrap();
         }
     });
@@ -620,8 +674,10 @@ fn full_chaos_matrix_with_concurrent_ingest() {
                     let cov = v.get("coverage").expect("partial implies coverage");
                     let total = cov.get("segments_total").and_then(Json::as_u64).unwrap();
                     let answered = cov.get("segments_answered").and_then(Json::as_u64).unwrap();
-                    let quarantined =
-                        cov.get("segments_quarantined").and_then(Json::as_u64).unwrap();
+                    let quarantined = cov
+                        .get("segments_quarantined")
+                        .and_then(Json::as_u64)
+                        .unwrap();
                     assert!(answered < total, "{text}");
                     assert_eq!(answered + quarantined, total, "{text}");
                     let f = cov.get("fraction").and_then(Json::as_f64).unwrap();
@@ -658,7 +714,10 @@ fn full_chaos_matrix_with_concurrent_ingest() {
     for q in &queries {
         let req = QueryRequest::threshold_params(q, SearchParams::with_epsilon(EPSILON));
         let dq = snap.run_query_degraded(&req).unwrap();
-        assert!(dq.output.coverage.is_none(), "healed index serves full coverage");
+        assert!(
+            dq.output.coverage.is_none(),
+            "healed index serves full coverage"
+        );
         let (clean_out, _) = snap.run_query(&req).unwrap();
         assert_eq!(dq.output.matches(), clean_out.matches());
     }

@@ -152,9 +152,12 @@ fn registry_snapshot_has_search_and_io_names() {
     assert_eq!(snap.counters["search.answers"], answers.len() as u64);
     assert!(snap.counters["disk.vfs.reads"] > 0, "open must read files");
     assert!(snap.histograms.contains_key("search.filter_ns"));
-    // The snapshot serializes to parseable JSON with stable keys.
+    // The snapshot serializes to parseable JSON with stable keys,
+    // timestamped so scrapes can compute true rates.
     let js = snap.to_json();
-    assert!(js.starts_with("{\"counters\":{"));
+    assert!(js.starts_with("{\"uptime_ms\":"), "{js}");
+    assert!(js.contains("\"snapshot_unix_ms\":"));
+    assert!(js.contains("\"counters\":{"));
     assert!(js.contains("\"search.answers\""));
     std::fs::remove_dir_all(&d).ok();
 }

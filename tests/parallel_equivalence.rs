@@ -164,6 +164,66 @@ fn search_identical_across_thread_counts_in_memory() {
     }
 }
 
+/// The tracing-determinism contract: running the same query under an
+/// active trace changes *nothing* about the answer — matches and work
+/// counters are identical to the untraced run, sequentially and at
+/// every thread count — while the trace itself captures the funnel.
+#[test]
+fn tracing_on_never_changes_results_or_stats() {
+    let store = corpus();
+    let alphabet = Alphabet::max_entropy(&store, 6).unwrap();
+    let cat = Arc::new(alphabet.encode_store(&store));
+    let full = build_full(cat.clone());
+    for base in [
+        SearchParams::with_epsilon(0.8),
+        SearchParams::with_epsilon(5.0),
+    ] {
+        for t in [1u32, 8] {
+            let params = base.clone().parallel(t);
+            let req = QueryRequest::threshold_params(&query(), params);
+            let plain_m = SearchMetrics::new();
+            let plain = run_query_with(&full, &alphabet, &store, &req, &plain_m)
+                .unwrap()
+                .into_answer_set();
+            let trace = warptree::obs::Trace::active("determinism");
+            let traced_m = SearchMetrics::new().with_trace(trace.clone());
+            let traced = run_query_with(&full, &alphabet, &store, &req, &traced_m)
+                .unwrap()
+                .into_answer_set();
+            assert_eq!(plain.matches(), traced.matches(), "matches, threads={t}");
+            assert_eq!(
+                plain_m.snapshot(),
+                traced_m.snapshot(),
+                "stats, threads={t}"
+            );
+            let data = trace.finish().unwrap();
+            let names: Vec<&str> = data.spans.iter().map(|s| s.name.as_str()).collect();
+            assert!(names.contains(&"filter"), "threads={t}: {names:?}");
+            assert!(names.contains(&"postprocess"), "threads={t}: {names:?}");
+            if t > 1 {
+                assert!(names.contains(&"filter.task"), "threads={t}: {names:?}");
+            }
+        }
+    }
+    // k-NN: the round structure is traced, the ranking is untouched.
+    let req = QueryRequest::knn_params(&query(), KnnParams::new(5));
+    let plain = run_query_with(&full, &alphabet, &store, &req, &SearchMetrics::new())
+        .unwrap()
+        .into_ranked();
+    let trace = warptree::obs::Trace::active("determinism-knn");
+    let traced_m = SearchMetrics::new().with_trace(trace.clone());
+    let traced = run_query_with(&full, &alphabet, &store, &req, &traced_m)
+        .unwrap()
+        .into_ranked();
+    assert_eq!(plain, traced);
+    let data = trace.finish().unwrap();
+    assert!(
+        data.spans.iter().any(|s| s.name == "knn.round"),
+        "{:?}",
+        data.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+}
+
 #[test]
 fn knn_identical_across_thread_counts() {
     let store = corpus();

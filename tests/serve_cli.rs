@@ -124,6 +124,19 @@ fn serve_and_bench_client_round_trip() {
             .unwrap_or(0.0)
             > 0.0
     );
+    // Server-side split (from the v4 per-response timings block):
+    // queue wait and service percentiles, plus the connection-failure
+    // counter, are part of the committed schema.
+    assert_eq!(report.get("conn_failures").and_then(Json::as_u64), Some(0));
+    for block in ["queue_wait_us", "service_us"] {
+        let split = report.get(block).expect(block);
+        for q in ["p50", "p95", "p99"] {
+            assert!(
+                split.get(q).and_then(Json::as_u64).is_some(),
+                "missing {block}.{q}"
+            );
+        }
+    }
 
     // Protocol shutdown drains the server and the process exits cleanly.
     let mut client = Client::connect(&addr).unwrap();
