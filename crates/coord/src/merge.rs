@@ -1,0 +1,392 @@
+//! Deterministic cross-shard merging of shard answers.
+//!
+//! Every function here is pure — parsed shard responses in, merged
+//! values out — so the merge contract the coordinator relies on is unit
+//! testable without sockets:
+//!
+//! * **Threshold answers** merge by the canonical `(seq, start, len)`
+//!   occurrence order, the same order `encode_matches` imposes inside
+//!   one server. Shards own disjoint global sequence ranges, so after
+//!   remapping the union is duplicate-free and the sort is a pure
+//!   interleave — byte-identical to the monolithic answer.
+//! * **Ranked (k-NN) answers** merge by `(distance, occurrence)` —
+//!   exactly the final ordering of the in-process k-NN engine — then
+//!   truncate to `k`. Each shard's local top-k contains every
+//!   global-top-k member that shard holds (the ε-expansion schedule is
+//!   query-derived and identical everywhere, and overlap filtering
+//!   only compares same-sequence matches, which sharding co-locates),
+//!   so the truncated merge is the exact global top-k.
+//! * **Funnel stats** sum field-wise: shards partition the sequences,
+//!   candidate work is per-suffix, so per-shard counters add exactly.
+//! * **Coverage** sums the five accounting fields across shards; a
+//!   shard that answered cleanly contributes its totals as answered, a
+//!   down shard contributes totals with zero answered.
+
+use warptree_core::search::{Coverage, Match, SearchStats};
+use warptree_core::sequence::{Occurrence, SeqId};
+use warptree_server::json::Json;
+
+/// Parses a response's `"matches"` array into core [`Match`]es,
+/// remapping shard-local sequence ids to global ones by `start_seq`.
+pub fn parse_matches(arr: &Json, start_seq: u32) -> Result<Vec<Match>, String> {
+    let arr = arr.as_arr().ok_or("\"matches\" is not an array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for m in arr {
+        let field = |k: &str| {
+            m.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("match missing \"{k}\""))
+        };
+        let seq = field("seq")? as u32;
+        let global = seq
+            .checked_add(start_seq)
+            .ok_or("sequence id overflows after shard remap")?;
+        out.push(Match {
+            occ: Occurrence::new(SeqId(global), field("start")? as u32, field("len")? as u32),
+            dist: m
+                .get("dist")
+                .and_then(Json::as_f64)
+                .ok_or("match missing \"dist\"")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Merges per-shard threshold answers into canonical occurrence order
+/// (`(seq, start, len)` — what [`warptree_server::proto::encode_matches`]
+/// would impose on the union).
+pub fn merge_threshold(per_shard: Vec<Vec<Match>>) -> Vec<Match> {
+    let mut all: Vec<Match> = per_shard.into_iter().flatten().collect();
+    all.sort_by_key(|m| m.occ);
+    all
+}
+
+/// Merges per-shard ranked k-NN answers: global order by
+/// `(distance, occurrence)` — ties at equal distance break on the
+/// occurrence, so equal-distance matches at the same shard-local
+/// `(seq, start)` on different shards order by their *global* sequence
+/// id, deterministically — then keeps the `k` nearest.
+pub fn merge_ranked(per_shard: Vec<Vec<Match>>, k: usize) -> Vec<Match> {
+    let mut all: Vec<Match> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.occ.cmp(&b.occ))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Parses the 13-field `"stats"` object of an `explain` response.
+pub fn parse_stats(v: &Json) -> Result<SearchStats, String> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("stats missing \"{k}\""))
+    };
+    Ok(SearchStats {
+        filter_cells: field("filter_cells")?,
+        nodes_visited: field("nodes_visited")?,
+        nodes_expanded: field("nodes_expanded")?,
+        rows_pushed: field("rows_pushed")?,
+        rows_unshared: field("rows_unshared")?,
+        branches_pruned: field("branches_pruned")?,
+        candidates: field("candidates")?,
+        stored_candidates: field("stored_candidates")?,
+        lb2_candidates: field("lb2_candidates")?,
+        postprocessed: field("postprocessed")?,
+        postprocess_cells: field("postprocess_cells")?,
+        false_alarms: field("false_alarms")?,
+        answers: field("answers")?,
+    })
+}
+
+/// Renders funnel stats in the server's 13-field `"stats"` object
+/// shape, so a merged `explain` response is byte-comparable to a
+/// monolithic one.
+pub fn encode_stats(s: &SearchStats) -> String {
+    format!(
+        "{{\"filter_cells\":{},\"nodes_visited\":{},\"nodes_expanded\":{},\"rows_pushed\":{},\"rows_unshared\":{},\"branches_pruned\":{},\"candidates\":{},\"stored_candidates\":{},\"lb2_candidates\":{},\"postprocessed\":{},\"postprocess_cells\":{},\"false_alarms\":{},\"answers\":{}}}",
+        s.filter_cells,
+        s.nodes_visited,
+        s.nodes_expanded,
+        s.rows_pushed,
+        s.rows_unshared,
+        s.branches_pruned,
+        s.candidates,
+        s.stored_candidates,
+        s.lb2_candidates,
+        s.postprocessed,
+        s.postprocess_cells,
+        s.false_alarms,
+        s.answers,
+    )
+}
+
+/// Parses a response's `"coverage"` object (protocol version 3).
+pub fn parse_coverage(c: &Json) -> Result<Coverage, String> {
+    let field = |k: &str| {
+        c.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("coverage missing \"{k}\""))
+    };
+    Ok(Coverage {
+        segments_total: field("segments_total")? as usize,
+        segments_answered: field("segments_answered")? as usize,
+        segments_quarantined: field("segments_quarantined")? as usize,
+        suffixes_total: field("suffixes_total")?,
+        suffixes_answered: field("suffixes_answered")?,
+    })
+}
+
+/// Sums funnel stats field-wise across shards. Exact because shards
+/// partition the corpus: every counter counts per-suffix (or per-node,
+/// per-candidate) work inside one shard's slice.
+pub fn sum_stats(per_shard: &[SearchStats]) -> SearchStats {
+    let mut total = SearchStats::default();
+    for s in per_shard {
+        total.filter_cells += s.filter_cells;
+        total.nodes_visited += s.nodes_visited;
+        total.nodes_expanded += s.nodes_expanded;
+        total.rows_pushed += s.rows_pushed;
+        total.rows_unshared += s.rows_unshared;
+        total.branches_pruned += s.branches_pruned;
+        total.candidates += s.candidates;
+        total.stored_candidates += s.stored_candidates;
+        total.lb2_candidates += s.lb2_candidates;
+        total.postprocessed += s.postprocessed;
+        total.postprocess_cells += s.postprocess_cells;
+        total.false_alarms += s.false_alarms;
+        total.answers += s.answers;
+    }
+    total
+}
+
+/// What one shard contributed to a query, coverage-wise.
+#[derive(Debug, Clone)]
+pub enum ShardCoverage {
+    /// The shard answered with no coverage block — a shard carrying
+    /// quarantined segments always reports its own partial coverage,
+    /// so a clean response means everything the shard holds answered.
+    Full {
+        /// The shard's live segment count (base + live tails — the
+        /// `segments` field of its `info` response).
+        segments: u64,
+        /// Values (suffix positions) the shard holds.
+        suffixes: u64,
+    },
+    /// The shard answered partially and reported its own coverage.
+    Partial(Coverage),
+    /// The shard did not answer; its totals (from the coordinator's
+    /// cached view or the shard manifest) count as unanswered.
+    Down {
+        /// Last known live segment count.
+        segments: u64,
+        /// Last known quarantined count (part of the segment total,
+        /// never of the answered count).
+        quarantined: u64,
+        /// Last known values.
+        suffixes: u64,
+    },
+}
+
+/// Sums shard coverage into the corpus-wide [`Coverage`] block.
+/// Returns `None` when every shard answered fully — the merged
+/// response then omits the block, byte-identical to a clean monolithic
+/// response.
+pub fn aggregate_coverage(shards: &[ShardCoverage]) -> Option<Coverage> {
+    let mut agg = Coverage {
+        segments_total: 0,
+        segments_answered: 0,
+        segments_quarantined: 0,
+        suffixes_total: 0,
+        suffixes_answered: 0,
+    };
+    let mut any_partial = false;
+    for s in shards {
+        match s {
+            ShardCoverage::Full { segments, suffixes } => {
+                agg.segments_total += *segments as usize;
+                agg.segments_answered += *segments as usize;
+                agg.suffixes_total += *suffixes;
+                agg.suffixes_answered += *suffixes;
+            }
+            ShardCoverage::Partial(c) => {
+                agg.segments_total += c.segments_total;
+                agg.segments_answered += c.segments_answered;
+                agg.segments_quarantined += c.segments_quarantined;
+                agg.suffixes_total += c.suffixes_total;
+                agg.suffixes_answered += c.suffixes_answered;
+                any_partial = true;
+            }
+            ShardCoverage::Down {
+                segments,
+                quarantined,
+                suffixes,
+            } => {
+                agg.segments_total += (*segments + *quarantined) as usize;
+                agg.segments_quarantined += *quarantined as usize;
+                agg.suffixes_total += *suffixes;
+                any_partial = true;
+            }
+        }
+    }
+    if any_partial {
+        Some(agg)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warptree_server::json;
+
+    fn m(seq: u32, start: u32, len: u32, dist: f64) -> Match {
+        Match {
+            occ: Occurrence::new(SeqId(seq), start, len),
+            dist,
+        }
+    }
+
+    #[test]
+    fn matches_parse_and_remap() {
+        let v = json::parse(r#"[{"seq":0,"start":5,"len":3,"dist":1.5},{"seq":1,"start":0,"len":2,"dist":0.25}]"#).unwrap();
+        let parsed = parse_matches(&v, 10).unwrap();
+        assert_eq!(parsed, vec![m(10, 5, 3, 1.5), m(11, 0, 2, 0.25)]);
+        assert!(parse_matches(&json::parse(r#"[{"seq":0}]"#).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn threshold_merge_interleaves_canonically() {
+        let a = vec![m(0, 3, 2, 1.0), m(2, 0, 4, 2.0)];
+        let b = vec![m(1, 0, 2, 0.5), m(2, 0, 3, 0.5)];
+        let merged = merge_threshold(vec![a, b]);
+        let occs: Vec<(u32, u32, u32)> = merged
+            .iter()
+            .map(|x| (x.occ.seq.0, x.occ.start, x.occ.len))
+            .collect();
+        assert_eq!(occs, vec![(0, 3, 2), (1, 0, 2), (2, 0, 3), (2, 0, 4)]);
+    }
+
+    #[test]
+    fn ranked_merge_breaks_equal_distance_ties_by_occurrence() {
+        // Two shards report the *same shard-local* (seq=0, start=5) at
+        // the same distance; after remapping they are global seqs 0 and
+        // 7, and the merge must order them by global id, every time.
+        let shard_a = vec![m(0, 5, 3, 1.25), m(0, 9, 3, 2.0)];
+        let shard_b = vec![m(7, 5, 3, 1.25), m(7, 1, 3, 1.25)];
+        let merged = merge_ranked(vec![shard_a.clone(), shard_b.clone()], 3);
+        let expect = vec![m(0, 5, 3, 1.25), m(7, 1, 3, 1.25), m(7, 5, 3, 1.25)];
+        assert_eq!(merged, expect);
+        // Shard arrival order must not matter.
+        assert_eq!(merge_ranked(vec![shard_b, shard_a], 3), expect);
+    }
+
+    #[test]
+    fn stats_sum_fieldwise() {
+        let one = SearchStats {
+            filter_cells: 1,
+            nodes_visited: 2,
+            nodes_expanded: 1,
+            rows_pushed: 4,
+            rows_unshared: 8,
+            branches_pruned: 1,
+            candidates: 3,
+            stored_candidates: 2,
+            lb2_candidates: 1,
+            postprocessed: 3,
+            postprocess_cells: 30,
+            false_alarms: 1,
+            answers: 2,
+        };
+        let total = sum_stats(&[one.clone(), one.clone()]);
+        assert_eq!(total.filter_cells, 2);
+        assert_eq!(total.rows_unshared, 16);
+        assert_eq!(total.answers, 4);
+        // Round-trips through the wire encoding.
+        let wire = json::parse(&encode_stats(&one)).unwrap();
+        assert_eq!(parse_stats(&wire).unwrap(), one);
+    }
+
+    #[test]
+    fn coverage_parses_the_wire_shape() {
+        let c = Coverage {
+            segments_total: 3,
+            segments_answered: 2,
+            segments_quarantined: 1,
+            suffixes_total: 100,
+            suffixes_answered: 75,
+        };
+        let frag = format!("{{{}}}", warptree_server::proto::encode_coverage(&c));
+        let v = json::parse(&frag).unwrap();
+        assert_eq!(parse_coverage(v.get("coverage").unwrap()).unwrap(), c);
+        assert!(parse_coverage(&json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn coverage_aggregates_honestly() {
+        // All full → no block at all.
+        let clean = vec![
+            ShardCoverage::Full {
+                segments: 2,
+                suffixes: 100,
+            },
+            ShardCoverage::Full {
+                segments: 1,
+                suffixes: 50,
+            },
+        ];
+        assert!(aggregate_coverage(&clean).is_none());
+        // One shard down: its totals count, its answers do not.
+        let one_down = vec![
+            ShardCoverage::Full {
+                segments: 2,
+                suffixes: 100,
+            },
+            ShardCoverage::Down {
+                segments: 1,
+                quarantined: 0,
+                suffixes: 50,
+            },
+        ];
+        let c = aggregate_coverage(&one_down).unwrap();
+        assert!(c.is_partial());
+        assert_eq!(c.segments_total, 3);
+        assert_eq!(c.segments_answered, 2);
+        assert_eq!(c.suffixes_total, 150);
+        assert_eq!(c.suffixes_answered, 100);
+        // A down shard's quarantined segments count toward its total.
+        let down_degraded = vec![ShardCoverage::Down {
+            segments: 2,
+            quarantined: 1,
+            suffixes: 40,
+        }];
+        let c = aggregate_coverage(&down_degraded).unwrap();
+        assert_eq!(c.segments_total, 3);
+        assert_eq!(c.segments_quarantined, 1);
+        assert_eq!(c.segments_answered, 0);
+        // A shard's own partial coverage folds in verbatim.
+        let nested = vec![
+            ShardCoverage::Partial(Coverage {
+                segments_total: 3,
+                segments_answered: 2,
+                segments_quarantined: 1,
+                suffixes_total: 80,
+                suffixes_answered: 60,
+            }),
+            ShardCoverage::Full {
+                segments: 1,
+                suffixes: 20,
+            },
+        ];
+        let c = aggregate_coverage(&nested).unwrap();
+        assert_eq!(c.segments_total, 4);
+        assert_eq!(c.segments_answered, 3);
+        assert_eq!(c.segments_quarantined, 1);
+        assert_eq!(c.suffixes_total, 100);
+        assert_eq!(c.suffixes_answered, 80);
+    }
+}

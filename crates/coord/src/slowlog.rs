@@ -1,0 +1,184 @@
+//! The coordinator's slow-query ring — same wire shape as the shard
+//! server's `{"op":"slowlog"}` so the same tooling reads both, but
+//! owned here: the server keeps its ring private, and the entries mean
+//! something different at this layer (a coordinator entry's trace
+//! carries one child span per shard, attributing the latency across
+//! the fan-out).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+use warptree_obs::{json as obs_json, MetricsRegistry, Trace};
+
+/// One completed coordinated request kept by the ring.
+struct SlowEntry {
+    op: &'static str,
+    trace_id: String,
+    unix_ms: u64,
+    generation: u64,
+    /// Total coordinator-side latency for the request.
+    dur_ns: u64,
+    /// The serialized span tree, when the request was traced.
+    trace_json: Option<String>,
+}
+
+/// Traces kept in the ring are capped so a pathological fan-out cannot
+/// pin megabytes per entry; the entry survives with `"trace": null`.
+const SLOWLOG_MAX_TRACE_BYTES: usize = 256 * 1024;
+
+/// The bounded in-memory slow-query ring plus the tracing policy (the
+/// 1-in-N sampler and the slow threshold). Mirrors the shard server's
+/// ring: push is O(1) under one short-held lock, `to_json` renders
+/// newest-first.
+pub struct CoordSlowLog {
+    entries: Mutex<VecDeque<SlowEntry>>,
+    capacity: usize,
+    /// Threshold in ns; `u64::MAX` when threshold capture is disabled.
+    slow_ns: u64,
+    /// Sample every Nth request; `0` disables sampling.
+    sample_every: u64,
+    seen: AtomicU64,
+    registry: MetricsRegistry,
+}
+
+impl CoordSlowLog {
+    /// Builds a ring holding `capacity` entries, capturing requests at
+    /// or above `slow_ms` (0 disables) and sampling 1 in
+    /// `trace_sample` requests (0 disables).
+    pub fn new(
+        capacity: usize,
+        slow_ms: u64,
+        trace_sample: u64,
+        registry: MetricsRegistry,
+    ) -> CoordSlowLog {
+        CoordSlowLog {
+            entries: Mutex::new(VecDeque::new()),
+            capacity,
+            slow_ns: match slow_ms {
+                0 => u64::MAX,
+                ms => ms.saturating_mul(1_000_000),
+            },
+            sample_every: trace_sample,
+            seen: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// Decides, per request, whether the 1-in-N sampler traces this one
+    /// (the first request always is, so a freshly booted coordinator
+    /// with sampling on produces a trace immediately).
+    pub fn sample(&self) -> bool {
+        self.sample_every > 0
+            && self
+                .seen
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.sample_every)
+    }
+
+    /// Offers a completed request to the ring; kept when it was slow
+    /// (threshold) or traced.
+    pub fn offer(&self, op: &'static str, generation: u64, dur_ns: u64, trace: &Trace) {
+        if dur_ns < self.slow_ns && !trace.is_active() {
+            return;
+        }
+        let trace_json = trace
+            .finish()
+            .map(|data| data.to_json())
+            .filter(|j| j.len() <= SLOWLOG_MAX_TRACE_BYTES);
+        let entry = SlowEntry {
+            op,
+            trace_id: trace.id().unwrap_or_default().to_string(),
+            unix_ms: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            generation,
+            dur_ns,
+            trace_json,
+        };
+        if dur_ns >= self.slow_ns {
+            self.registry.counter("coord.slow_queries").incr();
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if self.capacity == 0 {
+            return;
+        }
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        self.registry
+            .gauge("coord.slowlog_entries")
+            .set(entries.len() as f64);
+    }
+
+    /// The `{"op":"slowlog"}` body: entries newest first, in the shard
+    /// server's entry shape (`queue_ns` is always 0 — the coordinator
+    /// has no admission queue).
+    pub fn to_json(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::from("[");
+        for (i, e) in entries.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"op\":\"{}\",\"trace_id\":\"{}\",\"unix_ms\":{},\"generation\":{},\"dur_ns\":{},\"queue_ns\":0,\"trace\":{}}}",
+                e.op,
+                obs_json::escape(&e.trace_id),
+                e.unix_ms,
+                e.generation,
+                e.dur_ns,
+                e.trace_json.as_deref().unwrap_or("null"),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_slow_and_traced_entries_newest_first() {
+        let log = CoordSlowLog::new(2, 1, 0, MetricsRegistry::new());
+        // Below threshold, untraced: dropped.
+        log.offer("search", 1, 100, &Trace::noop());
+        assert_eq!(log.to_json(), "[]");
+        // Slow entries land; capacity 2 evicts the oldest.
+        log.offer("search", 1, 2_000_000, &Trace::noop());
+        log.offer("knn", 1, 3_000_000, &Trace::noop());
+        log.offer("batch", 2, 4_000_000, &Trace::noop());
+        let v = warptree_server::json::parse(&log.to_json()).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("op").and_then(warptree_server::Json::as_str),
+            Some("batch")
+        );
+        assert_eq!(
+            arr[1].get("op").and_then(warptree_server::Json::as_str),
+            Some("knn")
+        );
+        // A traced fast request is kept (traces are why the ring exists).
+        let log = CoordSlowLog::new(4, 0, 0, MetricsRegistry::new());
+        let trace = Trace::active("t-1");
+        drop(trace.span("coord.service"));
+        log.offer("search", 1, 10, &trace);
+        let v = warptree_server::json::parse(&log.to_json()).unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sampler_fires_first_and_every_nth() {
+        let log = CoordSlowLog::new(1, 0, 3, MetricsRegistry::new());
+        let picks: Vec<bool> = (0..6).map(|_| log.sample()).collect();
+        assert_eq!(picks, vec![true, false, false, true, false, false]);
+        let off = CoordSlowLog::new(1, 0, 0, MetricsRegistry::new());
+        assert!(!off.sample());
+    }
+}

@@ -61,11 +61,6 @@ pub mod prelude {
         Coverage, KnnParams, Match, OutputKind, QueryKind, QueryOutput, QueryRequest,
         SearchMetrics, SearchParams, SearchStats, SegmentedIndex, SeqScanMode, SuffixTreeIndex,
     };
-    #[allow(deprecated)]
-    pub use crate::search::{
-        knn_search, knn_search_checked, knn_search_checked_with, knn_search_with, sim_search,
-        sim_search_checked, sim_search_checked_with, sim_search_with,
-    };
     pub use crate::sequence::{Occurrence, SeqId, Sequence, SequenceStore, Value};
 }
 

@@ -1,6 +1,6 @@
 //! Tests for the validating query path (`run_query` over a typed
-//! `QueryRequest`), pinning the validation order and error shapes the
-//! legacy `sim_search_checked` entry point established.
+//! `QueryRequest`), pinning the validation order and error shapes of
+//! checked threshold execution.
 
 use crate::categorize::Alphabet;
 use crate::error::CoreError;
@@ -10,7 +10,7 @@ use crate::search::query::QueryRequest;
 use crate::search::{run_query, SearchParams};
 use crate::sequence::{SeqId, SequenceStore, Value};
 
-/// The checked threshold search the legacy entry point performed.
+/// A checked threshold search: validate, run, snapshot.
 fn sim_search_checked(
     tree: &OneSuffix,
     alphabet: &Alphabet,

@@ -12,10 +12,9 @@
 //! final radius.
 
 use crate::categorize::Alphabet;
-use crate::search::answers::{Match, SearchParams, SearchStats};
+use crate::search::answers::{Match, SearchParams};
 use crate::search::filter::SuffixTreeIndex;
 use crate::search::metrics::SearchMetrics;
-use crate::search::query::QueryRequest;
 use crate::search::threshold_search_unchecked;
 use crate::sequence::{SequenceStore, Value};
 
@@ -200,53 +199,12 @@ fn filter_overlaps(matches: &[Match]) -> Vec<Match> {
     picked
 }
 
-/// Finds the `k` subsequences closest to `query` under the time-warping
-/// distance, exactly (no false dismissals at any radius).
-///
-/// Returns fewer than `k` matches only when the database itself has
-/// fewer qualifying subsequences (e.g. `non_overlapping` over a tiny
-/// store) or `max_rounds` is exhausted; the returned stats aggregate all
-/// rounds.
-#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query`")]
-pub fn knn_search<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &KnnParams,
-) -> (Vec<Match>, SearchStats) {
-    let metrics = SearchMetrics::new();
-    let result = knn_unchecked(tree, alphabet, store, query, params, &metrics);
-    let mut total = metrics.snapshot();
-    // Keep the historical reading of `answers` for the snapshot form:
-    // the k results actually returned, not the per-round answer total.
-    total.answers = result.len() as u64;
-    (result, total)
-}
-
-/// Like [`knn_search`], but metering into caller-supplied
-/// [`SearchMetrics`] — every ε-expansion round accumulates into the same
-/// counters (so `answers` counts per-round verified answers, not the
-/// final `k`).
-#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query_with`")]
-pub fn knn_search_with<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &KnnParams,
-    metrics: &SearchMetrics,
-) -> Vec<Match> {
-    knn_unchecked(tree, alphabet, store, query, params, metrics)
-}
-
 /// The k-NN engine: ε-expansion rounds over the threshold engine,
 /// metered into `metrics` (`answers` accumulates per-round verified
 /// answers, not the final `k`). Callers must have validated the
 /// query/parameters — this is the body behind
 /// [`run_query_with`](crate::search::run_query_with) for
-/// [`QueryKind::Knn`](crate::search::QueryKind) requests and the
-/// deprecated `knn_search*` shims.
+/// [`QueryKind::Knn`](crate::search::QueryKind) requests.
 pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
@@ -326,42 +284,12 @@ pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
     result
 }
 
-/// Like [`knn_search`], but validating the query and parameters up
-/// front and returning a typed [`CoreError`](crate::error::CoreError)
-/// instead of panicking — the right entry point when k-NN requests come
-/// from untrusted input (e.g. a network request).
-#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query`")]
-pub fn knn_search_checked<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &KnnParams,
-) -> Result<(Vec<Match>, SearchStats), crate::error::CoreError> {
-    let req = QueryRequest::knn_params(query, params.clone());
-    let (out, stats) = crate::search::run_query(tree, alphabet, store, &req)?;
-    Ok((out.into_ranked(), stats))
-}
-
-/// The checked k-NN entry point with caller-supplied metrics: validates
-/// like [`knn_search_checked`], meters like [`knn_search_with`].
-#[deprecated(note = "build a `QueryRequest::knn_params` and call `run_query_with`")]
-pub fn knn_search_checked_with<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &KnnParams,
-    metrics: &SearchMetrics,
-) -> Result<Vec<Match>, crate::error::CoreError> {
-    let req = QueryRequest::knn_params(query, params.clone());
-    Ok(crate::search::run_query_with(tree, alphabet, store, &req, metrics)?.into_ranked())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::categorize::CatStore;
+    use crate::search::answers::SearchStats;
+    use crate::search::query::QueryRequest;
     use crate::sequence::{Occurrence, SeqId};
 
     type ToyNode = (Vec<u32>, Vec<usize>, Vec<(SeqId, u32, u32)>);
@@ -628,34 +556,4 @@ mod tests {
         ));
     }
 
-    /// The deprecated positional shims must stay exact aliases of the
-    /// typed API (this is the one sanctioned call site left in-repo).
-    #[test]
-    #[allow(deprecated)]
-    fn shims_match_run_query() {
-        use crate::error::CoreError;
-        let (store, alphabet, tree) = setup();
-        let params = KnnParams::new(3).allow_overlaps();
-        let (typed, typed_stats) = knn(&tree, &alphabet, &store, &[5.0, 9.0], &params);
-        let (shim, shim_stats) = knn_search(&tree, &alphabet, &store, &[5.0, 9.0], &params);
-        assert_eq!(typed, shim);
-        assert_eq!(typed_stats, shim_stats);
-        let (checked, checked_stats) =
-            knn_search_checked(&tree, &alphabet, &store, &[5.0, 9.0], &params).unwrap();
-        assert_eq!(typed, checked);
-        assert_eq!(typed_stats, checked_stats);
-        assert_eq!(
-            knn_search_checked(&tree, &alphabet, &store, &[], &params).unwrap_err(),
-            CoreError::EmptyQuery
-        );
-        let m = SearchMetrics::new();
-        let with = knn_search_with(&tree, &alphabet, &store, &[5.0, 9.0], &params, &m);
-        // `_with` accumulates per-round answers; only the match list is
-        // contractually identical.
-        assert_eq!(typed, with);
-        let m2 = SearchMetrics::new();
-        let checked_with =
-            knn_search_checked_with(&tree, &alphabet, &store, &[5.0, 9.0], &params, &m2).unwrap();
-        assert_eq!(typed, checked_with);
-    }
 }

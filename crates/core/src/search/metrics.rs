@@ -8,7 +8,7 @@
 //! the three measurement modes:
 //!
 //! * [`SearchMetrics::new`] — detached live counters; used by
-//!   [`sim_search`](crate::search::sim_search) to produce its returned
+//!   [`run_query`](crate::search::run_query) to produce its returned
 //!   snapshot.
 //! * [`SearchMetrics::noop`] — every update is a single inlined branch;
 //!   the zero-overhead mode benchmarked by `obs_overhead`.

@@ -18,8 +18,7 @@
 //!
 //! The top-level entry point is [`run_query`] with a [`QueryRequest`]:
 //! the paper's `SimSearch-ST(_C)` / `SimSearch-SST_C` depending on the
-//! index it is given, or ε-expansion k-NN. The positional `sim_search*`
-//! / `knn_search*` functions are deprecated shims over it.
+//! index it is given, or ε-expansion k-NN.
 
 pub mod aligned;
 pub mod answers;
@@ -34,10 +33,7 @@ pub mod seqscan;
 pub use aligned::aligned_scan;
 pub use answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
 pub use filter::{filter_tree, filter_tree_with, SuffixTreeIndex};
-#[allow(deprecated)]
-pub use knn::{
-    knn_search, knn_search_checked, knn_search_checked_with, knn_search_with, KnnParams,
-};
+pub use knn::KnnParams;
 pub use metrics::SearchMetrics;
 pub use postprocess::postprocess;
 pub use query::{
@@ -55,8 +51,7 @@ use crate::sequence::{SequenceStore, Value};
 /// The threshold-search engine: lower-bound filtering followed by exact
 /// post-processing, metered into `metrics`. Callers must have validated
 /// `query`/`params` (this is the body behind [`run_query_with`] for
-/// [`QueryKind::Threshold`] requests and the deprecated `sim_search*`
-/// shims).
+/// [`QueryKind::Threshold`] requests).
 pub(crate) fn threshold_search_unchecked<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,
@@ -118,72 +113,3 @@ pub(crate) fn threshold_search_unchecked<T: SuffixTreeIndex + Sync>(
     answers
 }
 
-/// Runs a complete similarity search over a suffix-tree index:
-/// lower-bound filtering followed by exact post-processing.
-///
-/// This is the paper's `SimSearch-ST_C` (Algorithm 3); with a singleton
-/// alphabet it degenerates to `SimSearch-ST` (Algorithm 1: the lower bound
-/// is exact, post-processing only recomputes exact distances for
-/// reporting); over a sparse index it is `SimSearch-SST_C`.
-///
-/// Returns every subsequence occurrence whose exact time-warping distance
-/// from `query` is `≤ params.epsilon` — no false dismissals, no false
-/// alarms.
-#[deprecated(note = "build a `QueryRequest::threshold_params` and call `run_query`")]
-pub fn sim_search<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &SearchParams,
-) -> (AnswerSet, SearchStats) {
-    let metrics = SearchMetrics::new();
-    let answers = threshold_search_unchecked(tree, alphabet, store, query, params, &metrics);
-    (answers, metrics.snapshot())
-}
-
-/// Like [`sim_search`], but writing cost counters and per-phase wall
-/// times into caller-supplied [`SearchMetrics`] instead of returning a
-/// snapshot. Counters accumulate across calls sharing one
-/// `SearchMetrics`.
-#[deprecated(note = "build a `QueryRequest::threshold_params` and call `run_query_with`")]
-pub fn sim_search_with<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &SearchParams,
-    metrics: &SearchMetrics,
-) -> AnswerSet {
-    threshold_search_unchecked(tree, alphabet, store, query, params, metrics)
-}
-
-/// Like [`sim_search`], but validating the query/parameters up front and
-/// returning an error instead of panicking.
-#[deprecated(note = "build a `QueryRequest::threshold_params` and call `run_query`")]
-pub fn sim_search_checked<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &SearchParams,
-) -> Result<(AnswerSet, SearchStats), crate::error::CoreError> {
-    let req = QueryRequest::threshold_params(query, params.clone());
-    let (out, stats) = run_query(tree, alphabet, store, &req)?;
-    Ok((out.into_answer_set(), stats))
-}
-
-/// The checked entry point with caller-supplied metrics: validates like
-/// [`sim_search_checked`], meters like [`sim_search_with`].
-#[deprecated(note = "build a `QueryRequest::threshold_params` and call `run_query_with`")]
-pub fn sim_search_checked_with<T: SuffixTreeIndex + Sync>(
-    tree: &T,
-    alphabet: &Alphabet,
-    store: &SequenceStore,
-    query: &[Value],
-    params: &SearchParams,
-    metrics: &SearchMetrics,
-) -> Result<AnswerSet, crate::error::CoreError> {
-    let req = QueryRequest::threshold_params(query, params.clone());
-    Ok(run_query_with(tree, alphabet, store, &req, metrics)?.into_answer_set())
-}

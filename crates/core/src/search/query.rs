@@ -1,16 +1,12 @@
 //! The unified typed query API.
 //!
-//! Three PRs of organic growth split query execution across eight
-//! positional entry points (`sim_search{,_with,_checked,_checked_with}`
-//! and the `knn_search` family), each validating a slightly different
-//! subset of its inputs. [`QueryRequest`] collapses them: one builder
-//! describes *what* is asked (threshold or k-NN, via [`QueryKind`]),
-//! one [`QueryRequest::validate`] pass performs **every** check the old
-//! entry points did between them (parameter validation, non-finite
-//! values, the serving length cap, truncated-index depth rules), and
-//! one executor pair — [`run_query`] / [`run_query_with`] — runs the
-//! search over any [`SuffixTreeIndex`]. The old entry points survive
-//! only as `#[deprecated]` shims over this module.
+//! [`QueryRequest`] is the single entry point for query execution: one
+//! builder describes *what* is asked (threshold or k-NN, via
+//! [`QueryKind`]), one [`QueryRequest::validate`] pass performs every
+//! check (parameter validation, non-finite values, the serving length
+//! cap, truncated-index depth rules), and one executor pair —
+//! [`run_query`] / [`run_query_with`] — runs the search over any
+//! [`SuffixTreeIndex`].
 
 use crate::categorize::Alphabet;
 use crate::error::CoreError;
@@ -340,8 +336,7 @@ pub fn run_query_with<T: SuffixTreeIndex + Sync>(
 /// [`run_query_with`] on fresh metrics, returning the final
 /// [`SearchStats`] snapshot alongside the output. For k-NN requests the
 /// snapshot's `answers` field reads as the result count actually
-/// returned (the historical `knn_search` convention), not the per-round
-/// verified total.
+/// returned, not the per-round verified total.
 pub fn run_query<T: SuffixTreeIndex + Sync>(
     tree: &T,
     alphabet: &Alphabet,

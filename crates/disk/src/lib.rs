@@ -37,6 +37,7 @@ pub mod manifest;
 pub mod merge;
 pub mod pager;
 pub mod segment;
+pub mod shard;
 pub mod snapshot;
 pub mod vfs;
 pub mod writer;
@@ -56,6 +57,10 @@ pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};
 pub use segment::{
     append_segment, append_segment_with, compact_all_with, compact_once, compact_once_with,
     heal_segment_with, scrub_dir_with, ScrubReport,
+};
+pub use shard::{
+    read_shard_manifest, read_shard_manifest_with, write_shard_manifest,
+    write_shard_manifest_with, ShardManifest, ShardMeta, SHARD_MANIFEST_NAME,
 };
 pub use snapshot::{
     committed_generation_with, open_dir_snapshot_with, DegradedError, DegradedQuery, DirSnapshot,

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::client::{search_request_v4, Client, ClientError};
+use crate::client::{search_request_v4, Client, ClientError, ShardConn};
 
 /// How connections pace their requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,14 +197,14 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
             let mut queue_waits: Vec<u64> = Vec::new();
             let mut services: Vec<u64> = Vec::new();
             let mut counts = [0u64; 4]; // indexed by Outcome
-            let mut conn_failures = 0u64;
             let mut matches = 0u64;
             let mut sent = 0u64;
             // Connections are (re)dialed lazily per request: a broken
-            // socket or refused connect costs *that request* (counted,
-            // below), never the rest of the thread's run — measuring a
-            // server while it drops connections is part of the point.
-            let mut client: Option<Client> = None;
+            // socket or refused connect costs *that request* (counted
+            // by the ShardConn), never the rest of the thread's run —
+            // measuring a server while it drops connections is part of
+            // the point.
+            let mut conn = ShardConn::with_timeout(&addr, Some(Duration::from_secs(30)));
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed) as usize;
                 if i >= bodies.len() {
@@ -222,20 +222,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                 }
                 let t0 = scheduled.unwrap_or_else(Instant::now);
                 sent += 1;
-                if client.is_none() {
-                    match Client::connect(&addr) {
-                        Ok(mut c) => {
-                            c.set_timeout(Some(Duration::from_secs(30))).ok();
-                            client = Some(c);
-                        }
-                        Err(_) => {
-                            conn_failures += 1;
-                            counts[Outcome::OtherError as usize] += 1;
-                            continue;
-                        }
-                    }
-                }
-                let outcome = match client.as_mut().expect("dialed above").request(&bodies[i]) {
+                let outcome = match conn.request(&bodies[i]) {
                     Ok(v) => {
                         matches += v
                             .get("count")
@@ -258,13 +245,9 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                     Err(ClientError::Server { ref code, .. }) if code == "deadline_exceeded" => {
                         Outcome::Deadline
                     }
-                    Err(e) if e.is_transient() => {
-                        // Transport failure: the socket is gone. Drop it
-                        // so the next request re-dials.
-                        conn_failures += 1;
-                        client = None;
-                        Outcome::OtherError
-                    }
+                    // Dial failures and torn connections were already
+                    // counted (and the dead socket dropped) by the
+                    // ShardConn; they land here as plain errors.
                     Err(_) => Outcome::OtherError,
                 };
                 if outcome == Outcome::Ok {
@@ -277,7 +260,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, ClientError> {
                 queue_waits,
                 services,
                 counts,
-                conn_failures,
+                conn.conn_failures(),
                 matches,
                 sent,
             )

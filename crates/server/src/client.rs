@@ -313,6 +313,151 @@ impl Client {
     }
 }
 
+/// A pooled, self-healing connection to one server address.
+///
+/// [`Client`] wraps one live TCP connection; `ShardConn` wraps an
+/// *address*: the socket is dialed lazily on first use and dropped on
+/// transport failure, so the next request re-dials fresh instead of
+/// failing forever on a dead connection. Dial failures and torn
+/// connections are tallied in [`ShardConn::conn_failures`]. This is
+/// the reconnect logic the bench loop used to carry inline, promoted
+/// so the load generator and the shard coordinator share one copy.
+pub struct ShardConn {
+    addr: String,
+    timeout: Option<Duration>,
+    client: Option<Client>,
+    conn_failures: u64,
+}
+
+impl ShardConn {
+    /// Wraps `addr` without dialing; the first request connects.
+    pub fn new(addr: impl Into<String>) -> ShardConn {
+        ShardConn {
+            addr: addr.into(),
+            timeout: None,
+            client: None,
+            conn_failures: 0,
+        }
+    }
+
+    /// [`ShardConn::new`] with a per-response read timeout applied to
+    /// every (re)dialed connection.
+    pub fn with_timeout(addr: impl Into<String>, timeout: Option<Duration>) -> ShardConn {
+        let mut conn = ShardConn::new(addr);
+        conn.timeout = timeout;
+        conn
+    }
+
+    /// The address this connection (re)dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Dial failures plus connections lost mid-exchange so far.
+    pub fn conn_failures(&self) -> u64 {
+        self.conn_failures
+    }
+
+    /// Whether a (believed) live socket is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Drops the current socket; the next request re-dials.
+    pub fn disconnect(&mut self) {
+        self.client = None;
+    }
+
+    fn ensure(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            match Client::connect(&self.addr) {
+                Ok(mut c) => {
+                    c.set_timeout(self.timeout).ok();
+                    self.client = Some(c);
+                }
+                Err(e) => {
+                    self.conn_failures += 1;
+                    return Err(ClientError::Io(e));
+                }
+            }
+        }
+        Ok(self.client.as_mut().expect("dialed above"))
+    }
+
+    /// Whether `err` means the held socket is unusable (as opposed to a
+    /// typed server error on a healthy connection).
+    fn is_torn(err: &ClientError) -> bool {
+        err.is_transient() && err.code().is_none()
+    }
+
+    /// One request attempt: dial if needed, send, and on a transport
+    /// failure drop the socket (counted) so the next call re-dials. No
+    /// retries — per-request accounting stays exact for load
+    /// generation; use [`ShardConn::request_with_retry`] when the
+    /// caller wants the policy-driven loop.
+    pub fn request(&mut self, body: &str) -> Result<Json, ClientError> {
+        let result = self.ensure()?.request(body);
+        if let Err(ref e) = result {
+            if Self::is_torn(e) {
+                self.conn_failures += 1;
+                self.client = None;
+            }
+        }
+        result
+    }
+
+    /// [`ShardConn::request`] returning the raw response text (error
+    /// frames included), for byte-equivalence callers.
+    pub fn request_raw(&mut self, body: &str) -> Result<String, ClientError> {
+        let result = self.ensure()?.request_raw(body);
+        if let Err(ref e) = result {
+            if Self::is_torn(e) {
+                self.conn_failures += 1;
+                self.client = None;
+            }
+        }
+        result
+    }
+
+    /// [`ShardConn::request`] with retries on transient failures under
+    /// `policy`: `overloaded` rejections back off with full jitter,
+    /// transport errors re-dial (lazily, on the next attempt). Hard
+    /// typed errors return immediately; the policy's deadline bounds
+    /// the total time spent, sleeps included.
+    pub fn request_with_retry(
+        &mut self,
+        body: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Json, ClientError> {
+        let started = Instant::now();
+        let mut rng = jitter_seed();
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match self.request(body) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            let cap = policy
+                .base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(policy.max_backoff)
+                .max(Duration::from_nanos(1));
+            let sleep = Duration::from_nanos(next_jitter(&mut rng) % cap.as_nanos() as u64);
+            if let Some(budget) = policy.deadline {
+                if started.elapsed() + sleep >= budget {
+                    return Err(err);
+                }
+            }
+            std::thread::sleep(sleep);
+            attempt += 1;
+        }
+    }
+}
+
 /// Renders a query as a JSON number array (shared by client and bench).
 pub fn encode_query(query: &[f64]) -> String {
     let mut out = String::from("[");
@@ -436,6 +581,51 @@ mod tests {
             "jitter should spread: {} values",
             seen.len()
         );
+    }
+
+    #[test]
+    fn shard_conn_counts_dial_failures_without_sticking() {
+        // Bind-then-drop to obtain a port that refuses connections.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let mut conn = ShardConn::new(&addr);
+        assert!(!conn.is_connected());
+        let err = conn.request("{\"op\":\"health\"}").unwrap_err();
+        assert!(err.is_transient(), "dial failure must read as transient");
+        assert_eq!(conn.conn_failures(), 1);
+        // The failed dial leaves no socket behind; a second attempt
+        // re-dials (and fails again) rather than erroring on state.
+        assert!(!conn.is_connected());
+        assert!(conn.request("{\"op\":\"health\"}").is_err());
+        assert_eq!(conn.conn_failures(), 2);
+    }
+
+    #[test]
+    fn shard_conn_redials_after_server_drops_connection() {
+        use crate::proto::{read_frame, write_frame};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // A server that answers exactly one request per connection,
+        // then hangs up — every follow-up request needs a re-dial.
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = read_frame(&mut s).unwrap();
+                write_frame(&mut s, b"{\"ok\":true,\"version\":4,\"op\":\"health\"}").unwrap();
+                // Connection drops here.
+            }
+        });
+        let mut conn = ShardConn::new(&addr);
+        assert!(conn.request("{\"op\":\"health\"}").is_ok());
+        assert!(conn.is_connected());
+        // The server closed the socket after responding; the next
+        // request hits the torn connection, drops it (counted), and a
+        // retry re-dials the fresh accept.
+        let r = conn.request_with_retry("{\"op\":\"health\"}", &RetryPolicy::default());
+        assert!(r.is_ok(), "retry should re-dial: {:?}", r.err());
+        assert_eq!(conn.conn_failures(), 1);
+        server.join().unwrap();
     }
 
     #[test]

@@ -81,6 +81,42 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders the value back to JSON text: keys in sorted (`BTreeMap`)
+    /// order, numbers through the shared shortest-round-trip formatter
+    /// ([`warptree_obs::json::num`]), strings re-escaped. Parsing and
+    /// re-rendering is stable, which is what lets a coordinator embed a
+    /// shard's parsed sub-objects (span trees) in its own output.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(v) => warptree_obs::json::num(*v),
+            Json::Str(s) => format!("\"{}\"", warptree_obs::json::escape(s)),
+            Json::Arr(items) => {
+                let mut out = String::from("[");
+                for (i, x) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&x.render());
+                }
+                out.push(']');
+                out
+            }
+            Json::Obj(map) => {
+                let mut out = String::from("{");
+                for (i, (k, x)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{}", warptree_obs::json::escape(k), x.render()));
+                }
+                out.push('}');
+                out
+            }
+        }
+    }
 }
 
 /// Parses `input` as a single JSON value (trailing whitespace allowed,
@@ -350,6 +386,24 @@ mod tests {
         // Depth bomb: rejected, not a stack overflow.
         let bomb = "[".repeat(10_000) + &"]".repeat(10_000);
         assert!(parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for text in [
+            "null",
+            "true",
+            "[1,2.5,-3]",
+            r#"{"a":[{"b":"x\"y"},null],"c":0.75}"#,
+            r#"{"spans":[{"attrs":{"op":"search"},"dur_ns":12}]}"#,
+        ] {
+            let v = parse(text).unwrap();
+            let rendered = v.render();
+            assert_eq!(parse(&rendered).unwrap(), v, "{text}");
+        }
+        // Rendering is a fixed point: parse(render(v)) renders the same.
+        let v = parse(r#"{"z":1,"a":[true,"s"]}"#).unwrap();
+        assert_eq!(parse(&v.render()).unwrap().render(), v.render());
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod snapshot;
 
 pub use bench::{BenchConfig, BenchReport, LoopMode};
 pub use chaos::{ChaosConfig, ChaosStream};
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, RetryPolicy, ShardConn};
 pub use json::Json;
 pub use pool::{SubmitError, WorkerPool};
 pub use proto::{ErrorCode, ParseError, Request, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION};

@@ -816,6 +816,14 @@ fn handle_conn(mut stream: TcpStream, ctx: &Ctx, pool: &WorkerPool) {
                 if !serve_one(&payload, &mut stream, ctx, pool) {
                     return;
                 }
+                // During drain, close after answering rather than wait
+                // for an idle window: a client polling faster than the
+                // read timeout (a coordinator's health monitor, a tight
+                // retry loop) would otherwise hold the drain open
+                // indefinitely.
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
             }
             Ok(FrameEvent::Closed) => return, // clean close
             Ok(FrameEvent::Idle) => {

@@ -48,6 +48,8 @@ fn main() -> ExitCode {
         Some("mine") => cmd_mine(&args[1..]),
         Some("forecast") => cmd_forecast(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("shard-init") => cmd_shard_init(&args[1..]),
+        Some("shard-coordinator") => cmd_shard_coordinator(&args[1..]),
         Some("slowlog") => cmd_slowlog(&args[1..]),
         Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -128,6 +130,20 @@ fn print_usage() {
          generations are hot-reloaded from the commit manifest,\n\
          \u{20}          `ingest` appends tail segments online and a \
          background worker folds them at T tails (0 disables)\n\
+         \u{20}  shard-init  partition a CSV corpus into N per-shard \
+         index directories + a SHARDS manifest\n\
+         \u{20}          --input FILE --shards N --out-dir DIR \
+         [--method me|el|exact|kmeans] [--categories C]\n\
+         \u{20}          [--sparse] [--batch B]  (one global alphabet; \
+         shard answers merge byte-identically)\n\
+         \u{20}  shard-coordinator  serve a sharded corpus by \
+         scatter-gather over running shard servers\n\
+         \u{20}          DIR --shards ADDR,ADDR,… [--addr HOST:PORT] \
+         [--workers N] [--deadline-ms D]\n\
+         \u{20}          [--shard-timeout-ms T] [--max-conns C] \
+         [--health-interval-ms H] [--slow-ms MS]\n\
+         \u{20}          [--trace-sample N] [--slowlog-capacity K]  \
+         (shard addresses in manifest order)\n\
          \u{20}  slowlog dump a running server's slow-query ring \
          (newest first)\n\
          \u{20}          --addr HOST:PORT [--json] [--traces: include \
@@ -937,6 +953,197 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(maddr) = handle.metrics_addr() {
         println!("  metrics exposition on http://{maddr}/metrics");
     }
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // Park until SIGINT/SIGTERM or a protocol `shutdown` op, then drain.
+    while !signal::shutdown_requested() && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining in-flight requests…");
+    handle.request_shutdown();
+    handle.join();
+    eprintln!("drained; bye");
+    Ok(())
+}
+
+/// Greedy contiguous value-balanced partition: cut after the sequence
+/// whose cumulative value count first reaches the running target, while
+/// always leaving at least one sequence per remaining shard. Contiguity
+/// is what makes the coordinator's id remap pure arithmetic.
+fn partition_points(lens: &[u64], shards: usize) -> Vec<usize> {
+    let total: u64 = lens.iter().sum();
+    let mut cuts = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut consumed = 0u64;
+    for s in 0..shards {
+        let remaining_shards = shards - s;
+        let max_end = lens.len() - (remaining_shards - 1);
+        let target = consumed + (total - consumed) / remaining_shards as u64;
+        let mut end = start + 1;
+        consumed += lens[start];
+        while end < max_end && consumed < target {
+            consumed += lens[end];
+            end += 1;
+        }
+        cuts.push(end);
+        start = end;
+    }
+    cuts
+}
+
+fn cmd_shard_init(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let input = PathBuf::from(o.require("input")?);
+    let out_dir = PathBuf::from(o.require("out-dir")?);
+    let shards: usize = o.parse_num("shards", 2)?;
+    let categories: usize = o.parse_num("categories", 40)?;
+    let batch: usize = o.parse_num("batch", 64)?;
+    let kind = if o.flag("sparse") {
+        warptree_disk::TreeKind::Sparse
+    } else {
+        warptree_disk::TreeKind::Full
+    };
+    let store = load_csv(&input).map_err(|e| e.to_string())?;
+    if store.is_empty() {
+        return Err("input contains no sequences".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if shards > store.len() {
+        return Err(format!(
+            "--shards {shards} exceeds the corpus's {} sequences",
+            store.len()
+        ));
+    }
+    let cat = match o.get("method").unwrap_or("me") {
+        "me" => Categorization::MaxEntropy(categories),
+        "el" => Categorization::EqualLength(categories),
+        "exact" => Categorization::Exact,
+        "kmeans" => Categorization::KMeans(categories),
+        other => return Err(format!("unknown --method {other:?}")),
+    };
+    // ONE alphabet over the whole corpus, shared by every shard build.
+    // Per-shard alphabets would categorize the same values differently
+    // and shard answers would stop merging byte-identically with a
+    // monolithic index.
+    let alphabet = cat.alphabet(&store).map_err(|e| e.to_string())?;
+    let lens: Vec<u64> = store.iter().map(|(_, s)| s.len() as u64).collect();
+    let cuts = partition_points(&lens, shards);
+    let t0 = std::time::Instant::now();
+    let mut metas = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for (i, &end) in cuts.iter().enumerate() {
+        let mut slice = warptree::core::sequence::SequenceStore::new();
+        for id in start..end {
+            let sid = warptree::core::sequence::SeqId(id as u32);
+            let seq = store.get(sid).clone();
+            match store.name(sid) {
+                Some(n) => slice.push_named(seq, n),
+                None => slice.push(seq),
+            };
+        }
+        let dir_name = format!("shard-{i:04}");
+        let shard_dir = out_dir.join(&dir_name);
+        warptree_disk::build_dir_with(
+            warptree_disk::real_vfs(),
+            &slice,
+            &alphabet,
+            kind,
+            batch,
+            1,
+            None,
+            &shard_dir,
+        )
+        .map_err(|e| format!("building {dir_name}: {e}"))?;
+        println!(
+            "  {dir_name}: sequences [{start}, {end}) — {} values",
+            slice.total_len()
+        );
+        metas.push(warptree_disk::ShardMeta {
+            dir: dir_name,
+            start_seq: start as u32,
+            seq_count: (end - start) as u32,
+            values: slice.total_len(),
+        });
+        start = end;
+    }
+    let manifest = warptree_disk::ShardManifest {
+        generation: 1,
+        shards: metas,
+    };
+    warptree_disk::write_shard_manifest(&out_dir, &manifest).map_err(|e| e.to_string())?;
+    println!(
+        "sharded {} sequences ({} values) into {shards} shard directories under {} in {:.2?}",
+        store.len(),
+        store.total_len(),
+        out_dir.display(),
+        t0.elapsed()
+    );
+    println!(
+        "  serve each with `warptree serve {}/shard-NNNN`, then \
+         `warptree shard-coordinator {} --shards ADDR,…`",
+        out_dir.display(),
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_shard_coordinator(args: &[String]) -> Result<(), String> {
+    use warptree::coord::{CoordConfig, Coordinator};
+    use warptree::server::signal;
+    // Accept the sharding root positionally or as `--index-dir DIR`.
+    let (dir, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (PathBuf::from(a), &args[1..]),
+        _ => {
+            let o = Opts::parse(args)?;
+            (PathBuf::from(o.require("index-dir")?), args)
+        }
+    };
+    let o = Opts::parse(rest)?;
+    let shard_addrs: Vec<String> = o
+        .require("shards")?
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shard_addrs.is_empty() {
+        return Err("--shards needs at least one address".into());
+    }
+    let mut config = CoordConfig {
+        addr: o.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        shard_addrs,
+        ..CoordConfig::default()
+    };
+    config.workers = o.parse_num("workers", config.workers)?;
+    config.deadline = std::time::Duration::from_millis(o.parse_num("deadline-ms", 5000u64)?);
+    config.shard_timeout =
+        std::time::Duration::from_millis(o.parse_num("shard-timeout-ms", 5000u64)?);
+    config.max_conns = o.parse_num("max-conns", config.max_conns)?;
+    config.health_interval =
+        std::time::Duration::from_millis(o.parse_num("health-interval-ms", 500u64)?);
+    config.slow_ms = o.parse_num("slow-ms", config.slow_ms)?;
+    config.trace_sample = o.parse_num("trace-sample", config.trace_sample)?;
+    config.slowlog_capacity = o.parse_num("slowlog-capacity", config.slowlog_capacity)?;
+
+    if !signal::install_handlers() {
+        eprintln!(
+            "warning: SIGINT/SIGTERM handlers unavailable; stop via the protocol `shutdown` op"
+        );
+    }
+    let shard_count = config.shard_addrs.len();
+    let handle = Coordinator::start(&dir, config.clone()).map_err(|e| e.to_string())?;
+    // One parseable line so scripts can discover the bound port.
+    println!("coordinating {shard_count} shards on {}", handle.addr());
+    for (i, addr) in config.shard_addrs.iter().enumerate() {
+        println!("  shard {i}: {addr}");
+    }
+    println!(
+        "  scatter lanes {}, deadline {:?}, per-shard timeout {:?}, max conns {}, \
+         health poll {:?}",
+        config.workers, config.deadline, config.shard_timeout, config.max_conns, config.health_interval
+    );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     // Park until SIGINT/SIGTERM or a protocol `shutdown` op, then drain.
