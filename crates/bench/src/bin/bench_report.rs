@@ -27,6 +27,10 @@ struct Row {
     categories: Option<usize>,
     /// Worker subthreads per query (1 = sequential execution).
     threads: u32,
+    /// Whether the lower-bound cascade screened candidates ahead of the
+    /// exact tables (for SeqScan: [`SeqScanMode::Cascade`] vs
+    /// early-abandon). Ablation pairs differ only in this flag.
+    cascade: bool,
     latencies: Vec<f64>,
     answers: u64,
     stats: SearchStats,
@@ -66,13 +70,16 @@ impl Row {
         format!(
             concat!(
                 "{{\"strategy\":\"{}\",\"categories\":{},\"threads\":{},",
+                "\"cascade\":{},",
                 "\"latency_ms\":{{\"p50\":{},\"p95\":{},\"mean\":{}}},",
                 "\"answers_per_query\":{},\"candidates_per_query\":{},",
                 "\"candidate_ratio\":{},\"stages\":{},",
                 "\"counters\":{{\"nodes_visited\":{},\"branches_pruned\":{},",
                 "\"candidates\":{},\"false_alarms\":{},",
                 "\"filter_cells\":{},\"postprocess_cells\":{},",
-                "\"rows_pushed\":{},\"rows_unshared\":{}}}}}"
+                "\"rows_pushed\":{},\"rows_unshared\":{},",
+                "\"cascade_lb_keogh_kills\":{},\"cascade_lb_improved_kills\":{},",
+                "\"cascade_abandon_kills\":{}}}}}"
             ),
             self.strategy,
             match self.categories {
@@ -80,6 +87,7 @@ impl Row {
                 None => "null".into(),
             },
             self.threads,
+            self.cascade,
             num(1e3 * self.quantile(0.5)),
             num(1e3 * self.quantile(0.95)),
             num(mean_ms),
@@ -102,6 +110,9 @@ impl Row {
             s.postprocess_cells,
             s.rows_pushed,
             s.rows_unshared,
+            s.cascade_lb_keogh_kills,
+            s.cascade_lb_improved_kills,
+            s.cascade_abandon_kills,
         )
     }
 }
@@ -125,12 +136,17 @@ fn main() {
     let params = SearchParams::with_epsilon(epsilon);
     let mut rows: Vec<Row> = Vec::new();
 
-    // SeqScan baseline (early-abandon — the stronger of the two).
-    {
+    // SeqScan baselines: early-abandon (cascade=false) and the
+    // envelope-cascaded scan (cascade=true) — same answers, fewer rows.
+    for (mode, cascade) in [
+        (SeqScanMode::EarlyAbandon, false),
+        (SeqScanMode::Cascade, true),
+    ] {
         let mut row = Row {
             strategy: "seqscan",
             categories: None,
             threads: 1,
+            cascade,
             latencies: Vec::new(),
             answers: 0,
             stats: SearchStats::default(),
@@ -139,24 +155,19 @@ fn main() {
         for q in queries.queries() {
             let mut stats = SearchStats::default();
             let t0 = Instant::now();
-            let answers = seq_scan(
-                &store,
-                &q.values,
-                &params,
-                SeqScanMode::EarlyAbandon,
-                &mut stats,
-            );
+            let answers = seq_scan(&store, &q.values, &params, mode, &mut stats);
             row.latencies.push(t0.elapsed().as_secs_f64());
             row.answers += answers.len() as u64;
             row.stats.merge(&stats);
         }
         row.latencies.sort_by(|a, b| a.total_cmp(b));
         println!(
-            "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms",
+            "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | cascade {}",
             row.strategy,
             "-",
             1e3 * row.quantile(0.5),
-            1e3 * row.quantile(0.95)
+            1e3 * row.quantile(0.95),
+            cascade
         );
         rows.push(row);
     }
@@ -164,42 +175,59 @@ fn main() {
     for cats in scale.category_counts() {
         for (kind, strategy) in [(IndexKind::Full, "full"), (IndexKind::Sparse, "sparse")] {
             let built = build_index(&store, kind, Method::Me, cats);
-            // One metrics handle for the whole workload: the snapshot is
-            // the per-workload aggregate of every funnel counter.
-            let metrics = SearchMetrics::new();
-            let mut row = Row {
-                strategy,
-                categories: Some(cats),
-                threads: 1,
-                latencies: Vec::new(),
-                answers: 0,
-                stats: SearchStats::default(),
-                stages: None,
-            };
-            for q in queries.queries() {
-                let req = QueryRequest::threshold_params(&q.values, params.clone());
-                let t0 = Instant::now();
-                let answers = run_query_with(&built.tree, &built.alphabet, &store, &req, &metrics)
-                    .unwrap()
-                    .into_answer_set();
-                row.latencies.push(t0.elapsed().as_secs_f64());
-                row.answers += answers.len() as u64;
+            // Ablation pair: the same workload with the lower-bound
+            // cascade on and off. Answers must agree exactly (the
+            // cascade is provably no-false-dismissal); the off row
+            // prices the false-alarm tax the cascade removes.
+            let mut pair_answers = [0u64; 2];
+            for (slot, cascade) in [(0usize, true), (1, false)] {
+                // One metrics handle for the whole workload: the
+                // snapshot is the per-workload aggregate of every
+                // funnel counter.
+                let metrics = SearchMetrics::new();
+                let mut row = Row {
+                    strategy,
+                    categories: Some(cats),
+                    threads: 1,
+                    cascade,
+                    latencies: Vec::new(),
+                    answers: 0,
+                    stats: SearchStats::default(),
+                    stages: None,
+                };
+                let cp = params.clone().cascaded(cascade);
+                for q in queries.queries() {
+                    let req = QueryRequest::threshold_params(&q.values, cp.clone());
+                    let t0 = Instant::now();
+                    let answers =
+                        run_query_with(&built.tree, &built.alphabet, &store, &req, &metrics)
+                            .unwrap()
+                            .into_answer_set();
+                    row.latencies.push(t0.elapsed().as_secs_f64());
+                    row.answers += answers.len() as u64;
+                }
+                row.stats = metrics.snapshot();
+                row.stages = Some((
+                    metrics.filter_ns.snapshot(),
+                    metrics.postprocess_ns.snapshot(),
+                ));
+                row.latencies.sort_by(|a, b| a.total_cmp(b));
+                println!(
+                    "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | {:>6.1} checks/answer | cascade {}",
+                    row.strategy,
+                    cats,
+                    1e3 * row.quantile(0.5),
+                    1e3 * row.quantile(0.95),
+                    row.stats.postprocessed as f64 / row.answers.max(1) as f64,
+                    cascade
+                );
+                pair_answers[slot] = row.answers;
+                rows.push(row);
             }
-            row.stats = metrics.snapshot();
-            row.stages = Some((
-                metrics.filter_ns.snapshot(),
-                metrics.postprocess_ns.snapshot(),
-            ));
-            row.latencies.sort_by(|a, b| a.total_cmp(b));
-            println!(
-                "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | {:>6.1} checks/answer",
-                row.strategy,
-                cats,
-                1e3 * row.quantile(0.5),
-                1e3 * row.quantile(0.95),
-                row.stats.postprocessed as f64 / row.answers.max(1) as f64
+            assert_eq!(
+                pair_answers[0], pair_answers[1],
+                "cascade changed the answer count ({strategy}, {cats} categories)"
             );
-            rows.push(row);
         }
     }
 
@@ -226,6 +254,7 @@ fn main() {
                 strategy: "sparse",
                 categories: Some(cats),
                 threads,
+                cascade: true,
                 latencies: Vec::new(),
                 answers: 0,
                 stats: SearchStats::default(),

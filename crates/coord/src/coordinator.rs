@@ -698,10 +698,7 @@ enum ShardReply {
     /// A parsed ok-response.
     Answer(Json),
     /// A typed error frame from a healthy shard.
-    Typed {
-        code: String,
-        message: String,
-    },
+    Typed { code: String, message: String },
     /// Transport failure after retries; the shard is marked down.
     Down(String),
 }
@@ -805,8 +802,10 @@ fn scatter(
             .enumerate()
         {
             s.spawn(move || {
-                for (j, (conn, slot)) in
-                    conn_chunk.iter_mut().zip(reply_chunk.iter_mut()).enumerate()
+                for (j, (conn, slot)) in conn_chunk
+                    .iter_mut()
+                    .zip(reply_chunk.iter_mut())
+                    .enumerate()
                 {
                     *slot = Some(call_shard(state, ci * chunk + j, conn, body, trace, parent));
                 }
@@ -833,6 +832,9 @@ fn search_params_fragment(p: &warptree_core::search::SearchParams) -> String {
         ",\"min_len\":{},\"parallelism\":{}",
         p.min_len, p.threads
     ));
+    if !p.cascade {
+        out.push_str(",\"cascade\":false");
+    }
     out
 }
 
@@ -1018,6 +1020,9 @@ fn execute(
             if let Some(w) = params.window {
                 body.push_str(&format!(",\"window\":{w}"));
             }
+            if !params.cascade {
+                body.push_str(",\"cascade\":false");
+            }
             body.push_str(&format!(
                 ",\"allow_overlaps\":{},\"parallelism\":{}{}}}",
                 !params.non_overlapping,
@@ -1131,7 +1136,9 @@ fn execute(
                                 items.len()
                             ))
                         }
-                        None => return malformed(format!("shard {i} response missing \"results\"")),
+                        None => {
+                            return malformed(format!("shard {i} response missing \"results\""))
+                        }
                     };
                     shard_items.push((i, items));
                 }
@@ -1203,9 +1210,8 @@ fn execute(
                             .and_then(Json::as_u64)
                             .ok_or_else(|| format!("ingest response missing \"{k}\""))
                     };
-                    let render = field("generation").and_then(|g| {
-                        Ok((g, field("sequences")?, field("segments")?))
-                    });
+                    let render = field("generation")
+                        .and_then(|g| Ok((g, field("sequences")?, field("segments")?)));
                     match render {
                         Ok((g, n, segs)) => {
                             state.shards[last].update(|info| {

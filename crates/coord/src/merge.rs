@@ -78,7 +78,7 @@ pub fn merge_ranked(per_shard: Vec<Vec<Match>>, k: usize) -> Vec<Match> {
     all
 }
 
-/// Parses the 13-field `"stats"` object of an `explain` response.
+/// Parses the 16-field `"stats"` object of an `explain` response.
 pub fn parse_stats(v: &Json) -> Result<SearchStats, String> {
     let field = |k: &str| {
         v.get(k)
@@ -99,15 +99,18 @@ pub fn parse_stats(v: &Json) -> Result<SearchStats, String> {
         postprocess_cells: field("postprocess_cells")?,
         false_alarms: field("false_alarms")?,
         answers: field("answers")?,
+        cascade_lb_keogh_kills: field("cascade_lb_keogh_kills")?,
+        cascade_lb_improved_kills: field("cascade_lb_improved_kills")?,
+        cascade_abandon_kills: field("cascade_abandon_kills")?,
     })
 }
 
-/// Renders funnel stats in the server's 13-field `"stats"` object
+/// Renders funnel stats in the server's 16-field `"stats"` object
 /// shape, so a merged `explain` response is byte-comparable to a
 /// monolithic one.
 pub fn encode_stats(s: &SearchStats) -> String {
     format!(
-        "{{\"filter_cells\":{},\"nodes_visited\":{},\"nodes_expanded\":{},\"rows_pushed\":{},\"rows_unshared\":{},\"branches_pruned\":{},\"candidates\":{},\"stored_candidates\":{},\"lb2_candidates\":{},\"postprocessed\":{},\"postprocess_cells\":{},\"false_alarms\":{},\"answers\":{}}}",
+        "{{\"filter_cells\":{},\"nodes_visited\":{},\"nodes_expanded\":{},\"rows_pushed\":{},\"rows_unshared\":{},\"branches_pruned\":{},\"candidates\":{},\"stored_candidates\":{},\"lb2_candidates\":{},\"postprocessed\":{},\"postprocess_cells\":{},\"false_alarms\":{},\"answers\":{},\"cascade_lb_keogh_kills\":{},\"cascade_lb_improved_kills\":{},\"cascade_abandon_kills\":{}}}",
         s.filter_cells,
         s.nodes_visited,
         s.nodes_expanded,
@@ -121,6 +124,9 @@ pub fn encode_stats(s: &SearchStats) -> String {
         s.postprocess_cells,
         s.false_alarms,
         s.answers,
+        s.cascade_lb_keogh_kills,
+        s.cascade_lb_improved_kills,
+        s.cascade_abandon_kills,
     )
 }
 
@@ -159,6 +165,9 @@ pub fn sum_stats(per_shard: &[SearchStats]) -> SearchStats {
         total.postprocess_cells += s.postprocess_cells;
         total.false_alarms += s.false_alarms;
         total.answers += s.answers;
+        total.cascade_lb_keogh_kills += s.cascade_lb_keogh_kills;
+        total.cascade_lb_improved_kills += s.cascade_lb_improved_kills;
+        total.cascade_abandon_kills += s.cascade_abandon_kills;
     }
     total
 }
@@ -253,7 +262,10 @@ mod tests {
 
     #[test]
     fn matches_parse_and_remap() {
-        let v = json::parse(r#"[{"seq":0,"start":5,"len":3,"dist":1.5},{"seq":1,"start":0,"len":2,"dist":0.25}]"#).unwrap();
+        let v = json::parse(
+            r#"[{"seq":0,"start":5,"len":3,"dist":1.5},{"seq":1,"start":0,"len":2,"dist":0.25}]"#,
+        )
+        .unwrap();
         let parsed = parse_matches(&v, 10).unwrap();
         assert_eq!(parsed, vec![m(10, 5, 3, 1.5), m(11, 0, 2, 0.25)]);
         assert!(parse_matches(&json::parse(r#"[{"seq":0}]"#).unwrap(), 0).is_err());
@@ -301,11 +313,17 @@ mod tests {
             postprocess_cells: 30,
             false_alarms: 1,
             answers: 2,
+            cascade_lb_keogh_kills: 5,
+            cascade_lb_improved_kills: 2,
+            cascade_abandon_kills: 1,
         };
-        let total = sum_stats(&[one.clone(), one.clone()]);
+        let total = sum_stats(&[one, one]);
         assert_eq!(total.filter_cells, 2);
         assert_eq!(total.rows_unshared, 16);
         assert_eq!(total.answers, 4);
+        assert_eq!(total.cascade_lb_keogh_kills, 10);
+        assert_eq!(total.cascade_lb_improved_kills, 4);
+        assert_eq!(total.cascade_abandon_kills, 2);
         // Round-trips through the wire encoding.
         let wire = json::parse(&encode_stats(&one)).unwrap();
         assert_eq!(parse_stats(&wire).unwrap(), one);

@@ -95,7 +95,8 @@ fn start_shards(root: &Path, n: usize) -> (Vec<ServerHandle>, Vec<String>) {
     let mut handles = Vec::new();
     let mut addrs = Vec::new();
     for i in 0..n {
-        let h = Server::start(&root.join(format!("shard-{i:04}")), ServerConfig::default()).unwrap();
+        let h =
+            Server::start(&root.join(format!("shard-{i:04}")), ServerConfig::default()).unwrap();
         addrs.push(h.addr().to_string());
         handles.push(h);
     }
@@ -113,7 +114,7 @@ fn fast_retry() -> RetryPolicy {
 }
 
 fn rpc(addr: SocketAddr, body: &str) -> String {
-    let mut c = Client::connect(&addr.to_string()).unwrap();
+    let mut c = Client::connect(addr.to_string()).unwrap();
     c.request_raw(body).unwrap()
 }
 
@@ -170,6 +171,14 @@ fn equivalence_bodies(store: &SequenceStore) -> Vec<String> {
     ));
     bodies.push(format!(
         "{{\"op\":\"batch\",\"version\":3,\"queries\":[[{q0}],[{q5}],[{q11}]],\"epsilon\":1.5}}"
+    ));
+    // Cascade-off ablation: the lower-bound cascade must be togglable
+    // over the wire and equally layout-independent when disabled.
+    bodies.push(format!(
+        "{{\"op\":\"search\",\"version\":3,\"query\":[{q0}],\"epsilon\":1.0,\"cascade\":false}}"
+    ));
+    bodies.push(format!(
+        "{{\"op\":\"knn\",\"version\":3,\"query\":[{q5}],\"k\":3,\"cascade\":false}}"
     ));
     for q in [&q0, &q11] {
         bodies.push(format!(
@@ -279,6 +288,113 @@ fn single_shard_coordinator_is_byte_transparent() {
             "1-shard coordinator re-encoding diverged on {body}"
         );
     }
+    coord.stop();
+}
+
+/// Replaces `"name":<digits>` with `"name":N` — for masking the only
+/// response fields the cascade toggle may legitimately change.
+fn normalize_field(resp: &str, name: &str) -> String {
+    let mut out = String::with_capacity(resp.len());
+    let needle = format!("\"{name}\":");
+    let mut rest = resp;
+    while let Some(pos) = rest.find(&needle) {
+        let after = pos + needle.len();
+        out.push_str(&rest[..after]);
+        out.push('N');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The sharded cascade contract: through a 2-shard coordinator, a
+/// search with `"cascade":false` answers byte-identically to the
+/// default cascaded search once the cascade-only fields (exact-table
+/// cell count and the per-tier kill counters) are masked — and the
+/// cascaded run actually reports kills on a tight-ε query.
+#[test]
+fn two_shard_cascade_toggle_changes_only_cascade_fields() {
+    let root = tmpdir("cascade2");
+    let store = corpus();
+    let alphabet = Alphabet::equal_length(&store, 6).unwrap();
+    build_shard_layout(&root, &store, &alphabet, &[6, 12]);
+    let (_shards, addrs) = start_shards(&root, 2);
+    let coord = Coordinator::start(
+        &root,
+        CoordConfig {
+            shard_addrs: addrs,
+            workers: 2,
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+
+    let q = store.get(SeqId(0)).values()[2..8]
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let masked = |resp: &str| {
+        let mut r = normalize_field(resp, "postprocess_cells");
+        for f in [
+            "cascade_lb_keogh_kills",
+            "cascade_lb_improved_kills",
+            "cascade_abandon_kills",
+        ] {
+            r = normalize_field(&r, f);
+        }
+        r
+    };
+    let mut killed_somewhere = false;
+    for eps in ["0.5", "1.0", "2.5"] {
+        // Matches: plain search responses are already stats-free, so
+        // the toggle must leave them byte-identical outright.
+        let on = rpc(
+            coord.addr(),
+            &format!("{{\"op\":\"search\",\"version\":3,\"query\":[{q}],\"epsilon\":{eps}}}"),
+        );
+        let off = rpc(
+            coord.addr(),
+            &format!(
+                "{{\"op\":\"search\",\"version\":3,\"query\":[{q}],\"epsilon\":{eps},\"cascade\":false}}"
+            ),
+        );
+        assert!(on.starts_with("{\"ok\":true"), "failed: {on}");
+        assert_eq!(
+            on, off,
+            "cascade toggle changed search answers at eps={eps}"
+        );
+
+        // Funnel: explain responses carry the stats object.
+        let on = rpc(
+            coord.addr(),
+            &format!("{{\"op\":\"explain\",\"version\":3,\"query\":[{q}],\"epsilon\":{eps}}}"),
+        );
+        let off = rpc(
+            coord.addr(),
+            &format!(
+                "{{\"op\":\"explain\",\"version\":3,\"query\":[{q}],\"epsilon\":{eps},\"cascade\":false}}"
+            ),
+        );
+        assert!(on.starts_with("{\"ok\":true"), "failed: {on}");
+        assert_eq!(
+            masked(&on),
+            masked(&off),
+            "cascade toggle changed more than its own fields at eps={eps}"
+        );
+        assert!(
+            off.contains("\"cascade_lb_keogh_kills\":0,\"cascade_lb_improved_kills\":0,\"cascade_abandon_kills\":0"),
+            "cascade-off run reported kills: {off}"
+        );
+        if !on.contains("\"cascade_lb_keogh_kills\":0,\"cascade_lb_improved_kills\":0,\"cascade_abandon_kills\":0")
+        {
+            killed_somewhere = true;
+        }
+    }
+    assert!(
+        killed_somewhere,
+        "no epsilon produced a cascade kill through the shards"
+    );
     coord.stop();
 }
 
@@ -428,7 +544,10 @@ fn shard_loss_yields_partial_results_and_degraded_health() {
         coord.addr(),
         "{\"op\":\"search\",\"version\":2,\"query\":[1.5,2.0],\"epsilon\":1.0}",
     );
-    assert!(v2.contains("\"code\":\"partial_result_unsupported\""), "{v2}");
+    assert!(
+        v2.contains("\"code\":\"partial_result_unsupported\""),
+        "{v2}"
+    );
 
     // The health monitor notices within a few poll intervals.
     let mut degraded = false;
@@ -490,9 +609,7 @@ fn traced_request_nests_one_span_per_shard() {
         .unwrap();
     let shard_spans: Vec<_> = spans
         .iter()
-        .filter(|s| {
-            s.get("name").and_then(warptree_server::Json::as_str) == Some("coord.shard")
-        })
+        .filter(|s| s.get("name").and_then(warptree_server::Json::as_str) == Some("coord.shard"))
         .collect();
     assert_eq!(shard_spans.len(), 2, "one shard span per shard: {traced}");
     // Each shard span embeds the shard's own span tree, which carries
@@ -536,7 +653,7 @@ fn coordinator_control_plane_and_errors() {
     .unwrap();
 
     // Typed parse errors, connection stays usable.
-    let mut c = Client::connect(&coord.addr().to_string()).unwrap();
+    let mut c = Client::connect(coord.addr().to_string()).unwrap();
     let bad = c.request_raw("{\"op\":\"nope\"}").unwrap();
     assert!(bad.contains("\"code\":\"bad_request\""), "{bad}");
     let ok = c

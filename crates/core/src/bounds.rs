@@ -52,10 +52,17 @@ pub fn dtw_lb_prefixes(q: &[Value], cs: &[Symbol], alphabet: &Alphabet) -> Vec<f
 /// `cs`.
 ///
 /// # Panics
-/// Panics (debug) unless `1 <= shift < leading run length of cs`.
+/// Panics unless `1 <= shift < leading run length of cs`. Theorem 3
+/// only proves the shifted value is a lower bound *inside* the leading
+/// run; an out-of-range shift would silently return a number that can
+/// exceed the true distance (a false dismissal), so the precondition is
+/// enforced in release builds too — not just via `debug_assert!`.
 pub fn dtw_lb2(q: &[Value], cs: &[Symbol], shift: u32, alphabet: &Alphabet) -> f64 {
-    debug_assert!(shift >= 1);
-    debug_assert!(
+    assert!(
+        shift >= 1,
+        "shift must be at least 1 (Definition 4: p >= 2)"
+    );
+    assert!(
         (lead_run(cs) as u32) > shift,
         "shift must stay inside the leading run"
     );
@@ -141,6 +148,27 @@ mod tests {
             assert!(lb2 <= lb + 1e-12, "lb2 <= lb failed at shift {shift}");
             assert!(lb <= exact + 1e-12, "lb <= exact failed at shift {shift}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "leading run")]
+    fn lb2_rejects_shift_outside_leading_run() {
+        // Must fire in release builds too (it guards a correctness
+        // precondition, not a mere debugging aid): this test is run
+        // under `--release` in CI, where a `debug_assert!` would let
+        // the garbage value through silently.
+        let (_, a) = alphabet2();
+        let s = [1.0, 2.0, 0.5, 9.0, 8.0]; // leading run of 3
+        let cs = a.encode(&s);
+        let _ = dtw_lb2(&[6.0, 1.0], &cs, 3, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn lb2_rejects_zero_shift() {
+        let (_, a) = alphabet2();
+        let cs = a.encode(&[1.0, 1.0, 9.0]);
+        let _ = dtw_lb2(&[6.0], &cs, 0, &a);
     }
 
     #[test]

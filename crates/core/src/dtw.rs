@@ -75,6 +75,14 @@ pub struct WarpTable {
     /// Total cells computed over this table's lifetime (monotonic; used to
     /// report the machine-independent cost model of §4.3/§5.5).
     cells_computed: u64,
+    /// `(first, last)` column (0-based into the stride, column 0
+    /// included) of the most recent row with value `≤ limit`, as left
+    /// by [`push_value_bounded`](Self::push_value_bounded) — the pruned
+    /// column range the next bounded row starts from. `None` whenever
+    /// the last row was produced by an unbounded push (or after
+    /// `truncate`/`reset`), in which case the next bounded push rescans
+    /// the previous row.
+    bound_state: Option<(usize, usize)>,
 }
 
 impl WarpTable {
@@ -94,6 +102,7 @@ impl WarpTable {
             stats: Vec::with_capacity(16),
             window,
             cells_computed: 0,
+            bound_state: None,
         }
     }
 
@@ -142,6 +151,7 @@ impl WarpTable {
     /// (Definition 3) — the recurrence is identical, only the base
     /// distance changes.
     pub fn push_row_with(&mut self, base: impl Fn(Value) -> f64) -> RowStat {
+        self.bound_state = None;
         let stride = self.query.len() + 1;
         let r = self.stats.len() + 1; // 1-based row index being added
         let prev_start = (r - 1) * stride;
@@ -195,6 +205,131 @@ impl WarpTable {
         self.push_row_with(|q| (q - v).abs())
     }
 
+    /// Appends a data row like [`push_value`](Self::push_value), but
+    /// skips cells provably greater than `limit` (pruned DTW): since
+    /// every cell adds a non-negative base distance to the minimum of
+    /// its predecessors, cumulative values are non-decreasing along any
+    /// warping path, and a cell above `limit` can never feed a cell at
+    /// or below it. The row is therefore computed only over the column
+    /// range whose predecessors may still be `≤ limit`; everything
+    /// outside is reported as `f64::INFINITY`.
+    ///
+    /// Every cell whose *true* value is `≤ limit` is computed exactly,
+    /// so `dist` and `min` are exact whenever they are `≤ limit`, and
+    /// [`RowStat::prunes`]`(limit)` decides identically to the unpruned
+    /// table — only [`cells_computed`](Self::cells_computed) shrinks.
+    /// `limit` must not increase across one run of bounded pushes (the
+    /// pruned range assumes earlier skips stay skippable).
+    #[inline]
+    pub fn push_value_bounded(&mut self, v: Value, limit: f64) -> RowStat {
+        self.push_value_pruned(v, limit, &[])
+    }
+
+    /// [`push_value_bounded`](Self::push_value_bounded) with per-column
+    /// *remainders*: `rem[x−1]` is a caller-supplied lower bound on the
+    /// cost of completing a warping path from column `x` to the final
+    /// column (e.g. a reversed LB_Keogh of the data still to come; pass
+    /// `&[]` for none). A cell is poisoned to infinity once
+    /// `cell + rem[x] > limit` — it provably cannot lie on any path
+    /// whose final distance is `≤ limit`.
+    ///
+    /// Guarantees with a valid `rem`: `dist` is exact whenever it is
+    /// `≤ limit` (the last column's remainder is 0), and a
+    /// [`RowStat::prunes`]`(limit)` report implies every current and
+    /// deeper row's `dist` exceeds `limit` — the Theorem-1 abandon
+    /// stays sound, though it may (correctly) fire *earlier* than on
+    /// the unpruned table, and `min` itself is no longer exact.
+    pub fn push_value_pruned(&mut self, v: Value, limit: f64, rem: &[f64]) -> RowStat {
+        let n = self.query.len();
+        let stride = n + 1;
+        let r = self.stats.len() + 1; // 1-based row index being added
+        let prev_start = (r - 1) * stride;
+        // Viable column range of the previous row: tracked by the last
+        // bounded push, or recovered by scanning after an unbounded
+        // push / reset (row 0's boundary gives (0, 0)).
+        let (pf, pl) = self.bound_state.take().unwrap_or_else(|| {
+            let prev = &self.cells[prev_start..prev_start + stride];
+            match (
+                prev.iter().position(|&c| c <= limit),
+                prev.iter().rposition(|&c| c <= limit),
+            ) {
+                (Some(a), Some(b)) => (a, b),
+                _ => (stride, 0),
+            }
+        });
+        let band = self.band(r);
+        if pf >= stride || band.is_none() {
+            // No viable predecessor at all (or the row is fully out of
+            // band): the row is all-infinite and costs nothing.
+            self.cells
+                .extend(std::iter::repeat_n(f64::INFINITY, stride));
+            let stat = RowStat {
+                dist: f64::INFINITY,
+                min: f64::INFINITY,
+            };
+            self.stats.push(stat);
+            self.bound_state = Some((stride, 0));
+            return stat;
+        }
+        let (blo, bhi) = band.expect("checked above");
+        let lo = blo.max(pf.max(1));
+        self.cells.push(f64::INFINITY); // column 0 boundary
+        self.cells
+            .extend(std::iter::repeat_n(f64::INFINITY, lo - 1));
+        let mut min = f64::INFINITY;
+        let mut nf = stride; // first/last ≤-limit column of the new row
+        let mut nl = 0usize;
+        let mut computed = 0u64;
+        let mut diag = self.cells[prev_start + lo - 1];
+        let mut left = f64::INFINITY;
+        let mut x = lo;
+        while x <= bhi {
+            // Right of the previous row's viable range only the left
+            // neighbour can stay within the threshold; once it leaves,
+            // the rest of the row is provably above `limit`.
+            if x > pl + 1 && left > limit {
+                break;
+            }
+            let up = self.cells[prev_start + x];
+            let best = diag.min(up).min(left);
+            // Cells that cannot finish within `limit` are poisoned: the
+            // column's remainder still has to be paid downstream.
+            let thr = limit - rem.get(x - 1).copied().unwrap_or(0.0);
+            let cell = if best <= thr {
+                computed += 1;
+                let c = (self.query[x - 1] - v).abs() + best;
+                if c <= thr {
+                    c
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                f64::INFINITY
+            };
+            self.cells.push(cell);
+            if cell < min {
+                min = cell;
+            }
+            if cell <= limit {
+                if nf == stride {
+                    nf = x;
+                }
+                nl = x;
+            }
+            diag = up;
+            left = cell;
+            x += 1;
+        }
+        self.cells
+            .extend(std::iter::repeat_n(f64::INFINITY, stride - x));
+        self.cells_computed += computed;
+        let dist = self.cells[r * stride + n];
+        let stat = RowStat { dist, min };
+        self.stats.push(stat);
+        self.bound_state = Some(if nf == stride { (stride, 0) } else { (nf, nl) });
+        stat
+    }
+
     /// Clones the table for a *forked* traversal branch: the query,
     /// window and all current rows are preserved, so the fork continues
     /// from the shared prefix exactly like the original would — but the
@@ -213,6 +348,7 @@ impl WarpTable {
     pub fn truncate(&mut self, depth: u32) {
         let depth = depth as usize;
         debug_assert!(depth <= self.stats.len());
+        self.bound_state = None;
         self.stats.truncate(depth);
         self.cells.truncate((depth + 1) * (self.query.len() + 1));
     }
@@ -472,6 +608,146 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_query_panics() {
         let _ = WarpTable::new(&[], None);
+    }
+
+    #[test]
+    fn bounded_push_agrees_with_plain_table() {
+        // Deterministic pseudo-random sweep: the pruned table must (a)
+        // report the exact dist/min whenever the plain table's value is
+        // within the threshold, (b) stay above the threshold whenever
+        // the plain value is, (c) make identical Theorem-1 decisions,
+        // and (d) never compute more cells.
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for case in 0..80 {
+            let qlen = 1 + (next() * 8.0) as usize;
+            let dlen = 1 + (next() * 14.0) as usize;
+            let q: Vec<f64> = (0..qlen).map(|_| (next() * 20.0) - 10.0).collect();
+            let d: Vec<f64> = (0..dlen).map(|_| (next() * 20.0) - 10.0).collect();
+            let w = match case % 4 {
+                0 => None,
+                1 => Some(0),
+                _ => Some((next() * 6.0) as u32),
+            };
+            let limit = next() * 30.0;
+            let mut plain = WarpTable::new(&q, w);
+            let mut bounded = WarpTable::new(&q, w);
+            for (row, &v) in d.iter().enumerate() {
+                let a = plain.push_value(v);
+                let b = bounded.push_value_bounded(v, limit);
+                let ctx = format!("case {case} row {row} limit {limit}");
+                assert_eq!(a.prunes(limit), b.prunes(limit), "{ctx}");
+                if a.dist <= limit {
+                    assert_eq!(a.dist, b.dist, "{ctx}");
+                } else {
+                    assert!(b.dist > limit, "{ctx}");
+                }
+                if a.min <= limit {
+                    assert_eq!(a.min, b.min, "{ctx}");
+                } else {
+                    assert!(b.min > limit, "{ctx}");
+                }
+            }
+            assert!(bounded.cells_computed() <= plain.cells_computed());
+        }
+    }
+
+    #[test]
+    fn remainder_pruned_push_preserves_threshold_decisions() {
+        // With a valid remainder (reversed LB_Keogh over the data's
+        // value range), the pruned table must keep every ≤-limit dist
+        // exact, keep every >-limit dist above the limit, and only
+        // report a Theorem-1 prune when all deeper plain dists are
+        // above the limit.
+        let mut state = 0xda3e39cb94b95bdbu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for case in 0..80 {
+            let qlen = 1 + (next() * 8.0) as usize;
+            let dlen = 1 + (next() * 14.0) as usize;
+            let q: Vec<f64> = (0..qlen).map(|_| (next() * 20.0) - 10.0).collect();
+            let d: Vec<f64> = (0..dlen).map(|_| (next() * 20.0) - 10.0).collect();
+            let w = match case % 4 {
+                0 => None,
+                1 => Some(0),
+                _ => Some((next() * 6.0) as u32),
+            };
+            let limit = next() * 30.0;
+            let dmin = d.iter().cloned().fold(f64::INFINITY, f64::min);
+            let dmax = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut rem = vec![0.0; qlen];
+            let mut acc = 0.0;
+            for x in (1..qlen).rev() {
+                acc += (q[x] - q[x].clamp(dmin, dmax)).abs();
+                rem[x - 1] = acc;
+            }
+            let mut plain = WarpTable::new(&q, w);
+            let mut pruned = WarpTable::new(&q, w);
+            let mut plain_dists = Vec::new();
+            for &v in &d {
+                plain_dists.push(plain.push_value(v).dist);
+            }
+            for (row, &v) in d.iter().enumerate() {
+                let b = pruned.push_value_pruned(v, limit, &rem);
+                let ctx = format!("case {case} row {row} limit {limit}");
+                let a_dist = plain_dists[row];
+                if a_dist <= limit {
+                    assert_eq!(a_dist, b.dist, "{ctx}");
+                } else {
+                    assert!(b.dist > limit, "{ctx}");
+                }
+                if b.prunes(limit) {
+                    for (deep, &pd) in plain_dists.iter().enumerate().skip(row) {
+                        assert!(pd > limit, "{ctx}: premature abandon at depth {deep}");
+                    }
+                    break;
+                }
+            }
+            assert!(pruned.cells_computed() <= plain.cells_computed());
+        }
+    }
+
+    #[test]
+    fn bounded_push_resumes_after_unbounded_rows_and_reset() {
+        // Interleaving unbounded pushes (which invalidate the pruned
+        // range) and resets must rescan correctly.
+        let q = [2.0, 7.0, 1.0, 4.0];
+        let d = [3.0, 8.0, 0.5, 4.0, 4.0, 9.0];
+        let limit = 9.0;
+        let mut plain = WarpTable::new(&q, None);
+        let mut mixed = WarpTable::new(&q, None);
+        for (i, &v) in d.iter().enumerate() {
+            let a = plain.push_value(v);
+            let b = if i % 2 == 0 {
+                mixed.push_value(v)
+            } else {
+                mixed.push_value_bounded(v, limit)
+            };
+            assert_eq!(a.prunes(limit), b.prunes(limit));
+            if a.dist <= limit {
+                assert_eq!(a.dist, b.dist);
+            }
+        }
+        mixed.reset();
+        plain.reset();
+        for &v in &d {
+            let a = plain.push_value(v);
+            let b = mixed.push_value_bounded(v, limit);
+            if a.dist <= limit {
+                assert_eq!(a.dist, b.dist);
+            } else {
+                assert!(b.dist > limit);
+            }
+        }
     }
 
     #[test]

@@ -158,6 +158,13 @@ pub struct SearchParams {
     /// `1` both mean sequential; results are byte-identical at every
     /// value (see [`crate::parallel`]).
     pub threads: u32,
+    /// Runs the numeric lower-bound cascade
+    /// ([`crate::search::cascade`]) ahead of exact verification.
+    /// Answers are byte-identical either way (the cascade never
+    /// dismisses a true answer); only the work counters change. On by
+    /// default; the switch exists for the equivalence tests and the
+    /// ablation rows in the benchmark report.
+    pub cascade: bool,
 }
 
 impl SearchParams {
@@ -169,6 +176,7 @@ impl SearchParams {
             max_len: None,
             min_len: 1,
             threads: 1,
+            cascade: true,
         }
     }
 
@@ -189,6 +197,12 @@ impl SearchParams {
     /// post-processing.
     pub fn parallel(mut self, threads: u32) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the lower-bound cascade in post-processing.
+    pub fn cascaded(mut self, on: bool) -> Self {
+        self.cascade = on;
         self
     }
 
@@ -272,6 +286,18 @@ pub struct SearchStats {
     pub false_alarms: u64,
     /// Final answers.
     pub answers: u64,
+    /// Candidates killed by the cascade's tier-1 envelope bound
+    /// (LB_Keogh); in the sequential scan, suffixes cut off by it.
+    /// Every kill is also counted in `false_alarms`, so the funnel
+    /// invariant `postprocessed == answers + false_alarms` still holds.
+    pub cascade_lb_keogh_kills: u64,
+    /// Candidates killed by the cascade's tier-2 two-pass refinement
+    /// (LB_Improved). Also counted in `false_alarms`.
+    pub cascade_lb_improved_kills: u64,
+    /// Candidates killed by Theorem-1 early abandoning *inside the
+    /// cascade's exact tier* (zero when the cascade is off, where the
+    /// same rejections count only as `false_alarms`).
+    pub cascade_abandon_kills: u64,
 }
 
 impl SearchStats {
@@ -296,6 +322,9 @@ impl SearchStats {
         self.postprocess_cells += other.postprocess_cells;
         self.false_alarms += other.false_alarms;
         self.answers += other.answers;
+        self.cascade_lb_keogh_kills += other.cascade_lb_keogh_kills;
+        self.cascade_lb_improved_kills += other.cascade_lb_improved_kills;
+        self.cascade_abandon_kills += other.cascade_abandon_kills;
     }
 }
 

@@ -43,6 +43,11 @@ pub struct KnnParams {
     /// the *work* counters (cells, false alarms) may then be lower than
     /// the sequential path's.
     pub threads: u32,
+    /// Runs the lower-bound cascade ahead of exact verification in
+    /// every expansion round (sound against the shrinking top-k limit:
+    /// `lb > limit` proves the candidate cannot rank among the k
+    /// best). Matches are identical either way. On by default.
+    pub cascade: bool,
 }
 
 impl KnnParams {
@@ -83,6 +88,7 @@ impl KnnParams {
             window: None,
             non_overlapping: true,
             threads: 1,
+            cascade: true,
         }
     }
 
@@ -103,6 +109,13 @@ impl KnnParams {
     /// region count separately).
     pub fn allow_overlaps(mut self) -> Self {
         self.non_overlapping = false;
+        self
+    }
+
+    /// Enables or disables the lower-bound cascade during
+    /// verification.
+    pub fn cascaded(mut self, on: bool) -> Self {
+        self.cascade = on;
         self
     }
 }
@@ -153,8 +166,12 @@ fn verify_topk_parallel(
     k: usize,
     metrics: &SearchMetrics,
 ) -> Vec<Match> {
-    use crate::search::postprocess::{group_candidates, verify_group};
+    use crate::search::postprocess::{group_candidates, verify_group, VerifyScratch};
     let groups = group_candidates(candidates, sp.epsilon);
+    let env = sp
+        .cascade
+        .then(|| crate::search::cascade::QueryEnvelope::new(query, sp.window));
+    let env = env.as_ref();
     let shared = std::sync::Mutex::new(TopK {
         k,
         threshold: sp.epsilon,
@@ -166,19 +183,20 @@ fn verify_topk_parallel(
         || {
             (
                 crate::dtw::WarpTable::new(query, sp.window),
+                VerifyScratch::default(),
                 metrics.scratch(),
             )
         },
-        |(table, scratch), _i, (key, lens)| {
+        |(table, vs, scratch), _i, (key, lens)| {
             let limit = shared.lock().expect("top-k heap poisoned").threshold;
             let mut out = Vec::new();
-            verify_group(store, table, key, &lens, limit, scratch, &mut out);
+            verify_group(store, table, vs, key, &lens, limit, env, scratch, &mut out);
             if !out.is_empty() {
                 shared.lock().expect("top-k heap poisoned").insert(out);
             }
         },
     );
-    for (table, scratch) in states {
+    for (table, _, scratch) in states {
         metrics.postprocess_cells.add(table.cells_computed());
         metrics.record(&scratch.snapshot());
     }
@@ -228,6 +246,7 @@ pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
         let mut sp = SearchParams::with_epsilon(epsilon);
         sp.window = params.window;
         sp.threads = params.threads;
+        sp.cascade = params.cascade;
         // Each expansion round gets its own trace span; the stage spans
         // the threshold engine opens (filter/postprocess) nest under it
         // via the re-parented `scoped` handle. Trace off: `m` aliases
@@ -555,5 +574,4 @@ mod tests {
             Err(CoreError::BadKnnParams(_))
         ));
     }
-
 }

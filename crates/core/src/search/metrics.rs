@@ -64,6 +64,15 @@ pub struct SearchMetrics {
     pub false_alarms: Counter,
     /// Verified answers.
     pub answers: Counter,
+    /// Candidates killed by the cascade's tier-1 envelope bound
+    /// (LB_Keogh) before any table cell was computed.
+    pub cascade_lb_keogh_kills: Counter,
+    /// Candidates killed by the cascade's tier-2 refinement
+    /// (LB_Improved).
+    pub cascade_lb_improved_kills: Counter,
+    /// Candidates killed by Theorem-1 early abandoning in the
+    /// cascade's exact tier.
+    pub cascade_abandon_kills: Counter,
     /// Wall time of the filter phase, nanoseconds per query.
     pub filter_ns: Histogram,
     /// Wall time of the post-processing phase, nanoseconds per query.
@@ -97,6 +106,9 @@ impl SearchMetrics {
             postprocess_cells: Counter::active(),
             false_alarms: Counter::active(),
             answers: Counter::active(),
+            cascade_lb_keogh_kills: Counter::active(),
+            cascade_lb_improved_kills: Counter::active(),
+            cascade_abandon_kills: Counter::active(),
             filter_ns: Histogram::active(),
             postprocess_ns: Histogram::active(),
             trace: Trace::noop(),
@@ -121,6 +133,9 @@ impl SearchMetrics {
             postprocess_cells: Counter::noop(),
             false_alarms: Counter::noop(),
             answers: Counter::noop(),
+            cascade_lb_keogh_kills: Counter::noop(),
+            cascade_lb_improved_kills: Counter::noop(),
+            cascade_abandon_kills: Counter::noop(),
             filter_ns: Histogram::noop(),
             postprocess_ns: Histogram::noop(),
             trace: Trace::noop(),
@@ -145,6 +160,9 @@ impl SearchMetrics {
             postprocess_cells: reg.counter("search.postprocess_cells"),
             false_alarms: reg.counter("search.false_alarms"),
             answers: reg.counter("search.answers"),
+            cascade_lb_keogh_kills: reg.counter("search.cascade_lb_keogh_kills"),
+            cascade_lb_improved_kills: reg.counter("search.cascade_lb_improved_kills"),
+            cascade_abandon_kills: reg.counter("search.cascade_abandon_kills"),
             filter_ns: reg.histogram("search.filter_ns"),
             postprocess_ns: reg.histogram("search.postprocess_ns"),
             trace: Trace::noop(),
@@ -221,6 +239,9 @@ impl SearchMetrics {
             postprocess_cells: self.postprocess_cells.get(),
             false_alarms: self.false_alarms.get(),
             answers: self.answers.get(),
+            cascade_lb_keogh_kills: self.cascade_lb_keogh_kills.get(),
+            cascade_lb_improved_kills: self.cascade_lb_improved_kills.get(),
+            cascade_abandon_kills: self.cascade_abandon_kills.get(),
         }
     }
 
@@ -241,6 +262,10 @@ impl SearchMetrics {
         self.postprocess_cells.add(s.postprocess_cells);
         self.false_alarms.add(s.false_alarms);
         self.answers.add(s.answers);
+        self.cascade_lb_keogh_kills.add(s.cascade_lb_keogh_kills);
+        self.cascade_lb_improved_kills
+            .add(s.cascade_lb_improved_kills);
+        self.cascade_abandon_kills.add(s.cascade_abandon_kills);
     }
 }
 

@@ -8,6 +8,9 @@
 //!   [`SuffixTreeIndex`].
 //! * [`postprocess`](mod@postprocess) — exact `D_tw` verification of
 //!   candidates (§5.4).
+//! * [`cascade`] — the numeric lower-bound cascade (an LB_Keogh-style
+//!   envelope bound plus Lemire's two-pass refinement) screening
+//!   candidates ahead of every exact table.
 //! * [`knn`] — exact k-nearest-neighbour search by ε expansion (an
 //!   extension beyond the paper's threshold queries).
 //! * [`query`] — the unified typed query API: [`QueryRequest`] +
@@ -22,6 +25,7 @@
 
 pub mod aligned;
 pub mod answers;
+pub mod cascade;
 pub mod filter;
 pub mod knn;
 pub mod metrics;
@@ -32,6 +36,7 @@ pub mod seqscan;
 
 pub use aligned::aligned_scan;
 pub use answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
+pub use cascade::QueryEnvelope;
 pub use filter::{filter_tree, filter_tree_with, SuffixTreeIndex};
 pub use knn::KnnParams;
 pub use metrics::SearchMetrics;
@@ -110,6 +115,17 @@ pub(crate) fn threshold_search_unchecked<T: SuffixTreeIndex + Sync>(
     );
     span.attr_u64("false_alarms", d.false_alarms - before.false_alarms);
     span.attr_u64("answers", d.answers - before.answers);
+    span.attr_u64(
+        "cascade_lb_keogh_kills",
+        d.cascade_lb_keogh_kills - before.cascade_lb_keogh_kills,
+    );
+    span.attr_u64(
+        "cascade_lb_improved_kills",
+        d.cascade_lb_improved_kills - before.cascade_lb_improved_kills,
+    );
+    span.attr_u64(
+        "cascade_abandon_kills",
+        d.cascade_abandon_kills - before.cascade_abandon_kills,
+    );
     answers
 }
-

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use crate::dtw::WarpTable;
 use crate::parallel::parallel_map_with;
 use crate::search::answers::{AnswerSet, Candidate, Match, SearchParams};
+use crate::search::cascade::QueryEnvelope;
 use crate::search::metrics::SearchMetrics;
 use crate::sequence::{Occurrence, SeqId, SequenceStore, Value};
 
@@ -31,8 +32,13 @@ pub(crate) fn group_candidates(
 ) -> Vec<((SeqId, u32), Vec<u32>)> {
     let mut by_start: HashMap<(SeqId, u32), Vec<u32>> = HashMap::new();
     for cand in candidates {
+        // Exact, no float slack: `lower_bound` is the *same* accumulated
+        // value the filter compared against ε at emission (`stat.dist`
+        // for stored suffixes, the shifted `lb2` for sparse ones — see
+        // `filter::walk_edge`), not a recomputation, so any candidate
+        // above ε here is a genuine filter bug, not rounding noise.
         debug_assert!(
-            cand.lower_bound <= epsilon + 1e-9,
+            cand.lower_bound <= epsilon,
             "filter emitted a candidate above epsilon"
         );
         by_start
@@ -49,31 +55,169 @@ pub(crate) fn group_candidates(
     groups
 }
 
+/// Reusable per-worker buffers for [`verify_group`]'s cascade tiers —
+/// owned by the worker alongside its [`WarpTable`], so screening a
+/// group costs zero allocations however many groups a query produces.
+#[derive(Debug, Default)]
+pub(crate) struct VerifyScratch {
+    /// Clamped candidate values `h_j` (tier 2's first pass).
+    h: Vec<f64>,
+    /// Per-tier-1-survivor `(envelope prefix sum, min h, max h)` over
+    /// the survivor's length — index-aligned with `survivors`.
+    lb1: Vec<(f64, f64, f64)>,
+    /// Candidate lengths still alive after the lower-bound tiers.
+    survivors: Vec<u32>,
+    /// Per-query-column completion remainders for tier 3's
+    /// threshold-pruned rows (reversed LB_Keogh over the candidate's
+    /// value range).
+    rem: Vec<f64>,
+}
+
 /// Verifies one `(seq, start)` group against the exact distance, pushing
 /// matches with `D_tw ≤ limit` onto `out` in ascending length order.
 ///
-/// One shared table serves every length of the group (row `r` is the
-/// exact distance of the length-`r` candidate) and Theorem-1 early
-/// abandoning rejects all remaining longer lengths at once. `limit` is
-/// ε for threshold search; the k-NN heap passes a tighter bound once k
-/// answers are known (see [`crate::search::knn`]).
+/// With `cascade` attached, the group first runs the O(L) lower-bound
+/// tiers of [`crate::search::cascade`]: one endpoint-strengthened
+/// envelope prefix-sum pass kills every length whose tier-1 bound
+/// exceeds `limit` (the accumulator `Σd + extra1` is monotone, so once
+/// it overflows every longer length dies at once, and a group whose
+/// *shortest* length dies skips the table entirely), then the
+/// endpoint-strengthened LB_Improved re-screens the survivors. Kills
+/// are provably above `limit` (`lb ≤ D_tw`), so they are counted as
+/// false alarms exactly like an exact-distance rejection would be, and
+/// the surviving lengths go through the *identical* shared-table
+/// recurrence — answers are byte-identical with the cascade on or off.
+///
+/// One shared table serves every surviving length of the group (row `r`
+/// is the exact distance of the length-`r` candidate) and Theorem-1
+/// early abandoning rejects all remaining longer lengths at once.
+/// `limit` is ε for threshold search; the k-NN heap passes a tighter
+/// bound once k answers are known (see [`crate::search::knn`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_group(
     store: &SequenceStore,
     table: &mut WarpTable,
+    scratch: &mut VerifyScratch,
     (seq, start): (SeqId, u32),
     lens: &[u32],
     limit: f64,
+    cascade: Option<&QueryEnvelope>,
     metrics: &SearchMetrics,
     out: &mut Vec<Match>,
 ) {
     metrics.postprocessed.add(lens.len() as u64);
     let values = store.get(seq).suffix(start);
+    let max_len = *lens.last().expect("non-empty group") as usize;
+    debug_assert!(max_len <= values.len(), "candidate outruns sequence");
+    let VerifyScratch {
+        h,
+        lb1,
+        survivors,
+        rem,
+    } = scratch;
+    let lens: &[u32] = if let Some(env) = cascade {
+        h.clear();
+        lb1.clear();
+        survivors.clear();
+        // Tier 1: one envelope prefix-sum walk bounds every length,
+        // with the corner cells fused in (see the cascade module docs):
+        // row 1 claims the exact `|c_1 − q_1|` via `extra1`, and each
+        // candidate length claims `max(d_l, |c_l − q_n|)` for its final
+        // row at emission time.
+        let last_q = env.last_q();
+        let mut env_sum = 0.0;
+        let mut extra1 = 0.0;
+        let (mut hlo, mut hhi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut next = 0usize;
+        for (row, &v) in values[..max_len].iter().enumerate() {
+            let Some((d, hv)) = env.row_step(row as u32 + 1, v) else {
+                // Empty band: no warping path reaches this row or any
+                // longer one — every remaining length is dead.
+                break;
+            };
+            if row == 0 {
+                // Row 1's band always admits column 1, and every path
+                // starts at (1,1): the envelope term can be upgraded to
+                // the exact first-cell distance for *all* lengths.
+                extra1 = (v - env.first_q()).abs() - d;
+            }
+            hlo = hlo.min(hv);
+            hhi = hhi.max(hv);
+            let len = (row + 1) as u32;
+            if next < lens.len() && lens[next] == len {
+                if env_sum + extra1 + d.max((v - last_q).abs()) <= limit {
+                    lb1.push((env_sum + d, hlo, hhi));
+                    survivors.push(len);
+                }
+                next += 1;
+            }
+            env_sum += d;
+            h.push(hv);
+            if env_sum + extra1 > limit {
+                // Monotone accumulator: every longer length dies too.
+                break;
+            }
+        }
+        let tier1_kills = (lens.len() - survivors.len()) as u64;
+        if tier1_kills > 0 {
+            metrics.cascade_lb_keogh_kills.add(tier1_kills);
+            metrics.false_alarms.add(tier1_kills);
+        }
+        if survivors.is_empty() {
+            return;
+        }
+        // Tier 2: the endpoint-strengthened second pass over each
+        // tier-1 survivor, compacting the survivor list in place.
+        let mut tier2_kills = 0u64;
+        let mut keep = 0usize;
+        for i in 0..survivors.len() {
+            let len = survivors[i];
+            let (lb, lo, hi) = lb1[i];
+            if lb + env.improved_term_endpoints_prefixed(h, len as usize, lo, hi) > limit {
+                tier2_kills += 1;
+            } else {
+                survivors[keep] = len;
+                keep += 1;
+            }
+        }
+        survivors.truncate(keep);
+        if tier2_kills > 0 {
+            metrics.cascade_lb_improved_kills.add(tier2_kills);
+            metrics.false_alarms.add(tier2_kills);
+        }
+        if survivors.is_empty() {
+            return;
+        }
+        // Tier-3 column remainders: completing a path from column x
+        // must still pair every later query column with some candidate
+        // row, each costing at least its distance to the candidate's
+        // value range over the surviving extent.
+        let tail = *survivors.last().expect("non-empty survivors") as usize;
+        let (mut dmin, mut dmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &values[..tail] {
+            dmin = dmin.min(v);
+            dmax = dmax.max(v);
+        }
+        env.column_remainders(dmin, dmax, rem);
+        survivors
+    } else {
+        rem.clear();
+        lens
+    };
+    // Tier 3: exact shared-table verification, built only to the
+    // largest surviving length. With the cascade on, rows use the
+    // threshold-pruned push — cells provably above `limit` are
+    // skipped, while every value that decides a match or a Theorem-1
+    // abandon is still computed exactly (see `push_value_bounded`).
     table.reset();
     let mut next = 0usize; // next candidate length to check
     let max_len = *lens.last().expect("non-empty group") as usize;
-    debug_assert!(max_len <= values.len(), "candidate outruns sequence");
     for (row, &v) in values[..max_len].iter().enumerate() {
-        let stat = table.push_value(v);
+        let stat = if cascade.is_some() {
+            table.push_value_pruned(v, limit, rem)
+        } else {
+            table.push_value(v)
+        };
         let len = (row + 1) as u32;
         if next < lens.len() && lens[next] == len {
             if stat.dist <= limit {
@@ -89,7 +233,11 @@ pub(crate) fn verify_group(
         if stat.prunes(limit) {
             // Theorem 1: every remaining (longer) candidate of this
             // start is a false alarm.
-            metrics.false_alarms.add((lens.len() - next) as u64);
+            let rest = (lens.len() - next) as u64;
+            metrics.false_alarms.add(rest);
+            if cascade.is_some() && rest > 0 {
+                metrics.cascade_abandon_kills.add(rest);
+            }
             next = lens.len();
             break;
         }
@@ -115,15 +263,29 @@ pub fn postprocess(
     let epsilon = params.epsilon;
     let groups = group_candidates(candidates, epsilon);
     let threads = params.threads.max(1) as usize;
+    // The envelopes are read-only and band-matched to the tables, so
+    // one per query is shared by every group on every worker.
+    let env = params
+        .cascade
+        .then(|| QueryEnvelope::new(query, params.window));
+    let env = env.as_ref();
     let mut answers = AnswerSet::new();
     if threads > 1 && groups.len() > 1 {
         let (per_group, states) = parallel_map_with(
             threads,
             groups,
-            || (WarpTable::new(query, params.window), metrics.scratch()),
-            |(table, scratch), _i, (key, lens)| {
+            || {
+                (
+                    WarpTable::new(query, params.window),
+                    VerifyScratch::default(),
+                    metrics.scratch(),
+                )
+            },
+            |(table, vs, scratch), _i, (key, lens)| {
                 let mut out = Vec::new();
-                verify_group(store, table, key, &lens, epsilon, scratch, &mut out);
+                verify_group(
+                    store, table, vs, key, &lens, epsilon, env, scratch, &mut out,
+                );
                 out
             },
         );
@@ -132,15 +294,18 @@ pub fn postprocess(
                 answers.push(m);
             }
         }
-        for (table, scratch) in states {
+        for (table, _, scratch) in states {
             metrics.postprocess_cells.add(table.cells_computed());
             metrics.record(&scratch.snapshot());
         }
     } else {
         let mut table = WarpTable::new(query, params.window);
+        let mut vs = VerifyScratch::default();
         let mut out = Vec::new();
         for (key, lens) in groups {
-            verify_group(store, &mut table, key, &lens, epsilon, metrics, &mut out);
+            verify_group(
+                store, &mut table, &mut vs, key, &lens, epsilon, env, metrics, &mut out,
+            );
         }
         for m in out {
             answers.push(m);

@@ -4,7 +4,7 @@
 //! against the query is built row by row; every row whose last column is
 //! `≤ ε` yields one answer subsequence. Complexity `O(M·L̄²·|Q|)`.
 //!
-//! Two modes are provided:
+//! Three modes are provided:
 //!
 //! * [`SeqScanMode::Full`] — the paper's baseline: every table is built
 //!   completely.
@@ -12,9 +12,16 @@
 //!   suffix's table stops growing once its row minimum exceeds ε. An
 //!   ablation (not in the paper) isolating how much of the index's win
 //!   comes from pruning alone versus prefix sharing.
+//! * [`SeqScanMode::Cascade`] — Theorem-1 abandoning plus the tier-1
+//!   envelope bound of [`crate::search::cascade`]: an O(1)-per-row
+//!   prefix sum cuts a suffix off *before* its next O(|Q|) table row is
+//!   computed once `LB_Keogh > ε` (the sum is monotone, so no longer
+//!   prefix of that suffix can be an answer). Answers are identical to
+//!   [`SeqScanMode::Full`].
 
 use crate::dtw::WarpTable;
 use crate::search::answers::{AnswerSet, Match, SearchParams, SearchStats};
+use crate::search::cascade::QueryEnvelope;
 use crate::sequence::{Occurrence, SequenceStore, Value};
 
 /// Early-abandoning behaviour of [`seq_scan`].
@@ -25,6 +32,10 @@ pub enum SeqScanMode {
     /// Stop a suffix's table as soon as Theorem 1 proves no further
     /// answer is possible.
     EarlyAbandon,
+    /// Theorem-1 abandoning plus the tier-1 envelope cut-off: stop a
+    /// suffix once its running `LB_Keogh` prefix sum exceeds ε, before
+    /// computing the next table row.
+    Cascade,
 }
 
 /// Scans the whole store, returning every subsequence whose exact
@@ -48,10 +59,13 @@ pub fn seq_scan(
     let min_len = params.effective_min_len(query.len());
     let mut answers = AnswerSet::new();
     let mut table = WarpTable::new(query, params.window);
+    let env = (mode == SeqScanMode::Cascade).then(|| QueryEnvelope::new(query, params.window));
     for (id, seq) in store.iter() {
         let values = seq.values();
         for start in 0..values.len() {
             table.reset();
+            let mut lb_sum = 0.0;
+            let mut extra1 = 0.0;
             for (row, &v) in values[start..].iter().enumerate() {
                 let len = (row + 1) as u32;
                 if let Some(m) = max_len {
@@ -62,7 +76,34 @@ pub fn seq_scan(
                 if table.next_row_out_of_band() {
                     break;
                 }
-                let stat = table.push_value(v);
+                if let Some(env) = &env {
+                    // Tier-1 cut-off: one O(1) prefix-sum step decides
+                    // before the O(|Q|) row is paid, with row 1
+                    // upgraded to the exact corner term |c_1 − q_1|
+                    // (cell (1,1) is on every warping path). Strict `>`
+                    // so a prefix landing exactly on ε is verified.
+                    match env.row_step(len, v) {
+                        Some((d, _)) => {
+                            if row == 0 {
+                                extra1 = (v - env.first_q()).abs() - d;
+                            }
+                            lb_sum += d;
+                        }
+                        None => lb_sum = f64::INFINITY,
+                    }
+                    if lb_sum + extra1 > epsilon {
+                        stats.cascade_lb_keogh_kills += 1;
+                        break;
+                    }
+                }
+                let stat = if env.is_some() {
+                    // Threshold-pruned row: skips cells provably above ε
+                    // while keeping every ≤ ε value (and the Theorem-1
+                    // decision) exact.
+                    table.push_value_bounded(v, epsilon)
+                } else {
+                    table.push_value(v)
+                };
                 stats.rows_pushed += 1;
                 if stat.dist <= epsilon && len >= min_len {
                     answers.push(Match {
@@ -70,7 +111,7 @@ pub fn seq_scan(
                         dist: stat.dist,
                     });
                 }
-                if mode == SeqScanMode::EarlyAbandon && stat.prunes(epsilon) {
+                if mode != SeqScanMode::Full && stat.prunes(epsilon) {
                     stats.branches_pruned += 1;
                     break;
                 }
@@ -131,6 +172,33 @@ mod tests {
         // Early abandoning must not do more work.
         assert!(s2.rows_pushed <= s1.rows_pushed);
         assert!(s2.filter_cells <= s1.filter_cells);
+    }
+
+    #[test]
+    fn cascade_matches_full_answers_and_prunes_harder() {
+        let st = store(&[
+            &[5.0, 1.0, 9.0, 2.0, 2.5, 8.0, 1.5],
+            &[2.0, 2.1, 7.9, 100.0, 2.0],
+        ]);
+        let q = [2.0, 2.0, 8.0];
+        for eps in [0.5, 2.0, 10.0] {
+            for window in [None, Some(1), Some(3)] {
+                let mut params = SearchParams::with_epsilon(eps);
+                params.window = window;
+                let mut s_full = SearchStats::default();
+                let mut s_casc = SearchStats::default();
+                let full = seq_scan(&st, &q, &params, SeqScanMode::Full, &mut s_full);
+                let casc = seq_scan(&st, &q, &params, SeqScanMode::Cascade, &mut s_casc);
+                assert_eq!(full.matches(), casc.matches(), "eps={eps} w={window:?}");
+                assert!(s_casc.rows_pushed <= s_full.rows_pushed);
+                assert!(s_casc.filter_cells <= s_full.filter_cells);
+            }
+        }
+        // A tight threshold must actually exercise the tier-1 cut-off.
+        let mut s = SearchStats::default();
+        let params = SearchParams::with_epsilon(0.5);
+        seq_scan(&st, &q, &params, SeqScanMode::Cascade, &mut s);
+        assert!(s.cascade_lb_keogh_kills > 0, "tier-1 never fired");
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use segment::{
     heal_segment_with, scrub_dir_with, ScrubReport,
 };
 pub use shard::{
-    read_shard_manifest, read_shard_manifest_with, write_shard_manifest,
-    write_shard_manifest_with, ShardManifest, ShardMeta, SHARD_MANIFEST_NAME,
+    read_shard_manifest, read_shard_manifest_with, write_shard_manifest, write_shard_manifest_with,
+    ShardManifest, ShardMeta, SHARD_MANIFEST_NAME,
 };
 pub use snapshot::{
     committed_generation_with, open_dir_snapshot_with, DegradedError, DegradedQuery, DirSnapshot,

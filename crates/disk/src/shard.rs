@@ -140,7 +140,9 @@ impl ShardManifest {
         }
         let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
         if version != SHARD_VERSION {
-            return Err(bad(&format!("unsupported shard manifest version {version}")));
+            return Err(bad(&format!(
+                "unsupported shard manifest version {version}"
+            )));
         }
         let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
         let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;

@@ -432,11 +432,7 @@ mod tests {
         // No duplicate bare series names.
         let mut names = std::collections::BTreeSet::new();
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let bare = line
-                .split(|c| c == '{' || c == ' ')
-                .next()
-                .unwrap()
-                .to_string();
+            let bare = line.split(['{', ' ']).next().unwrap().to_string();
             assert!(
                 bare.ends_with("_sum")
                     || bare.ends_with("_count")

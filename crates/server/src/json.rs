@@ -110,7 +110,11 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push_str(&format!("\"{}\":{}", warptree_obs::json::escape(k), x.render()));
+                    out.push_str(&format!(
+                        "\"{}\":{}",
+                        warptree_obs::json::escape(k),
+                        x.render()
+                    ));
                 }
                 out.push('}');
                 out

@@ -465,6 +465,9 @@ impl Request {
                 if let Some(t) = opt_u32(&v, "parallelism")? {
                     params.threads = t;
                 }
+                if let Some(c) = v.get("cascade") {
+                    params.cascade = c.as_bool().ok_or("\"cascade\" must be a boolean")?;
+                }
                 Ok(Request::Knn {
                     query: query_field(&v, "query")?,
                     params,
@@ -584,6 +587,9 @@ fn search_params(v: &Json) -> Result<SearchParams, String> {
     }
     if let Some(t) = opt_u32(v, "parallelism")? {
         params.threads = t;
+    }
+    if let Some(c) = v.get("cascade") {
+        params.cascade = c.as_bool().ok_or("\"cascade\" must be a boolean")?;
     }
     Ok(params)
 }

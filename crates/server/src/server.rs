@@ -1456,7 +1456,7 @@ fn search_body(answers: &AnswerSet, generation: u64) -> String {
 
 fn encode_stats(s: &SearchStats) -> String {
     format!(
-        "{{\"filter_cells\":{},\"nodes_visited\":{},\"nodes_expanded\":{},\"rows_pushed\":{},\"rows_unshared\":{},\"branches_pruned\":{},\"candidates\":{},\"stored_candidates\":{},\"lb2_candidates\":{},\"postprocessed\":{},\"postprocess_cells\":{},\"false_alarms\":{},\"answers\":{}}}",
+        "{{\"filter_cells\":{},\"nodes_visited\":{},\"nodes_expanded\":{},\"rows_pushed\":{},\"rows_unshared\":{},\"branches_pruned\":{},\"candidates\":{},\"stored_candidates\":{},\"lb2_candidates\":{},\"postprocessed\":{},\"postprocess_cells\":{},\"false_alarms\":{},\"answers\":{},\"cascade_lb_keogh_kills\":{},\"cascade_lb_improved_kills\":{},\"cascade_abandon_kills\":{}}}",
         s.filter_cells,
         s.nodes_visited,
         s.nodes_expanded,
@@ -1470,6 +1470,9 @@ fn encode_stats(s: &SearchStats) -> String {
         s.postprocess_cells,
         s.false_alarms,
         s.answers,
+        s.cascade_lb_keogh_kills,
+        s.cascade_lb_improved_kills,
+        s.cascade_abandon_kills,
     )
 }
 

@@ -97,14 +97,15 @@ fn print_usage() {
          \u{20}          DIR (or --index-dir DIR) [--check-only]\n\
          \u{20}  search  threshold search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,…|--query-file F \
-         --epsilon E [--window W] [--limit N] [--threads N] [--trace]\n\
+         --epsilon E [--window W] [--limit N] [--threads N] [--trace] \
+         [--no-cascade]\n\
          \u{20}  knn     k-nearest-neighbour search over a built index\n\
          \u{20}          --index-dir DIR --query v1,v2,… --k K [--window W] \
-         [--threads N] [--trace]\n\
+         [--threads N] [--trace] [--no-cascade]\n\
          \u{20}  explain report one search's filter funnel, table work \
          and I/O profile\n\
          \u{20}          --index-dir DIR --query v1,v2,… --epsilon E \
-         [--window W] [--json]\n\
+         [--window W] [--json] [--no-cascade]\n\
          \u{20}  scan    index-free exact scan over a CSV\n\
          \u{20}          --input FILE --query v1,v2,… --epsilon E\n\
          \u{20}\n\
@@ -706,12 +707,18 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
     }
     .with_trace(trace.clone());
     let threads: u32 = o.parse_num("threads", 1)?;
+    // `--no-cascade` skips the lower-bound screens and verifies every
+    // candidate against the exact table — answers are identical either
+    // way (see `core::search::cascade`); the flag exists to measure
+    // the cascade's work savings on a given corpus.
+    let cascade = !o.flag("no-cascade");
     let t0 = std::time::Instant::now();
     if knn {
         let k: usize = o.parse_num("k", 5)?;
         let mut params = warptree::core::search::KnnParams::new(k);
         params.window = window;
         params.threads = threads;
+        params.cascade = cascade;
         let req = QueryRequest::knn_params(&query, params);
         let matches = idx
             .query_with(&req, &metrics)
@@ -740,6 +747,7 @@ fn cmd_search(args: &[String], knn: bool) -> Result<(), String> {
         let mut params = SearchParams::with_epsilon(epsilon);
         params.window = window;
         params.threads = threads;
+        params.cascade = cascade;
         let req = QueryRequest::threshold_params(&query, params);
         let answers = idx
             .query_with(&req, &metrics)
@@ -787,6 +795,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     if let Some(w) = o.get("window") {
         params.window = Some(w.parse().map_err(|_| "--window: bad value".to_string())?);
     }
+    params.cascade = !o.flag("no-cascade");
     let idx = open_index(&dir)?;
     let (_, report) = idx.explain(&query, &params).map_err(|e| e.to_string())?;
     if o.flag("json") {
@@ -1142,7 +1151,11 @@ fn cmd_shard_coordinator(args: &[String]) -> Result<(), String> {
     println!(
         "  scatter lanes {}, deadline {:?}, per-shard timeout {:?}, max conns {}, \
          health poll {:?}",
-        config.workers, config.deadline, config.shard_timeout, config.max_conns, config.health_interval
+        config.workers,
+        config.deadline,
+        config.shard_timeout,
+        config.max_conns,
+        config.health_interval
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();

@@ -235,6 +235,8 @@ impl ExplainReport {
                 "\"stored_candidates\":{},\"lb2_candidates\":{},",
                 "\"candidates\":{},\"postprocessed\":{},",
                 "\"false_alarms\":{},\"answers\":{}}},",
+                "\"cascade\":{{\"lb_keogh_kills\":{},",
+                "\"lb_improved_kills\":{},\"abandon_kills\":{}}},",
                 "\"ratios\":{{\"false_alarm\":{},\"pruned\":{},",
                 "\"candidate\":{},\"sharing\":{}}},",
                 "\"cells\":{{\"filter\":{},\"postprocess\":{},",
@@ -255,6 +257,9 @@ impl ExplainReport {
             s.postprocessed,
             s.false_alarms,
             s.answers,
+            s.cascade_lb_keogh_kills,
+            s.cascade_lb_improved_kills,
+            s.cascade_abandon_kills,
             num(self.false_alarm_ratio()),
             num(self.prune_ratio()),
             num(self.candidate_ratio()),
@@ -294,6 +299,28 @@ impl std::fmt::Display for ExplainReport {
             s.candidates, s.stored_candidates, s.lb2_candidates
         )?;
         writeln!(f, "  exact DTW checks  {:>10}", s.postprocessed)?;
+        let kills =
+            s.cascade_lb_keogh_kills + s.cascade_lb_improved_kills + s.cascade_abandon_kills;
+        if kills > 0 {
+            let rate = |k: u64| {
+                if s.postprocessed == 0 {
+                    0.0
+                } else {
+                    100.0 * k as f64 / s.postprocessed as f64
+                }
+            };
+            writeln!(
+                f,
+                "  cascade kills     {:>10}  (LB_Keogh {} = {:.1}%, LB_Improved {} = {:.1}%, abandon {} = {:.1}%)",
+                kills,
+                s.cascade_lb_keogh_kills,
+                rate(s.cascade_lb_keogh_kills),
+                s.cascade_lb_improved_kills,
+                rate(s.cascade_lb_improved_kills),
+                s.cascade_abandon_kills,
+                rate(s.cascade_abandon_kills),
+            )?;
+        }
         writeln!(
             f,
             "  answers           {:>10}  ({} false alarms, {:.1}% rate)",
@@ -395,6 +422,10 @@ mod tests {
             assert_eq!(s.nodes_visited, s.nodes_expanded + s.branches_pruned);
             assert_eq!(s.candidates, s.stored_candidates + s.lb2_candidates);
             assert_eq!(s.postprocessed, s.answers + s.false_alarms);
+            // Cascade kills are a subset of the false alarms.
+            let kills =
+                s.cascade_lb_keogh_kills + s.cascade_lb_improved_kills + s.cascade_abandon_kills;
+            assert!(kills <= s.false_alarms);
             assert!(s.rows_unshared >= s.rows_pushed);
             if !sparse {
                 assert_eq!(s.lb2_candidates, 0);
@@ -412,6 +443,8 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"funnel\""));
+        assert!(j.contains("\"cascade\""));
+        assert!(j.contains("\"lb_keogh_kills\""));
         assert!(j.contains("\"io\":null"));
         let text = r.to_string();
         assert!(text.contains("filter funnel"));

@@ -58,8 +58,8 @@
 //! assert!(stats.answers > 0);
 //! ```
 
-pub use warptree_core as core;
 pub use warptree_coord as coord;
+pub use warptree_core as core;
 pub use warptree_data as data;
 pub use warptree_disk as disk;
 pub use warptree_obs as obs;

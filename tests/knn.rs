@@ -47,6 +47,7 @@ proptest! {
             window: None,
             non_overlapping: false,
             threads: 1,
+            cascade: true,
         };
         for index in [
             Index::exact(&store).unwrap(),
@@ -89,6 +90,7 @@ proptest! {
             window: None,
             non_overlapping: true,
             threads: 1,
+            cascade: true,
         };
         let (got, _) = index.knn(&q, &params);
         // Greedy reference over the brute-force ranking.
