@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use warptree_core::categorize::Alphabet;
-use warptree_core::search::SuffixTreeIndex;
+use warptree_core::search::IndexBackend;
 use warptree_data::{stock_corpus, StockConfig};
 use warptree_disk::{merge_trees, DiskTree, PagedReader, PagedWriter};
 use warptree_suffix::build_full_range;

@@ -13,10 +13,13 @@
 //!     [--full] [--out BENCH_search.json]
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 use warptree_bench::{banner, build_index, IndexKind, Method, Scale};
+use warptree_core::categorize::Alphabet;
 use warptree_core::search::{
-    run_query_with, seq_scan, QueryRequest, SearchMetrics, SearchParams, SearchStats, SeqScanMode,
+    run_query_with, seq_scan, BackendKind, QueryRequest, SearchMetrics, SearchParams, SearchStats,
+    SeqScanMode,
 };
 use warptree_obs::json::num;
 use warptree_obs::HistogramSnapshot;
@@ -287,13 +290,113 @@ fn main() {
         }
     }
 
+    // Backend race: the same 10-category sparse workload built as a
+    // disk-resident suffix tree vs. an enhanced suffix array. Answers
+    // are byte-identical (the equivalence suite proves it); these rows
+    // price the difference — build time, resident index bytes, and
+    // query latency — and gate the ESA's memory claim: its resident
+    // footprint must stay at or below half the tree's.
+    let race_rows: Vec<String> = {
+        let cats = 10usize;
+        let alphabet = Alphabet::max_entropy(&store, cats).expect("alphabet");
+        let cat = Arc::new(alphabet.encode_store(&store));
+        let mut resident = [0u64; 2];
+        let mut out = Vec::new();
+        for (slot, backend) in [BackendKind::Tree, BackendKind::Esa].into_iter().enumerate() {
+            let dir = std::env::temp_dir().join(format!(
+                "warptree-bkrace-{}-{}",
+                std::process::id(),
+                backend.as_str()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("race dir");
+            let t0 = Instant::now();
+            warptree_disk::build_dir_backend_with(
+                warptree_disk::real_vfs(),
+                &store,
+                &alphabet,
+                warptree_disk::TreeKind::Sparse,
+                64,
+                1,
+                None,
+                backend,
+                &dir,
+            )
+            .expect("race build");
+            let build_secs = t0.elapsed().as_secs_f64();
+            let resolved =
+                warptree_disk::resolve_dir_with(&warptree_disk::RealVfs, &dir).expect("resolve");
+            let index = warptree_disk::AnyIndex::open_with(
+                &warptree_disk::RealVfs,
+                &resolved.index_path,
+                cat.clone(),
+                backend,
+                64,
+                512,
+            )
+            .expect("race open");
+            let file_bytes = std::fs::metadata(&resolved.index_path).expect("stat").len();
+            let metrics = SearchMetrics::new();
+            let mut latencies = Vec::new();
+            let mut answers = 0u64;
+            for q in queries.queries() {
+                let req = QueryRequest::threshold_params(&q.values, params.clone());
+                let t0 = Instant::now();
+                let got = run_query_with(&index, &alphabet, &store, &req, &metrics)
+                    .unwrap()
+                    .into_answer_set();
+                latencies.push(t0.elapsed().as_secs_f64());
+                answers += got.len() as u64;
+            }
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let quantile = |q: f64| -> f64 {
+                latencies[((latencies.len() - 1) as f64 * q).round() as usize]
+            };
+            resident[slot] = index.resident_bytes();
+            println!(
+                "{:>8} {:>5} | p50 {:>8.3} ms | p95 {:>8.3} ms | build {:>6.1} ms | resident {} KiB",
+                backend.as_str(),
+                cats,
+                1e3 * quantile(0.5),
+                1e3 * quantile(0.95),
+                1e3 * build_secs,
+                resident[slot] / 1024,
+            );
+            out.push(format!(
+                concat!(
+                    "{{\"backend\":\"{}\",\"categories\":{},",
+                    "\"build_ms\":{},\"resident_bytes\":{},\"file_bytes\":{},",
+                    "\"latency_ms\":{{\"p50\":{},\"p95\":{},\"mean\":{}}},",
+                    "\"answers_per_query\":{}}}"
+                ),
+                backend.as_str(),
+                cats,
+                num(1e3 * build_secs),
+                resident[slot],
+                file_bytes,
+                num(1e3 * quantile(0.5)),
+                num(1e3 * quantile(0.95)),
+                num(1e3 * latencies.iter().sum::<f64>() / latencies.len().max(1) as f64),
+                num(answers as f64 / latencies.len().max(1) as f64),
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        assert!(
+            resident[1] * 2 <= resident[0],
+            "ESA resident bytes ({}) exceed half the tree's ({})",
+            resident[1],
+            resident[0]
+        );
+        out
+    };
+
     let nq = queries.len() as u64;
     let body: Vec<String> = rows.iter().map(|r| r.to_json(nq)).collect();
     let json = format!(
         concat!(
             "{{\"workload\":{{\"scale\":\"{}\",\"sequences\":{},",
             "\"elements\":{},\"queries\":{},\"epsilon\":{},",
-            "\"method\":\"ME\"}},\"rows\":[{}]}}"
+            "\"method\":\"ME\"}},\"rows\":[{}],\"backend_race\":[{}]}}"
         ),
         match scale {
             Scale::Quick => "quick",
@@ -303,7 +406,8 @@ fn main() {
         store.total_len(),
         nq,
         num(epsilon),
-        body.join(",")
+        body.join(","),
+        race_rows.join(",")
     );
     std::fs::write(&out, json + "\n").expect("write report");
     println!("\nwrote {out}");

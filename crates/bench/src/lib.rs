@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use warptree_core::categorize::{Alphabet, CatStore};
 use warptree_core::search::{
-    run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode, SuffixTreeIndex,
+    run_query, seq_scan, QueryRequest, SearchParams, SearchStats, SeqScanMode, IndexBackend,
 };
 use warptree_core::sequence::SequenceStore;
 use warptree_data::{stock_corpus, QueryConfig, QueryWorkload, StockConfig};
@@ -250,7 +250,7 @@ impl Measured {
 
 /// Runs the full `SimSearch` (filter + post-process) workload over an
 /// index.
-pub fn measure_index<T: SuffixTreeIndex + Sync>(
+pub fn measure_index<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,

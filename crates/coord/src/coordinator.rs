@@ -835,6 +835,9 @@ fn search_params_fragment(p: &warptree_core::search::SearchParams) -> String {
     if !p.cascade {
         out.push_str(",\"cascade\":false");
     }
+    if let Some(b) = p.backend {
+        out.push_str(&format!(",\"backend\":\"{}\"", b.as_str()));
+    }
     out
 }
 
@@ -1022,6 +1025,9 @@ fn execute(
             }
             if !params.cascade {
                 body.push_str(",\"cascade\":false");
+            }
+            if let Some(b) = params.backend {
+                body.push_str(&format!(",\"backend\":\"{}\"", b.as_str()));
             }
             body.push_str(&format!(
                 ",\"allow_overlaps\":{},\"parallelism\":{}{}}}",
@@ -1273,6 +1279,27 @@ mod tests {
         assert_eq!(trace_fragment(&Trace::noop()), "");
         let t = Trace::active("abc");
         assert_eq!(trace_fragment(&t), ",\"trace\":true,\"trace_id\":\"abc\"");
+    }
+
+    /// A backend pin on the client request survives the re-serialization
+    /// to shard bodies, so every shard enforces the same pin the client
+    /// asked the coordinator for.
+    #[test]
+    fn backend_pin_is_forwarded_to_shards() {
+        use warptree_core::search::BackendKind;
+        let p = SearchParams::with_epsilon(0.5).on_backend(BackendKind::Esa);
+        let body = format!(
+            "{{\"op\":\"search\",\"version\":4,\"query\":{}{}}}",
+            encode_query(&[1.0]),
+            search_params_fragment(&p),
+        );
+        assert!(body.contains(",\"backend\":\"esa\""), "{body}");
+        let (req, _, _) = Request::parse_full(body.as_bytes(), false).unwrap();
+        assert_eq!(req.backend_pin(), Some(BackendKind::Esa));
+        // Unpinned requests serialize without the field at all, keeping
+        // forwarded bodies byte-identical to the pre-backend protocol.
+        let plain = search_params_fragment(&SearchParams::with_epsilon(0.5));
+        assert!(!plain.contains("backend"), "{plain}");
     }
 
     #[test]

@@ -12,9 +12,10 @@ use std::time::Duration;
 use warptree_coord::{CoordConfig, Coordinator};
 use warptree_core::categorize::Alphabet;
 use warptree_core::sequence::{SeqId, SequenceStore};
+use warptree_core::search::BackendKind;
 use warptree_disk::{
-    append_segment, build_dir_with, real_vfs, write_shard_manifest, ShardManifest, ShardMeta,
-    TreeKind,
+    append_segment, build_dir_backend_with, build_dir_with, real_vfs, write_shard_manifest,
+    ShardManifest, ShardMeta, TreeKind,
 };
 use warptree_server::client::RetryPolicy;
 use warptree_server::{Client, Server, ServerConfig, ServerHandle};
@@ -56,12 +57,23 @@ fn slice(store: &SequenceStore, range: std::ops::Range<usize>) -> SequenceStore 
 /// (all over the SAME `alphabet` — the invariant that makes shard
 /// answers merge byte-identically) plus a committed `SHARDS` manifest.
 fn build_shard_layout(root: &Path, store: &SequenceStore, alphabet: &Alphabet, cuts: &[usize]) {
+    build_shard_layout_backend(root, store, alphabet, cuts, BackendKind::Tree);
+}
+
+/// [`build_shard_layout`] with an explicit index backend per shard.
+fn build_shard_layout_backend(
+    root: &Path,
+    store: &SequenceStore,
+    alphabet: &Alphabet,
+    cuts: &[usize],
+    backend: BackendKind,
+) {
     let mut metas = Vec::new();
     let mut start = 0usize;
     for (i, &end) in cuts.iter().enumerate() {
         let part = slice(store, start..end);
         let dir_name = format!("shard-{i:04}");
-        build_dir_with(
+        build_dir_backend_with(
             real_vfs(),
             &part,
             alphabet,
@@ -69,6 +81,7 @@ fn build_shard_layout(root: &Path, store: &SequenceStore, alphabet: &Alphabet, c
             1,
             1,
             None,
+            backend,
             &root.join(&dir_name),
         )
         .unwrap();
@@ -258,6 +271,85 @@ fn three_shard_answers_match_segment_aligned_monolith_byte_for_byte() {
     let health = rpc(coord.addr(), "{\"op\":\"health\",\"version\":4}");
     assert!(health.contains("\"status\":\"serving\""), "{health}");
     coord.stop();
+}
+
+/// The sharded leg of the cross-backend matrix: a 2-shard coordinator
+/// over ESA shards answers every search / knn / batch / explain
+/// byte-identically to a 2-shard coordinator over tree shards of the
+/// same corpus, and the `"backend"` pin is forwarded to every shard —
+/// a pin naming the other family comes back as the typed
+/// `unsupported_backend` error, while the matching pin changes nothing.
+#[test]
+fn esa_shards_answer_byte_identically_and_enforce_pins() {
+    let store = corpus();
+    let alphabet = Alphabet::equal_length(&store, 6).unwrap();
+    let cuts = [6usize, 12];
+
+    let tree_root = tmpdir("bke-tree");
+    let esa_root = tmpdir("bke-esa");
+    build_shard_layout_backend(&tree_root, &store, &alphabet, &cuts, BackendKind::Tree);
+    build_shard_layout_backend(&esa_root, &store, &alphabet, &cuts, BackendKind::Esa);
+
+    let (_tree_shards, tree_addrs) = start_shards(&tree_root, 2);
+    let (_esa_shards, esa_addrs) = start_shards(&esa_root, 2);
+    let tree_coord = Coordinator::start(
+        &tree_root,
+        CoordConfig {
+            shard_addrs: tree_addrs,
+            workers: 2,
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+    let esa_coord = Coordinator::start(
+        &esa_root,
+        CoordConfig {
+            shard_addrs: esa_addrs,
+            workers: 2,
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+
+    for body in equivalence_bodies(&store) {
+        let via_tree = rpc(tree_coord.addr(), &body);
+        let via_esa = rpc(esa_coord.addr(), &body);
+        assert!(via_tree.starts_with("{\"ok\":true"), "failed: {via_tree}");
+        assert_eq!(
+            normalize_gen(&via_tree),
+            normalize_gen(&via_esa),
+            "backends diverged through the coordinator on {body}"
+        );
+    }
+
+    // Pin forwarding: the coordinator passes "backend" through to the
+    // shards, whose executors enforce it.
+    let q: String = store.get(SeqId(0)).values()[2..8]
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let pinned =
+        format!("{{\"op\":\"search\",\"version\":4,\"query\":[{q}],\"epsilon\":1.0,\"backend\":\"esa\"}}");
+    let unpinned = format!("{{\"op\":\"search\",\"version\":4,\"query\":[{q}],\"epsilon\":1.0}}");
+    let rejected = rpc(tree_coord.addr(), &pinned);
+    assert!(
+        rejected.contains("\"code\":\"unsupported_backend\""),
+        "tree shards accepted an esa pin: {rejected}"
+    );
+    let accepted = rpc(esa_coord.addr(), &pinned);
+    let plain = rpc(esa_coord.addr(), &unpinned);
+    assert!(accepted.starts_with("{\"ok\":true"), "{accepted}");
+    // Mask the wall-clock half of the v4 timings object before the
+    // byte comparison.
+    assert_eq!(
+        normalize_field(&accepted, "service_ns"),
+        normalize_field(&plain, "service_ns"),
+        "the matching pin changed the answer"
+    );
+
+    tree_coord.stop();
+    esa_coord.stop();
 }
 
 /// A 1-shard coordinator is a pure re-encoding proxy: its responses

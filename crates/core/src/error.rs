@@ -36,6 +36,11 @@ pub enum ErrorCode {
     /// express `partial: true` — returned instead of silently dropping
     /// the coverage information.
     PartialResultUnsupported,
+    /// The index belongs to a backend family this binary (or this
+    /// request) does not support — an old binary opening a manifest
+    /// written with a newer [`BackendKind`], or a request pinning a
+    /// backend the serving index is not.
+    UnsupportedBackend,
 }
 
 impl ErrorCode {
@@ -51,6 +56,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::CorruptionDetected => "corruption_detected",
             ErrorCode::PartialResultUnsupported => "partial_result_unsupported",
+            ErrorCode::UnsupportedBackend => "unsupported_backend",
         }
     }
 
@@ -66,6 +72,7 @@ impl ErrorCode {
             "internal" => ErrorCode::Internal,
             "corruption_detected" => ErrorCode::CorruptionDetected,
             "partial_result_unsupported" => ErrorCode::PartialResultUnsupported,
+            "unsupported_backend" => ErrorCode::UnsupportedBackend,
             _ => return None,
         })
     }
@@ -110,6 +117,15 @@ pub enum CoreError {
         /// The search's effective maximum answer length, when bounded.
         requested: Option<u32>,
     },
+    /// The request pinned a backend family
+    /// ([`QueryRequest::backend`](crate::search::QueryRequest::backend))
+    /// that does not match the index serving it.
+    UnsupportedBackend {
+        /// The family the request pinned (stable name).
+        requested: &'static str,
+        /// The family the index actually belongs to (stable name).
+        actual: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -147,6 +163,12 @@ impl fmt::Display for CoreError {
                     "a truncated index (depth limit {limit}) requires a                      bounded answer length (window or length range)"
                 ),
             },
+            CoreError::UnsupportedBackend { requested, actual } => {
+                write!(
+                    f,
+                    "request pinned the {requested} backend but the index is {actual}"
+                )
+            }
         }
     }
 }
@@ -154,11 +176,16 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {}
 
 impl CoreError {
-    /// The wire-level classification of this error. Every `CoreError`
-    /// reflects invalid caller input, so they all map to
+    /// The wire-level classification of this error. Backend mismatches
+    /// get their dedicated code so clients (and shard coordinators) can
+    /// distinguish them from garden-variety bad requests; everything
+    /// else reflects invalid caller input and maps to
     /// [`ErrorCode::BadRequest`].
     pub fn code(&self) -> ErrorCode {
-        ErrorCode::BadRequest
+        match self {
+            CoreError::UnsupportedBackend { .. } => ErrorCode::UnsupportedBackend,
+            _ => ErrorCode::BadRequest,
+        }
     }
 }
 
@@ -203,13 +230,20 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::CorruptionDetected,
             ErrorCode::PartialResultUnsupported,
+            ErrorCode::UnsupportedBackend,
         ];
         for code in all {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert_eq!(code.to_string(), code.as_str());
         }
         assert_eq!(ErrorCode::parse("no_such_code"), None);
-        // Core errors are always the caller's fault.
+        // Core errors are the caller's fault, except backend pins.
         assert_eq!(CoreError::EmptyQuery.code(), ErrorCode::BadRequest);
+        let pin = CoreError::UnsupportedBackend {
+            requested: "esa",
+            actual: "tree",
+        };
+        assert_eq!(pin.code(), ErrorCode::UnsupportedBackend);
+        assert!(pin.to_string().contains("esa") && pin.to_string().contains("tree"));
     }
 }

@@ -11,7 +11,7 @@
 //! together with the sequential-scanning baseline.
 //!
 //! This crate is index-structure agnostic: the searches run over any
-//! implementation of [`search::SuffixTreeIndex`]. The companion crates
+//! implementation of [`search::IndexBackend`]. The companion crates
 //! `warptree-suffix` (in-memory trees) and `warptree-disk` (paged
 //! on-disk trees) provide the index structures; `warptree-data` provides
 //! the evaluation workloads.
@@ -57,9 +57,9 @@ pub mod prelude {
     pub use crate::dtw_path::{dtw_with_path, Alignment};
     pub use crate::error::{CoreError, ErrorCode};
     pub use crate::search::{
-        filter_tree, postprocess, run_query, run_query_with, seq_scan, AnswerSet, Candidate,
-        Coverage, KnnParams, Match, OutputKind, QueryKind, QueryOutput, QueryRequest,
-        SearchMetrics, SearchParams, SearchStats, SegmentedIndex, SeqScanMode, SuffixTreeIndex,
+        filter_tree, postprocess, run_query, run_query_with, seq_scan, AnswerSet, BackendKind,
+        Candidate, Coverage, IndexBackend, KnnParams, Match, OutputKind, QueryKind, QueryOutput,
+        QueryRequest, SearchMetrics, SearchParams, SearchStats, SegmentedIndex, SeqScanMode,
     };
     pub use crate::sequence::{Occurrence, SeqId, Sequence, SequenceStore, Value};
 }

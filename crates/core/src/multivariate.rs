@@ -358,7 +358,7 @@ pub fn mv_seq_scan(
 /// built on the grid-encoded store, then exact verification — the §8
 /// extension end to end. The tree must be built over
 /// [`MvStore::encode`]'s output.
-pub fn mv_sim_search<T: crate::search::SuffixTreeIndex + Sync>(
+pub fn mv_sim_search<T: crate::search::IndexBackend + Sync>(
     tree: &T,
     grid: &GridAlphabet,
     store: &MvStore,

@@ -165,6 +165,12 @@ pub struct SearchParams {
     /// default; the switch exists for the equivalence tests and the
     /// ablation rows in the benchmark report.
     pub cascade: bool,
+    /// Optional backend-family pin, forwarded into
+    /// [`QueryRequest::backend`](crate::search::query::QueryRequest::backend):
+    /// when `Some`, the executor answers only from an index of this
+    /// [`BackendKind`] and rejects any other with a typed error. `None`
+    /// (the default) accepts whatever backend the index was built with.
+    pub backend: Option<crate::search::BackendKind>,
 }
 
 impl SearchParams {
@@ -177,6 +183,7 @@ impl SearchParams {
             min_len: 1,
             threads: 1,
             cascade: true,
+            backend: None,
         }
     }
 
@@ -203,6 +210,12 @@ impl SearchParams {
     /// Enables or disables the lower-bound cascade in post-processing.
     pub fn cascaded(mut self, on: bool) -> Self {
         self.cascade = on;
+        self
+    }
+
+    /// Pins the backend family the answering index must belong to.
+    pub fn on_backend(mut self, kind: crate::search::BackendKind) -> Self {
+        self.backend = Some(kind);
         self
     }
 

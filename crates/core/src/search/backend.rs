@@ -1,0 +1,220 @@
+//! The index-backend abstraction: [`IndexBackend`] + [`BackendKind`].
+//!
+//! The filter algorithms (paper Algorithms 2, 3 and §6.3) never touch an
+//! index data structure directly — they drive any implementation of
+//! [`IndexBackend`], a read-only top-down view of a (possibly sparse,
+//! possibly disk-resident) generalized suffix t**rie** over categorized
+//! sequences. Two families implement it:
+//!
+//! * **Suffix trees** ([`BackendKind::Tree`]): the in-memory tree of
+//!   `warptree-suffix` and the paged on-disk tree of `warptree-disk` —
+//!   the paper's ST / ST_C / SST_C layouts.
+//! * **Enhanced suffix arrays** ([`BackendKind::Esa`]): the categorized
+//!   SA + LCP + child-interval table of `warptree-esa`, whose
+//!   LCP-interval tree presents the *same* logical tree at a fraction of
+//!   the memory (see DESIGN.md §18).
+//!
+//! Because Theorem 1, `D_tw-lb`/`D_tw-lb2` and the lower-bound cascade
+//! only consume this trait, every pruning argument carries over to any
+//! conforming backend unchanged; the headline cross-backend test asserts
+//! byte-identical answers and funnel statistics between the two families.
+
+use crate::categorize::Symbol;
+use crate::sequence::SeqId;
+
+/// Which index-backend family built (and serves) an index.
+///
+/// Recorded in the on-disk MANIFEST, selectable at build time
+/// (`warptree build --backend {tree,esa}`) and assertable per query via
+/// [`QueryRequest::backend`](crate::search::QueryRequest::backend); the
+/// wire protocol forwards it as the request's `backend` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Node-based suffix tree (the paper's ST / ST_C / SST_C).
+    Tree,
+    /// Enhanced suffix array: SA + LCP + child-interval table.
+    Esa,
+}
+
+impl BackendKind {
+    /// The stable lowercase name used in CLIs, manifests and on the
+    /// wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Tree => "tree",
+            BackendKind::Esa => "esa",
+        }
+    }
+
+    /// Parses a stable name back into a kind.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "tree" => BackendKind::Tree,
+            "esa" => BackendKind::Esa,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Read-only view of an index backend: a (possibly disk-resident,
+/// possibly sparse) generalized suffix tree over categorized sequences,
+/// or anything that can emulate one top-down.
+///
+/// The filter drives any implementation of this trait; `warptree-suffix`
+/// provides the in-memory tree, `warptree-disk` the paged on-disk tree,
+/// and `warptree-esa` the enhanced-suffix-array emulation.
+///
+/// # Traversal contract
+///
+/// * The concatenated edge labels from the root to any node spell the
+///   longest common prefix of the stored suffixes below it.
+/// * Traversal is **deterministic**: two traversals of the same index
+///   observe identical children in identical order and identical suffix
+///   enumerations. Byte-identical answers across thread counts, across
+///   segmentations and across backends all rest on this.
+/// * Node handles are plain `Copy + Send` values so parallel traversal
+///   can hand subtree roots to worker threads; a handle stays valid for
+///   the lifetime of the index it came from.
+pub trait IndexBackend {
+    /// Opaque node handle. `Send` so parallel traversal can hand
+    /// subtree roots to worker threads (the tree backends use plain
+    /// integers; the ESA backend a small interval struct).
+    type Node: Copy + Send;
+
+    /// The root node (empty path).
+    fn root(&self) -> Self::Node;
+
+    /// Invokes `f` for every child of `n`, in deterministic order.
+    ///
+    /// The order is part of the equivalence contract: children are
+    /// visited in ascending order of their edge's first symbol, the
+    /// order the tree builders maintain and the parallel filter's
+    /// candidate stitching assumes. Segmented indexes may repeat a
+    /// first symbol across segments (same-segment children contiguous,
+    /// segments in ascending order) — see
+    /// [`SegmentedIndex`](crate::search::segmented::SegmentedIndex).
+    fn for_each_child(&self, n: Self::Node, f: &mut dyn FnMut(Self::Node));
+
+    /// Appends the label of the edge *entering* `n` to `out`.
+    ///
+    /// Undefined for the root (which has no incoming edge). The label
+    /// must be non-empty for every non-root node and identical on every
+    /// call (determinism).
+    fn edge_label(&self, n: Self::Node, out: &mut Vec<Symbol>);
+
+    /// Invokes `f(seq, start, lead_run)` for every stored suffix at or
+    /// below `n`: its sequence id, 0-based start offset, and the length
+    /// of the run of equal symbols at its start (`N` in Definition 4).
+    ///
+    /// The enumeration must be deterministic (same order every call);
+    /// candidate lists — and therefore answers at every thread count —
+    /// inherit their order from it.
+    fn for_each_suffix_below(&self, n: Self::Node, f: &mut dyn FnMut(SeqId, u32, u32));
+
+    /// Maximum leading-run length among stored suffixes at or below `n`
+    /// (used only by sparse search; dense backends may return anything).
+    fn max_lead_run(&self, n: Self::Node) -> u32;
+
+    /// `true` when this index stores only the paper's §6.1 suffix subset
+    /// (first symbol differs from its predecessor).
+    fn is_sparse(&self) -> bool;
+
+    /// Number of stored suffixes (leaf labels) in the whole index.
+    fn suffix_count(&self) -> u64;
+
+    /// Which backend family this index belongs to. Defaults to
+    /// [`BackendKind::Tree`], the family every pre-existing
+    /// implementation belongs to. [`run_query_with`](crate::search::run_query_with)
+    /// checks it against
+    /// [`QueryRequest::backend`](crate::search::QueryRequest::backend)
+    /// when the request pins one.
+    fn backend_kind(&self) -> BackendKind {
+        BackendKind::Tree
+    }
+
+    /// Answer-length cap of a §8-truncated index. `None` (the default)
+    /// means the index supports unbounded answer lengths.
+    fn depth_limit(&self) -> Option<u32> {
+        None
+    }
+
+    /// Number of stored suffixes at or below `n`, when the index can
+    /// answer in O(1) (tree backends annotate nodes with this count;
+    /// the ESA derives it from interval width). Used only for
+    /// observability — metering the table-sharing factor `R_d` — so the
+    /// default `None` simply disables that metric.
+    fn suffix_count_below(&self, n: Self::Node) -> Option<u64> {
+        let _ = n;
+        None
+    }
+
+    /// Segment ordinal of a *root child*, for multi-segment indexes
+    /// whose root fans out over per-segment subtrees
+    /// ([`SegmentedIndex`](crate::search::segmented::SegmentedIndex)
+    /// keeps same-segment children contiguous). Used only for
+    /// observability — grouping the filter's root-level work into
+    /// per-segment trace spans — so the default `None` simply folds the
+    /// whole tree into one anonymous segment.
+    fn segment_hint(&self, n: Self::Node) -> Option<u32> {
+        let _ = n;
+        None
+    }
+}
+
+/// Former name of [`IndexBackend`], kept as a bound-compatible alias:
+/// every `T: IndexBackend` satisfies `T: SuffixTreeIndex` via the
+/// blanket impl, so downstream bounds keep compiling. New code should
+/// name `IndexBackend` directly.
+#[deprecated(since = "0.1.0", note = "renamed to IndexBackend")]
+pub trait SuffixTreeIndex: IndexBackend {}
+
+#[allow(deprecated)]
+impl<T: IndexBackend + ?Sized> SuffixTreeIndex for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_round_trips_its_names() {
+        for kind in [BackendKind::Tree, BackendKind::Esa] {
+            assert_eq!(BackendKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert_eq!(BackendKind::parse("btree"), None);
+        assert_eq!(BackendKind::parse(""), None);
+    }
+
+    #[test]
+    fn deprecated_alias_accepts_any_backend() {
+        struct Nothing;
+        impl IndexBackend for Nothing {
+            type Node = ();
+            fn root(&self) {}
+            fn for_each_child(&self, _: (), _: &mut dyn FnMut(())) {}
+            fn edge_label(&self, _: (), _: &mut Vec<Symbol>) {}
+            fn for_each_suffix_below(&self, _: (), _: &mut dyn FnMut(SeqId, u32, u32)) {}
+            fn max_lead_run(&self, _: ()) -> u32 {
+                0
+            }
+            fn is_sparse(&self) -> bool {
+                false
+            }
+            fn suffix_count(&self) -> u64 {
+                0
+            }
+        }
+        #[allow(deprecated)]
+        fn takes_alias<T: SuffixTreeIndex>(t: &T) -> u64 {
+            t.suffix_count()
+        }
+        assert_eq!(takes_alias(&Nothing), 0);
+        assert_eq!(Nothing.backend_kind(), BackendKind::Tree);
+    }
+}

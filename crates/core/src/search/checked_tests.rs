@@ -5,7 +5,7 @@
 use crate::categorize::Alphabet;
 use crate::error::CoreError;
 use crate::search::answers::{AnswerSet, SearchStats};
-use crate::search::filter::SuffixTreeIndex;
+use crate::search::backend::IndexBackend;
 use crate::search::query::QueryRequest;
 use crate::search::{run_query, SearchParams};
 use crate::sequence::{SeqId, SequenceStore, Value};
@@ -28,7 +28,7 @@ struct OneSuffix {
     depth_limit: Option<u32>,
 }
 
-impl SuffixTreeIndex for OneSuffix {
+impl IndexBackend for OneSuffix {
     type Node = usize;
     fn root(&self) -> usize {
         0

@@ -20,84 +20,9 @@
 use crate::categorize::{Alphabet, Symbol};
 use crate::dtw::WarpTable;
 use crate::search::answers::{Candidate, SearchParams};
+use crate::search::backend::IndexBackend;
 use crate::search::metrics::SearchMetrics;
 use crate::sequence::{Occurrence, SeqId, Value};
-
-/// Read-only view of a (possibly disk-resident, possibly sparse)
-/// generalized suffix tree over categorized sequences.
-///
-/// The filter drives any implementation of this trait; `warptree-suffix`
-/// provides the in-memory tree and `warptree-disk` the paged on-disk tree.
-///
-/// # Contract
-///
-/// * The concatenated edge labels from the root to any node spell the
-///   longest common prefix of the stored suffixes below it.
-/// * [`for_each_suffix_below`](Self::for_each_suffix_below) visits every
-///   stored suffix at or below the node, reporting its sequence id,
-///   0-based start offset, and the length of the run of equal symbols at
-///   its start (`N` in Definition 4).
-/// * [`max_lead_run`](Self::max_lead_run) is the maximum such run length
-///   below the node (used only by sparse search; dense trees may return 1).
-pub trait SuffixTreeIndex {
-    /// Opaque node handle. `Send` so parallel traversal can hand
-    /// subtree roots to worker threads (both warptree implementations
-    /// use plain integers).
-    type Node: Copy + Send;
-
-    /// The root node (empty path).
-    fn root(&self) -> Self::Node;
-
-    /// Invokes `f` for every child of `n`, in deterministic order.
-    fn for_each_child(&self, n: Self::Node, f: &mut dyn FnMut(Self::Node));
-
-    /// Appends the label of the edge *entering* `n` to `out`.
-    ///
-    /// Undefined for the root (which has no incoming edge).
-    fn edge_label(&self, n: Self::Node, out: &mut Vec<Symbol>);
-
-    /// Invokes `f(seq, start, lead_run)` for every stored suffix at or
-    /// below `n`.
-    fn for_each_suffix_below(&self, n: Self::Node, f: &mut dyn FnMut(SeqId, u32, u32));
-
-    /// Maximum leading-run length among stored suffixes at or below `n`.
-    fn max_lead_run(&self, n: Self::Node) -> u32;
-
-    /// `true` when this index stores only the paper's §6.1 suffix subset
-    /// (first symbol differs from its predecessor).
-    fn is_sparse(&self) -> bool;
-
-    /// Number of stored suffixes (leaf labels) in the whole tree.
-    fn suffix_count(&self) -> u64;
-
-    /// Answer-length cap of a §8-truncated index. `None` (the default)
-    /// means the index supports unbounded answer lengths.
-    fn depth_limit(&self) -> Option<u32> {
-        None
-    }
-
-    /// Number of stored suffixes at or below `n`, when the index can
-    /// answer in O(1) (both warptree tree implementations annotate
-    /// nodes with this count). Used only for observability — metering
-    /// the table-sharing factor `R_d` — so the default `None` simply
-    /// disables that metric.
-    fn suffix_count_below(&self, n: Self::Node) -> Option<u64> {
-        let _ = n;
-        None
-    }
-
-    /// Segment ordinal of a *root child*, for multi-segment indexes
-    /// whose root fans out over per-segment subtrees
-    /// ([`SegmentedIndex`](crate::search::segmented::SegmentedIndex)
-    /// keeps same-segment children contiguous). Used only for
-    /// observability — grouping the filter's root-level work into
-    /// per-segment trace spans — so the default `None` simply folds the
-    /// whole tree into one anonymous segment.
-    fn segment_hint(&self, n: Self::Node) -> Option<u32> {
-        let _ = n;
-        None
-    }
-}
 
 /// State carried down the traversal that must be restored on backtrack —
 /// cheap to copy, so recursion restores it for free.
@@ -115,7 +40,7 @@ struct PathState {
     in_run: bool,
 }
 
-struct FilterCtx<'a, T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64> {
+struct FilterCtx<'a, T: IndexBackend, B: Fn(Value, Symbol) -> f64> {
     tree: &'a T,
     /// Base lower-bound distance between a query element (as stored in
     /// the table's query row) and a data symbol.
@@ -139,7 +64,7 @@ struct FilterCtx<'a, T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64> {
 /// # Panics
 /// Panics if the query is empty or ε is invalid (use
 /// [`SearchParams::validate`] to pre-check).
-pub fn filter_tree<T: SuffixTreeIndex + Sync>(
+pub fn filter_tree<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     query: &[Value],
@@ -170,7 +95,7 @@ pub fn filter_tree<T: SuffixTreeIndex + Sync>(
 /// pruning and `R_d` sharing are preserved per branch, and candidates
 /// join in depth-first order — the result (and every counter total) is
 /// byte-identical to the sequential traversal.
-pub fn filter_tree_with<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Sync>(
+pub fn filter_tree_with<T: IndexBackend + Sync, B: Fn(Value, Symbol) -> f64 + Sync>(
     tree: &T,
     base: &B,
     query: &[Value],
@@ -235,7 +160,7 @@ pub fn filter_tree_with<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 +
 /// truncate: the unit of work a parallel fork executes for its subtree
 /// root (the fork's table is discarded afterwards, so nothing needs
 /// restoring).
-fn visit_child<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+fn visit_child<T: IndexBackend, B: Fn(Value, Symbol) -> f64>(
     ctx: &mut FilterCtx<'_, T, B>,
     child: T::Node,
     state: PathState,
@@ -260,7 +185,7 @@ fn visit_child<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
 /// join. Candidates are re-assembled in depth-first order: for each
 /// root child, the candidates its edge emitted during fork discovery,
 /// then its forks' candidates in child order.
-fn descend_parallel<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Sync>(
+fn descend_parallel<T: IndexBackend + Sync, B: Fn(Value, Symbol) -> f64 + Sync>(
     ctx: &mut FilterCtx<'_, T, B>,
     root: T::Node,
     state: PathState,
@@ -343,11 +268,11 @@ fn descend_parallel<T: SuffixTreeIndex + Sync, B: Fn(Value, Symbol) -> f64 + Syn
 
 /// Sequential root traversal under an active trace: identical work (and
 /// work *order*) to [`descend`] at the root, but with runs of root
-/// children sharing a [`segment_hint`](SuffixTreeIndex::segment_hint)
+/// children sharing a [`segment_hint`](IndexBackend::segment_hint)
 /// grouped under a `filter.segment` span carrying that run's counter
 /// deltas. Over a single-segment index the whole root becomes one
 /// anonymous `filter.segment` span.
-fn descend_root_traced<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+fn descend_root_traced<T: IndexBackend, B: Fn(Value, Symbol) -> f64>(
     ctx: &mut FilterCtx<'_, T, B>,
     root: T::Node,
     state: PathState,
@@ -390,7 +315,7 @@ fn descend_root_traced<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
     }
 }
 
-fn descend<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+fn descend<T: IndexBackend, B: Fn(Value, Symbol) -> f64>(
     ctx: &mut FilterCtx<'_, T, B>,
     node: T::Node,
     state: PathState,
@@ -414,7 +339,7 @@ fn descend<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
 /// Consumes the edge label into `child` one symbol at a time, emitting
 /// candidates and applying Theorem-1 pruning. Returns the state at the
 /// child when traversal should continue below it, `None` when pruned.
-fn walk_edge<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+fn walk_edge<T: IndexBackend, B: Fn(Value, Symbol) -> f64>(
     ctx: &mut FilterCtx<'_, T, B>,
     child: T::Node,
     mut state: PathState,
@@ -517,7 +442,7 @@ fn walk_edge<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
 /// Emits one candidate per stored suffix below `child`, shifted `k`
 /// symbols into its leading run (`k == 0` for the stored suffix itself).
 /// The suffix list is materialized once per edge into `leaves`.
-fn emit<T: SuffixTreeIndex, B: Fn(Value, Symbol) -> f64>(
+fn emit<T: IndexBackend, B: Fn(Value, Symbol) -> f64>(
     ctx: &mut FilterCtx<'_, T, B>,
     child: T::Node,
     leaves: &mut Option<Vec<(SeqId, u32, u32)>>,
@@ -605,7 +530,7 @@ mod tests {
         }
     }
 
-    impl SuffixTreeIndex for ToyTree {
+    impl IndexBackend for ToyTree {
         type Node = usize;
         fn root(&self) -> usize {
             0

@@ -13,7 +13,7 @@
 
 use crate::categorize::Alphabet;
 use crate::search::answers::{Match, SearchParams};
-use crate::search::filter::SuffixTreeIndex;
+use crate::search::backend::IndexBackend;
 use crate::search::metrics::SearchMetrics;
 use crate::search::threshold_search_unchecked;
 use crate::sequence::{SequenceStore, Value};
@@ -48,6 +48,10 @@ pub struct KnnParams {
     /// `lb > limit` proves the candidate cannot rank among the k
     /// best). Matches are identical either way. On by default.
     pub cascade: bool,
+    /// Optional backend-family pin (see
+    /// [`SearchParams::backend`]): forwarded into
+    /// [`QueryRequest::backend`](crate::search::query::QueryRequest::backend).
+    pub backend: Option<crate::search::BackendKind>,
 }
 
 impl KnnParams {
@@ -89,7 +93,14 @@ impl KnnParams {
             non_overlapping: true,
             threads: 1,
             cascade: true,
+            backend: None,
         }
+    }
+
+    /// Pins the backend family the answering index must belong to.
+    pub fn on_backend(mut self, kind: crate::search::BackendKind) -> Self {
+        self.backend = Some(kind);
+        self
     }
 
     /// Sets the number of worker threads for filtering and
@@ -223,7 +234,7 @@ fn filter_overlaps(matches: &[Match]) -> Vec<Match> {
 /// query/parameters — this is the body behind
 /// [`run_query_with`](crate::search::run_query_with) for
 /// [`QueryKind::Knn`](crate::search::QueryKind) requests.
-pub(crate) fn knn_unchecked<T: SuffixTreeIndex + Sync>(
+pub(crate) fn knn_unchecked<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -350,7 +361,7 @@ mod tests {
         }
     }
 
-    impl SuffixTreeIndex for ToyTree {
+    impl IndexBackend for ToyTree {
         type Node = usize;
         fn root(&self) -> usize {
             0

@@ -3,9 +3,12 @@
 //! * [`seqscan`] — the sequential-scanning baseline (§4.3).
 //! * [`aligned`] — the segment-aligned comparator of the paper's
 //!   reference [14] (misses unaligned answers — kept for measurement).
+//! * [`backend`] — the [`IndexBackend`] abstraction every index
+//!   implementation (tree or enhanced suffix array) plugs into, plus
+//!   [`BackendKind`].
 //! * [`filter`] — the unified suffix-tree filter implementing
 //!   `Filter-ST`, `Filter-ST_C` and `Filter-SST_C` over any
-//!   [`SuffixTreeIndex`].
+//!   [`IndexBackend`].
 //! * [`postprocess`](mod@postprocess) — exact `D_tw` verification of
 //!   candidates (§5.4).
 //! * [`cascade`] — the numeric lower-bound cascade (an LB_Keogh-style
@@ -16,7 +19,7 @@
 //! * [`query`] — the unified typed query API: [`QueryRequest`] +
 //!   [`QueryKind`], executed by [`run_query`] / [`run_query_with`].
 //! * [`segmented`] — [`SegmentedIndex`], the multi-segment fan-out view
-//!   presenting N partial suffix trees as one [`SuffixTreeIndex`].
+//!   presenting N partial suffix trees as one [`IndexBackend`].
 //! * [`answers`] — answer/candidate types, statistics, parameters.
 //!
 //! The top-level entry point is [`run_query`] with a [`QueryRequest`]:
@@ -25,6 +28,7 @@
 
 pub mod aligned;
 pub mod answers;
+pub mod backend;
 pub mod cascade;
 pub mod filter;
 pub mod knn;
@@ -36,8 +40,11 @@ pub mod seqscan;
 
 pub use aligned::aligned_scan;
 pub use answers::{AnswerSet, Candidate, Match, SearchParams, SearchStats};
+pub use backend::{BackendKind, IndexBackend};
+#[allow(deprecated)]
+pub use backend::SuffixTreeIndex;
 pub use cascade::QueryEnvelope;
-pub use filter::{filter_tree, filter_tree_with, SuffixTreeIndex};
+pub use filter::{filter_tree, filter_tree_with};
 pub use knn::KnnParams;
 pub use metrics::SearchMetrics;
 pub use postprocess::postprocess;
@@ -57,7 +64,7 @@ use crate::sequence::{SequenceStore, Value};
 /// post-processing, metered into `metrics`. Callers must have validated
 /// `query`/`params` (this is the body behind [`run_query_with`] for
 /// [`QueryKind::Threshold`] requests).
-pub(crate) fn threshold_search_unchecked<T: SuffixTreeIndex + Sync>(
+pub(crate) fn threshold_search_unchecked<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,

@@ -6,15 +6,23 @@
 //! check (parameter validation, non-finite values, the serving length
 //! cap, truncated-index depth rules), and one executor pair —
 //! [`run_query`] / [`run_query_with`] — runs the search over any
-//! [`SuffixTreeIndex`].
+//! [`IndexBackend`].
+//!
+//! This module *owns* the index seam: [`IndexBackend`] and
+//! [`BackendKind`] live in [`backend`](crate::search::backend) and are
+//! re-exported here because the query layer is their consumer-facing
+//! home — a request may pin the backend family it expects
+//! ([`QueryRequest::backend`]) and the executor enforces it.
 
 use crate::categorize::Alphabet;
 use crate::error::CoreError;
 use crate::search::answers::{AnswerSet, Match, SearchParams, SearchStats};
-use crate::search::filter::SuffixTreeIndex;
+use crate::search::backend::IndexBackend;
 use crate::search::knn::KnnParams;
 use crate::search::metrics::SearchMetrics;
 use crate::sequence::{SequenceStore, Value};
+
+pub use crate::search::backend::BackendKind;
 
 /// What a query asks for: every subsequence within a threshold, or the
 /// `k` nearest subsequences.
@@ -60,6 +68,12 @@ pub struct QueryRequest {
     /// workers from quadratic-cost requests); violations surface as
     /// [`CoreError::QueryTooLong`].
     pub max_query_len: Option<usize>,
+    /// Optional backend-family pin: when `Some`, the executor rejects an
+    /// index of any other [`BackendKind`] with
+    /// [`CoreError::UnsupportedBackend`] instead of silently answering
+    /// from a different index family. `None` (the default) accepts any
+    /// backend.
+    pub backend: Option<BackendKind>,
 }
 
 impl QueryRequest {
@@ -68,10 +82,14 @@ impl QueryRequest {
         Self::threshold_params(query, SearchParams::with_epsilon(epsilon))
     }
 
-    /// A threshold query with explicit [`SearchParams`].
+    /// A threshold query with explicit [`SearchParams`]. A backend pin
+    /// carried by the params ([`SearchParams::backend`]) is lifted into
+    /// [`QueryRequest::backend`] — this is how a pin parsed off the
+    /// wire reaches the executor.
     pub fn threshold_params(query: &[Value], params: SearchParams) -> Self {
         Self {
             query: query.to_vec(),
+            backend: params.backend,
             kind: QueryKind::Threshold(params),
             max_query_len: None,
         }
@@ -82,10 +100,12 @@ impl QueryRequest {
         Self::knn_params(query, KnnParams::new(k))
     }
 
-    /// A k-NN query with explicit [`KnnParams`].
+    /// A k-NN query with explicit [`KnnParams`]. Lifts a params-carried
+    /// backend pin like [`threshold_params`](Self::threshold_params).
     pub fn knn_params(query: &[Value], params: KnnParams) -> Self {
         Self {
             query: query.to_vec(),
+            backend: params.backend,
             kind: QueryKind::Knn(params),
             max_query_len: None,
         }
@@ -112,6 +132,13 @@ impl QueryRequest {
     /// Imposes a serving-side cap on the query length.
     pub fn capped(mut self, max_query_len: usize) -> Self {
         self.max_query_len = Some(max_query_len);
+        self
+    }
+
+    /// Pins the backend family the index must belong to; the executor
+    /// rejects any other with [`CoreError::UnsupportedBackend`].
+    pub fn on_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = Some(kind);
         self
     }
 
@@ -313,13 +340,22 @@ impl QueryOutput {
 /// Validation runs first ([`QueryRequest::validate_for`] against the
 /// tree's depth limit), so malformed requests return a typed
 /// [`CoreError`] and never panic.
-pub fn run_query_with<T: SuffixTreeIndex + Sync>(
+pub fn run_query_with<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
     req: &QueryRequest,
     metrics: &SearchMetrics,
 ) -> Result<QueryOutput, CoreError> {
+    if let Some(want) = req.backend {
+        let got = tree.backend_kind();
+        if got != want {
+            return Err(CoreError::UnsupportedBackend {
+                requested: want.as_str(),
+                actual: got.as_str(),
+            });
+        }
+    }
     req.validate_for(tree.depth_limit())?;
     match &req.kind {
         QueryKind::Threshold(p) => Ok(QueryOutput::answers(
@@ -337,7 +373,7 @@ pub fn run_query_with<T: SuffixTreeIndex + Sync>(
 /// [`SearchStats`] snapshot alongside the output. For k-NN requests the
 /// snapshot's `answers` field reads as the result count actually
 /// returned, not the per-round verified total.
-pub fn run_query<T: SuffixTreeIndex + Sync>(
+pub fn run_query<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -365,9 +401,13 @@ mod tests {
         assert_eq!(t.kind.window(), Some(3));
         assert_eq!(t.kind.threads(), 4);
         assert_eq!(t.max_query_len, Some(16));
-        let k = QueryRequest::knn(&[1.0], 5).windowed(2).parallel(8);
+        let k = QueryRequest::knn(&[1.0], 5)
+            .windowed(2)
+            .parallel(8)
+            .on_backend(BackendKind::Esa);
         assert_eq!(k.kind.window(), Some(2));
         assert_eq!(k.kind.threads(), 8);
+        assert_eq!(k.backend, Some(BackendKind::Esa));
         match k.kind {
             QueryKind::Knn(p) => assert_eq!(p.k, 5),
             _ => panic!("expected knn kind"),

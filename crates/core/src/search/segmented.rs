@@ -1,5 +1,5 @@
 //! Multi-segment fan-out: N partial suffix trees presented as one
-//! [`SuffixTreeIndex`].
+//! [`IndexBackend`].
 //!
 //! The LSM-style index keeps new sequences in small tail segments (each
 //! a suffix tree over just its own suffixes) until a background merge
@@ -30,7 +30,7 @@
 //!   `rows_pushed`, …) legitimately differ — segments repeat shared
 //!   path prefixes the monolithic tree walks once.
 
-use crate::search::filter::SuffixTreeIndex;
+use crate::search::backend::IndexBackend;
 use crate::sequence::SeqId;
 
 /// A node of the fan-out view: the virtual root, or a node inside one
@@ -49,7 +49,7 @@ pub enum SegNode<N> {
 }
 
 /// N suffix-tree segments over disjoint suffix sets of one corpus,
-/// presented as a single [`SuffixTreeIndex`] (see the module docs for
+/// presented as a single [`IndexBackend`] (see the module docs for
 /// the equivalence contract).
 ///
 /// Every segment must index suffixes with corpus-global [`SeqId`]s and
@@ -60,7 +60,7 @@ pub struct SegmentedIndex<'a, T> {
     segments: Vec<&'a T>,
 }
 
-impl<'a, T: SuffixTreeIndex> SegmentedIndex<'a, T> {
+impl<'a, T: IndexBackend> SegmentedIndex<'a, T> {
     /// Builds the fan-out view over `segments` (base first, tails in
     /// append order).
     ///
@@ -92,7 +92,7 @@ impl<'a, T: SuffixTreeIndex> SegmentedIndex<'a, T> {
     }
 }
 
-impl<T: SuffixTreeIndex> SuffixTreeIndex for SegmentedIndex<'_, T> {
+impl<T: IndexBackend> IndexBackend for SegmentedIndex<'_, T> {
     type Node = SegNode<T::Node>;
 
     fn root(&self) -> Self::Node {
@@ -156,6 +156,13 @@ impl<T: SuffixTreeIndex> SuffixTreeIndex for SegmentedIndex<'_, T> {
 
     fn depth_limit(&self) -> Option<u32> {
         self.segments[0].depth_limit()
+    }
+
+    fn backend_kind(&self) -> crate::search::BackendKind {
+        // Segments of one directory share a backend (the manifest
+        // records exactly one); delegating keeps a pinned request's
+        // backend check honest on segmented directories.
+        self.segments[0].backend_kind()
     }
 
     fn suffix_count_below(&self, n: Self::Node) -> Option<u64> {
@@ -234,7 +241,7 @@ mod tests {
         }
     }
 
-    impl SuffixTreeIndex for ToyTree {
+    impl IndexBackend for ToyTree {
         type Node = usize;
         fn root(&self) -> usize {
             0

@@ -1,0 +1,354 @@
+//! Backend dispatch for disk-resident indexes.
+//!
+//! The manifest records which [`BackendKind`] a directory was committed
+//! under; [`AnyIndex`] is the runtime counterpart — one value that holds
+//! either a [`DiskTree`] or a [`DiskEsa`] and serves queries through
+//! [`IndexBackend`] by dispatching per call. Every layer above the file
+//! formats (snapshots, segment fan-out, the scrubber, the facade, the
+//! server) works with `AnyIndex` and stays backend-agnostic; the match
+//! lives here, once.
+//!
+//! Traversal-visible behavior is identical across variants — that is
+//! the ESA's isomorphism contract (see `warptree-esa`) — so the
+//! dispatch changes *where* bytes live, never *what* a query answers.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use warptree_core::categorize::{CatStore, Symbol};
+use warptree_core::search::{BackendKind, IndexBackend};
+use warptree_core::sequence::SeqId;
+use warptree_esa::EsaNode;
+
+use crate::error::{DiskError, Result};
+use crate::esa::DiskEsa;
+use crate::format::{DiskTree, Header};
+use crate::pager::IoStats;
+use crate::vfs::Vfs;
+
+/// A disk-resident index of either backend, opened per the manifest's
+/// recorded [`BackendKind`].
+pub enum AnyIndex {
+    /// The suffix-tree file format (`WARPTREE`).
+    Tree(DiskTree),
+    /// The enhanced-suffix-array file format (`WARPESA`).
+    Esa(DiskEsa),
+}
+
+impl std::fmt::Debug for AnyIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyIndex")
+            .field("kind", &self.kind().as_str())
+            .field("source", &self.source())
+            .finish()
+    }
+}
+
+/// Node handle of [`AnyIndex`]: tags which backend it came from.
+/// Mixing handles across backends is a logic error and panics.
+#[derive(Debug, Clone, Copy)]
+pub enum AnyNode {
+    /// A tree node (file offset of its record).
+    Tree(u64),
+    /// An ESA node (interval record or leaf entry).
+    Esa(EsaNode),
+}
+
+impl AnyNode {
+    fn tree(self) -> u64 {
+        match self {
+            AnyNode::Tree(n) => n,
+            AnyNode::Esa(_) => unreachable!("esa node handle passed to a tree backend"),
+        }
+    }
+
+    fn esa(self) -> EsaNode {
+        match self {
+            AnyNode::Esa(n) => n,
+            AnyNode::Tree(_) => unreachable!("tree node handle passed to an esa backend"),
+        }
+    }
+}
+
+impl AnyIndex {
+    /// Opens `path` as `backend`, against the categorized store its
+    /// labels reference. `cache_pages` sizes the page buffer pool;
+    /// `cache_nodes` the tree's decoded-node cache (unused by the ESA,
+    /// which loads eagerly).
+    pub fn open_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        cat: Arc<CatStore>,
+        backend: BackendKind,
+        cache_pages: usize,
+        cache_nodes: usize,
+    ) -> Result<Self> {
+        match backend {
+            BackendKind::Tree => Ok(AnyIndex::Tree(DiskTree::open_with(
+                vfs,
+                path,
+                cat,
+                cache_pages,
+                cache_nodes,
+            )?)),
+            BackendKind::Esa => Ok(AnyIndex::Esa(DiskEsa::open_with(
+                vfs,
+                path,
+                cat,
+                cache_pages,
+            )?)),
+        }
+    }
+
+    /// The backend this index was opened as.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            AnyIndex::Tree(_) => BackendKind::Tree,
+            AnyIndex::Esa(_) => BackendKind::Esa,
+        }
+    }
+
+    /// The underlying tree, when this is the tree backend.
+    pub fn as_tree(&self) -> Option<&DiskTree> {
+        match self {
+            AnyIndex::Tree(t) => Some(t),
+            AnyIndex::Esa(_) => None,
+        }
+    }
+
+    /// The underlying ESA, when this is the esa backend.
+    pub fn as_esa(&self) -> Option<&DiskEsa> {
+        match self {
+            AnyIndex::Tree(_) => None,
+            AnyIndex::Esa(e) => Some(e),
+        }
+    }
+
+    /// The tree file header, when this is the tree backend.
+    pub fn tree_header(&self) -> Option<Header> {
+        self.as_tree().map(|t| t.header())
+    }
+
+    /// The file name this index was opened from (its segment identity).
+    pub fn source(&self) -> &str {
+        match self {
+            AnyIndex::Tree(t) => t.source(),
+            AnyIndex::Esa(e) => e.source(),
+        }
+    }
+
+    /// The categorized store the labels reference.
+    pub fn cat(&self) -> &Arc<CatStore> {
+        match self {
+            AnyIndex::Tree(t) => t.cat(),
+            AnyIndex::Esa(e) => e.cat(),
+        }
+    }
+
+    /// Page-level I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        match self {
+            AnyIndex::Tree(t) => t.io_stats(),
+            AnyIndex::Esa(e) => e.io_stats(),
+        }
+    }
+
+    /// Decoded-node cache `(hits, misses)`. The ESA has no node cache
+    /// (its records live decoded in memory), so it reports zeros.
+    pub fn node_cache_stats(&self) -> (u64, u64) {
+        match self {
+            AnyIndex::Tree(t) => t.node_cache_stats(),
+            AnyIndex::Esa(_) => (0, 0),
+        }
+    }
+
+    /// Takes the read failure recorded by an aborted traversal, if any.
+    /// The ESA serves queries from memory (its CRC checks run at open),
+    /// so only the tree backend can record one.
+    pub fn take_read_error(&self) -> Option<DiskError> {
+        match self {
+            AnyIndex::Tree(t) => t.take_read_error(),
+            AnyIndex::Esa(_) => None,
+        }
+    }
+
+    /// Walks every physical page of the file through the CRC check,
+    /// bypassing caches (the scrub / `verify --deep` primitive).
+    pub fn verify_pages(&self) -> Result<u64> {
+        match self {
+            AnyIndex::Tree(t) => t.verify_pages(),
+            AnyIndex::Esa(e) => e.verify_pages(),
+        }
+    }
+
+    /// Routes the index's cache/CRC counters into `reg`.
+    pub fn instrument(&self, reg: &warptree_obs::MetricsRegistry) {
+        match self {
+            AnyIndex::Tree(t) => t.instrument(reg),
+            AnyIndex::Esa(e) => e.instrument(reg),
+        }
+    }
+
+    /// Internal record count: tree node records, or ESA interval
+    /// records (the structural size stat `info --deep` reports).
+    pub fn record_count(&self) -> u64 {
+        match self {
+            AnyIndex::Tree(t) => t.header().node_count,
+            AnyIndex::Esa(e) => e.header().rec_count,
+        }
+    }
+
+    /// Resident bytes the index needs to serve queries: the tree pages
+    /// its node heap on demand, so its logical file length is the bound;
+    /// the ESA holds exactly its three flat arrays.
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            AnyIndex::Tree(t) => t.logical_len(),
+            AnyIndex::Esa(e) => e.resident_bytes(),
+        }
+    }
+}
+
+impl IndexBackend for AnyIndex {
+    type Node = AnyNode;
+
+    fn root(&self) -> AnyNode {
+        match self {
+            AnyIndex::Tree(t) => AnyNode::Tree(t.root()),
+            AnyIndex::Esa(e) => AnyNode::Esa(e.root()),
+        }
+    }
+
+    fn for_each_child(&self, n: AnyNode, f: &mut dyn FnMut(AnyNode)) {
+        match self {
+            AnyIndex::Tree(t) => t.for_each_child(n.tree(), &mut |c| f(AnyNode::Tree(c))),
+            AnyIndex::Esa(e) => e.for_each_child(n.esa(), &mut |c| f(AnyNode::Esa(c))),
+        }
+    }
+
+    fn edge_label(&self, n: AnyNode, out: &mut Vec<Symbol>) {
+        match self {
+            AnyIndex::Tree(t) => t.edge_label(n.tree(), out),
+            AnyIndex::Esa(e) => e.edge_label(n.esa(), out),
+        }
+    }
+
+    fn for_each_suffix_below(&self, n: AnyNode, f: &mut dyn FnMut(SeqId, u32, u32)) {
+        match self {
+            AnyIndex::Tree(t) => t.for_each_suffix_below(n.tree(), f),
+            AnyIndex::Esa(e) => e.for_each_suffix_below(n.esa(), f),
+        }
+    }
+
+    fn max_lead_run(&self, n: AnyNode) -> u32 {
+        match self {
+            AnyIndex::Tree(t) => t.max_lead_run(n.tree()),
+            AnyIndex::Esa(e) => e.max_lead_run(n.esa()),
+        }
+    }
+
+    fn is_sparse(&self) -> bool {
+        match self {
+            AnyIndex::Tree(t) => t.is_sparse(),
+            AnyIndex::Esa(e) => e.is_sparse(),
+        }
+    }
+
+    fn suffix_count(&self) -> u64 {
+        match self {
+            AnyIndex::Tree(t) => IndexBackend::suffix_count(t),
+            AnyIndex::Esa(e) => e.suffix_count(),
+        }
+    }
+
+    fn backend_kind(&self) -> BackendKind {
+        self.kind()
+    }
+
+    fn depth_limit(&self) -> Option<u32> {
+        match self {
+            AnyIndex::Tree(t) => t.depth_limit(),
+            AnyIndex::Esa(e) => e.depth_limit(),
+        }
+    }
+
+    fn suffix_count_below(&self, n: AnyNode) -> Option<u64> {
+        match self {
+            AnyIndex::Tree(t) => t.suffix_count_below(n.tree()),
+            AnyIndex::Esa(e) => e.suffix_count_below(n.esa()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::esa::write_esa_with;
+    use crate::vfs::RealVfs;
+    use crate::writer::write_tree_with;
+    use warptree_esa::EsaIndex;
+    use warptree_suffix::build_full;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("warptree-any-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn dispatch_presents_identical_traversals() {
+        let cat = Arc::new(CatStore::from_symbols(
+            vec![vec![0, 1, 0, 1, 1], vec![1, 0, 0]],
+            2,
+        ));
+        let tree_path = tmp("tree");
+        write_tree_with(&RealVfs, &build_full(cat.clone()), &tree_path).unwrap();
+        let esa_path = tmp("esa");
+        write_esa_with(&RealVfs, &EsaIndex::build(cat.clone(), false), &esa_path).unwrap();
+
+        let tree = AnyIndex::open_with(
+            &RealVfs,
+            &tree_path,
+            cat.clone(),
+            BackendKind::Tree,
+            8,
+            64,
+        )
+        .unwrap();
+        let esa =
+            AnyIndex::open_with(&RealVfs, &esa_path, cat, BackendKind::Esa, 8, 64).unwrap();
+        assert_eq!(tree.kind(), BackendKind::Tree);
+        assert_eq!(esa.kind(), BackendKind::Esa);
+        assert!(tree.as_tree().is_some() && tree.as_esa().is_none());
+        assert!(esa.as_esa().is_some() && esa.as_tree().is_none());
+
+        let mut a = Vec::new();
+        tree.for_each_suffix_below(tree.root(), &mut |s, p, r| a.push((s, p, r)));
+        let mut b = Vec::new();
+        esa.for_each_suffix_below(esa.root(), &mut |s, p, r| b.push((s, p, r)));
+        assert_eq!(a, b, "suffix enumeration order must match across backends");
+        assert_eq!(
+            IndexBackend::suffix_count(&tree),
+            IndexBackend::suffix_count(&esa)
+        );
+        assert!(esa.resident_bytes() > 0);
+        assert!(esa.verify_pages().unwrap() >= 1);
+
+        std::fs::remove_file(&tree_path).unwrap();
+        std::fs::remove_file(&esa_path).unwrap();
+    }
+
+    #[test]
+    fn opening_a_file_as_the_wrong_backend_is_typed() {
+        let cat = Arc::new(CatStore::from_symbols(vec![vec![0, 1]], 2));
+        let esa_path = tmp("wrongway");
+        write_esa_with(&RealVfs, &EsaIndex::build(cat.clone(), false), &esa_path).unwrap();
+        let err =
+            AnyIndex::open_with(&RealVfs, &esa_path, cat, BackendKind::Tree, 4, 16).unwrap_err();
+        assert!(matches!(
+            err,
+            DiskError::UnsupportedBackend { ref found } if found == "esa"
+        ));
+        std::fs::remove_file(&esa_path).unwrap();
+    }
+}

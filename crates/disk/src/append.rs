@@ -28,12 +28,14 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use warptree_core::search::{BackendKind, IndexBackend};
 use warptree_core::sequence::SequenceStore;
 
+use crate::any::AnyIndex;
 use crate::corpus::{load_corpus_with, save_corpus_with};
 use crate::error::{DiskError, Result};
 use crate::format::DiskTree;
-use crate::manifest::{commit_dir_with, recover_dir_with};
+use crate::manifest::{commit_dir_backend_with, recover_dir_with};
 use crate::merge::merge_trees_with;
 use crate::vfs::{RealVfs, TempGuard, Vfs};
 use crate::writer::write_tree_with;
@@ -58,21 +60,24 @@ pub fn append_to_index_dir_with(
     new_sequences: &SequenceStore,
 ) -> Result<u64> {
     let (resolved, _recovery) = recover_dir_with(vfs, dir)?;
+    let backend = resolved.backend();
     let (mut store, mut alphabet, _) = load_corpus_with(vfs, &resolved.corpus_path)?;
-    let probe = DiskTree::open_with(
+    let probe = AnyIndex::open_with(
         vfs,
         &resolved.index_path,
-        // Temporary encode just to read the header; replaced below.
+        // Temporary encode just to read the base index's shape; replaced
+        // below.
         Arc::new(alphabet.encode_store(&store)),
+        backend,
         16,
         16,
     )?;
-    let header = probe.header();
-    if header.depth_limit.is_some() {
+    if probe.depth_limit().is_some() {
         return Err(DiskError::BadRecord(
             "cannot append to a truncated (§8) index".into(),
         ));
     }
+    let sparse = probe.is_sparse();
     drop(probe);
 
     // Admit the new values: widen observed bounds, extend the store.
@@ -88,31 +93,44 @@ pub fn append_to_index_dir_with(
     // valid over the new CatStore.
     let cat = Arc::new(alphabet.encode_store(&store));
 
-    // Build the batch tree over just the new sequences. The guard
-    // removes the batch file on every exit path — including success,
-    // where the removal is merely best-effort (a failure there leaves a
-    // `*.tmp` for the next recovery sweep, never a wrong answer).
-    let batch = if header.sparse {
-        warptree_suffix::build_sparse_range(cat.clone(), first_new..last)
-    } else {
-        warptree_suffix::build_full_range(cat.clone(), first_new..last)
-    };
+    // For the tree backend, build a batch tree over just the new
+    // sequences and binary-merge it with the base. The guard removes
+    // the batch file on every exit path — including success, where the
+    // removal is merely best-effort (a failure there leaves a `*.tmp`
+    // for the next recovery sweep, never a wrong answer). The ESA has
+    // no binary merge: its append is a canonical rebuild over the
+    // widened corpus, so no batch file exists.
     let batch_path = dir.join("append-batch.wt.tmp");
     let _batch_guard = TempGuard::new(vfs, vec![batch_path.clone()]);
-    write_tree_with(vfs, &batch, &batch_path)?;
+    if backend == BackendKind::Tree {
+        let batch = if sparse {
+            warptree_suffix::build_sparse_range(cat.clone(), first_new..last)
+        } else {
+            warptree_suffix::build_full_range(cat.clone(), first_new..last)
+        };
+        write_tree_with(vfs, &batch, &batch_path)?;
+    }
 
-    // Commit the widened corpus and the merged tree as one atomic
-    // generation flip; the merge streams directly into the new
-    // generation's temporary, so no separate merge scratch file exists.
-    let manifest = commit_dir_with(
+    // Commit the widened corpus and the merged (or rebuilt) index as
+    // one atomic generation flip; the merge streams directly into the
+    // new generation's temporary, so no separate merge scratch file
+    // exists.
+    let manifest = commit_dir_backend_with(
         vfs,
         dir,
         resolved.generation,
+        backend,
         |corpus_tmp| save_corpus_with(vfs, &store, &alphabet, corpus_tmp).map(|_| ()),
-        |index_tmp| {
-            let old = DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 256, 2048)?;
-            let new = DiskTree::open_with(vfs, &batch_path, cat.clone(), 256, 2048)?;
-            merge_trees_with(vfs, &old, &new, &cat, index_tmp).map(|_| ())
+        |index_tmp| match backend {
+            BackendKind::Tree => {
+                let old = DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 256, 2048)?;
+                let new = DiskTree::open_with(vfs, &batch_path, cat.clone(), 256, 2048)?;
+                merge_trees_with(vfs, &old, &new, &cat, index_tmp).map(|_| ())
+            }
+            BackendKind::Esa => {
+                let esa = warptree_esa::EsaIndex::build(cat.clone(), sparse);
+                crate::esa::write_esa_with(vfs, &esa, index_tmp).map(|_| ())
+            }
         },
     )?;
     Ok(manifest.index_len)
@@ -185,7 +203,7 @@ mod tests {
             // A full tree stores one suffix per element of old + new.
             if !sparse {
                 assert_eq!(
-                    warptree_core::search::SuffixTreeIndex::suffix_count(&tree),
+                    warptree_core::search::IndexBackend::suffix_count(&tree),
                     store.total_len()
                 );
             }

@@ -40,6 +40,14 @@ pub enum DiskError {
         /// Index of the bad page inside that file.
         page: u64,
     },
+    /// The directory (or file) is committed under an index backend this
+    /// code path cannot serve — e.g. an older tree-only binary opening
+    /// a manifest that records the `esa` backend, or a backend id this
+    /// build does not know.
+    UnsupportedBackend {
+        /// What the manifest or file header recorded.
+        found: String,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -62,6 +70,13 @@ impl fmt::Display for DiskError {
             }
             DiskError::CorruptionDetected { segment, page } => {
                 write!(f, "corruption detected in segment {segment} (page {page})")
+            }
+            DiskError::UnsupportedBackend { found } => {
+                write!(
+                    f,
+                    "unsupported index backend {found}: this code path only \
+                     serves indexes it was built to read"
+                )
             }
         }
     }
@@ -109,5 +124,7 @@ mod tests {
         };
         assert!(c.to_string().contains("segment-000003-00.wt"));
         assert!(c.to_string().contains("page 7"));
+        let b = DiskError::UnsupportedBackend { found: "esa".into() };
+        assert!(b.to_string().contains("esa"));
     }
 }

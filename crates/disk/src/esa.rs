@@ -1,0 +1,497 @@
+//! On-disk enhanced-suffix-array file format.
+//!
+//! An ESA file persists the three flat arrays of a
+//! [`warptree_esa::EsaIndex`] — SA entries, LCP-interval records, and
+//! the packed child table — through the same CRC'd pager as the tree
+//! format, so `verify`, scrub, quarantine and the commit protocol
+//! compose unchanged. Unlike the tree format there is no node heap to
+//! page in lazily: the arrays are compact (12 bytes per suffix, 28 per
+//! interval, 4 per child edge), so [`DiskEsa::open_with`] loads them
+//! eagerly through the CRC-checked read path and serves queries from
+//! memory. Corruption therefore surfaces at *open* time as a typed
+//! [`DiskError`], which the scrub/quarantine machinery already treats
+//! exactly like a mid-query CRC failure.
+//!
+//! ```text
+//! header (64 bytes, logical offset 0):
+//!   magic   [u8;8] = "WARPESA\0"
+//!   version u32    = 1
+//!   flags   u32      bit 0: sparse index
+//!   alpha   u32      alphabet length the symbols were drawn from
+//!   entry_count u64  stored suffixes (SA entries)
+//!   rec_count   u64  LCP-interval records
+//!   child_count u64  packed child-table slots
+//!   root        u32  index of the root interval record
+//!   reserved    [u8;12] (zero)
+//!
+//! body (sequential, little-endian):
+//!   entry_count × { seq u32, start u32, lead u32 }
+//!   rec_count   × { lo u32, hi u32, depth u32, child_off u32,
+//!                   child_count u32, attached u32, max_run u32 }
+//!   child_count × { tag u32 }   (high bit = leaf entry index)
+//! ```
+//!
+//! Every page carries a CRC-32, so corruption anywhere in the file is
+//! detected on first touch.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use warptree_core::categorize::{CatStore, Symbol};
+use warptree_core::search::{BackendKind, IndexBackend};
+use warptree_core::sequence::SeqId;
+use warptree_esa::{Entry, EsaIndex, EsaNode, IntervalRec};
+
+use crate::error::{DiskError, Result};
+use crate::pager::{IoStats, PagedReader, PagedWriter};
+use crate::vfs::{RealVfs, Vfs};
+
+/// Size of the ESA file header in logical bytes.
+pub const ESA_HEADER_SIZE: u64 = 64;
+/// ESA header magic bytes.
+pub const ESA_MAGIC: &[u8; 8] = b"WARPESA\0";
+/// Current ESA format version.
+pub const ESA_VERSION: u32 = 1;
+
+const ENTRY_BYTES: u64 = 12;
+const REC_BYTES: u64 = 28;
+const CHILD_BYTES: u64 = 4;
+
+/// Decoded ESA file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EsaHeader {
+    /// `true` when only the §6.1 suffix subset is stored.
+    pub sparse: bool,
+    /// Alphabet length the symbols were drawn from.
+    pub alphabet_len: u32,
+    /// Stored suffixes (SA entries).
+    pub entry_count: u64,
+    /// LCP-interval records.
+    pub rec_count: u64,
+    /// Packed child-table slots.
+    pub child_count: u64,
+    /// Index of the root interval record.
+    pub root: u32,
+}
+
+impl EsaHeader {
+    /// Serializes the header into its 64-byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ESA_HEADER_SIZE as usize);
+        out.extend_from_slice(ESA_MAGIC);
+        out.extend_from_slice(&ESA_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sparse as u32).to_le_bytes());
+        out.extend_from_slice(&self.alphabet_len.to_le_bytes());
+        out.extend_from_slice(&self.entry_count.to_le_bytes());
+        out.extend_from_slice(&self.rec_count.to_le_bytes());
+        out.extend_from_slice(&self.child_count.to_le_bytes());
+        out.extend_from_slice(&self.root.to_le_bytes());
+        out.resize(ESA_HEADER_SIZE as usize, 0);
+        out
+    }
+
+    /// Parses and validates a 64-byte header.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < ESA_HEADER_SIZE as usize {
+            return Err(DiskError::BadHeader("truncated header".into()));
+        }
+        if &buf[0..8] != ESA_MAGIC {
+            if &buf[0..8] == crate::format::MAGIC {
+                return Err(DiskError::UnsupportedBackend {
+                    found: "tree".into(),
+                });
+            }
+            return Err(DiskError::BadHeader("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != ESA_VERSION {
+            return Err(DiskError::BadHeader(format!(
+                "unsupported esa version {version}"
+            )));
+        }
+        let flags = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        Ok(EsaHeader {
+            sparse: flags & 1 != 0,
+            alphabet_len: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            entry_count: u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+            rec_count: u64::from_le_bytes(buf[28..36].try_into().unwrap()),
+            child_count: u64::from_le_bytes(buf[36..44].try_into().unwrap()),
+            root: u32::from_le_bytes(buf[44..48].try_into().unwrap()),
+        })
+    }
+}
+
+/// Serializes `esa` to `path` through the CRC'd pager, returning the
+/// logical file length in bytes.
+pub fn write_esa(esa: &EsaIndex, path: &Path) -> Result<u64> {
+    write_esa_with(&RealVfs, esa, path)
+}
+
+/// [`write_esa`] through an explicit [`Vfs`].
+pub fn write_esa_with(vfs: &dyn Vfs, esa: &EsaIndex, path: &Path) -> Result<u64> {
+    let raw = esa.raw();
+    let header = EsaHeader {
+        sparse: raw.sparse,
+        alphabet_len: esa.cat().alphabet_len(),
+        entry_count: raw.entries.len() as u64,
+        rec_count: raw.recs.len() as u64,
+        child_count: raw.children.len() as u64,
+        root: raw.root,
+    };
+    let mut w = PagedWriter::create_with(vfs, path)?;
+    w.write(&header.encode())?;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for e in raw.entries {
+        buf.extend_from_slice(&e.seq.0.to_le_bytes());
+        buf.extend_from_slice(&e.start.to_le_bytes());
+        buf.extend_from_slice(&e.lead.to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            w.write(&buf)?;
+            buf.clear();
+        }
+    }
+    for r in raw.recs {
+        for v in [
+            r.lo,
+            r.hi,
+            r.depth,
+            r.child_off,
+            r.child_count,
+            r.attached,
+            r.max_run,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        if buf.len() >= 64 * 1024 {
+            w.write(&buf)?;
+            buf.clear();
+        }
+    }
+    for &c in raw.children {
+        buf.extend_from_slice(&c.to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            w.write(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write(&buf)?;
+    w.finish(&[])
+}
+
+/// A disk-resident enhanced suffix array, query-ready through
+/// [`IndexBackend`]. The flat arrays are loaded eagerly through the
+/// CRC-checked pager at open; the reader is kept only for
+/// [`verify_pages`](Self::verify_pages) and I/O accounting.
+pub struct DiskEsa {
+    reader: PagedReader,
+    header: EsaHeader,
+    esa: EsaIndex,
+    /// File name this index was opened from (its segment identity).
+    source: String,
+}
+
+impl DiskEsa {
+    /// Opens an ESA file against the categorized store its entries
+    /// reference. `cache_pages` sizes the page buffer pool used for the
+    /// eager load and later page verification.
+    pub fn open(path: &Path, cat: Arc<CatStore>, cache_pages: usize) -> Result<Self> {
+        Self::open_with(&RealVfs, path, cat, cache_pages)
+    }
+
+    /// [`open`](Self::open) through an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        cat: Arc<CatStore>,
+        cache_pages: usize,
+    ) -> Result<Self> {
+        let reader = PagedReader::open_with(vfs, path, cache_pages.max(2))?;
+        let mut buf = vec![0u8; ESA_HEADER_SIZE as usize];
+        reader.read_exact_at(0, &mut buf)?;
+        let header = EsaHeader::decode(&buf)?;
+        if header.alphabet_len != cat.alphabet_len() {
+            return Err(DiskError::BadHeader(format!(
+                "alphabet mismatch: file {} vs store {}",
+                header.alphabet_len,
+                cat.alphabet_len()
+            )));
+        }
+        let body = header.entry_count * ENTRY_BYTES
+            + header.rec_count * REC_BYTES
+            + header.child_count * CHILD_BYTES;
+        if ESA_HEADER_SIZE + body > reader.logical_len() {
+            return Err(DiskError::BadRecord(
+                "esa arrays overrun the file".into(),
+            ));
+        }
+        if header.rec_count == 0 || header.root as u64 >= header.rec_count {
+            return Err(DiskError::BadRecord(format!(
+                "esa root {} outside {} records",
+                header.root, header.rec_count
+            )));
+        }
+
+        let mut off = ESA_HEADER_SIZE;
+        let mut entries = Vec::with_capacity(header.entry_count as usize);
+        let mut raw = vec![0u8; (header.entry_count * ENTRY_BYTES) as usize];
+        reader.read_exact_at(off, &mut raw)?;
+        for c in raw.chunks_exact(ENTRY_BYTES as usize) {
+            entries.push(Entry {
+                seq: SeqId(u32::from_le_bytes(c[0..4].try_into().unwrap())),
+                start: u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                lead: u32::from_le_bytes(c[8..12].try_into().unwrap()),
+            });
+        }
+        off += header.entry_count * ENTRY_BYTES;
+
+        let mut recs = Vec::with_capacity(header.rec_count as usize);
+        let mut raw = vec![0u8; (header.rec_count * REC_BYTES) as usize];
+        reader.read_exact_at(off, &mut raw)?;
+        for c in raw.chunks_exact(REC_BYTES as usize) {
+            let w = |i: usize| u32::from_le_bytes(c[4 * i..4 * i + 4].try_into().unwrap());
+            recs.push(IntervalRec {
+                lo: w(0),
+                hi: w(1),
+                depth: w(2),
+                child_off: w(3),
+                child_count: w(4),
+                attached: w(5),
+                max_run: w(6),
+            });
+        }
+        off += header.rec_count * REC_BYTES;
+
+        let mut children = Vec::with_capacity(header.child_count as usize);
+        let mut raw = vec![0u8; (header.child_count * CHILD_BYTES) as usize];
+        reader.read_exact_at(off, &mut raw)?;
+        for c in raw.chunks_exact(CHILD_BYTES as usize) {
+            children.push(u32::from_le_bytes(c.try_into().unwrap()));
+        }
+
+        let esa = EsaIndex::from_raw(cat, header.sparse, entries, recs, children, header.root);
+        Ok(Self {
+            reader,
+            header,
+            esa,
+            source: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        })
+    }
+
+    /// The file header.
+    pub fn header(&self) -> EsaHeader {
+        self.header
+    }
+
+    /// The file name this index was opened from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The in-memory index serving queries.
+    pub fn esa(&self) -> &EsaIndex {
+        &self.esa
+    }
+
+    /// The categorized store the entries reference.
+    pub fn cat(&self) -> &Arc<CatStore> {
+        self.esa.cat()
+    }
+
+    /// Page-level I/O counters (accumulated at open and verify time —
+    /// queries are served from memory).
+    pub fn io_stats(&self) -> IoStats {
+        self.reader.io_stats()
+    }
+
+    /// Resident bytes of the loaded index arrays (the backend-race
+    /// metric; excludes the shared corpus).
+    pub fn resident_bytes(&self) -> u64 {
+        self.esa.resident_bytes()
+    }
+
+    /// Walks every physical page of the file through the CRC check,
+    /// bypassing the page cache (the scrub / `verify --deep` primitive).
+    /// Returns the page count, or the first corruption typed with this
+    /// file's name.
+    pub fn verify_pages(&self) -> Result<u64> {
+        for p in 0..self.reader.page_count() {
+            self.reader.verify_page(p).map_err(|e| match e {
+                DiskError::CorruptPage { page } => DiskError::CorruptionDetected {
+                    segment: self.source.clone(),
+                    page,
+                },
+                other => other,
+            })?;
+        }
+        Ok(self.reader.page_count())
+    }
+
+    /// Routes this file's CRC-failure counter into `reg` (the ESA has
+    /// no lazily decoded node cache to meter).
+    pub fn instrument(&self, reg: &warptree_obs::MetricsRegistry) {
+        self.reader
+            .meter_cache(reg, "disk.page_cache.hits", "disk.page_cache.misses");
+        self.reader.meter_crc_failures(reg, "disk.read_crc_fail");
+    }
+}
+
+impl IndexBackend for DiskEsa {
+    type Node = EsaNode;
+
+    fn root(&self) -> EsaNode {
+        self.esa.root()
+    }
+
+    fn for_each_child(&self, n: EsaNode, f: &mut dyn FnMut(EsaNode)) {
+        self.esa.for_each_child(n, f)
+    }
+
+    fn edge_label(&self, n: EsaNode, out: &mut Vec<Symbol>) {
+        self.esa.edge_label(n, out)
+    }
+
+    fn for_each_suffix_below(&self, n: EsaNode, f: &mut dyn FnMut(SeqId, u32, u32)) {
+        self.esa.for_each_suffix_below(n, f)
+    }
+
+    fn max_lead_run(&self, n: EsaNode) -> u32 {
+        self.esa.max_lead_run(n)
+    }
+
+    fn is_sparse(&self) -> bool {
+        self.esa.is_sparse()
+    }
+
+    fn suffix_count(&self) -> u64 {
+        self.esa.suffix_count()
+    }
+
+    fn backend_kind(&self) -> BackendKind {
+        BackendKind::Esa
+    }
+
+    fn suffix_count_below(&self, n: EsaNode) -> Option<u64> {
+        self.esa.suffix_count_below(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warptree_core::categorize::CatStore;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("warptree-esa-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn sample_cat() -> Arc<CatStore> {
+        Arc::new(CatStore::from_symbols(
+            vec![vec![0, 1, 2, 1, 2, 1], vec![2, 2, 0], vec![1, 1, 1, 1]],
+            3,
+        ))
+    }
+
+    #[test]
+    fn esa_header_roundtrip() {
+        let h = EsaHeader {
+            sparse: true,
+            alphabet_len: 42,
+            entry_count: 9,
+            rec_count: 5,
+            child_count: 11,
+            root: 4,
+        };
+        let enc = h.encode();
+        assert_eq!(enc.len(), ESA_HEADER_SIZE as usize);
+        assert_eq!(EsaHeader::decode(&enc).unwrap(), h);
+        let mut bad = enc.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            EsaHeader::decode(&bad),
+            Err(DiskError::BadHeader(_))
+        ));
+        let mut wrong_version = enc;
+        wrong_version[8] = 99;
+        assert!(matches!(
+            EsaHeader::decode(&wrong_version),
+            Err(DiskError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn esa_header_names_a_tree_file_as_a_backend_mismatch() {
+        let tree_header = crate::format::Header {
+            sparse: false,
+            alphabet_len: 3,
+            node_count: 1,
+            suffix_count: 1,
+            root_offset: 64,
+            depth_limit: None,
+        };
+        let err = EsaHeader::decode(&tree_header.encode()).unwrap_err();
+        assert!(matches!(
+            err,
+            DiskError::UnsupportedBackend { ref found } if found == "tree"
+        ));
+    }
+
+    #[test]
+    fn write_open_roundtrip_preserves_traversal() {
+        for sparse in [false, true] {
+            let cat = sample_cat();
+            let esa = EsaIndex::build(cat.clone(), sparse);
+            let path = tmp(&format!("roundtrip-{sparse}"));
+            let len = write_esa(&esa, &path).unwrap();
+            assert!(len > ESA_HEADER_SIZE);
+            let disk = DiskEsa::open(&path, cat, 8).unwrap();
+            assert_eq!(disk.is_sparse(), sparse);
+            assert_eq!(disk.suffix_count(), esa.suffix_count());
+            assert_eq!(disk.backend_kind(), BackendKind::Esa);
+            disk.esa().check_invariants();
+            // Identical suffix enumeration order end to end.
+            let mut mem = Vec::new();
+            esa.for_each_suffix_below(esa.root(), &mut |s, p, r| mem.push((s, p, r)));
+            let mut back = Vec::new();
+            disk.for_each_suffix_below(disk.root(), &mut |s, p, r| back.push((s, p, r)));
+            assert_eq!(mem, back);
+            assert_eq!(disk.resident_bytes(), esa.resident_bytes());
+            assert_eq!(disk.verify_pages().unwrap(), 1);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn alphabet_mismatch_rejected() {
+        let cat = sample_cat();
+        let esa = EsaIndex::build(cat, false);
+        let path = tmp("alpha");
+        write_esa(&esa, &path).unwrap();
+        let other = Arc::new(CatStore::from_symbols(vec![vec![0, 1]], 7));
+        assert!(DiskEsa::open(&path, other, 8).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_page_detected_at_open() {
+        let cat = sample_cat();
+        let esa = EsaIndex::build(cat.clone(), false);
+        let path = tmp("corrupt");
+        write_esa(&esa, &path).unwrap();
+        // Flip a byte inside the array region: the eager CRC-checked
+        // load must refuse the file.
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = 128;
+        raw[mid] ^= 0x5a;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            DiskEsa::open(&path, cat, 8),
+            Err(DiskError::CorruptPage { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use warptree_core::categorize::{CatStore, Symbol};
-use warptree_core::search::SuffixTreeIndex;
+use warptree_core::search::IndexBackend;
 use warptree_core::sequence::SeqId;
 
 use crate::error::{DiskError, Result};
@@ -89,6 +89,14 @@ impl Header {
             return Err(DiskError::BadHeader("truncated header".into()));
         }
         if &buf[0..8] != MAGIC {
+            if &buf[0..8] == crate::esa::ESA_MAGIC {
+                // A tree-only code path opened a file committed by the
+                // esa backend: name the mismatch instead of "bad magic"
+                // so callers (and operators) see what happened.
+                return Err(DiskError::UnsupportedBackend {
+                    found: "esa".into(),
+                });
+            }
             return Err(DiskError::BadHeader("bad magic".into()));
         }
         let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
@@ -155,7 +163,7 @@ pub fn encode_node(node: &DiskNode) -> Vec<u8> {
 
 /// Panic payload used to abort a tree traversal on an unreadable node.
 ///
-/// The [`SuffixTreeIndex`] trait's walk callbacks are infallible, so a
+/// The [`IndexBackend`] trait's walk callbacks are infallible, so a
 /// mid-traversal read failure cannot return an `Err` through them.
 /// Instead the failing [`DiskTree`] records the typed error (see
 /// [`DiskTree::take_read_error`]) and unwinds with this marker; the
@@ -165,7 +173,7 @@ pub fn encode_node(node: &DiskNode) -> Vec<u8> {
 pub struct TreeReadAbort;
 
 /// A disk-resident suffix tree, query-ready through
-/// [`SuffixTreeIndex`]. Decoded nodes are cached in an LRU keyed by
+/// [`IndexBackend`]. Decoded nodes are cached in an LRU keyed by
 /// offset; all reads verify page CRCs.
 pub struct DiskTree {
     reader: PagedReader,
@@ -294,6 +302,11 @@ impl DiskTree {
         self.reader.io_stats()
     }
 
+    /// Logical length of the file in bytes (the paper's "index size").
+    pub fn logical_len(&self) -> u64 {
+        self.reader.logical_len()
+    }
+
     /// Decoded-node cache hit/miss totals, `(hits, misses)`.
     pub fn node_cache_stats(&self) -> (u64, u64) {
         let nodes = self.nodes.lock();
@@ -410,7 +423,7 @@ impl DiskTree {
     }
 }
 
-impl SuffixTreeIndex for DiskTree {
+impl IndexBackend for DiskTree {
     type Node = u64;
 
     fn root(&self) -> u64 {

@@ -7,7 +7,7 @@
 //! * [`pager`] — paged files with per-page CRC-32 and an LRU buffer pool;
 //! * [`format`](mod@format) / [`writer`] — the tree file format, written post-order in
 //!   one sequential pass; [`DiskTree`] serves queries straight from disk
-//!   through the same [`SuffixTreeIndex`](warptree_core::search::SuffixTreeIndex)
+//!   through the same [`IndexBackend`](warptree_core::search::IndexBackend)
 //!   trait the in-memory tree implements;
 //! * [`merge`] — binary merge of tree files and the [`IncrementalBuilder`]
 //!   that constructs a large index batch-by-batch in limited memory
@@ -25,12 +25,18 @@
 //!   (including tail segments, with fan-out querying) and a cheap
 //!   manifest poll, the reload primitives of a live server;
 //! * [`vfs`] — the injectable filesystem every write path goes through,
-//!   with a fault-injecting implementation for crash-consistency tests.
+//!   with a fault-injecting implementation for crash-consistency tests;
+//! * [`esa`](mod@esa) / [`any`] — the enhanced-suffix-array file format
+//!   (an alternative [`IndexBackend`](warptree_core::search::IndexBackend)
+//!   with identical traversal semantics) and the [`AnyIndex`] dispatch
+//!   value the layers above use to stay backend-agnostic.
 
+pub mod any;
 pub mod append;
 pub mod corpus;
 pub mod crc;
 pub mod error;
+pub mod esa;
 pub mod format;
 pub mod lru;
 pub mod manifest;
@@ -42,15 +48,17 @@ pub mod snapshot;
 pub mod vfs;
 pub mod writer;
 
+pub use any::{AnyIndex, AnyNode};
 pub use append::{append_to_index_dir, append_to_index_dir_with};
 pub use corpus::{load_corpus, load_corpus_with, save_corpus, save_corpus_with};
 pub use error::{DiskError, Result};
+pub use esa::{write_esa, write_esa_with, DiskEsa, EsaHeader};
 pub use format::{DiskNode, DiskTree, Header, TreeReadAbort};
 pub use manifest::{
-    build_dir_metered, build_dir_with, commit_dir_with, commit_update_with,
-    quarantine_segment_with, recover_dir_with, resolve_dir_with, segment_file_name,
-    verify_dir_deep_with, verify_dir_with, FileCheck, Manifest, RecoveryReport, ResolvedDir,
-    SegmentMeta, VerifyReport, MANIFEST_NAME,
+    build_dir_backend_with, build_dir_metered, build_dir_with, commit_dir_backend_with,
+    commit_dir_with, commit_update_with, quarantine_segment_with, recover_dir_with,
+    resolve_dir_with, segment_file_name, verify_dir_deep_with, verify_dir_with, FileCheck,
+    Manifest, RecoveryReport, ResolvedDir, SegmentMeta, VerifyReport, MANIFEST_NAME,
 };
 pub use merge::{merge_trees, merge_trees_with, IncrementalBuilder, TreeKind};
 pub use pager::{IoStats, PagedReader, PagedWriter, PAGE_DATA, PAGE_SIZE};

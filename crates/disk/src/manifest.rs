@@ -31,12 +31,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use warptree_core::categorize::Alphabet;
+use warptree_core::search::BackendKind;
 use warptree_core::sequence::SequenceStore;
 
+use crate::any::AnyIndex;
 use crate::corpus::load_corpus_with;
 use crate::crc::crc32;
 use crate::error::{DiskError, Result};
-use crate::format::DiskTree;
 use crate::pager::{PagedReader, PAGE_DATA};
 use crate::vfs::{TempGuard, Vfs};
 
@@ -46,13 +47,20 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_MAGIC: &[u8; 8] = b"WARPMANF";
 /// Version 1: base corpus + index pair. Version 2 appends the tail
 /// segment list. Version 3 adds a per-segment flags word (bit 0:
-/// quarantined). A manifest with no tail segments is always written as
-/// version 1, byte-identical to what older builds produced, so
-/// single-segment directories stay readable by them; one with segments
-/// but no quarantine is written as version 2 for the same reason.
+/// quarantined). Version 4 appends the index backend id. The encoder
+/// always emits the *minimum* version the manifest's content needs —
+/// a tree-backed directory with no tail segments is byte-identical to
+/// what version-1 builds produced, so older binaries keep reading every
+/// directory they could before; only an `esa`-backed directory promotes
+/// to version 4, which older binaries reject instead of misreading.
 const MANIFEST_VERSION: u32 = 1;
 const MANIFEST_VERSION_SEGMENTS: u32 = 2;
 const MANIFEST_VERSION_QUARANTINE: u32 = 3;
+const MANIFEST_VERSION_BACKEND: u32 = 4;
+
+/// Backend ids as recorded in a version-4 manifest.
+const BACKEND_ID_TREE: u32 = 0;
+const BACKEND_ID_ESA: u32 = 1;
 
 /// Segment flag bit: the segment is quarantined (tombstoned).
 const SEG_FLAG_QUARANTINED: u32 = 1;
@@ -95,6 +103,10 @@ pub struct Manifest {
     /// Tail segments, in ascending `start_seq` order (empty for a
     /// fully compacted — i.e. ordinary single-tree — directory).
     pub segments: Vec<SegmentMeta>,
+    /// The index backend every data file of this generation was
+    /// committed under ([`BackendKind::Tree`] for all manifests written
+    /// before version 4).
+    pub backend: BackendKind,
 }
 
 /// Generational corpus file name (`corpus.wc` for the legacy gen 0).
@@ -135,7 +147,9 @@ fn is_generation_file(name: &str) -> bool {
 
 impl Manifest {
     fn encode(&self) -> Vec<u8> {
-        let version = if self.segments.is_empty() {
+        let version = if self.backend != BackendKind::Tree {
+            MANIFEST_VERSION_BACKEND
+        } else if self.segments.is_empty() {
             MANIFEST_VERSION
         } else if self.segments.iter().any(|s| s.quarantined) {
             MANIFEST_VERSION_QUARANTINE
@@ -170,6 +184,13 @@ impl Manifest {
                 }
             }
         }
+        if version >= MANIFEST_VERSION_BACKEND {
+            let id = match self.backend {
+                BackendKind::Tree => BACKEND_ID_TREE,
+                BackendKind::Esa => BACKEND_ID_ESA,
+            };
+            out.extend_from_slice(&id.to_le_bytes());
+        }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
@@ -198,7 +219,7 @@ impl Manifest {
             return Err(bad("not a manifest file"));
         }
         let version = u32::from_le_bytes(take(4)?.try_into().unwrap());
-        if !(MANIFEST_VERSION..=MANIFEST_VERSION_QUARANTINE).contains(&version) {
+        if !(MANIFEST_VERSION..=MANIFEST_VERSION_BACKEND).contains(&version) {
             return Err(bad(&format!("unsupported manifest version {version}")));
         }
         let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
@@ -246,6 +267,22 @@ impl Manifest {
                 });
             }
         }
+        let backend = if version >= MANIFEST_VERSION_BACKEND {
+            match u32::from_le_bytes(take(4)?.try_into().unwrap()) {
+                BACKEND_ID_TREE => BackendKind::Tree,
+                BACKEND_ID_ESA => BackendKind::Esa,
+                other => {
+                    // A backend this build does not know: a typed error
+                    // rather than `BadManifest`, so callers can tell "a
+                    // newer format I must not touch" from corruption.
+                    return Err(DiskError::UnsupportedBackend {
+                        found: format!("manifest backend id {other}"),
+                    });
+                }
+            }
+        } else {
+            BackendKind::Tree
+        };
         let index = names.pop().unwrap();
         let corpus = names.pop().unwrap();
         Ok(Self {
@@ -255,6 +292,7 @@ impl Manifest {
             corpus_len,
             index_len,
             segments,
+            backend,
         })
     }
 
@@ -321,6 +359,16 @@ impl ResolvedDir {
         let mut keep = vec![self.corpus_path.as_path(), self.index_path.as_path()];
         keep.extend(self.segment_paths.iter().map(|p| p.as_path()));
         keep
+    }
+
+    /// The backend the committed generation was built under — what the
+    /// manifest records, or [`BackendKind::Tree`] for legacy
+    /// manifest-less directories.
+    pub fn backend(&self) -> BackendKind {
+        self.manifest
+            .as_ref()
+            .map(|m| m.backend)
+            .unwrap_or(BackendKind::Tree)
     }
 }
 
@@ -537,6 +585,31 @@ where
     C: FnOnce(&Path) -> Result<()>,
     I: FnOnce(&Path) -> Result<()>,
 {
+    commit_dir_backend_with(
+        vfs,
+        dir,
+        current_generation,
+        BackendKind::Tree,
+        write_corpus,
+        write_index,
+    )
+}
+
+/// [`commit_dir_with`] recording an explicit index [`BackendKind`] in
+/// the committed manifest — `write_index` must produce a file of that
+/// backend's format.
+pub fn commit_dir_backend_with<C, I>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    current_generation: u64,
+    backend: BackendKind,
+    write_corpus: C,
+    write_index: I,
+) -> Result<Manifest>
+where
+    C: FnOnce(&Path) -> Result<()>,
+    I: FnOnce(&Path) -> Result<()>,
+{
     vfs.create_dir_all(dir)?;
     // The whole previous generation is superseded — including any tail
     // segments its manifest carried (a monolithic rebuild re-indexes
@@ -568,6 +641,7 @@ where
         corpus_len: vfs.metadata_len(&corpus_tmp)?,
         index_len: vfs.metadata_len(&index_tmp)?,
         segments: Vec::new(),
+        backend,
     };
     // Until the manifest flips inside commit_update_with, readers still
     // resolve the old generation, so the renames are invisible; on
@@ -606,6 +680,40 @@ pub fn build_dir_with(
         batch,
         threads,
         truncate,
+        BackendKind::Tree,
+        dir,
+        &warptree_obs::MetricsRegistry::noop(),
+    )
+}
+
+/// [`build_dir_with`] committing under an explicit index
+/// [`BackendKind`]: the tree backend runs the incremental merge
+/// builder; the `esa` backend constructs the enhanced suffix array over
+/// the categorized corpus in one linear pass (`TreeKind` still selects
+/// full vs. §6.1 sparse suffix storage, and `batch`/`threads` are
+/// ignored — the DC3 build is single-pass). §8 depth truncation is a
+/// tree-only feature and is rejected for the `esa` backend.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dir_backend_with(
+    vfs: Arc<dyn Vfs>,
+    store: &SequenceStore,
+    alphabet: &Alphabet,
+    kind: crate::merge::TreeKind,
+    batch: usize,
+    threads: usize,
+    truncate: Option<warptree_suffix::TruncateSpec>,
+    backend: BackendKind,
+    dir: &Path,
+) -> Result<Manifest> {
+    build_dir_metered(
+        vfs,
+        store,
+        alphabet,
+        kind,
+        batch,
+        threads,
+        truncate,
+        backend,
         dir,
         &warptree_obs::MetricsRegistry::noop(),
     )
@@ -625,9 +733,15 @@ pub fn build_dir_metered(
     batch: usize,
     threads: usize,
     truncate: Option<warptree_suffix::TruncateSpec>,
+    backend: BackendKind,
     dir: &Path,
     reg: &warptree_obs::MetricsRegistry,
 ) -> Result<Manifest> {
+    if backend == BackendKind::Esa && truncate.is_some() {
+        return Err(DiskError::BadRecord(
+            "§8 depth truncation is not supported by the esa backend".into(),
+        ));
+    }
     vfs.create_dir_all(dir)?;
     // Rebuilds bump the committed generation; fresh builds start at 1.
     // Leftovers of a crashed earlier attempt are swept first so stale
@@ -644,23 +758,41 @@ pub fn build_dir_metered(
         Err(e) => return Err(e),
     };
     let cat = Arc::new(alphabet.encode_store(store));
-    commit_dir_with(
+    commit_dir_backend_with(
         vfs.as_ref(),
         dir,
         current,
+        backend,
         |corpus_tmp| {
             crate::corpus::save_corpus_with(vfs.as_ref(), store, alphabet, corpus_tmp).map(|_| ())
         },
-        |index_tmp| {
-            let mut builder =
-                crate::merge::IncrementalBuilder::new(cat.clone(), kind, batch, dir.to_path_buf())
-                    .with_vfs(vfs.clone())
-                    .with_threads(threads)
-                    .with_metrics(reg);
-            if let Some(spec) = truncate {
-                builder = builder.with_truncation(spec);
+        |index_tmp| match backend {
+            BackendKind::Tree => {
+                let mut builder = crate::merge::IncrementalBuilder::new(
+                    cat.clone(),
+                    kind,
+                    batch,
+                    dir.to_path_buf(),
+                )
+                .with_vfs(vfs.clone())
+                .with_threads(threads)
+                .with_metrics(reg);
+                if let Some(spec) = truncate {
+                    builder = builder.with_truncation(spec);
+                }
+                builder.build(index_tmp).map(|_| ())
             }
-            builder.build(index_tmp).map(|_| ())
+            BackendKind::Esa => {
+                let hist = reg.histogram("build.ns");
+                let timer = hist.span();
+                let sparse = matches!(kind, crate::merge::TreeKind::Sparse);
+                let esa = warptree_esa::EsaIndex::build(cat.clone(), sparse);
+                let written =
+                    crate::esa::write_esa_with(vfs.as_ref(), &esa, index_tmp).map(|_| ());
+                timer.end();
+                reg.counter("build.batches").incr();
+                written
+            }
         },
     )
 }
@@ -816,7 +948,9 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
                     if report.files[i + 1].quarantined {
                         continue;
                     }
-                    if let Err(e) = DiskTree::open_with(vfs, path, cat.clone(), 4, 16) {
+                    if let Err(e) =
+                        AnyIndex::open_with(vfs, path, cat.clone(), resolved.backend(), 4, 16)
+                    {
                         report.files[i + 1].error = Some(format!("parse failed: {e}"));
                     }
                 }
@@ -839,9 +973,9 @@ pub fn verify_dir_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
     Ok(report)
 }
 
-/// Deep verification: every tree file (base and every tail segment,
-/// quarantined ones included) is opened as a [`DiskTree`] and walked
-/// page by page through [`DiskTree::verify_pages`] — exactly the
+/// Deep verification: every index file (base and every tail segment,
+/// quarantined ones included) is opened as the manifest's backend and
+/// walked page by page through [`AnyIndex::verify_pages`] — exactly the
 /// CRC-checked, cache-bypassing routine the background scrubber uses —
 /// plus a page scan of the corpus. Never mutates the directory.
 pub fn verify_dir_deep_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
@@ -880,13 +1014,14 @@ pub fn verify_dir_deep_with(vfs: &dyn Vfs, dir: &Path) -> Result<VerifyReport> {
     for path in std::iter::once(&resolved.index_path).chain(&resolved.segment_paths) {
         let name = file_name(path);
         let quarantined = quarantined_names.iter().any(|q| *q == name);
-        let (pages, error) = match DiskTree::open_with(vfs, path, cat.clone(), 2, 1) {
-            Ok(tree) => match tree.verify_pages() {
-                Ok(pages) => (pages, None),
+        let (pages, error) =
+            match AnyIndex::open_with(vfs, path, cat.clone(), resolved.backend(), 2, 1) {
+                Ok(index) => match index.verify_pages() {
+                    Ok(pages) => (pages, None),
+                    Err(e) => (0, Some(e.to_string())),
+                },
                 Err(e) => (0, Some(e.to_string())),
-            },
-            Err(e) => (0, Some(e.to_string())),
-        };
+            };
         report.files.push(FileCheck {
             name,
             pages,
@@ -924,6 +1059,7 @@ mod tests {
             corpus_len: 8192,
             index_len: 16384,
             segments: Vec::new(),
+            backend: BackendKind::Tree,
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
         // With tail segments the manifest round-trips as version 2.
@@ -961,6 +1097,49 @@ mod tests {
     }
 
     #[test]
+    fn esa_manifest_promotes_to_version_4_and_round_trips() {
+        let m = Manifest {
+            generation: 2,
+            corpus: corpus_file_name(2),
+            index: index_file_name(2),
+            corpus_len: 512,
+            index_len: 1024,
+            segments: Vec::new(),
+            backend: BackendKind::Esa,
+        };
+        let raw = m.encode();
+        assert_eq!(&raw[8..12], &MANIFEST_VERSION_BACKEND.to_le_bytes());
+        assert_eq!(Manifest::decode(&raw).unwrap(), m);
+    }
+
+    #[test]
+    fn unknown_backend_id_is_a_typed_rejection() {
+        // Splice an unknown backend id into a valid v4 encoding and
+        // re-seal the CRC: the decoder must name the id, not claim
+        // corruption.
+        let m = Manifest {
+            generation: 2,
+            corpus: corpus_file_name(2),
+            index: index_file_name(2),
+            corpus_len: 512,
+            index_len: 1024,
+            segments: Vec::new(),
+            backend: BackendKind::Esa,
+        };
+        let mut raw = m.encode();
+        let body_end = raw.len() - 4;
+        raw[body_end - 4..body_end].copy_from_slice(&7u32.to_le_bytes());
+        let crc = crate::crc::crc32(&raw[..body_end]);
+        raw[body_end..].copy_from_slice(&crc.to_le_bytes());
+        match Manifest::decode(&raw) {
+            Err(DiskError::UnsupportedBackend { found }) => {
+                assert!(found.contains('7'), "{found}")
+            }
+            other => panic!("expected UnsupportedBackend, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn segmentless_manifest_encoding_is_version_1() {
         // A fully compacted directory must stay readable by pre-segment
         // builds: no tail segments -> the exact version-1 byte layout.
@@ -971,6 +1150,7 @@ mod tests {
             corpus_len: 100,
             index_len: 200,
             segments: Vec::new(),
+            backend: BackendKind::Tree,
         };
         let raw = m.encode();
         assert_eq!(&raw[8..12], &1u32.to_le_bytes());
@@ -995,6 +1175,7 @@ mod tests {
                 seq_count: 1,
                 quarantined: true,
             }],
+            backend: BackendKind::Tree,
         };
         let mut raw = m.encode();
         for i in (0..raw.len()).step_by(3) {
@@ -1109,6 +1290,7 @@ mod tests {
             corpus_len: 0,
             index_len: 0,
             segments: Vec::new(),
+            backend: BackendKind::Tree,
         };
         write_manifest_with(&RealVfs, &dir, &m).unwrap();
         assert!(matches!(

@@ -22,13 +22,18 @@
 //! renames, manifest flip, best-effort removal — a torn compaction or
 //! append leaves the previous complete state in force.
 
+use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
 
+use warptree_core::categorize::CatStore;
+use warptree_core::search::{BackendKind, IndexBackend};
 use warptree_core::sequence::SequenceStore;
 
+use crate::any::AnyIndex;
 use crate::corpus::{load_corpus_with, save_corpus_with};
 use crate::error::{DiskError, Result};
+use crate::esa::write_esa_with;
 use crate::format::DiskTree;
 use crate::manifest::{
     commit_update_with, corpus_file_name, index_file_name, recover_dir_with, segment_file_name,
@@ -37,6 +42,34 @@ use crate::manifest::{
 use crate::merge::merge_trees_with;
 use crate::vfs::{RealVfs, TempGuard, Vfs};
 use crate::writer::write_tree_with;
+
+/// Builds the index file for the suffixes of `range` under `backend`
+/// and writes it at `path` — the one primitive every segment mutation
+/// (append, heal, ESA compaction) reduces to.
+fn write_range_index(
+    vfs: &dyn Vfs,
+    backend: BackendKind,
+    cat: Arc<CatStore>,
+    range: Range<usize>,
+    sparse: bool,
+    path: &Path,
+) -> Result<()> {
+    match backend {
+        BackendKind::Tree => {
+            let tail = if sparse {
+                warptree_suffix::build_sparse_range(cat, range)
+            } else {
+                warptree_suffix::build_full_range(cat, range)
+            };
+            write_tree_with(vfs, &tail, path)?;
+        }
+        BackendKind::Esa => {
+            let esa = warptree_esa::EsaIndex::build_range(cat, range, sparse);
+            write_esa_with(vfs, &esa, path)?;
+        }
+    }
+    Ok(())
+}
 
 /// One entry of the uniform segment view used by compaction: the base
 /// tree and every tail presented alike.
@@ -66,22 +99,24 @@ pub fn append_segment_with(
         return Err(DiskError::BadRecord("nothing to append".into()));
     }
     let (resolved, _recovery) = recover_dir_with(vfs, dir)?;
+    let backend = resolved.backend();
     let (mut store, mut alphabet, _) = load_corpus_with(vfs, &resolved.corpus_path)?;
-    let probe = DiskTree::open_with(
+    let probe = AnyIndex::open_with(
         vfs,
         &resolved.index_path,
-        // Temporary encode just to read the header; replaced below.
+        // Temporary encode just to read the base index's shape; replaced
+        // below.
         Arc::new(alphabet.encode_store(&store)),
+        backend,
         16,
         16,
     )?;
-    let header = probe.header();
-    if header.depth_limit.is_some() {
+    if probe.depth_limit().is_some() {
         return Err(DiskError::BadRecord(
             "cannot append to a truncated (§8) index".into(),
         ));
     }
-    let sparse = header.sparse;
+    let sparse = probe.is_sparse();
     drop(probe);
 
     // Admit the new values: widen observed bounds, extend the store.
@@ -95,14 +130,6 @@ pub fn append_segment_with(
     let last = store.len();
     let cat = Arc::new(alphabet.encode_store(&store));
 
-    // The tail tree indexes only the new suffixes, with corpus-global
-    // sequence ids, and must match the base tree's kind.
-    let tail = if sparse {
-        warptree_suffix::build_sparse_range(cat.clone(), first_new..last)
-    } else {
-        warptree_suffix::build_full_range(cat.clone(), first_new..last)
-    };
-
     let old_manifest = resolved.manifest.clone();
     let generation = resolved.generation + 1;
     let corpus_name = corpus_file_name(generation);
@@ -113,7 +140,16 @@ pub fn append_segment_with(
 
     let mut guard = TempGuard::new(vfs, vec![corpus_tmp.clone(), segment_tmp.clone()]);
     save_corpus_with(vfs, &store, &alphabet, &corpus_tmp)?;
-    write_tree_with(vfs, &tail, &segment_tmp)?;
+    // The tail indexes only the new suffixes, with corpus-global
+    // sequence ids, and must match the base index's backend and kind.
+    write_range_index(
+        vfs,
+        backend,
+        cat.clone(),
+        first_new..last,
+        sparse,
+        &segment_tmp,
+    )?;
 
     let index_name = resolved
         .index_path
@@ -141,6 +177,7 @@ pub fn append_segment_with(
             None => vfs.metadata_len(&resolved.index_path)?,
         },
         segments,
+        backend,
     };
     // Only the corpus is superseded; the base tree and old tails are
     // carried forward by reference.
@@ -228,10 +265,38 @@ pub fn compact_once_with(
 
     let left_path = dir.join(&view[pick].file);
     let right_path = dir.join(&view[pick + 1].file);
-    {
-        let left = DiskTree::open_with(vfs, &left_path, cat.clone(), 256, 2048)?;
-        let right = DiskTree::open_with(vfs, &right_path, cat.clone(), 256, 2048)?;
-        merge_trees_with(vfs, &left, &right, &cat, &merged_tmp)?;
+    match old.backend {
+        BackendKind::Tree => {
+            // The paper's §4.1 binary merge: one sequential pass over
+            // the two tree files.
+            let left = DiskTree::open_with(vfs, &left_path, cat.clone(), 256, 2048)?;
+            let right = DiskTree::open_with(vfs, &right_path, cat.clone(), 256, 2048)?;
+            merge_trees_with(vfs, &left, &right, &cat, &merged_tmp)?;
+        }
+        BackendKind::Esa => {
+            // No binary merge exists for the ESA's flat arrays; the
+            // merged segment is rebuilt canonically from the corpus
+            // over the union of the two sequence ranges — which also
+            // guarantees it is byte-identical to a from-scratch build.
+            let base = AnyIndex::open_with(
+                vfs,
+                &resolved.index_path,
+                cat.clone(),
+                BackendKind::Esa,
+                16,
+                16,
+            )?;
+            let sparse = base.is_sparse();
+            drop(base);
+            let range = if pick == 0 {
+                let s = &old.segments[0];
+                0..(s.start_seq + s.seq_count) as usize
+            } else {
+                let (l, r) = (&old.segments[pick - 1], &old.segments[pick]);
+                l.start_seq as usize..(l.start_seq + l.seq_count + r.seq_count) as usize
+            };
+            write_range_index(vfs, BackendKind::Esa, cat.clone(), range, sparse, &merged_tmp)?;
+        }
     }
     let merged_len = vfs.metadata_len(&merged_tmp)?;
 
@@ -242,6 +307,7 @@ pub fn compact_once_with(
         corpus_len: old.corpus_len,
         index_len: old.index_len,
         segments: old.segments.clone(),
+        backend: old.backend,
     };
     if pick == 0 {
         // Base absorbed the first tail.
@@ -295,8 +361,8 @@ pub fn heal_segment_with(vfs: &dyn Vfs, dir: &Path, segment: &str) -> Result<Man
     let meta = old.segments[idx].clone();
     let (store, alphabet, _) = load_corpus_with(vfs, &resolved.corpus_path)?;
     let cat = Arc::new(alphabet.encode_store(&store));
-    let probe = DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 16, 16)?;
-    let sparse = probe.header().sparse;
+    let probe = AnyIndex::open_with(vfs, &resolved.index_path, cat.clone(), old.backend, 16, 16)?;
+    let sparse = probe.is_sparse();
     drop(probe);
     let first = meta.start_seq as usize;
     let last = first + meta.seq_count as usize;
@@ -305,16 +371,11 @@ pub fn heal_segment_with(vfs: &dyn Vfs, dir: &Path, segment: &str) -> Result<Man
             "segment {segment} covers sequences beyond the corpus"
         )));
     }
-    let tail = if sparse {
-        warptree_suffix::build_sparse_range(cat.clone(), first..last)
-    } else {
-        warptree_suffix::build_full_range(cat.clone(), first..last)
-    };
     let generation = old.generation + 1;
     let new_name = segment_file_name(generation, idx as u32);
     let tmp = dir.join(format!("{new_name}.tmp"));
     let mut guard = TempGuard::new(vfs, vec![tmp.clone()]);
-    write_tree_with(vfs, &tail, &tmp)?;
+    write_range_index(vfs, old.backend, cat, first..last, sparse, &tmp)?;
     let mut manifest = old.clone();
     manifest.generation = generation;
     manifest.segments[idx] = SegmentMeta {
@@ -421,11 +482,12 @@ pub fn scrub_dir_with(
 
     let (_, _, cat) = load_corpus_with(vfs, &resolved.corpus_path)?;
 
-    // Base tree: corruption here is unrecoverable by quarantine.
-    match DiskTree::open_with(vfs, &resolved.index_path, cat.clone(), 2, 1) {
-        Ok(tree) => {
-            tree.instrument(reg);
-            match tree.verify_pages() {
+    // Base index: corruption here is unrecoverable by quarantine.
+    let backend = resolved.backend();
+    match AnyIndex::open_with(vfs, &resolved.index_path, cat.clone(), backend, 2, 1) {
+        Ok(index) => {
+            index.instrument(reg);
+            match index.verify_pages() {
                 Ok(pages) => report.pages += pages,
                 Err(e) => {
                     report.unrecoverable = Some(e.to_string());
@@ -447,10 +509,10 @@ pub fn scrub_dir_with(
         .unwrap_or_default();
     for meta in segments.iter().filter(|s| !s.quarantined) {
         let path = dir.join(&meta.file);
-        let failed = match DiskTree::open_with(vfs, &path, cat.clone(), 2, 1) {
-            Ok(tree) => {
-                tree.instrument(reg);
-                match tree.verify_pages() {
+        let failed = match AnyIndex::open_with(vfs, &path, cat.clone(), backend, 2, 1) {
+            Ok(index) => {
+                index.instrument(reg);
+                match index.verify_pages() {
                     Ok(pages) => {
                         report.pages += pages;
                         false

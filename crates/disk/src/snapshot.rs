@@ -23,9 +23,9 @@
 
 use std::path::Path;
 
+use crate::any::AnyIndex;
 use crate::corpus::load_corpus_with;
 use crate::error::{DiskError, Result};
-use crate::format::DiskTree;
 use crate::manifest::{read_manifest_with, resolve_dir_with, SegmentMeta};
 use crate::vfs::Vfs;
 
@@ -67,15 +67,16 @@ pub struct DirSnapshot {
     pub alphabet: Alphabet,
     /// The categorized corpus shared with the tree.
     pub cat: Arc<CatStore>,
-    /// The disk-resident base suffix tree.
-    pub tree: DiskTree,
+    /// The disk-resident base index, of whichever backend the manifest
+    /// records.
+    pub tree: AnyIndex,
     /// The committed *live* tail segments (see
     /// [`segment`](crate::segment)), in manifest order — empty for a
     /// fully compacted directory. Quarantined segments are never
     /// loaded; their metadata is kept in
     /// [`quarantined`](DirSnapshot::quarantined) for coverage
     /// accounting.
-    pub segments: Vec<DiskTree>,
+    pub segments: Vec<AnyIndex>,
     /// Manifest metadata for each loaded tail segment, parallel to
     /// [`segments`](DirSnapshot::segments). Empty for legacy
     /// manifest-less directories.
@@ -129,6 +130,11 @@ impl DirSnapshot {
     /// Total number of live trees: the base plus every tail segment.
     pub fn segment_count(&self) -> usize {
         1 + self.segments.len()
+    }
+
+    /// The index backend this snapshot's generation was committed under.
+    pub fn backend(&self) -> warptree_core::search::BackendKind {
+        self.tree.kind()
     }
 
     /// Runs a typed query against this snapshot, fanning out across the
@@ -215,7 +221,7 @@ impl DirSnapshot {
         if self.segments.is_empty() {
             run_query_with(&self.tree, &self.alphabet, &self.store, req, metrics)
         } else {
-            let mut trees: Vec<&DiskTree> = Vec::with_capacity(1 + self.segments.len());
+            let mut trees: Vec<&AnyIndex> = Vec::with_capacity(1 + self.segments.len());
             trees.push(&self.tree);
             trees.extend(self.segments.iter());
             let fanned = SegmentedIndex::new(trees);
@@ -260,7 +266,7 @@ impl DirSnapshot {
                 None
             };
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut trees: Vec<&DiskTree> = Vec::with_capacity(1 + self.segments.len());
+                let mut trees: Vec<&AnyIndex> = Vec::with_capacity(1 + self.segments.len());
                 trees.push(&self.tree);
                 trees.extend(
                     self.segments
@@ -371,11 +377,13 @@ pub fn open_dir_snapshot_with(
     cache_nodes: usize,
 ) -> Result<DirSnapshot> {
     let resolved = resolve_dir_with(vfs, dir)?;
+    let backend = resolved.backend();
     let (store, alphabet, cat) = load_corpus_with(vfs, &resolved.corpus_path)?;
-    let tree = DiskTree::open_with(
+    let tree = AnyIndex::open_with(
         vfs,
         &resolved.index_path,
         cat.clone(),
+        backend,
         cache_pages,
         cache_nodes,
     )?;
@@ -392,10 +400,11 @@ pub fn open_dir_snapshot_with(
             quarantined.push(meta);
             continue;
         }
-        segments.push(DiskTree::open_with(
+        segments.push(AnyIndex::open_with(
             vfs,
             path,
             cat.clone(),
+            backend,
             cache_pages,
             cache_nodes,
         )?);
@@ -508,6 +517,6 @@ mod tests {
         // behind an `Arc` with no external locking.
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DirSnapshot>();
-        assert_send_sync::<DiskTree>();
+        assert_send_sync::<AnyIndex>();
     }
 }

@@ -87,7 +87,7 @@ mod tests {
     use crate::format::DiskTree;
     use std::sync::Arc;
     use warptree_core::categorize::CatStore;
-    use warptree_core::search::SuffixTreeIndex;
+    use warptree_core::search::IndexBackend;
     use warptree_suffix::{build_full, build_sparse};
 
     fn tmp(name: &str) -> std::path::PathBuf {

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 use warptree_core::categorize::CatStore;
-use warptree_core::search::SuffixTreeIndex;
+use warptree_core::search::IndexBackend;
 use warptree_disk::{merge_trees, write_tree, DiskTree, IncrementalBuilder, TreeKind};
 use warptree_suffix::{build_full, build_full_truncated, TruncateSpec};
 

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use warptree_core::categorize::{Alphabet, CatStore};
-use warptree_core::search::SuffixTreeIndex;
+use warptree_core::search::IndexBackend;
 use warptree_core::sequence::SequenceStore;
 use warptree_disk::{load_corpus, save_corpus, write_tree, DiskError, DiskTree};
 use warptree_suffix::build_full;

@@ -1,0 +1,587 @@
+//! The categorized enhanced suffix array index: SA + LCP-interval tree
+//! presenting exactly the suffix tree's logical shape.
+//!
+//! # Isomorphism to the suffix tree (DESIGN.md §18)
+//!
+//! The generalized suffix tree over categorized sequences is a
+//! compacted trie of the stored suffixes with **no terminators**: a
+//! suffix that is a proper prefix of another is *attached* at the
+//! internal node its path ends on. The ESA reconstructs that exact tree
+//! from sorted order alone:
+//!
+//! * Sequences are concatenated with per-sequence sentinels that are
+//!   **smaller than every symbol** and **ascend with sequence id**, so
+//!   (a) a suffix sorts immediately before every suffix it is a proper
+//!   prefix of, and (b) equal suffix strings from different sequences
+//!   tie-break in ascending sequence order — the suffix tree's
+//!   insertion order.
+//! * A *tree node* is an **LCP interval** `[lo, hi)` at depth `d`: a
+//!   maximal run of SA entries sharing a length-`d` prefix with some
+//!   adjacent LCP equal to `d`. Such an interval exists exactly where
+//!   the tree has a branching point or an attachment point.
+//! * An *edge label* is an **LCP delta**: the symbols of any member
+//!   suffix between the parent's depth and the child's depth.
+//! * *Attached suffixes* are the interval's leading entries whose
+//!   logical length equals `d` (the sentinel sorts them first).
+//!
+//! Traversal therefore visits identical nodes, in identical child
+//! order, with identical suffix enumeration order, as the tree backend
+//! — which is what carries Theorem-1 pruning, `D_tw-lb`, and
+//! byte-identical answers across backends.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use warptree_core::categorize::{CatStore, Symbol};
+use warptree_core::search::{BackendKind, IndexBackend};
+use warptree_core::sequence::SeqId;
+
+use crate::sa::{lcp_array, suffix_array};
+
+/// High bit of a packed child / node tag: set for leaf entries
+/// (payload = SA entry index), clear for interval records.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// One stored suffix, in suffix-array order. Its logical length is
+/// derivable from the corpus (`seq.len() - start`), so it is not stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The sequence this suffix belongs to.
+    pub seq: SeqId,
+    /// 0-based start offset within the sequence.
+    pub start: u32,
+    /// Length of the leading run of equal symbols (`N` in Definition 4).
+    pub lead: u32,
+}
+
+/// One internal node of the LCP-interval tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalRec {
+    /// First SA entry of the interval.
+    pub lo: u32,
+    /// One past the last SA entry of the interval.
+    pub hi: u32,
+    /// Node depth: length of the common prefix spelled by the path.
+    pub depth: u32,
+    /// Offset of this node's children in the packed child table.
+    pub child_off: u32,
+    /// Number of children.
+    pub child_count: u32,
+    /// Number of suffixes attached *at* this node (leading entries whose
+    /// logical length equals `depth`).
+    pub attached: u32,
+    /// Maximum leading-run length among all suffixes in the interval.
+    pub max_run: u32,
+}
+
+/// A borrowed view of the index's flat arrays, for serialization.
+#[derive(Debug, Clone, Copy)]
+pub struct RawEsa<'a> {
+    /// SA entries in sorted order.
+    pub entries: &'a [Entry],
+    /// Interval records; `root` indexes into this.
+    pub recs: &'a [IntervalRec],
+    /// Packed children (high bit = leaf, payload = entry or rec index).
+    pub children: &'a [u32],
+    /// Index of the root record.
+    pub root: u32,
+    /// Whether only the §6.1 sparse subset is stored.
+    pub sparse: bool,
+}
+
+/// Node handle: which logical node (interval record or single-entry
+/// leaf) plus the depth its incoming edge starts at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EsaNode {
+    tag: u32,
+    edge_start: u32,
+}
+
+/// The in-memory categorized enhanced suffix array.
+///
+/// Implements [`IndexBackend`] with a traversal isomorphic to the
+/// suffix-tree backends (see the module docs), so every filter
+/// algorithm runs over it unchanged.
+pub struct EsaIndex {
+    cat: Arc<CatStore>,
+    sparse: bool,
+    entries: Vec<Entry>,
+    recs: Vec<IntervalRec>,
+    children: Vec<u32>,
+    root: u32,
+}
+
+impl EsaIndex {
+    /// Builds the index over every sequence of `cat`. Sparse mode stores
+    /// only the paper's §6.1 suffix subset.
+    pub fn build(cat: Arc<CatStore>, sparse: bool) -> Self {
+        let n = cat.len();
+        Self::build_range(cat, 0..n, sparse)
+    }
+
+    /// Builds the index over the sequences `range` (global sequence ids
+    /// are preserved), e.g. one tail segment of a segmented directory.
+    pub fn build_range(cat: Arc<CatStore>, range: Range<usize>, sparse: bool) -> Self {
+        let (entries, lcp) = sorted_entries(&cat, range, sparse);
+        let (recs, children, root) = build_intervals(&cat, &entries, &lcp);
+        EsaIndex {
+            cat,
+            sparse,
+            entries,
+            recs,
+            children,
+            root,
+        }
+    }
+
+    /// Reassembles an index from arrays produced by [`raw`](Self::raw)
+    /// (the disk loader's path). The arrays are trusted; use
+    /// [`check_invariants`](Self::check_invariants) to validate.
+    pub fn from_raw(
+        cat: Arc<CatStore>,
+        sparse: bool,
+        entries: Vec<Entry>,
+        recs: Vec<IntervalRec>,
+        children: Vec<u32>,
+        root: u32,
+    ) -> Self {
+        EsaIndex {
+            cat,
+            sparse,
+            entries,
+            recs,
+            children,
+            root,
+        }
+    }
+
+    /// Borrows the flat arrays for serialization.
+    pub fn raw(&self) -> RawEsa<'_> {
+        RawEsa {
+            entries: &self.entries,
+            recs: &self.recs,
+            children: &self.children,
+            root: self.root,
+            sparse: self.sparse,
+        }
+    }
+
+    /// The categorized corpus the index reads labels from.
+    pub fn cat(&self) -> &Arc<CatStore> {
+        &self.cat
+    }
+
+    /// Number of interval records (internal nodes).
+    pub fn rec_count(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Resident bytes of the index structure proper (arrays, not the
+    /// shared corpus).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<Entry>()
+            + self.recs.len() * std::mem::size_of::<IntervalRec>()
+            + self.children.len() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Logical length of entry `i`'s suffix.
+    fn entry_len(&self, i: u32) -> u32 {
+        let e = self.entries[i as usize];
+        self.cat.seq(e.seq).len() as u32 - e.start
+    }
+
+    /// Structural self-check for tests: interval nesting, child order,
+    /// attachment placement, and run annotations.
+    pub fn check_invariants(&self) {
+        let root = &self.recs[self.root as usize];
+        assert_eq!(root.depth, 0, "root must sit at depth 0");
+        assert_eq!(root.lo, 0);
+        assert_eq!(root.hi as usize, self.entries.len());
+        for (ri, rec) in self.recs.iter().enumerate() {
+            assert!(rec.lo <= rec.hi, "rec {ri} interval inverted");
+            for a in 0..rec.attached {
+                assert_eq!(
+                    self.entry_len(rec.lo + a),
+                    rec.depth,
+                    "rec {ri}: attached entry length must equal node depth"
+                );
+            }
+            let kids =
+                &self.children[rec.child_off as usize..(rec.child_off + rec.child_count) as usize];
+            let mut cursor = rec.lo + rec.attached;
+            let mut prev_first: Option<Symbol> = None;
+            for &kid in kids {
+                let (lo, hi, first) = if kid & LEAF_BIT != 0 {
+                    let e = kid & !LEAF_BIT;
+                    let ent = self.entries[e as usize];
+                    assert!(
+                        self.entry_len(e) > rec.depth,
+                        "rec {ri}: leaf child must extend past the node"
+                    );
+                    (e, e + 1, self.cat.seq(ent.seq)[(ent.start + rec.depth) as usize])
+                } else {
+                    let c = &self.recs[kid as usize];
+                    assert!(c.depth > rec.depth, "rec {ri}: child depth must grow");
+                    let ent = self.entries[c.lo as usize];
+                    (c.lo, c.hi, self.cat.seq(ent.seq)[(ent.start + rec.depth) as usize])
+                };
+                assert_eq!(lo, cursor, "rec {ri}: children must tile the interval");
+                cursor = hi;
+                if let Some(p) = prev_first {
+                    assert!(p < first, "rec {ri}: children must ascend by first symbol");
+                }
+                prev_first = Some(first);
+            }
+            assert_eq!(cursor, rec.hi, "rec {ri}: children must cover the interval");
+            let mut max_run = 0;
+            for i in rec.lo..rec.hi {
+                max_run = max_run.max(self.entries[i as usize].lead);
+            }
+            assert_eq!(rec.max_run, max_run, "rec {ri}: max_run annotation wrong");
+        }
+    }
+}
+
+/// Builds the filtered, sorted entry list plus adjacent logical LCPs.
+///
+/// The text layout is `seq₀ · $₀ · seq₁ · $₁ · …` with sentinel
+/// `$ₖ = 1 + k` and symbols remapped to `nseq + 1 + sym`: sentinels are
+/// smaller than every symbol (shorter-prefix suffixes sort first) and
+/// ascend with sequence order (equal strings tie-break seq-ascending,
+/// matching the tree builders' insertion order). Sentinels are unique,
+/// so Kasai LCPs never cross one — each adjacent LCP is exactly the
+/// *logical* LCP, capped at both suffixes' logical lengths.
+fn sorted_entries(
+    cat: &CatStore,
+    range: Range<usize>,
+    sparse: bool,
+) -> (Vec<Entry>, Vec<u32>) {
+    let nseq = range.len();
+    let sym_base = nseq as u32 + 1;
+    let mut text = Vec::new();
+    // Per text position: (global seq id, local offset, logical suffix
+    // length); sentinel positions get length 0.
+    let mut by_pos: Vec<(u32, u32, u32)> = Vec::new();
+    for (k, gid) in range.clone().enumerate() {
+        let syms = cat.seq(SeqId(gid as u32));
+        let len = syms.len() as u32;
+        for (off, &s) in syms.iter().enumerate() {
+            text.push(sym_base + s);
+            by_pos.push((gid as u32, off as u32, len - off as u32));
+        }
+        text.push(1 + k as u32);
+        by_pos.push((gid as u32, len, 0));
+    }
+    let sa = suffix_array(&text);
+    let lcp = lcp_array(&text, &sa);
+
+    let mut entries = Vec::new();
+    let mut out_lcp = Vec::new();
+    let mut gap_min = u32::MAX;
+    for (i, &p) in sa.iter().enumerate() {
+        if i > 0 {
+            gap_min = gap_min.min(lcp[i]);
+        }
+        let (gid, off, len) = by_pos[p as usize];
+        if len == 0 {
+            continue; // sentinel position
+        }
+        let seq = SeqId(gid);
+        if sparse && !cat.is_stored_suffix(seq, off) {
+            continue;
+        }
+        out_lcp.push(if entries.is_empty() { 0 } else { gap_min });
+        entries.push(Entry {
+            seq,
+            start: off,
+            lead: cat.run_len(seq, off),
+        });
+        gap_min = u32::MAX;
+    }
+    (entries, out_lcp)
+}
+
+/// An open interval node during bottom-up construction.
+struct Frame {
+    depth: u32,
+    lo: u32,
+    kids: Vec<u32>,
+}
+
+/// Builds the LCP-interval tree bottom-up in one O(n) stack pass,
+/// peeling attached suffixes and packing children as each interval
+/// closes.
+fn build_intervals(
+    cat: &CatStore,
+    entries: &[Entry],
+    lcp: &[u32],
+) -> (Vec<IntervalRec>, Vec<u32>, u32) {
+    let n = entries.len();
+    let mut recs: Vec<IntervalRec> = Vec::new();
+    let mut children: Vec<u32> = Vec::new();
+
+    let entry_len =
+        |i: u32| cat.seq(entries[i as usize].seq).len() as u32 - entries[i as usize].start;
+    let finalize = |frame: Frame, hi: u32, recs: &mut Vec<IntervalRec>, children: &mut Vec<u32>| -> u32 {
+        let mut attached = 0u32;
+        for &kid in &frame.kids {
+            if kid & LEAF_BIT != 0 && entry_len(kid & !LEAF_BIT) == frame.depth {
+                attached += 1;
+            } else {
+                break;
+            }
+        }
+        let mut max_run = 0u32;
+        for &kid in &frame.kids {
+            max_run = max_run.max(if kid & LEAF_BIT != 0 {
+                entries[(kid & !LEAF_BIT) as usize].lead
+            } else {
+                recs[kid as usize].max_run
+            });
+        }
+        let child_off = children.len() as u32;
+        children.extend_from_slice(&frame.kids[attached as usize..]);
+        recs.push(IntervalRec {
+            lo: frame.lo,
+            hi,
+            depth: frame.depth,
+            child_off,
+            child_count: frame.kids.len() as u32 - attached,
+            attached,
+            max_run,
+        });
+        recs.len() as u32 - 1
+    };
+
+    let mut stack = vec![Frame {
+        depth: 0,
+        lo: 0,
+        kids: Vec::new(),
+    }];
+    for i in 1..=n {
+        let boundary = if i < n { lcp[i] } else { 0 };
+        let mut pending = LEAF_BIT | (i as u32 - 1);
+        let mut lo = i as u32 - 1;
+        while stack.last().unwrap().depth > boundary {
+            let mut frame = stack.pop().unwrap();
+            frame.kids.push(pending);
+            lo = frame.lo;
+            pending = finalize(frame, i as u32, &mut recs, &mut children);
+        }
+        let top = stack.last_mut().unwrap();
+        if top.depth == boundary {
+            top.kids.push(pending);
+        } else {
+            stack.push(Frame {
+                depth: boundary,
+                lo,
+                kids: vec![pending],
+            });
+        }
+    }
+    let root_frame = stack.pop().unwrap();
+    debug_assert!(stack.is_empty(), "only the root survives the final pop");
+    let root = finalize(root_frame, n as u32, &mut recs, &mut children);
+    (recs, children, root)
+}
+
+impl IndexBackend for EsaIndex {
+    type Node = EsaNode;
+
+    fn root(&self) -> EsaNode {
+        EsaNode {
+            tag: self.root,
+            edge_start: 0,
+        }
+    }
+
+    fn for_each_child(&self, n: EsaNode, f: &mut dyn FnMut(EsaNode)) {
+        if n.tag & LEAF_BIT != 0 {
+            return;
+        }
+        let rec = self.recs[n.tag as usize];
+        let kids = &self.children[rec.child_off as usize..(rec.child_off + rec.child_count) as usize];
+        for &kid in kids {
+            f(EsaNode {
+                tag: kid,
+                edge_start: rec.depth,
+            });
+        }
+    }
+
+    fn edge_label(&self, n: EsaNode, out: &mut Vec<Symbol>) {
+        let (entry, depth) = if n.tag & LEAF_BIT != 0 {
+            let e = n.tag & !LEAF_BIT;
+            (self.entries[e as usize], self.entry_len(e))
+        } else {
+            let rec = self.recs[n.tag as usize];
+            (self.entries[rec.lo as usize], rec.depth)
+        };
+        let syms = self.cat.seq(entry.seq);
+        out.extend_from_slice(
+            &syms[(entry.start + n.edge_start) as usize..(entry.start + depth) as usize],
+        );
+    }
+
+    fn for_each_suffix_below(&self, n: EsaNode, f: &mut dyn FnMut(SeqId, u32, u32)) {
+        // Same stack discipline as the tree backends: a node's attached
+        // suffixes first, then its subtrees rightmost-first — candidate
+        // order is part of the cross-backend equivalence contract.
+        let mut stack = vec![n.tag];
+        while let Some(tag) = stack.pop() {
+            if tag & LEAF_BIT != 0 {
+                let e = self.entries[(tag & !LEAF_BIT) as usize];
+                f(e.seq, e.start, e.lead);
+                continue;
+            }
+            let rec = self.recs[tag as usize];
+            for i in rec.lo..rec.lo + rec.attached {
+                let e = self.entries[i as usize];
+                f(e.seq, e.start, e.lead);
+            }
+            stack.extend_from_slice(
+                &self.children
+                    [rec.child_off as usize..(rec.child_off + rec.child_count) as usize],
+            );
+        }
+    }
+
+    fn max_lead_run(&self, n: EsaNode) -> u32 {
+        if n.tag & LEAF_BIT != 0 {
+            self.entries[(n.tag & !LEAF_BIT) as usize].lead
+        } else {
+            self.recs[n.tag as usize].max_run
+        }
+    }
+
+    fn is_sparse(&self) -> bool {
+        self.sparse
+    }
+
+    fn suffix_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn backend_kind(&self) -> BackendKind {
+        BackendKind::Esa
+    }
+
+    fn suffix_count_below(&self, n: EsaNode) -> Option<u64> {
+        Some(if n.tag & LEAF_BIT != 0 {
+            1
+        } else {
+            let rec = self.recs[n.tag as usize];
+            (rec.hi - rec.lo) as u64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(seqs: Vec<Vec<Symbol>>, alpha: u32, sparse: bool) -> EsaIndex {
+        EsaIndex::build(Arc::new(CatStore::from_symbols(seqs, alpha)), sparse)
+    }
+
+    #[test]
+    fn full_index_stores_every_suffix() {
+        let e = idx(vec![vec![0, 0, 1, 2], vec![1, 1, 1]], 3, false);
+        e.check_invariants();
+        assert_eq!(e.suffix_count(), 7);
+        assert!(!e.is_sparse());
+        assert_eq!(e.backend_kind(), BackendKind::Esa);
+        let mut count = 0;
+        e.for_each_suffix_below(e.root(), &mut |_, _, _| count += 1);
+        assert_eq!(count, 7);
+        assert_eq!(e.max_lead_run(e.root()), 3);
+        assert_eq!(e.suffix_count_below(e.root()), Some(7));
+    }
+
+    #[test]
+    fn sparse_index_stores_the_stored_subset() {
+        let e = idx(vec![vec![0, 0, 0, 1]], 2, true);
+        e.check_invariants();
+        assert!(e.is_sparse());
+        assert_eq!(e.suffix_count(), 2); // suffixes at 0 and 3
+        assert_eq!(e.max_lead_run(e.root()), 3);
+    }
+
+    #[test]
+    fn proper_prefix_suffixes_attach_at_internal_nodes() {
+        // "aba": suffixes "aba", "ba", "a" — "a" is a proper prefix of
+        // "aba", so the tree has node "a" {attached: (0,2)} with leaf
+        // child "ba" holding (0,0).
+        let e = idx(vec![vec![0, 1, 0]], 2, false);
+        e.check_invariants();
+        let mut kids = Vec::new();
+        e.for_each_child(e.root(), &mut |n| kids.push(n));
+        assert_eq!(kids.len(), 2, "root children: 'a…' and 'ba'");
+        let mut label = Vec::new();
+        e.edge_label(kids[0], &mut label);
+        assert_eq!(label, vec![0], "node 'a' edge");
+        // Node 'a' enumerates its attached suffix (0,2) before its
+        // subtree.
+        let mut seen = Vec::new();
+        e.for_each_suffix_below(kids[0], &mut |s, st, _| seen.push((s.0, st)));
+        assert_eq!(seen, vec![(0, 2), (0, 0)]);
+    }
+
+    #[test]
+    fn duplicate_suffixes_order_by_sequence_id() {
+        // Both sequences end with the suffix "b": the duplicates share
+        // one node and enumerate in ascending sequence order.
+        let e = idx(vec![vec![0, 1], vec![1]], 2, false);
+        e.check_invariants();
+        let mut kids = Vec::new();
+        e.for_each_child(e.root(), &mut |n| kids.push(n));
+        let mut label = Vec::new();
+        e.edge_label(kids[1], &mut label);
+        assert_eq!(label, vec![1]);
+        let mut seen = Vec::new();
+        e.for_each_suffix_below(kids[1], &mut |s, st, _| seen.push((s.0, st)));
+        assert_eq!(seen, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn range_build_keeps_global_sequence_ids() {
+        let cat = Arc::new(CatStore::from_symbols(
+            vec![vec![0, 1], vec![1, 0], vec![0, 0]],
+            2,
+        ));
+        let e = EsaIndex::build_range(cat, 1..3, false);
+        e.check_invariants();
+        assert_eq!(e.suffix_count(), 4);
+        let mut seqs = Vec::new();
+        e.for_each_suffix_below(e.root(), &mut |s, _, _| seqs.push(s.0));
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn raw_round_trip_rebuilds_the_same_index() {
+        let e = idx(vec![vec![0, 0, 1, 2], vec![1, 1, 1]], 3, false);
+        let raw = e.raw();
+        let rebuilt = EsaIndex::from_raw(
+            e.cat().clone(),
+            raw.sparse,
+            raw.entries.to_vec(),
+            raw.recs.to_vec(),
+            raw.children.to_vec(),
+            raw.root,
+        );
+        rebuilt.check_invariants();
+        assert_eq!(rebuilt.suffix_count(), e.suffix_count());
+        assert!(rebuilt.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_corpora() {
+        let e = idx(vec![vec![0]], 1, false);
+        e.check_invariants();
+        assert_eq!(e.suffix_count(), 1);
+        let mut kids = Vec::new();
+        e.for_each_child(e.root(), &mut |n| kids.push(n));
+        assert_eq!(kids.len(), 1);
+    }
+}

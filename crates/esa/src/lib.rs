@@ -1,0 +1,22 @@
+//! `warptree-esa`: the enhanced-suffix-array index backend.
+//!
+//! A categorized enhanced suffix array — suffix array + LCP array +
+//! child-interval table (Abouelhoda, Kurtz & Ohlebusch) — whose
+//! LCP-interval tree presents the *same logical tree* as the
+//! suffix-tree backends, node for node, child for child, suffix for
+//! suffix. The core filter algorithms therefore run over it unchanged
+//! through [`IndexBackend`](warptree_core::search::IndexBackend), with
+//! byte-identical answers, at a fraction of the tree's resident memory
+//! (three flat arrays instead of a node heap).
+//!
+//! Construction is O(n): the skew (DC3) suffix-array algorithm over the
+//! sentinel-concatenated categorized corpus, Kasai's LCP pass, and one
+//! bottom-up stack pass building the interval records. See
+//! [`index`] for the isomorphism argument and DESIGN.md §18 for the
+//! paper-concept mapping.
+
+pub mod index;
+pub mod sa;
+
+pub use index::{Entry, EsaIndex, EsaNode, IntervalRec, RawEsa};
+pub use sa::{lcp_array, suffix_array};

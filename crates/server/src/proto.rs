@@ -22,7 +22,11 @@
 //! subthreads for one request, clamped server-side to the serve
 //! `--threads` cap; results are byte-identical at every value), and —
 //! at protocol version 4 — `"trace":true` / `"trace_id":"…"` to
-//! request the query's span tree in the response.
+//! request the query's span tree in the response, plus an optional
+//! `"backend":"tree"|"esa"` pin that makes the server answer only from
+//! an index of that family (any other fails with the typed
+//! `unsupported_backend` code instead of silently answering from a
+//! different index family).
 //!
 //! Requests may carry an optional integer `"version"` (absent =
 //! [`MIN_PROTO_VERSION`]); a version this server does not speak — or an
@@ -47,7 +51,7 @@
 use std::io::{self, Read, Write};
 
 use warptree_core::error::CoreError;
-use warptree_core::search::{KnnParams, Match, SearchParams};
+use warptree_core::search::{BackendKind, KnnParams, Match, SearchParams};
 use warptree_obs::json::{escape, num};
 
 use crate::json::{self, Json};
@@ -468,6 +472,7 @@ impl Request {
                 if let Some(c) = v.get("cascade") {
                     params.cascade = c.as_bool().ok_or("\"cascade\" must be a boolean")?;
                 }
+                params.backend = opt_backend(&v)?;
                 Ok(Request::Knn {
                     query: query_field(&v, "query")?,
                     params,
@@ -528,7 +533,28 @@ impl Request {
             }),
             other => Err(format!("unknown op {other:?}").into()),
         };
-        Ok((req?, version, trace))
+        let req = req?;
+        if req.backend_pin().is_some() && version < 4 {
+            return Err(ParseError {
+                code: ErrorCode::UnsupportedVersion,
+                message: "\"backend\" pinning requires protocol version 4; send \"version\":4"
+                    .to_string(),
+            });
+        }
+        Ok((req, version, trace))
+    }
+
+    /// The backend pin a query op carries, if any — `None` for control
+    /// and write ops. The coordinator uses this to forward the pin
+    /// verbatim to every shard.
+    pub fn backend_pin(&self) -> Option<BackendKind> {
+        match self {
+            Request::Search { params, .. }
+            | Request::Batch { params, .. }
+            | Request::Explain { params, .. } => params.backend,
+            Request::Knn { params, .. } => params.backend,
+            _ => None,
+        }
     }
 }
 
@@ -591,7 +617,23 @@ fn search_params(v: &Json) -> Result<SearchParams, String> {
     if let Some(c) = v.get("cascade") {
         params.cascade = c.as_bool().ok_or("\"cascade\" must be a boolean")?;
     }
+    params.backend = opt_backend(v)?;
     Ok(params)
+}
+
+/// The optional `"backend"` pin: `"tree"` or `"esa"`. Unknown names are
+/// a `bad_request` (the client asked for a family this build does not
+/// know, which no retry against this server can fix).
+fn opt_backend(v: &Json) -> Result<Option<BackendKind>, String> {
+    match v.get("backend") {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => {
+            let s = x.as_str().ok_or("\"backend\" must be a string")?;
+            BackendKind::parse(s)
+                .map(Some)
+                .ok_or_else(|| format!("unknown backend {s:?} (expected \"tree\" or \"esa\")"))
+        }
+    }
 }
 
 /// Serializes matches as a canonical JSON array: sorted by occurrence
@@ -893,6 +935,65 @@ mod tests {
         ] {
             assert!(Request::parse(bad, false).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn backend_pin_parses_and_is_version_gated() {
+        // Pins parse into the params for every query op.
+        for (frame, want) in [
+            (
+                &br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"backend":"esa"}"#[..],
+                Some(BackendKind::Esa),
+            ),
+            (
+                br#"{"op":"knn","version":4,"query":[1.0],"k":2,"backend":"tree"}"#,
+                Some(BackendKind::Tree),
+            ),
+            (
+                br#"{"op":"batch","version":4,"queries":[[1.0]],"epsilon":0.5,"backend":"esa"}"#,
+                Some(BackendKind::Esa),
+            ),
+            (
+                br#"{"op":"explain","version":4,"query":[1.0],"epsilon":0.5,"backend":"tree"}"#,
+                Some(BackendKind::Tree),
+            ),
+            // Absent and null both mean "any backend".
+            (
+                br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5}"#,
+                None,
+            ),
+            (
+                br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"backend":null}"#,
+                None,
+            ),
+        ] {
+            let req = Request::parse(frame, false).unwrap();
+            assert_eq!(req.backend_pin(), want, "{frame:?}");
+        }
+        // Unknown families and non-string values are plain bad requests.
+        for frame in [
+            &br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"backend":"btree"}"#[..],
+            br#"{"op":"search","version":4,"query":[1.0],"epsilon":0.5,"backend":7}"#,
+        ] {
+            let err = Request::parse(frame, false).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{frame:?}");
+        }
+        // A pin below protocol version 4 is a typed version failure, so
+        // a pinned request can never be silently served unpinned by a
+        // newer server a v1 client did not expect to understand it.
+        let err = Request::parse(
+            br#"{"op":"search","query":[1.0],"epsilon":0.5,"backend":"esa"}"#,
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+        // Control ops carry no pin.
+        assert_eq!(
+            Request::parse(br#"{"op":"health"}"#, false)
+                .unwrap()
+                .backend_pin(),
+            None
+        );
     }
 
     #[test]

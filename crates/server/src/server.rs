@@ -1641,6 +1641,65 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// A request pinned to the wrong backend family fails with the
+    /// typed `unsupported_backend` code; pinned to the right family it
+    /// answers exactly like an unpinned request.
+    #[test]
+    fn pinned_backend_mismatch_is_a_typed_error() {
+        use warptree_core::search::{BackendKind, KnnParams};
+        let dir =
+            std::env::temp_dir().join(format!("warptree-unit-backendpin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let live = Instant::now() + Duration::from_secs(60);
+        // test_job_ctx builds a tree-backed directory.
+        let (job, registry) = test_job_ctx(&dir, live);
+
+        let resp = execute(
+            &job,
+            Request::Search {
+                query: vec![1.0, 2.0],
+                params: SearchParams::with_epsilon(1.0).on_backend(BackendKind::Esa),
+            },
+        );
+        assert!(resp.contains("\"code\":\"unsupported_backend\""), "{resp}");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counters
+                .get("server.bad_requests")
+                .copied(),
+            Some(1)
+        );
+        let resp = execute(
+            &job,
+            Request::Knn {
+                query: vec![1.0, 2.0],
+                params: KnnParams::new(1).on_backend(BackendKind::Esa),
+            },
+        );
+        assert!(resp.contains("\"code\":\"unsupported_backend\""), "{resp}");
+
+        // The matching pin answers byte-identically to no pin at all.
+        let unpinned = execute(
+            &job,
+            Request::Search {
+                query: vec![1.0, 2.0],
+                params: SearchParams::with_epsilon(1.0),
+            },
+        );
+        let pinned = execute(
+            &job,
+            Request::Search {
+                query: vec![1.0, 2.0],
+                params: SearchParams::with_epsilon(1.0).on_backend(BackendKind::Tree),
+            },
+        );
+        assert!(unpinned.contains("\"ok\":true"), "{unpinned}");
+        assert_eq!(unpinned, pinned);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     /// A deadline that expires mid-batch surfaces the same typed error
     /// from the parallel path as from the sequential one.
     #[test]

@@ -1,13 +1,13 @@
-//! [`SuffixTreeIndex`] implementation for the in-memory tree, connecting
+//! [`IndexBackend`] implementation for the in-memory tree, connecting
 //! it to the core filter algorithms.
 
 use warptree_core::categorize::Symbol;
-use warptree_core::search::SuffixTreeIndex;
+use warptree_core::search::IndexBackend;
 use warptree_core::sequence::SeqId;
 
 use crate::tree::{NodeId, SuffixTree, ROOT};
 
-impl SuffixTreeIndex for SuffixTree {
+impl IndexBackend for SuffixTree {
     type Node = NodeId;
 
     fn root(&self) -> NodeId {
@@ -74,7 +74,7 @@ mod tests {
             3,
         ));
         let t = build_full_naive(c.clone());
-        let idx: &dyn SuffixTreeIndex<Node = NodeId> = &t;
+        let idx: &dyn IndexBackend<Node = NodeId> = &t;
         assert_eq!(idx.suffix_count(), 7);
         assert!(!idx.is_sparse());
         let mut kids = Vec::new();
@@ -93,7 +93,7 @@ mod tests {
     fn sparse_trait_view() {
         let c = Arc::new(CatStore::from_symbols(vec![vec![0, 0, 0, 1]], 2));
         let t = build_sparse(c);
-        let idx: &dyn SuffixTreeIndex<Node = NodeId> = &t;
+        let idx: &dyn IndexBackend<Node = NodeId> = &t;
         assert!(idx.is_sparse());
         assert_eq!(idx.suffix_count(), 2); // suffixes at 0 and 3
         assert_eq!(idx.max_lead_run(idx.root()), 3);

@@ -14,7 +14,7 @@
 //!   validate Ukkonen structurally.
 //!
 //! All trees implement
-//! [`SuffixTreeIndex`](warptree_core::search::SuffixTreeIndex), so the
+//! [`IndexBackend`](warptree_core::search::IndexBackend), so the
 //! core crate's `run_query` runs over them directly.
 //!
 //! ```

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = DiskTree::open(&index_path, cat, 64, 1024)?;
     println!(
         "reopened: {} stored suffixes, sparse = {}",
-        warptree::core::search::SuffixTreeIndex::suffix_count(&tree),
+        warptree::core::search::IndexBackend::suffix_count(&tree),
         tree.header().sparse,
     );
 

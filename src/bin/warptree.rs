@@ -26,8 +26,8 @@ use std::process::ExitCode;
 
 use warptree::prelude::*;
 use warptree::{
-    build_index_dir, build_index_dir_metered, open_index_dir, open_index_dir_metered,
-    resolve_index_dir,
+    build_index_dir_backend, build_index_dir_backend_metered, open_index_dir,
+    open_index_dir_metered, resolve_index_dir,
 };
 use warptree_data::{load_csv, save_csv};
 
@@ -79,7 +79,9 @@ fn print_usage() {
          \u{20}  build   build corpus + index files from a CSV\n\
          \u{20}          --input FILE --method me|el|exact|kmeans \
          [--categories C] [--sparse]\n\
-         \u{20}          [--batch B] --out-dir DIR\n\
+         \u{20}          [--batch B] [--backend tree|esa] --out-dir DIR  \
+         (esa: enhanced suffix array, identical answers, smaller \
+         resident size)\n\
          \u{20}  append  add sequences from a CSV to an existing index \
          as a tail segment (crash-safe)\n\
          \u{20}          --input FILE --index-dir DIR [--merge: fold \
@@ -135,8 +137,8 @@ fn print_usage() {
          index directories + a SHARDS manifest\n\
          \u{20}          --input FILE --shards N --out-dir DIR \
          [--method me|el|exact|kmeans] [--categories C]\n\
-         \u{20}          [--sparse] [--batch B]  (one global alphabet; \
-         shard answers merge byte-identically)\n\
+         \u{20}          [--sparse] [--batch B] [--backend tree|esa]  \
+         (one global alphabet; shard answers merge byte-identically)\n\
          \u{20}  shard-coordinator  serve a sharded corpus by \
          scatter-gather over running shard servers\n\
          \u{20}          DIR --shards ADDR,ADDR,… [--addr HOST:PORT] \
@@ -321,22 +323,31 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         "kmeans" => Categorization::KMeans(categories),
         other => return Err(format!("unknown --method {other:?}")),
     };
+    let backend = match o.get("backend").unwrap_or("tree") {
+        "tree" => BackendKind::Tree,
+        "esa" => BackendKind::Esa,
+        other => return Err(format!("unknown --backend {other:?} (tree or esa)")),
+    };
     let stats = stats_mode(&o)?;
     let t0 = std::time::Instant::now();
     let bytes = match stats {
-        None => build_index_dir(&store, cat, sparse, batch, &out_dir).map_err(|e| e.to_string())?,
+        None => build_index_dir_backend(&store, cat, sparse, batch, backend, &out_dir)
+            .map_err(|e| e.to_string())?,
         Some(_) => {
             let reg = MetricsRegistry::new();
-            let bytes = build_index_dir_metered(&store, cat, sparse, batch, &out_dir, &reg)
-                .map_err(|e| e.to_string())?;
+            let bytes = build_index_dir_backend_metered(
+                &store, cat, sparse, batch, backend, &out_dir, &reg,
+            )
+            .map_err(|e| e.to_string())?;
             emit_stats(stats.unwrap(), &reg);
             bytes
         }
     };
     let (corpus_path, index_path) = resolve_index_dir(&out_dir).map_err(|e| e.to_string())?;
     println!(
-        "built {} index over {} sequences: {} KiB in {:.2?}",
+        "built {} {} index over {} sequences: {} KiB in {:.2?}",
         if sparse { "sparse" } else { "full" },
+        backend.as_str(),
         store.len(),
         bytes / 1024,
         t0.elapsed()
@@ -517,11 +528,22 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let json = o.flag("json");
     let idx = open_index(&dir)?;
     let (store, alphabet, tree) = (&idx.store, &idx.alphabet, &idx.tree);
-    let h = tree.header();
+    let backend = tree.kind();
+    let base_suffixes = warptree::core::search::IndexBackend::suffix_count(tree);
     // Tail segments hold real suffixes too; totals must cover them or
     // the compaction percentage drifts after every append.
-    let tail_nodes: u64 = idx.segments.iter().map(|t| t.header().node_count).sum();
-    let tail_suffixes: u64 = idx.segments.iter().map(|t| t.header().suffix_count).sum();
+    let tail_nodes: u64 = idx.segments.iter().map(|t| t.record_count()).sum();
+    let tail_suffixes: u64 = idx
+        .segments
+        .iter()
+        .map(warptree::core::search::IndexBackend::suffix_count)
+        .sum();
+    // Resident bytes across the base and every tail: the backend-size
+    // stat the tree-vs-esa race compares.
+    let resident_bytes: u64 = std::iter::once(tree)
+        .chain(idx.segments.iter())
+        .map(|t| t.resident_bytes())
+        .sum();
     let (_, index_path) = resolve_index_dir(&dir).map_err(|e| e.to_string())?;
     let file_bytes = std::fs::metadata(&index_path)
         .map_err(|e| e.to_string())?
@@ -531,9 +553,16 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         .manifest;
     // `--deep` materializes the tree for structural statistics; the
     // pager/cache traffic of that full scan doubles as a cache profile.
+    // The ESA's records are already resident as flat arrays — there is
+    // no tree to materialize, so structure is reported as null.
     let deep = if o.flag("deep") {
-        let mem = tree.to_mem().map_err(|e| e.to_string())?;
-        let structure = warptree_suffix::TreeStats::compute(&mem);
+        let structure = match tree.as_tree() {
+            Some(t) => {
+                let mem = t.to_mem().map_err(|e| e.to_string())?;
+                Some(warptree_suffix::TreeStats::compute(&mem))
+            }
+            None => None,
+        };
         let io = tree.io_stats();
         let node_cache = tree.node_cache_stats();
         Some((structure, io, node_cache))
@@ -564,7 +593,9 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         let (structure_json, cache_json) = match &deep {
             None => ("null".into(), "null".into()),
             Some((structure, io, (nh, nm))) => (
-                structure.to_json(),
+                structure
+                    .as_ref()
+                    .map_or("null".to_string(), |s| s.to_json()),
                 format!(
                     concat!(
                         "{{\"pages_read\":{},\"page_cache_hits\":{},",
@@ -584,8 +615,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
                 "{{\"corpus\":{{\"sequences\":{},\"elements\":{},",
                 "\"mean_len\":{},\"value_range\":{}}},",
                 "\"categorization\":{{\"method\":\"{}\",\"categories\":{}}},",
-                "\"index\":{{\"kind\":\"{}\",\"nodes\":{},\"suffixes\":{},",
-                "\"depth_limit\":{},\"file_bytes\":{},\"generation\":{},",
+                "\"index\":{{\"kind\":\"{}\",\"backend\":\"{}\",",
+                "\"nodes\":{},\"suffixes\":{},",
+                "\"depth_limit\":{},\"file_bytes\":{},\"resident_bytes\":{},",
+                "\"generation\":{},",
                 "\"segments\":{}}},",
                 "\"manifest\":{},\"structure\":{},\"cache\":{}}}"
             ),
@@ -595,14 +628,16 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
             value_range,
             escape(&alphabet.method().to_string()),
             alphabet.len(),
-            if h.sparse { "sparse" } else { "full" },
-            h.node_count + tail_nodes,
-            h.suffix_count + tail_suffixes,
-            match h.depth_limit {
+            if tree.is_sparse() { "sparse" } else { "full" },
+            backend.as_str(),
+            tree.record_count() + tail_nodes,
+            base_suffixes + tail_suffixes,
+            match tree.depth_limit() {
                 Some(d) => d.to_string(),
                 None => "null".into(),
             },
             file_bytes,
+            resident_bytes,
             idx.generation,
             idx.segment_count(),
             manifest_json,
@@ -625,23 +660,31 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("index:");
     println!(
         "  kind:           {}",
-        if h.sparse {
+        if tree.is_sparse() {
             "sparse (SST_C)"
         } else {
             "full (ST_C)"
         }
     );
-    println!("  nodes:          {}", h.node_count + tail_nodes);
-    println!("  stored suffixes:{}", h.suffix_count + tail_suffixes);
+    println!(
+        "  backend:        {}",
+        match backend {
+            BackendKind::Tree => "tree (suffix tree)",
+            BackendKind::Esa => "esa (enhanced suffix array)",
+        }
+    );
+    println!("  nodes:          {}", tree.record_count() + tail_nodes);
+    println!("  stored suffixes:{}", base_suffixes + tail_suffixes);
     println!(
         "  compaction:     {:.1}% of suffixes stored",
-        100.0 * (h.suffix_count + tail_suffixes) as f64 / store.total_len().max(1) as f64
+        100.0 * (base_suffixes + tail_suffixes) as f64 / store.total_len().max(1) as f64
     );
-    match h.depth_limit {
+    match tree.depth_limit() {
         Some(d) => println!("  depth limit:    {d} (truncated, §8)"),
         None => println!("  depth limit:    none"),
     }
     println!("  file size:      {} KiB", file_bytes / 1024);
+    println!("  resident size:  {} KiB", resident_bytes / 1024);
     println!("  generation:     {}", idx.generation);
     match idx.segment_count() {
         1 => println!("  segments:       1 (monolithic)"),
@@ -662,9 +705,14 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         println!("manifest:         none (legacy generation-0 directory)");
     }
     if let Some((structure, io, (nh, nm))) = &deep {
-        println!("structure:");
-        for line in structure.to_string().lines() {
-            println!("  {line}");
+        match structure {
+            Some(structure) => {
+                println!("structure:");
+                for line in structure.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+            None => println!("structure:        n/a (esa backend holds flat arrays, not a tree)"),
         }
         println!("cache (full-scan profile):");
         println!(
@@ -812,10 +860,17 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let len: u32 = o.parse_num("len", 8)?;
     let k: usize = o.parse_num("k", 5)?;
     let idx = open_index(&dir)?;
-    if idx.tree.header().sparse {
+    if idx.tree.is_sparse() {
         return Err("motif mining needs a full index (rebuild without --sparse)".into());
     }
-    let mem = idx.tree.to_mem().map_err(|e| e.to_string())?;
+    // Mining materializes the suffix tree in memory; the ESA backend
+    // has no tree file to materialize from.
+    let Some(base) = idx.tree.as_tree() else {
+        return Err(
+            "motif mining needs the tree backend (rebuild with --backend tree)".to_string(),
+        );
+    };
+    let mem = base.to_mem().map_err(|e| e.to_string())?;
     let motifs = warptree_suffix::top_motifs(&mem, len, k);
     println!("top {} motifs of length {len}:", motifs.len());
     for (rank, m) in motifs.iter().enumerate() {
@@ -1012,6 +1067,11 @@ fn cmd_shard_init(args: &[String]) -> Result<(), String> {
     } else {
         warptree_disk::TreeKind::Full
     };
+    let backend = match o.get("backend").unwrap_or("tree") {
+        "tree" => BackendKind::Tree,
+        "esa" => BackendKind::Esa,
+        other => return Err(format!("unknown --backend {other:?} (tree or esa)")),
+    };
     let store = load_csv(&input).map_err(|e| e.to_string())?;
     if store.is_empty() {
         return Err("input contains no sequences".into());
@@ -1054,7 +1114,7 @@ fn cmd_shard_init(args: &[String]) -> Result<(), String> {
         }
         let dir_name = format!("shard-{i:04}");
         let shard_dir = out_dir.join(&dir_name);
-        warptree_disk::build_dir_with(
+        warptree_disk::build_dir_backend_with(
             warptree_disk::real_vfs(),
             &slice,
             &alphabet,
@@ -1062,6 +1122,7 @@ fn cmd_shard_init(args: &[String]) -> Result<(), String> {
             batch,
             1,
             None,
+            backend,
             &shard_dir,
         )
         .map_err(|e| format!("building {dir_name}: {e}"))?;

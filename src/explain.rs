@@ -49,6 +49,9 @@ impl ExplainIo {
 pub struct ExplainReport {
     /// `"sparse"` (SST_C) or `"full"` (ST_C / ST).
     pub kind: &'static str,
+    /// Which [`IndexBackend`](warptree_core::search::IndexBackend)
+    /// served the query: `"tree"` or `"esa"`.
+    pub backend: &'static str,
     /// Query length in elements.
     pub query_len: usize,
     /// Search threshold ε.
@@ -82,9 +85,10 @@ impl ExplainReport {
             .into_answer_set();
         let report = Self::assemble(
             index.tree().is_sparse(),
+            warptree_core::search::IndexBackend::backend_kind(index.tree()).as_str(),
             query.len(),
             params.epsilon,
-            warptree_core::search::SuffixTreeIndex::suffix_count(index.tree()),
+            warptree_core::search::IndexBackend::suffix_count(index.tree()),
             &metrics,
             None,
         );
@@ -116,15 +120,16 @@ impl ExplainReport {
             node_cache_hits: io1.node_cache_hits - io0.node_cache_hits,
             node_cache_misses: io1.node_cache_misses - io0.node_cache_misses,
         };
-        let header = dir.tree.header();
-        let suffixes = header.suffix_count
+        use warptree_core::search::IndexBackend;
+        let suffixes = IndexBackend::suffix_count(&dir.tree)
             + dir
                 .segments
                 .iter()
-                .map(|t| t.header().suffix_count)
+                .map(IndexBackend::suffix_count)
                 .sum::<u64>();
         let report = Self::assemble(
-            header.sparse,
+            dir.tree.is_sparse(),
+            dir.tree.kind().as_str(),
             query.len(),
             params.epsilon,
             suffixes,
@@ -150,6 +155,7 @@ impl ExplainReport {
 
     fn assemble(
         sparse: bool,
+        backend: &'static str,
         query_len: usize,
         epsilon: f64,
         suffixes: u64,
@@ -158,6 +164,7 @@ impl ExplainReport {
     ) -> ExplainReport {
         ExplainReport {
             kind: if sparse { "sparse" } else { "full" },
+            backend,
             query_len,
             epsilon,
             suffixes,
@@ -229,7 +236,8 @@ impl ExplainReport {
         };
         format!(
             concat!(
-                "{{\"kind\":\"{}\",\"query_len\":{},\"epsilon\":{},",
+                "{{\"kind\":\"{}\",\"backend\":\"{}\",",
+                "\"query_len\":{},\"epsilon\":{},",
                 "\"funnel\":{{\"suffixes\":{},\"nodes_visited\":{},",
                 "\"nodes_expanded\":{},\"branches_pruned\":{},",
                 "\"stored_candidates\":{},\"lb2_candidates\":{},",
@@ -245,6 +253,7 @@ impl ExplainReport {
                 "\"io\":{}}}"
             ),
             self.kind,
+            self.backend,
             self.query_len,
             num(self.epsilon),
             self.suffixes,
@@ -281,8 +290,8 @@ impl std::fmt::Display for ExplainReport {
         writeln!(f, "query:  {} values, ε = {}", self.query_len, self.epsilon)?;
         writeln!(
             f,
-            "index:  {} tree, {} stored suffixes",
-            self.kind, self.suffixes
+            "index:  {} {}, {} stored suffixes",
+            self.kind, self.backend, self.suffixes
         )?;
         writeln!(f, "filter funnel:")?;
         writeln!(

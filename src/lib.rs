@@ -332,13 +332,15 @@ pub struct DiskIndexDir {
     pub alphabet: Alphabet,
     /// The categorized corpus (shared with the trees).
     pub cat: Arc<CatStore>,
-    /// The disk-resident base suffix tree.
-    pub tree: warptree_disk::DiskTree,
+    /// The disk-resident base index, of whichever
+    /// [`BackendKind`](warptree_core::search::BackendKind) the
+    /// directory's manifest records.
+    pub tree: warptree_disk::AnyIndex,
     /// Tail segments committed by online appends, in manifest order
     /// (empty for a fully compacted directory). Queries fan out across
     /// the base tree and every segment with results byte-identical to
     /// a monolithic index over the same corpus.
-    pub segments: Vec<warptree_disk::DiskTree>,
+    pub segments: Vec<warptree_disk::AnyIndex>,
     /// Committed generation that was opened (0 = legacy manifest-less
     /// directory).
     pub generation: u64,
@@ -371,8 +373,8 @@ impl DiskIndexDir {
         }
     }
 
-    fn fan_out(&self) -> SegmentedIndex<'_, warptree_disk::DiskTree> {
-        let mut trees: Vec<&warptree_disk::DiskTree> = Vec::with_capacity(1 + self.segments.len());
+    fn fan_out(&self) -> SegmentedIndex<'_, warptree_disk::AnyIndex> {
+        let mut trees: Vec<&warptree_disk::AnyIndex> = Vec::with_capacity(1 + self.segments.len());
         trees.push(&self.tree);
         trees.extend(self.segments.iter());
         SegmentedIndex::new(trees)
@@ -381,6 +383,12 @@ impl DiskIndexDir {
     /// Total number of live trees: the base plus every tail segment.
     pub fn segment_count(&self) -> usize {
         1 + self.segments.len()
+    }
+
+    /// The index backend this directory's generation was committed
+    /// under.
+    pub fn backend(&self) -> warptree_core::search::BackendKind {
+        self.tree.kind()
     }
 
     /// Runs a complete similarity search against the on-disk index.
@@ -474,23 +482,40 @@ pub fn build_index_dir(
     batch: usize,
     dir: &std::path::Path,
 ) -> Result<u64, Box<dyn std::error::Error>> {
-    let alphabet = cat.alphabet(store)?;
-    let kind = if sparse {
-        warptree_disk::TreeKind::Sparse
-    } else {
-        warptree_disk::TreeKind::Full
-    };
-    let manifest = warptree_disk::build_dir_with(
-        warptree_disk::real_vfs(),
+    build_index_dir_backend(
         store,
-        &alphabet,
-        kind,
+        cat,
+        sparse,
         batch,
-        1,
-        None,
+        warptree_core::search::BackendKind::Tree,
         dir,
-    )?;
-    Ok(manifest.index_len)
+    )
+}
+
+/// [`build_index_dir`] with an explicit index backend: the suffix tree
+/// (the default, incrementally merged batch by batch) or the enhanced
+/// suffix array (`esa`), which answers every query byte-identically
+/// through the same [`IndexBackend`](warptree_core::search::IndexBackend)
+/// traversal while holding only three flat arrays resident. The chosen
+/// backend is recorded in the directory's `MANIFEST` and every
+/// subsequent open, append, scrub and compaction honors it.
+pub fn build_index_dir_backend(
+    store: &SequenceStore,
+    cat: Categorization,
+    sparse: bool,
+    batch: usize,
+    backend: warptree_core::search::BackendKind,
+    dir: &std::path::Path,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    build_index_dir_backend_metered(
+        store,
+        cat,
+        sparse,
+        batch,
+        backend,
+        dir,
+        &MetricsRegistry::noop(),
+    )
 }
 
 /// [`build_index_dir`] with full build observability: all file I/O is
@@ -505,6 +530,28 @@ pub fn build_index_dir_metered(
     dir: &std::path::Path,
     reg: &MetricsRegistry,
 ) -> Result<u64, Box<dyn std::error::Error>> {
+    build_index_dir_backend_metered(
+        store,
+        cat,
+        sparse,
+        batch,
+        warptree_core::search::BackendKind::Tree,
+        dir,
+        reg,
+    )
+}
+
+/// [`build_index_dir_backend`] with full build observability (see
+/// [`build_index_dir_metered`]).
+pub fn build_index_dir_backend_metered(
+    store: &SequenceStore,
+    cat: Categorization,
+    sparse: bool,
+    batch: usize,
+    backend: warptree_core::search::BackendKind,
+    dir: &std::path::Path,
+    reg: &MetricsRegistry,
+) -> Result<u64, Box<dyn std::error::Error>> {
     let alphabet = cat.alphabet(store)?;
     let kind = if sparse {
         warptree_disk::TreeKind::Sparse
@@ -512,8 +559,9 @@ pub fn build_index_dir_metered(
         warptree_disk::TreeKind::Full
     };
     let vfs = warptree_disk::MeteredVfs::new(warptree_disk::real_vfs(), reg);
-    let manifest =
-        warptree_disk::build_dir_metered(vfs, store, &alphabet, kind, batch, 1, None, dir, reg)?;
+    let manifest = warptree_disk::build_dir_metered(
+        vfs, store, &alphabet, kind, batch, 1, None, backend, dir, reg,
+    )?;
     Ok(manifest.index_len)
 }
 
@@ -531,10 +579,13 @@ pub fn open_index_dir(
 ) -> Result<DiskIndexDir, Box<dyn std::error::Error>> {
     let vfs = warptree_disk::RealVfs;
     let (resolved, recovery) = warptree_disk::recover_dir_with(&vfs, dir)?;
+    let backend = resolved.backend();
     let (store, alphabet, cat) = warptree_disk::load_corpus(&resolved.corpus_path)?;
-    let tree = warptree_disk::DiskTree::open(
+    let tree = warptree_disk::AnyIndex::open_with(
+        &vfs,
         &resolved.index_path,
         cat.clone(),
+        backend,
         cache_pages,
         cache_pages * 8,
     )?;
@@ -549,9 +600,11 @@ pub fn open_index_dir(
         {
             continue;
         }
-        segments.push(warptree_disk::DiskTree::open(
+        segments.push(warptree_disk::AnyIndex::open_with(
+            &vfs,
             path,
             cat.clone(),
+            backend,
             cache_pages,
             cache_pages * 8,
         )?);
@@ -579,12 +632,14 @@ pub fn open_index_dir_metered(
 ) -> Result<DiskIndexDir, Box<dyn std::error::Error>> {
     let vfs = warptree_disk::MeteredVfs::new(warptree_disk::real_vfs(), reg);
     let (resolved, recovery) = warptree_disk::recover_dir_with(vfs.as_ref(), dir)?;
+    let backend = resolved.backend();
     let (store, alphabet, cat) =
         warptree_disk::load_corpus_with(vfs.as_ref(), &resolved.corpus_path)?;
-    let tree = warptree_disk::DiskTree::open_with(
+    let tree = warptree_disk::AnyIndex::open_with(
         vfs.as_ref(),
         &resolved.index_path,
         cat.clone(),
+        backend,
         cache_pages,
         cache_pages * 8,
     )?;
@@ -598,10 +653,11 @@ pub fn open_index_dir_metered(
         {
             continue;
         }
-        segments.push(warptree_disk::DiskTree::open_with(
+        segments.push(warptree_disk::AnyIndex::open_with(
             vfs.as_ref(),
             path,
             cat.clone(),
+            backend,
             cache_pages,
             cache_pages * 8,
         )?);
@@ -644,10 +700,12 @@ pub fn compact_index_dir(dir: &std::path::Path) -> Result<u64, Box<dyn std::erro
 /// Re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::{
-        append_index_dir, build_index_dir, build_index_dir_metered, compact_index_dir,
+        append_index_dir, build_index_dir, build_index_dir_backend,
+        build_index_dir_backend_metered, build_index_dir_metered, compact_index_dir,
         open_index_dir, open_index_dir_metered, resolve_index_dir, Categorization, DiskIndexDir,
         ExplainIo, ExplainReport, Index,
     };
+    pub use warptree_core::search::BackendKind;
     pub use warptree_core::cluster::{cluster_matches, Cluster};
     pub use warptree_core::predict::{forecast, Forecast, Weighting};
     pub use warptree_core::prelude::*;

@@ -58,7 +58,7 @@ fn full_cli_pipeline() {
         "--out-dir",
         idx.to_str().unwrap(),
     ]);
-    assert!(out.contains("built sparse index over 30 sequences"));
+    assert!(out.contains("built sparse tree index over 30 sequences"));
 
     // info
     let out = run_ok(&["info", "--index-dir", idx.to_str().unwrap()]);
@@ -144,6 +144,92 @@ fn full_cli_pipeline() {
 
     let out = bin().args(["bogus"]).output().unwrap();
     assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--backend esa` builds through the CLI, reports itself in `info`,
+/// and answers `search`/`knn` with the same output as a tree build of
+/// the same data.
+#[test]
+fn esa_backend_cli_pipeline() {
+    let dir = std::env::temp_dir().join(format!("warptree-cli-esa-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    let tree_idx = dir.join("tree-idx");
+    let esa_idx = dir.join("esa-idx");
+
+    run_ok(&[
+        "gen", "--kind", "walk", "--sequences", "20", "--len", "40", "--seed", "5", "--out",
+        csv.to_str().unwrap(),
+    ]);
+    let common = [
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--method",
+        "me",
+        "--categories",
+        "10",
+        "--sparse",
+    ];
+    let mut args = common.to_vec();
+    args.extend(["--out-dir", tree_idx.to_str().unwrap()]);
+    let out = run_ok(&args);
+    assert!(out.contains("built sparse tree index over 20 sequences"));
+    let mut args = common.to_vec();
+    args.extend(["--backend", "esa", "--out-dir", esa_idx.to_str().unwrap()]);
+    let out = run_ok(&args);
+    assert!(out.contains("built sparse esa index over 20 sequences"));
+
+    let info = run_ok(&["info", "--index-dir", esa_idx.to_str().unwrap()]);
+    assert!(info.contains("esa (enhanced suffix array)"), "{info}");
+    let info = run_ok(&["info", "--index-dir", tree_idx.to_str().unwrap()]);
+    assert!(info.contains("tree (suffix tree)"), "{info}");
+
+    let first_line = std::fs::read_to_string(&csv)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    let query: String = first_line
+        .split(',')
+        .skip(3)
+        .take(5)
+        .collect::<Vec<_>>()
+        .join(",");
+    // Outputs match up to the wall-clock "in N.NNms" fragment.
+    let mask_ms = |s: String| -> String {
+        match (s.find(" in "), s.find("ms (")) {
+            (Some(a), Some(b)) if a < b => format!("{} in Xms ({}", &s[..a], &s[b + 4..]),
+            _ => s,
+        }
+    };
+    for cmd in [
+        vec!["search", "--query", query.as_str(), "--epsilon", "2", "--limit", "5"],
+        vec!["knn", "--query", query.as_str(), "--k", "3"],
+    ] {
+        let mut t = cmd.clone();
+        t.extend(["--index-dir", tree_idx.to_str().unwrap()]);
+        let mut e = cmd.clone();
+        e.extend(["--index-dir", esa_idx.to_str().unwrap()]);
+        assert_eq!(
+            mask_ms(run_ok(&t)),
+            mask_ms(run_ok(&e)),
+            "backends disagree on {:?}",
+            cmd[0]
+        );
+    }
+
+    // Unknown backend names fail cleanly at build time.
+    let bogus_dir = dir.join("x");
+    let mut args = common.to_vec();
+    args.extend(["--backend", "btree", "--out-dir", bogus_dir.to_str().unwrap()]);
+    let out = bin().args(&args).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("backend"));
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -48,6 +48,7 @@ proptest! {
             non_overlapping: false,
             threads: 1,
             cascade: true,
+            backend: None,
         };
         for index in [
             Index::exact(&store).unwrap(),
@@ -91,6 +92,7 @@ proptest! {
             non_overlapping: true,
             threads: 1,
             cascade: true,
+            backend: None,
         };
         let (got, _) = index.knn(&q, &params);
         // Greedy reference over the brute-force ranking.

@@ -112,7 +112,10 @@ fn explain_report_agrees_with_checked_search() {
     assert_eq!(answers.occurrence_set(), baseline.occurrence_set());
     assert_eq!(report.stats, stats);
     assert_eq!(report.kind, "sparse");
-    assert_eq!(report.suffixes, idx.tree.header().suffix_count);
+    assert_eq!(
+        report.suffixes,
+        warptree::core::search::IndexBackend::suffix_count(&idx.tree)
+    );
     let io = report.io.expect("disk explain reports I/O");
     assert!(
         io.pages_read + io.page_cache_hits > 0,

@@ -47,7 +47,7 @@ fn query() -> Vec<f64> {
 
 /// Search must be identical — matches AND stats — at every thread
 /// count on the given index.
-fn assert_search_equivalent<T: SuffixTreeIndex + Sync>(
+fn assert_search_equivalent<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
@@ -81,7 +81,7 @@ fn assert_search_equivalent<T: SuffixTreeIndex + Sync>(
     }
 }
 
-fn assert_knn_equivalent<T: SuffixTreeIndex + Sync>(
+fn assert_knn_equivalent<T: IndexBackend + Sync>(
     tree: &T,
     alphabet: &Alphabet,
     store: &SequenceStore,
